@@ -1,0 +1,127 @@
+"""Figure 3: BSP cost trade-offs and execution-time decompositions.
+
+For each of the four workloads, one full (never-skip) profiled run per
+configuration yields:
+
+* panel row 1 (Figs. 3a-3d): BSP communication cost vs. synchronization
+  cost, both as critical-path maxima and volumetric averages;
+* panel row 2 (Figs. 3e-3h): BSP computation cost vs. synchronization;
+* panel row 3 (Figs. 3i-3l): execution time decomposed into total /
+  computation / communication along the critical path.
+
+The paper's qualitative claims these series must reproduce: larger
+blocks/tiles trade synchronization (falling) against communication and
+computation (rising); the critical-path series upper-bound the
+volumetric averages; execution time is non-monotone across the
+configuration axis, which is why autotuning is needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_space, results_path
+from repro.analysis import format_table, save_csv
+from repro.autotune import default_machine
+from repro.critter import Critter
+from repro.sim import Simulator
+
+
+def profile_space(name):
+    """One full profiled run per configuration; returns table rows."""
+    space = make_space(name)
+    machine = default_machine(space, seed=17)
+    rows = []
+    for idx, config in enumerate(space.configs):
+        cr = Critter(policy="never-skip", exclude=space.exclude)
+        res = Simulator(machine, profiler=cr).run(
+            space.program, args=space.args_for(config), run_seed=idx
+        )
+        rep = cr.last_report
+        rows.append(
+            [
+                idx,
+                config.label(),
+                rep.predicted.synchs,            # BSP synchronization (critical path)
+                rep.volumetric["synchs"],        # volumetric avg
+                rep.predicted.words,             # BSP communication (critical path)
+                rep.volumetric["words"],
+                rep.predicted.flops,             # BSP computation (critical path)
+                rep.volumetric["flops"],
+                res.makespan,                    # execution
+                rep.predicted.comp_time,         # computation along path
+                rep.predicted.comm_time,         # communication along path
+            ]
+        )
+    return space, rows
+
+
+HEADERS = [
+    "cfg", "label", "sync_cp", "sync_avg", "comm_cp", "comm_avg",
+    "flop_cp", "flop_avg", "exec_s", "comp_s", "comm_s",
+]
+
+
+def emit(space, rows, fig_ids):
+    print()
+    print(format_table(HEADERS, rows,
+                       title=f"Figure 3 ({fig_ids}) — {space.description}"))
+    save_csv(results_path(f"fig3_{space.name}.csv"), HEADERS, rows)
+
+
+def check_tradeoffs(rows, block_axis):
+    """Shape assertions: sync falls and flops rise along the block axis."""
+    sync = [rows[i][2] for i in block_axis]
+    flop = [rows[i][6] for i in block_axis]
+    assert sync[0] > sync[-1], "synchronization must fall with block size"
+    assert flop[-1] >= flop[0] * 0.9, "computation must not fall with block size"
+    for r in rows:
+        assert r[2] >= 0.999 * r[3], "critical path bounds volumetric (sync)"
+        assert r[4] >= 0.999 * r[5], "critical path bounds volumetric (comm)"
+
+
+def bench_one_config(space, machine):
+    config = space.configs[0]
+
+    def run():
+        cr = Critter(policy="never-skip", exclude=space.exclude)
+        return Simulator(machine, profiler=cr).run(
+            space.program, args=space.args_for(config), run_seed=0
+        )
+
+    return run
+
+
+def test_fig3_capital_cholesky(benchmark):
+    space, rows = profile_space("capital_cholesky")
+    emit(space, rows, "3a/3e/3i")
+    check_tradeoffs(rows, block_axis=range(0, 5))  # b grows over v%5
+    benchmark.pedantic(bench_one_config(space, default_machine(space, 17)),
+                       rounds=3, iterations=1)
+
+
+def test_fig3_slate_cholesky(benchmark):
+    space, rows = profile_space("slate_cholesky")
+    emit(space, rows, "3b/3f/3j")
+    # tile size grows every other config: compare la=0 columns
+    check_tradeoffs(rows, block_axis=range(0, len(rows), 2))
+    benchmark.pedantic(bench_one_config(space, default_machine(space, 17)),
+                       rounds=3, iterations=1)
+
+
+def test_fig3_candmc_qr(benchmark):
+    space, rows = profile_space("candmc_qr")
+    emit(space, rows, "3c/3g/3k")
+    check_tradeoffs(rows, block_axis=range(0, 5))
+    benchmark.pedantic(bench_one_config(space, default_machine(space, 17)),
+                       rounds=3, iterations=1)
+
+
+def test_fig3_slate_qr(benchmark):
+    space, rows = profile_space("slate_qr")
+    emit(space, rows, "3d/3h/3l")
+    # within one grid shape, panel width grows every 3 configs (w cycle)
+    sync = [rows[i][2] for i in range(0, 21, 3)]
+    assert sync[0] > sync[-1]
+    benchmark.pedantic(bench_one_config(space, default_machine(space, 17)),
+                       rounds=3, iterations=1)

@@ -1,0 +1,213 @@
+"""Figure 4: approximate autotuning of the two Cholesky factorizations.
+
+Eight panels, all driven by the shared tolerance sweeps:
+
+* 4a — Capital: exhaustive-search time vs. tolerance, 5 policies
+        (paper: eager reaches 2.4-7.1x over conditional; apriori never
+        beats conditional because of its extra full pass);
+* 4b — SLATE: search time vs. tolerance, 4 policies;
+* 4c — SLATE: max-rank *kernel computation* time vs. tolerance (paper:
+        up to 75x — kernel-only speedups far exceed end-to-end);
+* 4d — SLATE: mean log2 computation-time prediction error;
+* 4e — Capital: mean log2 execution-time prediction error;
+* 4f — SLATE: mean log2 execution-time prediction error;
+* 4g — Capital: per-configuration execution-time error at several
+        tolerances (online propagation);
+* 4h — SLATE: per-configuration computation-time error (online).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import SETTINGS, get_sweep, results_path
+from repro.analysis import format_table, save_csv
+from repro.autotune import ExhaustiveTuner, default_machine
+
+
+def eps_header(sweep):
+    return [f"2^{int(math.log2(e))}" for e in sweep.tolerances]
+
+
+def emit_policy_series(sweep, metric, title, csv_name, reference=None):
+    from repro.analysis import sweep_chart
+
+    rows = []
+    for policy in sweep.policies:
+        rows.append([policy] + sweep.series(policy, metric))
+    if reference is not None:
+        rows.append(["full-exec"] + [reference] * len(sweep.tolerances))
+    print()
+    print(format_table(["policy"] + eps_header(sweep), rows, title=title))
+    print()
+    print(sweep_chart(sweep, metric, title=f"{title} [chart]",
+                      reference=reference))
+    save_csv(results_path(csv_name), ["policy"] + [str(e) for e in sweep.tolerances], rows)
+    return rows
+
+
+def pick_eps(sweep, exps):
+    """Tolerances from the sweep closest to the requested 2^e values."""
+    out = []
+    for e in exps:
+        target = 2.0**e
+        out.append(min(sweep.tolerances, key=lambda t: abs(t - target)))
+    return sorted(set(out), reverse=True)
+
+
+def emit_per_config(sweep, policy, exps, metric, title, csv_name):
+    eps_list = pick_eps(sweep, exps)
+    labels = [o.label for o in sweep.result(policy, eps_list[0]).outcomes]
+    headers = ["cfg", "label"] + [f"2^{int(math.log2(e))}" for e in eps_list]
+    rows = []
+    for i, lab in enumerate(labels):
+        row = [i, lab]
+        for e in eps_list:
+            row.append(100.0 * sweep.per_config_errors(policy, e, metric)[i])
+        rows.append(row)
+    print()
+    print(format_table(headers, rows, title=title + "  [error %]"))
+    save_csv(results_path(csv_name), headers, rows)
+    return rows
+
+
+def quick_point(sweep_name):
+    """A single representative tuning pass for the timing metric."""
+    sweep = get_sweep(sweep_name)
+
+    def run():
+        from conftest import make_space
+
+        space = make_space(sweep_name)
+        machine = default_machine(space, seed=17)
+        return ExhaustiveTuner(
+            space, machine, policy="online", eps=0.25, reps=1,
+            full_reps=1, ground_truth=sweep.ground, seed=1,
+        ).run()
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# search time (4a, 4b)
+# ----------------------------------------------------------------------
+def test_fig4a_capital_search_time(benchmark, capital_sweep):
+    rows = emit_policy_series(
+        capital_sweep, "search_time",
+        "Figure 4a — Capital Cholesky exhaustive search time (s)",
+        "fig4a_capital_search_time.csv",
+        reference=capital_sweep.full_search_time,
+    )
+    by_policy = {r[0]: r[1:] for r in rows}
+    loosest = 0
+    # eager must beat conditional at loose tolerance (paper: 2.4-7.1x)
+    assert by_policy["eager"][loosest] < by_policy["conditional"][loosest]
+    # apriori's extra full pass prevents any speedup relative to
+    # conditional where selective execution is cheap (loose tolerances);
+    # at mid tolerances its seeded path counts may offset the overhead
+    assert by_policy["apriori"][loosest] >= by_policy["conditional"][loosest]
+    # all policies beat full execution at the loosest tolerance
+    assert by_policy["conditional"][loosest] < capital_sweep.full_search_time
+    benchmark.pedantic(quick_point("capital_cholesky"), rounds=1, iterations=1)
+
+
+def test_fig4b_slate_search_time(benchmark, slate_chol_sweep):
+    rows = emit_policy_series(
+        slate_chol_sweep, "search_time",
+        "Figure 4b — SLATE Cholesky exhaustive search time (s)",
+        "fig4b_slate_search_time.csv",
+        reference=slate_chol_sweep.full_search_time,
+    )
+    by_policy = {r[0]: r[1:] for r in rows}
+    assert by_policy["conditional"][0] < slate_chol_sweep.full_search_time
+    benchmark.pedantic(quick_point("slate_cholesky"), rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# kernel computation time (4c)
+# ----------------------------------------------------------------------
+def test_fig4c_slate_kernel_comp_time(benchmark, slate_chol_sweep):
+    rows = emit_policy_series(
+        slate_chol_sweep, "comp_kernel_time",
+        "Figure 4c — SLATE Cholesky max-rank kernel computation time (s)",
+        "fig4c_slate_kernel_comp_time.csv",
+        reference=slate_chol_sweep.full_comp_kernel_time,
+    )
+    by_policy = {r[0]: r[1:] for r in rows}
+    full = slate_chol_sweep.full_comp_kernel_time
+    kernel_speedup = full / by_policy["online"][0]
+    print(f"\nkernel-time speedup at loosest tolerance: {kernel_speedup:.1f}x "
+          "(paper: up to 75x at scale)")
+    # kernel-only speedup must match or exceed the end-to-end search
+    # speedup (at paper scale it far exceeds it: 75x vs 1.8x)
+    search_speedup = (slate_chol_sweep.full_search_time
+                      / slate_chol_sweep.result("online",
+                                                slate_chol_sweep.tolerances[0]).search_time)
+    assert kernel_speedup > search_speedup * 0.9
+    benchmark.pedantic(quick_point("slate_cholesky"), rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# prediction error (4d, 4e, 4f)
+# ----------------------------------------------------------------------
+def test_fig4d_slate_comp_error(benchmark, slate_chol_sweep):
+    rows = emit_policy_series(
+        slate_chol_sweep, "mean_log2_comp_error",
+        "Figure 4d — SLATE Cholesky mean log2 computation-time prediction error",
+        "fig4d_slate_comp_error.csv",
+    )
+    # computation-kernel time is highly predictable: error systematically
+    # below ~4% once tolerances tighten (paper: 4% -> 0.3%)
+    by_policy = {r[0]: r[1:] for r in rows}
+    assert min(by_policy["online"]) < -4.0  # better than 6% somewhere
+    benchmark.pedantic(quick_point("slate_cholesky"), rounds=1, iterations=1)
+
+
+def test_fig4e_capital_exec_error(benchmark, capital_sweep):
+    rows = emit_policy_series(
+        capital_sweep, "mean_log2_exec_error",
+        "Figure 4e — Capital Cholesky mean log2 execution-time prediction error",
+        "fig4e_capital_exec_error.csv",
+    )
+    by_policy = {r[0]: r[1:] for r in rows}
+    for policy, series in by_policy.items():
+        # error at the tightest tolerance beats the loosest one
+        assert series[-1] <= series[0] + 0.75, policy
+    benchmark.pedantic(quick_point("capital_cholesky"), rounds=1, iterations=1)
+
+
+def test_fig4f_slate_exec_error(benchmark, slate_chol_sweep):
+    emit_policy_series(
+        slate_chol_sweep, "mean_log2_exec_error",
+        "Figure 4f — SLATE Cholesky mean log2 execution-time prediction error",
+        "fig4f_slate_exec_error.csv",
+    )
+    benchmark.pedantic(quick_point("slate_cholesky"), rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# per-configuration error (4g, 4h)
+# ----------------------------------------------------------------------
+def test_fig4g_capital_per_config_error(benchmark, capital_sweep):
+    rows = emit_per_config(
+        capital_sweep, "online", (-2, -3, -4, -5), "exec_error",
+        "Figure 4g — Capital Cholesky per-config exec-time error (online)",
+        "fig4g_capital_per_config_error.csv",
+    )
+    errs = [r[2:] for r in rows]
+    # errors bounded across configurations at the tightest shown eps
+    assert max(e[-1] for e in errs) < 50.0
+    benchmark.pedantic(quick_point("capital_cholesky"), rounds=1, iterations=1)
+
+
+def test_fig4h_slate_per_config_error(benchmark, slate_chol_sweep):
+    rows = emit_per_config(
+        slate_chol_sweep, "online", (-4, -5, -6, -7), "comp_error",
+        "Figure 4h — SLATE Cholesky per-config comp-time kernel error (online)",
+        "fig4h_slate_per_config_error.csv",
+    )
+    errs = [r[-1] for r in rows]
+    assert max(errs) < 25.0  # comp-time predictable for every config
+    benchmark.pedantic(quick_point("slate_cholesky"), rounds=1, iterations=1)

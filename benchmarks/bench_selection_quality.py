@@ -1,0 +1,51 @@
+"""Section VI.C: quality of Critter's configuration selection.
+
+The paper reports that Critter "correctly selects the optimal QR
+factorization algorithm configuration for all confidence tolerances,
+and selects a configuration for each Cholesky algorithm that achieves
+at least 99% of the optimal configuration's performance for all eps".
+
+This bench evaluates, for every space and every tolerance of the shared
+sweeps, the fraction of optimal performance the predicted-best
+configuration attains.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from bench_fig4_cholesky import quick_point
+from conftest import get_sweep, results_path
+from repro.analysis import format_table, save_csv
+
+SPACES = ("capital_cholesky", "slate_cholesky", "candmc_qr", "slate_qr")
+#: the paper's bar: >= 99% of optimal for Cholesky, exact for QR — at
+#: simulator scale we require 95% (85% for the smoke profile, whose
+#: configurations are nearly indistinguishable) and report exact values
+from conftest import PROFILE
+
+QUALITY_FLOOR = 0.85 if PROFILE == "smoke" else 0.95
+
+
+@pytest.mark.parametrize("space_name", SPACES)
+def test_selection_quality(benchmark, space_name):
+    sweep = get_sweep(space_name)
+    headers = ["policy"] + [f"2^{int(math.log2(e))}" for e in sweep.tolerances]
+    rows = []
+    for policy in sweep.policies:
+        rows.append([policy] + sweep.series(policy, "selection_quality"))
+    print()
+    print(format_table(headers, rows,
+                       title=f"Selection quality — {space_name} "
+                             "(fraction of optimal config performance)"))
+    save_csv(results_path(f"selection_quality_{space_name}.csv"),
+             headers, rows)
+    for row in rows:
+        worst = min(row[1:])
+        assert worst >= QUALITY_FLOOR, (
+            f"{space_name}/{row[0]} selected a configuration below "
+            f"{QUALITY_FLOOR:.0%} of optimal ({worst:.3f})"
+        )
+    benchmark.pedantic(quick_point(space_name), rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Autotune CANDMC's pipelined QR: tolerance sweep for one policy.
+
+Shows the accuracy/speed trade-off the paper's Section III promises: as
+the confidence tolerance eps tightens, the exhaustive search slows down
+while the execution-time prediction error falls systematically
+(cf. Figs. 5a / 5e).
+
+Run:  python examples/autotune_qr.py
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.autotune import (
+    candmc_qr_space,
+    default_machine,
+    measure_ground_truth,
+    tolerance_sweep,
+)
+
+
+def main() -> None:
+    space = candmc_qr_space()
+    machine = default_machine(space, seed=13)
+    print(f"space: {space.description}, {len(space)} configurations")
+    print("sweeping tolerances 2^0 .. 2^-8 (online propagation)...\n")
+    sweep = tolerance_sweep(
+        space,
+        machine,
+        policies=("online",),
+        tolerances=[2.0**-e for e in range(0, 9, 2)],
+        reps=3,
+        full_reps=3,
+        seed=0,
+    )
+    rows = []
+    for eps in sweep.tolerances:
+        r = sweep.result("online", eps)
+        rows.append([
+            f"2^{int(math.log2(eps))}",
+            r.search_time,
+            r.search_speedup,
+            f"2^{r.mean_log2_exec_error:.1f}",
+            f"{100 * sum(o.skip_fraction for o in r.outcomes) / len(r.outcomes):.0f}%",
+            f"{r.selection_quality:.1%}",
+        ])
+    rows.append(["full", sweep.full_search_time, 1.0, "-", "0%", "100.0%"])
+    print(format_table(
+        ["eps", "search_s", "speedup", "mean_err", "skipped", "sel_quality"],
+        rows,
+        title="CANDMC QR exhaustive autotuning vs confidence tolerance",
+    ))
+    print("\nNote the paper's trade-off: tighter tolerance -> slower search,"
+          "\nsystematically better prediction; selection quality stays high"
+          "\nthroughout (Section VI.C).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Online critical-path analysis of SLATE's tiled Cholesky.
+
+Uses Critter purely as a profiler (never-skip policy) to reproduce the
+kind of analysis behind Fig. 3: for a range of tile sizes, measure the
+BSP synchronization / communication / computation costs both along the
+critical path and as volumetric averages, plus the execution-time
+decomposition — showing the latency-vs-bandwidth trade-off that makes
+tile size worth tuning, and the gap between critical-path and average
+costs caused by load imbalance.
+
+Run:  python examples/critical_path_analysis.py
+"""
+
+from repro import Critter, Machine, Simulator
+from repro.algorithms.slate_cholesky import SlateCholeskyConfig, slate_cholesky
+from repro.analysis import format_table
+
+
+def main() -> None:
+    n = 1024
+    machine = Machine(nprocs=4, seed=21)
+    rows = []
+    for nb in (32, 64, 128, 256):
+        for lookahead in (0, 1):
+            cfg = SlateCholeskyConfig(n=n, nb=nb, pr=2, pc=2, lookahead=lookahead)
+            critter = Critter(policy="never-skip")
+            res = Simulator(machine, profiler=critter).run(
+                slate_cholesky, args=(cfg,), run_seed=5
+            )
+            rep = critter.last_report
+            rows.append([
+                cfg.label(),
+                rep.predicted.synchs,
+                rep.volumetric["synchs"],
+                rep.predicted.words / 1e3,
+                rep.volumetric["words"] / 1e3,
+                rep.predicted.flops / 1e6,
+                res.makespan * 1e3,
+                rep.predicted_comp_time * 1e3,
+                rep.predicted.comm_time * 1e3,
+                rep.volumetric["idle"] * 1e3,
+            ])
+    print(format_table(
+        ["config", "sync_cp", "sync_avg", "KB_cp", "KB_avg", "Mflop_cp",
+         "exec_ms", "comp_ms", "comm_ms", "idle_ms"],
+        rows,
+        title=f"SLATE Cholesky {n}x{n} on a 2x2 grid — critical path vs "
+              "volumetric average (cf. Fig. 3b/3f/3j)",
+    ))
+    print(
+        "\nReading the table like the paper does:"
+        "\n * sync falls as tiles grow (fewer, larger tasks) while flops/comm"
+        "\n   per path rise — the latency/bandwidth trade-off of Fig. 3;"
+        "\n * critical-path costs upper-bound volumetric averages; the gap"
+        "\n   is load imbalance;"
+        "\n * lookahead=1 pipelines panels with updates and shortens the"
+        "\n   execution time at equal tile size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: profile an MPI-style program with Critter on the simulator.
+
+Writes a small SPMD program (a stencil-flavored compute/halo-exchange/
+allreduce loop), runs it once fully instrumented, then tunes its
+execution with selective kernel execution and compares:
+
+* the full execution time,
+* the accelerated (selective) execution time,
+* Critter's predicted execution time and its error.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Critter, Machine, Simulator
+from repro.kernels.blas import gemm_spec
+
+
+def stencil_program(comm, steps=40):
+    """Each rank: local compute, halo exchange with neighbors, residual."""
+    left = (comm.rank - 1) % comm.size
+    right = (comm.rank + 1) % comm.size
+    for step in range(steps):
+        # local work: one blocked matrix product per step
+        yield comm.compute(gemm_spec(96, 96, 96))
+        # halo exchange (nonblocking sends, blocking receives)
+        r1 = yield comm.isend(None, dest=right, tag=2 * step, nbytes=8 * 1024)
+        r2 = yield comm.isend(None, dest=left, tag=2 * step + 1, nbytes=8 * 1024)
+        yield comm.recv(source=left, tag=2 * step, nbytes=8 * 1024)
+        yield comm.recv(source=right, tag=2 * step + 1, nbytes=8 * 1024)
+        yield comm.waitall([r1, r2])
+        # global residual
+        yield comm.allreduce(nbytes=8)
+
+
+def main() -> None:
+    machine = Machine(nprocs=8, seed=42)
+
+    # ---- 1. full execution under the profiler (ground truth) ----------
+    full = Critter(policy="never-skip")
+    t_full = Simulator(machine, profiler=full).run(stencil_program, run_seed=0).makespan
+    report = full.last_report
+    print("=== full execution ===")
+    print(f"wall time           : {t_full * 1e3:8.3f} ms")
+    print(f"critical-path time  : {report.predicted_exec_time * 1e3:8.3f} ms")
+    print(f"  computation       : {report.predicted_comp_time * 1e3:8.3f} ms")
+    print(f"  communication     : {report.predicted.comm_time * 1e3:8.3f} ms")
+    print(f"path synchronizations: {report.predicted.synchs:.0f}")
+    print(f"path bytes          : {report.predicted.words:,.0f}")
+
+    # ---- 2. selective execution: five repetitions, online policy ------
+    critter = Critter(policy="online", eps=2**-3)
+    walls = []
+    for rep in range(5):
+        res = Simulator(machine, profiler=critter).run(stencil_program,
+                                                       run_seed=100 + rep)
+        walls.append(res.makespan)
+    rep = critter.last_report
+    print("\n=== selective execution (online policy, eps = 2^-3) ===")
+    print("wall times per rep  :", "  ".join(f"{w * 1e3:.3f}" for w in walls), "ms")
+    print(f"kernels skipped     : {rep.skip_fraction:6.1%}")
+    print(f"predicted exec time : {rep.predicted_exec_time * 1e3:8.3f} ms")
+    err = abs(rep.predicted_exec_time - t_full) / t_full
+    print(f"prediction error    : {err:6.2%}")
+    print(f"speedup of last rep : {t_full / walls[-1]:6.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline editable install).
+
+``pip install -e .`` requires wheel under PEP 660; when it is unavailable,
+``python setup.py develop`` installs the same editable package.
+"""
+
+from setuptools import setup
+
+setup()

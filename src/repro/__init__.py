@@ -1,0 +1,59 @@
+"""repro — reproduction of "Accelerating Distributed-Memory Autotuning
+via Statistical Analysis of Execution Paths" (Hutter & Solomonik,
+IPDPS 2021, arXiv:2103.01304).
+
+The package implements the paper's Critter framework end to end:
+
+* :mod:`repro.sim` — a discrete-event simulator of a distributed-memory
+  MPI machine (the Stampede2 substitute),
+* :mod:`repro.kernels` — kernel signatures and BLAS/LAPACK cost models,
+* :mod:`repro.critter` — the approximate-autotuning framework: online
+  critical-path analysis, statistical kernel profiles, selective
+  execution policies, aggregate channels,
+* :mod:`repro.algorithms` — the four dense factorization workloads
+  (Capital / SLATE Cholesky, CANDMC / SLATE QR),
+* :mod:`repro.autotune` — configuration spaces, exhaustive tuner, and
+  tolerance sweeps reproducing the paper's evaluation,
+* :mod:`repro.bsp` — analytic BSP cost models,
+* :mod:`repro.analysis` — result table/CSV helpers.
+
+Quickstart::
+
+    from repro import Machine, Simulator, Critter
+    from repro.autotune import capital_cholesky_space, ExhaustiveTuner
+
+    space = capital_cholesky_space()
+    tuner = ExhaustiveTuner(space, policy="online", eps=2**-4)
+    result = tuner.run()
+    print(result.search_speedup, result.selection_quality)
+"""
+
+from repro.critter import Critter, RunReport
+from repro.sim import (
+    Comm,
+    DeadlockError,
+    Machine,
+    NoiseModel,
+    NullProfiler,
+    Profiler,
+    SimResult,
+    Simulator,
+    TraceRecorder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Critter",
+    "RunReport",
+    "Machine",
+    "NoiseModel",
+    "Simulator",
+    "SimResult",
+    "Comm",
+    "Profiler",
+    "NullProfiler",
+    "TraceRecorder",
+    "DeadlockError",
+]

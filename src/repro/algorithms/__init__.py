@@ -1,0 +1,45 @@
+"""Distributed dense linear algebra workloads (Section V).
+
+Faithful-schedule reimplementations of the four library algorithms the
+paper autotunes, written as simulator rank programs:
+
+* :mod:`~repro.algorithms.capital_cholesky` — Capital's recursive
+  Cholesky on a 3D processor grid with three base-case strategies,
+* :mod:`~repro.algorithms.slate_cholesky` — SLATE's tiled task-based
+  Cholesky with lookahead pipelining on a 2D grid,
+* :mod:`~repro.algorithms.candmc_qr` — CANDMC's 2D block-cyclic
+  Householder QR (TSQR panel + Householder reconstruction + compact-WY
+  trailing update),
+* :mod:`~repro.algorithms.slate_qr` — SLATE's tiled QR
+  (geqrt/tpqrt panels, larfb/tpmqrt updates, inner blocking ``w``).
+
+Every algorithm runs in *symbolic* mode (costs only — used for
+autotuning experiments) or *numeric* mode (real matrix tiles move
+through the schedule; the test suite verifies the results against
+``numpy``).
+"""
+
+from repro.algorithms.grids import Grid2D, Grid3D, make_grid2d, make_grid3d
+from repro.algorithms import distribution
+from repro.algorithms.capital_cholesky import CapitalCholeskyConfig, capital_cholesky
+from repro.algorithms.slate_cholesky import SlateCholeskyConfig, slate_cholesky
+from repro.algorithms.candmc_qr import CandmcQRConfig, candmc_qr
+from repro.algorithms.slate_qr import SlateQRConfig, slate_qr
+from repro.algorithms import verify
+
+__all__ = [
+    "Grid2D",
+    "Grid3D",
+    "make_grid2d",
+    "make_grid3d",
+    "distribution",
+    "CapitalCholeskyConfig",
+    "capital_cholesky",
+    "SlateCholeskyConfig",
+    "slate_cholesky",
+    "CandmcQRConfig",
+    "candmc_qr",
+    "SlateQRConfig",
+    "slate_qr",
+    "verify",
+]

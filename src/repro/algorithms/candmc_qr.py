@@ -1,0 +1,167 @@
+"""CANDMC's 2D block-cyclic Householder QR (Section V.B).
+
+For each width-``b`` panel the algorithm performs:
+
+1. **Panel TSQR** on the grid-column communicator owning the panel:
+   a local ``geqrf`` of each rank's panel rows, an all-gather of the
+   b x b triangular factors, and a (redundant) ``tpqrt`` reduction tree
+   of depth log2(pr) yielding the panel's R everywhere in the column.
+2. **Householder reconstruction** [Ballard et al.]: an LU
+   factorization of a matrix derived from Q1 (``getrf``) plus an
+   application (``ormqr``) reconstructs the compact-WY panel ``Y1``,
+   and ``larft`` forms its triangular ``T``.
+3. **Panel broadcast** of (Y1, T) along the grid-row communicator.
+4. **Trailing-matrix update** ``(I - Y1 T Y1^T)^T A``: a local
+   ``gemm`` forming the partial ``W = Y^T A``, an all-reduce of W over
+   the grid column, and two local products applying ``A -= Y (T W)``.
+
+BSP cost (paper eq.): Theta(alpha n/b + beta (mn/pr + n^2/pc + nb) +
+gamma (mn^2/p + nb^2 + mnb/pr + n^2 b/pc)) — trade-offs in both the
+block size and the grid shape, the two tuned parameters.
+
+Simplification vs. the C++ library: CANDMC's lookahead pipelining of
+panel factorization with trailing updates is not reproduced (the
+schedule is bulk-synchronous here); pipelining is not a tuned parameter
+in the paper's configuration space, so the cross-configuration
+trade-off shapes are preserved.  See DESIGN.md.
+
+Numeric mode: the panel all-gather carries the actual panel blocks (the
+charged message size remains the R-factor exchange of the modeled
+TSQR); every column rank redundantly computes the panel's compact-WY
+factorization, and the update path exercises the real distributed
+W-allreduce data flow.  Per-panel (Y, T, R) are recorded for
+verification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.grids import make_grid2d
+from repro.kernels import blas, lapack
+from repro.sim.comm import Comm
+
+__all__ = ["CandmcQRConfig", "candmc_qr"]
+
+
+@dataclass(frozen=True, slots=True)
+class CandmcQRConfig:
+    """Tuning configuration of CANDMC QR."""
+
+    m: int
+    n: int
+    b: int    # panel / distribution block size
+    pr: int
+    pc: int
+
+    @property
+    def nprocs(self) -> int:
+        return self.pr * self.pc
+
+    def __post_init__(self) -> None:
+        if self.m % self.b or self.n % self.b:
+            raise ValueError("b must divide both m and n")
+        if self.b > min(self.m // self.pr, self.n // self.pc):
+            raise ValueError(
+                f"b={self.b} violates b <= min(m/pr, n/pc) = "
+                f"{min(self.m // self.pr, self.n // self.pc)}"
+            )
+
+    def label(self) -> str:
+        return f"b={self.b} grid={self.pr}x{self.pc}"
+
+
+def candmc_qr(comm: Comm, config: CandmcQRConfig,
+              a: Optional[np.ndarray] = None):
+    """Rank program; returns (blocks, {panel: (Y, T, R)}) in numeric mode."""
+    grid = yield from make_grid2d(comm, config.pr, config.pc)
+    b = config.b
+    mb = config.m // b   # row bands
+    nb = config.n // b   # panels / column bands
+    numeric = a is not None
+
+    # block-cyclic ownership: row band rb -> grid row rb % pr, col band cb -> cb % pc
+    blocks: Dict[Tuple[int, int], np.ndarray] = {}
+    if numeric:
+        for rb in range(grid.ri, mb, config.pr):
+            for cb in range(grid.ci, nb, config.pc):
+                blocks[(rb, cb)] = a[rb * b:(rb + 1) * b,
+                                     cb * b:(cb + 1) * b].astype(float).copy()
+    panel_log: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    for j in range(nb):
+        pcol = j % config.pc
+        my_bands = [rb for rb in range(j, mb) if rb % config.pr == grid.ri]
+        mloc = len(my_bands) * b
+        y_full = t_full = None
+
+        # ---- 1+2: panel TSQR + Householder reconstruction (panel column) ----
+        if grid.ci == pcol:
+            if mloc:
+                yield grid.comm.compute(lapack.geqrf_spec(mloc, b))
+            payload = [(rb, blocks[(rb, j)]) for rb in my_bands] if numeric else None
+            gathered = yield grid.col.allgather(payload=payload, nbytes=8 * b * b)
+            for _ in range(max(1, math.ceil(math.log2(config.pr)))):
+                yield grid.comm.compute(lapack.tpqrt_spec(b, b))
+            # Householder reconstruction of Y1 from Q1 + T formation
+            yield grid.comm.compute(lapack.getrf_spec(b, b))
+            if mloc:
+                yield grid.comm.compute(lapack.ormqr_spec(mloc, b, b))
+                yield grid.comm.compute(lapack.larft_spec(mloc, b))
+            if numeric:
+                # assemble panel rows in global band order, factor redundantly
+                pairs = sorted(
+                    (rb, blk) for contrib in gathered if contrib
+                    for rb, blk in contrib
+                )
+                panel = np.vstack([blk for _, blk in pairs])
+                y_full, t_full, r_panel = lapack.qr_factor(panel)
+                panel_log[j] = (y_full, t_full, r_panel)
+                # the panel column now stores R (diagonal band) and zeros below
+                if j % config.pr == grid.ri:
+                    blocks[(j, j)] = r_panel.copy()
+                for rb in my_bands:
+                    if rb != j:
+                        blocks[(rb, j)] = np.zeros((b, b))
+
+        # ---- 3: broadcast the reconstructed panel along grid rows ----
+        ybytes = 8 * (max(mloc, 0) * b + b * b)
+        pack = (y_full, t_full) if (numeric and grid.ci == pcol) else None
+        pack = yield grid.row.bcast(payload=pack, root=pcol, nbytes=ybytes)
+
+        # ---- 4: trailing-matrix update ----
+        my_cols = [cb for cb in range(j + 1, nb) if cb % config.pc == grid.ci]
+        nloc = len(my_cols) * b
+        if nloc == 0:
+            continue  # whole grid column has no trailing panels
+        w_part = None
+        if numeric and pack is not None:
+            y_full, t_full = pack
+            # rows of Y owned by this rank (global band order offset)
+            all_bands = list(range(j, mb))
+            row_ix = np.concatenate(
+                [np.arange(all_bands.index(rb) * b, (all_bands.index(rb) + 1) * b)
+                 for rb in my_bands]
+            ) if my_bands else np.empty(0, dtype=int)
+            y_loc = y_full[row_ix, :] if mloc else np.zeros((0, b))
+            a_loc = (np.vstack([np.hstack([blocks[(rb, cb)] for cb in my_cols])
+                                for rb in my_bands]) if mloc else np.zeros((0, nloc)))
+            w_part = y_loc.T @ a_loc
+        if mloc:
+            yield grid.comm.compute(blas.gemm_spec(b, nloc, mloc))  # W_part = Y^T A
+        w = yield grid.col.allreduce(payload=w_part, nbytes=8 * b * nloc)
+        yield grid.comm.compute(blas.trmm_spec(b, nloc))            # T W
+        if mloc:
+            yield grid.comm.compute(blas.gemm_spec(mloc, nloc, b))  # A -= Y (T W)
+            if numeric and w is not None:
+                upd = y_loc @ (t_full.T @ w)
+                for bi, rb in enumerate(my_bands):
+                    for ci_, cb in enumerate(my_cols):
+                        blocks[(rb, cb)] -= upd[bi * b:(bi + 1) * b,
+                                                ci_ * b:(ci_ + 1) * b]
+
+    return (blocks, panel_log) if numeric else None

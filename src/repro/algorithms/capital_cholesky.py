@@ -1,0 +1,205 @@
+"""Capital's recursive Cholesky on a 3D processor grid (Section V.A).
+
+The algorithm recursively factors the SPD matrix::
+
+    [A11      ]   [L11     ] [L11^T L21^T]        [I  ]   [L11     ] [L11^-1       ]
+    [A21  A22 ] = [L21  L22] [      L22^T]  ,     [  I] = [L21  L22] [S21    L22^-1]
+
+computing both ``L`` and ``L^-1`` (the inverse panels feed the
+matrix-product updates).  Aside from the recursive calls it performs
+triangular matrix products (``L21 = A21 L11^-T``, ``S21 = -L22^-1 L21
+L11^-1``) and a symmetric rank-k update (``A22 - L21 L21^T``), all as
+communication-efficient 3D-grid matrix multiplications: broadcasts
+along two grid dimensions and a reduction along the third, with each of
+the ``c = p^(1/3)`` layers holding a cyclic copy of the operands.
+
+Base-case problems (dimension <= block size ``b``) are solved with
+sequential LAPACK under one of the paper's three strategies:
+
+1. gather the base-case matrix onto one process of a single layer,
+   factor there, scatter back across the layer, broadcast along depth;
+2. all-gather within *every* layer and factor redundantly everywhere;
+3. all-gather within a single layer, factor redundantly across that
+   layer, broadcast along the depth of the grid.
+
+BSP cost (paper eq.): Theta(alpha n/b + beta (n^2/p^(2/3) + n b) +
+gamma (n^3/p + n b^2)) — a genuine latency/bandwidth/compute trade-off
+in the block size, which is why the optimum must be tuned.
+
+Numeric mode: the full matrix rides on world rank 0 (replication taken
+to its extreme) and every kernel's numeric callback operates on that
+copy, so the recursion's mathematics is verified against numpy while
+communication is charged for the true distributed layout.  Block-to-
+cyclic distribution kernels are intercepted as custom ``blk2cyc``
+kernels, as the paper does with Critter's code-region API.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.grids import Grid3D, make_grid3d
+from repro.kernels import blas, lapack
+from repro.kernels.signature import comp_signature
+from repro.sim.comm import Comm
+
+__all__ = ["CapitalCholeskyConfig", "capital_cholesky"]
+
+
+@dataclass(frozen=True, slots=True)
+class CapitalCholeskyConfig:
+    """Tuning configuration of Capital's Cholesky."""
+
+    n: int              # matrix dimension
+    block: int          # base-case block size b
+    c: int              # grid edge; p = c^3
+    base_strategy: int  # 1 | 2 | 3
+
+    @property
+    def nprocs(self) -> int:
+        return self.c**3
+
+    def __post_init__(self) -> None:
+        if self.base_strategy not in (1, 2, 3):
+            raise ValueError("base_strategy must be 1, 2, or 3")
+        if self.n % self.block != 0:
+            raise ValueError(f"block {self.block} must divide n {self.n}")
+
+    def label(self) -> str:
+        return f"b={self.block} strat={self.base_strategy}"
+
+
+def _blk2cyc_spec(sz: int):
+    """Block-to-cyclic redistribution intercepted as a custom kernel."""
+    return comp_signature("blk2cyc", sz), float(sz) * sz
+
+
+class _NumState:
+    """Numeric carrier state (world rank 0 only)."""
+
+    __slots__ = ("W", "L", "V")
+
+    def __init__(self, a: np.ndarray) -> None:
+        n = a.shape[0]
+        self.W = a.astype(float).copy()   # working copy (trailing updates)
+        self.L = np.zeros((n, n))
+        self.V = np.zeros((n, n))         # L^-1
+
+
+def capital_cholesky(comm: Comm, config: CapitalCholeskyConfig,
+                     a: Optional[np.ndarray] = None):
+    """Rank program: factor ``a`` (or a symbolic n x n matrix).
+
+    Returns ``(L, Linv)`` on world rank 0 in numeric mode, else None.
+    """
+    grid = yield from make_grid3d(comm, config.c)
+    state = _NumState(a) if (a is not None and comm.world_rank == 0) else None
+    yield from _cholesky_recursive(grid, config, 0, config.n, state)
+    if state is not None:
+        return state.L, state.V
+    return None
+
+
+def _cholesky_recursive(grid: Grid3D, config: CapitalCholeskyConfig,
+                        i0: int, sz: int, state: Optional[_NumState]):
+    if sz <= config.block:
+        yield from _base_case(grid, config, i0, sz, state)
+        return
+    h = sz // 2
+    i1 = i0 + h
+
+    yield from _cholesky_recursive(grid, config, i0, h, state)
+
+    # L21 = A21 * L11^-T   (triangular product on the 3D grid)
+    def f_l21(s=state, a=i0, b=i1, w=h):
+        s.L[b:b + w, a:a + w] = s.W[b:b + w, a:a + w] @ s.V[a:a + w, a:a + w].T
+    yield from _matmul3d(grid, blas.trmm_spec, (h, h), f_l21 if state else None)
+
+    # A22 -= L21 * L21^T   (symmetric rank-k update)
+    def f_syrk(s=state, a=i0, b=i1, w=h):
+        l21 = s.L[b:b + w, a:a + w]
+        s.W[b:b + w, b:b + w] -= l21 @ l21.T
+    yield from _matmul3d(grid, blas.syrk_spec, (h, h), f_syrk if state else None)
+
+    yield from _cholesky_recursive(grid, config, i1, h, state)
+
+    # S21 = -L22^-1 * (L21 * L11^-1): two 3D products building L^-1
+    def f_t(s=state, a=i0, b=i1, w=h):
+        s.V[b:b + w, a:a + w] = s.L[b:b + w, a:a + w] @ s.V[a:a + w, a:a + w]
+    yield from _matmul3d(grid, blas.trmm_spec, (h, h), f_t if state else None)
+
+    def f_s21(s=state, a=i0, b=i1, w=h):
+        s.V[b:b + w, a:a + w] = -s.V[b:b + w, b:b + w] @ s.V[b:b + w, a:a + w]
+    yield from _matmul3d(grid, blas.trmm_spec, (h, h), f_s21 if state else None)
+
+
+def _matmul3d(grid: Grid3D, spec_builder, dims, fn):
+    """3D-algorithm matrix product of an s x s update (s = dims[0]).
+
+    Per processor: broadcast the A-operand share along the grid row,
+    the B-operand share along the grid column, multiply local blocks,
+    reduce contributions along the fiber (depth) dimension.
+    """
+    s = dims[0]
+    c = grid.c
+    loc = max(1, math.ceil(s / c))
+    share = 8 * loc * loc
+    yield grid.row.bcast(root=0, nbytes=share)
+    yield grid.col.bcast(root=0, nbytes=share)
+    if spec_builder is blas.syrk_spec:
+        spec = blas.syrk_spec(loc, loc)
+    elif spec_builder is blas.trmm_spec:
+        spec = blas.trmm_spec(loc, loc)
+    else:
+        spec = blas.gemm_spec(loc, loc, loc)
+    yield grid.comm.compute(spec, fn=fn)
+    yield grid.fiber.reduce(root=0, nbytes=share)
+
+
+def _base_case(grid: Grid3D, config: CapitalCholeskyConfig,
+               i0: int, sz: int, state: Optional[_NumState]):
+    """Solve a base-case block with the configured strategy."""
+    c = grid.c
+    share = 8 * max(1, math.ceil(sz / c)) ** 2  # per-rank cyclic share
+
+    def f_base(s=state, a=i0, w=sz):
+        blk = s.W[a:a + w, a:a + w]
+        lb = lapack.potrf(blk)
+        s.L[a:a + w, a:a + w] = lb
+        s.V[a:a + w, a:a + w] = lapack.trtri(lb)
+
+    # block-to-cyclic redistribution (custom intercepted kernel)
+    yield grid.comm.compute(_blk2cyc_spec(sz))
+
+    strat = config.base_strategy
+    if strat == 1:
+        # gather onto one process of layer 0, factor, scatter, depth-bcast
+        if grid.k == 0:
+            yield grid.layer.gather(root=0, nbytes=share)
+            if grid.i == 0 and grid.j == 0:
+                yield grid.comm.compute(lapack.potrf_spec(sz), fn=f_base if state else None)
+                yield grid.comm.compute(lapack.trtri_spec(sz))
+            yield grid.layer.scatter(root=0, nbytes=share)
+        yield grid.fiber.bcast(root=0, nbytes=share)
+    elif strat == 2:
+        # all-gather within every layer; factor redundantly everywhere
+        yield grid.layer.allgather(nbytes=share)
+        yield grid.comm.compute(
+            lapack.potrf_spec(sz),
+            fn=f_base if (state and grid.comm.world_rank == 0) else None,
+        )
+        yield grid.comm.compute(lapack.trtri_spec(sz))
+    else:
+        # all-gather within layer 0, factor redundantly there, depth-bcast
+        if grid.k == 0:
+            yield grid.layer.allgather(nbytes=share)
+            yield grid.comm.compute(
+                lapack.potrf_spec(sz),
+                fn=f_base if (state and grid.comm.world_rank == 0) else None,
+            )
+            yield grid.comm.compute(lapack.trtri_spec(sz))
+        yield grid.fiber.bcast(root=0, nbytes=share)

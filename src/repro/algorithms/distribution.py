@@ -1,0 +1,93 @@
+"""Block-cyclic data distributions and tile ownership maps.
+
+Both SLATE algorithms and CANDMC distribute matrices block-cyclically
+over 2D processor grids; Capital uses a cyclic layout partially
+replicated over the layers of a 3D grid.  This module centralizes the
+index arithmetic: tile extents (with ragged last tiles), ownership, and
+per-rank tile enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["TileMap", "tile_dim", "num_tiles", "band_rows"]
+
+
+def num_tiles(n: int, nb: int) -> int:
+    """Number of tiles covering ``n`` elements with tile size ``nb``."""
+    return (n + nb - 1) // nb
+
+
+def tile_dim(idx: int, nb: int, n: int) -> int:
+    """Extent of tile ``idx`` (the last tile may be ragged)."""
+    return min(nb, n - idx * nb)
+
+
+def band_rows(idx: int, nb: int, n: int) -> range:
+    """Global index range covered by tile/band ``idx``."""
+    return range(idx * nb, min((idx + 1) * nb, n))
+
+
+@dataclass(frozen=True, slots=True)
+class TileMap:
+    """Block-cyclic ownership of an (mt x nt) tile grid on a pr x pc grid.
+
+    Tile (i, j) lives on grid position (i mod pr, j mod pc), i.e. on
+    rank ``(i % pr) * pc + (j % pc)`` under row-major grid numbering —
+    the 2D block-cyclic distribution of ScaLAPACK/SLATE.
+    """
+
+    m: int
+    n: int
+    nb: int
+    pr: int
+    pc: int
+
+    @property
+    def mt(self) -> int:
+        return num_tiles(self.m, self.nb)
+
+    @property
+    def nt(self) -> int:
+        return num_tiles(self.n, self.nb)
+
+    def owner_coords(self, i: int, j: int) -> Tuple[int, int]:
+        return i % self.pr, j % self.pc
+
+    def owner(self, i: int, j: int) -> int:
+        ri, ci = self.owner_coords(i, j)
+        return ri * self.pc + ci
+
+    def tile_shape(self, i: int, j: int) -> Tuple[int, int]:
+        return tile_dim(i, self.nb, self.m), tile_dim(j, self.nb, self.n)
+
+    def tile_nbytes(self, i: int, j: int) -> int:
+        tm, tn = self.tile_shape(i, j)
+        return 8 * tm * tn
+
+    def tiles_of(self, rank: int, lower_only: bool = False) -> Iterator[Tuple[int, int]]:
+        """All tiles owned by ``rank`` (optionally only i >= j)."""
+        ri, ci = divmod(rank, self.pc)
+        for i in range(ri, self.mt, self.pr):
+            jmax = min(i, self.nt - 1) if lower_only else self.nt - 1
+            for j in range(ci, jmax + 1, self.pc):
+                yield (i, j)
+
+    def col_tiles(self, rank: int, j: int, i_min: int = 0) -> List[int]:
+        """Row indices i >= i_min of column-``j`` tiles owned by ``rank``."""
+        ri, ci = divmod(rank, self.pc)
+        if j % self.pc != ci:
+            return []
+        start = i_min + ((ri - i_min) % self.pr)
+        return list(range(start, self.mt, self.pr))
+
+    def row_tiles(self, rank: int, i: int, j_min: int = 0, j_max: int | None = None) -> List[int]:
+        """Column indices j in [j_min, j_max] of row-``i`` tiles owned by ``rank``."""
+        ri, ci = divmod(rank, self.pc)
+        if i % self.pr != ri:
+            return []
+        hi = self.nt - 1 if j_max is None else j_max
+        start = j_min + ((ci - j_min) % self.pc)
+        return list(range(start, hi + 1, self.pc))

@@ -1,0 +1,80 @@
+"""Processor grids: 2D and 3D cartesian decompositions of COMM_WORLD.
+
+Grid communicators are carved with ``MPI_Comm_split`` so Critter's
+aggregate-channel machinery sees exactly the communicator constructions
+the real libraries perform: rows/columns of a 2D grid, and rows /
+columns / fibers / layers of a 3D grid, all with cartesian strides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.comm import Comm
+
+__all__ = ["Grid2D", "Grid3D", "make_grid2d", "make_grid3d"]
+
+
+@dataclass(slots=True)
+class Grid2D:
+    """A pr x pc grid; rank = ri * pc + ci (row-major).
+
+    ``row`` spans the ranks with equal ``ri`` (varying column index);
+    ``col`` spans the ranks with equal ``ci``.
+    """
+
+    comm: Comm
+    pr: int
+    pc: int
+    ri: int
+    ci: int
+    row: Comm
+    col: Comm
+
+
+def make_grid2d(comm: Comm, pr: int, pc: int):
+    """Build a 2D grid (generator; use ``yield from``)."""
+    if pr * pc != comm.size:
+        raise ValueError(f"grid {pr}x{pc} != comm size {comm.size}")
+    ri, ci = divmod(comm.rank, pc)
+    row = yield comm.split(color=ri, key=ci)
+    col = yield comm.split(color=ci, key=ri)
+    return Grid2D(comm=comm, pr=pr, pc=pc, ri=ri, ci=ci, row=row, col=col)
+
+
+@dataclass(slots=True)
+class Grid3D:
+    """A c x c x c grid; rank = k * c^2 + i * c + j.
+
+    ``k`` indexes the grid layer (depth), ``(i, j)`` the position within
+    a layer.  Communicators:
+
+    * ``row``   — fixed (k, i), varying j  (stride 1, size c)
+    * ``col``   — fixed (k, j), varying i  (stride c, size c)
+    * ``fiber`` — fixed (i, j), varying k  (stride c^2, size c)
+    * ``layer`` — fixed k, all (i, j)      (strides (1, c), size c^2)
+    """
+
+    comm: Comm
+    c: int
+    i: int
+    j: int
+    k: int
+    row: Comm
+    col: Comm
+    fiber: Comm
+    layer: Comm
+
+
+def make_grid3d(comm: Comm, c: int):
+    """Build a 3D grid (generator; use ``yield from``)."""
+    if c**3 != comm.size:
+        raise ValueError(f"grid {c}^3 != comm size {comm.size}")
+    k, rem = divmod(comm.rank, c * c)
+    i, j = divmod(rem, c)
+    row = yield comm.split(color=k * c + i, key=j)
+    col = yield comm.split(color=k * c + j, key=i)
+    fiber = yield comm.split(color=i * c + j, key=k)
+    layer = yield comm.split(color=k, key=i * c + j)
+    return Grid3D(comm=comm, c=c, i=i, j=j, k=k, row=row, col=col,
+                  fiber=fiber, layer=layer)

@@ -1,0 +1,236 @@
+"""SLATE's tiled Householder QR (Section V.B).
+
+The m x n matrix is tiled (``nb x nb``) block-cyclically on a
+``pr x pc`` grid.  Iteration ``k``:
+
+1. ``geqrt`` factors the diagonal tile (k,k); its panel work is
+   internally blocked by the tunable width ``w``, which we model by
+   splitting the kernel into ``ceil(nb/w)`` sub-kernels named
+   ``geqr2`` — the paper does *not* selectively execute these BLAS-2
+   panel kernels, so the autotuning harness passes
+   ``exclude={"geqr2"}`` to Critter.
+2. ``larfb`` applies the block reflector to the row-k tiles.
+3. A ``tpqrt`` chain walks down column k: each step stacks the current
+   R on the next tile, QRs the stack, and forwards the updated R; the
+   resulting (V, T) pairs drive ``tpmqrt`` updates of the paired
+   (k,j)/(i,j) tiles, with the top tile shipped to the bottom tile's
+   owner and back (SLATE's internode tile fetches).
+
+All communication is point-to-point (isend/recv), matching SLATE's
+task-based runtime.  Numeric mode carries real tiles and records every
+(Y, T) transform so tests can replay the factorization against numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.distribution import TileMap, tile_dim
+from repro.kernels import lapack
+from repro.kernels.signature import comp_signature
+from repro.sim.comm import Comm
+
+__all__ = ["SlateQRConfig", "slate_qr"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlateQRConfig:
+    """Tuning configuration of SLATE geqrf."""
+
+    m: int
+    n: int
+    nb: int   # tile / panel width
+    w: int    # inner (BLAS-2) blocking of the panel factorization
+    pr: int
+    pc: int
+
+    @property
+    def nprocs(self) -> int:
+        return self.pr * self.pc
+
+    def label(self) -> str:
+        return f"w={self.w} nb={self.nb} grid={self.pr}x{self.pc}"
+
+
+def _geqr2_spec(tm: int, tn: int, w: int):
+    """One inner-blocked panel sub-kernel (BLAS-2 flavored)."""
+    nchunks = max(1, math.ceil(tn / w))
+    sig, flops = lapack.geqrt_spec(tm, tn)
+    return comp_signature("geqr2", tm, tn, w), flops / nchunks
+
+
+def slate_qr(comm: Comm, config: SlateQRConfig,
+             a: Optional[np.ndarray] = None):
+    """Rank program; returns (tiles, transform log) in numeric mode."""
+    tmap = TileMap(config.m, config.n, config.nb, config.pr, config.pc)
+    me = comm.rank
+    mt, nt = tmap.mt, tmap.nt
+    numeric = a is not None
+
+    tiles: Dict[Tuple[int, int], np.ndarray] = {}
+    if numeric:
+        for (i, j) in tmap.tiles_of(me):
+            r0, r1 = i * config.nb, min((i + 1) * config.nb, config.m)
+            c0, c1 = j * config.nb, min((j + 1) * config.nb, config.n)
+            tiles[(i, j)] = a[r0:r1, c0:c1].astype(float).copy()
+    tlog: List[Tuple[str, int, int, np.ndarray, np.ndarray]] = []
+
+    # message tags: one namespace per (phase, k, i, j)
+    def tag(phase: int, k: int, i: int = 0, j: int = 0) -> int:
+        return ((phase * (nt + 1) + k) * (mt + 1) + i) * (nt + 1) + j
+
+    vt_cache: Dict[Tuple[int, int], object] = {}
+
+    def get_vt(k: int, i: int, src_owner: int, nbytes: int):
+        """(V, T) of chain step i (i == k means the diagonal geqrt's)."""
+        if src_owner == me:
+            return vt_cache.get((k, i))
+        key = (k, i)
+        if key not in vt_cache:
+            val = yield comm.recv(source=src_owner, tag=tag(0, k, i), nbytes=nbytes)
+            vt_cache[key] = val
+        return vt_cache[key]
+
+    for k in range(nt):
+        kk_owner = tmap.owner(k, k)
+        tmk = tile_dim(k, config.nb, config.m)
+        tnk = tile_dim(k, config.nb, config.n)
+        vt_bytes = 8 * (tmk * tnk + tnk * tnk)
+
+        # ---- 1: geqrt on the diagonal tile, inner-blocked by w ----
+        if me == kk_owner:
+            nchunks = max(1, math.ceil(tnk / config.w))
+            for q in range(nchunks):
+                if numeric and q == nchunks - 1:
+                    def f_geqrt(t=tiles, k_=k, log=tlog, cache=vt_cache,
+                                tn=tnk):
+                        y, tmat, r = lapack.qr_factor(t[(k_, k_)])
+                        full = np.zeros_like(t[(k_, k_)])
+                        full[:tn, :] = r
+                        t[(k_, k_)] = full
+                        log.append(("geqrt", k_, -1, y, tmat))
+                        cache[(k_, k_)] = (y, tmat)
+                    yield comm.compute(_geqr2_spec(tmk, tnk, config.w), fn=f_geqrt)
+                else:
+                    yield comm.compute(_geqr2_spec(tmk, tnk, config.w))
+            dests = {tmap.owner(k, j) for j in range(k + 1, nt)} - {me}
+            for d in sorted(dests):
+                yield comm.isend(payload=vt_cache.get((k, k)), dest=d,
+                                 tag=tag(0, k, k), nbytes=vt_bytes)
+
+        # ---- 2: larfb on the row-k tiles ----
+        row_js = tmap.row_tiles(me, k, k + 1)
+        if row_js:
+            vt = yield from get_vt(k, k, kk_owner, vt_bytes)
+            for j in row_js:
+                tnj = tile_dim(j, config.nb, config.n)
+                if numeric and vt is not None:
+                    def f_larfb(t=tiles, k_=k, j_=j, vt_=vt):
+                        y, tmat = vt_
+                        t[(k_, j_)] = lapack.apply_qt(y, tmat, t[(k_, j_)])
+                    yield comm.compute(lapack.larfb_spec(tmk, tnj, tnk), fn=f_larfb)
+                else:
+                    yield comm.compute(lapack.larfb_spec(tmk, tnj, tnk))
+
+        # ---- 3: tpqrt chain down column k with paired tpmqrt updates ----
+        r_holder = kk_owner   # rank currently holding the running R
+        r_val = None
+        if me == kk_owner and numeric:
+            r_val = tiles[(k, k)][:tnk, :].copy()
+        for i in range(k + 1, mt):
+            oi = tmap.owner(i, k)
+            tmi = tile_dim(i, config.nb, config.m)
+            rbytes = 8 * tnk * tnk
+            if me == r_holder and me != oi:
+                yield comm.isend(payload=r_val, dest=oi, tag=tag(1, k, i),
+                                 nbytes=rbytes)
+            if me == oi:
+                if me != r_holder:
+                    r_val = yield comm.recv(source=r_holder, tag=tag(1, k, i),
+                                            nbytes=rbytes)
+                if numeric:
+                    def f_tpqrt(t=tiles, k_=k, i_=i, log=tlog, cache=vt_cache,
+                                tn=tnk):
+                        nonlocal r_val
+                        stack = np.vstack([r_val, t[(i_, k_)]])
+                        y, tmat, r_new = lapack.qr_factor(stack)
+                        r_val = r_new
+                        t[(i_, k_)] = np.zeros_like(t[(i_, k_)])
+                        log.append(("tpqrt", k_, i_, y, tmat))
+                        cache[(k_, i_)] = (y, tmat)
+                    yield comm.compute(lapack.tpqrt_spec(tmi, tnk), fn=f_tpqrt)
+                else:
+                    yield comm.compute(lapack.tpqrt_spec(tmi, tnk))
+                vt_i_bytes = 8 * ((tnk + tmi) * tnk + tnk * tnk)
+                dests = {tmap.owner(i, j) for j in range(k + 1, nt)} - {me}
+                for d in sorted(dests):
+                    yield comm.isend(payload=vt_cache.get((k, i)), dest=d,
+                                     tag=tag(0, k, i), nbytes=vt_i_bytes)
+            r_holder = oi
+
+            # paired updates of (k,j) on top of (i,j)
+            for j in range(k + 1, nt):
+                top_owner = tmap.owner(k, j)
+                bot_owner = tmap.owner(i, j)
+                tnj = tile_dim(j, config.nb, config.n)
+                top_bytes = 8 * tnk * tnj
+                if me == top_owner and me != bot_owner:
+                    yield comm.isend(payload=tiles.get((k, j)), dest=bot_owner,
+                                     tag=tag(2, k, i, j), nbytes=top_bytes)
+                if me == bot_owner:
+                    vt_i_bytes = 8 * ((tnk + tmi) * tnk + tnk * tnk)
+                    vt_i = yield from get_vt(k, i, tmap.owner(i, k), vt_i_bytes)
+                    if me != top_owner:
+                        top = yield comm.recv(source=top_owner,
+                                              tag=tag(2, k, i, j),
+                                              nbytes=top_bytes)
+                    else:
+                        top = tiles.get((k, j))
+                    if numeric and vt_i is not None:
+                        def f_tpmqrt(t=tiles, k_=k, i_=i, j_=j, vt_=vt_i,
+                                     top_=top, tn=tnk):
+                            y, tmat = vt_
+                            stack = np.vstack([top_[:tn, :], t[(i_, j_)]])
+                            out = lapack.apply_qt(y, tmat, stack)
+                            new_top = top_.copy()
+                            new_top[:tn, :] = out[:tn, :]
+                            t[(i_, j_)] = out[tn:, :]
+                            t["__top__"] = new_top
+                        yield comm.compute(lapack.tpmqrt_spec(tmi, tnj, tnk),
+                                           fn=f_tpmqrt)
+                        new_top = tiles.pop("__top__", top)
+                    else:
+                        yield comm.compute(lapack.tpmqrt_spec(tmi, tnj, tnk))
+                        new_top = top
+                    if me != top_owner:
+                        yield comm.isend(payload=new_top, dest=top_owner,
+                                         tag=tag(3, k, i, j), nbytes=top_bytes)
+                    else:
+                        if numeric:
+                            tiles[(k, j)] = new_top
+                if me == top_owner and me != bot_owner:
+                    updated = yield comm.recv(source=bot_owner,
+                                              tag=tag(3, k, i, j),
+                                              nbytes=top_bytes)
+                    if numeric:
+                        tiles[(k, j)] = updated
+
+        # ---- chain end: running R returns to the diagonal owner ----
+        if r_holder != kk_owner:
+            rbytes = 8 * tnk * tnk
+            if me == r_holder:
+                yield comm.isend(payload=r_val, dest=kk_owner,
+                                 tag=tag(4, k), nbytes=rbytes)
+            if me == kk_owner:
+                r_final = yield comm.recv(source=r_holder, tag=tag(4, k),
+                                          nbytes=rbytes)
+                if numeric:
+                    tiles[(k, k)][:tnk, :] = r_final
+        elif me == kk_owner and numeric and mt > k + 1:
+            tiles[(k, k)][:tnk, :] = r_val
+
+    return (tiles, tlog) if numeric else None

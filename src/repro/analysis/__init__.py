@@ -1,0 +1,6 @@
+"""Reporting helpers for benchmark output."""
+
+from repro.analysis.figures import ascii_chart, sweep_chart
+from repro.analysis.report import fmt, format_table, save_csv
+
+__all__ = ["fmt", "format_table", "save_csv", "ascii_chart", "sweep_chart"]

@@ -1,0 +1,111 @@
+"""Terminal line charts for sweep series.
+
+The paper's figures are gnuplot line charts; benches and examples in
+this repository print their data as tables, and — for quick visual
+inspection over SSH — as ASCII charts rendered by this module.  Charts
+support multiple named series, linear or log2 y-scaling, and mark the
+full-execution reference line.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ascii_chart", "sweep_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: Sequence[float], log2: bool) -> List[float]:
+    if not log2:
+        return list(values)
+    return [math.log2(v) if v > 0 else float("-inf") for v in values]
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Optional[Sequence[str]] = None,
+    title: str = "",
+    height: int = 12,
+    width: Optional[int] = None,
+    log2_y: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Points of each series are plotted column-wise with one marker per
+    series; collisions show the later series' marker.  The y axis is
+    annotated with the min/mid/max values (pre-log values when
+    ``log2_y``).
+    """
+    names = list(series)
+    if not names:
+        return "(empty chart)"
+    n = len(next(iter(series.values())))
+    for name in names:
+        if len(series[name]) != n:
+            raise ValueError("all series must share the x axis")
+    cols = width if width is not None else max(3 * n, 24)
+    scaled = {name: _scale(series[name], log2_y) for name in names}
+    finite = [v for vals in scaled.values() for v in vals if math.isfinite(v)]
+    if not finite:
+        return "(no finite data)"
+    lo, hi = min(finite), max(finite)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * cols for _ in range(height)]
+    for si, name in enumerate(names):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for i, v in enumerate(scaled[name]):
+            if not math.isfinite(v):
+                continue
+            x = round(i * (cols - 1) / max(n - 1, 1))
+            y = round((v - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y][x] = marker
+
+    def fmt_val(v: float) -> str:
+        raw = 2.0**v if log2_y else v
+        return f"{raw:.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_w = max(len(fmt_val(hi)), len(fmt_val(lo))) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = fmt_val(hi)
+        elif r == height - 1:
+            label = fmt_val(lo)
+        elif r == height // 2:
+            label = fmt_val((hi + lo) / 2)
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_w}} |{''.join(row)}")
+    lines.append(f"{'':>{axis_w}} +{'-' * cols}")
+    if x_labels:
+        overflow = max(len(str(l)) for l in x_labels)
+        xl = [" "] * (cols + overflow)
+        for i, lab in enumerate(x_labels):
+            x = round(i * (cols - 1) / max(n - 1, 1))
+            for j, ch in enumerate(str(lab)):
+                xl[x + j] = ch
+        lines.append(f"{'':>{axis_w}}  {''.join(xl).rstrip()}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"{'':>{axis_w}}  {legend}" + (f"   [y: {y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def sweep_chart(sweep, metric: str, title: str = "", log2_y: bool = False,
+                reference: Optional[float] = None) -> str:
+    """Chart one metric of a :class:`~repro.autotune.sweep.SweepResult`."""
+    series = {p: sweep.series(p, metric) for p in sweep.policies}
+    if reference is not None:
+        series["full-exec"] = [reference] * len(sweep.tolerances)
+    labels = [f"2^{int(math.log2(e))}" for e in sweep.tolerances]
+    return ascii_chart(series, x_labels=labels,
+                       title=title or f"{sweep.space_name}: {metric}",
+                       log2_y=log2_y, y_label=metric)

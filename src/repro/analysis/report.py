@@ -1,0 +1,55 @@
+"""Plain-text table / CSV rendering for benchmark outputs.
+
+Benchmarks print the same rows the paper's figures plot; these helpers
+keep the formatting consistent and optionally persist the series under
+``results/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "save_csv", "fmt"]
+
+
+def fmt(x, width: int = 10, prec: int = 4) -> str:
+    """Format a cell: floats in engineering-friendly form, rest as str."""
+    if isinstance(x, float):
+        if x == 0.0:
+            s = "0"
+        elif abs(x) >= 1e5 or 0 < abs(x) < 1e-3:
+            s = f"{x:.{prec}g}"
+        else:
+            s = f"{x:.{prec}f}"
+    else:
+        s = str(x)
+    return s.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    width: int = 12,
+) -> str:
+    """Render an aligned text table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    head = " ".join(str(h).rjust(width) for h in headers)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in rows:
+        lines.append(" ".join(fmt(c, width) for c in row))
+    return "\n".join(lines)
+
+
+def save_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Write rows as CSV, creating parent directories; returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(",".join(str(h) for h in headers) + "\n")
+        for row in rows:
+            f.write(",".join(repr(c) if isinstance(c, float) else str(c) for c in row) + "\n")
+    return path

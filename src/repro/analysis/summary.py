@@ -1,0 +1,144 @@
+"""Markdown summaries of benchmark results.
+
+``pytest benchmarks/`` writes every figure's series to ``results/*.csv``;
+this module digests those files back into the measured-vs-paper summary
+tables of EXPERIMENTS.md, so the experiment record can be regenerated
+from a fresh run with one call (or ``python -m repro.analysis.summary``).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SeriesFile", "load_series", "speedup_summary", "error_summary",
+           "selection_summary", "render_summary"]
+
+
+@dataclass(slots=True)
+class SeriesFile:
+    """One figure CSV: per-policy series over the tolerance axis."""
+
+    name: str
+    tolerances: List[float]
+    series: Dict[str, List[float]]
+
+    @property
+    def policies(self) -> List[str]:
+        return [p for p in self.series if p != "full-exec"]
+
+    @property
+    def reference(self) -> Optional[float]:
+        ref = self.series.get("full-exec")
+        return ref[0] if ref else None
+
+
+def load_series(path: str) -> SeriesFile:
+    """Parse a per-policy figure CSV written by the benches."""
+    with open(path, newline="", encoding="utf-8") as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+
+    def parse_tol(x: str) -> float:
+        # benches write either raw floats ("0.0625") or "2^-4" labels
+        if x.startswith("2^"):
+            return 2.0 ** float(x[2:])
+        return float(x)
+
+    tolerances = [parse_tol(x) for x in header[1:]]
+    series = {r[0]: [float(x) for x in r[1:]] for r in body}
+    return SeriesFile(
+        name=os.path.splitext(os.path.basename(path))[0],
+        tolerances=tolerances,
+        series=series,
+    )
+
+
+def speedup_summary(sf: SeriesFile) -> List[Tuple[str, float, float]]:
+    """(policy, speedup at loosest eps, speedup at tightest eps)."""
+    ref = sf.reference
+    if ref is None:
+        raise ValueError(f"{sf.name} lacks a full-exec reference row")
+    out = []
+    for p in sf.policies:
+        s = sf.series[p]
+        out.append((p, ref / s[0], ref / s[-1]))
+    return out
+
+
+def error_summary(sf: SeriesFile) -> List[Tuple[str, float, float]]:
+    """(policy, log2 error at loosest eps, at tightest eps)."""
+    return [(p, sf.series[p][0], sf.series[p][-1]) for p in sf.policies]
+
+
+def selection_summary(path: str) -> float:
+    """Worst selection quality across all policies and tolerances."""
+    sf = load_series(path)
+    return min(v for p in sf.policies for v in sf.series[p])
+
+
+def render_summary(results_dir: str = "results") -> str:
+    """Render a markdown digest of everything found in ``results_dir``."""
+    lines: List[str] = ["# Benchmark results digest", ""]
+
+    def p(line: str = "") -> None:
+        lines.append(line)
+
+    time_figs = sorted(
+        f for f in os.listdir(results_dir)
+        if f.endswith(".csv") and ("search_time" in f or "kernel" in f and "error" not in f)
+    )
+    if time_figs:
+        p("## Search / kernel time speedups (vs full execution)")
+        p()
+        p("| figure | policy | loosest eps | tightest eps |")
+        p("|---|---|---|---|")
+        for fname in time_figs:
+            try:
+                sf = load_series(os.path.join(results_dir, fname))
+                rows = speedup_summary(sf)
+            except (ValueError, IndexError):
+                continue
+            for policy, loose, tight in rows:
+                p(f"| {sf.name} | {policy} | {loose:.2f}x | {tight:.2f}x |")
+        p()
+
+    err_figs = sorted(
+        f for f in os.listdir(results_dir)
+        if f.endswith(".csv") and "error" in f and "per_config" not in f
+    )
+    if err_figs:
+        p("## Mean log2 prediction errors")
+        p()
+        p("| figure | policy | loosest eps | tightest eps |")
+        p("|---|---|---|---|")
+        for fname in err_figs:
+            sf = load_series(os.path.join(results_dir, fname))
+            for policy, loose, tight in error_summary(sf):
+                p(f"| {sf.name} | {policy} | 2^{loose:.1f} | 2^{tight:.1f} |")
+        p()
+
+    sel_figs = sorted(
+        f for f in os.listdir(results_dir)
+        if f.startswith("selection_quality") and f.endswith(".csv")
+    )
+    if sel_figs:
+        p("## Configuration selection quality (worst case)")
+        p()
+        p("| space | worst quality |")
+        p("|---|---|")
+        for fname in sel_figs:
+            worst = selection_summary(os.path.join(results_dir, fname))
+            space = fname.replace("selection_quality_", "").replace(".csv", "")
+            p(f"| {space} | {worst:.3f} |")
+        p()
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    print(render_summary(sys.argv[1] if len(sys.argv) > 1 else "results"))

@@ -1,0 +1,61 @@
+"""Autotuning harness: configuration spaces, exhaustive tuner, sweeps."""
+
+from repro.autotune.configspace import (
+    SPACES,
+    ConfigSpace,
+    candmc_qr_space,
+    capital_cholesky_space,
+    slate_cholesky_space,
+    slate_qr_space,
+)
+from repro.autotune.metrics import (
+    ERROR_FLOOR,
+    log2_error,
+    mean_log2_error,
+    relative_error,
+    selection_quality,
+    speedup,
+)
+from repro.autotune.search import (
+    ExhaustiveSearch,
+    RandomSearch,
+    SearchResult,
+    SuccessiveHalving,
+)
+from repro.autotune.sweep import SweepResult, default_tolerances, tolerance_sweep
+from repro.autotune.tuner import (
+    ConfigOutcome,
+    ExhaustiveTuner,
+    GroundTruth,
+    TuningResult,
+    default_machine,
+    measure_ground_truth,
+)
+
+__all__ = [
+    "ConfigSpace",
+    "SPACES",
+    "capital_cholesky_space",
+    "slate_cholesky_space",
+    "candmc_qr_space",
+    "slate_qr_space",
+    "relative_error",
+    "mean_log2_error",
+    "log2_error",
+    "speedup",
+    "selection_quality",
+    "ERROR_FLOOR",
+    "ExhaustiveTuner",
+    "TuningResult",
+    "ConfigOutcome",
+    "GroundTruth",
+    "measure_ground_truth",
+    "default_machine",
+    "SweepResult",
+    "tolerance_sweep",
+    "default_tolerances",
+    "SearchResult",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "SuccessiveHalving",
+]

@@ -1,0 +1,190 @@
+"""The paper's four tuning configuration spaces (Section V.C).
+
+Each space reproduces the exact enumeration formulas of the paper; the
+``paper_scale`` constructors give the published dimensions (16384^2 on
+512 KNL cores etc.), while the default constructors produce
+simulator-sized instances with the *same structure*: identical
+configuration counts, identical ``v % 5``-style parameter formulas, the
+same n/b and m/n ratios, and the same grid-shape progression.  Scaling
+factors are recorded so EXPERIMENTS.md can state precisely what was
+run.
+
+Paper formulas (configuration index v):
+
+* Capital Cholesky, 15 configs: b = B0 * 2^(v%5),
+  base-case strategy = ceil((v+1)/5); paper B0=128, n=16384, p=512.
+* SLATE Cholesky, 20 configs: pipeline depth = v%2,
+  tile = T0 + dT * floor(v/2); paper T0=256, dT=64, n=65536, p=1024.
+* CANDMC QR, 15 configs: b = B0 * 2^(v%5),
+  grid = (PR0 * 2^floor(v/5)) x (PC0 / 2^floor(v/5));
+  paper B0=8, 131072 x 8192, 64x64 grid base, p=4096.
+* SLATE QR, 63 configs: w = W0 * 2^(v%3),
+  panel = NB0 + dNB * (floor(v/3) % 7),
+  grid = (PR0 / 2^floor(v/21)) x (PC0 * 2^floor(v/21));
+  paper W0=8, NB0=256, dNB=64, 65536 x 4096, 64x4 grid base, p=256.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+from repro.algorithms.candmc_qr import CandmcQRConfig, candmc_qr
+from repro.algorithms.capital_cholesky import CapitalCholeskyConfig, capital_cholesky
+from repro.algorithms.slate_cholesky import SlateCholeskyConfig, slate_cholesky
+from repro.algorithms.slate_qr import SlateQRConfig, slate_qr
+
+__all__ = [
+    "ConfigSpace",
+    "capital_cholesky_space",
+    "slate_cholesky_space",
+    "candmc_qr_space",
+    "slate_qr_space",
+    "SPACES",
+]
+
+
+@dataclass(frozen=True)
+class ConfigSpace:
+    """An algorithm plus an enumerated configuration list to tune over."""
+
+    name: str
+    program: Callable
+    configs: Tuple
+    nprocs: int
+    #: kernel names excluded from selective execution for this workload
+    exclude: frozenset = frozenset()
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def labels(self):
+        return [c.label() for c in self.configs]
+
+    def args_for(self, config) -> Tuple:
+        return (config,)
+
+
+# ----------------------------------------------------------------------
+# Capital Cholesky: {block size} x {base-case strategy}
+# ----------------------------------------------------------------------
+def capital_cholesky_space(
+    n: int = 512, c: int = 2, b0: int = 4, nconf: int = 15
+) -> ConfigSpace:
+    """15 configs: b = b0 * 2^(v%5), strategy = ceil((v+1)/5).
+
+    Paper scale: ``capital_cholesky_space(n=16384, c=8, b0=128)``.
+    Defaults keep the paper's n/b ratios (128 down to 8).
+    """
+    configs = tuple(
+        CapitalCholeskyConfig(
+            n=n, block=b0 * 2 ** (v % 5), c=c,
+            base_strategy=math.ceil((v + 1) / 5),
+        )
+        for v in range(nconf)
+    )
+    return ConfigSpace(
+        name="capital_cholesky",
+        program=capital_cholesky,
+        configs=configs,
+        nprocs=c**3,
+        description=f"Capital Cholesky {n}x{n} on {c ** 3} ranks (3D {c}^3 grid)",
+    )
+
+
+# ----------------------------------------------------------------------
+# SLATE Cholesky: {tile size} x {pipeline depth}
+# ----------------------------------------------------------------------
+def slate_cholesky_space(
+    n: int = 1024, pr: int = 2, pc: int = 2, t0: int = 64, dt: int = 16,
+    nconf: int = 20,
+) -> ConfigSpace:
+    """20 configs: lookahead = v%2, tile = t0 + dt * floor(v/2).
+
+    Paper scale: ``slate_cholesky_space(n=65536, pr=32, pc=32, t0=256, dt=64)``.
+    """
+    configs = tuple(
+        SlateCholeskyConfig(
+            n=n, nb=t0 + dt * (v // 2), pr=pr, pc=pc, lookahead=v % 2
+        )
+        for v in range(nconf)
+    )
+    return ConfigSpace(
+        name="slate_cholesky",
+        program=slate_cholesky,
+        configs=configs,
+        nprocs=pr * pc,
+        description=f"SLATE Cholesky {n}x{n} on {pr * pc} ranks ({pr}x{pc} grid)",
+    )
+
+
+# ----------------------------------------------------------------------
+# CANDMC QR: {block size} x {2D processor grid shape}
+# ----------------------------------------------------------------------
+def candmc_qr_space(
+    m: int = 1024, n: int = 128, p: int = 16, pr0: int = 4, b0: int = 2,
+    nconf: int = 15,
+) -> ConfigSpace:
+    """15 configs: b = b0 * 2^(v%5), grid = (pr0 * 2^(v//5)) x (p/(pr0 * 2^(v//5))).
+
+    Paper scale: ``candmc_qr_space(m=131072, n=8192, p=4096, pr0=64, b0=8)``.
+    Defaults keep m/n = 8 and the three-grid progression.
+    """
+    configs = tuple(
+        CandmcQRConfig(
+            m=m, n=n, b=b0 * 2 ** (v % 5),
+            pr=pr0 * 2 ** (v // 5), pc=p // (pr0 * 2 ** (v // 5)),
+        )
+        for v in range(nconf)
+    )
+    return ConfigSpace(
+        name="candmc_qr",
+        program=candmc_qr,
+        configs=configs,
+        nprocs=p,
+        description=f"CANDMC QR {m}x{n} on {p} ranks",
+    )
+
+
+# ----------------------------------------------------------------------
+# SLATE QR: {w, panel width} x {2D processor grid shape}
+# ----------------------------------------------------------------------
+def slate_qr_space(
+    m: int = 256, n: int = 64, p: int = 8, pr0: int = 8, nb0: int = 8,
+    dnb: int = 2, w0: int = 2, nconf: int = 63,
+) -> ConfigSpace:
+    """63 configs: w = w0 * 2^(v%3), nb = nb0 + dnb * (floor(v/3)%7),
+    grid = (pr0 / 2^floor(v/21)) x ((p/pr0) * 2^floor(v/21)).
+
+    Paper scale: ``slate_qr_space(m=65536, n=4096, p=256, pr0=64, nb0=256,
+    dnb=64, w0=8)``.
+    """
+    configs = tuple(
+        SlateQRConfig(
+            m=m, n=n,
+            nb=nb0 + dnb * ((v // 3) % 7),
+            w=w0 * 2 ** (v % 3),
+            pr=pr0 // 2 ** (v // 21),
+            pc=(p // pr0) * 2 ** (v // 21),
+        )
+        for v in range(nconf)
+    )
+    return ConfigSpace(
+        name="slate_qr",
+        program=slate_qr,
+        configs=configs,
+        nprocs=p,
+        exclude=frozenset({"geqr2"}),
+        description=f"SLATE QR {m}x{n} on {p} ranks",
+    )
+
+
+#: registry used by benchmarks and examples
+SPACES = {
+    "capital_cholesky": capital_cholesky_space,
+    "slate_cholesky": slate_cholesky_space,
+    "candmc_qr": candmc_qr_space,
+    "slate_qr": slate_qr_space,
+}

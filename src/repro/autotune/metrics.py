@@ -1,0 +1,68 @@
+"""Evaluation metrics (Section VI.A).
+
+The paper evaluates Critter by: relative prediction error per
+configuration, mean relative prediction error across configurations
+(plotted as log2), autotuning speedup across the configuration space,
+and the quality of the selected (predicted-optimal) configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "relative_error",
+    "mean_log2_error",
+    "log2_error",
+    "speedup",
+    "selection_quality",
+    "ERROR_FLOOR",
+]
+
+#: errors are floored here before taking log2 (exact predictions happen
+#: in quiet-noise tests; the paper's axes likewise bottom out at 2^-10)
+ERROR_FLOOR = 2.0**-14
+
+
+def relative_error(predicted: float, truth: float) -> float:
+    """|predicted - truth| / truth (0 truth with 0 prediction -> 0)."""
+    if truth == 0.0:
+        return 0.0 if predicted == 0.0 else math.inf
+    return abs(predicted - truth) / abs(truth)
+
+
+def log2_error(err: float, floor: float = ERROR_FLOOR) -> float:
+    return math.log2(max(err, floor))
+
+
+def mean_log2_error(errors: Iterable[float], floor: float = ERROR_FLOOR) -> float:
+    """Mean of log2 relative errors — the y-axis of Figs. 4d-f / 5d-f."""
+    errs = list(errors)
+    if not errs:
+        return log2_error(0.0, floor)
+    return sum(log2_error(e, floor) for e in errs) / len(errs)
+
+
+def speedup(baseline_time: float, tuned_time: float) -> float:
+    """Autotuning speedup: baseline search time / accelerated search time."""
+    if tuned_time <= 0.0:
+        return math.inf
+    return baseline_time / tuned_time
+
+
+def selection_quality(
+    predicted_times: Sequence[float], true_times: Sequence[float]
+) -> float:
+    """Fraction of optimal performance achieved by the predicted winner.
+
+    1.0 means Critter selected the truly optimal configuration; the
+    paper reports >= 0.99 for Cholesky and 1.0 for QR.
+    """
+    if not predicted_times or len(predicted_times) != len(true_times):
+        raise ValueError("prediction/truth length mismatch")
+    chosen = min(range(len(predicted_times)), key=predicted_times.__getitem__)
+    best = min(true_times)
+    if true_times[chosen] <= 0.0:
+        return 1.0
+    return best / true_times[chosen]

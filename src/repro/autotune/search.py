@@ -1,0 +1,167 @@
+"""Search strategies over configuration spaces.
+
+The paper evaluates Critter under *exhaustive* search ("As our framework
+can be applied to accelerate any configuration-space search strategy, we
+use exhaustive search to evaluate the efficiency of Critter") — but the
+acceleration composes with any enumeration order and any pruning rule.
+This module provides the strategies a practical tuner would use, all
+sharing the per-configuration measurement protocol of
+:class:`~repro.autotune.tuner.ExhaustiveTuner`:
+
+* :class:`ExhaustiveSearch`   — visit everything (the paper's baseline),
+* :class:`RandomSearch`       — a uniformly sampled subset,
+* :class:`SuccessiveHalving`  — measure cheaply everywhere, keep the
+  predicted-best half, re-measure with more repetitions, repeat; the
+  natural fit for Critter, whose *predictions* are cheap and whose
+  accuracy grows with repetitions.
+
+Each strategy returns a :class:`SearchResult` with the total tuning
+cost, the chosen configuration, and the selection quality against the
+supplied ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.autotune.configspace import ConfigSpace
+from repro.autotune.tuner import GroundTruth, _seed_for, measure_ground_truth
+from repro.critter.core import Critter
+from repro.critter.policies import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+
+__all__ = ["SearchResult", "ExhaustiveSearch", "RandomSearch", "SuccessiveHalving"]
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of one search strategy run."""
+
+    strategy: str
+    chosen: int                       # configuration index
+    tuning_time: float                # total simulated search cost
+    evaluations: int                  # number of selective runs performed
+    predictions: Dict[int, float]     # config index -> predicted time
+    ground: Optional[List[GroundTruth]] = None
+
+    @property
+    def selection_quality(self) -> float:
+        if not self.ground:
+            raise ValueError("ground truth required for selection quality")
+        best = min(g.mean_time for g in self.ground)
+        return best / self.ground[self.chosen].mean_time
+
+
+class _StrategyBase:
+    """Shared measurement machinery."""
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        machine: Machine,
+        policy: str = "online",
+        eps: float = 2**-3,
+        seed: int = 0,
+        ground_truth: Optional[List[GroundTruth]] = None,
+    ) -> None:
+        self.space = space
+        self.machine = machine
+        self.policy = make_policy(policy)
+        self.eps = eps
+        self.seed = seed
+        self.ground = ground_truth
+        self._critter = Critter(policy=self.policy, eps=eps, exclude=space.exclude)
+        self.evaluations = 0
+
+    def _measure(self, idx: int, reps: int, rep_offset: int = 0) -> tuple[float, float]:
+        """Run ``reps`` selective executions of config ``idx``.
+
+        Returns (wall cost, predicted execution time)."""
+        if self.policy.resets_between_configs:
+            self._critter.reset_statistics()
+        cost = 0.0
+        for rep in range(reps):
+            res = Simulator(self.machine, profiler=self._critter).run(
+                self.space.program,
+                args=self.space.args_for(self.space.configs[idx]),
+                run_seed=_seed_for(self.seed, idx, rep_offset + rep),
+            )
+            cost += res.makespan
+            self.evaluations += 1
+        return cost, self._critter.last_report.predicted_exec_time
+
+
+class ExhaustiveSearch(_StrategyBase):
+    """The paper's protocol: every configuration, equal repetitions."""
+
+    name = "exhaustive"
+
+    def run(self, reps: int = 3) -> SearchResult:
+        total = 0.0
+        preds: Dict[int, float] = {}
+        for idx in range(len(self.space)):
+            cost, pred = self._measure(idx, reps)
+            total += cost
+            preds[idx] = pred
+        chosen = min(preds, key=preds.get)
+        return SearchResult(self.name, chosen, total, self.evaluations,
+                            preds, self.ground)
+
+
+class RandomSearch(_StrategyBase):
+    """Uniformly sample a budget of configurations."""
+
+    name = "random"
+
+    def run(self, budget: int, reps: int = 3) -> SearchResult:
+        rng = random.Random(self.seed * 7919 + 13)
+        budget = min(budget, len(self.space))
+        picks = rng.sample(range(len(self.space)), budget)
+        total = 0.0
+        preds: Dict[int, float] = {}
+        for idx in picks:
+            cost, pred = self._measure(idx, reps)
+            total += cost
+            preds[idx] = pred
+        chosen = min(preds, key=preds.get)
+        return SearchResult(self.name, chosen, total, self.evaluations,
+                            preds, self.ground)
+
+
+class SuccessiveHalving(_StrategyBase):
+    """Measure everything cheaply, halve on predictions, deepen reps.
+
+    Critter's statistics persist within a configuration between rounds
+    (non-eager policies reset only when a *different* configuration is
+    measured), so surviving configurations get progressively cheaper
+    *and* more accurately predicted — the synergy the paper's Section
+    VII anticipates between pruning-based tuners and selective
+    execution.
+    """
+
+    name = "successive-halving"
+
+    def run(self, base_reps: int = 1, eta: int = 2) -> SearchResult:
+        alive = list(range(len(self.space)))
+        total = 0.0
+        preds: Dict[int, float] = {}
+        reps = base_reps
+        round_no = 0
+        while alive:
+            for idx in alive:
+                cost, pred = self._measure(idx, reps, rep_offset=round_no * 16)
+                total += cost
+                preds[idx] = pred
+            if len(alive) == 1:
+                break
+            alive.sort(key=lambda i: preds[i])
+            alive = alive[: max(1, len(alive) // eta)]
+            reps *= eta
+            round_no += 1
+        chosen = min(preds, key=preds.get)
+        return SearchResult(self.name, chosen, total, self.evaluations,
+                            preds, self.ground)

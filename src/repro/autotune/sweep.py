@@ -1,0 +1,118 @@
+"""Tolerance sweeps: the experiment grids behind Figures 4 and 5.
+
+A sweep runs the exhaustive tuner for every (policy, tolerance) pair,
+reusing one set of ground-truth full executions across all points (the
+truth does not depend on the selective method).  The result object
+exposes the exact series the paper plots:
+
+* search time vs. log2(eps) per policy        (Figs. 4a/4b, 5a/5b)
+* max-rank kernel time vs. log2(eps)          (Figs. 4c, 5c)
+* mean log2 prediction error vs. log2(eps)    (Figs. 4d-f, 5d-f)
+* per-configuration error at selected eps     (Figs. 4g/4h, 5g/5h)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.autotune.configspace import ConfigSpace
+from repro.autotune.tuner import (
+    ExhaustiveTuner,
+    GroundTruth,
+    TuningResult,
+    default_machine,
+    measure_ground_truth,
+)
+from repro.sim.machine import Machine
+
+__all__ = ["SweepResult", "tolerance_sweep", "default_tolerances"]
+
+
+def default_tolerances(lo_exp: int = -10, hi_exp: int = 0) -> List[float]:
+    """The paper's tolerance axis: eps = 2^0 .. 2^-10."""
+    return [2.0**e for e in range(hi_exp, lo_exp - 1, -1)]
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All tuning results of one space's (policy x tolerance) grid."""
+
+    space_name: str
+    policies: List[str]
+    tolerances: List[float]
+    reps: int
+    points: Dict[Tuple[str, float], TuningResult] = field(default_factory=dict)
+    ground: List[GroundTruth] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def full_search_time(self) -> float:
+        """The red full-execution reference line."""
+        return sum(g.mean_time * self.reps for g in self.ground)
+
+    @property
+    def full_kernel_time(self) -> float:
+        return sum(g.max_rank_kernel_time * self.reps for g in self.ground)
+
+    @property
+    def full_comp_kernel_time(self) -> float:
+        return sum(g.max_rank_comp_time * self.reps for g in self.ground)
+
+    def result(self, policy: str, eps: float) -> TuningResult:
+        return self.points[(policy, eps)]
+
+    def series(self, policy: str, metric: str) -> List[float]:
+        """Metric values across the tolerance axis for one policy."""
+        out = []
+        for eps in self.tolerances:
+            res = self.points[(policy, eps)]
+            out.append(getattr(res, metric))
+        return out
+
+    def per_config_errors(self, policy: str, eps: float,
+                          metric: str = "exec_error") -> List[float]:
+        res = self.points[(policy, eps)]
+        return [getattr(o, metric) for o in res.outcomes]
+
+    def log2_tolerances(self) -> List[float]:
+        return [math.log2(e) for e in self.tolerances]
+
+
+def tolerance_sweep(
+    space: ConfigSpace,
+    machine: Optional[Machine] = None,
+    policies: Sequence[str] = ("conditional", "local", "online", "apriori"),
+    tolerances: Optional[Sequence[float]] = None,
+    reps: int = 5,
+    full_reps: int = 3,
+    seed: int = 0,
+    progress: bool = False,
+) -> SweepResult:
+    """Run the full (policy x tolerance) grid for one space."""
+    machine = machine or default_machine(space, seed)
+    tolerances = list(tolerances if tolerances is not None else default_tolerances())
+    ground = measure_ground_truth(space, machine, full_reps, seed)
+    sweep = SweepResult(
+        space_name=space.name,
+        policies=list(policies),
+        tolerances=tolerances,
+        reps=reps,
+        ground=ground,
+    )
+    for policy in policies:
+        for eps in tolerances:
+            tuner = ExhaustiveTuner(
+                space, machine, policy=policy, eps=eps, reps=reps,
+                full_reps=full_reps, seed=seed, ground_truth=ground,
+            )
+            sweep.points[(policy, eps)] = tuner.run()
+            if progress:
+                r = sweep.points[(policy, eps)]
+                print(
+                    f"  {space.name} {policy:12s} eps=2^{math.log2(eps):+.0f} "
+                    f"search={r.search_time:.4f}s speedup={r.search_speedup:.2f}x "
+                    f"err=2^{r.mean_log2_exec_error:+.1f}"
+                )
+    return sweep

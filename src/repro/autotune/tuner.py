@@ -1,0 +1,289 @@
+"""Exhaustive autotuning driver (Section VI protocol).
+
+For every configuration in a space the tuner performs:
+
+1. **Ground truth** — ``full_reps`` full executions (never-skip
+   Critter); their mean makespan is the configuration's true time and
+   their critical-path metrics the truth for computation-time
+   prediction.  These are *not* charged to the search (the paper
+   measures them "directly prior to the approximated one" purely for
+   error evaluation).
+2. **Offline pass** — for the apriori policy only: one extra full
+   execution whose critical-path kernel counts seed the confidence
+   scaling; its wall time *is* charged to the search (this is why
+   apriori shows no net speedup in Fig. 4a).
+3. **Selective executions** — ``reps`` runs under the chosen policy and
+   tolerance, statistics persisting across the reps; their total wall
+   time is the configuration's tuning cost and the last run's pathset
+   provides the predicted execution/computation time.
+
+Statistics reset between configurations for every policy except eager
+propagation, which deliberately reuses kernel models across
+configurations (Section VI.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.autotune.configspace import ConfigSpace
+from repro.autotune.metrics import (
+    mean_log2_error,
+    relative_error,
+    selection_quality,
+    speedup,
+)
+from repro.critter.core import Critter
+from repro.critter.pathset import PathMetrics
+from repro.critter.policies import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.noise import NoiseModel
+
+__all__ = ["GroundTruth", "ConfigOutcome", "TuningResult", "ExhaustiveTuner",
+           "measure_ground_truth", "default_machine"]
+
+
+def default_machine(space: ConfigSpace, seed: int = 0) -> Machine:
+    return Machine(nprocs=space.nprocs, seed=seed)
+
+
+@dataclass(slots=True)
+class GroundTruth:
+    """Full-execution reference for one configuration."""
+
+    times: List[float]
+    path: PathMetrics
+    max_rank_comp_time: float
+    max_rank_kernel_time: float
+
+    @property
+    def mean_time(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def noise_cv(self) -> float:
+        """Observed run-to-run variability (the environment noise level)."""
+        m = self.mean_time
+        if len(self.times) < 2 or m == 0.0:
+            return 0.0
+        var = sum((t - m) ** 2 for t in self.times) / (len(self.times) - 1)
+        return var**0.5 / m
+
+
+@dataclass(slots=True)
+class ConfigOutcome:
+    """Per-configuration result of one tuning pass."""
+
+    index: int
+    label: str
+    full_time: float
+    full_path: PathMetrics
+    tuning_time: float          # selective reps (+ offline pass if any)
+    offline_time: float
+    predicted: PathMetrics
+    max_rank_kernel_time: float  # summed over selective reps
+    max_rank_comp_time: float
+    skip_fraction: float
+    exec_error: float = 0.0
+    comp_error: float = 0.0
+
+    def finalize(self) -> None:
+        self.exec_error = relative_error(self.predicted.exec_time, self.full_time)
+        self.comp_error = relative_error(
+            self.predicted.comp_time, self.full_path.comp_time
+        )
+
+
+@dataclass(slots=True)
+class TuningResult:
+    """Outcome of exhaustively tuning a space with one (policy, eps)."""
+
+    space_name: str
+    policy: str
+    eps: float
+    reps: int
+    outcomes: List[ConfigOutcome] = field(default_factory=list)
+
+    # -- search cost -----------------------------------------------------
+    @property
+    def search_time(self) -> float:
+        """Exhaustive-search execution time (the y-axis of Figs. 4a/5a)."""
+        return sum(o.tuning_time for o in self.outcomes)
+
+    @property
+    def full_search_time(self) -> float:
+        """Search time had every kernel been executed (the red line)."""
+        return sum(o.full_time * self.reps for o in self.outcomes)
+
+    @property
+    def search_speedup(self) -> float:
+        return speedup(self.full_search_time, self.search_time)
+
+    @property
+    def kernel_time(self) -> float:
+        """Max-rank selectively-executed kernel wall time (Figs. 4c/5c)."""
+        return sum(o.max_rank_kernel_time for o in self.outcomes)
+
+    @property
+    def comp_kernel_time(self) -> float:
+        return sum(o.max_rank_comp_time for o in self.outcomes)
+
+    # -- prediction error --------------------------------------------------
+    @property
+    def exec_errors(self) -> List[float]:
+        return [o.exec_error for o in self.outcomes]
+
+    @property
+    def comp_errors(self) -> List[float]:
+        return [o.comp_error for o in self.outcomes]
+
+    @property
+    def mean_log2_exec_error(self) -> float:
+        return mean_log2_error(self.exec_errors)
+
+    @property
+    def mean_log2_comp_error(self) -> float:
+        return mean_log2_error(self.comp_errors)
+
+    # -- configuration selection -------------------------------------------
+    @property
+    def predicted_best(self) -> int:
+        return min(range(len(self.outcomes)),
+                   key=lambda i: self.outcomes[i].predicted.exec_time)
+
+    @property
+    def true_best(self) -> int:
+        return min(range(len(self.outcomes)),
+                   key=lambda i: self.outcomes[i].full_time)
+
+    @property
+    def selection_quality(self) -> float:
+        return selection_quality(
+            [o.predicted.exec_time for o in self.outcomes],
+            [o.full_time for o in self.outcomes],
+        )
+
+
+def _full_critter(space: ConfigSpace) -> Critter:
+    return Critter(policy="never-skip", exclude=space.exclude)
+
+
+def measure_ground_truth(
+    space: ConfigSpace,
+    machine: Optional[Machine] = None,
+    full_reps: int = 3,
+    seed: int = 0,
+) -> List[GroundTruth]:
+    """Full executions of every configuration (shared across sweeps)."""
+    machine = machine or default_machine(space, seed)
+    truths: List[GroundTruth] = []
+    for idx, config in enumerate(space.configs):
+        cr = _full_critter(space)
+        times = []
+        for rep in range(full_reps):
+            sim = Simulator(machine, profiler=cr)
+            res = sim.run(space.program, args=space.args_for(config),
+                          run_seed=_seed_for(seed, idx, rep, full=True))
+            times.append(res.makespan)
+        rep0 = cr.last_report
+        truths.append(GroundTruth(
+            times=times,
+            path=rep0.predicted,
+            max_rank_comp_time=rep0.max_rank_comp_time,
+            max_rank_kernel_time=rep0.max_rank_kernel_time,
+        ))
+    return truths
+
+
+def _seed_for(base: int, idx: int, rep: int, full: bool = False,
+              offline: bool = False) -> int:
+    kind = 2 if offline else (1 if full else 0)
+    return ((base * 1009 + idx) * 64 + rep) * 4 + kind
+
+
+class ExhaustiveTuner:
+    """Runs the paper's exhaustive-search protocol on one space."""
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        machine: Optional[Machine] = None,
+        policy: str = "online",
+        eps: float = 0.05,
+        reps: int = 5,
+        full_reps: int = 3,
+        confidence: float = 0.95,
+        min_samples: int = 2,
+        seed: int = 0,
+        ground_truth: Optional[List[GroundTruth]] = None,
+    ) -> None:
+        self.space = space
+        self.machine = machine or default_machine(space, seed)
+        self.policy = make_policy(policy)
+        self.eps = float(eps)
+        self.reps = int(reps)
+        self.full_reps = int(full_reps)
+        self.confidence = confidence
+        self.min_samples = min_samples
+        self.seed = seed
+        self._ground = ground_truth
+
+    # ------------------------------------------------------------------
+    def run(self) -> TuningResult:
+        space = self.space
+        if self._ground is None:
+            self._ground = measure_ground_truth(
+                space, self.machine, self.full_reps, self.seed
+            )
+        critter = Critter(
+            policy=self.policy,
+            eps=self.eps,
+            confidence=self.confidence,
+            min_samples=self.min_samples,
+            exclude=space.exclude,
+        )
+        result = TuningResult(
+            space_name=space.name, policy=self.policy.name,
+            eps=self.eps, reps=self.reps,
+        )
+        for idx, config in enumerate(space.configs):
+            if self.policy.resets_between_configs:
+                critter.reset_statistics()
+            offline_time = 0.0
+            if self.policy.needs_offline_counts:
+                pre = _full_critter(space)
+                res = Simulator(self.machine, profiler=pre).run(
+                    space.program, args=space.args_for(config),
+                    run_seed=_seed_for(self.seed, idx, 0, offline=True),
+                )
+                offline_time = res.makespan
+                critter.seed_path_counts(pre.last_path_counts)
+            tuning_time = offline_time
+            kernel_time = 0.0
+            comp_time = 0.0
+            for rep in range(self.reps):
+                res = Simulator(self.machine, profiler=critter).run(
+                    space.program, args=space.args_for(config),
+                    run_seed=_seed_for(self.seed, idx, rep),
+                )
+                tuning_time += res.makespan
+                kernel_time += critter.last_report.max_rank_kernel_time
+                comp_time += critter.last_report.max_rank_comp_time
+            truth = self._ground[idx]
+            outcome = ConfigOutcome(
+                index=idx,
+                label=config.label(),
+                full_time=truth.mean_time,
+                full_path=truth.path,
+                tuning_time=tuning_time,
+                offline_time=offline_time,
+                predicted=critter.last_report.predicted,
+                max_rank_kernel_time=kernel_time,
+                max_rank_comp_time=comp_time,
+                skip_fraction=critter.last_report.skip_fraction,
+            )
+            outcome.finalize()
+            result.outcomes.append(outcome)
+        return result

@@ -1,0 +1,5 @@
+"""BSP cost accounting: analytic models backing the Fig. 3 trade-offs."""
+
+from repro.bsp.costs import BSPCost, capital_cholesky_bsp, candmc_qr_bsp
+
+__all__ = ["BSPCost", "capital_cholesky_bsp", "candmc_qr_bsp"]

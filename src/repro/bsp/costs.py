@@ -1,0 +1,55 @@
+"""Analytic BSP cost models (Section V) for validating measurements.
+
+The paper states the bulk-synchronous-parallel costs of Capital's
+Cholesky and CANDMC's QR; the test suite checks that the simulator's
+measured critical-path counters (supersteps, words, flops) scale with
+block size and grid shape the way these formulas predict, and the
+Fig. 3 benches print them alongside the measured series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BSPCost", "capital_cholesky_bsp", "candmc_qr_bsp"]
+
+
+@dataclass(frozen=True, slots=True)
+class BSPCost:
+    """Leading-order BSP cost terms (unit coefficients).
+
+    ``latency`` counts supersteps (the alpha term), ``bandwidth`` words
+    moved along the critical path (beta), ``flops`` operations (gamma).
+    """
+
+    latency: float
+    bandwidth: float
+    flops: float
+
+    def time(self, alpha: float, beta: float, gamma: float) -> float:
+        """Evaluate under machine parameters (words assumed 8 bytes)."""
+        return (
+            alpha * self.latency
+            + beta * 8.0 * self.bandwidth
+            + gamma * self.flops
+        )
+
+
+def capital_cholesky_bsp(n: int, b: int, p: int) -> BSPCost:
+    """Theta(alpha n/b + beta (n^2/p^(2/3) + nb) + gamma (n^3/p + nb^2))."""
+    return BSPCost(
+        latency=n / b,
+        bandwidth=n * n / p ** (2.0 / 3.0) + n * b,
+        flops=n**3 / p + n * b * b,
+    )
+
+
+def candmc_qr_bsp(m: int, n: int, b: int, pr: int, pc: int) -> BSPCost:
+    """Theta(alpha n/b + beta (mn/pr + n^2/pc + nb)
+    + gamma (mn^2/p + nb^2 + mnb/pr + n^2 b/pc))."""
+    p = pr * pc
+    return BSPCost(
+        latency=n / b,
+        bandwidth=m * n / pr + n * n / pc + n * b,
+        flops=m * n * n / p + n * b * b + m * n * b / pr + n * n * b / pc,
+    )

@@ -1,0 +1,177 @@
+"""Command-line interface: tune, sweep, and profile from a shell.
+
+Examples::
+
+    python -m repro.cli spaces
+    python -m repro.cli profile capital_cholesky --config 3
+    python -m repro.cli tune capital_cholesky --policy online --eps -4
+    python -m repro.cli sweep slate_cholesky --policies conditional,online \
+        --exponents 0,-2,-4 --chart
+
+Tolerance exponents follow the paper's axis: ``--eps -4`` means
+``eps = 2^-4``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table, sweep_chart
+from repro.autotune import (
+    SPACES,
+    ExhaustiveTuner,
+    default_machine,
+    measure_ground_truth,
+    tolerance_sweep,
+)
+from repro.critter import Critter, format_kernel_profile
+from repro.critter.policies import POLICY_NAMES
+from repro.sim import Simulator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Critter reproduction: approximate autotuning on a "
+                    "simulated distributed-memory machine",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("spaces", help="list the tuning configuration spaces")
+
+    t = sub.add_parser("tune", help="exhaustively tune one space")
+    t.add_argument("space", choices=sorted(SPACES))
+    t.add_argument("--policy", default="online",
+                   choices=POLICY_NAMES, help="selective-execution policy")
+    t.add_argument("--eps", type=int, default=-3,
+                   help="confidence tolerance exponent: eps = 2^EPS")
+    t.add_argument("--reps", type=int, default=3)
+    t.add_argument("--full-reps", type=int, default=3)
+    t.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("sweep", help="tolerance sweep over one space")
+    s.add_argument("space", choices=sorted(SPACES))
+    s.add_argument("--policies", default="conditional,online",
+                   help="comma-separated policy list")
+    s.add_argument("--exponents", default="0,-2,-4,-6,-8",
+                   help="comma-separated tolerance exponents")
+    s.add_argument("--reps", type=int, default=3)
+    s.add_argument("--full-reps", type=int, default=3)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--metric", default="search_time",
+                   help="TuningResult metric to report")
+    s.add_argument("--chart", action="store_true",
+                   help="also render an ASCII chart")
+
+    f = sub.add_parser("profile", help="full critical-path profile of one config")
+    f.add_argument("space", choices=sorted(SPACES))
+    f.add_argument("--config", type=int, default=0, help="configuration index")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--top", type=int, default=12, help="kernels to list")
+    return p
+
+
+def _cmd_spaces() -> int:
+    rows = []
+    for name in sorted(SPACES):
+        space = SPACES[name]()
+        rows.append([name, len(space.configs), space.nprocs, space.description])
+    print(format_table(["space", "configs", "ranks", "description"], rows,
+                       width=24))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    space = SPACES[args.space]()
+    machine = default_machine(space, seed=args.seed)
+    eps = 2.0**args.eps
+    print(f"tuning {space.description}: policy={args.policy}, eps=2^{args.eps}, "
+          f"reps={args.reps}")
+    result = ExhaustiveTuner(
+        space, machine, policy=args.policy, eps=eps, reps=args.reps,
+        full_reps=args.full_reps, seed=args.seed,
+    ).run()
+    rows = [
+        [o.index, o.label, o.full_time, o.predicted.exec_time,
+         100.0 * o.exec_error, f"{o.skip_fraction:.0%}"]
+        for o in result.outcomes
+    ]
+    print(format_table(
+        ["cfg", "label", "true_s", "pred_s", "err_%", "skipped"], rows,
+        width=14,
+    ))
+    best = result.outcomes[result.predicted_best]
+    print(f"\nsearch time {result.search_time:.4f}s "
+          f"(speedup {result.search_speedup:.2f}x vs full execution)")
+    print(f"chosen: config {best.index} ({best.label}) — "
+          f"selection quality {result.selection_quality:.1%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    space = SPACES[args.space]()
+    machine = default_machine(space, seed=args.seed)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    tolerances = [2.0**int(e) for e in args.exponents.split(",")]
+    sweep = tolerance_sweep(space, machine, policies=policies,
+                            tolerances=tolerances, reps=args.reps,
+                            full_reps=args.full_reps, seed=args.seed)
+    headers = ["policy"] + [f"2^{int(math.log2(e))}" for e in tolerances]
+    rows = [[p] + sweep.series(p, args.metric) for p in policies]
+    ref = sweep.full_search_time if args.metric == "search_time" else None
+    if ref is not None:
+        rows.append(["full-exec"] + [ref] * len(tolerances))
+    print(format_table(headers, rows,
+                       title=f"{space.name}: {args.metric} vs tolerance"))
+    if args.chart:
+        print()
+        print(sweep_chart(sweep, args.metric, reference=ref))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    space = SPACES[args.space]()
+    if not 0 <= args.config < len(space.configs):
+        print(f"error: config must be in [0, {len(space.configs)})",
+              file=sys.stderr)
+        return 2
+    config = space.configs[args.config]
+    machine = default_machine(space, seed=args.seed)
+    critter = Critter(policy="never-skip", exclude=space.exclude)
+    res = Simulator(machine, profiler=critter).run(
+        space.program, args=space.args_for(config), run_seed=args.seed)
+    rep = critter.last_report
+    print(f"{space.description} — config {args.config} ({config.label()})")
+    print(f"execution time      : {res.makespan * 1e3:10.4f} ms")
+    print(f"critical-path time  : {rep.predicted_exec_time * 1e3:10.4f} ms")
+    print(f"  computation       : {rep.predicted_comp_time * 1e3:10.4f} ms")
+    print(f"  communication     : {rep.predicted.comm_time * 1e3:10.4f} ms")
+    print(f"path synchronizations: {rep.predicted.synchs:.0f}")
+    print(f"path bytes          : {rep.predicted.words:,.0f}")
+    print(f"path flops          : {rep.predicted.flops:,.0f}")
+    print(f"volumetric avg idle : {rep.volumetric['idle'] * 1e3:10.4f} ms")
+    print()
+    print(format_kernel_profile(critter, top=args.top))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "spaces":
+        return _cmd_spaces()
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Critter: the paper's approximate-autotuning framework.
+
+Public surface:
+
+* :class:`~repro.critter.core.Critter` — the profiling tool; attach it
+  to a :class:`repro.sim.Simulator` and it will intercept every kernel,
+  build statistical profiles along critical paths, and selectively
+  execute kernels to the configured confidence tolerance.
+* :mod:`~repro.critter.policies` — the five selective-execution
+  policies of Section IV.B plus the ``never-skip`` ground-truth mode.
+* :mod:`~repro.critter.stats` — single-pass statistics and the
+  confidence-interval predictability test.
+* :mod:`~repro.critter.channels` — aggregate-channel algebra for
+  propagating statistics across cartesian processor grids.
+* :mod:`~repro.critter.pathset` — pathsets: per-rank critical-path and
+  volumetric metric profiles.
+"""
+
+from repro.critter.channels import (
+    AggregateRegistry,
+    Channel,
+    combine_channels,
+    infer_channel,
+)
+from repro.critter.core import Critter, RunReport
+from repro.critter.extrapolation import ExtrapolatingModel, FamilyFit
+from repro.critter.report import KernelEntry, format_kernel_profile, kernel_profile
+from repro.critter.serialize import (
+    critter_state_to_dict,
+    load_critter_state,
+    read_critter_state,
+    save_critter_state,
+)
+from repro.critter.pathset import (
+    PathMetrics,
+    PathProfile,
+    critical_path,
+    volumetric_average,
+)
+from repro.critter.policies import POLICY_NAMES, Policy, make_policy
+from repro.critter.stats import RunningStat, is_predictable, relative_ci, z_value
+
+__all__ = [
+    "Critter",
+    "RunReport",
+    "ExtrapolatingModel",
+    "FamilyFit",
+    "KernelEntry",
+    "kernel_profile",
+    "format_kernel_profile",
+    "critter_state_to_dict",
+    "load_critter_state",
+    "save_critter_state",
+    "read_critter_state",
+    "Policy",
+    "make_policy",
+    "POLICY_NAMES",
+    "RunningStat",
+    "is_predictable",
+    "relative_ci",
+    "z_value",
+    "Channel",
+    "infer_channel",
+    "combine_channels",
+    "AggregateRegistry",
+    "PathMetrics",
+    "PathProfile",
+    "critical_path",
+    "volumetric_average",
+]

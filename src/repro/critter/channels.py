@@ -1,0 +1,204 @@
+"""Aggregate communication channels (Section III.B, Fig. 2 lines 0-26).
+
+A *channel* describes a communicator by the arithmetic structure of its
+world-rank set: an offset plus a list of ``(stride, size)`` dimensions,
+i.e. the rank set ``{offset + sum_i k_i * stride_i : 0 <= k_i < size_i}``.
+Communicators carved out of cartesian processor grids (rows, columns,
+fibers, slices) are exactly the channels with such a representation.
+
+Critter propagates kernel statistics along channels and *composes* them:
+two channels that intersect in exactly one rank and whose cartesian sum
+reproduces a full channel combine into an **aggregate** spanning both
+(e.g. a row channel and a column channel of a 2D grid combine into the
+whole grid).  Once a kernel's statistics have been propagated along a
+set of channels whose aggregate is *maximal* (covers the world
+communicator), every processor agrees the kernel is predictable and its
+execution can be switched off globally — the basis of the eager
+propagation policy.
+
+Channel ids are hashed "purely from (stride, size)" (Fig. 2 line 5) so
+congruent channels at different offsets share an id, which is what lets
+statistics gathered on different grid slices be recognized as covering
+the same dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.kernels.signature import stable_hash
+
+__all__ = ["Channel", "infer_channel", "combine_channels", "AggregateRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """A communicator's cartesian description.
+
+    ``dims`` is a tuple of ``(stride, size)`` pairs sorted by stride;
+    a single-rank channel has ``dims == ()``.
+    """
+
+    offset: int
+    dims: Tuple[Tuple[int, int], ...]
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for _, s in self.dims:
+            n *= s
+        return n
+
+    @property
+    def hash_id(self) -> int:
+        """Identity from (stride, size) only — offsets excluded (Fig. 2)."""
+        return stable_hash(self.dims)
+
+    def ranks(self) -> FrozenSet[int]:
+        """Materialize the world-rank set this channel describes."""
+        out = [self.offset]
+        for stride, size in self.dims:
+            out = [r + k * stride for r in out for k in range(size)]
+        return frozenset(out)
+
+    def contains(self, other: "Channel") -> bool:
+        """Set containment of the described rank sets."""
+        return other.ranks() <= self.ranks()
+
+    def is_maximal(self, world_size: int) -> bool:
+        return self.size == world_size
+
+    def __str__(self) -> str:
+        d = "x".join(f"(s{st},n{sz})" for st, sz in self.dims) or "(singleton)"
+        return f"Channel(off={self.offset}, {d})"
+
+
+def _factor_offsets(offsets: Sequence[int]) -> Optional[List[Tuple[int, int]]]:
+    """Factor a sorted, zero-based rank-offset list into (stride, size) dims.
+
+    Returns None when the set has no cartesian (mixed-radix) structure.
+    """
+    if len(offsets) <= 1:
+        return []
+    stride = offsets[1]
+    if stride <= 0:
+        return None
+    k = 1
+    while k < len(offsets) and offsets[k] == stride * k:
+        k += 1
+    if len(offsets) % k != 0:
+        return None
+    outer: List[int] = []
+    for j in range(len(offsets) // k):
+        base = offsets[j * k]
+        block = offsets[j * k : (j + 1) * k]
+        if any(block[i] != base + stride * i for i in range(k)):
+            return None
+        outer.append(base)
+    rest = _factor_offsets(outer)
+    if rest is None:
+        return None
+    return [(stride, k)] + rest
+
+
+def infer_channel(world_ranks: Sequence[int]) -> Optional[Channel]:
+    """Infer the channel of a communicator from its world-rank set.
+
+    This is what Critter's ``MPI_Comm_split`` interception computes from
+    the allgathered ranks (Fig. 2 lines 10-15).  Returns None for rank
+    sets without cartesian structure.
+    """
+    rs = sorted(set(int(r) for r in world_ranks))
+    if not rs:
+        return None
+    offsets = [r - rs[0] for r in rs]
+    dims = _factor_offsets(offsets)
+    if dims is None:
+        return None
+    return Channel(rs[0], tuple(sorted(dims)))
+
+
+def combine_channels(a: Channel, b: Channel) -> Optional[Channel]:
+    """Cartesian composition of two channels (Fig. 2 lines 17-25).
+
+    Succeeds when the channels intersect in exactly one rank and their
+    sum set ``{ra + rb - x0}`` is itself a channel of size
+    ``|a| * |b|`` — e.g. a row and a column of a processor grid combine
+    into the plane through their crossing point.
+    """
+    ra, rb = a.ranks(), b.ranks()
+    common = ra & rb
+    if len(common) != 1:
+        return None
+    x0 = next(iter(common))
+    combined = {p + q - x0 for p in ra for q in rb}
+    if len(combined) != a.size * b.size:
+        return None
+    return infer_channel(sorted(combined))
+
+
+class AggregateRegistry:
+    """Registry of channels and recursively-built aggregates.
+
+    Mirrors Fig. 2: ``MPI_Init`` registers the (maximal) world channel;
+    every ``MPI_Comm_split`` registers the new sub-communicator's
+    channel and then tries to combine it with known aggregates, XOR-ing
+    hash ids for the new aggregate's identity.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        self.world_size = world_size
+        self.world = Channel(0, ((1, world_size),))
+        #: hash id -> channel, including composed aggregates
+        self.aggregates: Dict[int, Channel] = {self.world.hash_id: self.world}
+        #: channels observed directly as communicators (gid -> channel)
+        self.by_group: Dict[int, Optional[Channel]] = {}
+
+    def register_world(self, gid: int) -> Channel:
+        self.by_group[gid] = self.world
+        return self.world
+
+    def register_split(self, gid: int, world_ranks: Sequence[int]) -> Optional[Channel]:
+        """Register a sub-communicator; recursively build aggregates."""
+        ch = infer_channel(world_ranks)
+        self.by_group[gid] = ch
+        if ch is None:
+            return None
+        self.aggregates.setdefault(ch.hash_id, ch)
+        # recursively combine with known aggregates (Fig. 2 lines 17-25)
+        for agg in list(self.aggregates.values()):
+            if agg.contains(ch) or ch.contains(agg):
+                continue
+            new = combine_channels(agg, ch)
+            if new is not None:
+                self.aggregates.setdefault(agg.hash_id ^ ch.hash_id, new)
+        return ch
+
+    def channel_of(self, gid: int) -> Optional[Channel]:
+        return self.by_group.get(gid)
+
+    def extend_coverage(
+        self, coverage: Optional[Channel], ch: Optional[Channel]
+    ) -> Optional[Channel]:
+        """Grow a kernel's statistics-propagation coverage by a channel.
+
+        Channels are normalized to offset 0 before combining — identity
+        is (stride, size) only, so statistics propagated along *any* row
+        of a grid count as covering the row dimension (Fig. 2 line 5).
+        Returns the new coverage (possibly unchanged); used by eager
+        propagation to decide when statistics have reached everyone.
+        """
+        if ch is None:
+            return coverage
+        norm = Channel(0, ch.dims)
+        if coverage is None:
+            return norm
+        cov = Channel(0, coverage.dims)
+        if cov.contains(norm):
+            return cov
+        combined = combine_channels(cov, norm)
+        return combined if combined is not None else cov
+
+    def covers_world(self, coverage: Optional[Channel]) -> bool:
+        return coverage is not None and coverage.size >= self.world_size

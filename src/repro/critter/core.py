@@ -1,0 +1,483 @@
+"""Critter: online execution-path analysis with selective kernel execution.
+
+This is the paper's contribution (Sections III-IV, Fig. 2), implemented
+against the simulator's PMPI-equivalent interception seam:
+
+* every rank owns two kernel sets — ``K`` (statistics of locally
+  executed kernels, persistent across runs until reset) and ``K~``
+  (kernel execution counts along the rank's current sub-critical path,
+  rebuilt each run) — plus a pathset ``P`` of path and volumetric
+  metrics;
+* on every communication kernel an *internal message* carrying
+  ``(execute flag, P.exec_time, K~ keys+freqs)`` is exchanged among the
+  participants (``PMPI_Allreduce`` for collectives, ``PMPI_Sendrecv``
+  for blocking p2p, buffered snapshot for nonblocking) — the
+  longest-path algorithm: ranks on shorter paths adopt the maximal
+  path's metrics and kernel frequencies;
+* the kernel is then selectively executed: computation kernels by local
+  decision, communication kernels only skipped when *all* participants
+  deem them predictable; skipped kernels contribute their sample mean
+  to the predicted path time;
+* under eager propagation, blocking collectives additionally aggregate
+  the statistics of predictable kernels across the sub-communicator and
+  track coverage through the aggregate-channel algebra; once coverage
+  is maximal the kernel is switched off globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.critter.channels import AggregateRegistry, Channel
+from repro.critter.extrapolation import ExtrapolatingModel
+from repro.critter.pathset import (
+    PathMetrics,
+    PathProfile,
+    critical_path,
+    volumetric_average,
+)
+from repro.critter.policies import Policy, make_policy
+from repro.critter.stats import RunningStat, is_predictable, z_value
+from repro.kernels.signature import KernelSignature, comm_signature
+from repro.sim.engine import CommGroup, P2PRecord, Simulator
+from repro.sim.profiler import Profiler
+
+__all__ = ["Critter", "RunReport"]
+
+
+@dataclass(slots=True)
+class RunReport:
+    """Summary of one simulated run under Critter."""
+
+    makespan: float
+    predicted: PathMetrics
+    volumetric: Dict[str, float]
+    max_rank_kernel_time: float
+    max_rank_comp_time: float
+    executed_kernels: int
+    skipped_kernels: int
+    run_seed: int = 0
+
+    @property
+    def predicted_exec_time(self) -> float:
+        return self.predicted.exec_time
+
+    @property
+    def predicted_comp_time(self) -> float:
+        return self.predicted.comp_time
+
+    @property
+    def skip_fraction(self) -> float:
+        total = self.executed_kernels + self.skipped_kernels
+        return self.skipped_kernels / total if total else 0.0
+
+
+class Critter(Profiler):
+    """The profiling tool: create once, attach to any number of runs.
+
+    Parameters
+    ----------
+    policy:
+        Selective-execution policy name (see
+        :mod:`repro.critter.policies`) or a :class:`Policy`.
+    eps:
+        Confidence tolerance: a kernel stops executing once the relative
+        size of its mean's confidence interval is at most ``eps``.
+    confidence:
+        Confidence level for the intervals (paper uses 95%).
+    min_samples:
+        Minimum number of measurements before a kernel may be skipped.
+
+    Statistics persist across runs (that is how repeated executions of
+    one configuration converge); call :meth:`reset_statistics` between
+    configurations, as the paper does for non-eager policies.
+    """
+
+    active = True
+
+    def __init__(
+        self,
+        policy: str | Policy = "online",
+        eps: float = 0.05,
+        confidence: float = 0.95,
+        min_samples: int = 2,
+        exclude: frozenset = frozenset(),
+        extrapolate: bool = False,
+        extrapolation_tolerance: float = 0.1,
+        path_criterion: str = "exec",
+    ) -> None:
+        self.policy = make_policy(policy)
+        self.eps = float(eps)
+        self.confidence = float(confidence)
+        self.z = z_value(self.confidence)
+        self.min_samples = int(min_samples)
+        #: kernel names never executed selectively (paper: SLATE QR's
+        #: BLAS-2 panel kernels are not candidates for selective execution)
+        self.exclude = frozenset(exclude)
+        #: Section VIII extension: family-level line fitting lets kernels
+        #: at never-measured input sizes be predicted and skipped
+        self.extrapolation: Optional[ExtrapolatingModel] = (
+            ExtrapolatingModel(rel_tolerance=extrapolation_tolerance)
+            if extrapolate
+            else None
+        )
+        #: which path's kernel frequencies losers adopt at sync points —
+        #: Fig. 2's path-propagation logic "can be modified to reflect
+        #: various protocols" (Section II.B): "exec" is the longest-path
+        #: algorithm [3], "comm"/"comp" follow those cost metrics'
+        #: critical paths, "slack" filters out idle time [4]
+        if path_criterion not in ("exec", "comm", "comp", "slack"):
+            raise ValueError(
+                f"path_criterion must be exec|comm|comp|slack, got {path_criterion!r}"
+            )
+        self.path_criterion = path_criterion
+
+        self.nprocs: Optional[int] = None
+        self.machine = None
+        self.registry: Optional[AggregateRegistry] = None
+
+        # persistent across runs (until reset_statistics)
+        self._K: Optional[List[Dict[KernelSignature, RunningStat]]] = None
+        self._global_off: Set[KernelSignature] = set()
+        self._coverage: Dict[KernelSignature, Channel] = {}
+        self._apriori: Optional[List[Dict[KernelSignature, int]]] = None
+
+        # per-run state
+        self.profiles: List[PathProfile] = []
+        self._Kt: List[Dict[KernelSignature, int]] = []
+        self._exec_first: List[Set[KernelSignature]] = []
+        self._run_seed = 0
+
+        self.reports: List[RunReport] = []
+        self.last_report: Optional[RunReport] = None
+        #: per-rank path counts of the last run (used to seed apriori)
+        self.last_path_counts: List[Dict[KernelSignature, int]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_run(self, sim: Simulator, run_seed: int) -> None:
+        p = sim.machine.nprocs
+        if self.nprocs is None:
+            self.nprocs = p
+            self._K = [dict() for _ in range(p)]
+            self.registry = AggregateRegistry(p)
+        elif self.nprocs != p:
+            raise ValueError(
+                f"Critter instance bound to {self.nprocs} ranks, got {p}; "
+                "use a fresh instance (or reset) when the world size changes"
+            )
+        self.machine = sim.machine
+        self.registry.by_group.clear()
+        self.profiles = [PathProfile() for _ in range(p)]
+        self._Kt = [dict() for _ in range(p)]
+        self._exec_first = [set() for _ in range(p)]
+        self._run_seed = run_seed
+
+    def end_run(self, sim: Simulator, makespan: float) -> None:
+        rep = RunReport(
+            makespan=makespan,
+            predicted=critical_path(self.profiles),
+            volumetric=volumetric_average(self.profiles),
+            max_rank_kernel_time=max(p.kernel_wall_time for p in self.profiles),
+            max_rank_comp_time=max(p.vol_exec_comp for p in self.profiles),
+            executed_kernels=sum(p.executed_kernels for p in self.profiles),
+            skipped_kernels=sum(p.skipped_kernels for p in self.profiles),
+            run_seed=self._run_seed,
+        )
+        self.reports.append(rep)
+        self.last_report = rep
+        self.last_path_counts = [dict(kt) for kt in self._Kt]
+
+    def reset_statistics(self) -> None:
+        """Forget all kernel statistics (paper: before each new config)."""
+        if self._K is not None:
+            for k in self._K:
+                k.clear()
+        self._global_off.clear()
+        self._coverage.clear()
+        self._apriori = None
+        if self.extrapolation is not None:
+            self.extrapolation.reset()
+
+    def seed_path_counts(self, tables: List[Dict[KernelSignature, int]]) -> None:
+        """Provide offline critical-path execution counts (apriori policy)."""
+        self._apriori = [dict(t) for t in tables]
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def _alpha(self, rank: int, key: KernelSignature) -> int:
+        st = self._K[rank].get(key)
+        local = st.count if st is not None else 0
+        path = self._Kt[rank].get(key, 0)
+        offline = self._apriori[rank].get(key) if self._apriori else None
+        return self.policy.alpha(local, path, offline)
+
+    def _local_decision(self, rank: int, key: KernelSignature,
+                        flops: float = 0.0) -> bool:
+        """True = execute; the per-rank part of Fig. 2's ``initialize_msg``."""
+        if self.policy.never_skip:
+            return True
+        if key.name in self.exclude:
+            return True
+        if self.policy.eager and key in self._global_off:
+            return False
+        st = self._K[rank].get(key)
+        if self.extrapolation is not None and (st is None or st.count < self.min_samples):
+            # Section VIII line fitting: an unmeasured size whose family
+            # fits tightly may be skipped without its forced execution
+            if self.extrapolation.predict(key, flops) is not None:
+                return False
+        if self.policy.force_first_execution and key not in self._exec_first[rank]:
+            return True
+        if st is None:
+            return True
+        return not is_predictable(
+            st, self.eps, self.z, self._alpha(rank, key), self.min_samples
+        )
+
+    def _path_value(self, rank: int) -> float:
+        """The metric by which sync-point path winners are chosen."""
+        prof = self.profiles[rank]
+        if self.path_criterion == "exec":
+            return prof.path.exec_time
+        if self.path_criterion == "comm":
+            return prof.path.comm_time
+        if self.path_criterion == "comp":
+            return prof.path.comp_time
+        # slack method: discount time spent waiting (idle) — ranks whose
+        # progress is mostly wait states lose the path election
+        return prof.path.exec_time - prof.vol_idle
+
+    def _stat(self, rank: int, key: KernelSignature) -> RunningStat:
+        st = self._K[rank].get(key)
+        if st is None:
+            st = RunningStat()
+            self._K[rank][key] = st
+        return st
+
+    def _mean_or_zero(self, rank: int, key: KernelSignature,
+                      flops: float = 0.0) -> float:
+        st = self._K[rank].get(key)
+        if st is not None and st.count:
+            return st.mean
+        if self.extrapolation is not None:
+            pred = self.extrapolation.predict(key, flops)
+            if pred is not None:
+                return pred
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def on_world(self, group: CommGroup) -> None:
+        self.registry.register_world(group.gid)
+
+    def on_comm_split(self, parent: CommGroup, subgroups: List[CommGroup]) -> None:
+        for g in subgroups:
+            self.registry.register_split(g.gid, g.world_ranks)
+
+    def intercept_cost(self, nranks: int) -> float:
+        return self.machine.internal_cost(nranks) if self.machine else 0.0
+
+    # ------------------------------------------------------------------
+    # computational kernels
+    # ------------------------------------------------------------------
+    def on_compute(self, rank: int, sig: KernelSignature, flops: float) -> bool:
+        return self._local_decision(rank, sig, flops)
+
+    def post_compute(
+        self, rank: int, sig: KernelSignature, executed: bool, elapsed: float,
+        flops: float,
+    ) -> None:
+        if executed:
+            self._stat(rank, sig).update(elapsed)
+            self._exec_first[rank].add(sig)
+            if self.extrapolation is not None:
+                self.extrapolation.observe(sig, flops, elapsed)
+            predicted = elapsed
+        else:
+            predicted = self._mean_or_zero(rank, sig, flops)
+        self._Kt[rank][sig] = self._Kt[rank].get(sig, 0) + 1
+        self.profiles[rank].add_compute(predicted, elapsed, flops, executed)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def on_collective(
+        self,
+        group: CommGroup,
+        sig: KernelSignature,
+        root: int,
+        arrivals: Dict[int, float],
+    ) -> bool:
+        # the internal allreduce of execute flags: the user communication
+        # is skipped only when ALL participants deem it predictable
+        return any(self._local_decision(r, sig) for r in group.world_ranks)
+
+    def post_collective(
+        self,
+        group: CommGroup,
+        sig: KernelSignature,
+        arrivals: Dict[int, float],
+        executed: bool,
+        comm_time: float,
+        completion: float,
+    ) -> None:
+        members = group.world_ranks
+        # --- longest-path propagation (the internal PMPI_Allreduce) ---
+        winner = max(members, key=self._path_value)
+        wvalue = self._path_value(winner)
+        wpath = self.profiles[winner].path.copy()
+        wcounts = dict(self._Kt[winner])
+        for r in members:
+            if r != winner and self._path_value(r) < wvalue:
+                self._Kt[r] = dict(wcounts)
+            self.profiles[r].path.merge_max(wpath)
+        # --- selective execution accounting ---
+        start = max(arrivals.values())
+        nbytes = sig.params[0]
+        if executed and self.extrapolation is not None:
+            self.extrapolation.observe(sig, 0.0, comm_time)
+        for r in members:
+            if executed:
+                self._stat(r, sig).update(comm_time)
+                self._exec_first[r].add(sig)
+                predicted = comm_time
+            else:
+                predicted = self._mean_or_zero(r, sig)
+            self._Kt[r][sig] = self._Kt[r].get(sig, 0) + 1
+            self.profiles[r].add_comm(
+                predicted,
+                comm_time if executed else 0.0,
+                nbytes,
+                executed,
+                start - arrivals[r],
+            )
+        # --- eager propagation: aggregate statistics along the channel ---
+        if self.policy.eager:
+            self._aggregate_statistics(group)
+
+    def _aggregate_statistics(self, group: CommGroup) -> None:
+        """Fig. 2 ``aggregate_statistics``: share predictable kernels' stats.
+
+        Merges every participant's statistics for kernels any of them
+        deems predictable, distributes the merged statistics back, and
+        extends the kernel's channel coverage; full coverage switches
+        the kernel off globally.
+        """
+        channel = self.registry.channel_of(group.gid)
+        if channel is None:
+            return
+        members = group.world_ranks
+        candidates: Set[KernelSignature] = set()
+        for r in members:
+            for key, st in self._K[r].items():
+                if key in self._global_off:
+                    continue
+                if is_predictable(st, self.eps, self.z, 1, self.min_samples):
+                    candidates.add(key)
+        for key in candidates:
+            old_cov = self._coverage.get(key)
+            cov = self.registry.extend_coverage(old_cov, channel)
+            if old_cov is not None and cov.size == old_cov.size:
+                # channel adds no new processors: re-merging the same
+                # (already shared) statistics would double-count samples
+                continue
+            merged = RunningStat()
+            for r in members:
+                st = self._K[r].get(key)
+                if st is not None:
+                    merged.merge(st)
+            for r in members:
+                self._K[r][key] = merged.copy()
+            self._coverage[key] = cov
+            if self.registry.covers_world(cov):
+                self._global_off.add(key)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _endpoint_key(sig: KernelSignature, sending: bool) -> KernelSignature:
+        return comm_signature("send" if sending else "recv", *sig.params)
+
+    def on_p2p_post(self, record: P2PRecord) -> None:
+        if record.kind == "isend":
+            # buffered internal message: snapshot the sender's path state
+            r = record.world_rank
+            record.snapshot = (self.profiles[r].path.copy(), dict(self._Kt[r]))
+
+    def on_p2p(self, sig: KernelSignature, send: P2PRecord, recv: P2PRecord) -> bool:
+        skey = self._endpoint_key(sig, True)
+        rkey = self._endpoint_key(sig, False)
+        return self._local_decision(send.world_rank, skey) or self._local_decision(
+            recv.world_rank, rkey
+        )
+
+    def post_p2p(
+        self,
+        sig: KernelSignature,
+        send: P2PRecord,
+        recv: P2PRecord,
+        executed: bool,
+        comm_time: float,
+        completion: float,
+    ) -> None:
+        s, r = send.world_rank, recv.world_rank
+        # --- path propagation ---
+        if send.kind == "send":
+            # blocking pair: the internal PMPI_Sendrecv exchanges paths both ways
+            sp, sc = self.profiles[s].path.copy(), dict(self._Kt[s])
+            rp, rc = self.profiles[r].path.copy(), dict(self._Kt[r])
+            sv, rv = self._path_value(s), self._path_value(r)
+            if rv > sv:
+                self._Kt[s] = dict(rc)
+            elif sv > rv:
+                self._Kt[r] = dict(sc)
+            self.profiles[s].path.merge_max(rp)
+            self.profiles[r].path.merge_max(sp)
+        else:
+            # buffered (isend): only the receiver learns the sender's path,
+            # from the snapshot taken at post time (PMPI_Bsend semantics)
+            snap = send.snapshot
+            if snap is not None:
+                snap_path, snap_counts = snap
+                if snap_path.exec_time > self.profiles[r].path.exec_time:
+                    self._Kt[r] = dict(snap_counts)
+                self.profiles[r].path.merge_max(snap_path)
+        # --- accounting per endpoint ---
+        start = max(send.post_time, recv.post_time)
+        nbytes = sig.params[0]
+        for rank, key, posted, blocking, kind in (
+            (s, self._endpoint_key(sig, True), send.post_time, send.blocking,
+             send.kind),
+            (r, self._endpoint_key(sig, False), recv.post_time, recv.blocking,
+             recv.kind),
+        ):
+            if executed:
+                self._stat(rank, key).update(comm_time)
+                self._exec_first[rank].add(key)
+                if self.extrapolation is not None:
+                    self.extrapolation.observe(key, 0.0, comm_time)
+                predicted = comm_time
+            else:
+                predicted = self._mean_or_zero(rank, key)
+            self._Kt[rank][key] = self._Kt[rank].get(key, 0) + 1
+            idle = (start - posted) if blocking else 0.0
+            # a buffered isend returns immediately: the sender's path and
+            # wall time do not absorb the transfer (Fig. 2: its kernel
+            # time is observed at MPI_Wait, which overlaps computation)
+            if kind == "isend":
+                predicted = 0.0
+                charged = 0.0
+            else:
+                charged = comm_time if executed else 0.0
+            self.profiles[rank].add_comm(predicted, charged, nbytes, executed, idle)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return f"Critter(policy={self.policy.name}, eps={self.eps:g}, conf={self.confidence:g})"

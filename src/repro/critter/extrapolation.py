@@ -1,0 +1,203 @@
+"""Kernel performance-model extrapolation across input sizes.
+
+Section VIII of the paper identifies the key extension to its
+methodology: "Extrapolation of individual kernel performance models to
+characterize kernel performance across varying input sizes can benefit
+a wide class of algorithms, including CANDMC's pipelined QR
+factorization algorithm.  Such line-fitting approaches can permit
+kernel execution to be more selective."
+
+The problem it solves: CANDMC-style algorithms execute kernels on a
+gradually shrinking trailing matrix, producing *many distinct
+signatures* each observed only a few times — per-signature confidence
+intervals never tighten, so selective execution stalls (the paper's
+Fig. 5a shows the resulting 1.2x ceiling).
+
+This module implements the line-fitting approach: kernels are grouped
+into *families* (same routine name), and each family gets a least-
+squares model of execution time against the kernel's analytic
+complexity (flops for computation kernels, a latency/bandwidth pair for
+communication kernels).  Once a family's fit is tight — relative RMS
+residual below the tolerance, with enough distinct sizes observed — any
+signature in the family can be predicted (and skipped) *without ever
+having been measured*.
+
+``ExtrapolatingModel`` is self-contained and consumed by
+:class:`repro.critter.core.Critter` when ``extrapolate=True``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernels.signature import KernelSignature
+
+__all__ = ["FamilyFit", "ExtrapolatingModel"]
+
+
+@dataclass(slots=True)
+class _FamilyData:
+    """Per-(routine-name) observations: features -> mean time."""
+
+    # signature -> (features, sum_t, count)
+    obs: Dict[KernelSignature, Tuple[Tuple[float, ...], float, int]] = field(
+        default_factory=dict
+    )
+
+    def add(self, sig: KernelSignature, features: Tuple[float, ...], t: float) -> None:
+        cur = self.obs.get(sig)
+        if cur is None:
+            self.obs[sig] = (features, t, 1)
+        else:
+            f, s, c = cur
+            self.obs[sig] = (f, s + t, c + 1)
+
+
+@dataclass(slots=True)
+class FamilyFit:
+    """A fitted linear model t(features) for one kernel family."""
+
+    coeffs: Tuple[float, ...]
+    rel_rms: float        # relative RMS residual over the fit points
+    n_points: int         # distinct signatures fitted
+
+    def predict(self, features: Tuple[float, ...]) -> float:
+        return sum(c * x for c, x in zip(self.coeffs, features))
+
+
+def _solve_least_squares(rows: List[Tuple[float, ...]], ys: List[float]) -> Optional[Tuple[float, ...]]:
+    """Tiny dense normal-equation solver (numpy-free hot path not needed
+    here; fitting happens rarely)."""
+    import numpy as np
+
+    a = np.asarray(rows, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    try:
+        coeffs, *_ = np.linalg.lstsq(a, y, rcond=None)
+    except np.linalg.LinAlgError:  # pragma: no cover - degenerate input
+        return None
+    return tuple(float(c) for c in coeffs)
+
+
+class ExtrapolatingModel:
+    """Family-level regression models of kernel execution time.
+
+    Parameters
+    ----------
+    min_points:
+        Minimum number of *distinct signatures* a family needs before a
+        fit is attempted (fits through fewer points would be trivially
+        exact and wildly unreliable off the support).
+    rel_tolerance:
+        Maximum relative RMS residual for a fit to be considered
+        trustworthy for prediction of unseen sizes.
+    support_margin:
+        How far outside the observed complexity range predictions are
+        trusted: a size is predictable only when its complexity feature
+        lies within ``[min/margin, max*margin]`` of the measured
+        support.  This makes an extrapolating tuner *sample* the size
+        axis logarithmically instead of fitting three neighbouring
+        sizes and extrapolating across orders of magnitude.
+    """
+
+    def __init__(self, min_points: int = 3, rel_tolerance: float = 0.1,
+                 support_margin: float = 4.0) -> None:
+        self.min_points = int(min_points)
+        self.rel_tolerance = float(rel_tolerance)
+        self.support_margin = float(support_margin)
+        self._families: Dict[str, _FamilyData] = {}
+        self._fits: Dict[str, Optional[FamilyFit]] = {}
+        self._dirty: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def features_of(sig: KernelSignature, flops: float) -> Tuple[float, ...]:
+        """Model features: [1, complexity] per kernel kind.
+
+        Computation kernels regress time on (constant, flops);
+        communication kernels on (constant, bytes) — the alpha-beta
+        model the machine actually follows, so families fit well when
+        timings are consistent.
+        """
+        if sig.is_comm:
+            nbytes = float(sig.params[0])
+            return (1.0, nbytes)
+        return (1.0, float(flops))
+
+    def observe(self, sig: KernelSignature, flops: float, t: float) -> None:
+        """Record one measured execution."""
+        fam = self._families.get(sig.name)
+        if fam is None:
+            fam = _FamilyData()
+            self._families[sig.name] = fam
+        fam.add(sig, self.features_of(sig, flops), t)
+        self._dirty[sig.name] = True
+
+    # ------------------------------------------------------------------
+    def fit(self, name: str) -> Optional[FamilyFit]:
+        """(Re)fit a family; returns None when not fittable yet."""
+        fam = self._families.get(name)
+        if fam is None or len(fam.obs) < self.min_points:
+            return None
+        if not self._dirty.get(name, True) and name in self._fits:
+            return self._fits[name]
+        rows, ys = [], []
+        for features, total, count in fam.obs.values():
+            rows.append(features)
+            ys.append(total / count)
+        coeffs = _solve_least_squares(rows, ys)
+        if coeffs is None:
+            self._fits[name] = None
+            return None
+        # relative RMS residual across fit points
+        sq = 0.0
+        used = 0
+        for features, total, count in fam.obs.values():
+            mean = total / count
+            if mean <= 0:
+                continue
+            pred = sum(c * x for c, x in zip(coeffs, features))
+            sq += ((pred - mean) / mean) ** 2
+            used += 1
+        rel_rms = math.sqrt(sq / used) if used else math.inf
+        fit = FamilyFit(coeffs=coeffs, rel_rms=rel_rms, n_points=len(fam.obs))
+        self._fits[name] = fit
+        self._dirty[name] = False
+        return fit
+
+    def predict(self, sig: KernelSignature, flops: float) -> Optional[float]:
+        """Predicted mean time for a (possibly never-measured) kernel.
+
+        Returns None unless the family's fit satisfies the tolerance,
+        the requested size lies within the supported complexity range
+        (times the margin), and the prediction is positive.
+        """
+        fit = self.fit(sig.name)
+        if fit is None or fit.rel_rms > self.rel_tolerance:
+            return None
+        features = self.features_of(sig, flops)
+        lo, hi = self._support(sig.name)
+        x = features[-1]
+        if not (lo / self.support_margin <= x <= hi * self.support_margin):
+            return None
+        value = fit.predict(features)
+        return value if value > 0.0 else None
+
+    def _support(self, name: str) -> Tuple[float, float]:
+        """Observed [min, max] of the complexity feature for a family."""
+        fam = self._families.get(name)
+        if fam is None or not fam.obs:
+            return (math.inf, -math.inf)
+        xs = [features[-1] for features, _, _ in fam.obs.values()]
+        return (min(xs), max(xs))
+
+    def family_sizes(self) -> Dict[str, int]:
+        """Distinct-signature counts per family (diagnostics)."""
+        return {name: len(f.obs) for name, f in self._families.items()}
+
+    def reset(self) -> None:
+        self._families.clear()
+        self._fits.clear()
+        self._dirty.clear()

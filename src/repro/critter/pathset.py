@@ -1,0 +1,140 @@
+"""Pathsets: per-processor critical-path profiles and volumetric totals.
+
+The pathset ``P`` of Section II.B stores aggregate statistics along a
+specific execution path.  Critter maintains, per rank:
+
+* **path metrics** — propagated with the longest-path algorithm: at
+  every synchronization point each metric is replaced by the maximum
+  over the participating processors, so at program end the global
+  maximum over ranks is that metric's critical-path cost.  Each metric
+  rides its *own* critical path (the path maximizing communication cost
+  may differ from the one maximizing execution time — Fig. 1).
+
+* **volumetric metrics** — plain per-rank accumulations, never
+  propagated; averaging them over ranks gives the "volumetric avg"
+  series of Fig. 3, and per-rank maxima give the "most loaded
+  processor" kernel-time metrics of Figs. 4c / 5c.
+
+``exec_time`` / ``comp_time`` / ``comm_time`` are *predicted* times:
+executed kernels contribute their measured duration, skipped kernels
+their sample mean — this is exactly how the tool predicts a
+configuration's execution time while skipping most of its work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["PathMetrics", "PathProfile", "critical_path", "volumetric_average"]
+
+
+@dataclass(slots=True)
+class PathMetrics:
+    """Max-propagated per-path metrics."""
+
+    exec_time: float = 0.0   # predicted execution time (comp + comm + idle-free)
+    comp_time: float = 0.0   # predicted computation-kernel time
+    comm_time: float = 0.0   # predicted communication-kernel time
+    synchs: float = 0.0      # number of synchronizations (BSP supersteps)
+    words: float = 0.0       # bytes communicated
+    flops: float = 0.0       # floating-point operations
+
+    def merge_max(self, other: "PathMetrics") -> None:
+        """Longest-path propagation: each metric takes the pairwise max."""
+        if other.exec_time > self.exec_time:
+            self.exec_time = other.exec_time
+        if other.comp_time > self.comp_time:
+            self.comp_time = other.comp_time
+        if other.comm_time > self.comm_time:
+            self.comm_time = other.comm_time
+        if other.synchs > self.synchs:
+            self.synchs = other.synchs
+        if other.words > self.words:
+            self.words = other.words
+        if other.flops > self.flops:
+            self.flops = other.flops
+
+    def copy(self) -> "PathMetrics":
+        return PathMetrics(
+            self.exec_time, self.comp_time, self.comm_time,
+            self.synchs, self.words, self.flops,
+        )
+
+
+@dataclass(slots=True)
+class PathProfile:
+    """One rank's pathset: path metrics plus volumetric accumulations."""
+
+    path: PathMetrics = field(default_factory=PathMetrics)
+
+    # volumetric (per-rank, not propagated)
+    vol_comp_time: float = 0.0       # wall time charged in computation kernels
+    vol_comm_time: float = 0.0       # wall time charged in communication kernels
+    vol_exec_comp: float = 0.0       # wall time in *executed* computation kernels
+    vol_exec_comm: float = 0.0       # wall time in *executed* communication kernels
+    vol_idle: float = 0.0            # wait time at synchronization points
+    vol_words: float = 0.0
+    vol_synchs: float = 0.0
+    vol_flops: float = 0.0
+    executed_kernels: int = 0
+    skipped_kernels: int = 0
+
+    # -- accumulation helpers ---------------------------------------------
+    def add_compute(self, predicted: float, charged: float, flops: float,
+                    executed: bool) -> None:
+        self.path.exec_time += predicted
+        self.path.comp_time += predicted
+        self.path.flops += flops
+        self.vol_comp_time += charged
+        self.vol_flops += flops
+        if executed:
+            self.vol_exec_comp += charged
+            self.executed_kernels += 1
+        else:
+            self.skipped_kernels += 1
+
+    def add_comm(self, predicted: float, charged: float, nbytes: float,
+                 executed: bool, idle: float) -> None:
+        self.path.exec_time += predicted
+        self.path.comm_time += predicted
+        self.path.words += nbytes
+        self.path.synchs += 1.0
+        self.vol_comm_time += charged
+        self.vol_words += nbytes
+        self.vol_synchs += 1.0
+        self.vol_idle += idle
+        if executed:
+            self.vol_exec_comm += charged
+            self.executed_kernels += 1
+        else:
+            self.skipped_kernels += 1
+
+    @property
+    def kernel_wall_time(self) -> float:
+        """Wall time this rank spent inside executed kernels."""
+        return self.vol_exec_comp + self.vol_exec_comm
+
+    def copy_path(self) -> PathMetrics:
+        return self.path.copy()
+
+
+def critical_path(profiles: List[PathProfile]) -> PathMetrics:
+    """Final critical-path metrics: global max of every path metric."""
+    out = PathMetrics()
+    for p in profiles:
+        out.merge_max(p.path)
+    return out
+
+
+def volumetric_average(profiles: List[PathProfile]) -> Dict[str, float]:
+    """Per-rank averages of volumetric metrics (Fig. 3's second series)."""
+    n = max(len(profiles), 1)
+    return {
+        "comp_time": sum(p.vol_comp_time for p in profiles) / n,
+        "comm_time": sum(p.vol_comm_time for p in profiles) / n,
+        "idle": sum(p.vol_idle for p in profiles) / n,
+        "words": sum(p.vol_words for p in profiles) / n,
+        "synchs": sum(p.vol_synchs for p in profiles) / n,
+        "flops": sum(p.vol_flops for p in profiles) / n,
+    }

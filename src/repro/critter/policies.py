@@ -1,0 +1,101 @@
+"""Selective kernel-execution policies (Section IV.B).
+
+All policies share the same predictability test — the relative
+confidence interval of the kernel's sample mean must fall below the
+tolerance ``eps`` — and differ only in (a) how the execution count
+``alpha`` entering the sqrt(alpha) interval shrinkage is obtained, and
+(b) the scope/persistence of execution decisions:
+
+* ``conditional``  — no count scaling; the most conservative online
+  policy and the paper's baseline selective method.
+* ``local``        — alpha is the rank's *local* execution count; no
+  inter-processor count propagation.
+* ``online``       — alpha is the kernel's execution count along the
+  current sub-critical path, propagated online with the pathset.
+* ``apriori``      — alpha comes from an initial offline (full)
+  iteration's critical-path counts; online count propagation is
+  forgone, but kernel statistics still propagate.
+* ``eager``        — no count scaling; a kernel is switched off
+  *globally* (every rank, every subsequent configuration) once a single
+  processor deems it predictable and its statistics have propagated
+  across all processors via aggregate channels.  Statistics persist
+  across configurations and no per-iteration forced execution applies.
+* ``never-skip``   — execute everything; used for ground-truth full
+  executions (and gives Critter's plain critical-path profiling mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.kernels.signature import KernelSignature
+
+__all__ = ["Policy", "make_policy", "POLICY_NAMES"]
+
+
+@dataclass(frozen=True, slots=True)
+class Policy:
+    """Behavioral traits of a selective-execution policy."""
+
+    name: str
+    #: how alpha is derived: "one" | "local" | "path" | "offline"
+    count_source: str
+    #: execute every kernel at least once per tuning iteration (run)
+    force_first_execution: bool = True
+    #: statistics reset between configurations of a tuning space
+    resets_between_configs: bool = True
+    #: global switch-off through aggregate-channel statistic propagation
+    eager: bool = False
+    #: requires an extra full execution per configuration (offline pass)
+    needs_offline_counts: bool = False
+    #: never skip anything (ground-truth / plain profiling)
+    never_skip: bool = False
+
+    def alpha(
+        self,
+        local_count: int,
+        path_count: int,
+        offline_count: Optional[int],
+    ) -> int:
+        """Execution count used to shrink the confidence interval."""
+        if self.count_source == "one":
+            return 1
+        if self.count_source == "local":
+            return max(local_count, 1)
+        if self.count_source == "path":
+            return max(path_count, 1)
+        if self.count_source == "offline":
+            return max(offline_count or 1, 1)
+        raise ValueError(f"unknown count source {self.count_source!r}")
+
+
+_POLICIES: Dict[str, Policy] = {
+    "conditional": Policy("conditional", "one"),
+    "local": Policy("local", "local"),
+    "online": Policy("online", "path"),
+    "apriori": Policy("apriori", "offline", needs_offline_counts=True),
+    "eager": Policy(
+        "eager",
+        "one",
+        force_first_execution=False,
+        resets_between_configs=False,
+        eager=True,
+    ),
+    "never-skip": Policy("never-skip", "one", never_skip=True),
+}
+_POLICIES["full"] = _POLICIES["never-skip"]
+
+POLICY_NAMES: List[str] = ["conditional", "eager", "local", "online", "apriori"]
+
+
+def make_policy(name: str) -> Policy:
+    """Look up a policy by name (also accepts a Policy and passes it through)."""
+    if isinstance(name, Policy):
+        return name
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

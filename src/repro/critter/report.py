@@ -1,0 +1,106 @@
+"""Per-kernel profiling reports: what a Critter instance has learned.
+
+The real tool prints per-kernel critical-path breakdowns after each run;
+this module reproduces that surface: for any rank (or merged across
+ranks), the kernels it tracks with their sample statistics, confidence
+status at a given tolerance, and their share of the predicted
+execution time — the view a performance engineer uses to find where a
+schedule's time actually goes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.critter.core import Critter
+from repro.critter.stats import RunningStat, relative_ci
+from repro.kernels.signature import KernelSignature
+
+__all__ = ["KernelEntry", "kernel_profile", "format_kernel_profile"]
+
+
+@dataclass(slots=True)
+class KernelEntry:
+    """One kernel's learned statistics."""
+
+    sig: KernelSignature
+    count: int
+    mean: float
+    std: float
+    rel_ci: float
+    path_count: int
+    total_time: float
+
+    @property
+    def predictable(self) -> bool:
+        return math.isfinite(self.rel_ci)
+
+
+def kernel_profile(
+    critter: Critter,
+    rank: Optional[int] = None,
+    top: Optional[int] = None,
+) -> List[KernelEntry]:
+    """Kernel statistics of one rank (or merged over all ranks).
+
+    Entries are sorted by total measured time, descending; ``top``
+    truncates the list.
+    """
+    if critter._K is None:
+        return []
+    if rank is not None:
+        sources = [rank]
+    else:
+        sources = list(range(len(critter._K)))
+    merged: dict[KernelSignature, RunningStat] = {}
+    for r in sources:
+        for sig, st in critter._K[r].items():
+            acc = merged.get(sig)
+            if acc is None:
+                merged[sig] = st.copy()
+            else:
+                acc.merge(st)
+    path_counts: dict[KernelSignature, int] = {}
+    for r in sources:
+        for sig, c in (critter._Kt[r] or {}).items():
+            path_counts[sig] = max(path_counts.get(sig, 0), c)
+    entries = [
+        KernelEntry(
+            sig=sig,
+            count=st.count,
+            mean=st.mean,
+            std=st.std,
+            rel_ci=relative_ci(st, critter.z),
+            path_count=path_counts.get(sig, 0),
+            total_time=st.total,
+        )
+        for sig, st in merged.items()
+    ]
+    entries.sort(key=lambda e: e.total_time, reverse=True)
+    if top is not None:
+        entries = entries[:top]
+    return entries
+
+
+def format_kernel_profile(
+    critter: Critter,
+    rank: Optional[int] = None,
+    top: int = 15,
+) -> str:
+    """Human-readable kernel table (one line per kernel)."""
+    entries = kernel_profile(critter, rank=rank, top=top)
+    lines = [
+        f"{'kernel':<28}{'count':>8}{'mean(us)':>12}{'std(us)':>12}"
+        f"{'rel_ci':>10}{'path#':>8}{'total(ms)':>12}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for e in entries:
+        ci = f"{e.rel_ci:.3f}" if math.isfinite(e.rel_ci) else "inf"
+        lines.append(
+            f"{str(e.sig):<28}{e.count:>8}{e.mean * 1e6:>12.3f}"
+            f"{e.std * 1e6:>12.3f}{ci:>10}{e.path_count:>8}"
+            f"{e.total_time * 1e3:>12.4f}"
+        )
+    return "\n".join(lines)

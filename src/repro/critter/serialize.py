@@ -1,0 +1,119 @@
+"""Persistence of Critter's kernel performance models.
+
+The paper's eager-propagation results show that "reusing kernel
+performance models across multiple configurations can yield significant
+speedups"; the natural next step for a production tool is reusing them
+across *tuning sessions* (the same machine is retuned after every
+software release).  This module serializes a Critter instance's learned
+state — per-rank kernel statistics, the eager switch-off set, and
+channel coverage — to plain JSON and restores it, so a later session
+starts with converged models.
+
+Only statistics are persisted: pathsets and per-run structures are
+rebuilt on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.critter.core import Critter
+from repro.critter.stats import RunningStat
+from repro.kernels.signature import KernelSignature
+
+__all__ = ["critter_state_to_dict", "load_critter_state", "save_critter_state",
+           "read_critter_state"]
+
+
+def _sig_to_obj(sig: KernelSignature) -> Dict[str, Any]:
+    return {"kind": sig.kind, "name": sig.name, "params": list(sig.params)}
+
+
+def _sig_from_obj(obj: Dict[str, Any]) -> KernelSignature:
+    from repro.kernels.signature import _intern
+
+    return _intern(obj["kind"], obj["name"], tuple(int(p) for p in obj["params"]))
+
+
+def _stat_to_obj(st: RunningStat) -> Dict[str, Any]:
+    return {
+        "count": st.count,
+        "mean": st.mean,
+        "m2": st._m2,
+        "min": st.minimum,
+        "max": st.maximum,
+    }
+
+
+def _stat_from_obj(obj: Dict[str, Any]) -> RunningStat:
+    st = RunningStat()
+    st.count = int(obj["count"])
+    st.mean = float(obj["mean"])
+    st._m2 = float(obj["m2"])
+    st.minimum = float(obj["min"])
+    st.maximum = float(obj["max"])
+    return st
+
+
+def critter_state_to_dict(critter: Critter) -> Dict[str, Any]:
+    """Snapshot the persistent statistical state of a Critter."""
+    if critter._K is None:
+        raise ValueError("Critter has not attached to any run yet")
+    return {
+        "version": 1,
+        "nprocs": critter.nprocs,
+        "policy": critter.policy.name,
+        "eps": critter.eps,
+        "confidence": critter.confidence,
+        "kernels": [
+            [
+                {"sig": _sig_to_obj(sig), "stat": _stat_to_obj(st)}
+                for sig, st in rank_k.items()
+            ]
+            for rank_k in critter._K
+        ],
+        "global_off": [_sig_to_obj(s) for s in sorted(
+            critter._global_off, key=lambda s: (s.kind, s.name, s.params))],
+    }
+
+
+def load_critter_state(critter: Critter, state: Dict[str, Any]) -> None:
+    """Restore statistics saved by :func:`critter_state_to_dict`.
+
+    The target Critter must be unattached or bound to the same world
+    size as the snapshot.
+    """
+    if state.get("version") != 1:
+        raise ValueError(f"unsupported state version {state.get('version')!r}")
+    nprocs = int(state["nprocs"])
+    if critter.nprocs is None:
+        # pre-bind: mimic what start_run would establish
+        from repro.critter.channels import AggregateRegistry
+
+        critter.nprocs = nprocs
+        critter._K = [dict() for _ in range(nprocs)]
+        critter.registry = AggregateRegistry(nprocs)
+    elif critter.nprocs != nprocs:
+        raise ValueError(
+            f"snapshot is for {nprocs} ranks, Critter bound to {critter.nprocs}"
+        )
+    for rank, entries in enumerate(state["kernels"]):
+        table = critter._K[rank]
+        table.clear()
+        for entry in entries:
+            table[_sig_from_obj(entry["sig"])] = _stat_from_obj(entry["stat"])
+    critter._global_off = {_sig_from_obj(o) for o in state.get("global_off", [])}
+
+
+def save_critter_state(critter: Critter, path: str) -> str:
+    """Write the Critter's statistical state as JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(critter_state_to_dict(critter), f)
+    return path
+
+
+def read_critter_state(critter: Critter, path: str) -> None:
+    """Load JSON state produced by :func:`save_critter_state`."""
+    with open(path, "r", encoding="utf-8") as f:
+        load_critter_state(critter, json.load(f))

@@ -1,0 +1,137 @@
+"""Single-pass kernel performance statistics and confidence intervals.
+
+Implements Section III.A of the paper: each kernel signature gets a
+running (Welford) estimate of the mean and variance of its execution
+time, built with "standard single-pass algorithms ... during program
+execution".  A kernel is deemed *predictable* once the relative size of
+its sample mean's confidence interval drops below the tolerance
+``eps``; knowing the kernel occurs ``alpha`` times along the current
+sub-critical path shrinks the interval by a further ``sqrt(alpha)``
+(the paper assigns the combined time of the alpha occurrences a
+variance reduced by that factor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.stats import norm
+
+__all__ = ["RunningStat", "z_value", "relative_ci", "is_predictable"]
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided normal critical value for a confidence level in (0,1)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    return float(norm.ppf(0.5 + confidence / 2.0))
+
+
+class RunningStat:
+    """Welford single-pass mean/variance accumulator.
+
+    Supports :meth:`merge` (Chan's parallel update) so statistics
+    gathered on different processors can be aggregated, as eager
+    propagation requires.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def update(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 until two samples exist)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        return self.mean * self.count
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator into this one (order-insensitive)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        n1, n2 = self.count, other.count
+        delta = other.mean - self.mean
+        n = n1 + n2
+        self.mean += delta * n2 / n
+        self._m2 += other._m2 + delta * delta * n1 * n2 / n
+        self.count = n
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def copy(self) -> "RunningStat":
+        c = RunningStat()
+        c.count = self.count
+        c.mean = self.mean
+        c._m2 = self._m2
+        c.minimum = self.minimum
+        c.maximum = self.maximum
+        return c
+
+    def ci_halfwidth(self, z: float, alpha: int = 1) -> float:
+        """Confidence-interval half-width of the sample mean.
+
+        ``alpha`` is the kernel's execution count along the current
+        sub-critical path; the paper scales the variance of the combined
+        time by 1/sqrt(alpha), shrinking the interval by sqrt(alpha).
+        """
+        if self.count < 2:
+            return math.inf
+        return z * self.std / math.sqrt(self.count * max(alpha, 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStat(count={self.count}, mean={self.mean:.3e}, "
+            f"std={self.std:.3e})"
+        )
+
+
+def relative_ci(stat: RunningStat, z: float, alpha: int = 1) -> float:
+    """The paper's eps~: CI size divided by the sample mean."""
+    if stat.count < 2 or stat.mean <= 0.0:
+        return math.inf
+    return stat.ci_halfwidth(z, alpha) / stat.mean
+
+
+def is_predictable(
+    stat: RunningStat,
+    eps: float,
+    z: float,
+    alpha: int = 1,
+    min_samples: int = 2,
+) -> bool:
+    """Whether a kernel's mean is predictable to tolerance ``eps``."""
+    if stat.count < max(min_samples, 2):
+        return False
+    return relative_ci(stat, z, alpha) <= eps

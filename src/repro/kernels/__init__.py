@@ -1,0 +1,34 @@
+"""Kernel signatures and analytic BLAS/LAPACK cost models.
+
+A *kernel* in the paper's terminology is a routine together with a
+particular input signature (matrix dimensions for computation, message
+size and sub-communicator shape for communication).  This package
+provides:
+
+* :class:`~repro.kernels.signature.KernelSignature` — the hashable
+  identity under which Critter accumulates performance statistics,
+* flop-count cost models for every BLAS/LAPACK routine the paper's four
+  workloads invoke (``gemm``, ``syrk``, ``trsm``, ``trmm``, ``potrf``,
+  ``trtri``, ``geqrf``/``geqrt``, ``tpqrt``, ``tpmqrt``, ``ormqr``,
+  ``larfb``, ``getrf``),
+* numeric reference implementations of those routines (used by the
+  algorithms' data-carrying mode so distributed schedules can be
+  verified against ``numpy``).
+"""
+
+from repro.kernels.signature import (
+    KernelSignature,
+    comm_signature,
+    comp_signature,
+    stable_hash,
+)
+from repro.kernels import blas, lapack
+
+__all__ = [
+    "KernelSignature",
+    "comm_signature",
+    "comp_signature",
+    "stable_hash",
+    "blas",
+    "lapack",
+]

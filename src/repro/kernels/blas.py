@@ -1,0 +1,98 @@
+"""BLAS level-3 kernel models: cost builders + numeric reference routines.
+
+Each ``*_spec`` function returns a ``(KernelSignature, flops)`` pair
+consumed by :meth:`repro.sim.comm.Comm.compute`; the corresponding
+numeric function performs the real linear algebra (used in the
+algorithms' data-carrying mode and verified against ``numpy`` in the
+test suite).
+
+Flop counts follow the standard LAPACK working notes conventions
+(leading-order terms, real double precision).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.kernels.signature import KernelSignature, comp_signature
+
+__all__ = [
+    "gemm_spec",
+    "syrk_spec",
+    "trsm_spec",
+    "trmm_spec",
+    "gemm",
+    "syrk",
+    "trsm",
+    "trmm",
+]
+
+Spec = Tuple[KernelSignature, float]
+
+
+# ----------------------------------------------------------------------
+# cost builders
+# ----------------------------------------------------------------------
+def gemm_spec(m: int, n: int, k: int) -> Spec:
+    """General matrix multiply C(m,n) += A(m,k) B(k,n): 2mnk flops."""
+    return comp_signature("gemm", m, n, k), 2.0 * m * n * k
+
+
+def syrk_spec(n: int, k: int) -> Spec:
+    """Symmetric rank-k update C(n,n) += A(n,k) A(n,k)^T: n(n+1)k flops."""
+    return comp_signature("syrk", n, k), float(n) * (n + 1) * k
+
+
+def trsm_spec(m: int, n: int) -> Spec:
+    """Triangular solve op(A(m,m)) X = B(m,n): m^2 n flops."""
+    return comp_signature("trsm", m, n), float(m) * m * n
+
+
+def trmm_spec(m: int, n: int) -> Spec:
+    """Triangular matrix product A(m,m) B(m,n): m^2 n flops."""
+    return comp_signature("trmm", m, n), float(m) * m * n
+
+
+# ----------------------------------------------------------------------
+# numeric reference implementations
+# ----------------------------------------------------------------------
+def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray = None,
+         alpha: float = 1.0, beta: float = 0.0,
+         transa: bool = False, transb: bool = False) -> np.ndarray:
+    """C = alpha * op(A) op(B) + beta * C."""
+    aa = a.T if transa else a
+    bb = b.T if transb else b
+    out = alpha * (aa @ bb)
+    if c is not None and beta != 0.0:
+        out = out + beta * c
+    return out
+
+
+def syrk(a: np.ndarray, c: np.ndarray = None,
+         alpha: float = 1.0, beta: float = 0.0) -> np.ndarray:
+    """C = alpha * A A^T + beta * C (full storage; symmetry implicit)."""
+    out = alpha * (a @ a.T)
+    if c is not None and beta != 0.0:
+        out = out + beta * c
+    return out
+
+
+def trsm(a: np.ndarray, b: np.ndarray, *, side: str = "L",
+         lower: bool = True, trans: bool = False) -> np.ndarray:
+    """Solve op(A) X = B (side='L') or X op(A) = B (side='R')."""
+    if side == "L":
+        return sla.solve_triangular(a, b, lower=lower, trans="T" if trans else "N")
+    # X op(A) = B  <=>  op(A)^T X^T = B^T
+    xt = sla.solve_triangular(a, b.T, lower=lower, trans="N" if trans else "T")
+    return xt.T
+
+
+def trmm(a: np.ndarray, b: np.ndarray, *, side: str = "L",
+         lower: bool = True, trans: bool = False) -> np.ndarray:
+    """B = op(A) B (side='L') or B op(A) (side='R') with A triangular."""
+    tri = np.tril(a) if lower else np.triu(a)
+    op = tri.T if trans else tri
+    return op @ b if side == "L" else b @ op

@@ -1,0 +1,143 @@
+"""LAPACK kernel models: cost builders + numeric reference routines.
+
+Covers every LAPACK routine the paper's four workloads invoke
+(Section V.D): ``potrf``, ``trtri``, ``geqrf``, ``ormqr``, ``getrf``,
+and the tiled-QR kernels ``geqrt``/``tpqrt``/``tpmqrt``/``larfb``.
+
+The tiled-QR numeric kernels are implemented via compact-WY Householder
+factorizations of (stacked) tiles: the exact LAPACK storage layout of
+``tpqrt`` (identity-top pentagonal V) is not reproduced, but the applied
+orthogonal transformations are numerically identical, which is what the
+schedule-level correctness tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.kernels.signature import KernelSignature, comp_signature
+
+__all__ = [
+    "potrf_spec", "trtri_spec", "getrf_spec", "geqrf_spec", "ormqr_spec",
+    "geqrt_spec", "tpqrt_spec", "tpmqrt_spec", "larfb_spec", "larft_spec",
+    "potrf", "trtri", "getrf",
+    "householder_T", "qr_factor", "apply_q", "apply_qt",
+]
+
+Spec = Tuple[KernelSignature, float]
+
+
+# ----------------------------------------------------------------------
+# cost builders (leading-order real flop counts)
+# ----------------------------------------------------------------------
+def potrf_spec(n: int) -> Spec:
+    """Cholesky factorization of an n x n SPD matrix: n^3/3 flops."""
+    return comp_signature("potrf", n), n**3 / 3.0
+
+
+def trtri_spec(n: int) -> Spec:
+    """Triangular inversion: n^3/3 flops."""
+    return comp_signature("trtri", n), n**3 / 3.0
+
+
+def getrf_spec(m: int, n: int) -> Spec:
+    """LU factorization: mn^2 - n^3/3 flops."""
+    return comp_signature("getrf", m, n), float(m) * n * n - n**3 / 3.0
+
+
+def geqrf_spec(m: int, n: int) -> Spec:
+    """Householder QR of m x n (m >= n): 2mn^2 - 2n^3/3 flops."""
+    return comp_signature("geqrf", m, n), 2.0 * m * n * n - 2.0 * n**3 / 3.0
+
+
+def ormqr_spec(m: int, n: int, k: int) -> Spec:
+    """Apply k reflectors (m-vectors) to an m x n matrix: 4mnk - 2nk^2."""
+    return comp_signature("ormqr", m, n, k), 4.0 * m * n * k - 2.0 * n * k * k
+
+
+def geqrt_spec(m: int, n: int) -> Spec:
+    """Blocked QR of a tile incl. T formation: geqrf + mn^2/  ~ +n^3/3."""
+    return comp_signature("geqrt", m, n), 2.0 * m * n * n - 2.0 * n**3 / 3.0 + n**3 / 3.0
+
+
+def tpqrt_spec(m: int, n: int) -> Spec:
+    """Triangular-pentagonal QR (R on top, m x n block below): 2mn^2 + n^3/3."""
+    return comp_signature("tpqrt", m, n), 2.0 * m * n * n + n**3 / 3.0
+
+
+def tpmqrt_spec(m: int, n: int, k: int) -> Spec:
+    """Apply a tpqrt transform to stacked (k x n on m x n) tiles: 4mnk."""
+    return comp_signature("tpmqrt", m, n, k), 4.0 * m * n * k
+
+
+def larfb_spec(m: int, n: int, k: int) -> Spec:
+    """Apply a block reflector (m x k) to an m x n matrix: 4mnk."""
+    return comp_signature("larfb", m, n, k), 4.0 * m * n * k
+
+
+def larft_spec(m: int, k: int) -> Spec:
+    """Form the triangular T factor of k reflectors of length m: k^2 m."""
+    return comp_signature("larft", m, k), float(k) * k * m
+
+
+# ----------------------------------------------------------------------
+# numeric reference implementations
+# ----------------------------------------------------------------------
+def potrf(a: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of SPD ``a``."""
+    return np.linalg.cholesky(a)
+
+
+def trtri(a: np.ndarray, *, lower: bool = True) -> np.ndarray:
+    """Inverse of a triangular matrix."""
+    eye = np.eye(a.shape[0], dtype=a.dtype)
+    return sla.solve_triangular(a, eye, lower=lower)
+
+
+def getrf(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """LU with partial pivoting: returns (P, L, U) with a = P L U."""
+    return sla.lu(a)
+
+
+def householder_T(y: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Form the upper-triangular T of the compact WY representation.
+
+    Given unit-lower-trapezoidal Y (m x k) and scalars tau, builds T with
+    Q = I - Y T Y^T via the standard larft recurrence.
+    """
+    k = y.shape[1]
+    t = np.zeros((k, k), dtype=y.dtype)
+    for i in range(k):
+        t[i, i] = tau[i]
+        if i > 0:
+            # t[:i, i] = -tau_i * T[:i,:i] @ (Y[:, :i]^T y_i)
+            t[:i, i] = -tau[i] * (t[:i, :i] @ (y[:, :i].T @ y[:, i]))
+    return t
+
+
+def qr_factor(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact-WY Householder QR: returns (Y, T, R) with a = (I - Y T Y^T) R.
+
+    Y is m x n unit-lower-trapezoidal, T is n x n upper-triangular, R is
+    n x n upper-triangular (the leading rows of the factored matrix).
+    """
+    m, n = a.shape
+    (qr, tau), r_part = sla.qr(a, mode="raw")
+    r = np.triu(r_part[:n, :n]).copy()
+    y = np.tril(qr, -1)[:, :n].copy()
+    np.fill_diagonal(y, 1.0)
+    t = householder_T(y, np.asarray(tau))
+    return y, t, r
+
+
+def apply_q(y: np.ndarray, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """C <- Q C with Q = I - Y T Y^T."""
+    return c - y @ (t @ (y.T @ c))
+
+
+def apply_qt(y: np.ndarray, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """C <- Q^T C with Q = I - Y T Y^T."""
+    return c - y @ (t.T @ (y.T @ c))

@@ -1,0 +1,131 @@
+"""Kernel signatures: the identity under which performance is modeled.
+
+The paper (Section III.A) assumes "an executed kernel's measured
+performance is a random variable drawn from a distribution that is the
+same for all kernels with a given signature (i.e., program function for
+a given input size)".  Section V.D specifies the parameterization used
+for the dense linear algebra studies:
+
+* computational kernels are parameterized on the routine name, matrix
+  dimensions, and other BLAS parameters such as transposition flags;
+* communication kernels are parameterized on message size as well as
+  the MPI sub-communicator *size* and *stride* relative to the world
+  communicator; point-to-point configurations are treated as size-2
+  sub-communicators.
+
+Signatures are **interned**: the factory functions return the same
+object for the same (kind, name, params), so the millions of dictionary
+operations Critter performs on them hit the identity fast path, and
+each signature's hash is computed exactly once.
+
+Signatures must also hash identically across runs and across Python
+processes (Python's builtin ``hash`` is salted for strings), so a CRC32
+``stable_hash`` is provided and used everywhere determinism matters
+(noise seeding, channel hashing).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Tuple
+
+__all__ = ["KernelSignature", "comp_signature", "comm_signature", "stable_hash"]
+
+
+def stable_hash(obj: object) -> int:
+    """A deterministic 32-bit hash of ``repr(obj)``.
+
+    Used for seeding per-signature RNG streams and for channel ids;
+    unlike ``hash()`` it is stable across interpreter invocations.
+    """
+    return zlib.crc32(repr(obj).encode("utf-8")) & 0xFFFFFFFF
+
+
+class KernelSignature:
+    """Identity of a kernel: routine + input configuration.
+
+    Attributes
+    ----------
+    kind:
+        ``"comp"`` for computational kernels (BLAS/LAPACK/user code
+        regions), ``"comm"`` for communication kernels (MPI routines).
+    name:
+        Routine name, e.g. ``"gemm"`` or ``"bcast"``.
+    params:
+        For ``comp``: the dimension tuple (plus any flags) of the call.
+        For ``comm``: ``(nbytes, comm_size, comm_stride)`` following the
+        paper's parameterization.
+    """
+
+    __slots__ = ("kind", "name", "params", "_hash", "_stable")
+
+    def __init__(self, kind: str, name: str, params: Tuple[int, ...]) -> None:
+        self.kind = kind
+        self.name = name
+        self.params = params
+        self._hash = hash((kind, name, params))
+        self._stable = -1
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, KernelSignature):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.kind == other.kind
+            and self.name == other.name
+            and self.params == other.params
+        )
+
+    def __repr__(self) -> str:
+        return f"KernelSignature({self.kind!r}, {self.name!r}, {self.params!r})"
+
+    def stable_hash(self) -> int:
+        """Deterministic cross-process hash (cached)."""
+        if self._stable < 0:
+            self._stable = stable_hash((self.kind, self.name, self.params))
+        return self._stable
+
+    @property
+    def is_comm(self) -> bool:
+        return self.kind == "comm"
+
+    @property
+    def is_comp(self) -> bool:
+        return self.kind == "comp"
+
+    def __str__(self) -> str:  # compact display for reports
+        p = ",".join(str(x) for x in self.params)
+        return f"{self.name}({p})"
+
+
+_INTERN: Dict[Tuple[str, str, Tuple[int, ...]], KernelSignature] = {}
+
+
+def _intern(kind: str, name: str, params: Tuple[int, ...]) -> KernelSignature:
+    key = (kind, name, params)
+    sig = _INTERN.get(key)
+    if sig is None:
+        sig = KernelSignature(kind, name, params)
+        _INTERN[key] = sig
+    return sig
+
+
+def comp_signature(name: str, *params: int) -> KernelSignature:
+    """Signature of a computational kernel, e.g. ``comp_signature("gemm", m, n, k)``."""
+    return _intern("comp", name, tuple(int(p) for p in params))
+
+
+def comm_signature(name: str, nbytes: int, comm_size: int, comm_stride: int) -> KernelSignature:
+    """Signature of a communication kernel.
+
+    Parameters mirror the paper: message size in bytes plus the
+    sub-communicator size and its stride relative to ``MPI_COMM_WORLD``.
+    Point-to-point routines pass ``comm_size=2`` and the rank distance
+    as the stride.
+    """
+    return _intern("comm", name, (int(nbytes), int(comm_size), int(comm_stride)))

@@ -1,0 +1,50 @@
+"""Discrete-event simulator of a distributed-memory (MPI) machine.
+
+This package is the substrate that replaces Stampede2 + Intel MPI in the
+reproduction.  Rank programs are written as Python generators against an
+mpi4py-flavoured :class:`~repro.sim.comm.Comm` API::
+
+    def program(comm):
+        data = yield comm.bcast(data, root=0, nbytes=8 * 1024)
+        yield comm.compute(sig, flops=1e6)
+        sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+        ...
+
+The :class:`~repro.sim.engine.Simulator` advances a per-rank virtual
+clock, matches point-to-point messages, rendezvouses collectives, and
+charges costs from a :class:`~repro.sim.machine.Machine` model
+(alpha-beta-gamma with per-collective tree algorithms) perturbed by a
+deterministic :class:`~repro.sim.noise.NoiseModel`.
+
+Every MPI-level event funnels through a
+:class:`~repro.sim.profiler.Profiler` hook — the exact interposition
+point PMPI provides to the real Critter tool.  The default
+:class:`~repro.sim.profiler.NullProfiler` executes everything;
+:class:`repro.critter.Critter` implements selective execution.
+"""
+
+from repro.sim.machine import Machine, CollectiveCosts
+from repro.sim.noise import NoiseModel
+from repro.sim.engine import Simulator, SimResult, DeadlockError
+from repro.sim.comm import Comm
+from repro.sim.presets import PRESETS, MachinePreset, make_machine
+from repro.sim.profiler import Profiler, NullProfiler, Decision
+from repro.sim.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "Machine",
+    "CollectiveCosts",
+    "NoiseModel",
+    "Simulator",
+    "SimResult",
+    "DeadlockError",
+    "Comm",
+    "Profiler",
+    "NullProfiler",
+    "Decision",
+    "TraceRecorder",
+    "TraceEvent",
+    "MachinePreset",
+    "PRESETS",
+    "make_machine",
+]

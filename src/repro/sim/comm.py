@@ -1,0 +1,179 @@
+"""mpi4py-flavoured communicator API for rank programs.
+
+Rank programs receive a :class:`Comm` and *yield* the descriptors its
+methods build::
+
+    def program(comm):
+        sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+        data = yield comm.bcast(payload, root=0, nbytes=1024)
+        yield comm.compute(spec, fn=np.linalg.cholesky, args=(a,))
+        req = yield comm.isend(tile, dest=1, tag=7, nbytes=tile.nbytes)
+        yield comm.wait(req)
+
+Method names deliberately mirror mpi4py's lowercase object API (see the
+mpi4py tutorial); ``nbytes`` must be given explicitly in symbolic
+(cost-only) mode where no real payload exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.signature import KernelSignature
+from repro.sim.ops import CollOp, ComputeOp, P2POp, Request, SplitOp, WaitOp
+
+__all__ = ["Comm", "payload_nbytes"]
+
+
+def payload_nbytes(payload: Any, nbytes: Optional[int]) -> int:
+    """Infer a payload's size in bytes, preferring an explicit value."""
+    if nbytes is not None:
+        return int(nbytes)
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(p, None) for p in payload)
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    raise TypeError(
+        f"cannot infer nbytes for payload of type {type(payload).__name__}; "
+        "pass nbytes= explicitly"
+    )
+
+
+class Comm:
+    """A rank's view of a communicator.
+
+    ``group`` is the engine-side :class:`~repro.sim.engine.CommGroup`
+    shared by all members; ``rank`` is this process's rank *within* the
+    communicator.
+    """
+
+    __slots__ = ("group", "rank")
+
+    def __init__(self, group: Any, rank: int) -> None:
+        self.group = group
+        self.rank = rank
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in MPI_COMM_WORLD."""
+        return self.group.world_ranks[self.rank]
+
+    @property
+    def world_ranks(self) -> Tuple[int, ...]:
+        return self.group.world_ranks
+
+    def translate(self, rank: int) -> int:
+        """Translate a rank local to this communicator to a world rank."""
+        return self.group.world_ranks[rank]
+
+    def __repr__(self) -> str:
+        return f"Comm(id={self.group.gid}, rank={self.rank}/{self.size})"
+
+    # -- computation -----------------------------------------------------
+    def compute(
+        self,
+        spec: Any,
+        fn: Optional[Callable[..., Any]] = None,
+        args: Tuple[Any, ...] = (),
+    ) -> ComputeOp:
+        """Build a computational-kernel op.
+
+        ``spec`` is either a ``(sig, flops)`` pair (as produced by the
+        builders in :mod:`repro.kernels.blas` / ``lapack``) or a
+        :class:`KernelSignature` with ``flops`` passed via a 2-tuple.
+        """
+        sig, flops = spec
+        if not isinstance(sig, KernelSignature):
+            raise TypeError("compute() expects a (KernelSignature, flops) spec")
+        return ComputeOp(sig=sig, flops=float(flops), fn=fn, args=args)
+
+    def region(
+        self,
+        name: str,
+        *params: int,
+        flops: float,
+        fn: Optional[Callable[..., Any]] = None,
+        args: Tuple[Any, ...] = (),
+    ) -> ComputeOp:
+        """Declare a custom code-region kernel.
+
+        Mirrors Critter's preprocessor-directive API that "allows
+        library developers to selectively execute loop nests and other
+        structures": the region becomes a computational kernel with its
+        own signature (name + parameters) and estimated work, eligible
+        for statistical profiling and selective execution like any
+        BLAS/LAPACK call.
+        """
+        from repro.kernels.signature import comp_signature
+
+        return ComputeOp(sig=comp_signature(name, *params),
+                         flops=float(flops), fn=fn, args=args)
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, payload: Any = None, dest: int = 0, tag: int = 0,
+             nbytes: Optional[int] = None) -> P2POp:
+        return P2POp("send", self, dest, tag, payload, payload_nbytes(payload, nbytes))
+
+    def recv(self, source: int = 0, tag: int = 0, nbytes: Optional[int] = None) -> P2POp:
+        return P2POp("recv", self, source, tag, None, int(nbytes or 0))
+
+    def isend(self, payload: Any = None, dest: int = 0, tag: int = 0,
+              nbytes: Optional[int] = None) -> P2POp:
+        return P2POp("isend", self, dest, tag, payload, payload_nbytes(payload, nbytes))
+
+    def irecv(self, source: int = 0, tag: int = 0, nbytes: Optional[int] = None) -> P2POp:
+        return P2POp("irecv", self, source, tag, None, int(nbytes or 0))
+
+    def wait(self, request: Request) -> WaitOp:
+        return WaitOp([request], mode="one")
+
+    def waitall(self, requests: Sequence[Request]) -> WaitOp:
+        return WaitOp(list(requests), mode="all")
+
+    # -- collectives --------------------------------------------------------
+    def bcast(self, payload: Any = None, root: int = 0,
+              nbytes: Optional[int] = None) -> CollOp:
+        return CollOp("bcast", self, root, payload, payload_nbytes(payload, nbytes))
+
+    def reduce(self, payload: Any = None, root: int = 0,
+               nbytes: Optional[int] = None) -> CollOp:
+        return CollOp("reduce", self, root, payload, payload_nbytes(payload, nbytes))
+
+    def allreduce(self, payload: Any = None, nbytes: Optional[int] = None) -> CollOp:
+        return CollOp("allreduce", self, 0, payload, payload_nbytes(payload, nbytes))
+
+    def gather(self, payload: Any = None, root: int = 0,
+               nbytes: Optional[int] = None) -> CollOp:
+        return CollOp("gather", self, root, payload, payload_nbytes(payload, nbytes))
+
+    def allgather(self, payload: Any = None, nbytes: Optional[int] = None) -> CollOp:
+        return CollOp("allgather", self, 0, payload, payload_nbytes(payload, nbytes))
+
+    def scatter(self, payload: Any = None, root: int = 0,
+                nbytes: Optional[int] = None) -> CollOp:
+        """``payload`` at root is a list of ``size`` chunks; ``nbytes`` is per-chunk."""
+        if payload is not None and nbytes is None:
+            nbytes = payload_nbytes(payload, None) // max(self.size, 1)
+        return CollOp("scatter", self, root, payload, int(nbytes or 0))
+
+    def alltoall(self, payload: Any = None, nbytes: Optional[int] = None) -> CollOp:
+        return CollOp("alltoall", self, 0, payload, int(nbytes or 0))
+
+    def barrier(self) -> CollOp:
+        return CollOp("barrier", self, 0, None, 0)
+
+    # -- communicator management ---------------------------------------------
+    def split(self, color: Optional[int], key: int = 0) -> SplitOp:
+        """Split this communicator; ``color=None`` means MPI_UNDEFINED."""
+        return SplitOp(self, color, int(key))

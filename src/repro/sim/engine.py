@@ -1,0 +1,552 @@
+"""Discrete-event engine: rank coroutines, matching, rendezvous, timing.
+
+The engine advances one virtual clock per rank.  Rank programs are
+generators; every yielded op descriptor is translated into simulated
+time using the :class:`~repro.sim.machine.Machine` cost model, the
+:class:`~repro.sim.noise.NoiseModel`, and the attached
+:class:`~repro.sim.profiler.Profiler` (whose decisions implement
+selective execution).
+
+Timing semantics (all hooks receive exact arrival times):
+
+* ``compute``   — local; charges the sampled kernel time (or the skip
+  overhead when the profiler elides execution).
+* collectives   — synchronous rendezvous: all participants complete at
+  ``max(arrivals) + intercept + cost``; per-rank idle time is
+  ``max(arrivals) - arrival``.
+* blocking p2p  — rendezvous of the two endpoints, completing at
+  ``max(post times) + intercept + cost``.
+* ``isend``     — buffered: the sender continues immediately (paying
+  only local interception cost); the transfer completes the matching
+  request at ``max(post times) + intercept + cost``.
+* ``wait``      — resumes at ``max(now, request completions)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.signature import KernelSignature, comm_signature
+from repro.sim.comm import Comm
+from repro.sim.machine import Machine
+from repro.sim.noise import NoiseModel
+from repro.sim.ops import CollOp, ComputeOp, P2POp, Request, SplitOp, WaitOp
+from repro.sim.profiler import NullProfiler, Profiler
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Simulator", "SimResult", "CommGroup", "P2PRecord", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no rank can make progress but some have not finished."""
+
+
+class CommGroup:
+    """Engine-side state shared by all members of a communicator."""
+
+    __slots__ = ("gid", "world_ranks", "sorted_ranks", "stride", "parent",
+                 "coll_counts", "pending")
+
+    def __init__(self, gid: int, world_ranks: Tuple[int, ...],
+                 parent: Optional["CommGroup"] = None) -> None:
+        self.gid = gid
+        self.world_ranks = world_ranks
+        self.sorted_ranks = tuple(sorted(world_ranks))
+        self.parent = parent
+        # per-member collective sequence counters (world rank -> count)
+        self.coll_counts: Dict[int, int] = {r: 0 for r in world_ranks}
+        # seq -> _CollPending
+        self.pending: Dict[int, "_CollPending"] = {}
+        self.stride = self._compute_stride()
+
+    def _compute_stride(self) -> int:
+        rs = self.sorted_ranks
+        if len(rs) < 2:
+            return 0
+        return min(b - a for a, b in zip(rs, rs[1:]))
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def __repr__(self) -> str:
+        return f"CommGroup(gid={self.gid}, size={self.size}, stride={self.stride})"
+
+
+class _CollPending:
+    """A collective (or split) waiting for all participants."""
+
+    __slots__ = ("name", "entries")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.entries: Dict[int, Tuple[float, Any]] = {}  # world rank -> (time, op)
+
+
+@dataclass(slots=True)
+class P2PRecord:
+    """Engine/profiler-shared record of one posted p2p endpoint."""
+
+    kind: str  # send | isend | recv | irecv
+    world_rank: int
+    comm_rank: int
+    peer_world: int
+    tag: int
+    nbytes: int
+    post_time: float
+    group: CommGroup
+    payload: Any = None
+    blocking: bool = True
+    request: Optional[Request] = None
+    snapshot: Any = None  # filled by profilers (path state at post time)
+
+
+class _RankState:
+    __slots__ = ("rank", "gen", "time", "rng", "finished", "retval", "waiting",
+                 "park_reason")
+
+    def __init__(self, rank: int, gen: Any, rng: np.random.Generator) -> None:
+        self.rank = rank
+        self.gen = gen
+        self.time = 0.0
+        self.rng = rng
+        self.finished = False
+        self.retval: Any = None
+        # (wait_posted_time, [requests], mode) when parked in a wait
+        self.waiting: Optional[Tuple[float, List[Request], str]] = None
+        self.park_reason: Optional[str] = None
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Outcome of one simulated run."""
+
+    makespan: float
+    rank_times: List[float]
+    returns: List[Any]
+    run_seed: int
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.rank_times)
+
+
+class Simulator:
+    """Drives rank programs over a simulated machine.
+
+    Parameters
+    ----------
+    machine:
+        Cost model (also fixes the number of ranks).
+    noise:
+        Timing noise process; defaults to :class:`NoiseModel` with the
+        machine's seed.
+    profiler:
+        Interposition tool (Critter or the default NullProfiler).
+    execute_skipped_fns:
+        When True, numeric callbacks of *skipped* kernels still run (so
+        data stays valid in data-carrying experiments); the charged time
+        is still only the skip overhead, matching the tool's economics.
+    trace:
+        Optional :class:`TraceRecorder` capturing every event.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        noise: Optional[NoiseModel] = None,
+        profiler: Optional[Profiler] = None,
+        *,
+        execute_skipped_fns: bool = False,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.machine = machine
+        self.noise = noise if noise is not None else NoiseModel(machine_seed=machine.seed)
+        self.profiler = profiler if profiler is not None else NullProfiler()
+        self.execute_skipped_fns = execute_skipped_fns
+        self.trace = trace
+        self.run_seed = 0
+        # run state
+        self._states: List[_RankState] = []
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._next_gid = 0
+        self._groups: Dict[int, CommGroup] = {}
+        self._p2p_sends: Dict[Tuple[int, int, int, int], List[P2PRecord]] = {}
+        self._p2p_recvs: Dict[Tuple[int, int, int, int], List[P2PRecord]] = {}
+        self.world: Optional[CommGroup] = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        rank_args: Optional[Sequence[Tuple[Any, ...]]] = None,
+        run_seed: int = 0,
+    ) -> SimResult:
+        """Execute ``program(comm, *args)`` SPMD on all ranks.
+
+        ``rank_args`` optionally supplies per-rank extra positional
+        arguments (appended after ``args``).
+        """
+        p = self.machine.nprocs
+        self.run_seed = int(run_seed)
+        self._states = []
+        self._heap = []
+        self._seq = 0
+        self._next_gid = 0
+        self._groups = {}
+        self._p2p_sends = {}
+        self._p2p_recvs = {}
+
+        self.world = self._make_group(tuple(range(p)), parent=None)
+        self.profiler.start_run(self, self.run_seed)
+        self.profiler.on_world(self.world)
+
+        for r in range(p):
+            rng = np.random.Generator(np.random.PCG64(((self.run_seed & 0xFFFFFF) << 24) ^ (r + 1)))
+            extra = tuple(rank_args[r]) if rank_args is not None else ()
+            gen = program(Comm(self.world, r), *args, *extra)
+            self._states.append(_RankState(r, gen, rng))
+            self._push(0.0, r, None)
+
+        while self._heap:
+            t, _, r, value = heapq.heappop(self._heap)
+            st = self._states[r]
+            st.time = t
+            try:
+                op = st.gen.send(value)
+            except StopIteration as stop:
+                st.finished = True
+                st.retval = stop.value
+                continue
+            self._dispatch(st, op)
+
+        unfinished = [s.rank for s in self._states if not s.finished]
+        if unfinished:
+            details = "; ".join(
+                f"rank {s.rank}: {s.park_reason or 'blocked'}"
+                for s in self._states
+                if not s.finished
+            )
+            raise DeadlockError(f"deadlock — unfinished ranks {unfinished}: {details}")
+
+        rank_times = [s.time for s in self._states]
+        makespan = max(rank_times)
+        self.profiler.end_run(self, makespan)
+        return SimResult(
+            makespan=makespan,
+            rank_times=rank_times,
+            returns=[s.retval for s in self._states],
+            run_seed=self.run_seed,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _push(self, time: float, rank: int, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, rank, value))
+
+    def _make_group(self, world_ranks: Tuple[int, ...],
+                    parent: Optional[CommGroup]) -> CommGroup:
+        g = CommGroup(self._next_gid, world_ranks, parent)
+        self._next_gid += 1
+        self._groups[g.gid] = g
+        return g
+
+    def _dispatch(self, st: _RankState, op: Any) -> None:
+        if isinstance(op, ComputeOp):
+            self._do_compute(st, op)
+        elif isinstance(op, P2POp):
+            self._do_p2p(st, op)
+        elif isinstance(op, CollOp):
+            self._do_collective(st, op)
+        elif isinstance(op, SplitOp):
+            self._do_split(st, op)
+        elif isinstance(op, WaitOp):
+            self._do_wait(st, op)
+        else:
+            raise TypeError(f"rank {st.rank} yielded unknown op {op!r}")
+
+    # -- compute ---------------------------------------------------------
+    def _do_compute(self, st: _RankState, op: ComputeOp) -> None:
+        prof = self.profiler
+        execute = prof.on_compute(st.rank, op.sig, op.flops)
+        result = None
+        if execute:
+            base = self.machine.compute_cost(op.flops)
+            elapsed = self.noise.sample(op.sig, base, st.rng, self.run_seed)
+            if op.fn is not None:
+                result = op.fn(*op.args)
+        else:
+            elapsed = self.machine.skip_overhead
+            if op.fn is not None and self.execute_skipped_fns:
+                result = op.fn(*op.args)
+        prof.post_compute(st.rank, op.sig, execute, elapsed, op.flops)
+        if self.trace is not None:
+            self.trace.record("comp", (st.rank,), op.sig, st.time, elapsed, execute)
+        self._push(st.time + elapsed, st.rank, result)
+
+    # -- point-to-point ----------------------------------------------------
+    def _do_p2p(self, st: _RankState, op: P2POp) -> None:
+        group: CommGroup = op.comm.group
+        me_world = group.world_ranks[op.comm.rank]
+        peer_world = group.world_ranks[op.peer]
+        rec = P2PRecord(
+            kind=op.kind,
+            world_rank=me_world,
+            comm_rank=op.comm.rank,
+            peer_world=peer_world,
+            tag=op.tag,
+            nbytes=op.nbytes,
+            post_time=st.time,
+            group=group,
+            payload=op.payload,
+            blocking=op.kind in ("send", "recv"),
+        )
+        prof = self.profiler
+        prof.on_p2p_post(rec)
+        if op.kind in ("isend", "irecv"):
+            req = Request(rank=st.rank, kind=op.kind, record=rec)
+            rec.request = req
+            # buffered post: local interception bookkeeping only
+            self._push(st.time + prof.intercept_cost(1), st.rank, req)
+        else:
+            st.park_reason = f"blocking {op.kind} peer={peer_world} tag={op.tag}"
+
+        if op.kind in ("send", "isend"):
+            key = (group.gid, me_world, peer_world, op.tag)
+            queue = self._p2p_recvs.get(key)
+            if queue:
+                self._match_p2p(rec, queue.pop(0))
+            else:
+                self._p2p_sends.setdefault(key, []).append(rec)
+        else:
+            key = (group.gid, peer_world, me_world, op.tag)
+            queue = self._p2p_sends.get(key)
+            if queue:
+                self._match_p2p(queue.pop(0), rec)
+            else:
+                self._p2p_recvs.setdefault(key, []).append(rec)
+
+    def _match_p2p(self, send: P2PRecord, recv: P2PRecord) -> None:
+        prof = self.profiler
+        stride = abs(send.world_rank - recv.world_rank) or 1
+        sig = comm_signature("p2p", send.nbytes, 2, stride)
+        execute = prof.on_p2p(sig, send, recv)
+        if execute:
+            base = self.machine.comm_cost(sig)
+            rng = self._states[recv.world_rank].rng
+            cost = self.noise.sample(sig, base, rng, self.run_seed)
+        else:
+            cost = 0.0
+        start = max(send.post_time, recv.post_time)
+        completion = start + prof.intercept_cost(2) + cost
+        prof.post_p2p(sig, send, recv, execute, cost, completion)
+        if self.trace is not None:
+            self.trace.record(
+                "p2p", (send.world_rank, recv.world_rank), sig, start, cost, execute
+            )
+        # sender side
+        if send.kind == "send":
+            self._states[send.world_rank].park_reason = None
+            self._push(completion, send.world_rank, None)
+        else:
+            self._complete_request(send.request, completion, None)
+        # receiver side
+        if recv.kind == "recv":
+            self._states[recv.world_rank].park_reason = None
+            self._push(completion, recv.world_rank, send.payload)
+        else:
+            recv.request.value = send.payload
+            self._complete_request(recv.request, completion, send.payload)
+
+    def _complete_request(self, req: Request, completion: float, value: Any) -> None:
+        req.done = True
+        req.completion = completion
+        if req.kind == "irecv":
+            req.value = value
+        st = self._states[req.rank]
+        self.profiler.on_wait(req.rank, req, completion)
+        if st.waiting is not None:
+            self._check_wait(st)
+
+    def _do_wait(self, st: _RankState, op: WaitOp) -> None:
+        st.waiting = (st.time, list(op.requests), op.mode)
+        st.park_reason = f"wait on {len(op.requests)} request(s)"
+        self._check_wait(st)
+
+    def _check_wait(self, st: _RankState) -> None:
+        posted, reqs, mode = st.waiting
+        if not all(r.done for r in reqs):
+            return
+        st.waiting = None
+        st.park_reason = None
+        resume = max([posted] + [r.completion for r in reqs])
+        if mode == "one":
+            value = reqs[0].value
+        else:
+            value = [r.value for r in reqs]
+        self._push(resume, st.rank, value)
+
+    # -- collectives --------------------------------------------------------
+    def _do_collective(self, st: _RankState, op: CollOp) -> None:
+        group: CommGroup = op.comm.group
+        me_world = group.world_ranks[op.comm.rank]
+        seq = group.coll_counts[me_world]
+        group.coll_counts[me_world] = seq + 1
+        pend = group.pending.get(seq)
+        if pend is None:
+            pend = _CollPending(op.name)
+            group.pending[seq] = pend
+        elif pend.name != op.name:
+            raise RuntimeError(
+                f"collective mismatch on comm {group.gid} seq {seq}: "
+                f"{pend.name} vs {op.name} (rank {me_world})"
+            )
+        pend.entries[me_world] = (st.time, op)
+        st.park_reason = f"collective {op.name} on comm {group.gid} seq {seq}"
+        if len(pend.entries) == group.size:
+            del group.pending[seq]
+            self._finish_collective(group, pend)
+
+    def _finish_collective(self, group: CommGroup, pend: _CollPending) -> None:
+        prof = self.profiler
+        entries = pend.entries
+        name = pend.name
+        nbytes = max(e[1].nbytes for e in entries.values())
+        root = next(iter(entries.values()))[1].root
+        sig = comm_signature(name, nbytes, group.size, max(group.stride, 1))
+        arrivals = {wr: e[0] for wr, e in entries.items()}
+        execute = prof.on_collective(group, sig, root, arrivals)
+        if execute:
+            base = self.machine.comm_cost(sig)
+            rng = self._states[min(group.world_ranks)].rng
+            cost = self.noise.sample(sig, base, rng, self.run_seed)
+        else:
+            cost = 0.0
+        start = max(arrivals.values())
+        completion = start + prof.intercept_cost(group.size) + cost
+        prof.post_collective(group, sig, arrivals, execute, cost, completion)
+        if self.trace is not None:
+            self.trace.record(
+                "coll", tuple(sorted(arrivals)), sig, start, cost, execute
+            )
+        results = self._collective_results(group, name, entries, root)
+        for wr in group.world_ranks:
+            self._states[wr].park_reason = None
+            self._push(completion, wr, results[wr])
+
+    @staticmethod
+    def _reduce_payloads(payloads: List[Any]) -> Any:
+        vals = [p for p in payloads if p is not None]
+        if not vals:
+            return None
+        acc = vals[0]
+        if isinstance(acc, np.ndarray):
+            acc = acc.copy()
+        for v in vals[1:]:
+            acc = acc + v
+        return acc
+
+    def _collective_results(
+        self,
+        group: CommGroup,
+        name: str,
+        entries: Dict[int, Tuple[float, CollOp]],
+        root: int,
+    ) -> Dict[int, Any]:
+        wr_by_comm_rank = group.world_ranks
+        root_world = wr_by_comm_rank[root]
+        ordered = [entries[wr][1].payload for wr in wr_by_comm_rank]
+        out: Dict[int, Any] = {}
+        # symbolic fast path: no data rides the collective
+        if name != "allgather" and all(p is None for p in ordered):
+            return dict.fromkeys(wr_by_comm_rank)
+        if name == "bcast":
+            val = entries[root_world][1].payload
+            for wr in wr_by_comm_rank:
+                out[wr] = val
+        elif name == "reduce":
+            total = self._reduce_payloads(ordered)
+            for wr in wr_by_comm_rank:
+                out[wr] = total if wr == root_world else None
+        elif name == "allreduce":
+            total = self._reduce_payloads(ordered)
+            for wr in wr_by_comm_rank:
+                out[wr] = total
+        elif name == "gather":
+            for wr in wr_by_comm_rank:
+                out[wr] = list(ordered) if wr == root_world else None
+        elif name == "allgather":
+            for wr in wr_by_comm_rank:
+                out[wr] = list(ordered)
+        elif name == "scatter":
+            chunks = entries[root_world][1].payload
+            for i, wr in enumerate(wr_by_comm_rank):
+                out[wr] = None if chunks is None else chunks[i]
+        elif name == "alltoall":
+            for i, wr in enumerate(wr_by_comm_rank):
+                if all(p is None for p in ordered):
+                    out[wr] = None
+                else:
+                    out[wr] = [p[i] if p is not None else None for p in ordered]
+        elif name == "barrier":
+            for wr in wr_by_comm_rank:
+                out[wr] = None
+        else:
+            raise ValueError(f"unknown collective {name!r}")
+        return out
+
+    # -- split ----------------------------------------------------------------
+    def _do_split(self, st: _RankState, op: SplitOp) -> None:
+        group: CommGroup = op.comm.group
+        me_world = group.world_ranks[op.comm.rank]
+        seq = group.coll_counts[me_world]
+        group.coll_counts[me_world] = seq + 1
+        pend = group.pending.get(seq)
+        if pend is None:
+            pend = _CollPending("__split__")
+            group.pending[seq] = pend
+        elif pend.name != "__split__":
+            raise RuntimeError(
+                f"collective mismatch on comm {group.gid} seq {seq}: "
+                f"{pend.name} vs split (rank {me_world})"
+            )
+        pend.entries[me_world] = (st.time, op)
+        st.park_reason = f"comm_split on comm {group.gid}"
+        if len(pend.entries) == group.size:
+            del group.pending[seq]
+            self._finish_split(group, pend)
+
+    def _finish_split(self, group: CommGroup, pend: _CollPending) -> None:
+        prof = self.profiler
+        entries = pend.entries
+        # group members by color, ordered by (key, world rank) like MPI
+        by_color: Dict[int, List[Tuple[int, int]]] = {}
+        for wr, (_, op) in entries.items():
+            if op.color is None:
+                continue
+            by_color.setdefault(op.color, []).append((op.key, wr))
+        subgroups: Dict[int, CommGroup] = {}
+        for color, members in sorted(by_color.items()):
+            members.sort()
+            ranks = tuple(wr for _, wr in members)
+            subgroups[color] = self._make_group(ranks, parent=group)
+        prof.on_comm_split(group, list(subgroups.values()))
+        # MPI_Comm_split is an allgather of (color, key) internally
+        cost = self.machine.collectives().allgather(8, group.size)
+        start = max(t for t, _ in entries.values())
+        completion = start + prof.intercept_cost(group.size) + cost
+        for wr, (_, op) in entries.items():
+            self._states[wr].park_reason = None
+            if op.color is None:
+                self._push(completion, wr, None)
+            else:
+                sub = subgroups[op.color]
+                self._push(completion, wr, Comm(sub, sub.world_ranks.index(wr)))

@@ -1,0 +1,153 @@
+"""Deterministic performance-noise model.
+
+Kernel timings in the simulator are random variables, exactly as the
+paper assumes ("a metric measurement of each kernel's execution time
+follows a distribution with finite mean and variance").  Three effects
+are modeled, each with its own deterministic RNG stream:
+
+1. **Per-signature efficiency bias** — a multiplicative lognormal factor
+   drawn once per (machine seed, kernel signature).  It models the
+   architecture-specific efficiency of a routine at a given input size
+   (cache effects, vectorization efficiency, network topology fit) that
+   analytic flop/byte counts cannot capture.  Because the bias depends
+   on the signature, configurations with different block sizes really
+   do have different — and a-priori unknown — true costs, which is what
+   makes autotuning necessary (Section I).
+
+2. **Per-invocation noise** — a lognormal multiplier with unit mean and
+   configurable coefficient of variation (separately for computation
+   and communication kernels; communication on a shared fat-tree is far
+   noisier).  This is what Critter's confidence intervals must average
+   away.
+
+3. **Per-run drift** — a small lognormal factor drawn once per
+   (run seed, signature) modeling slow environment changes between
+   benchmark runs (Stampede2 "does not allocate a contiguous set of
+   nodes [so] variability in execution time is observed to be high",
+   Section VI.A).  It bounds achievable prediction accuracy from below,
+   as in the paper's noisiest experiments.
+
+All draws use ``numpy`` PCG64 generators seeded from stable hashes, so
+every experiment is bit-reproducible.  Per-signature biases and per-run
+drifts are memoized — they are *defined* to be deterministic functions
+of (seed, signature), so caching changes nothing observable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.signature import KernelSignature
+
+__all__ = ["NoiseModel"]
+
+
+def _lognormal_params(cv: float) -> tuple[float, float]:
+    """(mu, sigma) of a unit-mean lognormal with coefficient of variation cv."""
+    sigma2 = math.log1p(cv * cv)
+    return -0.5 * sigma2, math.sqrt(sigma2)
+
+
+@dataclass(slots=True)
+class NoiseModel:
+    """Noise process for kernel timings.
+
+    Parameters
+    ----------
+    bias_sigma:
+        Log-std-dev of the per-signature efficiency bias.  0 disables.
+    comp_cv, comm_cv:
+        Coefficient of variation of per-invocation noise for
+        computation / communication kernels.
+    run_cv:
+        Coefficient of variation of the per-run drift factor.
+    machine_seed:
+        Mixed into per-signature bias draws (machine identity).
+    """
+
+    bias_sigma: float = 0.3
+    comp_cv: float = 0.08
+    comm_cv: float = 0.2
+    run_cv: float = 0.01
+    machine_seed: int = 0
+
+    _bias_cache: dict = None       # type: ignore[assignment]
+    _drift_cache: dict = None      # type: ignore[assignment]
+    _comp_params: tuple = None     # type: ignore[assignment]
+    _comm_params: tuple = None     # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._bias_cache = {}
+        self._drift_cache = {}
+        self._comp_params = _lognormal_params(self.comp_cv) if self.comp_cv > 0 else None
+        self._comm_params = _lognormal_params(self.comm_cv) if self.comm_cv > 0 else None
+
+    # ------------------------------------------------------------------
+    def signature_bias(self, sig: KernelSignature) -> float:
+        """Deterministic efficiency multiplier for a kernel signature."""
+        if self.bias_sigma <= 0.0:
+            return 1.0
+        key = sig.stable_hash()
+        cached = self._bias_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = np.random.Generator(
+            np.random.PCG64(((self.machine_seed & 0xFFFFFFFF) << 32) | key)
+        )
+        # exp(N(0, sigma)) normalized to unit mean so costs stay centered
+        bias = float(np.exp(rng.normal(0.0, self.bias_sigma) - 0.5 * self.bias_sigma**2))
+        self._bias_cache[key] = bias
+        return bias
+
+    def run_drift(self, sig: KernelSignature, run_seed: int) -> float:
+        """Per-run systematic multiplier (environment drift between runs)."""
+        if self.run_cv <= 0.0:
+            return 1.0
+        key = (sig, run_seed)
+        cached = self._drift_cache.get(key)
+        if cached is not None:
+            return cached
+        rng = np.random.Generator(
+            np.random.PCG64(
+                ((run_seed & 0xFFFFFFFF) << 32) | (sig.stable_hash() ^ 0x5BD1E995)
+            )
+        )
+        mu, s = _lognormal_params(self.run_cv)
+        drift = float(np.exp(mu + s * rng.standard_normal()))
+        self._drift_cache[key] = drift
+        return drift
+
+    def invocation_cv(self, sig: KernelSignature) -> float:
+        return self.comm_cv if sig.is_comm else self.comp_cv
+
+    def true_mean(self, sig: KernelSignature, base_cost: float) -> float:
+        """The kernel's true (but a-priori unknown) mean execution time."""
+        return base_cost * self.signature_bias(sig)
+
+    def sample(
+        self,
+        sig: KernelSignature,
+        base_cost: float,
+        rng: np.random.Generator,
+        run_seed: int = 0,
+    ) -> float:
+        """Draw one observed execution time for a kernel invocation."""
+        mean = self.true_mean(sig, base_cost) * self.run_drift(sig, run_seed)
+        params = self._comm_params if sig.kind == "comm" else self._comp_params
+        if params is None:
+            return mean
+        mu, s = params
+        return mean * math.exp(mu + s * rng.standard_normal())
+
+    def quiet(self) -> "NoiseModel":
+        """A copy with all randomness disabled (for deterministic tests)."""
+        return NoiseModel(
+            bias_sigma=0.0,
+            comp_cv=0.0,
+            comm_cv=0.0,
+            run_cv=0.0,
+            machine_seed=self.machine_seed,
+        )

@@ -1,0 +1,114 @@
+"""Operation descriptors yielded by rank programs to the engine.
+
+Rank programs never touch the engine directly: they ``yield`` one of
+these descriptors (constructed through the :class:`~repro.sim.comm.Comm`
+helpers) and are resumed with the operation's result once the simulated
+operation completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.kernels.signature import KernelSignature
+
+__all__ = [
+    "ComputeOp",
+    "P2POp",
+    "CollOp",
+    "SplitOp",
+    "WaitOp",
+    "Request",
+    "COLLECTIVES",
+]
+
+#: collective names understood by the engine / machine model
+COLLECTIVES = (
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "barrier",
+)
+
+
+@dataclass(slots=True)
+class ComputeOp:
+    """A computational kernel (BLAS/LAPACK call or user code region).
+
+    ``fn(*args)`` optionally performs the real numeric work; the engine
+    calls it when the kernel executes (and, if the simulator is created
+    with ``execute_skipped_fns=True``, even when Critter skips it, so
+    data-carrying runs stay numerically valid).
+    """
+
+    sig: KernelSignature
+    flops: float
+    fn: Optional[Callable[..., Any]] = None
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(slots=True)
+class P2POp:
+    """A point-to-point operation. ``kind`` in {send, recv, isend, irecv}."""
+
+    kind: str
+    comm: Any  # Comm (avoid circular import)
+    peer: int  # peer rank, local to ``comm``
+    tag: int = 0
+    payload: Any = None
+    nbytes: int = 0
+
+
+@dataclass(slots=True)
+class CollOp:
+    """A blocking collective on ``comm``.
+
+    ``nbytes`` is the per-rank payload size in bytes (the MPI count);
+    ``payload`` carries real data in numeric mode (root's buffer for
+    bcast/scatter, each rank's contribution otherwise).
+    """
+
+    name: str
+    comm: Any
+    root: int = 0
+    payload: Any = None
+    nbytes: int = 0
+
+
+@dataclass(slots=True)
+class SplitOp:
+    """``MPI_Comm_split``: collective over the parent communicator."""
+
+    comm: Any
+    color: Optional[int]
+    key: int
+
+
+@dataclass(slots=True)
+class WaitOp:
+    """Wait for one or more outstanding nonblocking requests."""
+
+    requests: Sequence["Request"]
+    #: "all" returns a list of results; "one" expects a single request
+    mode: str = "all"
+
+
+@dataclass(slots=True)
+class Request:
+    """Handle for a nonblocking operation.
+
+    ``record`` is the engine-internal message record; ``value`` holds
+    the received payload for irecv once complete.
+    """
+
+    rank: int
+    kind: str
+    done: bool = False
+    completion: float = 0.0
+    value: Any = None
+    record: Any = None

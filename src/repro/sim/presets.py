@@ -1,0 +1,91 @@
+"""Machine parameter presets.
+
+The defaults of :class:`~repro.sim.machine.Machine` approximate one
+Stampede2 KNL core; these presets provide other plausible design points
+so noise-sensitivity and machine-dependence studies (e.g. "does the
+chosen configuration change across machines?" — the reason autotuning
+exists) have ready-made contrasts.
+
+Each preset fixes the alpha/beta/gamma triple and a matching noise
+profile; the ``seed`` still controls per-signature efficiency biases,
+so two instances of the *same* preset with different seeds rank
+configurations differently — exactly like two differently-aged
+clusters of the same model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.machine import Machine
+from repro.sim.noise import NoiseModel
+
+__all__ = ["MachinePreset", "PRESETS", "make_machine"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachinePreset:
+    """A named machine design point."""
+
+    name: str
+    description: str
+    alpha: float
+    beta: float
+    gamma: float
+    bias_sigma: float
+    comp_cv: float
+    comm_cv: float
+    run_cv: float
+
+    def machine(self, nprocs: int, seed: int = 0) -> Machine:
+        return Machine(nprocs=nprocs, alpha=self.alpha, beta=self.beta,
+                       gamma=self.gamma, seed=seed)
+
+    def noise(self, seed: int = 0) -> NoiseModel:
+        return NoiseModel(bias_sigma=self.bias_sigma, comp_cv=self.comp_cv,
+                          comm_cv=self.comm_cv, run_cv=self.run_cv,
+                          machine_seed=seed)
+
+
+PRESETS = {
+    # Stampede2-flavoured: slow serial cores, fast fabric, noisy shared
+    # network (the paper's host system)
+    "knl-fabric": MachinePreset(
+        name="knl-fabric",
+        description="KNL-class cores on a fat-tree fabric (paper-like)",
+        alpha=2.0e-6, beta=5.0e-10, gamma=5.0e-11,
+        bias_sigma=0.3, comp_cv=0.08, comm_cv=0.2, run_cv=0.01,
+    ),
+    # fat x86 cores, commodity network: computation relatively cheap,
+    # latency relatively expensive -> larger blocks win
+    "epyc-ethernet": MachinePreset(
+        name="epyc-ethernet",
+        description="server-class cores over 100GbE (latency-heavy)",
+        alpha=1.0e-5, beta=1.0e-10, gamma=2.0e-11,
+        bias_sigma=0.25, comp_cv=0.05, comm_cv=0.35, run_cv=0.02,
+    ),
+    # cloud VMs: huge run-to-run drift, noisy neighbours
+    "cloud-vm": MachinePreset(
+        name="cloud-vm",
+        description="virtualized nodes with noisy neighbours",
+        alpha=2.0e-5, beta=8.0e-10, gamma=3.0e-11,
+        bias_sigma=0.35, comp_cv=0.2, comm_cv=0.5, run_cv=0.05,
+    ),
+    # an idealized quiet machine: near-deterministic timings (useful as
+    # an experimental control)
+    "quiet": MachinePreset(
+        name="quiet",
+        description="noise-free control machine",
+        alpha=2.0e-6, beta=5.0e-10, gamma=5.0e-11,
+        bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0,
+    ),
+}
+
+
+def make_machine(preset: str, nprocs: int, seed: int = 0):
+    """Build (Machine, NoiseModel) for a named preset."""
+    try:
+        p = PRESETS[preset]
+    except KeyError:
+        raise ValueError(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}") from None
+    return p.machine(nprocs, seed), p.noise(seed)

@@ -1,0 +1,137 @@
+"""The interposition interface between the simulator and profiling tools.
+
+In the real system Critter intercepts MPI/BLAS/LAPACK through the PMPI
+profiling layer (Fig. 2 of the paper).  The simulator reproduces the
+same seam: every kernel-level event calls into a :class:`Profiler`
+*before* execution (to obtain the selective-execution decision) and
+*after* (with measured timings, so the tool can update statistics and
+its critical-path pathset).
+
+Only information that the real tool could obtain through its internal
+messages is passed across this interface — per-event participant
+arrival times and measured durations — keeping the simulated Critter
+honest about what each rank can know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.kernels.signature import KernelSignature
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import CommGroup, P2PRecord, Simulator
+
+__all__ = ["Decision", "Profiler", "NullProfiler"]
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """Outcome of a pre-execution hook."""
+
+    execute: bool
+
+
+class Profiler:
+    """Base class: full execution, no accounting, zero overhead.
+
+    Subclasses override the hooks they need.  The engine guarantees the
+    calling order: ``start_run`` → ``on_world`` → interleaved event
+    hooks → ``end_run``.
+    """
+
+    #: whether interception overhead (internal messages) is charged
+    active: bool = False
+
+    # -- run lifecycle -------------------------------------------------
+    def start_run(self, sim: "Simulator", run_seed: int) -> None:
+        """Called before rank programs start; reset per-run state here."""
+
+    def end_run(self, sim: "Simulator", makespan: float) -> None:
+        """Called after all ranks finished."""
+
+    # -- communicator management ---------------------------------------
+    def on_world(self, group: "CommGroup") -> None:
+        """MPI_Init interception: the world communicator exists."""
+
+    def on_comm_split(self, parent: "CommGroup", subgroups: list) -> None:
+        """MPI_Comm_split interception (aggregate-channel construction)."""
+
+    # -- overheads -------------------------------------------------------
+    def intercept_cost(self, nranks: int) -> float:
+        """Simulated cost of the tool's internal message exchange."""
+        return 0.0
+
+    # -- computational kernels -------------------------------------------
+    def on_compute(self, rank: int, sig: KernelSignature, flops: float) -> bool:
+        """Return True to execute the kernel, False to skip it."""
+        return True
+
+    def post_compute(
+        self,
+        rank: int,
+        sig: KernelSignature,
+        executed: bool,
+        elapsed: float,
+        flops: float,
+    ) -> None:
+        """Observe the outcome (elapsed is the charged wall time)."""
+
+    # -- collectives -------------------------------------------------------
+    def on_collective(
+        self,
+        group: "CommGroup",
+        sig: KernelSignature,
+        root: int,
+        arrivals: Dict[int, float],
+    ) -> bool:
+        """Decide execution for a blocking collective.
+
+        ``arrivals`` maps world rank -> arrival time; the hook is called
+        once all participants arrived (this is where the real tool's
+        internal ``PMPI_Allreduce`` of ``int_msg`` happens).
+        """
+        return True
+
+    def post_collective(
+        self,
+        group: "CommGroup",
+        sig: KernelSignature,
+        arrivals: Dict[int, float],
+        executed: bool,
+        comm_time: float,
+        completion: float,
+    ) -> None:
+        """Observe the collective's outcome (update stats / pathsets)."""
+
+    # -- point-to-point ----------------------------------------------------
+    def on_p2p_post(self, record: "P2PRecord") -> None:
+        """A p2p operation was posted (snapshot path state for isend)."""
+
+    def on_p2p(
+        self,
+        sig: KernelSignature,
+        send: "P2PRecord",
+        recv: "P2PRecord",
+    ) -> bool:
+        """Decide execution once a send/recv pair matched."""
+        return True
+
+    def post_p2p(
+        self,
+        sig: KernelSignature,
+        send: "P2PRecord",
+        recv: "P2PRecord",
+        executed: bool,
+        comm_time: float,
+        completion: float,
+    ) -> None:
+        """Observe the matched pair's outcome."""
+
+    def on_wait(self, rank: int, request: Any, completion: float) -> None:
+        """A nonblocking request completed at ``completion`` for ``rank``."""
+
+
+class NullProfiler(Profiler):
+    """Execute everything; measure nothing.  The no-tool baseline."""

@@ -1,0 +1,80 @@
+"""Structured event traces of simulated runs.
+
+Traces are optional (they cost time and memory) but invaluable for
+tests and for the execution-path visualisations of the examples: every
+computation, p2p transfer, and collective is recorded with its
+participants, signature, start time, duration, and whether Critter
+executed or skipped it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.kernels.signature import KernelSignature
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    kind: str  # "comp" | "p2p" | "coll"
+    ranks: Tuple[int, ...]
+    sig: KernelSignature
+    start: float
+    duration: float
+    executed: bool
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records for one or more runs."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        ranks: Tuple[int, ...],
+        sig: KernelSignature,
+        start: float,
+        duration: float,
+        executed: bool,
+    ) -> None:
+        self.events.append(TraceEvent(kind, ranks, sig, start, duration, executed))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # -- simple queries used by tests and examples ------------------------
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def by_rank(self, rank: int) -> List[TraceEvent]:
+        return [e for e in self.events if rank in e.ranks]
+
+    def executed_count(self) -> int:
+        return sum(1 for e in self.events if e.executed)
+
+    def skipped_count(self) -> int:
+        return sum(1 for e in self.events if not e.executed)
+
+    def kernel_histogram(self) -> Dict[KernelSignature, int]:
+        hist: Dict[KernelSignature, int] = {}
+        for e in self.events:
+            hist[e.sig] = hist.get(e.sig, 0) + 1
+        return hist
+
+    def total_time(self, kind: Optional[str] = None) -> float:
+        return sum(e.duration for e in self.events if kind is None or e.kind == kind)

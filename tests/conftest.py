@@ -1,0 +1,40 @@
+"""Shared fixtures: machines, noise models, and miniature tuning spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Machine, NoiseModel, Simulator
+
+
+@pytest.fixture
+def machine4() -> Machine:
+    """A 4-rank machine with default (noisy) timing."""
+    return Machine(nprocs=4, seed=7)
+
+
+@pytest.fixture
+def machine8() -> Machine:
+    return Machine(nprocs=8, seed=7)
+
+
+@pytest.fixture
+def quiet_noise() -> NoiseModel:
+    """Noise disabled: kernel timings equal their analytic base cost."""
+    return NoiseModel(bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0)
+
+
+@pytest.fixture
+def quiet_sim(machine4, quiet_noise) -> Simulator:
+    """Deterministic, noise-free 4-rank simulator."""
+    return Simulator(machine4, noise=quiet_noise)
+
+
+def make_quiet_sim(nprocs: int, profiler=None, **mkw) -> Simulator:
+    """Helper for tests needing other rank counts."""
+    m = Machine(nprocs=nprocs, seed=mkw.pop("seed", 0), **mkw)
+    return Simulator(
+        m,
+        noise=NoiseModel(bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0),
+        profiler=profiler,
+    )

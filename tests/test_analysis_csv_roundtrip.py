@@ -1,0 +1,53 @@
+"""End-to-end analysis pipeline: sweep -> CSV -> summary digest."""
+
+import math
+import os
+
+import pytest
+
+from repro.analysis import save_csv
+from repro.analysis.summary import load_series, render_summary, speedup_summary
+from repro.autotune import capital_cholesky_space, tolerance_sweep
+from repro.autotune.tuner import default_machine
+
+
+@pytest.fixture(scope="module")
+def sweep_csv_dir(tmp_path_factory):
+    """A real (miniature) sweep saved exactly the way benches save it."""
+    space = capital_cholesky_space(n=64, c=2, b0=4, nconf=3)
+    machine = default_machine(space, seed=2)
+    sweep = tolerance_sweep(space, machine, policies=("conditional", "online"),
+                            tolerances=[1.0, 2**-4], reps=2, full_reps=2, seed=0)
+    d = tmp_path_factory.mktemp("results")
+    rows = [[p] + sweep.series(p, "search_time") for p in sweep.policies]
+    rows.append(["full-exec"] + [sweep.full_search_time] * 2)
+    save_csv(str(d / "figX_test_search_time.csv"),
+             ["policy"] + [str(t) for t in sweep.tolerances], rows)
+    err_rows = [[p] + sweep.series(p, "mean_log2_exec_error")
+                for p in sweep.policies]
+    save_csv(str(d / "figY_test_exec_error.csv"),
+             ["policy"] + [str(t) for t in sweep.tolerances], err_rows)
+    return str(d), sweep
+
+
+class TestRoundtrip:
+    def test_series_survive_csv(self, sweep_csv_dir):
+        d, sweep = sweep_csv_dir
+        sf = load_series(os.path.join(d, "figX_test_search_time.csv"))
+        assert sf.tolerances == [1.0, 0.0625]
+        for p in ("conditional", "online"):
+            assert sf.series[p] == sweep.series(p, "search_time")
+
+    def test_speedups_consistent_with_sweep(self, sweep_csv_dir):
+        d, sweep = sweep_csv_dir
+        sf = load_series(os.path.join(d, "figX_test_search_time.csv"))
+        table = {p: lo for p, lo, _ in speedup_summary(sf)}
+        for p in ("conditional", "online"):
+            direct = sweep.full_search_time / sweep.series(p, "search_time")[0]
+            assert table[p] == pytest.approx(direct)
+
+    def test_digest_renders_from_sweep_output(self, sweep_csv_dir):
+        d, _ = sweep_csv_dir
+        md = render_summary(d)
+        assert "figX_test_search_time" in md
+        assert "figY_test_exec_error" in md

@@ -1,0 +1,147 @@
+"""BLAS/LAPACK cost builders and numeric reference routines."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.kernels import blas, lapack
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestBlasSpecs:
+    def test_gemm_flops(self):
+        sig, flops = blas.gemm_spec(4, 5, 6)
+        assert flops == 2 * 4 * 5 * 6
+        assert sig.name == "gemm" and sig.params == (4, 5, 6)
+
+    def test_syrk_flops(self):
+        _, flops = blas.syrk_spec(8, 4)
+        assert flops == 8 * 9 * 4
+
+    def test_trsm_trmm_flops(self):
+        assert blas.trsm_spec(8, 3)[1] == 64 * 3
+        assert blas.trmm_spec(8, 3)[1] == 64 * 3
+
+    def test_specs_interned(self):
+        assert blas.gemm_spec(4, 4, 4)[0] is blas.gemm_spec(4, 4, 4)[0]
+
+
+class TestBlasNumerics:
+    def test_gemm_plain(self):
+        a, b = RNG.random((4, 3)), RNG.random((3, 5))
+        assert np.allclose(blas.gemm(a, b), a @ b)
+
+    def test_gemm_transposes_and_scaling(self):
+        a, b, c = RNG.random((3, 4)), RNG.random((5, 3)), RNG.random((4, 5))
+        out = blas.gemm(a, b, c, alpha=2.0, beta=-1.0, transa=True, transb=True)
+        assert np.allclose(out, 2 * a.T @ b.T - c)
+
+    def test_syrk(self):
+        a = RNG.random((4, 3))
+        c = RNG.random((4, 4))
+        assert np.allclose(blas.syrk(a, c, alpha=1.0, beta=1.0), a @ a.T + c)
+
+    def test_trsm_left_lower(self):
+        l = np.tril(RNG.random((4, 4))) + 4 * np.eye(4)
+        b = RNG.random((4, 3))
+        x = blas.trsm(l, b, side="L", lower=True)
+        assert np.allclose(l @ x, b)
+
+    def test_trsm_right_transposed(self):
+        # the SLATE Cholesky panel solve: X L^T = B
+        l = np.tril(RNG.random((4, 4))) + 4 * np.eye(4)
+        b = RNG.random((3, 4))
+        x = blas.trsm(l, b, side="R", lower=True, trans=True)
+        assert np.allclose(x @ l.T, b)
+
+    def test_trmm_left_and_right(self):
+        a = np.tril(RNG.random((4, 4)))
+        b = RNG.random((4, 4))
+        assert np.allclose(blas.trmm(a, b, side="L"), a @ b)
+        assert np.allclose(blas.trmm(a, b, side="R", trans=True), b @ a.T)
+
+
+class TestLapackSpecs:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            (lapack.potrf_spec(6), 72.0),
+            (lapack.trtri_spec(6), 72.0),
+            (lapack.getrf_spec(6, 6), 6 * 36 - 72),
+            (lapack.geqrf_spec(8, 4), 2 * 8 * 16 - 2 * 64 / 3),
+        ],
+    )
+    def test_flop_counts(self, spec, expected):
+        assert spec[1] == pytest.approx(expected)
+
+    def test_qr_update_specs_positive(self):
+        for s in (
+            lapack.geqrt_spec(16, 8),
+            lapack.tpqrt_spec(16, 8),
+            lapack.tpmqrt_spec(16, 8, 8),
+            lapack.larfb_spec(16, 8, 8),
+            lapack.larft_spec(16, 8),
+            lapack.ormqr_spec(16, 8, 8),
+        ):
+            assert s[1] > 0
+
+
+class TestLapackNumerics:
+    def test_potrf(self):
+        a = RNG.random((5, 5))
+        spd = a @ a.T + 5 * np.eye(5)
+        l = lapack.potrf(spd)
+        assert np.allclose(l @ l.T, spd)
+        assert np.allclose(l, np.tril(l))
+
+    def test_trtri(self):
+        l = np.tril(RNG.random((5, 5))) + 5 * np.eye(5)
+        assert np.allclose(lapack.trtri(l) @ l, np.eye(5), atol=1e-12)
+
+    def test_getrf(self):
+        a = RNG.random((5, 5))
+        p, l, u = lapack.getrf(a)
+        assert np.allclose(p @ l @ u, a)
+
+    def test_householder_T_matches_scipy_q(self):
+        a = RNG.random((8, 4))
+        y, t, r = lapack.qr_factor(a)
+        q_full = np.eye(8) - y @ t @ y.T
+        q_ref, r_ref = np.linalg.qr(a)
+        # compare column spans via projector (sign-invariant)
+        assert np.allclose(q_full[:, :4] @ r, a, atol=1e-12)
+        assert np.allclose(np.abs(np.diag(r)), np.abs(np.diag(r_ref)))
+
+    def test_apply_q_qt_inverse_pair(self):
+        a = RNG.random((10, 4))
+        y, t, _ = lapack.qr_factor(a)
+        c = RNG.random((10, 6))
+        roundtrip = lapack.apply_q(y, t, lapack.apply_qt(y, t, c))
+        assert np.allclose(roundtrip, c, atol=1e-12)
+
+    def test_qr_factor_orthogonality(self):
+        a = RNG.random((12, 5))
+        y, t, _ = lapack.qr_factor(a)
+        q = lapack.apply_q(y, t, np.eye(12))
+        assert np.allclose(q.T @ q, np.eye(12), atol=1e-11)
+
+    def test_qr_factor_square(self):
+        a = RNG.random((6, 6))
+        y, t, r = lapack.qr_factor(a)
+        assert np.allclose(lapack.apply_q(y, t, np.vstack([r])), a, atol=1e-12)
+
+    def test_stacked_tpqrt_equivalent(self):
+        # the tiled-QR building block: QR of [R; B] applied via (Y, T)
+        r_top = np.triu(RNG.random((4, 4))) + 2 * np.eye(4)
+        b = RNG.random((6, 4))
+        stack = np.vstack([r_top, b])
+        y, t, r_new = lapack.qr_factor(stack)
+        c = RNG.random((10, 3))
+        out = lapack.apply_qt(y, t, c)
+        # consistency: Q^T stack == [r_new; 0]
+        chk = lapack.apply_qt(y, t, stack)
+        assert np.allclose(chk[:4], r_new, atol=1e-12)
+        assert np.allclose(chk[4:], 0, atol=1e-12)
+        assert out.shape == c.shape

@@ -1,0 +1,91 @@
+"""BSP analytic models and their agreement with measured counters."""
+
+import pytest
+
+from repro.algorithms.candmc_qr import CandmcQRConfig, candmc_qr
+from repro.algorithms.capital_cholesky import CapitalCholeskyConfig, capital_cholesky
+from repro.bsp import BSPCost, candmc_qr_bsp, capital_cholesky_bsp
+from repro.critter import Critter
+from repro.sim import Machine, NoiseModel, Simulator
+
+
+class TestCapitalModel:
+    def test_latency_term(self):
+        assert capital_cholesky_bsp(16384, 128, 512).latency == 128
+
+    def test_tradeoff_in_block_size(self):
+        # latency falls, bandwidth+flops grow as b grows
+        small = capital_cholesky_bsp(4096, 32, 64)
+        large = capital_cholesky_bsp(4096, 512, 64)
+        assert small.latency > large.latency
+        assert small.bandwidth < large.bandwidth
+        assert small.flops < large.flops
+
+    def test_time_evaluation(self):
+        c = BSPCost(latency=10, bandwidth=100, flops=1000)
+        assert c.time(1e-6, 1e-9, 1e-10) == pytest.approx(
+            1e-5 + 8e-7 + 1e-7
+        )
+
+
+class TestCandmcModel:
+    def test_latency_term(self):
+        assert candmc_qr_bsp(131072, 8192, 8, 64, 64).latency == 1024
+
+    def test_grid_shape_tradeoff(self):
+        tall = candmc_qr_bsp(65536, 4096, 16, 256, 16)
+        square = candmc_qr_bsp(65536, 4096, 16, 64, 64)
+        # taller grids shrink the m/pr term but grow n^2/pc
+        assert tall.bandwidth != square.bandwidth
+
+    def test_block_size_tradeoff(self):
+        small = candmc_qr_bsp(65536, 4096, 8, 64, 64)
+        large = candmc_qr_bsp(65536, 4096, 128, 64, 64)
+        assert small.latency > large.latency
+        assert small.flops < large.flops
+
+
+class TestMeasuredAgreement:
+    """The simulator's critical-path counters must track the models."""
+
+    def _capital_counters(self, b, n=256, c=2):
+        cfg = CapitalCholeskyConfig(n=n, block=b, c=c, base_strategy=2)
+        cr = Critter(policy="never-skip")
+        sim = Simulator(
+            Machine(nprocs=8, seed=0),
+            noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+            profiler=cr,
+        )
+        sim.run(capital_cholesky, args=(cfg,))
+        return cr.last_report.predicted
+
+    def test_capital_synch_ratio_tracks_model(self):
+        # model: latency ~ n/b, so b: 8 -> 32 should cut supersteps ~4x
+        s8 = self._capital_counters(8).synchs
+        s32 = self._capital_counters(32).synchs
+        ratio = s8 / s32
+        assert 2.5 < ratio < 6.0
+
+    def test_capital_flops_grow_with_block(self):
+        f16 = self._capital_counters(16).flops
+        f128 = self._capital_counters(128).flops
+        model16 = capital_cholesky_bsp(256, 16, 8).flops
+        model128 = capital_cholesky_bsp(256, 128, 8).flops
+        assert f128 > f16
+        assert model128 > model16
+
+    def _candmc_counters(self, b, pr, pc, m=256, n=64):
+        cfg = CandmcQRConfig(m=m, n=n, b=b, pr=pr, pc=pc)
+        cr = Critter(policy="never-skip")
+        sim = Simulator(
+            Machine(nprocs=pr * pc, seed=0),
+            noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+            profiler=cr,
+        )
+        sim.run(candmc_qr, args=(cfg,))
+        return cr.last_report.predicted
+
+    def test_candmc_synchs_track_panel_count(self):
+        s4 = self._candmc_counters(4, 2, 2).synchs
+        s16 = self._candmc_counters(16, 2, 2).synchs
+        assert s4 > 2.5 * s16  # n/b = 16 vs 4 panels

@@ -1,0 +1,88 @@
+"""Analytic BSP models vs simulated execution: do the curves agree?
+
+The paper's Section V derives closed-form BSP costs; the simulator
+builds its timings bottom-up from individual kernel costs.  If the
+substrate is sound, the two must rank configurations consistently —
+this is the deepest internal-consistency check the reproduction has.
+"""
+
+import pytest
+
+from repro.algorithms.candmc_qr import CandmcQRConfig, candmc_qr
+from repro.algorithms.capital_cholesky import CapitalCholeskyConfig, capital_cholesky
+from repro.bsp import candmc_qr_bsp, capital_cholesky_bsp
+from repro.sim import Machine, NoiseModel, Simulator
+
+
+def spearman(xs, ys):
+    """Spearman rank correlation (no scipy.stats dependence needed)."""
+    def ranks(v):
+        order = sorted(range(len(v)), key=v.__getitem__)
+        r = [0] * len(v)
+        for i, o in enumerate(order):
+            r[o] = i
+        return r
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1 - 6 * d2 / (n * (n * n - 1))
+
+
+class TestCapitalAgreement:
+    """The analytic model has unit constants — the paper itself warns
+    that "constant factors associated with these costs ... makes a
+    range of block sizes and processor grids viable", so raw times
+    cannot be compared.  What must agree are the asymptotic regimes:
+    both model and simulation prefer large blocks when latency
+    dominates and small blocks when (redundant base-case) computation
+    dominates."""
+
+    def test_compute_regime_prefers_small_blocks_in_both(self):
+        n, c = 256, 2
+        # gamma cranked: the n*b^2 redundant base-case flops dominate
+        machine = Machine(nprocs=8, gamma=5e-8, alpha=1e-8, beta=1e-12, seed=0)
+        quiet = NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0)
+        sim_t, mod_t = [], []
+        for b in (4, 64):
+            cfg = CapitalCholeskyConfig(n=n, block=b, c=c, base_strategy=2)
+            sim_t.append(Simulator(machine, noise=quiet).run(
+                capital_cholesky, args=(cfg,)).makespan)
+            mod_t.append(capital_cholesky_bsp(n, b, 8).time(
+                machine.alpha, machine.beta, machine.gamma))
+        assert sim_t[0] < sim_t[1]
+        assert mod_t[0] < mod_t[1]
+
+    def test_latency_regime_prefers_big_blocks_in_both(self):
+        # crank alpha so latency dominates: both the model and the
+        # simulation must then prefer the largest block
+        n, c = 256, 2
+        machine = Machine(nprocs=8, alpha=5e-4, seed=0)
+        quiet = NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0)
+        blocks = [4, 64]
+        sim_t, mod_t = [], []
+        for b in blocks:
+            cfg = CapitalCholeskyConfig(n=n, block=b, c=c, base_strategy=2)
+            sim_t.append(Simulator(machine, noise=quiet).run(
+                capital_cholesky, args=(cfg,)).makespan)
+            mod_t.append(capital_cholesky_bsp(n, b, 8).time(
+                machine.alpha, machine.beta, machine.gamma))
+        assert sim_t[1] < sim_t[0]
+        assert mod_t[1] < mod_t[0]
+
+
+class TestCandmcAgreement:
+    def test_model_ranks_block_sizes_like_simulation(self):
+        m, n, pr, pc = 512, 64, 2, 2
+        machine = Machine(nprocs=4, seed=0)
+        quiet = NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0)
+        blocks = [2, 4, 8, 16]
+        simulated, modeled = [], []
+        for b in blocks:
+            cfg = CandmcQRConfig(m=m, n=n, b=b, pr=pr, pc=pc)
+            simulated.append(Simulator(machine, noise=quiet).run(
+                candmc_qr, args=(cfg,)).makespan)
+            modeled.append(candmc_qr_bsp(m, n, b, pr, pc).time(
+                machine.alpha, machine.beta, machine.gamma))
+        rho = spearman(simulated, modeled)
+        assert rho > 0.6, (simulated, modeled)

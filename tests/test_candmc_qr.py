@@ -1,0 +1,104 @@
+"""CANDMC QR: numeric correctness, BSP structure, config validation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import verify
+from repro.algorithms.candmc_qr import CandmcQRConfig, candmc_qr
+from repro.critter import Critter
+from repro.sim import Machine, NoiseModel, Simulator, TraceRecorder
+
+
+def run_numeric(m, n, b, pr, pc, seed=5):
+    cfg = CandmcQRConfig(m=m, n=n, b=b, pr=pr, pc=pc)
+    a = verify.random_matrix(m, n, seed=seed)
+    mac = Machine(nprocs=cfg.nprocs, seed=0)
+    res = Simulator(mac).run(candmc_qr, args=(cfg, a), run_seed=1)
+    return res, cfg, a
+
+
+class TestConfigValidation:
+    def test_block_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            CandmcQRConfig(m=100, n=32, b=8, pr=2, pc=2)
+
+    def test_block_grid_constraint(self):
+        # paper: b <= min(m/pr, n/pc)
+        with pytest.raises(ValueError, match="violates"):
+            CandmcQRConfig(m=64, n=16, b=16, pr=2, pc=2)
+
+    def test_label(self):
+        assert CandmcQRConfig(64, 32, 8, 2, 2).label() == "b=8 grid=2x2"
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("b", [4, 8, 16])
+    def test_block_sizes(self, b):
+        res, cfg, a = run_numeric(64, 32, b, 2, 2)
+        verify.check_candmc_qr(res.returns, cfg, a)
+
+    @pytest.mark.parametrize("pr,pc", [(4, 1), (1, 4), (2, 2)])
+    def test_grid_shapes(self, pr, pc):
+        res, cfg, a = run_numeric(64, 32, 8, pr, pc)
+        verify.check_candmc_qr(res.returns, cfg, a)
+
+    def test_tall_skinny(self):
+        res, cfg, a = run_numeric(128, 16, 8, 4, 1)
+        verify.check_candmc_qr(res.returns, cfg, a)
+
+    def test_r_upper_triangular(self):
+        res, cfg, a = run_numeric(64, 32, 8, 2, 2)
+        blocks = {}
+        for ret in res.returns:
+            if ret:
+                blocks.update(ret[0])
+        r = np.zeros((64, 32))
+        for (rb, cb), v in blocks.items():
+            r[rb * 8:(rb + 1) * 8, cb * 8:(cb + 1) * 8] = v
+        assert np.allclose(np.tril(r, -1), 0, atol=1e-10)
+
+    def test_r_matches_numpy_magnitudes(self):
+        res, cfg, a = run_numeric(64, 32, 8, 2, 2)
+        blocks = {}
+        for ret in res.returns:
+            if ret:
+                blocks.update(ret[0])
+        r = np.zeros((64, 32))
+        for (rb, cb), v in blocks.items():
+            r[rb * 8:(rb + 1) * 8, cb * 8:(cb + 1) * 8] = v
+        _, r_ref = np.linalg.qr(a)
+        assert np.allclose(np.abs(np.diag(r[:32])), np.abs(np.diag(r_ref)), rtol=1e-8)
+
+
+class TestSchedule:
+    def _trace(self, b, pr=2, pc=2, m=128, n=64):
+        cfg = CandmcQRConfig(m=m, n=n, b=b, pr=pr, pc=pc)
+        mac = Machine(nprocs=cfg.nprocs, seed=0)
+        tr = TraceRecorder()
+        cr = Critter(policy="never-skip")
+        sim = Simulator(mac, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+                        profiler=cr, trace=tr)
+        sim.run(candmc_qr, args=(cfg,))
+        return tr, cr.last_report
+
+    def test_collective_mix(self):
+        tr, _ = self._trace(8)
+        coll = {e.sig.name for e in tr.by_kind("coll")}
+        # TSQR allgather, panel bcast along rows, update allreduce
+        assert {"allgather", "bcast", "allreduce"} <= coll
+
+    def test_kernel_mix(self):
+        tr, _ = self._trace(8)
+        names = {e.sig.name for e in tr.by_kind("comp")}
+        assert {"geqrf", "tpqrt", "getrf", "ormqr", "larft", "gemm", "trmm"} <= names
+
+    def test_synchs_scale_inverse_block(self):
+        # BSP latency = n/b supersteps
+        s8 = self._trace(8)[1].predicted.synchs
+        s16 = self._trace(16)[1].predicted.synchs
+        assert s8 > 1.5 * s16
+
+    def test_grid_shape_changes_comm_volume(self):
+        w1 = self._trace(8, pr=4, pc=1)[1].predicted.words
+        w2 = self._trace(8, pr=1, pc=4)[1].predicted.words
+        assert w1 != w2

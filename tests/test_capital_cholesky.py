@@ -1,0 +1,107 @@
+"""Capital's recursive 3D Cholesky: numeric correctness and cost structure."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import verify
+from repro.algorithms.capital_cholesky import CapitalCholeskyConfig, capital_cholesky
+from repro.critter import Critter
+from repro.sim import Machine, NoiseModel, Simulator, TraceRecorder
+
+
+def run_numeric(n, block, strategy, c=2, seed=1):
+    cfg = CapitalCholeskyConfig(n=n, block=block, c=c, base_strategy=strategy)
+    a = verify.random_spd(n, seed=seed)
+    m = Machine(nprocs=cfg.nprocs, seed=0)
+    res = Simulator(m).run(capital_cholesky, args=(cfg, a), run_seed=1)
+    return res, a
+
+
+class TestConfig:
+    def test_nprocs(self):
+        assert CapitalCholeskyConfig(64, 8, 2, 1).nprocs == 8
+        assert CapitalCholeskyConfig(64, 8, 4, 1).nprocs == 64
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError, match="base_strategy"):
+            CapitalCholeskyConfig(64, 8, 2, 4)
+
+    def test_block_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            CapitalCholeskyConfig(100, 7, 2, 1)
+
+    def test_label(self):
+        assert CapitalCholeskyConfig(64, 8, 2, 3).label() == "b=8 strat=3"
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("strategy", [1, 2, 3])
+    def test_all_strategies_factor_correctly(self, strategy):
+        res, a = run_numeric(64, 8, strategy)
+        verify.check_capital_cholesky(res.returns[0], a)
+
+    @pytest.mark.parametrize("block", [8, 16, 32, 64])
+    def test_block_sizes(self, block):
+        res, a = run_numeric(64, block, 2)
+        verify.check_capital_cholesky(res.returns[0], a)
+
+    def test_non_power_of_two_block_ratio(self):
+        # n/b = 6 exercises uneven recursion splits (n=96, b=16:
+        # halves of 48 -> 24 -> 12 <= 16 base case)
+        res, a = run_numeric(96, 16, 2, seed=3)
+        verify.check_capital_cholesky(res.returns[0], a)
+
+    def test_inverse_produced(self):
+        res, _ = run_numeric(32, 8, 2)
+        l_mat, v_mat = res.returns[0]
+        assert np.allclose(np.tril(v_mat) @ np.tril(l_mat), np.eye(32), atol=1e-8)
+
+    def test_non_carrier_ranks_return_none(self):
+        res, _ = run_numeric(32, 8, 1)
+        assert res.returns[0] is not None
+        assert all(r is None for r in res.returns[1:])
+
+
+class TestCostStructure:
+    def _profile(self, block, strategy, n=256, c=2):
+        cfg = CapitalCholeskyConfig(n=n, block=block, c=c, base_strategy=strategy)
+        m = Machine(nprocs=cfg.nprocs, seed=0)
+        cr = Critter(policy="never-skip")
+        sim = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+                        profiler=cr)
+        sim.run(capital_cholesky, args=(cfg,))
+        return cr.last_report
+
+    def test_synchs_decrease_with_block_size(self):
+        # BSP latency term is alpha * n/b
+        s = [self._profile(b, 2).predicted.synchs for b in (8, 32, 128)]
+        assert s[0] > s[1] > s[2]
+
+    def test_flops_increase_with_block_size(self):
+        # gamma term n^3/p + n b^2: redundant base-case work grows with b
+        f = [self._profile(b, 2).predicted.flops for b in (8, 128)]
+        assert f[1] > f[0]
+
+    def test_strategy1_more_synchs_than_2(self):
+        # gather + scatter + depth-bcast vs a single layer allgather
+        s1 = self._profile(32, 1).predicted.synchs
+        s2 = self._profile(32, 2).predicted.synchs
+        assert s1 > s2
+
+    def test_symbolic_and_numeric_costs_match(self):
+        cfg = CapitalCholeskyConfig(n=64, block=16, c=2, base_strategy=2)
+        m = Machine(nprocs=8, seed=0)
+        quiet = NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0)
+        t_sym = Simulator(m, noise=quiet).run(capital_cholesky, args=(cfg,)).makespan
+        a = verify.random_spd(64, seed=2)
+        t_num = Simulator(m, noise=quiet).run(capital_cholesky, args=(cfg, a)).makespan
+        assert t_sym == pytest.approx(t_num)
+
+    def test_blk2cyc_kernel_intercepted(self):
+        cfg = CapitalCholeskyConfig(n=64, block=16, c=2, base_strategy=2)
+        m = Machine(nprocs=8, seed=0)
+        tr = TraceRecorder()
+        Simulator(m, trace=tr).run(capital_cholesky, args=(cfg,))
+        names = {e.sig.name for e in tr.by_kind("comp")}
+        assert "blk2cyc" in names
+        assert {"potrf", "trtri", "trmm", "syrk"} <= names

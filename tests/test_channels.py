@@ -1,0 +1,203 @@
+"""Aggregate-channel algebra: inference, composition, coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.critter.channels import (
+    AggregateRegistry,
+    Channel,
+    combine_channels,
+    infer_channel,
+)
+
+
+class TestInference:
+    def test_contiguous_row(self):
+        ch = infer_channel([4, 5, 6, 7])
+        assert ch == Channel(4, ((1, 4),))
+        assert ch.size == 4
+
+    def test_strided_column(self):
+        ch = infer_channel([1, 5, 9, 13])
+        assert ch == Channel(1, ((4, 4),))
+
+    def test_singleton(self):
+        ch = infer_channel([3])
+        assert ch == Channel(3, ())
+        assert ch.size == 1
+
+    def test_2d_slice(self):
+        # a 3x3 plane of a grid: offsets {0,1,2} x {0,16,32}
+        ranks = [0, 1, 2, 16, 17, 18, 32, 33, 34]
+        ch = infer_channel(ranks)
+        assert ch is not None
+        assert set(ch.dims) == {(1, 3), (16, 3)}
+        assert ch.ranks() == frozenset(ranks)
+
+    def test_non_cartesian_returns_none(self):
+        assert infer_channel([0, 1, 3]) is None
+        assert infer_channel([0, 1, 2, 4]) is None
+        assert infer_channel([0, 1, 4, 5, 8]) is None
+
+    def test_degenerate_cartesian_detected(self):
+        # {0,2,3,5} = {0,2} + {0,3}: a legitimate mixed-radix pattern
+        ch = infer_channel([0, 2, 3, 5])
+        assert ch is not None
+        assert ch.ranks() == frozenset({0, 2, 3, 5})
+
+    def test_unsorted_input_ok(self):
+        assert infer_channel([7, 5, 6, 4]) == Channel(4, ((1, 4),))
+
+    def test_ranks_roundtrip(self):
+        for ranks in ([0, 3, 6, 9], [2, 3, 4, 5], [1, 2, 5, 6]):
+            ch = infer_channel(ranks)
+            if ch is not None:
+                assert ch.ranks() == frozenset(ranks)
+
+    def test_hash_ignores_offset(self):
+        a = infer_channel([0, 1, 2, 3])
+        b = infer_channel([8, 9, 10, 11])
+        assert a.hash_id == b.hash_id
+        assert a != b
+
+    def test_hash_distinguishes_stride(self):
+        assert infer_channel([0, 1]).hash_id != infer_channel([0, 2]).hash_id
+
+
+class TestCombination:
+    def test_row_and_column_make_plane(self):
+        # 4x4 grid (stride 1 rows, stride 4 cols) crossing at rank 0
+        row = infer_channel([0, 1, 2, 3])
+        col = infer_channel([0, 4, 8, 12])
+        plane = combine_channels(row, col)
+        assert plane is not None
+        assert plane.size == 16
+        assert plane.ranks() == frozenset(range(16))
+
+    def test_plane_and_fiber_make_cube(self):
+        # 2x2x2 grid: layer {0..3}, fiber {0,4}
+        layer = infer_channel([0, 1, 2, 3])
+        fiber = infer_channel([0, 4])
+        cube = combine_channels(layer, fiber)
+        assert cube is not None
+        assert cube.ranks() == frozenset(range(8))
+
+    def test_disjoint_channels_do_not_combine(self):
+        a = infer_channel([0, 1])
+        b = infer_channel([4, 5])
+        assert combine_channels(a, b) is None
+
+    def test_overlapping_channels_do_not_combine(self):
+        a = infer_channel([0, 1, 2, 3])
+        b = infer_channel([2, 3])
+        assert combine_channels(a, b) is None
+
+    def test_combination_commutative(self):
+        row = infer_channel([0, 1, 2, 3])
+        col = infer_channel([0, 4, 8, 12])
+        ab = combine_channels(row, col)
+        ba = combine_channels(col, row)
+        assert ab == ba
+
+    def test_contains(self):
+        plane = infer_channel(list(range(16)))
+        row = infer_channel([4, 5, 6, 7])
+        assert plane.contains(row)
+        assert not row.contains(plane)
+
+
+class TestRegistry:
+    def test_world_is_maximal(self):
+        reg = AggregateRegistry(8)
+        assert reg.world.is_maximal(8)
+        assert reg.covers_world(reg.world)
+
+    def test_register_split_records_channel(self):
+        reg = AggregateRegistry(4)
+        ch = reg.register_split(gid=1, world_ranks=(0, 1))
+        assert ch == Channel(0, ((1, 2),))
+        assert reg.channel_of(1) == ch
+
+    def test_register_irregular_yields_none(self):
+        reg = AggregateRegistry(8)
+        assert reg.register_split(gid=2, world_ranks=(0, 1, 3)) is None
+
+    def test_aggregate_built_from_row_and_col(self):
+        reg = AggregateRegistry(4)  # 2x2 grid
+        row = reg.register_split(1, (0, 1))
+        col = reg.register_split(2, (0, 2))
+        combined = [a for a in reg.aggregates.values() if a.size == 4]
+        assert combined, "row x col aggregate covering the grid expected"
+
+    def test_coverage_grows_to_world(self):
+        reg = AggregateRegistry(4)
+        row = reg.register_split(1, (0, 1))
+        col = reg.register_split(2, (0, 2))
+        cov = reg.extend_coverage(None, row)
+        assert not reg.covers_world(cov)
+        cov = reg.extend_coverage(cov, col)
+        assert reg.covers_world(cov)
+
+    def test_coverage_offset_normalization(self):
+        # statistics propagated along *different* rows/cols still cover
+        # the grid dimensions (channel identity ignores offsets)
+        reg = AggregateRegistry(4)
+        row1 = reg.register_split(1, (2, 3))   # second row
+        col1 = reg.register_split(2, (1, 3))   # second column
+        cov = reg.extend_coverage(None, row1)
+        cov = reg.extend_coverage(cov, col1)
+        assert reg.covers_world(cov)
+
+    def test_redundant_coverage_unchanged(self):
+        reg = AggregateRegistry(4)
+        row = reg.register_split(1, (0, 1))
+        cov = reg.extend_coverage(None, row)
+        cov2 = reg.extend_coverage(cov, row)
+        assert cov2.size == cov.size
+
+    def test_world_registration(self):
+        reg = AggregateRegistry(6)
+        ch = reg.register_world(gid=0)
+        assert ch.size == 6
+        assert reg.channel_of(0) is ch
+
+    def test_3d_grid_coverage(self):
+        # 2x2x2 grid: row + col + fiber must cover the cube
+        reg = AggregateRegistry(8)
+        row = reg.register_split(1, (0, 1))
+        col = reg.register_split(2, (0, 2))
+        fib = reg.register_split(3, (0, 4))
+        cov = None
+        for ch in (row, col, fib):
+            cov = reg.extend_coverage(cov, ch)
+        assert reg.covers_world(cov)
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=64),
+    dims=st.lists(
+        st.tuples(st.sampled_from([1, 2, 4, 8, 16, 32]),
+                  st.integers(min_value=2, max_value=4)),
+        min_size=1, max_size=3, unique_by=lambda d: d[0],
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_inference_roundtrip(offset, dims):
+    """Any mixed-radix channel must be re-inferred from its rank set."""
+    # ensure dims are non-ambiguous: each stride must exceed the span of
+    # the previous dimensions (true mixed radix)
+    dims = sorted(dims)
+    span = 1
+    ok_dims = []
+    for stride, size in dims:
+        if stride < span:
+            continue
+        ok_dims.append((stride, size))
+        span = stride * size
+    if not ok_dims:
+        return
+    ch = Channel(offset, tuple(ok_dims))
+    inferred = infer_channel(sorted(ch.ranks()))
+    assert inferred is not None
+    assert inferred.ranks() == ch.ranks()

@@ -1,0 +1,79 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune", "capital_cholesky"])
+        assert args.policy == "online"
+        assert args.eps == -3
+
+    def test_rejects_unknown_space(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "nonexistent_space"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "capital_cholesky",
+                                       "--policy", "magic"])
+
+
+class TestSpaces:
+    def test_lists_all_four(self, capsys):
+        assert main(["spaces"]) == 0
+        out = capsys.readouterr().out
+        for name in ("capital_cholesky", "slate_cholesky", "candmc_qr", "slate_qr"):
+            assert name in out
+
+
+class TestProfile:
+    def test_profiles_config(self, capsys):
+        assert main(["profile", "capital_cholesky", "--config", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path time" in out
+        assert "total(ms)" in out  # kernel table rendered
+
+    def test_bad_config_index(self, capsys):
+        assert main(["profile", "capital_cholesky", "--config", "99"]) == 2
+
+
+class TestTune:
+    def test_tune_small_space(self, capsys, monkeypatch):
+        # shrink the space for test speed
+        from repro.autotune import capital_cholesky_space
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli.SPACES, "capital_cholesky",
+            lambda: capital_cholesky_space(n=64, c=2, b0=4, nconf=4),
+        )
+        assert main(["tune", "capital_cholesky", "--reps", "2",
+                     "--full-reps", "2", "--eps", "-2"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen: config" in out
+        assert "speedup" in out
+
+
+class TestSweep:
+    def test_sweep_with_chart(self, capsys, monkeypatch):
+        from repro.autotune import capital_cholesky_space
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli.SPACES, "capital_cholesky",
+            lambda: capital_cholesky_space(n=64, c=2, b0=4, nconf=3),
+        )
+        assert main(["sweep", "capital_cholesky", "--policies", "online",
+                     "--exponents", "0,-4", "--reps", "1", "--full-reps", "1",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "search_time vs tolerance" in out
+        assert "full-exec" in out
+        assert "o=online" in out  # the chart legend

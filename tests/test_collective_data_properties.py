@@ -1,0 +1,95 @@
+"""Property tests: collective data semantics over random payloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_quiet_sim
+
+
+@given(
+    nprocs=st.sampled_from([2, 3, 4, 5]),
+    values=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_allreduce_is_sum(nprocs, values):
+    vals = [values.draw(st.integers(min_value=-1000, max_value=1000))
+            for _ in range(nprocs)]
+
+    def prog(comm):
+        out = yield comm.allreduce(vals[comm.rank], nbytes=8)
+        return out
+
+    res = make_quiet_sim(nprocs).run(prog)
+    assert res.returns == [sum(vals)] * nprocs
+
+
+@given(nprocs=st.sampled_from([2, 4]), root=st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_property_bcast_from_any_root(nprocs, root):
+    root = root % nprocs
+
+    def prog(comm):
+        payload = ("secret", comm.rank) if comm.rank == root else None
+        out = yield comm.bcast(payload, root=root, nbytes=16)
+        return out
+
+    res = make_quiet_sim(nprocs).run(prog)
+    assert all(r == ("secret", root) for r in res.returns)
+
+
+@given(nprocs=st.sampled_from([2, 3, 4]))
+@settings(max_examples=20, deadline=None)
+def test_property_gather_scatter_roundtrip(nprocs):
+    def prog(comm):
+        gathered = yield comm.gather(comm.rank * 2, root=0, nbytes=8)
+        chunks = gathered if comm.rank == 0 else None
+        back = yield comm.scatter(chunks, root=0, nbytes=8)
+        return back
+
+    res = make_quiet_sim(nprocs).run(prog)
+    assert res.returns == [r * 2 for r in range(nprocs)]
+
+
+@given(nprocs=st.sampled_from([2, 4]))
+@settings(max_examples=20, deadline=None)
+def test_property_alltoall_is_transpose(nprocs):
+    def prog(comm):
+        row = [(comm.rank, j) for j in range(comm.size)]
+        out = yield comm.alltoall(row, nbytes=8)
+        return out
+
+    res = make_quiet_sim(nprocs).run(prog)
+    for i in range(nprocs):
+        assert res.returns[i] == [(j, i) for j in range(nprocs)]
+
+
+@given(
+    nprocs=st.sampled_from([2, 4]),
+    n=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_numpy_allreduce_matches_sum(nprocs, n):
+    def prog(comm):
+        vec = np.full(n, float(comm.rank + 1))
+        out = yield comm.allreduce(vec)
+        return out
+
+    res = make_quiet_sim(nprocs).run(prog)
+    expect = np.full(n, float(sum(range(1, nprocs + 1))))
+    for r in res.returns:
+        assert np.array_equal(r, expect)
+
+
+def test_examples_compile():
+    """Every example script must at least byte-compile."""
+    import glob
+    import os
+    import py_compile
+
+    examples = glob.glob(os.path.join(os.path.dirname(__file__), "..",
+                                      "examples", "*.py"))
+    assert len(examples) >= 6
+    for path in examples:
+        py_compile.compile(path, doraise=True)

@@ -1,0 +1,117 @@
+"""Configuration spaces: exact paper enumeration formulas (Section V.C)."""
+
+import math
+
+import pytest
+
+from repro.autotune.configspace import (
+    candmc_qr_space,
+    capital_cholesky_space,
+    slate_cholesky_space,
+    slate_qr_space,
+    SPACES,
+)
+
+
+class TestCapitalSpace:
+    def test_count(self):
+        assert len(capital_cholesky_space()) == 15
+
+    def test_paper_formula_block_sizes(self):
+        # paper scale: b = 128 * 2^(v%5)
+        space = capital_cholesky_space(n=16384, c=8, b0=128)
+        blocks = [c.block for c in space.configs]
+        assert blocks[:5] == [128, 256, 512, 1024, 2048]
+        assert blocks[5:10] == blocks[:5]
+
+    def test_paper_formula_strategies(self):
+        # strategy = ceil((v+1)/5) in {1, 2, 3}
+        space = capital_cholesky_space()
+        strategies = [c.base_strategy for c in space.configs]
+        assert strategies == [1] * 5 + [2] * 5 + [3] * 5
+
+    def test_paper_scale_nprocs(self):
+        assert capital_cholesky_space(n=16384, c=8, b0=128).nprocs == 512
+
+    def test_scaled_preserves_nb_ratios(self):
+        paper = capital_cholesky_space(n=16384, c=8, b0=128)
+        scaled = capital_cholesky_space()
+        for p, s in zip(paper.configs, scaled.configs):
+            assert p.n // p.block == (s.n // s.block) * (p.n // p.block) // (s.n // s.block)
+            assert (p.n / p.block) / (s.n / s.block) == pytest.approx(
+                (paper.configs[0].n / paper.configs[0].block)
+                / (scaled.configs[0].n / scaled.configs[0].block)
+            )
+
+
+class TestSlateCholeskySpace:
+    def test_count(self):
+        assert len(slate_cholesky_space()) == 20
+
+    def test_paper_formula(self):
+        # tile = 256 + 64 * floor(v/2), depth = v%2
+        space = slate_cholesky_space(n=65536, pr=32, pc=32, t0=256, dt=64)
+        assert [c.nb for c in space.configs[:4]] == [256, 256, 320, 320]
+        assert [c.lookahead for c in space.configs[:4]] == [0, 1, 0, 1]
+        assert space.configs[-1].nb == 256 + 64 * 9
+        assert space.nprocs == 1024
+
+    def test_every_config_distinct(self):
+        labels = slate_cholesky_space().labels()
+        assert len(set(labels)) == 20
+
+
+class TestCandmcSpace:
+    def test_count(self):
+        assert len(candmc_qr_space()) == 15
+
+    def test_paper_formula(self):
+        space = candmc_qr_space(m=131072, n=8192, p=4096, pr0=64, b0=8)
+        assert [c.b for c in space.configs[:5]] == [8, 16, 32, 64, 128]
+        grids = [(c.pr, c.pc) for c in space.configs[::5]]
+        assert grids == [(64, 64), (128, 32), (256, 16)]
+        assert space.nprocs == 4096
+
+    def test_constraint_satisfied_scaled(self):
+        for c in candmc_qr_space().configs:
+            assert c.b <= min(c.m // c.pr, c.n // c.pc)
+
+    def test_grid_volume_constant(self):
+        for c in candmc_qr_space().configs:
+            assert c.pr * c.pc == 16
+
+
+class TestSlateQRSpace:
+    def test_count(self):
+        assert len(slate_qr_space()) == 63
+
+    def test_paper_formula(self):
+        space = slate_qr_space(m=65536, n=4096, p=256, pr0=64, nb0=256, dnb=64, w0=8)
+        ws = [c.w for c in space.configs[:3]]
+        assert ws == [8, 16, 32]
+        nbs = [c.nb for c in space.configs[::3]][:7]
+        assert nbs == [256, 320, 384, 448, 512, 576, 640]
+        grids = [(c.pr, c.pc) for c in space.configs[::21]]
+        assert grids == [(64, 4), (32, 8), (16, 16)]
+
+    def test_panel_width_cycles(self):
+        space = slate_qr_space()
+        assert space.configs[0].nb == space.configs[21].nb
+
+    def test_exclusion_configured(self):
+        assert "geqr2" in slate_qr_space().exclude
+
+
+class TestRegistry:
+    def test_all_four_spaces(self):
+        assert set(SPACES) == {
+            "capital_cholesky", "slate_cholesky", "candmc_qr", "slate_qr"
+        }
+
+    def test_factories_produce_spaces(self):
+        for name, fn in SPACES.items():
+            space = fn()
+            assert space.name == name
+            assert len(space.configs) > 0
+            assert space.nprocs >= 4
+            assert space.description

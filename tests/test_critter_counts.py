@@ -1,0 +1,113 @@
+"""Execution-count propagation: how each policy derives alpha.
+
+The sqrt(alpha) confidence shrinkage is the paper's core statistical
+device; these tests pin down *which* count each policy uses and that
+the counts actually change skip decisions.
+"""
+
+import pytest
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, NoiseModel, Simulator
+
+SIG = gemm_spec(32, 32, 32)[0]
+
+
+def chain_prog(comm, iters=6):
+    """Rank 0 computes `iters` gemms, then a barrier spreads the path."""
+    if comm.rank == 0:
+        for _ in range(iters):
+            yield comm.compute(gemm_spec(32, 32, 32))
+    yield comm.barrier()
+
+
+class TestPathCountPropagation:
+    def test_online_counts_follow_critical_path(self):
+        m = Machine(nprocs=4, seed=1)
+        cr = Critter(policy="online")
+        Simulator(m, profiler=cr).run(chain_prog, run_seed=0)
+        # every rank's K~ reflects the path's 6 executions, even though
+        # only rank 0 executed the kernel locally
+        for r in range(4):
+            assert cr._Kt[r].get(SIG, 0) == 6
+
+    def test_local_counts_stay_local(self):
+        m = Machine(nprocs=4, seed=1)
+        cr = Critter(policy="local", eps=1e-12)  # keep everything executing
+        Simulator(m, profiler=cr).run(chain_prog, run_seed=0)
+        assert SIG in cr._K[0] and cr._K[0][SIG].count == 6
+        for r in range(1, 4):
+            assert SIG not in cr._K[r]
+
+    def test_alpha_dispatch_per_policy(self):
+        m = Machine(nprocs=2, seed=1)
+        results = {}
+        for policy in ("conditional", "local", "online"):
+            cr = Critter(policy=policy, eps=1e-12)
+            Simulator(m, profiler=cr).run(chain_prog, run_seed=0)
+            results[policy] = cr._alpha(0, SIG)
+        assert results["conditional"] == 1
+        assert results["local"] == 6
+        assert results["online"] == 6
+
+    def test_online_counts_reset_each_run(self):
+        m = Machine(nprocs=2, seed=1)
+        cr = Critter(policy="online", eps=1e-12)
+        Simulator(m, profiler=cr).run(chain_prog, run_seed=0)
+        Simulator(m, profiler=cr).run(chain_prog, run_seed=1)
+        # K~ is per-run (sub-critical-path of THIS run): still 6, not 12
+        assert cr._Kt[0][SIG] == 6
+        # while K (local statistics) accumulated across runs
+        assert cr._K[0][SIG].count > 6
+
+
+class TestAprioriSeeding:
+    def test_seeded_counts_used(self):
+        m = Machine(nprocs=2, seed=1)
+        pre = Critter(policy="never-skip")
+        Simulator(m, profiler=pre).run(chain_prog, run_seed=0)
+        tables = pre.last_path_counts
+        assert tables[1].get(SIG, 0) == 6  # propagated across the barrier
+
+        cr = Critter(policy="apriori")
+        cr.seed_path_counts(tables)
+        Simulator(m, profiler=cr).run(chain_prog, run_seed=1)
+        assert cr._alpha(0, SIG) == 6
+
+    def test_without_table_alpha_one(self):
+        m = Machine(nprocs=2, seed=1)
+        cr = Critter(policy="apriori")
+        Simulator(m, profiler=cr).run(chain_prog, run_seed=0)
+        assert cr._alpha(0, SIG) == 1
+
+    def test_reset_clears_table(self):
+        cr = Critter(policy="apriori")
+        cr.seed_path_counts([{SIG: 5}])
+        cr.reset_statistics()
+        assert cr._apriori is None
+
+
+class TestCountsChangeDecisions:
+    def _skip_count(self, policy, noise_cv=0.3, seeds=range(4)):
+        """How many kernels get skipped under heavy noise."""
+        m = Machine(nprocs=2, seed=2)
+        noise = NoiseModel(comp_cv=noise_cv, comm_cv=noise_cv, machine_seed=2)
+
+        def prog(comm):
+            # the kernel recurs 40x along the path: alpha = 40
+            for _ in range(40):
+                yield comm.compute(gemm_spec(32, 32, 32))
+            yield comm.barrier()
+
+        cr = Critter(policy=policy, eps=2**-5)
+        skipped = 0
+        for s in seeds:
+            Simulator(m, noise=noise, profiler=cr).run(prog, run_seed=s)
+            skipped += cr.last_report.skipped_kernels
+        return skipped
+
+    def test_count_scaling_skips_more_than_conditional(self):
+        # at a tight tolerance under heavy noise, sqrt(40) extra
+        # shrinkage lets online skip while conditional cannot
+        assert self._skip_count("online") > self._skip_count("conditional")

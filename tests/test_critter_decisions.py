@@ -1,0 +1,142 @@
+"""Critter selective-execution decisions: skipping, forcing, excluding."""
+
+import pytest
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec, trsm_spec
+from repro.sim import Machine, Simulator, TraceRecorder
+
+
+def repeated_kernel_prog(comm, iters=20):
+    for _ in range(iters):
+        yield comm.compute(gemm_spec(32, 32, 32))
+
+
+def run_with(critter, nprocs=2, iters=20, reps=1, seed0=0, machine=None, trace=None):
+    m = machine or Machine(nprocs=nprocs, seed=1)
+    res = None
+    for rep in range(reps):
+        res = Simulator(m, profiler=critter, trace=trace).run(
+            repeated_kernel_prog, args=(iters,), run_seed=seed0 + rep
+        )
+    return res
+
+
+class TestBasicSkipping:
+    def test_loose_tolerance_skips(self):
+        cr = Critter(policy="conditional", eps=0.9)
+        run_with(cr)
+        assert cr.last_report.skipped_kernels > 0
+
+    def test_zero_tolerance_never_skips(self):
+        cr = Critter(policy="conditional", eps=1e-12)
+        run_with(cr)
+        assert cr.last_report.skipped_kernels == 0
+
+    def test_never_skip_policy(self):
+        cr = Critter(policy="never-skip", eps=0.9)
+        run_with(cr)
+        assert cr.last_report.skipped_kernels == 0
+        assert cr.last_report.skip_fraction == 0.0
+
+    def test_min_samples_gate(self):
+        # with min_samples=10 and only 5 invocations nothing can be skipped
+        cr = Critter(policy="conditional", eps=0.9, min_samples=10)
+        run_with(cr, iters=5)
+        assert cr.last_report.skipped_kernels == 0
+
+    def test_statistics_persist_across_runs(self):
+        cr = Critter(policy="conditional", eps=0.2)
+        r1 = run_with(cr, iters=20, reps=1, seed0=0)
+        skipped_first = cr.last_report.skipped_kernels
+        r2 = run_with(cr, iters=20, reps=1, seed0=1)
+        # second run starts with converged statistics: skips from the
+        # (forced) second invocation onward
+        assert cr.last_report.skipped_kernels >= skipped_first
+        assert r2.makespan < r1.makespan
+
+    def test_reset_statistics_restores_execution(self):
+        cr = Critter(policy="conditional", eps=0.2)
+        run_with(cr, reps=2)
+        assert cr.last_report.skipped_kernels > 0
+        cr.reset_statistics()
+        run_with(cr, iters=2, seed0=5)
+        assert cr.last_report.skipped_kernels == 0
+
+
+class TestForcedFirstExecution:
+    def test_forced_execution_per_run(self):
+        # after convergence, each new run still executes the kernel once
+        cr = Critter(policy="conditional", eps=0.9)
+        run_with(cr, reps=3)
+        assert cr.last_report.executed_kernels >= 1
+
+    def test_eager_not_forced(self):
+        m = Machine(nprocs=2, seed=1)
+        cr = Critter(policy="eager", eps=0.9)
+        run_with(cr, reps=2, machine=m)
+        # once switched off globally, later runs execute nothing
+        run_with(cr, seed0=7, machine=m)
+        assert cr.last_report.executed_kernels == 0
+
+
+class TestExclusion:
+    def test_excluded_kernel_always_executes(self):
+        cr = Critter(policy="conditional", eps=0.9, exclude=frozenset({"gemm"}))
+        run_with(cr, reps=3)
+        assert cr.last_report.skipped_kernels == 0
+
+    def test_exclusion_is_per_name(self):
+        def prog(comm):
+            for _ in range(10):
+                yield comm.compute(gemm_spec(16, 16, 16))
+                yield comm.compute(trsm_spec(16, 16))
+
+        m = Machine(nprocs=2, seed=1)
+        cr = Critter(policy="conditional", eps=0.9, exclude=frozenset({"trsm"}))
+        for rep in range(3):
+            Simulator(m, profiler=cr).run(prog, run_seed=rep)
+        rep = cr.last_report
+        assert rep.skipped_kernels > 0          # gemm skipped
+        # trsm executed every time: 10 per rank per run
+        assert rep.executed_kernels >= 20
+
+
+class TestPredictedTime:
+    def test_prediction_tracks_full_time(self):
+        m = Machine(nprocs=4, seed=2)
+        full = Critter(policy="never-skip")
+        r_full = run_with(full, nprocs=4, iters=50, machine=m)
+        cr = Critter(policy="conditional", eps=0.3)
+        run_with(cr, nprocs=4, iters=50, reps=3, machine=m)
+        pred = cr.last_report.predicted_exec_time
+        truth = r_full.makespan
+        assert abs(pred - truth) / truth < 0.2
+
+    def test_skipped_kernels_contribute_mean(self):
+        cr = Critter(policy="conditional", eps=0.5)
+        run_with(cr, reps=2)
+        rep = cr.last_report
+        assert rep.skipped_kernels > 0
+        # predicted time includes skipped kernels, so it must far exceed
+        # the wall time actually spent
+        assert rep.predicted_exec_time > rep.makespan * 2
+
+    def test_run_report_fields(self):
+        cr = Critter(policy="conditional", eps=0.5)
+        res = run_with(cr)
+        rep = cr.last_report
+        assert rep.makespan == res.makespan
+        assert 0.0 <= rep.skip_fraction <= 1.0
+        assert rep.volumetric["comp_time"] > 0
+        assert len(cr.reports) == 1
+
+
+class TestWorldSizeBinding:
+    def test_nprocs_change_rejected(self):
+        cr = Critter(policy="conditional")
+        run_with(cr, nprocs=2)
+        with pytest.raises(ValueError, match="bound to 2 ranks"):
+            Simulator(Machine(nprocs=4), profiler=cr).run(
+                repeated_kernel_prog, args=(3,)
+            )

@@ -1,0 +1,111 @@
+"""Eager propagation: statistic aggregation and global switch-off."""
+
+import pytest
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, Simulator
+
+
+def grid_prog(comm, iters=10):
+    """A 2x2 grid workload with row/col collectives and a compute kernel."""
+    ri, ci = divmod(comm.rank, 2)
+    row = yield comm.split(color=ri, key=ci)
+    col = yield comm.split(color=ci, key=ri)
+    for _ in range(iters):
+        yield comm.compute(gemm_spec(24, 24, 24))
+        yield row.bcast(None, root=0, nbytes=256)
+        yield col.allreduce(nbytes=256)
+
+
+def world_prog(comm, iters=10):
+    for _ in range(iters):
+        yield comm.compute(gemm_spec(24, 24, 24))
+        yield comm.allreduce(nbytes=256)
+
+
+class TestGlobalSwitchOff:
+    def test_world_collective_switches_off(self):
+        m = Machine(nprocs=4, seed=3)
+        cr = Critter(policy="eager", eps=0.5)
+        Simulator(m, profiler=cr).run(world_prog, run_seed=0)
+        assert len(cr._global_off) > 0
+
+    def test_row_col_coverage_switches_off(self):
+        # no world collectives at all: coverage must be assembled from
+        # the row and column channels of the 2x2 grid
+        m = Machine(nprocs=4, seed=3)
+        cr = Critter(policy="eager", eps=0.5)
+        Simulator(m, profiler=cr).run(grid_prog, run_seed=0)
+        assert len(cr._global_off) > 0
+
+    def test_switched_off_kernels_not_executed_next_run(self):
+        m = Machine(nprocs=4, seed=3)
+        cr = Critter(policy="eager", eps=0.5)
+        Simulator(m, profiler=cr).run(world_prog, run_seed=0)
+        off_before = set(cr._global_off)
+        Simulator(m, profiler=cr).run(world_prog, run_seed=1)
+        rep = cr.last_report
+        assert off_before <= cr._global_off
+        assert rep.skip_fraction > 0.5
+
+    def test_eager_faster_than_conditional_across_configs(self):
+        # eager reuses kernel models across "configurations" (runs of
+        # different programs sharing kernels); conditional resets
+        m = Machine(nprocs=4, seed=3)
+
+        def total_time(policy):
+            cr = Critter(policy=policy, eps=0.4)
+            total = 0.0
+            for cfg in range(4):
+                if cr.policy.resets_between_configs:
+                    cr.reset_statistics()
+                for rep in range(3):
+                    r = Simulator(m, profiler=cr).run(
+                        world_prog, run_seed=cfg * 10 + rep
+                    )
+                    total += r.makespan
+            return total
+
+        assert total_time("eager") < total_time("conditional")
+
+
+class TestAggregatedStatistics:
+    def test_stats_shared_after_aggregation(self):
+        m = Machine(nprocs=4, seed=3)
+        cr = Critter(policy="eager", eps=0.5)
+        Simulator(m, profiler=cr).run(world_prog, run_seed=0)
+        sig = gemm_spec(24, 24, 24)[0]
+        counts = [cr._K[r][sig].count for r in range(4)]
+        means = [cr._K[r][sig].mean for r in range(4)]
+        # after aggregation every rank holds the merged statistics
+        assert len(set(counts)) == 1
+        assert max(means) - min(means) < 1e-15
+        # the merged count pools all four ranks' samples (at least
+        # min_samples each at the moment of aggregation)
+        assert counts[0] >= 4 * 2
+        assert counts[0] % 4 == 0
+
+    def test_aggregation_respects_channel_coverage(self):
+        # only row collectives: coverage cannot reach the world, so no
+        # kernel may be switched off globally
+        def rows_only(comm, iters=10):
+            ri, ci = divmod(comm.rank, 2)
+            row = yield comm.split(color=ri, key=ci)
+            for _ in range(iters):
+                yield comm.compute(gemm_spec(24, 24, 24))
+                yield row.allreduce(nbytes=256)
+
+        m = Machine(nprocs=4, seed=3)
+        cr = Critter(policy="eager", eps=0.5)
+        Simulator(m, profiler=cr).run(rows_only, run_seed=0)
+        assert len(cr._global_off) == 0
+
+    def test_reset_clears_global_off(self):
+        m = Machine(nprocs=4, seed=3)
+        cr = Critter(policy="eager", eps=0.5)
+        Simulator(m, profiler=cr).run(world_prog, run_seed=0)
+        assert cr._global_off
+        cr.reset_statistics()
+        assert not cr._global_off
+        assert not cr._coverage

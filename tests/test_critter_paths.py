@@ -1,0 +1,156 @@
+"""Critical-path propagation: predicted paths vs. simulated makespans."""
+
+import pytest
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, Simulator
+
+
+def full_run(prog, nprocs, seed=0, run_seed=0, args=()):
+    m = Machine(nprocs=nprocs, seed=seed)
+    cr = Critter(policy="never-skip")
+    res = Simulator(m, profiler=cr).run(prog, args=args, run_seed=run_seed)
+    return res, cr.last_report
+
+
+class TestExecTimePath:
+    def test_single_rank_path_equals_kernel_sum(self):
+        def prog(comm):
+            for _ in range(10):
+                yield comm.compute(gemm_spec(32, 32, 32))
+
+        res, rep = full_run(prog, 1)
+        assert rep.predicted_exec_time == pytest.approx(res.makespan)
+
+    def test_path_tracks_slowest_rank(self):
+        def prog(comm):
+            for _ in range(5 if comm.rank == 2 else 1):
+                yield comm.compute(gemm_spec(32, 32, 32))
+            yield comm.barrier()
+
+        res, rep = full_run(prog, 4)
+        # predicted path excludes interception overhead but must be close
+        assert rep.predicted_exec_time == pytest.approx(res.makespan, rel=0.05)
+
+    def test_imbalanced_path_not_average(self):
+        def prog(comm):
+            n = 10 if comm.rank == 0 else 1
+            for _ in range(n):
+                yield comm.compute(gemm_spec(32, 32, 32))
+            yield comm.allreduce(nbytes=64)
+
+        res, rep = full_run(prog, 4)
+        vol_avg = rep.volumetric["comp_time"]
+        assert rep.predicted.comp_time > 2 * vol_avg
+
+    def test_path_propagates_through_p2p_chain(self):
+        # rank 0 is slow, then sends to 1, 1 to 2, ...: the path must
+        # carry rank 0's compute time to the last rank
+        def prog(comm):
+            if comm.rank == 0:
+                for _ in range(10):
+                    yield comm.compute(gemm_spec(32, 32, 32))
+                yield comm.send(None, dest=1, nbytes=8)
+            else:
+                yield comm.recv(source=comm.rank - 1, nbytes=8)
+                if comm.rank < comm.size - 1:
+                    yield comm.send(None, dest=comm.rank + 1, nbytes=8)
+
+        res, rep = full_run(prog, 4)
+        assert rep.predicted_exec_time == pytest.approx(res.makespan, rel=0.05)
+
+    def test_isend_does_not_propagate_back(self):
+        # receiver is slow; the buffered sender must not inherit the
+        # receiver's long path
+        def prog(comm):
+            if comm.rank == 0:
+                req = yield comm.isend(None, dest=1, nbytes=8)
+                yield comm.wait(req)
+                return None
+            for _ in range(10):
+                yield comm.compute(gemm_spec(32, 32, 32))
+            yield comm.recv(source=0, nbytes=8)
+
+        m = Machine(nprocs=2, seed=0)
+        cr = Critter(policy="never-skip")
+        Simulator(m, profiler=cr).run(prog)
+        p0, p1 = cr.profiles[0].path, cr.profiles[1].path
+        assert p1.comp_time > p0.comp_time
+
+
+class TestMetricSpecificPaths:
+    def test_comm_and_comp_paths_differ(self):
+        # rank 0: heavy compute; rank 1: heavy p2p traffic with rank 2.
+        # the comm-cost critical path and comp-cost path live on
+        # different ranks (Fig. 1's point)
+        def prog(comm):
+            if comm.rank == 0:
+                for _ in range(20):
+                    yield comm.compute(gemm_spec(48, 48, 48))
+            elif comm.rank == 1:
+                for i in range(20):
+                    yield comm.send(None, dest=2, tag=i, nbytes=1 << 16)
+            elif comm.rank == 2:
+                for i in range(20):
+                    yield comm.recv(source=1, tag=i, nbytes=1 << 16)
+            yield comm.barrier()
+
+        _, rep = full_run(prog, 4)
+        assert rep.predicted.comp_time > 0
+        assert rep.predicted.comm_time > 0
+        # the global path metrics are maxima of different ranks' paths
+        assert rep.predicted.exec_time <= (
+            rep.predicted.comp_time + rep.predicted.comm_time
+        ) * 1.01
+
+    def test_synch_count_along_path(self):
+        def prog(comm):
+            for _ in range(7):
+                yield comm.barrier()
+
+        _, rep = full_run(prog, 4)
+        assert rep.predicted.synchs == 7
+
+    def test_words_accumulate(self):
+        def prog(comm):
+            yield comm.allreduce(nbytes=1000)
+            yield comm.allreduce(nbytes=500)
+
+        _, rep = full_run(prog, 4)
+        assert rep.predicted.words == 1500
+
+    def test_flops_along_path(self):
+        def prog(comm):
+            n = 3 if comm.rank == 0 else 1
+            for _ in range(n):
+                yield comm.compute(gemm_spec(10, 10, 10))  # 2000 flops
+            yield comm.barrier()
+
+        _, rep = full_run(prog, 2)
+        assert rep.predicted.flops == pytest.approx(6000)
+
+
+class TestVolumetricMetrics:
+    def test_idle_recorded_for_early_arrivals(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for _ in range(10):
+                    yield comm.compute(gemm_spec(32, 32, 32))
+            yield comm.barrier()
+
+        m = Machine(nprocs=4, seed=0)
+        cr = Critter(policy="never-skip")
+        Simulator(m, profiler=cr).run(prog)
+        assert cr.profiles[0].vol_idle == pytest.approx(0.0, abs=1e-12)
+        assert all(cr.profiles[r].vol_idle > 0 for r in (1, 2, 3))
+
+    def test_max_rank_kernel_time(self):
+        def prog(comm):
+            n = 5 if comm.rank == 1 else 1
+            for _ in range(n):
+                yield comm.compute(gemm_spec(32, 32, 32))
+
+        _, rep = full_run(prog, 4)
+        assert rep.max_rank_kernel_time == pytest.approx(rep.max_rank_comp_time)
+        assert rep.max_rank_comp_time > 0

@@ -1,0 +1,97 @@
+"""Block-cyclic tile maps: ownership, extents, enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.distribution import TileMap, band_rows, num_tiles, tile_dim
+
+
+class TestTileArithmetic:
+    def test_num_tiles_exact(self):
+        assert num_tiles(64, 16) == 4
+
+    def test_num_tiles_ragged(self):
+        assert num_tiles(65, 16) == 5
+        assert num_tiles(15, 16) == 1
+
+    def test_tile_dim(self):
+        assert tile_dim(0, 16, 60) == 16
+        assert tile_dim(3, 16, 60) == 12
+
+    def test_band_rows(self):
+        assert list(band_rows(1, 8, 20)) == [8, 9, 10, 11, 12, 13, 14, 15]
+        assert list(band_rows(2, 8, 20)) == [16, 17, 18, 19]
+
+
+class TestOwnership:
+    def test_block_cyclic_owner(self):
+        tm = TileMap(m=64, n=64, nb=8, pr=2, pc=2)
+        assert tm.owner(0, 0) == 0
+        assert tm.owner(0, 1) == 1
+        assert tm.owner(1, 0) == 2
+        assert tm.owner(2, 2) == 0
+        assert tm.owner(3, 1) == 3
+
+    def test_owner_coords(self):
+        tm = TileMap(m=64, n=64, nb=8, pr=2, pc=4)
+        assert tm.owner_coords(5, 6) == (1, 2)
+        assert tm.owner(5, 6) == 1 * 4 + 2
+
+    def test_tile_shape_ragged(self):
+        tm = TileMap(m=20, n=12, nb=8, pr=2, pc=2)
+        assert tm.tile_shape(0, 0) == (8, 8)
+        assert tm.tile_shape(2, 1) == (4, 4)
+        assert tm.tile_nbytes(2, 1) == 8 * 16
+
+    def test_tiles_of_partition(self):
+        tm = TileMap(m=32, n=32, nb=8, pr=2, pc=2)
+        seen = {}
+        for rank in range(4):
+            for t in tm.tiles_of(rank):
+                assert t not in seen
+                seen[t] = rank
+        assert len(seen) == tm.mt * tm.nt
+
+    def test_tiles_of_lower_only(self):
+        tm = TileMap(m=32, n=32, nb=8, pr=2, pc=2)
+        for rank in range(4):
+            for (i, j) in tm.tiles_of(rank, lower_only=True):
+                assert i >= j
+
+    def test_col_tiles(self):
+        tm = TileMap(m=64, n=64, nb=8, pr=2, pc=2)
+        # rank 0 = grid (0,0): owns col-0 tiles with even i
+        assert tm.col_tiles(0, 0) == [0, 2, 4, 6]
+        assert tm.col_tiles(0, 0, i_min=3) == [4, 6]
+        # rank 1 = grid (0,1) does not own column 0
+        assert tm.col_tiles(1, 0) == []
+
+    def test_row_tiles(self):
+        tm = TileMap(m=64, n=64, nb=8, pr=2, pc=2)
+        assert tm.row_tiles(0, 0) == [0, 2, 4, 6]
+        assert tm.row_tiles(0, 0, j_min=1) == [2, 4, 6]
+        assert tm.row_tiles(0, 0, j_min=1, j_max=4) == [2, 4]
+        assert tm.row_tiles(2, 0) == []  # grid row 1 doesn't own tile row 0
+
+
+@given(
+    m=st.integers(min_value=8, max_value=200),
+    nb=st.integers(min_value=1, max_value=32),
+    pr=st.integers(min_value=1, max_value=4),
+    pc=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_partition_complete_and_disjoint(m, nb, pr, pc):
+    tm = TileMap(m=m, n=m, nb=nb, pr=pr, pc=pc)
+    seen = set()
+    for rank in range(pr * pc):
+        tiles = list(tm.tiles_of(rank))
+        assert len(set(tiles)) == len(tiles)
+        assert not (seen & set(tiles))
+        seen |= set(tiles)
+        for (i, j) in tiles:
+            assert tm.owner(i, j) == rank
+    assert len(seen) == tm.mt * tm.nt
+    # extents tile the matrix exactly
+    assert sum(tile_dim(i, nb, m) for i in range(tm.mt)) == m

@@ -1,0 +1,192 @@
+"""Engine semantics: compute timing, blocking p2p, virtual clocks."""
+
+import pytest
+
+from repro.kernels.blas import gemm_spec
+from repro.sim import DeadlockError, Machine, NoiseModel, Simulator
+
+from conftest import make_quiet_sim
+
+
+def run_quiet(nprocs, program, **kw):
+    return make_quiet_sim(nprocs).run(program, **kw)
+
+
+class TestComputeTiming:
+    def test_single_compute_cost(self):
+        m = Machine(nprocs=1, gamma=1e-9)
+        sim = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0))
+
+        def prog(comm):
+            yield comm.compute(gemm_spec(10, 10, 10))  # 2000 flops
+
+        res = sim.run(prog)
+        assert res.makespan == pytest.approx(2000 * 1e-9)
+
+    def test_computes_accumulate(self):
+        m = Machine(nprocs=1, gamma=1e-9)
+        sim = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0))
+
+        def prog(comm):
+            for _ in range(5):
+                yield comm.compute(gemm_spec(10, 10, 10))
+
+        assert sim.run(prog).makespan == pytest.approx(5 * 2000 * 1e-9)
+
+    def test_compute_fn_result_returned(self):
+        def prog(comm):
+            out = yield comm.compute(gemm_spec(2, 2, 2), fn=lambda a, b: a + b, args=(1, 2))
+            return out
+
+        res = run_quiet(1, prog)
+        assert res.returns == [3]
+
+    def test_ranks_advance_independently(self):
+        def prog(comm):
+            for _ in range(comm.rank + 1):
+                yield comm.compute(gemm_spec(10, 10, 10))
+
+        res = run_quiet(3, prog)
+        t = res.rank_times
+        assert t[0] < t[1] < t[2]
+        assert res.makespan == t[2]
+
+
+class TestBlockingP2P:
+    def test_payload_delivery(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send({"x": 42}, dest=1, tag=3, nbytes=8)
+                return None
+            got = yield comm.recv(source=0, tag=3, nbytes=8)
+            return got
+
+        res = run_quiet(2, prog)
+        assert res.returns[1] == {"x": 42}
+
+    def test_rendezvous_synchronizes(self):
+        # rank 1 computes first; rank 0's send completes only at the
+        # matched time: both finish together
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(None, dest=1, nbytes=100)
+            else:
+                yield comm.compute(gemm_spec(50, 50, 50))
+                yield comm.recv(source=0, nbytes=100)
+
+        res = run_quiet(2, prog)
+        assert res.rank_times[0] == pytest.approx(res.rank_times[1])
+
+    def test_transfer_cost_charged(self):
+        m = Machine(nprocs=2, alpha=1e-6, beta=1e-9)
+        sim = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0))
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(None, dest=1, nbytes=10**6)
+            else:
+                yield comm.recv(source=0, nbytes=10**6)
+
+        assert sim.run(prog).makespan == pytest.approx(1e-6 + 1e-3)
+
+    def test_tag_discrimination(self):
+        # out-of-order receive requires buffered sends (blocking sends
+        # rendezvous in this model, as eager-limit-exceeding MPI sends do)
+        def prog(comm):
+            if comm.rank == 0:
+                r1 = yield comm.isend("tag5", dest=1, tag=5, nbytes=8)
+                r2 = yield comm.isend("tag9", dest=1, tag=9, nbytes=8)
+                yield comm.waitall([r1, r2])
+                return None
+            b = yield comm.recv(source=0, tag=9, nbytes=8)
+            a = yield comm.recv(source=0, tag=5, nbytes=8)
+            return (a, b)
+
+        res = run_quiet(2, prog)
+        assert res.returns[1] == ("tag5", "tag9")
+
+    def test_fifo_same_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    yield comm.send(i, dest=1, tag=0, nbytes=8)
+                return None
+            got = []
+            for _ in range(3):
+                got.append((yield comm.recv(source=0, tag=0, nbytes=8)))
+            return got
+
+        assert run_quiet(2, prog).returns[1] == [0, 1, 2]
+
+    def test_ring_exchange(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            if comm.rank % 2 == 0:
+                yield comm.send(comm.rank, dest=right, nbytes=8)
+                got = yield comm.recv(source=left, nbytes=8)
+            else:
+                got = yield comm.recv(source=left, nbytes=8)
+                yield comm.send(comm.rank, dest=right, nbytes=8)
+            return got
+
+        res = run_quiet(4, prog)
+        assert res.returns == [3, 0, 1, 2]
+
+
+class TestDeadlockDetection:
+    def test_unmatched_recv_deadlocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.recv(source=1, tag=0, nbytes=8)
+
+        with pytest.raises(DeadlockError) as exc:
+            run_quiet(2, prog)
+        assert "rank 0" in str(exc.value)
+
+    def test_collective_mismatch_detected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.bcast(None, root=0, nbytes=8)
+            else:
+                yield comm.barrier()
+
+        with pytest.raises(RuntimeError, match="mismatch"):
+            run_quiet(2, prog)
+
+    def test_cyclic_sends_deadlock(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            yield comm.recv(source=peer, nbytes=8)
+            yield comm.send(None, dest=peer, nbytes=8)
+
+        with pytest.raises(DeadlockError):
+            run_quiet(2, prog)
+
+
+class TestDeterminism:
+    def _prog(self, comm):
+        yield comm.compute(gemm_spec(16, 16, 16))
+        yield comm.allreduce(nbytes=64)
+        if comm.rank == 0:
+            yield comm.send(None, dest=1, nbytes=32)
+        elif comm.rank == 1:
+            yield comm.recv(source=0, nbytes=32)
+
+    def test_same_seed_identical(self):
+        m = Machine(nprocs=4, seed=3)
+        r1 = Simulator(m).run(self._prog, run_seed=11)
+        r2 = Simulator(m).run(self._prog, run_seed=11)
+        assert r1.makespan == r2.makespan
+        assert r1.rank_times == r2.rank_times
+
+    def test_different_run_seed_differs(self):
+        m = Machine(nprocs=4, seed=3)
+        r1 = Simulator(m).run(self._prog, run_seed=11)
+        r2 = Simulator(m).run(self._prog, run_seed=12)
+        assert r1.makespan != r2.makespan
+
+    def test_different_machine_seed_differs(self):
+        r1 = Simulator(Machine(nprocs=4, seed=1)).run(self._prog, run_seed=5)
+        r2 = Simulator(Machine(nprocs=4, seed=2)).run(self._prog, run_seed=5)
+        assert r1.makespan != r2.makespan

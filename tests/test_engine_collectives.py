@@ -1,0 +1,144 @@
+"""Data and timing semantics of every collective."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, NoiseModel, Simulator
+
+from conftest import make_quiet_sim
+
+
+def run4(program, **kw):
+    return make_quiet_sim(4).run(program, **kw)
+
+
+class TestBcast:
+    def test_root_value_everywhere(self):
+        def prog(comm):
+            val = {"n": 1} if comm.rank == 2 else None
+            out = yield comm.bcast(val, root=2, nbytes=8)
+            return out
+
+        assert all(r == {"n": 1} for r in run4(prog).returns)
+
+    def test_numpy_payload(self):
+        def prog(comm):
+            val = np.arange(4.0) if comm.rank == 0 else None
+            out = yield comm.bcast(val, root=0)
+            return float(out.sum())
+
+        assert run4(prog).returns == [6.0] * 4
+
+
+class TestReduceAllreduce:
+    def test_reduce_sums_at_root(self):
+        def prog(comm):
+            out = yield comm.reduce(comm.rank + 1, root=1, nbytes=8)
+            return out
+
+        assert run4(prog).returns == [None, 10, None, None]
+
+    def test_allreduce_sums_everywhere(self):
+        def prog(comm):
+            out = yield comm.allreduce(np.full(3, float(comm.rank)))
+            return out.tolist()
+
+        assert run4(prog).returns == [[6.0, 6.0, 6.0]] * 4
+
+    def test_allreduce_none_contributions(self):
+        def prog(comm):
+            out = yield comm.allreduce(comm.rank if comm.rank % 2 else None, nbytes=8)
+            return out
+
+        # Nones are ignored; ranks 1 and 3 contribute
+        assert run4(prog).returns == [4] * 4
+
+
+class TestGatherScatter:
+    def test_gather_ordered(self):
+        def prog(comm):
+            out = yield comm.gather(comm.rank * 10, root=0, nbytes=8)
+            return out
+
+        assert run4(prog).returns == [[0, 10, 20, 30], None, None, None]
+
+    def test_allgather(self):
+        def prog(comm):
+            out = yield comm.allgather(chr(ord("a") + comm.rank), nbytes=8)
+            return "".join(out)
+
+        assert run4(prog).returns == ["abcd"] * 4
+
+    def test_scatter(self):
+        def prog(comm):
+            chunks = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            out = yield comm.scatter(chunks, root=0, nbytes=8)
+            return out
+
+        assert run4(prog).returns == [0, 1, 4, 9]
+
+    def test_alltoall(self):
+        def prog(comm):
+            out = yield comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)],
+                                      nbytes=8)
+            return out
+
+        res = run4(prog)
+        assert res.returns[2] == ["0->2", "1->2", "2->2", "3->2"]
+
+
+class TestBarrierTiming:
+    def test_barrier_synchronizes_clocks(self):
+        def prog(comm):
+            for _ in range(comm.rank):
+                yield comm.compute(gemm_spec(20, 20, 20))
+            yield comm.barrier()
+            return None
+
+        res = run4(prog)
+        assert max(res.rank_times) == pytest.approx(min(res.rank_times))
+
+    def test_collective_cost_uses_machine_model(self):
+        m = Machine(nprocs=4, alpha=1e-6, beta=1e-9)
+        sim = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0))
+
+        def prog(comm):
+            yield comm.bcast(None, root=0, nbytes=1000)
+
+        # binomial tree: log2(4) * (alpha + beta * n)
+        assert sim.run(prog).makespan == pytest.approx(2 * (1e-6 + 1e-6))
+
+    def test_late_arrival_sets_start(self):
+        def prog(comm):
+            if comm.rank == 3:
+                for _ in range(5):
+                    yield comm.compute(gemm_spec(30, 30, 30))
+            yield comm.barrier()
+
+        res = run4(prog)
+        base = make_quiet_sim(4).machine.compute_cost(2 * 30**3) * 5
+        assert res.makespan >= base
+
+
+class TestCollectiveSequencing:
+    def test_back_to_back_collectives(self):
+        def prog(comm):
+            a = yield comm.allreduce(1, nbytes=8)
+            b = yield comm.allreduce(2, nbytes=8)
+            c = yield comm.allgather(comm.rank, nbytes=8)
+            return (a, b, tuple(c))
+
+        res = run4(prog)
+        assert res.returns == [(4, 8, (0, 1, 2, 3))] * 4
+
+    def test_collectives_on_subcomms_interleave(self):
+        def prog(comm):
+            sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+            s = yield sub.allreduce(comm.rank, nbytes=8)
+            w = yield comm.allreduce(s, nbytes=8)
+            return (s, w)
+
+        res = run4(prog)
+        # evens sum to 2, odds to 4; world allreduce of (2,4,2,4) = 12
+        assert res.returns == [(2, 12), (4, 12), (2, 12), (4, 12)]

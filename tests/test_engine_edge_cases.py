@@ -1,0 +1,142 @@
+"""Engine edge cases: degenerate communicators, sizes, and programs."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.blas import gemm_spec
+from repro.sim import DeadlockError, Machine, NoiseModel, Simulator
+
+from conftest import make_quiet_sim
+
+
+class TestDegenerateCommunicators:
+    def test_single_rank_world(self):
+        def prog(comm):
+            yield comm.compute(gemm_spec(8, 8, 8))
+            out = yield comm.allreduce(5, nbytes=8)
+            return out
+
+        res = make_quiet_sim(1).run(prog)
+        assert res.returns == [5]
+
+    def test_single_member_collectives(self):
+        def prog(comm):
+            solo = yield comm.split(color=comm.rank, key=0)
+            a = yield solo.bcast("x", root=0, nbytes=8)
+            b = yield solo.allgather(comm.rank, nbytes=8)
+            return (a, b)
+
+        res = make_quiet_sim(3).run(prog)
+        assert res.returns[1] == ("x", [1])
+
+    def test_size_two_collective(self):
+        def prog(comm):
+            out = yield comm.allreduce(comm.rank + 1, nbytes=8)
+            return out
+
+        assert make_quiet_sim(2).run(prog).returns == [3, 3]
+
+
+class TestDegenerateSizes:
+    def test_zero_byte_message(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(None, dest=1, nbytes=0)
+            elif comm.rank == 1:
+                yield comm.recv(source=0, nbytes=0)
+
+        res = make_quiet_sim(2).run(prog)
+        assert res.makespan > 0  # still pays latency
+
+    def test_zero_flop_compute(self):
+        def prog(comm):
+            yield comm.compute((gemm_spec(8, 8, 8)[0], 0.0))
+
+        assert make_quiet_sim(1).run(prog).makespan == 0.0
+
+    def test_empty_program(self):
+        def prog(comm):
+            return comm.rank
+            yield  # pragma: no cover
+
+        res = make_quiet_sim(4).run(prog)
+        assert res.makespan == 0.0
+        assert res.returns == [0, 1, 2, 3]
+
+
+class TestRankArgs:
+    def test_per_rank_arguments(self):
+        def prog(comm, base, extra):
+            return base + extra
+            yield  # pragma: no cover
+
+        res = make_quiet_sim(3).run(prog, args=(100,),
+                                    rank_args=[(i * 10,) for i in range(3)])
+        assert res.returns == [100, 110, 120]
+
+
+class TestReuseAndErrors:
+    def test_simulator_reusable_across_runs(self):
+        def prog(comm):
+            yield comm.allreduce(nbytes=64)
+
+        m = Machine(nprocs=2, seed=0)
+        sim = Simulator(m)
+        t1 = sim.run(prog, run_seed=1).makespan
+        t2 = sim.run(prog, run_seed=1).makespan
+        assert t1 == t2
+
+    def test_unknown_op_rejected(self):
+        def prog(comm):
+            yield "not an op"
+
+        with pytest.raises(TypeError, match="unknown op"):
+            make_quiet_sim(1).run(prog)
+
+    def test_partial_collective_deadlock_reported(self):
+        def prog(comm):
+            if comm.rank != 3:
+                yield comm.barrier()
+
+        with pytest.raises(DeadlockError) as exc:
+            make_quiet_sim(4).run(prog)
+        assert "barrier" in str(exc.value)
+
+    def test_wait_on_foreign_request_deadlocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = yield comm.irecv(source=1, tag=9, nbytes=8)
+                yield comm.wait(req)  # never matched
+
+        with pytest.raises(DeadlockError):
+            make_quiet_sim(2).run(prog)
+
+
+class TestManyRanks:
+    def test_64_rank_collective(self):
+        def prog(comm):
+            out = yield comm.allreduce(1, nbytes=8)
+            return out
+
+        res = make_quiet_sim(64).run(prog)
+        assert res.returns == [64] * 64
+
+    def test_wide_gather(self):
+        def prog(comm):
+            out = yield comm.gather(comm.rank, root=5, nbytes=8)
+            return None if out is None else sum(out)
+
+        res = make_quiet_sim(32).run(prog)
+        assert res.returns[5] == sum(range(32))
+        assert all(r is None for i, r in enumerate(res.returns) if i != 5)
+
+    def test_deep_split_chain(self):
+        def prog(comm):
+            current = comm
+            while current.size > 1:
+                half = current.rank < current.size // 2
+                current = yield current.split(color=int(half), key=current.rank)
+            return current.world_rank
+
+        res = make_quiet_sim(16).run(prog)
+        assert res.returns == list(range(16))

@@ -1,0 +1,115 @@
+"""Property-based engine invariants over randomized SPMD programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, NoiseModel, Simulator
+
+# a program is a list of phase descriptors executed by all ranks
+phase = st.one_of(
+    st.tuples(st.just("compute"), st.integers(min_value=4, max_value=32)),
+    st.tuples(st.just("allreduce"), st.integers(min_value=8, max_value=4096)),
+    st.tuples(st.just("bcast"), st.integers(min_value=8, max_value=4096)),
+    st.tuples(st.just("barrier"), st.just(0)),
+    st.tuples(st.just("shift"), st.integers(min_value=8, max_value=1024)),
+)
+
+
+def build_program(phases):
+    def prog(comm):
+        for idx, (kind, arg) in enumerate(phases):
+            if kind == "compute":
+                yield comm.compute(gemm_spec(arg, arg, arg))
+            elif kind == "allreduce":
+                yield comm.allreduce(nbytes=arg)
+            elif kind == "bcast":
+                yield comm.bcast(None, root=0, nbytes=arg)
+            elif kind == "barrier":
+                yield comm.barrier()
+            elif kind == "shift":
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                req = yield comm.isend(None, dest=right, tag=idx, nbytes=arg)
+                yield comm.recv(source=left, tag=idx, nbytes=arg)
+                yield comm.wait(req)
+        return comm.rank
+
+    return prog
+
+
+@given(phases=st.lists(phase, min_size=1, max_size=12),
+       nprocs=st.sampled_from([2, 4]),
+       run_seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_property_determinism(phases, nprocs, run_seed):
+    prog = build_program(phases)
+    m = Machine(nprocs=nprocs, seed=5)
+    r1 = Simulator(m).run(prog, run_seed=run_seed)
+    r2 = Simulator(m).run(prog, run_seed=run_seed)
+    assert r1.makespan == r2.makespan
+    assert r1.rank_times == r2.rank_times
+
+
+@given(phases=st.lists(phase, min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_property_all_ranks_finish_and_time_monotone(phases):
+    prog = build_program(phases)
+    m = Machine(nprocs=4, seed=5)
+    res = Simulator(m).run(prog, run_seed=1)
+    assert res.returns == [0, 1, 2, 3]
+    assert all(t >= 0 for t in res.rank_times)
+    assert res.makespan == max(res.rank_times)
+
+
+@given(phases=st.lists(phase, min_size=2, max_size=10),
+       run_seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_property_critical_path_bounds(phases, run_seed):
+    """Predicted critical path never exceeds the makespan (no overlap in
+    these programs) and dominates every rank's volumetric kernel time."""
+    prog = build_program(phases)
+    m = Machine(nprocs=4, seed=5)
+    cr = Critter(policy="never-skip")
+    res = Simulator(m, profiler=cr).run(prog, run_seed=run_seed)
+    rep = cr.last_report
+    assert rep.predicted_exec_time <= res.makespan * (1 + 1e-9)
+    for p in cr.profiles:
+        assert rep.predicted_exec_time >= p.kernel_wall_time * (1 - 1e-9) - 1e-12
+
+
+@given(phases=st.lists(phase, min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_property_skipping_never_slower(phases):
+    """With timing noise disabled, a selective rerun is never slower
+    than the first (full) run — up to the per-kernel skip overhead,
+    which can exceed the cost of degenerate (sub-overhead) kernels.
+    (Under noise the statement only holds in expectation: forced first
+    executions re-sample kernel times.)"""
+    prog = build_program(phases)
+    m = Machine(nprocs=2, seed=5)
+    quiet = NoiseModel(bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0)
+    cr = Critter(policy="conditional", eps=0.9)
+    first = Simulator(m, noise=quiet, profiler=cr).run(prog, run_seed=0).makespan
+    second = Simulator(m, noise=quiet, profiler=cr).run(prog, run_seed=0).makespan
+    slack = m.skip_overhead * len(phases)
+    assert second <= first * (1 + 1e-9) + slack
+
+
+@given(phases=st.lists(phase, min_size=1, max_size=8),
+       eps=st.sampled_from([1.0, 0.25, 2**-4, 2**-8]))
+@settings(max_examples=30, deadline=None)
+def test_property_skip_counts_bounded(phases, eps):
+    prog = build_program(phases)
+    m = Machine(nprocs=2, seed=7)
+    cr = Critter(policy="online", eps=eps)
+    for rep in range(2):
+        Simulator(m, profiler=cr).run(prog, run_seed=rep)
+    rep = cr.last_report
+    total = rep.executed_kernels + rep.skipped_kernels
+    # every phase contributes >= 1 kernel per rank
+    assert total >= len(phases) * 2
+    assert 0.0 <= rep.skip_fraction <= 1.0

@@ -1,0 +1,82 @@
+"""MPI_Comm_split semantics: grouping, key ordering, undefined colors."""
+
+import pytest
+
+from conftest import make_quiet_sim
+
+
+class TestSplitGrouping:
+    def test_split_by_parity(self):
+        def prog(comm):
+            sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+            return (sub.size, sub.rank, sub.world_ranks)
+
+        res = make_quiet_sim(4).run(prog)
+        assert res.returns[0] == (2, 0, (0, 2))
+        assert res.returns[2] == (2, 1, (0, 2))
+        assert res.returns[1] == (2, 0, (1, 3))
+
+    def test_key_reverses_rank_order(self):
+        def prog(comm):
+            sub = yield comm.split(color=0, key=-comm.rank)
+            return (sub.rank, sub.world_ranks)
+
+        res = make_quiet_sim(3).run(prog)
+        # key=-rank: world rank 2 becomes sub rank 0
+        assert res.returns[2][0] == 0
+        assert res.returns[0][0] == 2
+        assert res.returns[0][1] == (2, 1, 0)
+
+    def test_undefined_color_returns_none(self):
+        def prog(comm):
+            sub = yield comm.split(color=None if comm.rank == 0 else 1, key=comm.rank)
+            return None if sub is None else sub.size
+
+        res = make_quiet_sim(3).run(prog)
+        assert res.returns == [None, 2, 2]
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = yield comm.split(color=comm.rank // 2, key=comm.rank)
+            solo = yield half.split(color=half.rank, key=0)
+            return (half.size, solo.size)
+
+        res = make_quiet_sim(4).run(prog)
+        assert all(r == (2, 1) for r in res.returns)
+
+    def test_collectives_on_split_comm(self):
+        def prog(comm):
+            sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+            total = yield sub.allreduce(comm.rank, nbytes=8)
+            return total
+
+        res = make_quiet_sim(6).run(prog)
+        assert res.returns == [6, 9, 6, 9, 6, 9]
+
+    def test_p2p_on_split_comm_uses_local_ranks(self):
+        def prog(comm):
+            sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+            if sub.rank == 0:
+                yield sub.send(comm.rank, dest=1, nbytes=8)
+                return None
+            return (yield sub.recv(source=0, nbytes=8))
+
+        res = make_quiet_sim(4).run(prog)
+        assert res.returns[2] == 0  # world rank 2 is rank 1 of the even comm
+        assert res.returns[3] == 1
+
+    def test_split_charges_time(self):
+        def prog(comm):
+            yield comm.split(color=0, key=comm.rank)
+
+        res = make_quiet_sim(8).run(prog)
+        assert res.makespan > 0
+
+    def test_group_stride_detection(self):
+        def prog(comm):
+            row = yield comm.split(color=comm.rank // 2, key=comm.rank)
+            col = yield comm.split(color=comm.rank % 2, key=comm.rank)
+            return (row.group.stride, col.group.stride)
+
+        res = make_quiet_sim(4).run(prog)
+        assert res.returns[0] == (1, 2)

@@ -1,0 +1,141 @@
+"""Kernel-model extrapolation (Section VIII extension): line fitting."""
+
+import numpy as np
+import pytest
+
+from repro.critter import Critter, ExtrapolatingModel
+from repro.kernels.blas import gemm_spec
+from repro.kernels.signature import comm_signature, comp_signature
+from repro.sim import Machine, NoiseModel, Simulator
+
+
+def feed(model, sizes, gamma=1e-9, const=5e-7, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    for n in sizes:
+        sig, flops = gemm_spec(n, n, n)
+        t = const + gamma * flops
+        if noise:
+            t *= 1.0 + noise * rng.standard_normal()
+        model.observe(sig, flops, t)
+
+
+class TestFitting:
+    def test_no_fit_below_min_points(self):
+        m = ExtrapolatingModel(min_points=3)
+        feed(m, [8, 16])
+        assert m.fit("gemm") is None
+        assert m.predict(gemm_spec(32, 32, 32)[0], gemm_spec(32, 32, 32)[1]) is None
+
+    def test_exact_linear_recovered(self):
+        m = ExtrapolatingModel(min_points=3)
+        feed(m, [8, 16, 24, 32])
+        fit = m.fit("gemm")
+        assert fit is not None
+        assert fit.rel_rms < 1e-9
+        # coefficients: [const, gamma]
+        assert fit.coeffs[0] == pytest.approx(5e-7, rel=1e-6)
+        assert fit.coeffs[1] == pytest.approx(1e-9, rel=1e-6)
+
+    def test_extrapolated_prediction(self):
+        m = ExtrapolatingModel(min_points=3)
+        feed(m, [8, 16, 24])
+        sig, flops = gemm_spec(32, 32, 32)  # never observed, near support
+        pred = m.predict(sig, flops)
+        assert pred == pytest.approx(5e-7 + 1e-9 * flops, rel=1e-6)
+
+    def test_far_extrapolation_rejected_by_support_margin(self):
+        m = ExtrapolatingModel(min_points=3, support_margin=4.0)
+        feed(m, [8, 16, 24])
+        # 64^3 is ~19x the largest observed complexity: outside margin
+        assert m.predict(*gemm_spec(64, 64, 64)) is None
+        # widening the margin admits it
+        wide = ExtrapolatingModel(min_points=3, support_margin=32.0)
+        feed(wide, [8, 16, 24])
+        assert wide.predict(*gemm_spec(64, 64, 64)) is not None
+
+    def test_noisy_fit_within_tolerance(self):
+        m = ExtrapolatingModel(min_points=4, rel_tolerance=0.2)
+        feed(m, [8, 12, 16, 24, 32, 48], noise=0.03, seed=1)
+        assert m.predict(*gemm_spec(64, 64, 64)) is not None
+
+    def test_bad_fit_rejected(self):
+        # a family whose time is NOT linear in the features: quadratic
+        # in flops -> large residual -> no prediction
+        m = ExtrapolatingModel(min_points=3, rel_tolerance=0.05)
+        for n in (8, 16, 32, 64):
+            sig, flops = gemm_spec(n, n, n)
+            m.observe(sig, flops, (flops * 1e-9) ** 2 + 1e-9)
+        assert m.predict(*gemm_spec(128, 128, 128)) is None
+
+    def test_comm_family_uses_bytes(self):
+        m = ExtrapolatingModel(min_points=3)
+        for nb in (256, 512, 1024, 4096):
+            sig = comm_signature("bcast", nb, 8, 1)
+            m.observe(sig, 0.0, 1e-6 + 2e-9 * nb)
+        pred = m.predict(comm_signature("bcast", 8192, 8, 1), 0.0)
+        assert pred == pytest.approx(1e-6 + 2e-9 * 8192, rel=1e-6)
+
+    def test_negative_extrapolation_rejected(self):
+        m = ExtrapolatingModel(min_points=3)
+        # falling line: big sizes predict negative times
+        for i, n in enumerate((8, 16, 24)):
+            sig, flops = gemm_spec(n, n, n)
+            m.observe(sig, flops, 1e-3 - i * 4.9e-4)
+        assert m.predict(*gemm_spec(256, 256, 256)) is None
+
+    def test_family_sizes_and_reset(self):
+        m = ExtrapolatingModel()
+        feed(m, [8, 16])
+        assert m.family_sizes() == {"gemm": 2}
+        m.reset()
+        assert m.family_sizes() == {}
+
+
+class TestCritterIntegration:
+    def _varying_sizes_prog(self, comm, sizes):
+        for n in sizes:
+            yield comm.compute(gemm_spec(n, n, n))
+        yield comm.barrier()
+
+    def test_unseen_sizes_skipped_with_extrapolation(self):
+        # CANDMC-like workload: every kernel size distinct — without
+        # extrapolation nothing can ever be skipped (min_samples=2)
+        m = Machine(nprocs=2, seed=4)
+        quiet = NoiseModel(bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0)
+        sizes = list(range(16, 96, 4))  # 20 distinct sizes
+
+        plain = Critter(policy="conditional", eps=0.3)
+        Simulator(m, noise=quiet, profiler=plain).run(
+            self._varying_sizes_prog, args=(sizes,), run_seed=0)
+        assert plain.last_report.skipped_kernels == 0
+
+        extra = Critter(policy="conditional", eps=0.3, extrapolate=True)
+        Simulator(m, noise=quiet, profiler=extra).run(
+            self._varying_sizes_prog, args=(sizes,), run_seed=0)
+        assert extra.last_report.skipped_kernels > 0
+
+    def test_extrapolated_prediction_accuracy(self):
+        m = Machine(nprocs=2, seed=4)
+        quiet = NoiseModel(bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0)
+        sizes = list(range(16, 96, 4))
+        full = Critter(policy="never-skip")
+        t_full = Simulator(m, noise=quiet, profiler=full).run(
+            self._varying_sizes_prog, args=(sizes,), run_seed=0).makespan
+        extra = Critter(policy="conditional", eps=0.3, extrapolate=True)
+        res = Simulator(m, noise=quiet, profiler=extra).run(
+            self._varying_sizes_prog, args=(sizes,), run_seed=0)
+        rep = extra.last_report
+        assert res.makespan < t_full  # actually accelerated
+        assert abs(rep.predicted_exec_time - t_full) / t_full < 0.05
+
+    def test_reset_clears_model(self):
+        cr = Critter(policy="conditional", extrapolate=True)
+        m = Machine(nprocs=2, seed=4)
+        Simulator(m, profiler=cr).run(
+            self._varying_sizes_prog, args=([16, 20, 24, 28],), run_seed=0)
+        assert cr.extrapolation.family_sizes()
+        cr.reset_statistics()
+        assert not cr.extrapolation.family_sizes()
+
+    def test_disabled_by_default(self):
+        assert Critter().extrapolation is None

@@ -1,0 +1,62 @@
+"""Extrapolation in the tuning loop: the CANDMC-motivated case.
+
+Section VIII singles out CANDMC's pipelined QR as the beneficiary of
+line-fitting: its trailing matrix shrinks every panel, so kernel
+signatures rarely repeat and per-signature confidence intervals starve.
+"""
+
+import pytest
+
+from repro.autotune import candmc_qr_space
+from repro.autotune.tuner import _seed_for, default_machine
+from repro.critter import Critter
+from repro.sim import NoiseModel, Simulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    space = candmc_qr_space(m=512, n=64, p=4, pr0=2, b0=2, nconf=5)
+    machine = default_machine(space, seed=47)
+    # smooth per-size efficiency: the regime where line fitting is valid
+    noise = NoiseModel(bias_sigma=0.02, comp_cv=0.05, comm_cv=0.1,
+                       run_cv=0.005, machine_seed=47)
+    return space, machine, noise
+
+
+def tune(space, machine, noise, extrapolate, reps=3):
+    critter = Critter(policy="conditional", eps=2**-3,
+                      extrapolate=extrapolate, extrapolation_tolerance=0.2)
+    total = 0.0
+    skip = []
+    for idx, config in enumerate(space.configs):
+        critter.reset_statistics()
+        for rep in range(reps):
+            sim = Simulator(machine, noise=noise, profiler=critter)
+            total += sim.run(space.program, args=(config,),
+                             run_seed=_seed_for(0, idx, rep)).makespan
+        skip.append(critter.last_report.skip_fraction)
+    return total, skip
+
+
+class TestExtrapolatedTuning:
+    def test_extrapolation_accelerates_candmc(self, setup):
+        space, machine, noise = setup
+        t_plain, skip_plain = tune(space, machine, noise, extrapolate=False)
+        t_extra, skip_extra = tune(space, machine, noise, extrapolate=True)
+        # more kernels skipped, faster search
+        assert sum(skip_extra) > sum(skip_plain)
+        assert t_extra < t_plain
+
+    def test_extrapolated_predictions_stay_accurate(self, setup):
+        space, machine, noise = setup
+        config = space.configs[0]
+        full = Critter(policy="never-skip")
+        t_full = Simulator(machine, noise=noise, profiler=full).run(
+            space.program, args=(config,), run_seed=999).makespan
+        critter = Critter(policy="conditional", eps=2**-3, extrapolate=True,
+                          extrapolation_tolerance=0.2)
+        for rep in range(3):
+            Simulator(machine, noise=noise, profiler=critter).run(
+                space.program, args=(config,), run_seed=rep)
+        err = abs(critter.last_report.predicted_exec_time - t_full) / t_full
+        assert err < 0.15

@@ -1,0 +1,74 @@
+"""ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, sweep_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart({"a": [1.0, 2.0, 3.0]}, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("o" in l for l in lines)
+        assert "o=a" in lines[-1]
+
+    def test_two_series_two_markers(self):
+        out = ascii_chart({"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_on_first_and_last_rows(self):
+        out = ascii_chart({"a": [0.0, 10.0]}, height=5, width=10)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "o" in rows[0]    # max on top row
+        assert "o" in rows[-1]   # min on bottom row
+
+    def test_y_axis_labels(self):
+        out = ascii_chart({"a": [1.0, 5.0]}, height=6)
+        assert "5" in out and "1" in out
+
+    def test_log2_scaling(self):
+        out = ascii_chart({"a": [1.0, 4.0, 16.0]}, log2_y=True, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        # log spacing: the middle point lands on the middle row
+        mid = rows[len(rows) // 2]
+        assert "o" in mid
+
+    def test_x_labels(self):
+        out = ascii_chart({"a": [1, 2]}, x_labels=["lo", "hi"])
+        assert "lo" in out and "hi" in out
+
+    def test_constant_series(self):
+        out = ascii_chart({"a": [2.0, 2.0, 2.0]})
+        assert "o" in out
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1, 2], "b": [1]})
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(empty chart)"
+
+    def test_nonpositive_with_log(self):
+        out = ascii_chart({"a": [0.0, 0.0]}, log2_y=True)
+        assert out == "(no finite data)"
+
+
+class TestSweepChart:
+    def test_renders_sweep(self):
+        from repro.autotune import capital_cholesky_space, tolerance_sweep
+        from repro.autotune.tuner import default_machine
+
+        space = capital_cholesky_space(n=64, c=2, b0=4, nconf=3)
+        machine = default_machine(space, seed=1)
+        sweep = tolerance_sweep(space, machine, policies=("online",),
+                                tolerances=[1.0, 2**-4], reps=1, full_reps=1,
+                                seed=0)
+        out = sweep_chart(sweep, "search_time",
+                          reference=sweep.full_search_time)
+        assert "search_time" in out
+        assert "2^0" in out and "2^-4" in out
+        assert "full-exec" in out

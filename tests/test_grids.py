@@ -1,0 +1,106 @@
+"""Processor grid construction: communicator shapes and strides."""
+
+import pytest
+
+from repro.algorithms.grids import make_grid2d, make_grid3d
+from repro.sim import DeadlockError
+
+from conftest import make_quiet_sim
+
+
+class TestGrid2D:
+    def test_shapes_and_indices(self):
+        def prog(comm):
+            g = yield from make_grid2d(comm, 2, 3)
+            return (g.ri, g.ci, g.row.size, g.col.size)
+
+        res = make_quiet_sim(6).run(prog)
+        assert res.returns[0] == (0, 0, 3, 2)
+        assert res.returns[5] == (1, 2, 3, 2)
+
+    def test_row_ranks_contiguous(self):
+        def prog(comm):
+            g = yield from make_grid2d(comm, 2, 2)
+            return (g.row.world_ranks, g.col.world_ranks)
+
+        res = make_quiet_sim(4).run(prog)
+        assert res.returns[0] == ((0, 1), (0, 2))
+        assert res.returns[3] == ((2, 3), (1, 3))
+
+    def test_row_col_strides(self):
+        def prog(comm):
+            g = yield from make_grid2d(comm, 2, 4)
+            return (g.row.group.stride, g.col.group.stride)
+
+        res = make_quiet_sim(8).run(prog)
+        assert all(r == (1, 4) for r in res.returns)
+
+    def test_bad_shape_raises(self):
+        def prog(comm):
+            g = yield from make_grid2d(comm, 3, 3)
+
+        with pytest.raises(ValueError, match="grid 3x3"):
+            make_quiet_sim(4).run(prog)
+
+    def test_row_collective(self):
+        def prog(comm):
+            g = yield from make_grid2d(comm, 2, 2)
+            s = yield g.row.allreduce(comm.rank, nbytes=8)
+            return s
+
+        res = make_quiet_sim(4).run(prog)
+        assert res.returns == [1, 1, 5, 5]
+
+
+class TestGrid3D:
+    def test_coordinates(self):
+        def prog(comm):
+            g = yield from make_grid3d(comm, 2)
+            return (g.k, g.i, g.j)
+
+        res = make_quiet_sim(8).run(prog)
+        assert res.returns[0] == (0, 0, 0)
+        assert res.returns[3] == (0, 1, 1)
+        assert res.returns[4] == (1, 0, 0)
+        assert res.returns[7] == (1, 1, 1)
+
+    def test_communicator_sizes(self):
+        def prog(comm):
+            g = yield from make_grid3d(comm, 2)
+            return (g.row.size, g.col.size, g.fiber.size, g.layer.size)
+
+        res = make_quiet_sim(8).run(prog)
+        assert all(r == (2, 2, 2, 4) for r in res.returns)
+
+    def test_fiber_spans_layers(self):
+        def prog(comm):
+            g = yield from make_grid3d(comm, 2)
+            return g.fiber.world_ranks
+
+        res = make_quiet_sim(8).run(prog)
+        assert res.returns[0] == (0, 4)
+        assert res.returns[3] == (3, 7)
+
+    def test_layer_members(self):
+        def prog(comm):
+            g = yield from make_grid3d(comm, 2)
+            return g.layer.world_ranks
+
+        res = make_quiet_sim(8).run(prog)
+        assert res.returns[0] == (0, 1, 2, 3)
+        assert res.returns[5] == (4, 5, 6, 7)
+
+    def test_strides_feed_channels(self):
+        def prog(comm):
+            g = yield from make_grid3d(comm, 2)
+            return (g.row.group.stride, g.col.group.stride, g.fiber.group.stride)
+
+        res = make_quiet_sim(8).run(prog)
+        assert all(r == (1, 2, 4) for r in res.returns)
+
+    def test_bad_cube_raises(self):
+        def prog(comm):
+            g = yield from make_grid3d(comm, 2)
+
+        with pytest.raises(ValueError, match=r"\^3"):
+            make_quiet_sim(4).run(prog)

@@ -1,0 +1,116 @@
+"""End-to-end integration: the full paper pipeline on miniature problems."""
+
+import math
+
+import pytest
+
+from repro.algorithms import verify
+from repro.autotune import (
+    ExhaustiveTuner,
+    candmc_qr_space,
+    measure_ground_truth,
+    slate_qr_space,
+    tolerance_sweep,
+)
+from repro.autotune.tuner import default_machine
+from repro.critter import Critter
+from repro.sim import Machine, Simulator
+
+
+class TestQRSpacesEndToEnd:
+    def test_candmc_mini_tuning(self):
+        space = candmc_qr_space(m=256, n=64, p=4, pr0=2, b0=2, nconf=10)
+        machine = default_machine(space, seed=19)
+        ground = measure_ground_truth(space, machine, full_reps=2, seed=0)
+        res = ExhaustiveTuner(space, machine, policy="online", eps=2**-3,
+                              reps=2, ground_truth=ground, seed=0).run()
+        assert res.search_speedup >= 1.0
+        assert res.selection_quality > 0.85
+        assert all(math.isfinite(o.exec_error) for o in res.outcomes)
+
+    def test_slate_qr_mini_tuning_with_exclusion(self):
+        space = slate_qr_space(m=64, n=32, p=4, pr0=2, nb0=8, dnb=2, w0=2,
+                               nconf=9)
+        assert "geqr2" in space.exclude
+        machine = default_machine(space, seed=19)
+        ground = measure_ground_truth(space, machine, full_reps=2, seed=0)
+        res = ExhaustiveTuner(space, machine, policy="conditional", eps=0.5,
+                              reps=2, ground_truth=ground, seed=0).run()
+        # speedup exists but is bounded by the excluded panel kernels
+        assert res.search_speedup > 1.0
+        skips = [o.skip_fraction for o in res.outcomes]
+        assert max(skips) < 1.0
+
+
+class TestSweepEndToEnd:
+    def test_error_tolerance_relationship(self):
+        from repro.autotune import capital_cholesky_space
+
+        space = capital_cholesky_space(n=128, c=2, b0=4, nconf=5)
+        machine = default_machine(space, seed=23)
+        sweep = tolerance_sweep(
+            space, machine, policies=("online",),
+            tolerances=[1.0, 2**-4, 2**-8], reps=3, full_reps=3, seed=0,
+        )
+        errs = sweep.series("online", "mean_log2_exec_error")
+        times = sweep.series("online", "search_time")
+        # tighter tolerance: slower search
+        assert times[2] > times[0]
+        # and at least as accurate (allow noise slack)
+        assert errs[2] <= errs[0] + 0.5
+
+    def test_eager_full_pipeline_on_capital(self):
+        from repro.autotune import capital_cholesky_space
+
+        space = capital_cholesky_space(n=128, c=2, b0=4, nconf=10)
+        machine = default_machine(space, seed=29)
+        ground = measure_ground_truth(space, machine, full_reps=2, seed=0)
+        eager = ExhaustiveTuner(space, machine, policy="eager", eps=2**-2,
+                                reps=3, ground_truth=ground, seed=0).run()
+        cond = ExhaustiveTuner(space, machine, policy="conditional", eps=2**-2,
+                               reps=3, ground_truth=ground, seed=0).run()
+        # the paper's headline: eager >> conditional for bulk-synchronous
+        assert eager.search_time < cond.search_time
+        # later configs reuse models: their skip fractions approach 1
+        late = eager.outcomes[-1].skip_fraction
+        assert late > 0.9
+
+
+class TestNumericUnderTuning:
+    def test_selective_execution_with_live_data(self):
+        """Numeric correctness is preserved while Critter skips kernels."""
+        from repro.algorithms.slate_cholesky import SlateCholeskyConfig, slate_cholesky
+
+        cfg = SlateCholeskyConfig(n=48, nb=8, pr=2, pc=2, lookahead=1)
+        a = verify.random_spd(48, seed=31)
+        machine = Machine(nprocs=4, seed=31)
+        cr = Critter(policy="online", eps=0.5)
+        res = None
+        for rep in range(3):
+            res = Simulator(machine, profiler=cr, execute_skipped_fns=True).run(
+                slate_cholesky, args=(cfg, a), run_seed=rep
+            )
+        assert cr.last_report.skip_fraction > 0.3
+        verify.check_slate_cholesky(res.returns, cfg, a)
+
+    def test_predicted_time_close_to_truth_quiet_noise(self):
+        """With noise off, prediction converges to the exact runtime."""
+        from repro.autotune import capital_cholesky_space
+        from repro.sim import NoiseModel
+
+        space = capital_cholesky_space(n=128, c=2, b0=8, nconf=3)
+        machine = default_machine(space, seed=0)
+        quiet = NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0)
+        for config in space.configs:
+            full = Critter(policy="never-skip")
+            t_full = Simulator(machine, noise=quiet, profiler=full).run(
+                space.program, args=(config,), run_seed=0).makespan
+            cr = Critter(policy="conditional", eps=0.5)
+            for rep in range(2):
+                Simulator(machine, noise=quiet, profiler=cr).run(
+                    space.program, args=(config,), run_seed=rep)
+            err = abs(cr.last_report.predicted_exec_time - t_full) / t_full
+            # residual gap = interception overhead (not part of the
+            # kernel-sum prediction); small at paper scale, ~<10% at
+            # this miniature problem size
+            assert err < 0.12, config.label()

@@ -1,0 +1,66 @@
+"""Per-kernel profiling reports."""
+
+import math
+
+import pytest
+
+from repro.critter import Critter, format_kernel_profile, kernel_profile
+from repro.kernels.blas import gemm_spec, trsm_spec
+from repro.sim import Machine, Simulator
+
+
+def prog(comm):
+    for _ in range(5):
+        yield comm.compute(gemm_spec(32, 32, 32))
+    yield comm.compute(trsm_spec(16, 16))
+    yield comm.allreduce(nbytes=1024)
+
+
+@pytest.fixture
+def profiled():
+    cr = Critter(policy="never-skip")
+    m = Machine(nprocs=4, seed=9)
+    Simulator(m, profiler=cr).run(prog, run_seed=0)
+    return cr
+
+
+class TestKernelProfile:
+    def test_entries_sorted_by_total(self, profiled):
+        entries = kernel_profile(profiled)
+        totals = [e.total_time for e in entries]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_counts_merged_over_ranks(self, profiled):
+        entries = {str(e.sig): e for e in kernel_profile(profiled)}
+        assert entries["gemm(32,32,32)"].count == 20  # 5 x 4 ranks
+
+    def test_single_rank_view(self, profiled):
+        entries = {str(e.sig): e for e in kernel_profile(profiled, rank=0)}
+        assert entries["gemm(32,32,32)"].count == 5
+
+    def test_path_counts_present(self, profiled):
+        entries = {str(e.sig): e for e in kernel_profile(profiled)}
+        assert entries["gemm(32,32,32)"].path_count == 5
+
+    def test_top_truncation(self, profiled):
+        assert len(kernel_profile(profiled, top=1)) == 1
+
+    def test_predictable_flag(self, profiled):
+        for e in kernel_profile(profiled):
+            if e.count >= 2:
+                assert e.predictable == math.isfinite(e.rel_ci)
+
+    def test_empty_critter(self):
+        assert kernel_profile(Critter()) == []
+
+
+class TestFormatting:
+    def test_table_renders(self, profiled):
+        text = format_kernel_profile(profiled)
+        assert "gemm(32,32,32)" in text
+        assert "count" in text.splitlines()[0]
+
+    def test_table_rank_view(self, profiled):
+        text = format_kernel_profile(profiled, rank=2, top=3)
+        # header + rule + at most 3 rows
+        assert len(text.splitlines()) <= 5

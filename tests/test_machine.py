@@ -1,0 +1,96 @@
+"""Machine model: alpha-beta-gamma costs and collective formulas."""
+
+import math
+
+import pytest
+
+from repro.kernels.signature import comm_signature, comp_signature
+from repro.sim.machine import CollectiveCosts, Machine
+
+
+@pytest.fixture
+def cc() -> CollectiveCosts:
+    return CollectiveCosts(alpha=1e-6, beta=1e-9)
+
+
+class TestP2P:
+    def test_latency_only(self, cc):
+        assert cc.p2p(0) == pytest.approx(1e-6)
+
+    def test_bandwidth_term(self, cc):
+        assert cc.p2p(10**6) == pytest.approx(1e-6 + 1e-3)
+
+
+class TestCollectiveFormulas:
+    def test_bcast_log_scaling(self, cc):
+        assert cc.bcast(0, 16) == pytest.approx(4 * 1e-6)
+        assert cc.bcast(0, 17) == pytest.approx(5 * 1e-6)
+
+    def test_bcast_monotone_in_p(self, cc):
+        costs = [cc.bcast(1024, p) for p in (2, 4, 8, 16, 64)]
+        assert costs == sorted(costs)
+
+    def test_bcast_monotone_in_bytes(self, cc):
+        costs = [cc.bcast(n, 8) for n in (0, 100, 10_000, 10**6)]
+        assert costs == sorted(costs)
+
+    def test_allreduce_more_latency_than_reduce(self, cc):
+        # recursive halving+doubling pays ~2x the tree latency (its
+        # bandwidth term is better, so compare latency-bound messages)
+        assert cc.allreduce(0, 16) > cc.reduce(0, 16)
+
+    def test_allgather_bandwidth_scales_with_p(self, cc):
+        # each rank ends with (p-1) remote contributions
+        a8 = cc.allgather(1024, 8)
+        a16 = cc.allgather(1024, 16)
+        assert a16 > a8
+
+    def test_barrier_free_of_bytes(self, cc):
+        assert cc.barrier(8) == pytest.approx(2 * 3 * 1e-6)
+
+    def test_dispatch_by_name(self, cc):
+        for name in ("bcast", "reduce", "allreduce", "gather", "allgather",
+                     "scatter", "alltoall"):
+            assert cc.cost(name, 128, 4) > 0
+
+    def test_dispatch_barrier(self, cc):
+        assert cc.cost("barrier", 0, 4) == cc.barrier(4)
+
+    def test_unknown_collective_raises(self, cc):
+        with pytest.raises(ValueError):
+            cc.cost("reduce_scatter_block", 1, 4)
+
+
+class TestMachine:
+    def test_compute_cost_linear_in_flops(self):
+        m = Machine(nprocs=4, gamma=1e-10)
+        assert m.compute_cost(1e9) == pytest.approx(0.1)
+        assert m.compute_cost(2e9) == pytest.approx(0.2)
+
+    def test_comm_cost_p2p_signature(self):
+        m = Machine(nprocs=4, alpha=1e-6, beta=1e-9)
+        sig = comm_signature("p2p", 1000, 2, 1)
+        assert m.comm_cost(sig) == pytest.approx(1e-6 + 1e-6)
+
+    def test_comm_cost_collective_signature(self):
+        m = Machine(nprocs=8, alpha=1e-6, beta=0.0)
+        sig = comm_signature("bcast", 0, 8, 1)
+        assert m.comm_cost(sig) == pytest.approx(3e-6)
+
+    def test_base_cost_dispatch(self):
+        m = Machine(nprocs=2)
+        assert m.base_cost(comp_signature("gemm", 8, 8, 8), flops=1e6) == (
+            pytest.approx(m.gamma * 1e6)
+        )
+        assert m.base_cost(comm_signature("p2p", 8, 2, 1)) == pytest.approx(
+            m.alpha + 8 * m.beta
+        )
+
+    def test_internal_cost_scales_with_ranks(self):
+        m = Machine(nprocs=64)
+        assert m.internal_cost(64) > m.internal_cost(2) > 0
+
+    def test_machine_frozen(self):
+        m = Machine(nprocs=4)
+        with pytest.raises(Exception):
+            m.alpha = 1.0  # type: ignore[misc]

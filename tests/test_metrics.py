@@ -1,0 +1,71 @@
+"""Autotuning evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.autotune.metrics import (
+    ERROR_FLOOR,
+    log2_error,
+    mean_log2_error,
+    relative_error,
+    selection_quality,
+    speedup,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_symmetric_sign(self):
+        assert relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_zero_truth_zero_pred(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_truth_nonzero_pred(self):
+        assert relative_error(1.0, 0.0) == math.inf
+
+
+class TestLogErrors:
+    def test_log2(self):
+        assert log2_error(0.25) == -2.0
+
+    def test_floor_applied(self):
+        assert log2_error(0.0) == math.log2(ERROR_FLOOR)
+        assert log2_error(1e-30) == math.log2(ERROR_FLOOR)
+
+    def test_mean(self):
+        assert mean_log2_error([0.25, 0.0625]) == pytest.approx(-3.0)
+
+    def test_mean_empty(self):
+        assert mean_log2_error([]) == math.log2(ERROR_FLOOR)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_tuned(self):
+        assert speedup(10.0, 0.0) == math.inf
+
+
+class TestSelectionQuality:
+    def test_perfect_selection(self):
+        pred = [3.0, 1.0, 2.0]
+        true = [3.1, 0.9, 2.2]
+        assert selection_quality(pred, true) == 1.0
+
+    def test_suboptimal_selection(self):
+        pred = [1.0, 2.0]   # picks config 0
+        true = [2.0, 1.0]   # config 1 was truly best
+        assert selection_quality(pred, true) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            selection_quality([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            selection_quality([], [])

@@ -1,0 +1,100 @@
+"""Noise model: determinism, unit means, and the three noise channels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.signature import comm_signature, comp_signature
+from repro.sim.noise import NoiseModel
+
+
+SIG = comp_signature("gemm", 32, 32, 32)
+CSIG = comm_signature("bcast", 1024, 8, 1)
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestSignatureBias:
+    def test_deterministic(self):
+        n1 = NoiseModel(machine_seed=3)
+        n2 = NoiseModel(machine_seed=3)
+        assert n1.signature_bias(SIG) == n2.signature_bias(SIG)
+
+    def test_machine_seed_changes_bias(self):
+        assert NoiseModel(machine_seed=1).signature_bias(SIG) != (
+            NoiseModel(machine_seed=2).signature_bias(SIG)
+        )
+
+    def test_different_sigs_different_bias(self):
+        n = NoiseModel(machine_seed=0)
+        assert n.signature_bias(SIG) != n.signature_bias(comp_signature("gemm", 16, 16, 16))
+
+    def test_disabled_bias_is_one(self):
+        assert NoiseModel(bias_sigma=0.0).signature_bias(SIG) == 1.0
+
+    def test_bias_near_unit_mean(self):
+        # over many signatures the normalized lognormal bias should
+        # average close to 1 (it's exp(N(0,s) - s^2/2))
+        n = NoiseModel(bias_sigma=0.3, machine_seed=5)
+        vals = [n.signature_bias(comp_signature("gemm", i, i, i)) for i in range(1, 400)]
+        assert abs(np.mean(vals) - 1.0) < 0.05
+
+    def test_cache_hit_consistent(self):
+        n = NoiseModel(machine_seed=0)
+        assert n.signature_bias(SIG) == n.signature_bias(SIG)
+
+
+class TestRunDrift:
+    def test_deterministic_per_run(self):
+        n = NoiseModel(run_cv=0.05)
+        assert n.run_drift(SIG, 7) == n.run_drift(SIG, 7)
+
+    def test_varies_with_run(self):
+        n = NoiseModel(run_cv=0.05)
+        assert n.run_drift(SIG, 7) != n.run_drift(SIG, 8)
+
+    def test_disabled(self):
+        assert NoiseModel(run_cv=0.0).run_drift(SIG, 3) == 1.0
+
+    def test_unit_mean_over_runs(self):
+        n = NoiseModel(run_cv=0.1)
+        vals = [n.run_drift(SIG, s) for s in range(500)]
+        assert abs(np.mean(vals) - 1.0) < 0.02
+
+
+class TestSampling:
+    def test_quiet_returns_base(self):
+        n = NoiseModel(bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0)
+        assert n.sample(SIG, 1.5e-3, rng()) == pytest.approx(1.5e-3)
+
+    def test_sample_mean_converges_to_true_mean(self):
+        n = NoiseModel(comp_cv=0.1, run_cv=0.0)
+        g = rng(1)
+        true = n.true_mean(SIG, 1.0)
+        xs = [n.sample(SIG, 1.0, g) for _ in range(4000)]
+        assert abs(np.mean(xs) / true - 1.0) < 0.02
+
+    def test_comm_noisier_than_comp(self):
+        n = NoiseModel(comp_cv=0.05, comm_cv=0.3, bias_sigma=0.0, run_cv=0.0)
+        g1, g2 = rng(2), rng(2)
+        comp = np.array([n.sample(SIG, 1.0, g1) for _ in range(2000)])
+        comm = np.array([n.sample(CSIG, 1.0, g2) for _ in range(2000)])
+        assert comm.std() > 2 * comp.std()
+
+    def test_invocation_cv_dispatch(self):
+        n = NoiseModel(comp_cv=0.01, comm_cv=0.5)
+        assert n.invocation_cv(SIG) == 0.01
+        assert n.invocation_cv(CSIG) == 0.5
+
+    def test_samples_positive(self):
+        n = NoiseModel(comp_cv=0.5, bias_sigma=0.5)
+        g = rng(3)
+        assert all(n.sample(SIG, 1e-6, g) > 0 for _ in range(100))
+
+    def test_quiet_copy(self):
+        n = NoiseModel(bias_sigma=0.4, comp_cv=0.2, comm_cv=0.3, run_cv=0.1,
+                       machine_seed=9)
+        q = n.quiet()
+        assert q.machine_seed == 9
+        assert q.sample(SIG, 2.0, rng()) == 2.0

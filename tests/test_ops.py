@@ -1,0 +1,51 @@
+"""Op descriptor basics and the Request lifecycle."""
+
+import pytest
+
+from repro.kernels.blas import gemm_spec
+from repro.sim.ops import (
+    COLLECTIVES,
+    CollOp,
+    ComputeOp,
+    P2POp,
+    Request,
+    SplitOp,
+    WaitOp,
+)
+
+
+class TestDescriptors:
+    def test_collective_names_cover_machine_model(self):
+        from repro.sim.machine import CollectiveCosts
+
+        cc = CollectiveCosts(1e-6, 1e-9)
+        for name in COLLECTIVES:
+            assert cc.cost(name, 64, 4) >= 0
+
+    def test_compute_op_fields(self):
+        sig, flops = gemm_spec(4, 4, 4)
+        op = ComputeOp(sig=sig, flops=flops, fn=None, args=())
+        assert op.sig is sig and op.flops == 128
+
+    def test_request_defaults(self):
+        r = Request(rank=2, kind="irecv")
+        assert not r.done
+        assert r.completion == 0.0
+        assert r.value is None
+
+    def test_wait_op_modes(self):
+        r = Request(rank=0, kind="isend")
+        assert WaitOp([r], mode="one").mode == "one"
+        assert WaitOp([r, r]).mode == "all"
+
+    def test_p2p_op_defaults(self):
+        op = P2POp("send", None, 3)
+        assert op.tag == 0 and op.nbytes == 0
+
+    def test_coll_op_defaults(self):
+        op = CollOp("bcast", None)
+        assert op.root == 0 and op.payload is None
+
+    def test_split_op(self):
+        op = SplitOp(None, color=None, key=5)
+        assert op.color is None and op.key == 5

@@ -1,0 +1,112 @@
+"""Alternative path-propagation protocols (Section II.B).
+
+Fig. 2's blue-text propagation logic "can be modified to reflect
+various protocols": the default longest-path algorithm elects the
+maximum-execution-time path, but communication-cost paths and the
+slack method (filtering idle time) are equally valid elections for
+the kernel-frequency adoption.
+"""
+
+import pytest
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, Simulator
+
+GEMM = gemm_spec(96, 96, 96)[0]
+
+
+def two_worlds(comm):
+    """Rank 0: compute-heavy path.  Rank 1: comm-heavy path (with 2).
+
+    After the final barrier, the exec-time winner is rank 0 (whose gemms
+    outweigh the message chain), while the comm-time winner is rank
+    1/2's chain (rank 0 communicates nothing before the barrier).
+    """
+    if comm.rank == 0:
+        for _ in range(12):
+            yield comm.compute(gemm_spec(96, 96, 96))
+    elif comm.rank == 1:
+        for i in range(10):
+            yield comm.send(None, dest=2, tag=i, nbytes=1 << 14)
+    elif comm.rank == 2:
+        for i in range(10):
+            yield comm.recv(source=1, tag=i, nbytes=1 << 14)
+    yield comm.barrier()
+
+
+def run_with_criterion(criterion):
+    m = Machine(nprocs=4, seed=2)
+    cr = Critter(policy="never-skip", path_criterion=criterion)
+    Simulator(m, profiler=cr).run(two_worlds, run_seed=0)
+    return cr
+
+
+class TestCriteria:
+    def test_exec_criterion_adopts_compute_path(self):
+        cr = run_with_criterion("exec")
+        # rank 3 (idle) adopted the compute-heavy winner's frequencies
+        assert cr._Kt[3].get(GEMM, 0) == 12
+
+    def test_comm_criterion_adopts_message_path(self):
+        cr = run_with_criterion("comm")
+        # losers adopt the winner's ~K wholesale (Fig. 2): the winning
+        # path belongs to the message chain, carrying p2p frequencies
+        p2p_keys = [k for k in cr._Kt[3] if k.name in ("send", "recv")]
+        assert p2p_keys and cr._Kt[3][p2p_keys[0]] == 10
+        # and the gemm path was NOT adopted by rank 3
+        assert cr._Kt[3].get(GEMM, 0) == 0
+
+    def test_comp_criterion(self):
+        cr = run_with_criterion("comp")
+        assert cr._Kt[3].get(GEMM, 0) == 12
+
+    def test_slack_criterion_discounts_idle(self):
+        # rank 3 waits the whole run; under slack it can never win the
+        # election, so it must inherit someone's frequencies
+        cr = run_with_criterion("slack")
+        assert cr._Kt[3]  # adopted a non-idle path
+
+    def test_invalid_criterion_rejected(self):
+        with pytest.raises(ValueError, match="path_criterion"):
+            Critter(path_criterion="vibes")
+
+    def test_default_is_exec(self):
+        assert Critter().path_criterion == "exec"
+
+    def test_metrics_unaffected_by_criterion(self):
+        # merge_max is per-metric regardless of the election: the final
+        # critical-path metrics are identical under any criterion
+        a = run_with_criterion("exec").last_report.predicted
+        b = run_with_criterion("comm").last_report.predicted
+        assert a.exec_time == b.exec_time
+        assert a.comm_time == b.comm_time
+        assert a.flops == b.flops
+
+
+class TestRegionKernels:
+    def test_region_declares_custom_kernel(self):
+        from repro.sim import TraceRecorder
+
+        def prog(comm):
+            out = yield comm.region("block_to_cyclic", 256, flops=256 * 256,
+                                    fn=lambda: "converted")
+            return out
+
+        m = Machine(nprocs=2, seed=0)
+        tr = TraceRecorder()
+        res = Simulator(m, trace=tr).run(prog)
+        assert res.returns[0] == "converted"
+        names = {e.sig.name for e in tr.by_kind("comp")}
+        assert "block_to_cyclic" in names
+
+    def test_region_selectively_executed(self):
+        def prog(comm):
+            for _ in range(20):
+                yield comm.region("solver_loop", 64, flops=1e5)
+
+        m = Machine(nprocs=2, seed=0)
+        cr = Critter(policy="conditional", eps=0.5)
+        for rep in range(2):
+            Simulator(m, profiler=cr).run(prog, run_seed=rep)
+        assert cr.last_report.skipped_kernels > 0

@@ -1,0 +1,104 @@
+"""Pathset profiles: max-propagation and volumetric accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.critter.pathset import (
+    PathMetrics,
+    PathProfile,
+    critical_path,
+    volumetric_average,
+)
+
+
+class TestPathMetrics:
+    def test_merge_max_elementwise(self):
+        a = PathMetrics(exec_time=1.0, comp_time=5.0, comm_time=0.0,
+                        synchs=3, words=10, flops=100)
+        b = PathMetrics(exec_time=2.0, comp_time=1.0, comm_time=4.0,
+                        synchs=1, words=20, flops=50)
+        a.merge_max(b)
+        assert (a.exec_time, a.comp_time, a.comm_time) == (2.0, 5.0, 4.0)
+        assert (a.synchs, a.words, a.flops) == (3, 20, 100)
+
+    def test_merge_idempotent(self):
+        a = PathMetrics(1, 2, 3, 4, 5, 6)
+        c = a.copy()
+        a.merge_max(c)
+        assert a == c
+
+    def test_copy_independent(self):
+        a = PathMetrics(exec_time=1.0)
+        b = a.copy()
+        b.exec_time = 9.0
+        assert a.exec_time == 1.0
+
+    @given(
+        vals=st.lists(
+            st.tuples(*[st.floats(min_value=0, max_value=1e6) for _ in range(6)]),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_merge_is_supremum(self, vals):
+        ms = [PathMetrics(*v) for v in vals]
+        acc = PathMetrics()
+        for m in ms:
+            acc.merge_max(m)
+        for field in ("exec_time", "comp_time", "comm_time", "synchs", "words", "flops"):
+            assert getattr(acc, field) == max(getattr(m, field) for m in ms)
+
+
+class TestPathProfile:
+    def test_add_compute_executed(self):
+        p = PathProfile()
+        p.add_compute(predicted=2.0, charged=2.0, flops=100, executed=True)
+        assert p.path.exec_time == 2.0
+        assert p.path.comp_time == 2.0
+        assert p.vol_exec_comp == 2.0
+        assert p.executed_kernels == 1
+
+    def test_add_compute_skipped(self):
+        p = PathProfile()
+        p.add_compute(predicted=2.0, charged=0.001, flops=100, executed=False)
+        # prediction uses the mean; wall charge is only the skip overhead
+        assert p.path.exec_time == 2.0
+        assert p.vol_comp_time == 0.001
+        assert p.vol_exec_comp == 0.0
+        assert p.skipped_kernels == 1
+
+    def test_add_comm_counts_synch_and_words(self):
+        p = PathProfile()
+        p.add_comm(predicted=1.0, charged=1.0, nbytes=4096, executed=True, idle=0.5)
+        assert p.path.synchs == 1
+        assert p.path.words == 4096
+        assert p.vol_idle == 0.5
+        assert p.vol_exec_comm == 1.0
+
+    def test_kernel_wall_time(self):
+        p = PathProfile()
+        p.add_compute(1.0, 1.0, 10, True)
+        p.add_comm(2.0, 2.0, 8, True, 0.0)
+        p.add_compute(1.0, 0.0, 10, False)
+        assert p.kernel_wall_time == pytest.approx(3.0)
+
+
+class TestAggregation:
+    def test_critical_path_is_global_max(self):
+        ps = [PathProfile() for _ in range(3)]
+        for i, p in enumerate(ps):
+            p.add_compute(float(i + 1), float(i + 1), 10, True)
+        cp = critical_path(ps)
+        assert cp.exec_time == 3.0
+
+    def test_volumetric_average(self):
+        ps = [PathProfile() for _ in range(2)]
+        ps[0].add_compute(2.0, 2.0, 100, True)
+        ps[1].add_compute(4.0, 4.0, 300, True)
+        vol = volumetric_average(ps)
+        assert vol["comp_time"] == pytest.approx(3.0)
+        assert vol["flops"] == pytest.approx(200.0)
+
+    def test_volumetric_empty(self):
+        assert volumetric_average([])["comp_time"] == 0.0

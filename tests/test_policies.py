@@ -1,0 +1,74 @@
+"""Policy traits and alpha (execution-count) selection."""
+
+import pytest
+
+from repro.critter.policies import POLICY_NAMES, Policy, make_policy
+
+
+class TestRegistry:
+    def test_all_paper_policies_present(self):
+        for name in ("conditional", "eager", "local", "online", "apriori"):
+            assert make_policy(name).name == name
+
+    def test_full_alias(self):
+        assert make_policy("full").never_skip
+        assert make_policy("never-skip").never_skip
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("bogus")
+
+    def test_passthrough(self):
+        p = make_policy("online")
+        assert make_policy(p) is p
+
+    def test_policy_names_list(self):
+        assert set(POLICY_NAMES) == {"conditional", "eager", "local", "online", "apriori"}
+
+
+class TestTraits:
+    def test_eager_persists_and_skips_first(self):
+        p = make_policy("eager")
+        assert p.eager
+        assert not p.force_first_execution
+        assert not p.resets_between_configs
+
+    def test_non_eager_policies_reset(self):
+        for name in ("conditional", "local", "online", "apriori"):
+            p = make_policy(name)
+            assert p.resets_between_configs
+            assert p.force_first_execution
+
+    def test_apriori_needs_offline(self):
+        assert make_policy("apriori").needs_offline_counts
+        assert not make_policy("online").needs_offline_counts
+
+
+class TestAlpha:
+    def test_conditional_ignores_counts(self):
+        p = make_policy("conditional")
+        assert p.alpha(local_count=50, path_count=100, offline_count=200) == 1
+
+    def test_eager_ignores_counts(self):
+        assert make_policy("eager").alpha(9, 9, 9) == 1
+
+    def test_local_uses_local(self):
+        assert make_policy("local").alpha(7, 100, None) == 7
+
+    def test_online_uses_path(self):
+        assert make_policy("online").alpha(7, 100, None) == 100
+
+    def test_apriori_uses_offline(self):
+        assert make_policy("apriori").alpha(7, 100, 33) == 33
+
+    def test_apriori_defaults_to_one_without_table(self):
+        assert make_policy("apriori").alpha(7, 100, None) == 1
+
+    def test_alpha_floor_is_one(self):
+        for name in ("local", "online", "apriori"):
+            assert make_policy(name).alpha(0, 0, 0) == 1
+
+    def test_unknown_count_source(self):
+        p = Policy("x", "weird")
+        with pytest.raises(ValueError):
+            p.alpha(1, 1, 1)

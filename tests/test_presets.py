@@ -1,0 +1,58 @@
+"""Machine presets."""
+
+import pytest
+
+from repro.sim import PRESETS, Machine, NoiseModel, Simulator, make_machine
+from repro.kernels.blas import gemm_spec
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in PRESETS:
+            machine, noise = make_machine(name, nprocs=4, seed=1)
+            assert isinstance(machine, Machine)
+            assert isinstance(noise, NoiseModel)
+            assert machine.nprocs == 4
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            make_machine("cray-1", nprocs=4)
+
+    def test_quiet_preset_deterministic(self):
+        machine, noise = make_machine("quiet", nprocs=2, seed=3)
+
+        def prog(comm):
+            yield comm.compute(gemm_spec(16, 16, 16))
+            yield comm.allreduce(nbytes=64)
+
+        t1 = Simulator(machine, noise=noise).run(prog, run_seed=1).makespan
+        t2 = Simulator(machine, noise=noise).run(prog, run_seed=2).makespan
+        assert t1 == t2  # run seed irrelevant without noise
+
+    def test_presets_rank_differently(self):
+        """Different machines prefer different block sizes — the reason
+        autotuning exists."""
+        from repro.autotune import capital_cholesky_space
+        from repro.critter import Critter
+
+        space = capital_cholesky_space(n=128, c=2, b0=4, nconf=5)
+
+        def best_config(preset):
+            machine, noise = make_machine(preset, nprocs=8, seed=0)
+            times = []
+            for cfg in space.configs:
+                sim = Simulator(machine, noise=noise)
+                times.append(sim.run(space.program, args=(cfg,), run_seed=0).makespan)
+            return min(range(len(times)), key=times.__getitem__)
+
+        # latency-heavy machines push the optimum to bigger blocks than
+        # the balanced fabric: indexes must not all coincide
+        choices = {p: best_config(p) for p in ("knl-fabric", "epyc-ethernet")}
+        assert choices["epyc-ethernet"] >= choices["knl-fabric"]
+
+    def test_seed_changes_biases_not_costs(self):
+        m1, n1 = make_machine("knl-fabric", nprocs=2, seed=1)
+        m2, n2 = make_machine("knl-fabric", nprocs=2, seed=2)
+        assert m1.alpha == m2.alpha and m1.gamma == m2.gamma
+        sig = gemm_spec(64, 64, 64)[0]
+        assert n1.signature_bias(sig) != n2.signature_bias(sig)

@@ -1,0 +1,124 @@
+"""The Profiler interception seam: hook ordering and default behavior."""
+
+import pytest
+
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, NoiseModel, NullProfiler, Profiler, Simulator
+
+
+class RecordingProfiler(Profiler):
+    """Records every hook invocation in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def start_run(self, sim, run_seed):
+        self.events.append(("start_run", run_seed))
+
+    def end_run(self, sim, makespan):
+        self.events.append(("end_run", makespan))
+
+    def on_world(self, group):
+        self.events.append(("on_world", group.size))
+
+    def on_comm_split(self, parent, subgroups):
+        self.events.append(("on_comm_split", len(subgroups)))
+
+    def on_compute(self, rank, sig, flops):
+        self.events.append(("on_compute", rank, sig.name))
+        return True
+
+    def post_compute(self, rank, sig, executed, elapsed, flops):
+        self.events.append(("post_compute", rank, executed))
+
+    def on_collective(self, group, sig, root, arrivals):
+        self.events.append(("on_collective", sig.name, len(arrivals)))
+        return True
+
+    def post_collective(self, group, sig, arrivals, executed, comm_time, completion):
+        self.events.append(("post_collective", sig.name, executed))
+
+    def on_p2p_post(self, record):
+        self.events.append(("on_p2p_post", record.kind))
+
+    def on_p2p(self, sig, send, recv):
+        self.events.append(("on_p2p", send.world_rank, recv.world_rank))
+        return True
+
+    def post_p2p(self, sig, send, recv, executed, comm_time, completion):
+        self.events.append(("post_p2p", executed))
+
+
+def program(comm):
+    yield comm.compute(gemm_spec(8, 8, 8))
+    sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+    yield sub.allreduce(nbytes=64)
+    if comm.rank == 0:
+        yield comm.send(None, dest=1, nbytes=32)
+    elif comm.rank == 1:
+        yield comm.recv(source=0, nbytes=32)
+
+
+@pytest.fixture
+def recorded():
+    prof = RecordingProfiler()
+    m = Machine(nprocs=4, seed=0)
+    Simulator(m, profiler=prof).run(program, run_seed=3)
+    return prof.events
+
+
+class TestHookOrdering:
+    def test_lifecycle_brackets(self, recorded):
+        assert recorded[0] == ("start_run", 3)
+        assert recorded[1] == ("on_world", 4)
+        assert recorded[-1][0] == "end_run"
+
+    def test_pre_before_post(self, recorded):
+        kinds = [e[0] for e in recorded]
+        assert kinds.index("on_compute") < kinds.index("post_compute")
+        assert kinds.index("on_collective") < kinds.index("post_collective")
+        assert kinds.index("on_p2p") < kinds.index("post_p2p")
+
+    def test_split_reported_once_with_two_groups(self, recorded):
+        splits = [e for e in recorded if e[0] == "on_comm_split"]
+        assert splits == [("on_comm_split", 2)]
+
+    def test_compute_hooks_per_rank(self, recorded):
+        assert sum(1 for e in recorded if e[0] == "on_compute") == 4
+
+    def test_collective_sees_all_arrivals(self, recorded):
+        colls = [e for e in recorded if e[0] == "on_collective"]
+        # two sub-communicators of size 2
+        assert sorted(c[2] for c in colls) == [2, 2]
+
+    def test_p2p_records_posted_before_match(self, recorded):
+        kinds = [e[0] for e in recorded]
+        assert kinds.index("on_p2p_post") < kinds.index("on_p2p")
+
+
+class TestDefaults:
+    def test_null_profiler_executes_everything(self):
+        m = Machine(nprocs=2, seed=0)
+        res = Simulator(m, profiler=NullProfiler()).run(program, run_seed=0)
+        assert res.makespan > 0
+
+    def test_base_profiler_hooks_return_execute(self):
+        p = Profiler()
+        assert p.on_compute(0, gemm_spec(4, 4, 4)[0], 1.0) is True
+        assert p.intercept_cost(8) == 0.0
+
+    def test_profiler_decisions_respected(self):
+        class SkipEverything(Profiler):
+            def on_compute(self, rank, sig, flops):
+                return False
+
+        m = Machine(nprocs=1, seed=0)
+
+        def prog(comm):
+            yield comm.compute(gemm_spec(64, 64, 64))
+
+        quiet = NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0)
+        t_skip = Simulator(m, noise=quiet, profiler=SkipEverything()).run(prog).makespan
+        t_full = Simulator(m, noise=quiet).run(prog).makespan
+        assert t_skip < t_full
+        assert t_skip == pytest.approx(m.skip_overhead)

@@ -1,0 +1,54 @@
+"""Text table and CSV rendering."""
+
+import os
+
+import pytest
+
+from repro.analysis.report import fmt, format_table, save_csv
+
+
+class TestFmt:
+    def test_float_normal(self):
+        assert fmt(1.2345, width=8, prec=3).strip() == "1.234"
+
+    def test_float_small_uses_sci(self):
+        assert "e" in fmt(1.5e-7).strip() or "E" in fmt(1.5e-7).strip()
+
+    def test_zero(self):
+        assert fmt(0.0).strip() == "0"
+
+    def test_string_right_justified(self):
+        assert fmt("ab", width=5) == "   ab"
+
+    def test_int(self):
+        assert fmt(42, width=4) == "  42"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["a", "b"], [[1, 2.5], [3, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        out = format_table(["x"], [[1]])
+        assert out.splitlines()[0].strip() == "x"
+
+
+class TestSaveCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sub" / "out.csv")
+        save_csv(path, ["a", "b"], [[1, 2.5], ["x", 0.125]])
+        assert os.path.exists(path)
+        lines = open(path).read().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "x,0.125"
+
+    def test_float_repr_preserves_precision(self, tmp_path):
+        path = str(tmp_path / "x.csv")
+        save_csv(path, ["v"], [[0.1 + 0.2]])
+        assert open(path).read().splitlines()[1] == repr(0.1 + 0.2)

@@ -1,0 +1,102 @@
+"""Schedule structure: operation counts against closed-form expectations."""
+
+import math
+
+import pytest
+
+from repro.algorithms.capital_cholesky import CapitalCholeskyConfig, capital_cholesky
+from repro.algorithms.slate_cholesky import SlateCholeskyConfig, slate_cholesky
+from repro.algorithms.slate_qr import SlateQRConfig, slate_qr
+from repro.sim import Machine, NoiseModel, Simulator, TraceRecorder
+
+
+def traced(program, cfg, nprocs):
+    m = Machine(nprocs=nprocs, seed=0)
+    tr = TraceRecorder()
+    sim = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+                    trace=tr)
+    sim.run(program, args=(cfg,))
+    return tr
+
+
+class TestCapitalStructure:
+    def test_base_case_count(self):
+        # the recursion reaches exactly n/b base cases, each with one
+        # blk2cyc + one potrf (+ trtri) per participating rank set
+        cfg = CapitalCholeskyConfig(n=128, block=16, c=2, base_strategy=2)
+        tr = traced(capital_cholesky, cfg, 8)
+        blk2cyc = [e for e in tr.by_kind("comp") if e.sig.name == "blk2cyc"]
+        # strategy 2: all 8 ranks issue the conversion at each base case
+        assert len(blk2cyc) == (128 // 16) * 8
+
+    def test_matmul_collective_count_scales_with_recursion(self):
+        # every internal recursion node issues 4 3D products, each with
+        # 2 bcast calls + 1 reduce call; each call rendezvouses once per
+        # communicator *group* (c^2 rows / cols / fibers on a c^3 grid);
+        # internal nodes = n/b - 1
+        cfg = CapitalCholeskyConfig(n=128, block=16, c=2, base_strategy=2)
+        tr = traced(capital_cholesky, cfg, 8)
+        colls = tr.by_kind("coll")
+        bcasts = [e for e in colls if e.sig.name == "bcast"]
+        reduces = [e for e in colls if e.sig.name == "reduce"]
+        internal = 128 // 16 - 1
+        groups = 2 * 2  # c^2 communicators per grid dimension
+        assert len(reduces) == internal * 4 * groups
+        assert len(bcasts) == internal * 4 * 2 * groups
+
+    def test_strategy_changes_collective_mix(self):
+        mixes = {}
+        for strat in (1, 2, 3):
+            cfg = CapitalCholeskyConfig(n=64, block=16, c=2, base_strategy=strat)
+            tr = traced(capital_cholesky, cfg, 8)
+            mixes[strat] = sorted({e.sig.name for e in tr.by_kind("coll")})
+        assert "gather" in mixes[1] and "scatter" in mixes[1]
+        assert "allgather" in mixes[2] and "gather" not in mixes[2]
+        assert "allgather" in mixes[3] and "bcast" in mixes[3]
+
+
+class TestSlateCholeskyStructure:
+    def test_producer_consumer_sets_agree(self):
+        # every isent panel tile is received exactly once: no leaked
+        # sends (they would deadlock) and no duplicate transfers
+        cfg = SlateCholeskyConfig(n=96, nb=16, pr=2, pc=2, lookahead=1)
+        tr = traced(slate_cholesky, cfg, 4)
+        # every p2p trace event represents a matched (send, recv) pair
+        p2p = tr.by_kind("p2p")
+        pairs = {(e.ranks, e.start) for e in p2p}
+        assert len(pairs) == len(p2p)
+
+    def test_gemm_count_is_strictly_lower_triangular(self):
+        cfg = SlateCholeskyConfig(n=96, nb=16, pr=2, pc=2, lookahead=0)
+        tr = traced(slate_cholesky, cfg, 4)
+        t = 6  # tiles
+        hist = {}
+        for e in tr.by_kind("comp"):
+            hist[e.sig.name] = hist.get(e.sig.name, 0) + 1
+        # gemm count = sum over k of pairs (i > j > k)
+        expect = sum((t - k - 1) * (t - k - 2) // 2 for k in range(t))
+        assert hist["gemm"] == expect
+
+
+class TestSlateQRStructure:
+    def test_chain_length(self):
+        cfg = SlateQRConfig(m=96, n=48, nb=16, w=8, pr=2, pc=2)
+        tr = traced(slate_qr, cfg, 4)
+        hist = {}
+        for e in tr.by_kind("comp"):
+            hist[e.sig.name] = hist.get(e.sig.name, 0) + 1
+        mt, nt = 6, 3
+        # one tpqrt per sub-diagonal tile of each panel column
+        assert hist["tpqrt"] == sum(mt - k - 1 for k in range(nt))
+        # pair updates: for each k, (mt-k-1) chain steps x (nt-k-1) columns
+        assert hist["tpmqrt"] == sum((mt - k - 1) * (nt - k - 1) for k in range(nt))
+
+    def test_w_does_not_change_flops(self):
+        # inner blocking splits work without changing total panel flops
+        totals = []
+        for w in (4, 16):
+            cfg = SlateQRConfig(m=64, n=32, nb=16, w=w, pr=2, pc=2)
+            tr = traced(slate_qr, cfg, 4)
+            totals.append(sum(e.duration for e in tr.by_kind("comp")
+                              if e.sig.name == "geqr2"))
+        assert totals[0] == pytest.approx(totals[1], rel=1e-9)

@@ -1,0 +1,104 @@
+"""Search strategies composed with selective execution."""
+
+import pytest
+
+from repro.autotune import capital_cholesky_space, measure_ground_truth
+from repro.autotune.search import (
+    ExhaustiveSearch,
+    RandomSearch,
+    SearchResult,
+    SuccessiveHalving,
+)
+from repro.autotune.tuner import default_machine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    space = capital_cholesky_space(n=128, c=2, b0=4, nconf=10)
+    machine = default_machine(space, seed=41)
+    ground = measure_ground_truth(space, machine, full_reps=2, seed=0)
+    return space, machine, ground
+
+
+class TestExhaustive:
+    def test_visits_everything(self, setup):
+        space, machine, ground = setup
+        res = ExhaustiveSearch(space, machine, eps=2**-3, seed=0,
+                               ground_truth=ground).run(reps=2)
+        assert len(res.predictions) == len(space)
+        assert res.evaluations == 2 * len(space)
+        assert res.selection_quality > 0.9
+
+    def test_result_fields(self, setup):
+        space, machine, ground = setup
+        res = ExhaustiveSearch(space, machine, eps=2**-3, seed=0,
+                               ground_truth=ground).run(reps=1)
+        assert isinstance(res, SearchResult)
+        assert 0 <= res.chosen < len(space)
+        assert res.tuning_time > 0
+
+    def test_quality_requires_ground(self, setup):
+        space, machine, _ = setup
+        res = ExhaustiveSearch(space, machine, eps=2**-3, seed=0).run(reps=1)
+        with pytest.raises(ValueError):
+            _ = res.selection_quality
+
+
+class TestRandom:
+    def test_respects_budget(self, setup):
+        space, machine, ground = setup
+        res = RandomSearch(space, machine, eps=2**-3, seed=0,
+                           ground_truth=ground).run(budget=4, reps=2)
+        assert len(res.predictions) == 4
+        assert res.evaluations == 8
+
+    def test_budget_clamped(self, setup):
+        space, machine, ground = setup
+        res = RandomSearch(space, machine, eps=2**-3, seed=0,
+                           ground_truth=ground).run(budget=100, reps=1)
+        assert len(res.predictions) == len(space)
+
+    def test_deterministic_given_seed(self, setup):
+        space, machine, ground = setup
+        r1 = RandomSearch(space, machine, eps=2**-3, seed=5,
+                          ground_truth=ground).run(budget=4, reps=1)
+        r2 = RandomSearch(space, machine, eps=2**-3, seed=5,
+                          ground_truth=ground).run(budget=4, reps=1)
+        assert set(r1.predictions) == set(r2.predictions)
+        assert r1.chosen == r2.chosen
+
+    def test_cheaper_than_exhaustive(self, setup):
+        space, machine, ground = setup
+        rnd = RandomSearch(space, machine, eps=2**-3, seed=0,
+                           ground_truth=ground).run(budget=3, reps=2)
+        exh = ExhaustiveSearch(space, machine, eps=2**-3, seed=0,
+                               ground_truth=ground).run(reps=2)
+        assert rnd.tuning_time < exh.tuning_time
+
+
+class TestSuccessiveHalving:
+    def test_converges_to_single_config(self, setup):
+        space, machine, ground = setup
+        res = SuccessiveHalving(space, machine, eps=2**-3, seed=0,
+                                ground_truth=ground).run(base_reps=1)
+        assert len(res.predictions) == len(space)  # everything measured once
+        assert 0 <= res.chosen < len(space)
+        assert res.selection_quality > 0.85
+
+    def test_prunes_measurements(self, setup):
+        space, machine, ground = setup
+        sh = SuccessiveHalving(space, machine, eps=2**-3, seed=0,
+                               ground_truth=ground).run(base_reps=1)
+        # rounds: 10 + 5*2 + 2*4 + 1*8 = 36 <= exhaustive at depth 8 = 80
+        exh = ExhaustiveSearch(space, machine, eps=2**-3, seed=0,
+                               ground_truth=ground).run(reps=8)
+        assert sh.evaluations < exh.evaluations
+        assert sh.tuning_time < exh.tuning_time
+
+    def test_eta_controls_shrinkage(self, setup):
+        space, machine, ground = setup
+        fast = SuccessiveHalving(space, machine, eps=2**-3, seed=0,
+                                 ground_truth=ground).run(base_reps=1, eta=4)
+        slow = SuccessiveHalving(space, machine, eps=2**-3, seed=0,
+                                 ground_truth=ground).run(base_reps=1, eta=2)
+        assert fast.evaluations <= slow.evaluations

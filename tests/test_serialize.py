@@ -1,0 +1,100 @@
+"""Critter state persistence (model reuse across sessions)."""
+
+import json
+
+import pytest
+
+from repro.critter import (
+    Critter,
+    critter_state_to_dict,
+    load_critter_state,
+    read_critter_state,
+    save_critter_state,
+)
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, Simulator
+
+SIG = gemm_spec(32, 32, 32)[0]
+
+
+def prog(comm):
+    for _ in range(10):
+        yield comm.compute(gemm_spec(32, 32, 32))
+    yield comm.allreduce(nbytes=512)
+
+
+def trained_critter(policy="conditional", eps=0.3, reps=3):
+    m = Machine(nprocs=4, seed=6)
+    cr = Critter(policy=policy, eps=eps)
+    for rep in range(reps):
+        Simulator(m, profiler=cr).run(prog, run_seed=rep)
+    return cr
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_stats(self):
+        cr = trained_critter()
+        state = critter_state_to_dict(cr)
+        fresh = Critter(policy="conditional", eps=0.3)
+        load_critter_state(fresh, state)
+        for r in range(4):
+            assert set(fresh._K[r]) == set(cr._K[r])
+            for sig in cr._K[r]:
+                a, b = cr._K[r][sig], fresh._K[r][sig]
+                assert (a.count, a.mean, a.variance) == (b.count, b.mean, b.variance)
+
+    def test_json_file_roundtrip(self, tmp_path):
+        cr = trained_critter()
+        path = save_critter_state(cr, str(tmp_path / "state.json"))
+        fresh = Critter(policy="conditional", eps=0.3)
+        read_critter_state(fresh, path)
+        assert fresh.nprocs == 4
+        assert fresh._K[0][SIG].count == cr._K[0][SIG].count
+
+    def test_state_is_plain_json(self, tmp_path):
+        cr = trained_critter()
+        path = save_critter_state(cr, str(tmp_path / "state.json"))
+        data = json.load(open(path))
+        assert data["version"] == 1
+        assert data["nprocs"] == 4
+
+    def test_eager_switch_off_persisted(self):
+        cr = trained_critter(policy="eager", eps=0.5)
+        assert cr._global_off
+        fresh = Critter(policy="eager", eps=0.5)
+        load_critter_state(fresh, critter_state_to_dict(cr))
+        assert fresh._global_off == cr._global_off
+
+
+class TestWarmStart:
+    def test_warm_started_critter_skips_immediately(self):
+        cr = trained_critter()
+        m = Machine(nprocs=4, seed=6)
+        cold = Critter(policy="conditional", eps=0.3)
+        t_cold = Simulator(m, profiler=cold).run(prog, run_seed=50).makespan
+
+        warm = Critter(policy="conditional", eps=0.3)
+        load_critter_state(warm, critter_state_to_dict(cr))
+        t_warm = Simulator(m, profiler=warm).run(prog, run_seed=50).makespan
+        assert t_warm < t_cold
+        assert warm.last_report.skip_fraction > 0.5
+
+
+class TestErrors:
+    def test_unattached_critter_rejected(self):
+        with pytest.raises(ValueError, match="not attached"):
+            critter_state_to_dict(Critter())
+
+    def test_version_checked(self):
+        fresh = Critter()
+        with pytest.raises(ValueError, match="version"):
+            load_critter_state(fresh, {"version": 99})
+
+    def test_nprocs_mismatch_rejected(self):
+        cr = trained_critter()
+        state = critter_state_to_dict(cr)
+        other = Critter()
+        m = Machine(nprocs=2, seed=0)
+        Simulator(m, profiler=other).run(prog, run_seed=0)
+        with pytest.raises(ValueError, match="ranks"):
+            load_critter_state(other, state)

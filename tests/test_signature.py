@@ -1,0 +1,98 @@
+"""Kernel signature identity, interning, and stable hashing."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernels.signature import (
+    KernelSignature,
+    comm_signature,
+    comp_signature,
+    stable_hash,
+)
+
+
+class TestInterning:
+    def test_same_params_same_object(self):
+        a = comp_signature("gemm", 8, 8, 8)
+        b = comp_signature("gemm", 8, 8, 8)
+        assert a is b
+
+    def test_different_params_different_objects(self):
+        assert comp_signature("gemm", 8, 8, 8) is not comp_signature("gemm", 8, 8, 4)
+
+    def test_comm_interned(self):
+        assert comm_signature("bcast", 64, 4, 1) is comm_signature("bcast", 64, 4, 1)
+
+    def test_kind_distinguishes(self):
+        c = comp_signature("x", 1, 2, 3)
+        m = comm_signature("x", 1, 2, 3)
+        assert c != m
+        assert c.is_comp and not c.is_comm
+        assert m.is_comm and not m.is_comp
+
+
+class TestEquality:
+    def test_eq_by_value(self):
+        a = KernelSignature("comp", "gemm", (4, 4, 4))
+        b = KernelSignature("comp", "gemm", (4, 4, 4))
+        assert a == b and hash(a) == hash(b)
+
+    def test_neq_other_type(self):
+        assert comp_signature("gemm", 4) != "gemm"
+
+    def test_usable_as_dict_key(self):
+        d = {comp_signature("trsm", 16, 16): 1}
+        assert d[KernelSignature("comp", "trsm", (16, 16))] == 1
+
+    def test_params_coerced_to_int(self):
+        s = comp_signature("potrf", 8.0)
+        assert s.params == (8,)
+        assert isinstance(s.params[0], int)
+
+
+class TestStableHash:
+    def test_stable_across_objects(self):
+        a = KernelSignature("comp", "gemm", (4, 4, 4))
+        b = KernelSignature("comp", "gemm", (4, 4, 4))
+        assert a.stable_hash() == b.stable_hash()
+
+    def test_known_stability(self):
+        # guards against accidental changes to the hashing scheme: these
+        # values seed the noise model, so changing them silently would
+        # alter every experiment in the repo
+        s = comp_signature("gemm", 64, 64, 64)
+        assert s.stable_hash() == stable_hash(("comp", "gemm", (64, 64, 64)))
+
+    def test_distinct_for_distinct_sigs(self):
+        seen = set()
+        for n in range(1, 200):
+            seen.add(comp_signature("gemm", n, n, n).stable_hash())
+        assert len(seen) == 199
+
+    def test_cached_value_consistent(self):
+        s = comp_signature("syrk", 32, 8)
+        assert s.stable_hash() == s.stable_hash()
+
+
+class TestDisplay:
+    def test_str_compact(self):
+        assert str(comp_signature("gemm", 4, 5, 6)) == "gemm(4,5,6)"
+
+    def test_repr_roundtrip_fields(self):
+        s = comm_signature("bcast", 128, 8, 2)
+        assert "bcast" in repr(s) and "128" in repr(s)
+
+
+@given(
+    name=st.sampled_from(["gemm", "syrk", "trsm", "potrf", "bcast"]),
+    params=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=4),
+)
+def test_property_intern_and_hash_consistency(name, params):
+    a = comp_signature(name, *params)
+    b = comp_signature(name, *params)
+    assert a is b
+    assert a.stable_hash() == b.stable_hash()
+    assert str(a).startswith(name)

@@ -1,0 +1,110 @@
+"""Comm helper API: payload sizing, op construction, rank translation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.blas import gemm_spec
+from repro.sim.comm import Comm, payload_nbytes
+from repro.sim.ops import CollOp, ComputeOp, P2POp, SplitOp, WaitOp
+
+from conftest import make_quiet_sim
+
+
+class TestPayloadNbytes:
+    def test_explicit_wins(self):
+        assert payload_nbytes(np.zeros(100), 8) == 8
+
+    def test_numpy_inference(self):
+        assert payload_nbytes(np.zeros(100), None) == 800
+        assert payload_nbytes(np.zeros((4, 4), dtype=np.float32), None) == 64
+
+    def test_none_payload(self):
+        assert payload_nbytes(None, None) == 0
+
+    def test_scalar_payload(self):
+        assert payload_nbytes(3, None) == 8
+        assert payload_nbytes(2.5, None) == 8
+
+    def test_list_recursion(self):
+        assert payload_nbytes([np.zeros(10), np.zeros(10)], None) == 160
+        assert payload_nbytes([1, 2, 3], None) == 24
+
+    def test_uninferable_raises(self):
+        with pytest.raises(TypeError, match="nbytes"):
+            payload_nbytes({"a": 1}, None)
+
+
+class TestOpConstruction:
+    def _comm(self):
+        # a detached Comm over a fake group suffices for construction
+        class G:
+            gid = 0
+            world_ranks = (0, 1, 2, 3)
+            size = 4
+        return Comm(G(), 1)
+
+    def test_compute_requires_spec(self):
+        comm = self._comm()
+        op = comm.compute(gemm_spec(4, 4, 4))
+        assert isinstance(op, ComputeOp)
+        with pytest.raises(TypeError):
+            comm.compute(("gemm", 128.0))
+
+    def test_p2p_ops(self):
+        comm = self._comm()
+        assert comm.send(None, dest=2, nbytes=8).kind == "send"
+        assert comm.isend(None, dest=2, nbytes=8).kind == "isend"
+        assert comm.recv(source=0, nbytes=8).kind == "recv"
+        assert comm.irecv(source=0, nbytes=8).kind == "irecv"
+
+    def test_collective_ops(self):
+        comm = self._comm()
+        for name in ("bcast", "reduce", "allreduce", "gather", "allgather",
+                     "alltoall", "barrier"):
+            op = getattr(comm, name)() if name == "barrier" else (
+                getattr(comm, name)(None, nbytes=64) if name in
+                ("allreduce", "allgather", "alltoall") else
+                getattr(comm, name)(None, root=0, nbytes=64))
+            assert isinstance(op, CollOp)
+            assert op.name == name
+
+    def test_scatter_infers_chunk_size(self):
+        comm = self._comm()
+        op = comm.scatter([np.zeros(4)] * 4, root=0)
+        assert op.nbytes == 32  # per-chunk bytes
+
+    def test_wait_ops(self):
+        comm = self._comm()
+        from repro.sim.ops import Request
+
+        r = Request(rank=0, kind="isend")
+        assert comm.wait(r).mode == "one"
+        assert comm.waitall([r]).mode == "all"
+
+    def test_split_op(self):
+        comm = self._comm()
+        op = comm.split(color=1, key=-2)
+        assert isinstance(op, SplitOp)
+        assert op.color == 1 and op.key == -2
+
+    def test_repr(self):
+        assert "rank=1/4" in repr(self._comm())
+
+
+class TestRankViews:
+    def test_world_rank_and_translate(self):
+        def prog(comm):
+            sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+            return (sub.world_rank, sub.translate(0), sub.translate(sub.size - 1))
+
+        res = make_quiet_sim(4).run(prog)
+        assert res.returns[2] == (2, 0, 2)   # world rank preserved
+        assert res.returns[3] == (3, 1, 3)
+
+    def test_world_ranks_tuple(self):
+        def prog(comm):
+            return tuple(comm.world_ranks)
+            yield  # pragma: no cover - makes this a generator
+
+        res = make_quiet_sim(3).run(prog)
+        assert res.returns[0] == (0, 1, 2)

@@ -1,0 +1,113 @@
+"""SLATE tiled Cholesky: numeric correctness, lookahead, message flow."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import verify
+from repro.algorithms.slate_cholesky import SlateCholeskyConfig, slate_cholesky
+from repro.critter import Critter
+from repro.sim import Machine, NoiseModel, Simulator, TraceRecorder
+
+
+def run_numeric(n, nb, pr=2, pc=2, lookahead=0, seed=2):
+    cfg = SlateCholeskyConfig(n=n, nb=nb, pr=pr, pc=pc, lookahead=lookahead)
+    a = verify.random_spd(n, seed=seed)
+    m = Machine(nprocs=cfg.nprocs, seed=0)
+    res = Simulator(m).run(slate_cholesky, args=(cfg, a), run_seed=1)
+    return res, cfg, a
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("lookahead", [0, 1, 2])
+    def test_lookahead_depths(self, lookahead):
+        res, cfg, a = run_numeric(64, 16, lookahead=lookahead)
+        verify.check_slate_cholesky(res.returns, cfg, a)
+
+    @pytest.mark.parametrize("n,nb", [(64, 8), (64, 32), (48, 16)])
+    def test_tile_sizes(self, n, nb):
+        res, cfg, a = run_numeric(n, nb)
+        verify.check_slate_cholesky(res.returns, cfg, a)
+
+    def test_ragged_last_tile(self):
+        res, cfg, a = run_numeric(60, 16)
+        verify.check_slate_cholesky(res.returns, cfg, a)
+
+    def test_rectangular_grid(self):
+        res, cfg, a = run_numeric(64, 8, pr=4, pc=1)
+        verify.check_slate_cholesky(res.returns, cfg, a)
+        res, cfg, a = run_numeric(64, 8, pr=1, pc=4)
+        verify.check_slate_cholesky(res.returns, cfg, a)
+
+    def test_single_tile(self):
+        res, cfg, a = run_numeric(16, 16, pr=1, pc=1)
+        verify.check_slate_cholesky(res.returns, cfg, a)
+
+    def test_lookahead_same_result(self):
+        r0, cfg0, a = run_numeric(64, 16, lookahead=0, seed=9)
+        r1, cfg1, _ = run_numeric(64, 16, lookahead=1, seed=9)
+        l0 = verify.assemble_tiles(r0.returns, 64, 64, 16)
+        l1 = verify.assemble_tiles(r1.returns, 64, 64, 16)
+        assert np.allclose(np.tril(l0), np.tril(l1))
+
+
+class TestSchedule:
+    def _trace(self, lookahead, nb=16, n=128):
+        cfg = SlateCholeskyConfig(n=n, nb=nb, pr=2, pc=2, lookahead=lookahead)
+        m = Machine(nprocs=4, seed=0)
+        tr = TraceRecorder()
+        cr = Critter(policy="never-skip")
+        sim = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+                        profiler=cr, trace=tr)
+        res = sim.run(slate_cholesky, args=(cfg,))
+        return res, tr, cr.last_report
+
+    def test_only_p2p_communication(self):
+        _, tr, _ = self._trace(0)
+        assert len(tr.by_kind("coll")) == 0  # SLATE is task-based: no collectives
+        assert len(tr.by_kind("p2p")) > 0
+
+    def test_kernel_mix(self):
+        _, tr, _ = self._trace(1)
+        names = {e.sig.name for e in tr.by_kind("comp")}
+        assert names == {"potrf", "trsm", "syrk", "gemm"}
+
+    def test_kernel_counts(self):
+        # T=8 tiles: potrf per panel, trsm per (i>k), syrk per diag update
+        _, tr, _ = self._trace(0)
+        hist = {}
+        for e in tr.by_kind("comp"):
+            hist[e.sig.name] = hist.get(e.sig.name, 0) + 1
+        t = 8
+        assert hist["potrf"] == t
+        assert hist["trsm"] == t * (t - 1) // 2
+        assert hist["syrk"] == t * (t - 1) // 2
+
+    def test_lookahead_shortens_critical_path(self):
+        r0, _, _ = self._trace(0)
+        r1, _, _ = self._trace(1)
+        assert r1.makespan < r0.makespan
+
+    def test_smaller_tiles_more_messages(self):
+        cfgs = []
+        for nb in (16, 32):
+            cfg = SlateCholeskyConfig(n=128, nb=nb, pr=2, pc=2, lookahead=0)
+            tr = TraceRecorder()
+            m = Machine(nprocs=4, seed=0)
+            Simulator(m, trace=tr).run(slate_cholesky, args=(cfg,))
+            cfgs.append(len(tr.by_kind("p2p")))
+        assert cfgs[0] > cfgs[1]
+
+    def test_selective_execution_preserves_numerics(self):
+        # with execute_skipped_fns=True, Critter may skip timing but the
+        # data remains valid
+        cfg = SlateCholeskyConfig(n=64, nb=16, pr=2, pc=2, lookahead=0)
+        a = verify.random_spd(64, seed=4)
+        m = Machine(nprocs=4, seed=0)
+        cr = Critter(policy="conditional", eps=0.5)
+        res = None
+        for rep in range(3):
+            res = Simulator(m, profiler=cr, execute_skipped_fns=True).run(
+                slate_cholesky, args=(cfg, a), run_seed=rep
+            )
+        assert cr.last_report.skipped_kernels > 0
+        verify.check_slate_cholesky(res.returns, cfg, a)

@@ -1,0 +1,99 @@
+"""SLATE tiled QR: numeric correctness, inner blocking, exclusions."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import verify
+from repro.algorithms.slate_qr import SlateQRConfig, slate_qr
+from repro.critter import Critter
+from repro.sim import Machine, NoiseModel, Simulator, TraceRecorder
+
+
+def run_numeric(m, n, nb, w, pr, pc, seed=7):
+    cfg = SlateQRConfig(m=m, n=n, nb=nb, w=w, pr=pr, pc=pc)
+    a = verify.random_matrix(m, n, seed=seed)
+    mac = Machine(nprocs=cfg.nprocs, seed=0)
+    res = Simulator(mac).run(slate_qr, args=(cfg, a), run_seed=1)
+    return res, cfg, a
+
+
+class TestNumericCorrectness:
+    @pytest.mark.parametrize("nb,w", [(16, 4), (16, 8), (16, 16), (8, 4)])
+    def test_tile_and_inner_blocking(self, nb, w):
+        res, cfg, a = run_numeric(64, 32, nb, w, 2, 2)
+        verify.check_slate_qr(res.returns, cfg, a)
+
+    @pytest.mark.parametrize("pr,pc", [(4, 1), (1, 4), (2, 2)])
+    def test_grid_shapes(self, pr, pc):
+        res, cfg, a = run_numeric(64, 32, 16, 8, pr, pc)
+        verify.check_slate_qr(res.returns, cfg, a)
+
+    def test_ragged_tiles(self):
+        res, cfg, a = run_numeric(60, 28, 16, 8, 2, 2)
+        verify.check_slate_qr(res.returns, cfg, a)
+
+    def test_tall_matrix(self):
+        res, cfg, a = run_numeric(128, 32, 16, 8, 2, 2)
+        verify.check_slate_qr(res.returns, cfg, a)
+
+    def test_r_upper_triangular(self):
+        res, cfg, a = run_numeric(64, 32, 16, 8, 2, 2)
+        tiles = {}
+        for ret in res.returns:
+            if ret:
+                tiles.update({k: v for k, v in ret[0].items() if isinstance(k, tuple)})
+        r = verify.assemble_tiles([tiles], 64, 32, 16)
+        assert np.allclose(np.tril(r, -1), 0, atol=1e-9)
+
+
+class TestInnerBlocking:
+    def _trace(self, w, nb=16, m=64, n=32):
+        cfg = SlateQRConfig(m=m, n=n, nb=nb, w=w, pr=2, pc=2)
+        mac = Machine(nprocs=4, seed=0)
+        tr = TraceRecorder()
+        sim = Simulator(mac, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+                        trace=tr)
+        sim.run(slate_qr, args=(cfg,))
+        return tr
+
+    def test_smaller_w_more_panel_kernels(self):
+        n4 = sum(1 for e in self._trace(4).by_kind("comp") if e.sig.name == "geqr2")
+        n16 = sum(1 for e in self._trace(16).by_kind("comp") if e.sig.name == "geqr2")
+        assert n4 == 4 * (n16 / 1) or n4 > n16  # 4x chunks for w=4 vs w=16
+
+    def test_kernel_mix(self):
+        names = {e.sig.name for e in self._trace(8).by_kind("comp")}
+        assert {"geqr2", "larfb", "tpqrt", "tpmqrt"} <= names
+
+    def test_only_p2p(self):
+        tr = self._trace(8)
+        assert len(tr.by_kind("coll")) == 0
+
+
+class TestExclusion:
+    def test_geqr2_never_skipped(self):
+        # the paper does not selectively execute SLATE QR's BLAS-2 panel
+        # kernels; the space passes exclude={"geqr2"}
+        cfg = SlateQRConfig(m=64, n=32, nb=16, w=4, pr=2, pc=2)
+        mac = Machine(nprocs=4, seed=0)
+        cr = Critter(policy="conditional", eps=0.9, exclude=frozenset({"geqr2"}))
+        tr = TraceRecorder()
+        for rep in range(3):
+            Simulator(mac, profiler=cr, trace=tr).run(slate_qr, args=(cfg,), run_seed=rep)
+        geqr2 = [e for e in tr.by_kind("comp") if e.sig.name == "geqr2"]
+        assert geqr2 and all(e.executed for e in geqr2)
+        # other kernels did get skipped
+        assert tr.skipped_count() > 0
+
+    def test_selective_execution_preserves_numerics(self):
+        cfg = SlateQRConfig(m=64, n=32, nb=16, w=8, pr=2, pc=2)
+        a = verify.random_matrix(64, 32, seed=3)
+        mac = Machine(nprocs=4, seed=0)
+        cr = Critter(policy="conditional", eps=0.5)
+        res = None
+        for rep in range(3):
+            res = Simulator(mac, profiler=cr, execute_skipped_fns=True).run(
+                slate_qr, args=(cfg, a), run_seed=rep
+            )
+        assert cr.last_report.skipped_kernels > 0
+        verify.check_slate_qr(res.returns, cfg, a)

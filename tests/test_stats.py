@@ -1,0 +1,172 @@
+"""Welford statistics, merging, and confidence-interval predictability."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.critter.stats import (
+    RunningStat,
+    is_predictable,
+    relative_ci,
+    z_value,
+)
+
+
+def stat_of(xs):
+    s = RunningStat()
+    for x in xs:
+        s.update(x)
+    return s
+
+
+class TestZValue:
+    def test_95_percent(self):
+        assert z_value(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_99_percent(self):
+        assert z_value(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_monotone(self):
+        assert z_value(0.99) > z_value(0.95) > z_value(0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            z_value(bad)
+
+
+class TestRunningStat:
+    def test_empty(self):
+        s = RunningStat()
+        assert s.count == 0
+        assert s.variance == 0.0
+
+    def test_single_sample(self):
+        s = stat_of([3.0])
+        assert s.mean == 3.0
+        assert s.variance == 0.0
+        assert s.minimum == s.maximum == 3.0
+
+    def test_mean_and_variance_match_numpy(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        s = stat_of(xs)
+        assert s.mean == pytest.approx(np.mean(xs))
+        assert s.variance == pytest.approx(np.var(xs, ddof=1))
+        assert s.std == pytest.approx(np.std(xs, ddof=1))
+
+    def test_total(self):
+        assert stat_of([1.0, 2.0, 3.0]).total == pytest.approx(6.0)
+
+    def test_minmax(self):
+        s = stat_of([5.0, -1.0, 3.0])
+        assert s.minimum == -1.0 and s.maximum == 5.0
+
+    def test_copy_independent(self):
+        s = stat_of([1.0, 2.0])
+        c = s.copy()
+        c.update(100.0)
+        assert s.count == 2 and c.count == 3
+
+    def test_repr(self):
+        assert "count=2" in repr(stat_of([1.0, 2.0]))
+
+
+class TestMerge:
+    def test_merge_matches_combined(self):
+        a, b = [1.0, 2.0, 3.0], [10.0, 20.0]
+        s = stat_of(a)
+        s.merge(stat_of(b))
+        ref = stat_of(a + b)
+        assert s.count == ref.count
+        assert s.mean == pytest.approx(ref.mean)
+        assert s.variance == pytest.approx(ref.variance)
+
+    def test_merge_empty_into_full(self):
+        s = stat_of([1.0, 2.0])
+        s.merge(RunningStat())
+        assert s.count == 2
+
+    def test_merge_full_into_empty(self):
+        s = RunningStat()
+        s.merge(stat_of([1.0, 2.0]))
+        assert s.count == 2 and s.mean == pytest.approx(1.5)
+
+    @given(
+        a=st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=0, max_size=30),
+        b=st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=0, max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_merge_equals_concat(self, a, b):
+        s = stat_of(a)
+        s.merge(stat_of(b))
+        ref = stat_of(a + b)
+        assert s.count == ref.count
+        if ref.count:
+            assert s.mean == pytest.approx(ref.mean, rel=1e-9, abs=1e-12)
+            assert s.variance == pytest.approx(ref.variance, rel=1e-6, abs=1e-9)
+
+
+class TestConfidenceIntervals:
+    def test_infinite_before_two_samples(self):
+        s = stat_of([1.0])
+        assert s.ci_halfwidth(1.96) == math.inf
+        assert relative_ci(s, 1.96) == math.inf
+
+    def test_halfwidth_formula(self):
+        s = stat_of([1.0, 2.0, 3.0, 4.0])
+        expect = 1.96 * s.std / math.sqrt(4)
+        assert s.ci_halfwidth(1.96) == pytest.approx(expect)
+
+    def test_alpha_shrinks_by_sqrt(self):
+        # the paper's sqrt(alpha) reduction from path execution counts
+        s = stat_of([1.0, 2.0, 3.0, 4.0])
+        assert s.ci_halfwidth(1.96, alpha=4) == pytest.approx(
+            s.ci_halfwidth(1.96, alpha=1) / 2.0
+        )
+
+    def test_ci_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        s = RunningStat()
+        widths = []
+        for n in (10, 100, 1000):
+            while s.count < n:
+                s.update(1.0 + 0.1 * rng.standard_normal())
+            widths.append(s.ci_halfwidth(1.96))
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_zero_mean_unpredictable(self):
+        s = stat_of([0.0, 0.0, 0.0])
+        assert relative_ci(s, 1.96) == math.inf
+
+    def test_constant_samples_immediately_predictable(self):
+        s = stat_of([2.0, 2.0])
+        assert is_predictable(s, eps=0.01, z=1.96)
+
+    def test_min_samples_respected(self):
+        s = stat_of([2.0, 2.0])
+        assert not is_predictable(s, eps=0.5, z=1.96, min_samples=5)
+        for _ in range(3):
+            s.update(2.0)
+        assert is_predictable(s, eps=0.5, z=1.96, min_samples=5)
+
+    def test_predictability_threshold(self):
+        rng = np.random.default_rng(1)
+        s = RunningStat()
+        for _ in range(50):
+            s.update(1.0 + 0.2 * rng.standard_normal())
+        rel = relative_ci(s, 1.96)
+        assert is_predictable(s, eps=rel * 1.01, z=1.96)
+        assert not is_predictable(s, eps=rel * 0.99, z=1.96)
+
+    @given(
+        xs=st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=3, max_size=50),
+        alpha=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_alpha_monotone(self, xs, alpha):
+        # larger path counts can only make a kernel easier to skip
+        s = stat_of(xs)
+        assert s.ci_halfwidth(1.96, alpha) <= s.ci_halfwidth(1.96, 1) + 1e-15

@@ -1,0 +1,86 @@
+"""Results-digest generation from benchmark CSVs."""
+
+import os
+
+import pytest
+
+from repro.analysis.summary import (
+    SeriesFile,
+    error_summary,
+    load_series,
+    render_summary,
+    selection_summary,
+    speedup_summary,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig4a_capital_search_time.csv").write_text(
+        "policy,1.0,0.0625\n"
+        "conditional,0.01,0.05\n"
+        "eager,0.002,0.04\n"
+        "full-exec,0.06,0.06\n"
+    )
+    (d / "fig4e_capital_exec_error.csv").write_text(
+        "policy,1.0,0.0625\n"
+        "conditional,-3.0,-5.0\n"
+    )
+    (d / "selection_quality_capital_cholesky.csv").write_text(
+        "policy,2^0,2^-4\n"
+        "conditional,1.0,0.97\n"
+        "online,1.0,1.0\n"
+    )
+    return str(d)
+
+
+class TestLoadSeries:
+    def test_parse(self, results_dir):
+        sf = load_series(os.path.join(results_dir, "fig4a_capital_search_time.csv"))
+        assert sf.tolerances == [1.0, 0.0625]
+        assert sf.policies == ["conditional", "eager"]
+        assert sf.reference == 0.06
+
+    def test_no_reference(self, results_dir):
+        sf = load_series(os.path.join(results_dir, "fig4e_capital_exec_error.csv"))
+        assert sf.reference is None
+
+
+class TestSummaries:
+    def test_speedups(self, results_dir):
+        sf = load_series(os.path.join(results_dir, "fig4a_capital_search_time.csv"))
+        rows = dict((p, (lo, hi)) for p, lo, hi in speedup_summary(sf))
+        assert rows["conditional"][0] == pytest.approx(6.0)
+        assert rows["eager"][0] == pytest.approx(30.0)
+
+    def test_speedup_requires_reference(self):
+        sf = SeriesFile("x", [1.0], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            speedup_summary(sf)
+
+    def test_errors(self, results_dir):
+        sf = load_series(os.path.join(results_dir, "fig4e_capital_exec_error.csv"))
+        assert error_summary(sf) == [("conditional", -3.0, -5.0)]
+
+    def test_selection(self, results_dir):
+        worst = selection_summary(
+            os.path.join(results_dir, "selection_quality_capital_cholesky.csv"))
+        assert worst == pytest.approx(0.97)
+
+
+class TestRender:
+    def test_render_contains_sections(self, results_dir):
+        md = render_summary(results_dir)
+        assert "# Benchmark results digest" in md
+        assert "speedups" in md
+        assert "| fig4a_capital_search_time | eager | 30.00x" in md
+        assert "| capital_cholesky | 0.970 |" in md
+
+    def test_render_against_real_results(self):
+        # the repo's own results directory (produced by the bench suite)
+        if not os.path.isdir("results"):
+            pytest.skip("bench results not present")
+        md = render_summary("results")
+        assert "digest" in md

@@ -1,0 +1,86 @@
+"""Tolerance sweeps: grid structure, series extraction, reference lines."""
+
+import math
+
+import pytest
+
+from repro.autotune import (
+    capital_cholesky_space,
+    default_tolerances,
+    tolerance_sweep,
+)
+from repro.autotune.tuner import default_machine
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    space = capital_cholesky_space(n=64, c=2, b0=4, nconf=4)
+    machine = default_machine(space, seed=3)
+    return tolerance_sweep(
+        space,
+        machine,
+        policies=("conditional", "online"),
+        tolerances=[1.0, 2**-3, 2**-6],
+        reps=2,
+        full_reps=2,
+        seed=0,
+    )
+
+
+class TestDefaults:
+    def test_default_tolerances_paper_axis(self):
+        ts = default_tolerances()
+        assert len(ts) == 11
+        assert ts[0] == 1.0
+        assert ts[-1] == 2**-10
+
+    def test_custom_range(self):
+        assert default_tolerances(lo_exp=-4) == [1.0, 0.5, 0.25, 0.125, 0.0625]
+
+
+class TestSweepStructure:
+    def test_all_points_present(self, sweep):
+        assert set(sweep.points) == {
+            (p, e) for p in ("conditional", "online") for e in (1.0, 2**-3, 2**-6)
+        }
+
+    def test_series_length(self, sweep):
+        s = sweep.series("online", "search_time")
+        assert len(s) == 3
+        assert all(v > 0 for v in s)
+
+    def test_series_metrics(self, sweep):
+        for metric in ("search_time", "mean_log2_exec_error", "kernel_time",
+                       "comp_kernel_time", "search_speedup", "selection_quality"):
+            assert len(sweep.series("conditional", metric)) == 3
+
+    def test_per_config_errors(self, sweep):
+        errs = sweep.per_config_errors("online", 2**-3)
+        assert len(errs) == 4
+        assert all(e >= 0 for e in errs)
+
+    def test_log2_tolerances(self, sweep):
+        assert sweep.log2_tolerances() == [0.0, -3.0, -6.0]
+
+    def test_result_accessor(self, sweep):
+        r = sweep.result("conditional", 1.0)
+        assert r.policy == "conditional" and r.eps == 1.0
+
+
+class TestReferenceLines:
+    def test_full_search_time_positive(self, sweep):
+        assert sweep.full_search_time > 0
+
+    def test_full_line_upper_bounds_selective(self, sweep):
+        # selective execution can only be faster than full execution
+        for p in ("conditional", "online"):
+            for t in sweep.series(p, "search_time"):
+                assert t < sweep.full_search_time * 1.2
+
+    def test_kernel_reference_lines(self, sweep):
+        assert sweep.full_kernel_time > sweep.full_comp_kernel_time > 0
+
+    def test_search_time_trend(self, sweep):
+        s = sweep.series("conditional", "search_time")
+        # tighter tolerance never dramatically cheaper than loose
+        assert s[-1] > s[0] * 0.8

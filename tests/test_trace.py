@@ -1,0 +1,85 @@
+"""TraceRecorder: event capture and query helpers."""
+
+import pytest
+
+from repro.kernels.blas import gemm_spec
+from repro.sim import Machine, NoiseModel, Simulator, TraceRecorder
+
+
+def traced_run(program, nprocs=2):
+    m = Machine(nprocs=nprocs, seed=0)
+    tr = TraceRecorder()
+    sim = Simulator(
+        m,
+        noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+        trace=tr,
+    )
+    res = sim.run(program)
+    return res, tr
+
+
+def simple_prog(comm):
+    yield comm.compute(gemm_spec(8, 8, 8))
+    yield comm.allreduce(nbytes=64)
+    if comm.rank == 0:
+        yield comm.send(None, dest=1, nbytes=32)
+    elif comm.rank == 1:
+        yield comm.recv(source=0, nbytes=32)
+
+
+class TestTraceCapture:
+    def test_event_kinds(self):
+        _, tr = traced_run(simple_prog)
+        assert len(tr.by_kind("comp")) == 2
+        assert len(tr.by_kind("coll")) == 1
+        assert len(tr.by_kind("p2p")) == 1
+
+    def test_event_fields(self):
+        _, tr = traced_run(simple_prog)
+        ev = tr.by_kind("p2p")[0]
+        assert ev.ranks == (0, 1)
+        assert ev.executed
+        assert ev.end == ev.start + ev.duration
+
+    def test_by_rank(self):
+        _, tr = traced_run(simple_prog)
+        assert len(tr.by_rank(0)) == 3  # comp + coll + p2p
+        assert len(tr.by_rank(1)) == 3
+
+    def test_kernel_histogram(self):
+        _, tr = traced_run(simple_prog)
+        hist = tr.kernel_histogram()
+        sig = gemm_spec(8, 8, 8)[0]
+        assert hist[sig] == 2
+
+    def test_counts_and_totals(self):
+        _, tr = traced_run(simple_prog)
+        assert tr.executed_count() == len(tr)
+        assert tr.skipped_count() == 0
+        assert tr.total_time() > 0
+        assert tr.total_time("comp") <= tr.total_time()
+
+    def test_clear(self):
+        _, tr = traced_run(simple_prog)
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_iteration(self):
+        _, tr = traced_run(simple_prog)
+        assert sum(1 for _ in tr) == len(tr)
+
+    def test_trace_records_skips(self):
+        from repro.critter import Critter
+
+        m = Machine(nprocs=2, seed=0)
+        tr = TraceRecorder()
+        cr = Critter(policy="conditional", eps=0.5)
+
+        def prog(comm):
+            for _ in range(30):
+                yield comm.compute(gemm_spec(8, 8, 8))
+
+        for rep in range(3):
+            Simulator(m, profiler=cr, trace=tr).run(prog, run_seed=rep)
+        assert tr.skipped_count() > 0
+        assert tr.executed_count() > 0

@@ -1,0 +1,119 @@
+"""Exhaustive tuner: the paper's search protocol and its headline trends."""
+
+import math
+
+import pytest
+
+from repro.autotune import (
+    ExhaustiveTuner,
+    capital_cholesky_space,
+    measure_ground_truth,
+    slate_cholesky_space,
+)
+from repro.autotune.tuner import default_machine
+
+
+@pytest.fixture(scope="module")
+def mini_space():
+    # 6 configs: b in {4..64} strat 1, b=4 strat 2 — fast but non-trivial
+    return capital_cholesky_space(n=64, c=2, b0=4, nconf=6)
+
+
+@pytest.fixture(scope="module")
+def mini_machine(mini_space):
+    return default_machine(mini_space, seed=11)
+
+
+@pytest.fixture(scope="module")
+def mini_ground(mini_space, mini_machine):
+    return measure_ground_truth(mini_space, mini_machine, full_reps=3, seed=0)
+
+
+def tune(space, machine, ground, policy, eps, reps=3):
+    return ExhaustiveTuner(
+        space, machine, policy=policy, eps=eps, reps=reps,
+        ground_truth=ground, seed=0,
+    ).run()
+
+
+class TestProtocol:
+    def test_one_outcome_per_config(self, mini_space, mini_machine, mini_ground):
+        res = tune(mini_space, mini_machine, mini_ground, "conditional", 0.25)
+        assert len(res.outcomes) == len(mini_space)
+        assert [o.index for o in res.outcomes] == list(range(6))
+
+    def test_ground_truth_reused(self, mini_space, mini_machine, mini_ground):
+        r1 = tune(mini_space, mini_machine, mini_ground, "conditional", 0.25)
+        r2 = tune(mini_space, mini_machine, mini_ground, "online", 0.25)
+        assert [o.full_time for o in r1.outcomes] == [o.full_time for o in r2.outcomes]
+
+    def test_outcome_fields_sane(self, mini_space, mini_machine, mini_ground):
+        res = tune(mini_space, mini_machine, mini_ground, "online", 0.25)
+        for o in res.outcomes:
+            assert o.full_time > 0
+            assert o.tuning_time > 0
+            assert 0 <= o.skip_fraction <= 1
+            assert math.isfinite(o.exec_error)
+            assert math.isfinite(o.comp_error)
+
+    def test_apriori_charges_offline_pass(self, mini_space, mini_machine, mini_ground):
+        ap = tune(mini_space, mini_machine, mini_ground, "apriori", 0.25)
+        assert all(o.offline_time > 0 for o in ap.outcomes)
+        cond = tune(mini_space, mini_machine, mini_ground, "conditional", 0.25)
+        assert all(o.offline_time == 0 for o in cond.outcomes)
+        assert ap.search_time > cond.search_time
+
+    def test_speedup_definition(self, mini_space, mini_machine, mini_ground):
+        res = tune(mini_space, mini_machine, mini_ground, "online", 0.25)
+        assert res.search_speedup == pytest.approx(
+            res.full_search_time / res.search_time
+        )
+
+
+class TestPaperTrends:
+    def test_selective_execution_accelerates(self, mini_space, mini_machine, mini_ground):
+        res = tune(mini_space, mini_machine, mini_ground, "conditional", 0.5)
+        assert res.search_speedup > 1.5
+
+    def test_tight_tolerance_approaches_full_execution(
+        self, mini_space, mini_machine, mini_ground
+    ):
+        loose = tune(mini_space, mini_machine, mini_ground, "conditional", 1.0)
+        tight = tune(mini_space, mini_machine, mini_ground, "conditional", 2**-10)
+        assert tight.search_time > loose.search_time
+        assert tight.search_speedup < 1.3
+
+    def test_error_decreases_with_tolerance(self, mini_space, mini_machine, mini_ground):
+        loose = tune(mini_space, mini_machine, mini_ground, "online", 1.0)
+        tight = tune(mini_space, mini_machine, mini_ground, "online", 2**-8)
+        assert tight.mean_log2_exec_error < loose.mean_log2_exec_error + 0.5
+
+    def test_eager_beats_conditional(self, mini_space, mini_machine, mini_ground):
+        eager = tune(mini_space, mini_machine, mini_ground, "eager", 0.5)
+        cond = tune(mini_space, mini_machine, mini_ground, "conditional", 0.5)
+        assert eager.search_time < cond.search_time
+
+    def test_selection_quality_high(self, mini_space, mini_machine, mini_ground):
+        res = tune(mini_space, mini_machine, mini_ground, "online", 2**-4)
+        assert res.selection_quality >= 0.9
+
+    def test_skip_fraction_grows_with_tolerance(
+        self, mini_space, mini_machine, mini_ground
+    ):
+        loose = tune(mini_space, mini_machine, mini_ground, "conditional", 1.0)
+        tight = tune(mini_space, mini_machine, mini_ground, "conditional", 2**-10)
+        mean_loose = sum(o.skip_fraction for o in loose.outcomes) / 6
+        mean_tight = sum(o.skip_fraction for o in tight.outcomes) / 6
+        assert mean_loose > mean_tight
+
+
+class TestSlateSpaceIntegration:
+    def test_slate_cholesky_tunes(self):
+        space = slate_cholesky_space(n=128, pr=2, pc=2, t0=32, dt=16, nconf=4)
+        machine = default_machine(space, seed=5)
+        ground = measure_ground_truth(space, machine, full_reps=2, seed=0)
+        res = ExhaustiveTuner(space, machine, policy="online", eps=0.25,
+                              reps=2, ground_truth=ground, seed=0).run()
+        assert len(res.outcomes) == 4
+        assert res.search_speedup > 1.0
+        assert res.selection_quality > 0.8

@@ -1,0 +1,47 @@
+"""Tuner internals: seeding discipline and ground-truth bookkeeping."""
+
+import pytest
+
+from repro.autotune.tuner import GroundTruth, _seed_for
+from repro.critter.pathset import PathMetrics
+
+
+class TestSeedDiscipline:
+    def test_seeds_unique_across_roles(self):
+        """Full, selective, and offline runs of any (config, rep) must
+        never share an RNG stream — shared streams would correlate the
+        'independent' measurements the statistics assume."""
+        seen = set()
+        for base in (0, 1):
+            for idx in range(20):
+                for rep in range(8):
+                    for kw in ({}, {"full": True}, {"offline": True}):
+                        s = _seed_for(base, idx, rep, **kw)
+                        assert s not in seen, (base, idx, rep, kw)
+                        seen.add(s)
+
+    def test_deterministic(self):
+        assert _seed_for(3, 5, 2) == _seed_for(3, 5, 2)
+
+    def test_base_seed_shifts_everything(self):
+        a = {_seed_for(0, i, r) for i in range(5) for r in range(5)}
+        b = {_seed_for(1, i, r) for i in range(5) for r in range(5)}
+        assert not (a & b)
+
+
+class TestGroundTruth:
+    def _gt(self, times):
+        return GroundTruth(times=times, path=PathMetrics(),
+                           max_rank_comp_time=0.0, max_rank_kernel_time=0.0)
+
+    def test_mean(self):
+        assert self._gt([1.0, 2.0, 3.0]).mean_time == pytest.approx(2.0)
+
+    def test_noise_cv(self):
+        gt = self._gt([1.0, 1.0, 1.0])
+        assert gt.noise_cv == 0.0
+        noisy = self._gt([0.9, 1.0, 1.1])
+        assert 0.05 < noisy.noise_cv < 0.15
+
+    def test_noise_cv_single_sample(self):
+        assert self._gt([2.0]).noise_cv == 0.0

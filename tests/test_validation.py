@@ -1,0 +1,72 @@
+"""Statistical validation: CI coverage and sqrt(alpha) error reduction."""
+
+import pytest
+
+from repro.critter.validation import (
+    CoverageResult,
+    aggregate_error_reduction,
+    ci_coverage,
+)
+from repro.sim import NoiseModel
+
+
+class TestCoverage:
+    def test_nominal_95_coverage(self):
+        res = ci_coverage(
+            noise=NoiseModel(comp_cv=0.1, run_cv=0.0),
+            confidence=0.95, samples_per_trial=30, trials=1500, seed=1,
+        )
+        # normal-theory interval on lognormal data with n=30: coverage
+        # within a few points of nominal
+        assert 0.90 <= res.observed <= 0.985
+
+    def test_higher_confidence_higher_coverage(self):
+        kw = dict(noise=NoiseModel(comp_cv=0.1, run_cv=0.0),
+                  samples_per_trial=30, trials=1200, seed=2)
+        lo = ci_coverage(confidence=0.8, **kw)
+        hi = ci_coverage(confidence=0.99, **kw)
+        assert hi.observed > lo.observed
+
+    def test_more_samples_keep_coverage(self):
+        kw = dict(noise=NoiseModel(comp_cv=0.2, run_cv=0.0),
+                  confidence=0.95, trials=800, seed=3)
+        small = ci_coverage(samples_per_trial=5, **kw)
+        large = ci_coverage(samples_per_trial=80, **kw)
+        # skewed data under-covers at tiny n; must improve with n
+        assert large.observed >= small.observed - 0.02
+        assert large.observed >= 0.92
+
+    def test_result_fields(self):
+        res = ci_coverage(trials=50, samples_per_trial=5, seed=0)
+        assert isinstance(res, CoverageResult)
+        assert res.trials == 50
+        assert -1.0 <= res.gap <= 1.0
+
+
+class TestSqrtAlphaReduction:
+    def test_error_falls_with_alpha(self):
+        errs = aggregate_error_reduction(
+            noise=NoiseModel(comp_cv=0.2, run_cv=0.0),
+            alphas=(1, 4, 16, 64), trials=600, samples=10, seed=4,
+        )
+        assert errs[1] > errs[4] > errs[16]
+        # the realization-noise component falls like sqrt(alpha): from
+        # alpha=1 to alpha=16 expect at least ~2x total reduction
+        assert errs[1] / errs[16] > 2.0
+
+    def test_estimator_floor(self):
+        # with a huge measurement budget the residual error comes from
+        # the realization noise only
+        errs = aggregate_error_reduction(
+            noise=NoiseModel(comp_cv=0.2, run_cv=0.0),
+            alphas=(64,), trials=400, samples=400, seed=5,
+        )
+        assert errs[64] < 0.05
+
+    def test_quiet_noise_zero_error(self):
+        errs = aggregate_error_reduction(
+            noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0, run_cv=0),
+            alphas=(1, 8), trials=20, samples=3, seed=6,
+        )
+        assert errs[1] == pytest.approx(0.0, abs=1e-12)
+        assert errs[8] == pytest.approx(0.0, abs=1e-12)

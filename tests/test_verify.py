@@ -1,0 +1,54 @@
+"""Verification helpers: matrix generators and tile assembly."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import verify
+
+
+class TestGenerators:
+    def test_random_spd_is_spd(self):
+        a = verify.random_spd(24, seed=1)
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_random_spd_deterministic(self):
+        assert np.array_equal(verify.random_spd(8, seed=3), verify.random_spd(8, seed=3))
+
+    def test_random_matrix_shape(self):
+        assert verify.random_matrix(5, 3, seed=0).shape == (5, 3)
+
+
+class TestAssembly:
+    def test_assemble_tiles(self):
+        t0 = {(0, 0): np.ones((2, 2)), (1, 1): 2 * np.ones((2, 2))}
+        t1 = {(0, 1): 3 * np.ones((2, 2))}
+        out = verify.assemble_tiles([t0, t1], 4, 4, 2)
+        assert out[0, 0] == 1 and out[2, 2] == 2 and out[0, 2] == 3
+        assert out[2, 0] == 0
+
+    def test_assemble_ragged(self):
+        t = {(1, 0): np.full((1, 3), 7.0)}
+        out = verify.assemble_tiles([t], 4, 3, 3)
+        assert out[3, 0] == 7 and out.shape == (4, 3)
+
+    def test_assemble_skips_none_and_markers(self):
+        out = verify.assemble_tiles([None, {}, {"__top__": np.ones((1, 1))}], 2, 2, 1)
+        assert np.all(out == 0)
+
+
+class TestCheckers:
+    def test_capital_checker_rejects_bad_factor(self):
+        a = verify.random_spd(8, seed=0)
+        l_bad = np.tril(np.ones((8, 8)))
+        with pytest.raises(AssertionError, match="residual"):
+            verify.check_capital_cholesky((l_bad, l_bad), a)
+
+    def test_slate_checker_rejects_bad_tiles(self):
+        from repro.algorithms.slate_cholesky import SlateCholeskyConfig
+
+        cfg = SlateCholeskyConfig(n=8, nb=4, pr=1, pc=1, lookahead=0)
+        a = verify.random_spd(8, seed=0)
+        with pytest.raises(AssertionError):
+            verify.check_slate_cholesky([{(0, 0): np.eye(4), (1, 0): np.eye(4),
+                                          (1, 1): np.eye(4)}], cfg, a)
