@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_space, results_path
+from bench_profiles import make_space, results_path
 from repro.analysis import format_table, save_csv
 from repro.autotune import ExhaustiveTuner, default_machine, measure_ground_truth
 from repro.critter import Critter

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_space, results_path
+from bench_profiles import make_space, results_path
 from repro.analysis import format_table, save_csv
 from repro.autotune import default_machine
 from repro.critter import Critter

@@ -22,7 +22,7 @@ import math
 
 import pytest
 
-from conftest import SETTINGS, get_sweep, results_path
+from bench_profiles import SETTINGS, get_sweep, results_path
 from repro.analysis import format_table, save_csv
 from repro.autotune import ExhaustiveTuner, default_machine
 
@@ -78,7 +78,7 @@ def quick_point(sweep_name):
     sweep = get_sweep(sweep_name)
 
     def run():
-        from conftest import make_space
+        from bench_profiles import make_space
 
         space = make_space(sweep_name)
         machine = default_machine(space, seed=17)

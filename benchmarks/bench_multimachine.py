@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import results_path
+from bench_profiles import results_path
 from repro.analysis import format_table, save_csv
 from repro.autotune import capital_cholesky_space
 from repro.autotune.tuner import GroundTruth, _seed_for

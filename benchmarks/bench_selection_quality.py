@@ -17,14 +17,14 @@ import math
 import pytest
 
 from bench_fig4_cholesky import quick_point
-from conftest import get_sweep, results_path
+from bench_profiles import get_sweep, results_path
 from repro.analysis import format_table, save_csv
 
 SPACES = ("capital_cholesky", "slate_cholesky", "candmc_qr", "slate_qr")
 #: the paper's bar: >= 99% of optimal for Cholesky, exact for QR — at
 #: simulator scale we require 95% (85% for the smoke profile, whose
 #: configurations are nearly indistinguishable) and report exact values
-from conftest import PROFILE
+from bench_profiles import PROFILE
 
 QUALITY_FLOOR = 0.85 if PROFILE == "smoke" else 0.95
 

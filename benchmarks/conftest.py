@@ -1,97 +1,15 @@
-"""Benchmark configuration: scaled experiment profiles and shared sweeps.
+"""Benchmark fixtures: session-shared sweeps for the per-panel benches.
 
-Every figure of the paper is regenerated by a bench in this directory.
-The experiments run on the simulator at reduced scale (see DESIGN.md
-section 2); the ``REPRO_BENCH_PROFILE`` environment variable selects
-how much work the suite does:
-
-* ``smoke`` — minutes-fast sanity pass (2 tolerances, 2 reps),
-* ``small`` — the default: full policy sets, 9-point tolerance axis,
-  3 repetitions per configuration (paper uses 5),
-* ``full``  — the paper protocol: 11 tolerances, 5 repetitions.
-
-Sweeps are computed once per session and shared by the per-panel
-benches; each bench prints the exact series its figure plots and saves
-a CSV under ``results/``.
+All shared machinery lives in :mod:`bench_profiles` (importable by the
+bench modules without colliding with the test suite's ``conftest``);
+this file only binds it to pytest fixtures.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Dict, List, Sequence
-
 import pytest
 
-from repro.autotune import (
-    SweepResult,
-    candmc_qr_space,
-    capital_cholesky_space,
-    default_machine,
-    slate_cholesky_space,
-    slate_qr_space,
-    tolerance_sweep,
-)
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
-
-PROFILES = {
-    "smoke": dict(tolerances=[1.0, 2**-4], reps=2, full_reps=2),
-    "small": dict(tolerances=[2.0**-e for e in range(0, 9)], reps=3, full_reps=3),
-    "full": dict(tolerances=[2.0**-e for e in range(0, 11)], reps=5, full_reps=5),
-}
-
-PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "small")
-if PROFILE not in PROFILES:
-    raise ValueError(f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}")
-
-SETTINGS = PROFILES[PROFILE]
-
-#: policies per space — eager is evaluated only for Capital's
-#: bulk-synchronous Cholesky, exactly as in Figs. 4 and 5
-POLICY_SETS = {
-    "capital_cholesky": ("conditional", "eager", "local", "online", "apriori"),
-    "slate_cholesky": ("conditional", "local", "online", "apriori"),
-    "candmc_qr": ("conditional", "local", "online", "apriori"),
-    "slate_qr": ("conditional", "local", "online", "apriori"),
-}
-
-
-def make_space(name: str):
-    if PROFILE == "smoke":
-        scaled = {
-            "capital_cholesky": lambda: capital_cholesky_space(n=128, c=2, b0=4, nconf=15),
-            "slate_cholesky": lambda: slate_cholesky_space(n=256, t0=32, dt=8, nconf=20),
-            "candmc_qr": lambda: candmc_qr_space(m=512, n=128, p=16, pr0=4, b0=2),
-            "slate_qr": lambda: slate_qr_space(m=128, n=32, nb0=4, dnb=1, w0=1),
-        }
-        return scaled[name]()
-    sized = {
-        "capital_cholesky": lambda: capital_cholesky_space(n=256, c=2, b0=4, nconf=15),
-        "slate_cholesky": lambda: slate_cholesky_space(),
-        "candmc_qr": lambda: candmc_qr_space(),
-        "slate_qr": lambda: slate_qr_space(),
-    }
-    return sized[name]()
-
-
-_sweep_cache: Dict[str, SweepResult] = {}
-
-
-def get_sweep(name: str) -> SweepResult:
-    """Session-cached tolerance sweep for one space."""
-    if name not in _sweep_cache:
-        space = make_space(name)
-        machine = default_machine(space, seed=17)
-        _sweep_cache[name] = tolerance_sweep(
-            space,
-            machine,
-            policies=POLICY_SETS[name],
-            tolerances=SETTINGS["tolerances"],
-            reps=SETTINGS["reps"],
-            full_reps=SETTINGS["full_reps"],
-            seed=0,
-        )
-    return _sweep_cache[name]
+from bench_profiles import SweepResult, get_sweep
 
 
 @pytest.fixture(scope="session")
@@ -112,8 +30,3 @@ def candmc_sweep() -> SweepResult:
 @pytest.fixture(scope="session")
 def slate_qr_sweep() -> SweepResult:
     return get_sweep("slate_qr")
-
-
-def results_path(filename: str) -> str:
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    return os.path.join(RESULTS_DIR, filename)

@@ -7,13 +7,22 @@ execution with selective kernel execution and compares:
 
 * the full execution time,
 * the accelerated (selective) execution time,
-* Critter's predicted execution time and its error.
+* Critter's predicted execution time and its error,
+
+then runs a small tolerance sweep through the experiment runner with
+two worker processes and a result cache — the warm re-run performs
+zero new simulations.
 
 Run:  python examples/quickstart.py
 """
 
+import tempfile
+
 from repro import Critter, Machine, Simulator
+from repro.autotune import capital_cholesky_space, tolerance_sweep
+from repro.autotune.tuner import default_machine
 from repro.kernels.blas import gemm_spec
+from repro.runner import make_runner
 
 
 def stencil_program(comm, steps=40):
@@ -63,6 +72,28 @@ def main() -> None:
     err = abs(rep.predicted_exec_time - t_full) / t_full
     print(f"prediction error    : {err:6.2%}")
     print(f"speedup of last rep : {t_full / walls[-1]:6.1f}x")
+
+    # ---- 3. parallel tolerance sweep with a warm result cache ---------
+    # The (policy x eps x config) grid is embarrassingly parallel, so
+    # the sweep fans out over worker processes; results are
+    # bit-identical to serial execution for any job count.
+    space = capital_cholesky_space(n=64, c=2, b0=4, nconf=6)
+    sweep_machine = default_machine(space, seed=7)
+    kw = dict(policies=("conditional", "online"),
+              tolerances=[1.0, 2**-2, 2**-4], reps=2, full_reps=2, seed=0)
+    print("\n=== parallel tolerance sweep (6 configs, 2 policies, jobs=2) ===")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = make_runner(jobs=2, cache_dir=cache_dir)
+        sweep = tolerance_sweep(space, sweep_machine, runner=runner, **kw)
+        print(f"cold run: {runner.executed()} jobs simulated")
+        for policy in kw["policies"]:
+            ups = sweep.series(policy, "search_speedup")
+            print(f"  {policy:12s} search speedup by eps: "
+                  + "  ".join(f"{s:.2f}x" for s in ups))
+        rerun = make_runner(jobs=2, cache_dir=cache_dir)
+        tolerance_sweep(space, sweep_machine, runner=rerun, **kw)
+        print(f"warm re-run: {rerun.executed()} jobs simulated, "
+              f"{rerun.cache_hits()} served from cache")
 
 
 if __name__ == "__main__":

@@ -1,7 +1,8 @@
 """Shim for environments without the ``wheel`` package (offline editable install).
 
 ``pip install -e .`` requires wheel under PEP 660; when it is unavailable,
-``python setup.py develop`` installs the same editable package.
+``python setup.py develop`` installs the same editable package.  All
+packaging metadata lives in ``pyproject.toml``.
 """
 
 from setuptools import setup

@@ -15,6 +15,13 @@ sharing the per-configuration measurement protocol of
   natural fit for Critter, whose *predictions* are cheap and whose
   accuracy grows with repetitions.
 
+Measurements are described as runner jobs and submitted in batches —
+every configuration a strategy visits in one round is independent, so
+a parallel runner measures a whole round concurrently (and a cached
+runner reuses measurements across strategies).  Eager propagation is
+the exception: its statistics flow across configurations through one
+shared profiler, so it is measured inline, sequentially.
+
 Each strategy returns a :class:`SearchResult` with the total tuning
 cost, the chosen configuration, and the selection quality against the
 supplied ground truth.
@@ -22,15 +29,15 @@ supplied ground truth.
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.autotune.configspace import ConfigSpace
-from repro.autotune.tuner import GroundTruth, _seed_for, measure_ground_truth
+from repro.autotune.tuner import GroundTruth, _seed_for
 from repro.critter.core import Critter
 from repro.critter.policies import make_policy
+from repro.runner import TUNE_CONFIG, Runner, RunRequest
 from repro.sim.engine import Simulator
 from repro.sim.machine import Machine
 
@@ -67,6 +74,7 @@ class _StrategyBase:
         eps: float = 2**-3,
         seed: int = 0,
         ground_truth: Optional[List[GroundTruth]] = None,
+        runner: Optional[Runner] = None,
     ) -> None:
         self.space = space
         self.machine = machine
@@ -74,13 +82,43 @@ class _StrategyBase:
         self.eps = eps
         self.seed = seed
         self.ground = ground_truth
+        self.runner = runner if runner is not None else Runner()
         self._critter = Critter(policy=self.policy, eps=eps, exclude=space.exclude)
         self.evaluations = 0
 
-    def _measure(self, idx: int, reps: int, rep_offset: int = 0) -> tuple[float, float]:
-        """Run ``reps`` selective executions of config ``idx``.
+    # ------------------------------------------------------------------
+    def _measure_batch(
+        self, indices: Sequence[int], reps: int, rep_offset: int = 0
+    ) -> Dict[int, Tuple[float, float]]:
+        """Measure ``reps`` selective executions of each configuration.
 
-        Returns (wall cost, predicted execution time)."""
+        Returns ``{index: (wall cost, predicted execution time)}``.  For
+        statistics-resetting policies every configuration is an
+        independent job; eager propagation measures inline through the
+        strategy's shared Critter.
+        """
+        if not self.policy.resets_between_configs:
+            return {idx: self._measure_inline(idx, reps, rep_offset)
+                    for idx in indices}
+        requests = [
+            RunRequest(
+                kind=TUNE_CONFIG, space=self.space, machine=self.machine,
+                seed=self.seed, reps=reps, config_index=idx,
+                policy=self.policy.name, eps=float(self.eps),
+                rep_offset=rep_offset,
+            )
+            for idx in indices
+        ]
+        out: Dict[int, Tuple[float, float]] = {}
+        for idx, res in zip(indices, self.runner.run(requests)):
+            cr = res.outputs[0]
+            self.evaluations += reps
+            out[idx] = (cr.tuning_time, cr.predicted.exec_time)
+        return out
+
+    def _measure_inline(self, idx: int, reps: int,
+                        rep_offset: int = 0) -> Tuple[float, float]:
+        """Sequential measurement through the persistent Critter."""
         if self.policy.resets_between_configs:
             self._critter.reset_statistics()
         cost = 0.0
@@ -94,6 +132,12 @@ class _StrategyBase:
             self.evaluations += 1
         return cost, self._critter.last_report.predicted_exec_time
 
+    def _measure(self, idx: int, reps: int, rep_offset: int = 0) -> Tuple[float, float]:
+        """Run ``reps`` selective executions of config ``idx``.
+
+        Returns (wall cost, predicted execution time)."""
+        return self._measure_batch([idx], reps, rep_offset)[idx]
+
 
 class ExhaustiveSearch(_StrategyBase):
     """The paper's protocol: every configuration, equal repetitions."""
@@ -101,12 +145,9 @@ class ExhaustiveSearch(_StrategyBase):
     name = "exhaustive"
 
     def run(self, reps: int = 3) -> SearchResult:
-        total = 0.0
-        preds: Dict[int, float] = {}
-        for idx in range(len(self.space)):
-            cost, pred = self._measure(idx, reps)
-            total += cost
-            preds[idx] = pred
+        measured = self._measure_batch(list(range(len(self.space))), reps)
+        total = sum(cost for cost, _ in measured.values())
+        preds = {idx: pred for idx, (_, pred) in measured.items()}
         chosen = min(preds, key=preds.get)
         return SearchResult(self.name, chosen, total, self.evaluations,
                             preds, self.ground)
@@ -121,12 +162,9 @@ class RandomSearch(_StrategyBase):
         rng = random.Random(self.seed * 7919 + 13)
         budget = min(budget, len(self.space))
         picks = rng.sample(range(len(self.space)), budget)
-        total = 0.0
-        preds: Dict[int, float] = {}
-        for idx in picks:
-            cost, pred = self._measure(idx, reps)
-            total += cost
-            preds[idx] = pred
+        measured = self._measure_batch(picks, reps)
+        total = sum(cost for cost, _ in measured.values())
+        preds = {idx: pred for idx, (_, pred) in measured.items()}
         chosen = min(preds, key=preds.get)
         return SearchResult(self.name, chosen, total, self.evaluations,
                             preds, self.ground)
@@ -140,7 +178,8 @@ class SuccessiveHalving(_StrategyBase):
     measured), so surviving configurations get progressively cheaper
     *and* more accurately predicted — the synergy the paper's Section
     VII anticipates between pruning-based tuners and selective
-    execution.
+    execution.  Each round's survivors are measured as one parallel
+    batch.
     """
 
     name = "successive-halving"
@@ -152,8 +191,9 @@ class SuccessiveHalving(_StrategyBase):
         reps = base_reps
         round_no = 0
         while alive:
-            for idx in alive:
-                cost, pred = self._measure(idx, reps, rep_offset=round_no * 16)
+            measured = self._measure_batch(alive, reps,
+                                           rep_offset=round_no * 16)
+            for idx, (cost, pred) in measured.items():
                 total += cost
                 preds[idx] = pred
             if len(alive) == 1:

@@ -9,25 +9,38 @@ exposes the exact series the paper plots:
 * max-rank kernel time vs. log2(eps)          (Figs. 4c, 5c)
 * mean log2 prediction error vs. log2(eps)    (Figs. 4d-f, 5d-f)
 * per-configuration error at selected eps     (Figs. 4g/4h, 5g/5h)
+
+The grid is embarrassingly parallel: every (policy, eps, config) cell
+is an independent job (eager propagation parallelizes at (policy, eps)
+granularity), so the whole sweep is submitted to the runner as one flat
+batch — ``tolerance_sweep(..., jobs=N)`` saturates N cores, and
+``cache_dir=...`` makes re-runs and overlapping sweeps reuse every
+measurement already taken.  Results are bit-identical to serial
+execution for any job count.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.autotune.configspace import ConfigSpace
 from repro.autotune.tuner import (
-    ExhaustiveTuner,
     GroundTruth,
     TuningResult,
+    assemble_tuning_result,
     default_machine,
     measure_ground_truth,
+    tuning_requests,
 )
+from repro.runner import Runner, logging_progress, make_runner
 from repro.sim.machine import Machine
 
 __all__ = ["SweepResult", "tolerance_sweep", "default_tolerances"]
+
+logger = logging.getLogger("repro.autotune.sweep")
 
 
 def default_tolerances(lo_exp: int = -10, hi_exp: int = 0) -> List[float]:
@@ -80,6 +93,15 @@ class SweepResult:
         return [math.log2(e) for e in self.tolerances]
 
 
+def _describe_point(space_name: str, res: TuningResult) -> str:
+    """One parseable key=value summary line per grid point."""
+    return (f"sweep_point space={space_name} policy={res.policy} "
+            f"eps=2^{math.log2(res.eps):+.0f} "
+            f"search_time={res.search_time:.6f} "
+            f"speedup={res.search_speedup:.3f} "
+            f"log2_err={res.mean_log2_exec_error:+.2f}")
+
+
 def tolerance_sweep(
     space: ConfigSpace,
     machine: Optional[Machine] = None,
@@ -89,11 +111,30 @@ def tolerance_sweep(
     full_reps: int = 3,
     seed: int = 0,
     progress: bool = False,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    runner: Optional[Runner] = None,
 ) -> SweepResult:
-    """Run the full (policy x tolerance) grid for one space."""
+    """Run the full (policy x tolerance) grid for one space.
+
+    ``jobs``/``cache_dir`` build a default runner (parallel executor and
+    content-addressed result cache); pass ``runner`` to share one across
+    sweeps.  ``progress`` emits per-job and per-point ``key=value``
+    lines through :mod:`logging` (loggers ``repro.runner`` and
+    ``repro.autotune.sweep``) instead of printing.
+    """
     machine = machine or default_machine(space, seed)
     tolerances = list(tolerances if tolerances is not None else default_tolerances())
-    ground = measure_ground_truth(space, machine, full_reps, seed)
+    if runner is not None and (jobs is not None or cache_dir is not None):
+        raise ValueError(
+            "pass either a runner or jobs/cache_dir, not both: an explicit "
+            "runner already fixes the executor and cache"
+        )
+    if runner is None:
+        runner = make_runner(jobs=jobs, cache_dir=cache_dir,
+                             progress=logging_progress() if progress else None)
+    ground = measure_ground_truth(space, machine, full_reps, seed,
+                                  runner=runner)
     sweep = SweepResult(
         space_name=space.name,
         policies=list(policies),
@@ -101,18 +142,20 @@ def tolerance_sweep(
         reps=reps,
         ground=ground,
     )
-    for policy in policies:
-        for eps in tolerances:
-            tuner = ExhaustiveTuner(
-                space, machine, policy=policy, eps=eps, reps=reps,
-                full_reps=full_reps, seed=seed, ground_truth=ground,
-            )
-            sweep.points[(policy, eps)] = tuner.run()
-            if progress:
-                r = sweep.points[(policy, eps)]
-                print(
-                    f"  {space.name} {policy:12s} eps=2^{math.log2(eps):+.0f} "
-                    f"search={r.search_time:.4f}s speedup={r.search_speedup:.2f}x "
-                    f"err=2^{r.mean_log2_exec_error:+.1f}"
-                )
+    # one flat batch for the whole grid: the runner interleaves every
+    # (policy, eps) point's jobs across the worker pool
+    grid: List[Tuple[str, float]] = [(p, e) for p in policies for e in tolerances]
+    spans: List[Tuple[int, int]] = []
+    requests = []
+    for policy, eps in grid:
+        reqs = tuning_requests(space, machine, policy, eps, reps, seed=seed)
+        spans.append((len(requests), len(requests) + len(reqs)))
+        requests.extend(reqs)
+    results = runner.run(requests)
+    for (policy, eps), (lo, hi) in zip(grid, spans):
+        res = assemble_tuning_result(space, policy, eps, reps,
+                                     results[lo:hi], ground)
+        sweep.points[(policy, eps)] = res
+        if progress:
+            logger.info("%s", _describe_point(space.name, res))
     return sweep

@@ -20,6 +20,14 @@ For every configuration in a space the tuner performs:
 Statistics reset between configurations for every policy except eager
 propagation, which deliberately reuses kernel models across
 configurations (Section VI.B).
+
+The tuner does not run simulations inline: it *describes* the protocol
+as :class:`~repro.runner.RunRequest` jobs and submits them through a
+:class:`~repro.runner.Runner`, which adds result caching and parallel
+execution.  Policies that reset statistics between configurations fan
+out one job per configuration; eager propagation is a single
+sequential whole-space job (its cross-configuration statistics make
+per-configuration jobs meaningless).
 """
 
 from __future__ import annotations
@@ -34,15 +42,27 @@ from repro.autotune.metrics import (
     selection_quality,
     speedup,
 )
-from repro.critter.core import Critter
 from repro.critter.pathset import PathMetrics
 from repro.critter.policies import make_policy
-from repro.sim.engine import Simulator
+from repro.runner import (
+    GROUND_TRUTH,
+    TUNE_CONFIG,
+    TUNE_PASS,
+    ConfigResult,
+    Runner,
+    RunRequest,
+    RunResult,
+    seed_for,
+)
 from repro.sim.machine import Machine
-from repro.sim.noise import NoiseModel
 
 __all__ = ["GroundTruth", "ConfigOutcome", "TuningResult", "ExhaustiveTuner",
-           "measure_ground_truth", "default_machine"]
+           "measure_ground_truth", "default_machine",
+           "ground_truth_requests", "tuning_requests",
+           "ground_truth_from_results", "assemble_tuning_result"]
+
+#: retained name — the seeding discipline now lives with the job layer
+_seed_for = seed_for
 
 
 def default_machine(space: ConfigSpace, seed: int = 0) -> Machine:
@@ -166,8 +186,91 @@ class TuningResult:
         )
 
 
-def _full_critter(space: ConfigSpace) -> Critter:
-    return Critter(policy="never-skip", exclude=space.exclude)
+# ----------------------------------------------------------------------
+# request builders (drivers describe work; the runner schedules it)
+# ----------------------------------------------------------------------
+def ground_truth_requests(
+    space: ConfigSpace,
+    machine: Machine,
+    full_reps: int = 3,
+    seed: int = 0,
+) -> List[RunRequest]:
+    """One independent full-execution job per configuration."""
+    return [
+        RunRequest(kind=GROUND_TRUTH, space=space, machine=machine,
+                   seed=seed, reps=full_reps, config_index=idx)
+        for idx in range(len(space.configs))
+    ]
+
+
+def tuning_requests(
+    space: ConfigSpace,
+    machine: Machine,
+    policy: str,
+    eps: float,
+    reps: int,
+    confidence: float = 0.95,
+    min_samples: int = 2,
+    seed: int = 0,
+) -> List[RunRequest]:
+    """The selective-execution jobs of one (policy, eps) tuning pass.
+
+    Policies that reset statistics between configurations produce one
+    independent job per configuration; eager propagation produces a
+    single sequential whole-space job.
+    """
+    pol = make_policy(policy)
+    common = dict(space=space, machine=machine, seed=seed, reps=reps,
+                  policy=pol.name, eps=float(eps), confidence=confidence,
+                  min_samples=min_samples, offline=pol.needs_offline_counts)
+    if pol.resets_between_configs:
+        return [RunRequest(kind=TUNE_CONFIG, config_index=idx, **common)
+                for idx in range(len(space.configs))]
+    return [RunRequest(kind=TUNE_PASS, **common)]
+
+
+def ground_truth_from_results(results: Sequence[RunResult]) -> List[GroundTruth]:
+    """Convert ground-truth job results back into driver-level objects."""
+    outs = sorted((o for res in results for o in res.outputs),
+                  key=lambda o: o.index)
+    return [
+        GroundTruth(times=o.times, path=o.path,
+                    max_rank_comp_time=o.max_rank_comp_time,
+                    max_rank_kernel_time=o.max_rank_kernel_time)
+        for o in outs
+    ]
+
+
+def assemble_tuning_result(
+    space: ConfigSpace,
+    policy: str,
+    eps: float,
+    reps: int,
+    results: Sequence[RunResult],
+    ground: Sequence[GroundTruth],
+) -> TuningResult:
+    """Join selective-job outputs with ground truth into a TuningResult."""
+    result = TuningResult(space_name=space.name, policy=policy,
+                          eps=float(eps), reps=int(reps))
+    flat: List[ConfigResult] = sorted(
+        (o for res in results for o in res.outputs), key=lambda o: o.index)
+    for cr in flat:
+        truth = ground[cr.index]
+        outcome = ConfigOutcome(
+            index=cr.index,
+            label=space.configs[cr.index].label(),
+            full_time=truth.mean_time,
+            full_path=truth.path,
+            tuning_time=cr.tuning_time,
+            offline_time=cr.offline_time,
+            predicted=cr.predicted,
+            max_rank_kernel_time=cr.kernel_time,
+            max_rank_comp_time=cr.comp_time,
+            skip_fraction=cr.skip_fraction,
+        )
+        outcome.finalize()
+        result.outcomes.append(outcome)
+    return result
 
 
 def measure_ground_truth(
@@ -175,32 +278,13 @@ def measure_ground_truth(
     machine: Optional[Machine] = None,
     full_reps: int = 3,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> List[GroundTruth]:
     """Full executions of every configuration (shared across sweeps)."""
     machine = machine or default_machine(space, seed)
-    truths: List[GroundTruth] = []
-    for idx, config in enumerate(space.configs):
-        cr = _full_critter(space)
-        times = []
-        for rep in range(full_reps):
-            sim = Simulator(machine, profiler=cr)
-            res = sim.run(space.program, args=space.args_for(config),
-                          run_seed=_seed_for(seed, idx, rep, full=True))
-            times.append(res.makespan)
-        rep0 = cr.last_report
-        truths.append(GroundTruth(
-            times=times,
-            path=rep0.predicted,
-            max_rank_comp_time=rep0.max_rank_comp_time,
-            max_rank_kernel_time=rep0.max_rank_kernel_time,
-        ))
-    return truths
-
-
-def _seed_for(base: int, idx: int, rep: int, full: bool = False,
-              offline: bool = False) -> int:
-    kind = 2 if offline else (1 if full else 0)
-    return ((base * 1009 + idx) * 64 + rep) * 4 + kind
+    runner = runner if runner is not None else Runner()
+    results = runner.run(ground_truth_requests(space, machine, full_reps, seed))
+    return ground_truth_from_results(results)
 
 
 class ExhaustiveTuner:
@@ -218,6 +302,7 @@ class ExhaustiveTuner:
         min_samples: int = 2,
         seed: int = 0,
         ground_truth: Optional[List[GroundTruth]] = None,
+        runner: Optional[Runner] = None,
     ) -> None:
         self.space = space
         self.machine = machine or default_machine(space, seed)
@@ -228,62 +313,24 @@ class ExhaustiveTuner:
         self.confidence = confidence
         self.min_samples = min_samples
         self.seed = seed
+        self.runner = runner
         self._ground = ground_truth
 
     # ------------------------------------------------------------------
     def run(self) -> TuningResult:
-        space = self.space
+        runner = self.runner if self.runner is not None else Runner()
         if self._ground is None:
             self._ground = measure_ground_truth(
-                space, self.machine, self.full_reps, self.seed
+                self.space, self.machine, self.full_reps, self.seed,
+                runner=runner,
             )
-        critter = Critter(
-            policy=self.policy,
-            eps=self.eps,
-            confidence=self.confidence,
-            min_samples=self.min_samples,
-            exclude=space.exclude,
+        requests = tuning_requests(
+            self.space, self.machine, self.policy.name, self.eps, self.reps,
+            confidence=self.confidence, min_samples=self.min_samples,
+            seed=self.seed,
         )
-        result = TuningResult(
-            space_name=space.name, policy=self.policy.name,
-            eps=self.eps, reps=self.reps,
+        results = runner.run(requests)
+        return assemble_tuning_result(
+            self.space, self.policy.name, self.eps, self.reps,
+            results, self._ground,
         )
-        for idx, config in enumerate(space.configs):
-            if self.policy.resets_between_configs:
-                critter.reset_statistics()
-            offline_time = 0.0
-            if self.policy.needs_offline_counts:
-                pre = _full_critter(space)
-                res = Simulator(self.machine, profiler=pre).run(
-                    space.program, args=space.args_for(config),
-                    run_seed=_seed_for(self.seed, idx, 0, offline=True),
-                )
-                offline_time = res.makespan
-                critter.seed_path_counts(pre.last_path_counts)
-            tuning_time = offline_time
-            kernel_time = 0.0
-            comp_time = 0.0
-            for rep in range(self.reps):
-                res = Simulator(self.machine, profiler=critter).run(
-                    space.program, args=space.args_for(config),
-                    run_seed=_seed_for(self.seed, idx, rep),
-                )
-                tuning_time += res.makespan
-                kernel_time += critter.last_report.max_rank_kernel_time
-                comp_time += critter.last_report.max_rank_comp_time
-            truth = self._ground[idx]
-            outcome = ConfigOutcome(
-                index=idx,
-                label=config.label(),
-                full_time=truth.mean_time,
-                full_path=truth.path,
-                tuning_time=tuning_time,
-                offline_time=offline_time,
-                predicted=critter.last_report.predicted,
-                max_rank_kernel_time=kernel_time,
-                max_rank_comp_time=comp_time,
-                skip_fraction=critter.last_report.skip_fraction,
-            )
-            outcome.finalize()
-            result.outcomes.append(outcome)
-        return result

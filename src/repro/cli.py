@@ -10,11 +10,18 @@ Examples::
 
 Tolerance exponents follow the paper's axis: ``--eps -4`` means
 ``eps = 2^-4``.
+
+Experiment commands accept ``--jobs N`` (parallel job execution over N
+worker processes) and ``--cache-dir PATH`` (content-addressed result
+reuse across invocations); ``--progress`` streams parseable per-job
+``key=value`` log lines to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import logging
 import math
 import sys
 from typing import List, Optional
@@ -29,9 +36,47 @@ from repro.autotune import (
 )
 from repro.critter import Critter, format_kernel_profile
 from repro.critter.policies import POLICY_NAMES
+from repro.runner import logging_progress, make_runner
 from repro.sim import Simulator
 
 __all__ = ["main", "build_parser"]
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _add_runner_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
+                   help="run simulations on N worker processes, 0 = all "
+                        "cores (results are identical to serial execution)")
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="content-addressed result cache; re-runs reuse "
+                        "every measurement already taken")
+    p.add_argument("--progress", action="store_true",
+                   help="log per-job progress (key=value lines) to stderr")
+    p.add_argument("--max-configs", type=int, default=None, metavar="K",
+                   help="truncate the space to its first K configurations "
+                        "(smoke runs)")
+
+
+def _make_runner(args: argparse.Namespace):
+    if args.progress:
+        logging.basicConfig(level=logging.INFO, stream=sys.stderr,
+                            format="%(name)s %(message)s")
+    return make_runner(jobs=args.jobs, cache_dir=args.cache_dir,
+                       progress=logging_progress() if args.progress else None)
+
+
+def _load_space(args: argparse.Namespace):
+    space = SPACES[args.space]()
+    k = getattr(args, "max_configs", None)
+    if k is not None and 0 < k < len(space.configs):
+        space = dataclasses.replace(space, configs=space.configs[:k])
+    return space
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--reps", type=int, default=3)
     t.add_argument("--full-reps", type=int, default=3)
     t.add_argument("--seed", type=int, default=0)
+    _add_runner_options(t)
 
     s = sub.add_parser("sweep", help="tolerance sweep over one space")
     s.add_argument("space", choices=sorted(SPACES))
@@ -67,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TuningResult metric to report")
     s.add_argument("--chart", action="store_true",
                    help="also render an ASCII chart")
+    _add_runner_options(s)
 
     f = sub.add_parser("profile", help="full critical-path profile of one config")
     f.add_argument("space", choices=sorted(SPACES))
@@ -87,14 +134,14 @@ def _cmd_spaces() -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    space = SPACES[args.space]()
+    space = _load_space(args)
     machine = default_machine(space, seed=args.seed)
     eps = 2.0**args.eps
     print(f"tuning {space.description}: policy={args.policy}, eps=2^{args.eps}, "
           f"reps={args.reps}")
     result = ExhaustiveTuner(
         space, machine, policy=args.policy, eps=eps, reps=args.reps,
-        full_reps=args.full_reps, seed=args.seed,
+        full_reps=args.full_reps, seed=args.seed, runner=_make_runner(args),
     ).run()
     rows = [
         [o.index, o.label, o.full_time, o.predicted.exec_time,
@@ -114,13 +161,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    space = SPACES[args.space]()
+    space = _load_space(args)
     machine = default_machine(space, seed=args.seed)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     tolerances = [2.0**int(e) for e in args.exponents.split(",")]
     sweep = tolerance_sweep(space, machine, policies=policies,
                             tolerances=tolerances, reps=args.reps,
-                            full_reps=args.full_reps, seed=args.seed)
+                            full_reps=args.full_reps, seed=args.seed,
+                            progress=args.progress, runner=_make_runner(args))
     headers = ["policy"] + [f"2^{int(math.log2(e))}" for e in tolerances]
     rows = [[p] + sweep.series(p, args.metric) for p in policies]
     ref = sweep.full_search_time if args.metric == "search_time" else None

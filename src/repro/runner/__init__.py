@@ -1,0 +1,59 @@
+"""Experiment runner: jobs, executors, caching, and progress reporting.
+
+The experiment drivers (:mod:`repro.autotune.tuner`,
+:mod:`repro.autotune.sweep`, :mod:`repro.autotune.search`) describe
+their measurements as :class:`RunRequest` batches and submit them to a
+:class:`Runner`, which layers a content-addressed disk cache and a
+serial or process-pool executor underneath.  Results are bit-identical
+across executors; see :mod:`repro.runner.jobs` for why.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.executors import (
+    ParallelExecutor,
+    Runner,
+    SerialExecutor,
+    make_runner,
+)
+from repro.runner.jobs import (
+    GROUND_TRUTH,
+    TUNE_CONFIG,
+    TUNE_PASS,
+    ConfigResult,
+    GroundTruthResult,
+    RunRequest,
+    RunResult,
+    execute_request,
+    request_fingerprint,
+    request_key,
+    seed_for,
+)
+from repro.runner.progress import (
+    LOGGER_NAME,
+    ProgressCallback,
+    RunEvent,
+    logging_progress,
+)
+
+__all__ = [
+    "GROUND_TRUTH",
+    "TUNE_CONFIG",
+    "TUNE_PASS",
+    "RunRequest",
+    "RunResult",
+    "GroundTruthResult",
+    "ConfigResult",
+    "seed_for",
+    "execute_request",
+    "request_fingerprint",
+    "request_key",
+    "ResultCache",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "Runner",
+    "make_runner",
+    "RunEvent",
+    "ProgressCallback",
+    "logging_progress",
+    "LOGGER_NAME",
+]

@@ -1,0 +1,100 @@
+"""Content-addressed disk cache for job results.
+
+Every :class:`~repro.runner.jobs.RunRequest` hashes to a key derived
+from everything its result depends on — configuration space structure,
+machine and noise parameters, policy, tolerance, repetitions, and seed
+(see :func:`~repro.runner.jobs.request_fingerprint`).  Results are
+stored one JSON file per key, so
+
+* re-running a sweep reuses every ground-truth and selective
+  measurement at zero cost (measurement reuse across tuning
+  experiments, in the spirit of transfer-learning autotuners),
+* any change to the machine, space, or protocol changes the key and
+  transparently invalidates the entry,
+* the cache is safe to share between concurrent processes: writes are
+  atomic (temp file + rename) and entries are immutable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.runner.jobs import RunResult, result_from_dict, result_to_dict
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """One-file-per-result JSON store keyed by request content hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Return the cached result for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                payload = json.load(f)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(payload["result"])
+        except (KeyError, ValueError, TypeError):
+            # unreadable or stale-format entry: treat as a miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult,
+            fingerprint: Optional[dict] = None) -> None:
+        """Store a result atomically; the fingerprint aids debugging."""
+        payload = {"key": key, "result": result_to_dict(result)}
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({self.directory!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")

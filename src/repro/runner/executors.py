@@ -1,0 +1,157 @@
+"""Executors and the Runner facade.
+
+Drivers *describe* their measurements as :class:`RunRequest` batches
+and submit them here; the runner consults the cache, schedules the
+misses on an executor, stores fresh results, and reports progress.
+Because jobs are self-contained and deterministically seeded, the
+executor choice changes wall-clock time only — never results.
+
+* :class:`SerialExecutor`   — in-process, one job at a time.
+* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` fan-out; the
+  grid experiments behind Figs. 4-5 are embarrassingly parallel, so
+  this saturates every core where the old inline loops used one.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import (
+    RunRequest,
+    RunResult,
+    execute_request,
+    request_fingerprint,
+    request_key,
+)
+from repro.runner.progress import ProgressCallback, RunEvent
+
+__all__ = ["SerialExecutor", "ParallelExecutor", "Runner", "make_runner"]
+
+
+class SerialExecutor:
+    """Run jobs one after another in the calling process."""
+
+    jobs = 1
+
+    def map(self, requests: Sequence[RunRequest]) -> Iterator[RunResult]:
+        for req in requests:
+            yield execute_request(req)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan jobs out over a pool of worker processes.
+
+    Results stream back in submission order.  Per-job deterministic
+    seeding (see :func:`repro.runner.jobs.seed_for`) makes the output
+    bit-identical to :class:`SerialExecutor` for any worker count.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    def map(self, requests: Sequence[RunRequest]) -> Iterator[RunResult]:
+        requests = list(requests)
+        workers = min(self.jobs, len(requests))
+        if workers <= 1:
+            yield from SerialExecutor().map(requests)
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            yield from pool.map(execute_request, requests)
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+class Runner:
+    """Cache-aware job scheduler: the one entry point drivers submit to."""
+
+    def __init__(
+        self,
+        executor: Optional[Union[SerialExecutor, ParallelExecutor]] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.progress = progress
+        #: cumulative per-kind counters: ``executed:<kind>`` / ``cached:<kind>``
+        self.stats: Dict[str, int] = {}
+        self._done = 0  # completion counter within the current batch
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        return getattr(self.executor, "jobs", 1)
+
+    def _count(self, bucket: str, kind: str) -> None:
+        key = f"{bucket}:{kind}"
+        self.stats[key] = self.stats.get(key, 0) + 1
+
+    def _emit(self, total: int, req: RunRequest, cached: bool) -> None:
+        # events carry a completion counter, not the request's batch
+        # position: on a partially warm cache the hits stream first, and
+        # a tailing reader still sees job=1/N .. job=N/N in order
+        if self.progress is not None:
+            self.progress(RunEvent(index=self._done, total=total,
+                                   request=req, cached=cached))
+        self._done += 1
+
+    def executed(self, kind: Optional[str] = None) -> int:
+        """Number of jobs actually simulated (optionally one kind)."""
+        prefix = "executed:" + (kind if kind else "")
+        return sum(v for k, v in self.stats.items() if k.startswith(prefix))
+
+    def cache_hits(self, kind: Optional[str] = None) -> int:
+        prefix = "cached:" + (kind if kind else "")
+        return sum(v for k, v in self.stats.items() if k.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Iterable[RunRequest]) -> List[RunResult]:
+        """Execute a batch; results align index-for-index with requests."""
+        requests = list(requests)
+        total = len(requests)
+        self._done = 0
+        results: List[Optional[RunResult]] = [None] * total
+        pending: List[tuple[int, str]] = []
+        for i, req in enumerate(requests):
+            key = request_key(req) if self.cache is not None else ""
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                hit.cached = True
+                results[i] = hit
+                self._count("cached", req.kind)
+                self._emit(total, req, cached=True)
+            else:
+                pending.append((i, key))
+        to_run = [requests[i] for i, _ in pending]
+        for (i, key), res in zip(pending, self.executor.map(to_run)):
+            if self.cache is not None:
+                self.cache.put(key, res,
+                               fingerprint=request_fingerprint(requests[i]))
+            results[i] = res
+            self._count("executed", requests[i].kind)
+            self._emit(total, requests[i], cached=False)
+        return results  # type: ignore[return-value]
+
+
+def make_runner(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> Runner:
+    """Build a runner from the CLI-level knobs (``--jobs``/``--cache-dir``)."""
+    executor: Union[SerialExecutor, ParallelExecutor]
+    if jobs is not None and jobs != 1:
+        executor = ParallelExecutor(jobs=jobs)
+    else:
+        executor = SerialExecutor()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return Runner(executor=executor, cache=cache, progress=progress)

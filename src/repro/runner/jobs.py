@@ -1,0 +1,355 @@
+"""Job abstraction: self-contained units of simulated experiment work.
+
+A :class:`RunRequest` *describes* a measurement instead of performing
+it: which configuration space, which configuration, which machine and
+noise process, which selective-execution policy, how many repetitions,
+and the deterministic base seed.  :func:`execute_request` turns a
+request into a :class:`RunResult` — and is a module-level function so
+requests can be shipped to worker processes by a process-pool executor.
+
+Three job kinds exist:
+
+* ``ground-truth``  — ``reps`` full (never-skip) executions of one
+  configuration; the reference measurements of Section VI.
+* ``tune-config``   — the selective-execution protocol for one
+  configuration: an optional apriori offline pass followed by ``reps``
+  runs under the requested policy, statistics accumulating across the
+  repetitions *inside the job*.  Valid for every policy that resets
+  statistics between configurations, which makes each configuration an
+  independent, order-free unit of work.
+* ``tune-pass``     — the whole configuration list measured sequentially
+  with one shared profiler.  Required by eager propagation, whose whole
+  point is reusing kernel models *across* configurations (Section VI.B);
+  parallelizing over configurations would change its results.
+
+Because every job owns its statistics and every simulator run draws
+from an RNG stream keyed only on ``(seed, config, rep, role)``, results
+are bit-identical no matter which executor schedules the jobs — the
+property the runner's tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.critter.core import Critter
+from repro.critter.pathset import PathMetrics
+from repro.critter.policies import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.noise import NoiseModel
+
+__all__ = [
+    "GROUND_TRUTH",
+    "TUNE_CONFIG",
+    "TUNE_PASS",
+    "RunRequest",
+    "RunResult",
+    "GroundTruthResult",
+    "ConfigResult",
+    "seed_for",
+    "execute_request",
+    "request_fingerprint",
+    "request_key",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+GROUND_TRUTH = "ground-truth"
+TUNE_CONFIG = "tune-config"
+TUNE_PASS = "tune-pass"
+
+
+def seed_for(base: int, idx: int, rep: int, full: bool = False,
+             offline: bool = False) -> int:
+    """Disjoint RNG streams per (config, repetition, role).
+
+    Full, selective, and offline runs of any (config, rep) never share a
+    stream — shared streams would correlate the "independent"
+    measurements the statistics assume.
+    """
+    kind = 2 if offline else (1 if full else 0)
+    return ((base * 1009 + idx) * 64 + rep) * 4 + kind
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class RunRequest:
+    """Description of one independent simulated experiment job."""
+
+    kind: str
+    #: duck-typed configuration space (see repro.autotune.configspace)
+    space: Any
+    machine: Machine
+    seed: int = 0
+    #: repetitions: full runs for ground truth, selective runs otherwise
+    reps: int = 3
+    #: configuration index; ``None`` only for whole-space ``tune-pass`` jobs
+    config_index: Optional[int] = None
+    policy: str = "never-skip"
+    eps: float = 0.0
+    confidence: float = 0.95
+    min_samples: int = 2
+    #: shifts selective rep seeds (multi-round search strategies)
+    rep_offset: int = 0
+    #: perform the apriori offline counting pass before the selective reps
+    offline: bool = False
+    #: timing-noise override; ``None`` uses the machine's default process
+    noise: Optional[NoiseModel] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (GROUND_TRUTH, TUNE_CONFIG, TUNE_PASS):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind != TUNE_PASS and self.config_index is None:
+            raise ValueError(f"{self.kind} jobs require a config_index")
+
+    def describe(self) -> str:
+        cfg = "*" if self.config_index is None else self.config_index
+        return (f"kind={self.kind} space={self.space.name} config={cfg} "
+                f"policy={self.policy} eps={self.eps:g} reps={self.reps}")
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class GroundTruthResult:
+    """Full-execution reference measurements for one configuration."""
+
+    index: int
+    times: List[float]
+    path: PathMetrics
+    max_rank_comp_time: float
+    max_rank_kernel_time: float
+
+
+@dataclass(slots=True)
+class ConfigResult:
+    """Selective-execution measurements for one configuration."""
+
+    index: int
+    tuning_time: float
+    offline_time: float
+    predicted: PathMetrics
+    kernel_time: float
+    comp_time: float
+    skip_fraction: float
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one job: a list of per-configuration measurements."""
+
+    kind: str
+    outputs: List[Any] = field(default_factory=list)
+    #: set by the runner when the result came from the disk cache
+    cached: bool = False
+
+
+# ----------------------------------------------------------------------
+# execution (runs in worker processes)
+# ----------------------------------------------------------------------
+def _full_critter(space) -> Critter:
+    return Critter(policy="never-skip", exclude=space.exclude)
+
+
+def _run_ground_truth(req: RunRequest) -> RunResult:
+    space, idx = req.space, req.config_index
+    cr = _full_critter(space)
+    times: List[float] = []
+    for rep in range(req.reps):
+        sim = Simulator(req.machine, noise=req.noise, profiler=cr)
+        res = sim.run(space.program, args=space.args_for(space.configs[idx]),
+                      run_seed=seed_for(req.seed, idx, rep, full=True))
+        times.append(res.makespan)
+    rep0 = cr.last_report
+    out = GroundTruthResult(
+        index=idx,
+        times=times,
+        path=rep0.predicted.copy(),
+        max_rank_comp_time=rep0.max_rank_comp_time,
+        max_rank_kernel_time=rep0.max_rank_kernel_time,
+    )
+    return RunResult(kind=req.kind, outputs=[out])
+
+
+def _run_tuning(req: RunRequest) -> RunResult:
+    space = req.space
+    policy = make_policy(req.policy)
+    indices: Sequence[int] = (
+        range(len(space.configs)) if req.kind == TUNE_PASS else [req.config_index]
+    )
+    critter = Critter(
+        policy=policy,
+        eps=req.eps,
+        confidence=req.confidence,
+        min_samples=req.min_samples,
+        exclude=space.exclude,
+    )
+    outputs: List[ConfigResult] = []
+    for idx in indices:
+        if policy.resets_between_configs:
+            critter.reset_statistics()
+        offline_time = 0.0
+        if req.offline and policy.needs_offline_counts:
+            pre = _full_critter(space)
+            res = Simulator(req.machine, noise=req.noise, profiler=pre).run(
+                space.program, args=space.args_for(space.configs[idx]),
+                run_seed=seed_for(req.seed, idx, 0, offline=True),
+            )
+            offline_time = res.makespan
+            critter.seed_path_counts(pre.last_path_counts)
+        tuning_time = offline_time
+        kernel_time = 0.0
+        comp_time = 0.0
+        for rep in range(req.reps):
+            res = Simulator(req.machine, noise=req.noise, profiler=critter).run(
+                space.program, args=space.args_for(space.configs[idx]),
+                run_seed=seed_for(req.seed, idx, req.rep_offset + rep),
+            )
+            tuning_time += res.makespan
+            kernel_time += critter.last_report.max_rank_kernel_time
+            comp_time += critter.last_report.max_rank_comp_time
+        outputs.append(ConfigResult(
+            index=idx,
+            tuning_time=tuning_time,
+            offline_time=offline_time,
+            predicted=critter.last_report.predicted.copy(),
+            kernel_time=kernel_time,
+            comp_time=comp_time,
+            skip_fraction=critter.last_report.skip_fraction,
+        ))
+    return RunResult(kind=req.kind, outputs=outputs)
+
+
+def execute_request(req: RunRequest) -> RunResult:
+    """Run one job to completion (the worker-side entry point)."""
+    if req.kind == GROUND_TRUTH:
+        return _run_ground_truth(req)
+    return _run_tuning(req)
+
+
+# ----------------------------------------------------------------------
+# content addressing
+# ----------------------------------------------------------------------
+def _space_fingerprint(space) -> Dict[str, Any]:
+    prog = space.program
+    return {
+        "name": space.name,
+        "nprocs": space.nprocs,
+        "program": f"{getattr(prog, '__module__', '?')}:"
+                   f"{getattr(prog, '__qualname__', repr(prog))}",
+        "exclude": sorted(space.exclude),
+        "configs": [repr(c) for c in space.configs],
+    }
+
+
+def _noise_fingerprint(req: RunRequest) -> Dict[str, float]:
+    n = req.noise if req.noise is not None else NoiseModel(
+        machine_seed=req.machine.seed)
+    return {
+        "bias_sigma": n.bias_sigma,
+        "comp_cv": n.comp_cv,
+        "comm_cv": n.comm_cv,
+        "run_cv": n.run_cv,
+        "machine_seed": n.machine_seed,
+    }
+
+
+def request_fingerprint(req: RunRequest) -> Dict[str, Any]:
+    """Everything a job's result depends on, as a JSON-able dict."""
+    m = req.machine
+    return {
+        "version": 1,
+        "kind": req.kind,
+        "space": _space_fingerprint(req.space),
+        "machine": {
+            "nprocs": m.nprocs, "alpha": m.alpha, "beta": m.beta,
+            "gamma": m.gamma, "intercept_alpha": m.intercept_alpha,
+            "skip_overhead": m.skip_overhead, "seed": m.seed,
+        },
+        "noise": _noise_fingerprint(req),
+        "config_index": req.config_index,
+        "policy": req.policy,
+        "eps": req.eps,
+        "confidence": req.confidence,
+        "min_samples": req.min_samples,
+        "reps": req.reps,
+        "rep_offset": req.rep_offset,
+        "offline": req.offline,
+        "seed": req.seed,
+    }
+
+
+def request_key(req: RunRequest) -> str:
+    """Content address: SHA-256 over the canonical fingerprint JSON."""
+    blob = json.dumps(request_fingerprint(req), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# result (de)serialization for the disk cache
+# ----------------------------------------------------------------------
+def _path_to_list(p: PathMetrics) -> List[float]:
+    return [p.exec_time, p.comp_time, p.comm_time, p.synchs, p.words, p.flops]
+
+
+def _path_from_list(v: Sequence[float]) -> PathMetrics:
+    return PathMetrics(*[float(x) for x in v])
+
+
+def result_to_dict(res: RunResult) -> Dict[str, Any]:
+    if res.kind == GROUND_TRUTH:
+        outputs = [
+            {"index": o.index, "times": o.times, "path": _path_to_list(o.path),
+             "max_rank_comp_time": o.max_rank_comp_time,
+             "max_rank_kernel_time": o.max_rank_kernel_time}
+            for o in res.outputs
+        ]
+    else:
+        outputs = [
+            {"index": o.index, "tuning_time": o.tuning_time,
+             "offline_time": o.offline_time,
+             "predicted": _path_to_list(o.predicted),
+             "kernel_time": o.kernel_time, "comp_time": o.comp_time,
+             "skip_fraction": o.skip_fraction}
+            for o in res.outputs
+        ]
+    return {"version": 1, "kind": res.kind, "outputs": outputs}
+
+
+def result_from_dict(d: Dict[str, Any]) -> RunResult:
+    if d.get("version") != 1:
+        raise ValueError(f"unsupported result version {d.get('version')!r}")
+    kind = d["kind"]
+    if kind == GROUND_TRUTH:
+        outputs: List[Any] = [
+            GroundTruthResult(
+                index=int(o["index"]),
+                times=[float(t) for t in o["times"]],
+                path=_path_from_list(o["path"]),
+                max_rank_comp_time=float(o["max_rank_comp_time"]),
+                max_rank_kernel_time=float(o["max_rank_kernel_time"]),
+            )
+            for o in d["outputs"]
+        ]
+    else:
+        outputs = [
+            ConfigResult(
+                index=int(o["index"]),
+                tuning_time=float(o["tuning_time"]),
+                offline_time=float(o["offline_time"]),
+                predicted=_path_from_list(o["predicted"]),
+                kernel_time=float(o["kernel_time"]),
+                comp_time=float(o["comp_time"]),
+                skip_fraction=float(o["skip_fraction"]),
+            )
+            for o in d["outputs"]
+        ]
+    return RunResult(kind=kind, outputs=outputs)

@@ -1,0 +1,49 @@
+"""Runner progress events and logging callbacks.
+
+The runner reports each job through a callback instead of printing, so
+drivers (CLI, benchmarks, notebooks) choose how progress is rendered.
+:func:`logging_progress` emits one parseable ``key=value`` line per job
+through the standard :mod:`logging` machinery — headless runs get logs
+that machines can grep and humans can read, and quiet runs simply leave
+the logger unconfigured.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.runner.jobs import RunRequest
+
+__all__ = ["RunEvent", "ProgressCallback", "logging_progress", "LOGGER_NAME"]
+
+LOGGER_NAME = "repro.runner"
+
+
+@dataclass(slots=True)
+class RunEvent:
+    """One completed (or cache-served) job."""
+
+    index: int          # 0-based position in the submitted batch
+    total: int          # batch size
+    request: RunRequest
+    cached: bool
+
+    def describe(self) -> str:
+        return (f"job={self.index + 1}/{self.total} {self.request.describe()} "
+                f"cached={'yes' if self.cached else 'no'}")
+
+
+ProgressCallback = Callable[[RunEvent], None]
+
+
+def logging_progress(logger: Optional[logging.Logger] = None,
+                     level: int = logging.INFO) -> ProgressCallback:
+    """A progress callback that logs one line per job."""
+    log = logger if logger is not None else logging.getLogger(LOGGER_NAME)
+
+    def callback(event: RunEvent) -> None:
+        log.log(level, "%s", event.describe())
+
+    return callback

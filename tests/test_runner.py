@@ -1,0 +1,247 @@
+"""Experiment runner: determinism, caching, and invalidation."""
+
+import dataclasses
+
+import pytest
+
+from repro.autotune import (
+    ExhaustiveTuner,
+    capital_cholesky_space,
+    measure_ground_truth,
+    tolerance_sweep,
+)
+from repro.autotune.tuner import default_machine, ground_truth_requests
+from repro.runner import (
+    GROUND_TRUTH,
+    TUNE_CONFIG,
+    ParallelExecutor,
+    ResultCache,
+    Runner,
+    RunRequest,
+    SerialExecutor,
+    execute_request,
+    make_runner,
+    request_key,
+)
+from repro.sim.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def space():
+    return capital_cholesky_space(n=64, c=2, b0=4, nconf=4)
+
+
+@pytest.fixture(scope="module")
+def machine(space):
+    return default_machine(space, seed=3)
+
+
+def tuning_numbers(result):
+    """Exact per-configuration values of one TuningResult."""
+    return [
+        (o.index, o.tuning_time, o.offline_time, o.predicted.exec_time,
+         o.predicted.comp_time, o.max_rank_kernel_time, o.skip_fraction)
+        for o in result.outcomes
+    ]
+
+
+def sweep_numbers(sweep):
+    return {
+        point: tuning_numbers(res) for point, res in sorted(sweep.points.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+class TestRequests:
+    def test_rejects_unknown_kind(self, space, machine):
+        with pytest.raises(ValueError):
+            RunRequest(kind="nonsense", space=space, machine=machine)
+
+    def test_requires_config_index(self, space, machine):
+        with pytest.raises(ValueError):
+            RunRequest(kind=GROUND_TRUTH, space=space, machine=machine)
+
+    def test_key_is_deterministic(self, space, machine):
+        a = RunRequest(kind=GROUND_TRUTH, space=space, machine=machine,
+                       config_index=0)
+        b = RunRequest(kind=GROUND_TRUTH, space=space, machine=machine,
+                       config_index=0)
+        assert request_key(a) == request_key(b)
+
+    def test_key_separates_roles(self, space, machine):
+        gt = RunRequest(kind=GROUND_TRUTH, space=space, machine=machine,
+                        config_index=0)
+        tc = RunRequest(kind=TUNE_CONFIG, space=space, machine=machine,
+                        config_index=0, policy="online", eps=0.25)
+        assert request_key(gt) != request_key(tc)
+
+    def test_execute_is_pure(self, space, machine):
+        req = RunRequest(kind=TUNE_CONFIG, space=space, machine=machine,
+                         config_index=1, policy="online", eps=0.25, reps=2)
+        a, b = execute_request(req), execute_request(req)
+        assert a.outputs[0].tuning_time == b.outputs[0].tuning_time
+        assert a.outputs[0].predicted.exec_time == b.outputs[0].predicted.exec_time
+
+
+# ----------------------------------------------------------------------
+# serial-vs-parallel determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    POLICIES = ("conditional", "online", "apriori", "eager")
+
+    def test_tuner_identical_across_executors(self, space, machine):
+        ground = measure_ground_truth(space, machine, full_reps=2, seed=0)
+        for policy in self.POLICIES:
+            serial = ExhaustiveTuner(
+                space, machine, policy=policy, eps=0.25, reps=2,
+                ground_truth=ground, seed=0,
+                runner=Runner(executor=SerialExecutor()),
+            ).run()
+            parallel = ExhaustiveTuner(
+                space, machine, policy=policy, eps=0.25, reps=2,
+                ground_truth=ground, seed=0,
+                runner=Runner(executor=ParallelExecutor(jobs=3)),
+            ).run()
+            assert tuning_numbers(serial) == tuning_numbers(parallel), policy
+
+    def test_sweep_identical_across_job_counts(self, space, machine):
+        kw = dict(policies=("conditional", "eager"), tolerances=[1.0, 2**-4],
+                  reps=2, full_reps=2, seed=0)
+        serial = tolerance_sweep(space, machine, **kw)
+        parallel = tolerance_sweep(space, machine, jobs=3, **kw)
+        assert sweep_numbers(serial) == sweep_numbers(parallel)
+        assert [g.times for g in serial.ground] == [g.times for g in parallel.ground]
+
+    def test_ground_truth_order_independent(self, space, machine):
+        reqs = ground_truth_requests(space, machine, full_reps=2, seed=0)
+        forward = Runner().run(reqs)
+        backward = Runner().run(list(reversed(reqs)))
+        fwd = {r.outputs[0].index: r.outputs[0].times for r in forward}
+        bwd = {r.outputs[0].index: r.outputs[0].times for r in backward}
+        assert fwd == bwd
+
+
+# ----------------------------------------------------------------------
+# caching
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_hit_returns_identical_result(self, space, machine, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = Runner(cache=cache)
+        req = RunRequest(kind=GROUND_TRUTH, space=space, machine=machine,
+                         config_index=0, reps=2)
+        cold = runner.run([req])[0]
+        warm = runner.run([req])[0]
+        assert not cold.cached and warm.cached
+        assert warm.outputs[0].times == cold.outputs[0].times
+        assert warm.outputs[0].path.exec_time == cold.outputs[0].path.exec_time
+        assert cache.stores == 1 and cache.hits == 1
+
+    def test_warm_sweep_runs_zero_simulations(self, space, machine, tmp_path):
+        kw = dict(policies=("conditional", "online"), tolerances=[1.0, 2**-4],
+                  reps=2, full_reps=2, seed=0)
+        cold_runner = make_runner(cache_dir=str(tmp_path))
+        cold = tolerance_sweep(space, machine, runner=cold_runner, **kw)
+        assert cold_runner.executed() > 0
+
+        warm_runner = make_runner(jobs=2, cache_dir=str(tmp_path))
+        warm = tolerance_sweep(space, machine, runner=warm_runner, **kw)
+        # the acceptance bar: a repeated sweep with a warm cache performs
+        # zero new simulations — ground-truth or selective
+        assert warm_runner.executed(GROUND_TRUTH) == 0
+        assert warm_runner.executed() == 0
+        assert sweep_numbers(warm) == sweep_numbers(cold)
+
+    def test_partial_overlap_reuses_ground_truth(self, space, machine, tmp_path):
+        first = make_runner(cache_dir=str(tmp_path))
+        tolerance_sweep(space, machine, policies=("conditional",),
+                        tolerances=[1.0], reps=2, full_reps=2, seed=0,
+                        runner=first)
+        # a different (policy, eps) grid over the same space shares truth
+        second = make_runner(cache_dir=str(tmp_path))
+        tolerance_sweep(space, machine, policies=("online",),
+                        tolerances=[2**-4], reps=2, full_reps=2, seed=0,
+                        runner=second)
+        assert second.executed(GROUND_TRUTH) == 0
+        assert second.executed(TUNE_CONFIG) > 0
+
+    def test_machine_change_invalidates(self, space, machine, tmp_path):
+        runner = make_runner(cache_dir=str(tmp_path))
+        measure_ground_truth(space, machine, full_reps=2, seed=0, runner=runner)
+        baseline = runner.executed(GROUND_TRUTH)
+        assert baseline == len(space)
+
+        other = dataclasses.replace(machine, seed=machine.seed + 1)
+        measure_ground_truth(space, other, full_reps=2, seed=0, runner=runner)
+        assert runner.executed(GROUND_TRUTH) == 2 * baseline
+
+        slower = dataclasses.replace(machine, alpha=machine.alpha * 2)
+        measure_ground_truth(space, slower, full_reps=2, seed=0, runner=runner)
+        assert runner.executed(GROUND_TRUTH) == 3 * baseline
+
+    def test_space_change_invalidates(self, machine, tmp_path):
+        runner = make_runner(cache_dir=str(tmp_path))
+        a = capital_cholesky_space(n=64, c=2, b0=4, nconf=4)
+        measure_ground_truth(a, machine, full_reps=2, seed=0, runner=runner)
+        hits_before = runner.cache_hits(GROUND_TRUTH)
+        b = capital_cholesky_space(n=128, c=2, b0=4, nconf=4)
+        measure_ground_truth(b, machine, full_reps=2, seed=0, runner=runner)
+        assert runner.cache_hits(GROUND_TRUTH) == hits_before
+        assert runner.executed(GROUND_TRUTH) == 2 * len(a)
+
+    def test_corrupt_entry_is_a_miss(self, space, machine, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        req = RunRequest(kind=GROUND_TRUTH, space=space, machine=machine,
+                         config_index=0, reps=2)
+        key = request_key(req)
+        Runner(cache=cache).run([req])
+        path = tmp_path / f"{key}.json"
+        path.write_text("{ not json")
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
+
+
+# ----------------------------------------------------------------------
+# runner bookkeeping
+# ----------------------------------------------------------------------
+class TestRunner:
+    def test_results_align_with_requests(self, space, machine):
+        reqs = ground_truth_requests(space, machine, full_reps=1, seed=0)
+        results = Runner(executor=ParallelExecutor(jobs=2)).run(reqs)
+        assert [r.outputs[0].index for r in results] == list(range(len(space)))
+
+    def test_progress_events(self, space, machine):
+        events = []
+        runner = Runner(progress=events.append)
+        runner.run(ground_truth_requests(space, machine, full_reps=1, seed=0))
+        assert len(events) == len(space)
+        assert all(not e.cached for e in events)
+        assert events[0].total == len(space)
+        assert "kind=ground-truth" in events[0].describe()
+
+    def test_progress_monotonic_on_partially_warm_cache(
+        self, space, machine, tmp_path
+    ):
+        reqs = ground_truth_requests(space, machine, full_reps=1, seed=0)
+        warmup = make_runner(cache_dir=str(tmp_path))
+        warmup.run(reqs[:2])
+        events = []
+        runner = Runner(cache=warmup.cache, progress=events.append)
+        runner.run(reqs)
+        # cache hits stream first, fresh executions after — the counter
+        # must still read job=1/N .. job=N/N in emission order
+        assert [e.index for e in events] == list(range(len(reqs)))
+        assert [e.cached for e in events] == [True, True, False, False]
+
+    def test_make_runner_defaults_serial(self):
+        assert make_runner().jobs == 1
+        assert make_runner(jobs=3).jobs == 3
+
+    def test_sweep_rejects_runner_plus_jobs(self, space, machine):
+        with pytest.raises(ValueError):
+            tolerance_sweep(space, machine, policies=("online",),
+                            tolerances=[1.0], reps=1, full_reps=1,
+                            runner=Runner(), jobs=2)
