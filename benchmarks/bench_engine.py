@@ -1,0 +1,58 @@
+"""Engine-throughput bench: the perf trajectory of the simulator core.
+
+Unlike the figure benches (which reproduce the paper's experiments),
+this bench measures the *infrastructure*: discrete-event engine events
+per second under the naive heap-per-op scheduler vs the
+run-to-completion fast path, with and without Critter attached, plus
+the batched-compute op's wall-time win.  Results land in
+``BENCH_engine.json`` at the repository root so every PR has a recorded
+before/after.
+
+Run standalone::
+
+    REPRO_BENCH_PROFILE=smoke pytest benchmarks/bench_engine.py -s
+
+or via the CLI (identical machinery)::
+
+    python -m repro.cli bench-engine [--quick] [--check]
+"""
+
+from __future__ import annotations
+
+import os
+
+from bench_profiles import PROFILE
+from repro.sim.bench import ACCEPTANCE, format_bench, run_bench, write_bench
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
+
+
+def test_engine_fastpath_throughput(benchmark):
+    quick = PROFILE == "smoke"
+    data = run_bench(quick=quick)
+    print()
+    print(format_bench(data))
+    write_bench(data, BENCH_JSON)
+
+    # the fast path must never lose to the naive scheduler on the
+    # acceptance workload (compute-heavy Cholesky, the tuner's op mix)
+    acc = data["acceptance"]
+    assert acc["speedup"] >= 1.0, (
+        f"fast path slower than naive on {ACCEPTANCE}: {acc['speedup']:.2f}x"
+    )
+    # aggregate batching must beat expanded emission
+    assert data["batching_speedup"] > 1.0
+
+    # one representative timed point for pytest-benchmark's report
+    from repro.sim.bench import make_workloads
+    from repro.sim.engine import Simulator
+    from repro.sim.presets import make_machine
+
+    w = next(x for x in make_workloads(quick=True)
+             if x.name == "cholesky-compute")
+    machine, noise = make_machine("knl-fabric", w.nprocs, seed=3)
+
+    def run_once():
+        return Simulator(machine, noise=noise).run(w.program, run_seed=1)
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1)

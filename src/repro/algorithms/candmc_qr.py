@@ -105,8 +105,11 @@ def candmc_qr(comm: Comm, config: CandmcQRConfig,
                 yield grid.comm.compute(lapack.geqrf_spec(mloc, b))
             payload = [(rb, blocks[(rb, j)]) for rb in my_bands] if numeric else None
             gathered = yield grid.col.allgather(payload=payload, nbytes=8 * b * b)
-            for _ in range(max(1, math.ceil(math.log2(config.pr)))):
-                yield grid.comm.compute(lapack.tpqrt_spec(b, b))
+            # the depth-log2(pr) tpqrt reduction tree is a run of
+            # identical-signature kernels: one batched engine event
+            yield grid.comm.compute_batch(
+                lapack.tpqrt_spec(b, b), max(1, math.ceil(math.log2(config.pr)))
+            )
             # Householder reconstruction of Y1 from Q1 + T formation
             yield grid.comm.compute(lapack.getrf_spec(b, b))
             if mloc:

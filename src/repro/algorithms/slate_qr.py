@@ -104,19 +104,22 @@ def slate_qr(comm: Comm, config: SlateQRConfig,
         # ---- 1: geqrt on the diagonal tile, inner-blocked by w ----
         if me == kk_owner:
             nchunks = max(1, math.ceil(tnk / config.w))
-            for q in range(nchunks):
-                if numeric and q == nchunks - 1:
-                    def f_geqrt(t=tiles, k_=k, log=tlog, cache=vt_cache,
-                                tn=tnk):
-                        y, tmat, r = lapack.qr_factor(t[(k_, k_)])
-                        full = np.zeros_like(t[(k_, k_)])
-                        full[:tn, :] = r
-                        t[(k_, k_)] = full
-                        log.append(("geqrt", k_, -1, y, tmat))
-                        cache[(k_, k_)] = (y, tmat)
-                    yield comm.compute(_geqr2_spec(tmk, tnk, config.w), fn=f_geqrt)
-                else:
-                    yield comm.compute(_geqr2_spec(tmk, tnk, config.w))
+            if numeric:
+                def f_geqrt(t=tiles, k_=k, log=tlog, cache=vt_cache,
+                            tn=tnk):
+                    y, tmat, r = lapack.qr_factor(t[(k_, k_)])
+                    full = np.zeros_like(t[(k_, k_)])
+                    full[:tn, :] = r
+                    t[(k_, k_)] = full
+                    log.append(("geqrt", k_, -1, y, tmat))
+                    cache[(k_, k_)] = (y, tmat)
+            else:
+                f_geqrt = None
+            # the panel's geqr2 sub-kernels are one identical-signature
+            # batch; the numeric callback runs after the final sub-kernel
+            # (exactly where the per-op emission used to attach it)
+            yield comm.compute_batch(_geqr2_spec(tmk, tnk, config.w), nchunks,
+                                     fn=f_geqrt)
             dests = {tmap.owner(k, j) for j in range(k + 1, nt)} - {me}
             for d in sorted(dests):
                 yield comm.isend(payload=vt_cache.get((k, k)), dest=d,

@@ -120,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--config", type=int, default=0, help="configuration index")
     f.add_argument("--seed", type=int, default=0)
     f.add_argument("--top", type=int, default=12, help="kernels to list")
+
+    b = sub.add_parser(
+        "bench-engine",
+        help="measure engine throughput (fast path vs naive scheduler)",
+    )
+    b.add_argument("--quick", action="store_true",
+                   help="reduced workload sizes and repetitions (CI smoke)")
+    b.add_argument("--out", default="BENCH_engine.json", metavar="PATH",
+                   help="JSON output path ('' disables writing)")
+    b.add_argument("--check", action="store_true",
+                   help="exit nonzero if the fast path is slower than the "
+                        "naive scheduler on the acceptance workload")
     return p
 
 
@@ -208,6 +220,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    from repro.sim.bench import main as bench_main
+
+    return bench_main(quick=args.quick, out=args.out, check=args.check)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "spaces":
@@ -218,6 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench-engine":
+        return _cmd_bench_engine(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

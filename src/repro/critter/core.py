@@ -157,6 +157,21 @@ class Critter(Profiler):
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def inline_safe(self) -> bool:
+        """Whether the engine may drive ranks run-to-completion.
+
+        Non-eager Critter decisions read only per-rank state (``K``,
+        ``K~``, forced-execution sets) that other ranks' events never
+        mutate outside synchronization points involving this rank, so
+        inline execution cannot change any decision or draw.  Eager
+        propagation breaks this (``_global_off`` flips at *other* ranks'
+        sub-communicator collectives), as does extrapolation (a shared
+        model observed by every rank); both force the exact-order naive
+        scheduler.
+        """
+        return not self.policy.eager and self.extrapolation is None
+
     def start_run(self, sim: Simulator, run_seed: int) -> None:
         p = sim.machine.nprocs
         if self.nprocs is None:

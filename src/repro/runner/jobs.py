@@ -272,6 +272,7 @@ def request_fingerprint(req: RunRequest) -> Dict[str, Any]:
             "nprocs": m.nprocs, "alpha": m.alpha, "beta": m.beta,
             "gamma": m.gamma, "intercept_alpha": m.intercept_alpha,
             "skip_overhead": m.skip_overhead, "seed": m.seed,
+            "batched_compute": m.batched_compute,
         },
         "noise": _noise_fingerprint(req),
         "config_index": req.config_index,

@@ -1,0 +1,367 @@
+"""Engine throughput microbenchmark (``repro bench-engine``).
+
+Measures the discrete-event core's throughput — engine events per
+second of host wall time — under both schedulers (the naive
+heap-per-op scheduler and the run-to-completion fast path), so every
+PR has a recorded perf trajectory in ``BENCH_engine.json``.
+
+Workloads are synthetic rank programs with *prebuilt* op descriptors,
+so the measurement isolates the engine hot loop from algorithm-side
+Python:
+
+* ``cholesky-compute`` — the acceptance workload: a compute-heavy
+  tiled-Cholesky-shaped sweep (potrf + trsm/gemm runs down each panel,
+  one allreduce per panel).  Dominated by :class:`ComputeOp` events,
+  exactly what tuner inner loops spend their time on.
+* ``p2p-pipeline``     — ring pipelining via isend/compute/recv/wait.
+* ``collectives``      — bcast/allreduce/barrier rendezvous rounds.
+* ``cholesky-batch``   — the sweep's kernel runs emitted as
+  :class:`ComputeBatchOp`; measured with the machine model's
+  ``batched_compute`` flag off (bit-identical expansion) and on (one
+  aggregate event + noise draw per run) to quantify the batching win.
+
+Every workload runs on the ``knl-fabric`` (noisy) and ``quiet``
+(draw-free) presets, with and without a Critter profiler attached; two
+real algorithm configurations are also timed end-to-end.  Both
+schedulers run the identical RNG streams, so makespans must agree
+bit-for-bit — the bench asserts this on every measurement, making it a
+determinism smoke test as well.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels import blas, lapack
+from repro.sim.engine import Simulator
+from repro.sim.presets import make_machine
+
+__all__ = ["Workload", "make_workloads", "run_bench", "format_bench", "main"]
+
+#: presets the bench sweeps (noisy paper-like + draw-free control)
+BENCH_PRESETS = ("knl-fabric", "quiet")
+
+#: the acceptance measurement: compute-heavy Cholesky, no profiler,
+#: noisy preset — the row the CI check and the 2x target bind to
+ACCEPTANCE = {"workload": "cholesky-compute", "preset": "knl-fabric",
+              "profiler": "null"}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark rank program plus its metadata."""
+
+    name: str
+    description: str
+    nprocs: int
+    program: Callable
+    #: machine-model override applied on top of the preset (batching)
+    machine_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+
+# ----------------------------------------------------------------------
+# synthetic programs
+# ----------------------------------------------------------------------
+def _cholesky_sweep(nt: int, tile: int, batched: bool):
+    potrf = lapack.potrf_spec(tile)
+    trsm = blas.trsm_spec(tile, tile)
+    gemm = blas.gemm_spec(tile, tile, tile)
+
+    def program(comm):
+        op_potrf = comm.compute(potrf)
+        op_trsm = comm.compute(trsm)
+        op_gemm = comm.compute(gemm)
+        for k in range(nt):
+            m = nt - k
+            yield op_potrf
+            if batched:
+                yield comm.compute_batch(trsm, m)
+                yield comm.compute_batch(gemm, m)
+            else:
+                for _ in range(m):
+                    yield op_trsm
+                for _ in range(m):
+                    yield op_gemm
+            yield comm.allreduce(nbytes=8 * tile)
+        return None
+
+    return program
+
+
+def _p2p_pipeline(rounds: int, tile: int):
+    gemm = blas.gemm_spec(tile, tile, tile)
+
+    def program(comm):
+        me, p = comm.rank, comm.size
+        nxt, prv = (me + 1) % p, (me - 1) % p
+        op = comm.compute(gemm)
+        for r in range(rounds):
+            req = yield comm.isend(dest=nxt, tag=r, nbytes=8 * tile * tile)
+            yield op
+            yield comm.recv(source=prv, tag=r, nbytes=8 * tile * tile)
+            yield comm.wait(req)
+        return None
+
+    return program
+
+
+def _collective_rounds(rounds: int):
+    gemm = blas.gemm_spec(16, 16, 16)
+
+    def program(comm):
+        op = comm.compute(gemm)
+        for _ in range(rounds):
+            yield op
+            yield comm.bcast(root=0, nbytes=1024)
+            yield op
+            yield comm.allreduce(nbytes=1024)
+            yield comm.barrier()
+        return None
+
+    return program
+
+
+def make_workloads(quick: bool = False) -> List[Workload]:
+    nt = 24 if quick else 60
+    rounds = 300 if quick else 2000
+    return [
+        Workload("cholesky-compute",
+                 f"compute-heavy tiled Cholesky sweep (nt={nt})",
+                 8, _cholesky_sweep(nt, 64, batched=False)),
+        Workload("p2p-pipeline",
+                 f"isend/compute/recv/wait ring ({rounds} rounds)",
+                 8, _p2p_pipeline(rounds, 32)),
+        Workload("collectives",
+                 f"bcast/allreduce/barrier rounds ({rounds // 2})",
+                 8, _collective_rounds(rounds // 2)),
+    ]
+
+
+def make_batch_workloads(quick: bool = False) -> List[Workload]:
+    nt = 24 if quick else 60
+    return [
+        Workload("cholesky-batch/expanded",
+                 "batched ops, batched_compute=False (expanded)",
+                 8, _cholesky_sweep(nt, 64, batched=True)),
+        Workload("cholesky-batch/aggregate",
+                 "batched ops, batched_compute=True (one event per run)",
+                 8, _cholesky_sweep(nt, 64, batched=True),
+                 machine_overrides=(("batched_compute", True),)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# measurement machinery
+# ----------------------------------------------------------------------
+def count_ops(program: Callable, args: Tuple, machine, noise) -> int:
+    """Engine events of one run, counted via a forwarding generator."""
+    total = 0
+
+    def counting(comm, *a):
+        nonlocal total
+        gen = program(comm, *a)
+        value = None
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            total += 1
+            value = yield op
+
+    Simulator(machine, noise=noise).run(counting, args=args, run_seed=1)
+    return total
+
+
+def _profiler_factory(kind: str, exclude=frozenset()) -> Callable[[], Any]:
+    if kind == "null":
+        return lambda: None
+    if kind == "critter-online":
+        from repro.critter import Critter
+
+        return lambda: Critter(policy="online", eps=0.25, exclude=exclude)
+    raise ValueError(f"unknown profiler kind {kind!r}")
+
+
+def _time_run(machine, noise, profiler_factory, program, args,
+              fast_path: bool, reps: int) -> Tuple[float, float, bool]:
+    """(best wall seconds, makespan, used_fast) over ``reps`` fresh runs."""
+    best = float("inf")
+    makespan = 0.0
+    used_fast = False
+    for _ in range(reps):
+        sim = Simulator(machine, noise=noise, profiler=profiler_factory(),
+                        fast_path=fast_path)
+        t0 = time.perf_counter()
+        res = sim.run(program, args=args, run_seed=1)
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+        makespan = res.makespan
+        used_fast = sim.used_fast_path
+    return best, makespan, used_fast
+
+
+def _measure(workload: Workload, preset: str, profiler: str, reps: int,
+             args: Tuple = (), nprocs: Optional[int] = None,
+             exclude=frozenset()) -> Dict[str, Any]:
+    machine, noise = make_machine(preset, nprocs or workload.nprocs, seed=3)
+    if workload.machine_overrides:
+        machine = dataclasses.replace(machine,
+                                      **dict(workload.machine_overrides))
+    nops = count_ops(workload.program, args, machine, noise)
+    factory = _profiler_factory(profiler, exclude)
+    # warm the noise model's bias/drift memoization for both schedulers
+    Simulator(machine, noise=noise, profiler=factory()).run(
+        workload.program, args=args, run_seed=1)
+    naive_s, naive_mk, _ = _time_run(machine, noise, factory,
+                                     workload.program, args, False, reps)
+    fast_s, fast_mk, used_fast = _time_run(machine, noise, factory,
+                                           workload.program, args, True, reps)
+    if naive_mk != fast_mk:
+        raise AssertionError(
+            f"scheduler divergence on {workload.name}/{preset}/{profiler}: "
+            f"naive makespan {naive_mk!r} != fast makespan {fast_mk!r}"
+        )
+    return {
+        "workload": workload.name,
+        "preset": preset,
+        "profiler": profiler,
+        "nops": nops,
+        "fast_path_engaged": used_fast,
+        "naive": {"wall_s": naive_s, "ops_per_s": nops / naive_s},
+        "fast": {"wall_s": fast_s, "ops_per_s": nops / fast_s},
+        "speedup": naive_s / fast_s,
+        "makespan": fast_mk,
+    }
+
+
+def _end_to_end_cases(quick: bool):
+    from repro.autotune.configspace import (
+        capital_cholesky_space,
+        slate_cholesky_space,
+    )
+
+    if quick:
+        slate = slate_cholesky_space(n=256, t0=32, dt=8, nconf=4)
+        capital = capital_cholesky_space(n=128, c=2, b0=4, nconf=10)
+    else:
+        slate = slate_cholesky_space()
+        capital = capital_cholesky_space(n=256, c=2, b0=4, nconf=15)
+    return [(slate, 0), (capital, 0)]
+
+
+def run_bench(quick: bool = False, presets=BENCH_PRESETS,
+              profilers=("null", "critter-online")) -> Dict[str, Any]:
+    """Run the full matrix; returns the JSON-able result document."""
+    reps = 2 if quick else 4
+    results = [
+        _measure(w, preset, prof, reps)
+        for w in make_workloads(quick)
+        for preset in presets
+        for prof in profilers
+    ]
+    # batching: expanded vs aggregate, fast path, no profiler
+    batching = [
+        _measure(w, "knl-fabric", "null", reps)
+        for w in make_batch_workloads(quick)
+    ]
+    # real algorithm configurations, end to end
+    end_to_end = []
+    for space, idx in _end_to_end_cases(quick):
+        cfg = space.configs[idx]
+        w = Workload(f"{space.name}[{idx}]", cfg.label(), space.nprocs,
+                     space.program)
+        end_to_end.append(_measure(w, "knl-fabric", "null", reps,
+                                   args=space.args_for(cfg),
+                                   exclude=space.exclude))
+    acceptance = next(
+        r for r in results
+        if all(r[k] == v for k, v in ACCEPTANCE.items())
+    )
+    # wall-time win of one aggregate event per batch vs expansion
+    batching_speedup = (batching[0]["fast"]["wall_s"]
+                        / batching[1]["fast"]["wall_s"])
+    return {
+        "version": 1,
+        "profile": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        "batching": batching,
+        "batching_speedup": batching_speedup,
+        "end_to_end": end_to_end,
+        "acceptance": {
+            **ACCEPTANCE,
+            "speedup": acceptance["speedup"],
+            "fast_ops_per_s": acceptance["fast"]["ops_per_s"],
+            "naive_ops_per_s": acceptance["naive"]["ops_per_s"],
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def _fmt_rows(rows: List[Dict[str, Any]]) -> List[str]:
+    out = []
+    for r in rows:
+        out.append(
+            f"{r['workload']:<28} {r['preset']:<13} {r['profiler']:<15} "
+            f"{r['nops']:>8} {r['naive']['ops_per_s'] / 1e6:>8.2f} "
+            f"{r['fast']['ops_per_s'] / 1e6:>8.2f} {r['speedup']:>7.2f}x"
+        )
+    return out
+
+
+def format_bench(data: Dict[str, Any]) -> str:
+    header = (f"{'workload':<28} {'preset':<13} {'profiler':<15} "
+              f"{'ops':>8} {'naive':>8} {'fast':>8} {'speedup':>8}")
+    units = f"{'':<28} {'':<13} {'':<15} {'':>8} {'Mops/s':>8} {'Mops/s':>8}"
+    lines = [f"engine throughput ({data['profile']} profile)", header, units]
+    lines += _fmt_rows(data["results"])
+    lines.append("")
+    lines.append("batched-compute (fast path, knl-fabric):")
+    lines += _fmt_rows(data["batching"])
+    lines.append(f"  aggregate batching wall-time win vs expansion: "
+                 f"{data['batching_speedup']:.2f}x")
+    lines.append("")
+    lines.append("end-to-end algorithm runs (knl-fabric, no profiler):")
+    lines += _fmt_rows(data["end_to_end"])
+    acc = data["acceptance"]
+    lines.append("")
+    lines.append(
+        f"acceptance ({acc['workload']}/{acc['preset']}/{acc['profiler']}): "
+        f"{acc['speedup']:.2f}x fast-path speedup "
+        f"({acc['naive_ops_per_s'] / 1e6:.2f} -> "
+        f"{acc['fast_ops_per_s'] / 1e6:.2f} Mops/s)"
+    )
+    return "\n".join(lines)
+
+
+def write_bench(data: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1)
+        fh.write("\n")
+
+
+def main(quick: bool = False, out: str = "BENCH_engine.json",
+         check: bool = False) -> int:
+    """CLI driver shared by ``repro bench-engine`` and the bench suite."""
+    data = run_bench(quick=quick)
+    print(format_bench(data))
+    if out:
+        write_bench(data, out)
+        print(f"\nwrote {out}")
+    if check and data["acceptance"]["speedup"] < 1.0:
+        print("FAIL: fast path slower than the naive scheduler "
+              f"({data['acceptance']['speedup']:.2f}x)")
+        return 1
+    return 0

@@ -22,7 +22,15 @@ from typing import Any, Callable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.kernels.signature import KernelSignature
-from repro.sim.ops import CollOp, ComputeOp, P2POp, Request, SplitOp, WaitOp
+from repro.sim.ops import (
+    CollOp,
+    ComputeBatchOp,
+    ComputeOp,
+    P2POp,
+    Request,
+    SplitOp,
+    WaitOp,
+)
 
 __all__ = ["Comm", "payload_nbytes"]
 
@@ -98,6 +106,30 @@ class Comm:
             raise TypeError("compute() expects a (KernelSignature, flops) spec")
         return ComputeOp(sig=sig, flops=float(flops), fn=fn, args=args)
 
+    def compute_batch(
+        self,
+        spec: Any,
+        count: int,
+        fn: Optional[Callable[..., Any]] = None,
+        args: Tuple[Any, ...] = (),
+    ) -> ComputeBatchOp:
+        """``count`` identical-signature kernels as one engine event.
+
+        With the machine model's ``batched_compute`` flag off (the
+        default) this is bit-identical to yielding ``count`` copies of
+        ``self.compute(spec)``; with it on, the engine charges one
+        aggregate kernel with a single noise draw.  See
+        :class:`~repro.sim.ops.ComputeBatchOp`.
+        """
+        sig, flops = spec
+        if not isinstance(sig, KernelSignature):
+            raise TypeError("compute_batch() expects a (KernelSignature, flops) spec")
+        count = int(count)
+        if count < 1:
+            raise ValueError(f"compute_batch() requires count >= 1, got {count}")
+        return ComputeBatchOp(sig=sig, flops=float(flops), count=count,
+                              fn=fn, args=args)
+
     def region(
         self,
         name: str,
@@ -140,6 +172,10 @@ class Comm:
 
     def waitall(self, requests: Sequence[Request]) -> WaitOp:
         return WaitOp(list(requests), mode="all")
+
+    def waitany(self, requests: Sequence[Request]) -> WaitOp:
+        """MPI_Waitany: resume on the first completion; yields (index, value)."""
+        return WaitOp(list(requests), mode="any")
 
     # -- collectives --------------------------------------------------------
     def bcast(self, payload: Any = None, root: int = 0,

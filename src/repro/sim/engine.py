@@ -19,14 +19,64 @@ Timing semantics (all hooks receive exact arrival times):
 * ``isend``     — buffered: the sender continues immediately (paying
   only local interception cost); the transfer completes the matching
   request at ``max(post times) + intercept + cost``.
-* ``wait``      — resumes at ``max(now, request completions)``.
+* ``wait``      — resumes at ``max(now, request completions)``
+  (waitall); waitany resumes on the earliest known completion.
+
+Scheduling: run-to-completion fast path
+---------------------------------------
+
+Two schedulers produce bit-identical results (pinned by the golden
+tests in ``tests/test_engine_golden.py``):
+
+* the **naive** scheduler round-trips every op through the global event
+  heap — one ``heappush``/``heappop`` plus a generator re-entry per op;
+* the **fast path** keeps driving a resumed rank's generator inline —
+  advancing its local clock and sampling noise from its own RNG stream
+  in the same order — for consecutive :class:`ComputeOp`/
+  :class:`ComputeBatchOp` events, immediately-resolvable waits, and
+  buffered ``isend`` posts whose match is already parked in a blocking
+  ``recv``.  The heap is touched only when the rank reaches a genuinely
+  blocking (or cross-rank-order-sensitive) op, which is then re-queued
+  at the rank's local time so it dispatches at its exact global
+  position.
+
+Identity holds because every inlined event is *rank-local*: it reads
+and writes only this rank's clock, RNG stream, and (for ``inline_safe``
+profilers) per-rank profiler state.  Anything that could interleave
+with another rank's RNG stream or order-sensitive profiler state — a
+collective, blocking p2p, a match against a pending ``irecv`` (whose
+poster may still be drawing from its RNG), multi-request waitany — goes
+through the heap exactly as before.  The fast path is disabled when a
+trace recorder is attached (trace files pin global event order) or when
+the profiler does not declare
+:attr:`~repro.sim.profiler.Profiler.inline_safe`.
+
+Known limit — exact event-time ties: the heap breaks ties at equal
+float times by push sequence, and the fast path pushes fewer
+intermediate events, so two ranks reaching blocking ops at the
+*bit-identical* simulated time via different-length event chains can
+dispatch in a different order than under the naive scheduler.  Ties
+originating from one shared completion (a collective or p2p rendezvous
+resuming several ranks at once) are pushed inside a single dispatch in
+both schedulers and keep their order; the divergent kind requires two
+independently accumulated clocks colliding exactly — constructible in
+zero-noise machine models, measure-zero under any nonzero
+per-invocation noise.  The observable effect is order-of-discovery
+semantics (e.g. which request ``waitany`` reports first, which is
+implementation-defined anyway; see :class:`~repro.sim.ops.WaitOp`).
+Keeping the naive scheduler's ``(time, seq)`` order is deliberate: a
+schedule-independent ``(time, rank)`` order would close this gap but
+changes tie interleavings relative to the pre-fast-path engine,
+breaking the golden bit-identity contract with recorded results.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,7 +84,15 @@ from repro.kernels.signature import KernelSignature, comm_signature
 from repro.sim.comm import Comm
 from repro.sim.machine import Machine
 from repro.sim.noise import NoiseModel
-from repro.sim.ops import CollOp, ComputeOp, P2POp, Request, SplitOp, WaitOp
+from repro.sim.ops import (
+    CollOp,
+    ComputeBatchOp,
+    ComputeOp,
+    P2POp,
+    Request,
+    SplitOp,
+    WaitOp,
+)
 from repro.sim.profiler import NullProfiler, Profiler
 from repro.sim.trace import TraceRecorder
 
@@ -46,10 +104,16 @@ class DeadlockError(RuntimeError):
 
 
 class CommGroup:
-    """Engine-side state shared by all members of a communicator."""
+    """Engine-side state shared by all members of a communicator.
+
+    Collective bookkeeping is a single pending slot plus a sequence
+    counter: because every member parks in a collective until *all*
+    members arrived, at most one collective can ever be pending per
+    communicator — no per-member counter dicts, no pending-map churn.
+    """
 
     __slots__ = ("gid", "world_ranks", "sorted_ranks", "stride", "parent",
-                 "coll_counts", "pending")
+                 "coll_seq", "pending")
 
     def __init__(self, gid: int, world_ranks: Tuple[int, ...],
                  parent: Optional["CommGroup"] = None) -> None:
@@ -57,10 +121,10 @@ class CommGroup:
         self.world_ranks = world_ranks
         self.sorted_ranks = tuple(sorted(world_ranks))
         self.parent = parent
-        # per-member collective sequence counters (world rank -> count)
-        self.coll_counts: Dict[int, int] = {r: 0 for r in world_ranks}
-        # seq -> _CollPending
-        self.pending: Dict[int, "_CollPending"] = {}
+        #: number of collectives (incl. splits) completed on this comm
+        self.coll_seq = 0
+        #: the at-most-one collective currently gathering participants
+        self.pending: Optional["_CollPending"] = None
         self.stride = self._compute_stride()
 
     def _compute_stride(self) -> int:
@@ -87,6 +151,22 @@ class _CollPending:
         self.entries: Dict[int, Tuple[float, Any]] = {}  # world rank -> (time, op)
 
 
+class _Redeliver:
+    """Heap payload: an op captured inline, to dispatch at its own time.
+
+    When the fast path has advanced a rank's local clock past the pop
+    that resumed it and then meets a blocking op, dispatching in place
+    would run the op ahead of other ranks' earlier events.  Instead the
+    op rides the heap to the rank's current local time and is dispatched
+    there — the exact global position the naive scheduler would use.
+    """
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: Any) -> None:
+        self.op = op
+
+
 @dataclass(slots=True)
 class P2PRecord:
     """Engine/profiler-shared record of one posted p2p endpoint."""
@@ -107,7 +187,7 @@ class P2PRecord:
 
 class _RankState:
     __slots__ = ("rank", "gen", "time", "rng", "finished", "retval", "waiting",
-                 "park_reason")
+                 "park_reason", "pending_irecvs", "pending_isends")
 
     def __init__(self, rank: int, gen: Any, rng: np.random.Generator) -> None:
         self.rank = rank
@@ -119,6 +199,17 @@ class _RankState:
         # (wait_posted_time, [requests], mode) when parked in a wait
         self.waiting: Optional[Tuple[float, List[Request], str]] = None
         self.park_reason: Optional[str] = None
+        #: queued-but-unmatched irecv posts.  While nonzero, the fast
+        #: path takes NO inline ops for this rank: a peer's send may
+        #: match the irecv at any earlier global position, drawing from
+        #: *this* rank's RNG stream and mutating its profiler state, so
+        #: the rank's own draws/hooks must stay globally ordered.
+        self.pending_irecvs = 0
+        #: queued-but-unmatched isend posts; blocks peers from inline-
+        #: matching this rank while profiler hooks are active (a third
+        #: rank's recv may take this rank's profiler hooks at an earlier
+        #: global position)
+        self.pending_isends = 0
 
 
 @dataclass(slots=True)
@@ -152,7 +243,14 @@ class Simulator:
         data stays valid in data-carrying experiments); the charged time
         is still only the skip overhead, matching the tool's economics.
     trace:
-        Optional :class:`TraceRecorder` capturing every event.
+        Optional :class:`TraceRecorder` capturing every event.  A trace
+        pins global event order, so attaching one disables the fast
+        path.
+    fast_path:
+        Enable the run-to-completion scheduler (see module docstring).
+        On by default; it only engages when the profiler declares
+        ``inline_safe``.  Results are bit-identical either way — the
+        switch exists for benchmarking and as an escape hatch.
     """
 
     def __init__(
@@ -163,12 +261,16 @@ class Simulator:
         *,
         execute_skipped_fns: bool = False,
         trace: Optional[TraceRecorder] = None,
+        fast_path: bool = True,
     ) -> None:
         self.machine = machine
         self.noise = noise if noise is not None else NoiseModel(machine_seed=machine.seed)
         self.profiler = profiler if profiler is not None else NullProfiler()
         self.execute_skipped_fns = execute_skipped_fns
         self.trace = trace
+        self.fast_path = fast_path
+        #: whether the last run actually used the fast path
+        self.used_fast_path = False
         self.run_seed = 0
         # run state
         self._states: List[_RankState] = []
@@ -176,8 +278,10 @@ class Simulator:
         self._seq = 0
         self._next_gid = 0
         self._groups: Dict[int, CommGroup] = {}
-        self._p2p_sends: Dict[Tuple[int, int, int, int], List[P2PRecord]] = {}
-        self._p2p_recvs: Dict[Tuple[int, int, int, int], List[P2PRecord]] = {}
+        self._p2p_sends: Dict[Tuple[int, int, int, int], Deque[P2PRecord]] = {}
+        self._p2p_recvs: Dict[Tuple[int, int, int, int], Deque[P2PRecord]] = {}
+        #: per-run cache of (bias, drift, lognormal params) by signature
+        self._noise_factors: Dict[KernelSignature, tuple] = {}
         self.world: Optional[CommGroup] = None
 
     # ------------------------------------------------------------------
@@ -202,10 +306,15 @@ class Simulator:
         self._groups = {}
         self._p2p_sends = {}
         self._p2p_recvs = {}
+        self._noise_factors = {}
 
         self.world = self._make_group(tuple(range(p)), parent=None)
         self.profiler.start_run(self, self.run_seed)
         self.profiler.on_world(self.world)
+
+        use_fast = (self.fast_path and self.trace is None
+                    and bool(self.profiler.inline_safe))
+        self.used_fast_path = use_fast
 
         for r in range(p):
             rng = np.random.Generator(np.random.PCG64(((self.run_seed & 0xFFFFFF) << 24) ^ (r + 1)))
@@ -214,17 +323,29 @@ class Simulator:
             self._states.append(_RankState(r, gen, rng))
             self._push(0.0, r, None)
 
-        while self._heap:
-            t, _, r, value = heapq.heappop(self._heap)
-            st = self._states[r]
-            st.time = t
-            try:
-                op = st.gen.send(value)
-            except StopIteration as stop:
-                st.finished = True
-                st.retval = stop.value
-                continue
-            self._dispatch(st, op)
+        heap = self._heap
+        states = self._states
+        pop = heapq.heappop
+        if use_fast:
+            self._run_fast(heap, states, pop)
+        else:
+            while heap:
+                t, _, r, value = pop(heap)
+                st = states[r]
+                st.time = t
+                if type(value) is _Redeliver:
+                    # step-wise ComputeBatchOp expansion (order-
+                    # sensitive profilers) rides the heap between
+                    # sub-kernels
+                    self._dispatch(st, value.op)
+                    continue
+                try:
+                    op = st.gen.send(value)
+                except StopIteration as stop:
+                    st.finished = True
+                    st.retval = stop.value
+                    continue
+                self._dispatch(st, op)
 
         unfinished = [s.rank for s in self._states if not s.finished]
         if unfinished:
@@ -244,6 +365,181 @@ class Simulator:
             returns=[s.retval for s in self._states],
             run_seed=self.run_seed,
         )
+
+    # ------------------------------------------------------------------
+    # run-to-completion fast path
+    # ------------------------------------------------------------------
+    def _run_fast(self, heap: list, states: List[_RankState], pop) -> None:
+        """The fast-path event loop: drive resumed ranks inline.
+
+        After a heap pop resumes a rank, its generator keeps being
+        driven in place for rank-local events (computes, batches,
+        resolvable waits, isend posts matching a parked receiver); the
+        heap is touched only at genuinely blocking or cross-rank-order-
+        sensitive ops, which are dispatched at the rank's current local
+        time — either directly (when no earlier-or-tied heap event is
+        pending) or re-queued via :class:`_Redeliver` so they run at
+        their exact global position.
+        """
+        prof = self.profiler
+        hooks_off = type(prof) is NullProfiler
+        machine = self.machine
+        gamma = machine.gamma
+        skip_overhead = machine.skip_overhead
+        exec_skipped = self.execute_skipped_fns
+        factors = self._noise_factors
+        noise_factors = self.noise.factors
+        run_seed = self.run_seed
+        exp = math.exp
+        p2p_recvs = self._p2p_recvs
+        icost1 = prof.intercept_cost(1)
+        on_compute = prof.on_compute
+        post_compute = prof.post_compute
+        push = self._push
+        dispatch = self._dispatch
+
+        while heap:
+            t, _, rank, value = pop(heap)
+            st = states[rank]
+            st.time = t
+            if type(value) is _Redeliver:
+                dispatch(st, value.op)
+                continue
+            gen_send = st.gen.send
+            rng_normal = st.rng.standard_normal
+            while True:
+                try:
+                    op = gen_send(value)
+                except StopIteration as stop:
+                    st.finished = True
+                    st.retval = stop.value
+                    break
+                cls = type(op)
+                if st.pending_irecvs:
+                    # an unmatched irecv is out: any peer send can match
+                    # it at an earlier global position (consuming this
+                    # rank's RNG, mutating its profiler state), so every
+                    # op stays heap-ordered until the irecvs match
+                    cls = None
+                if cls is ComputeOp:
+                    sig = op.sig
+                    flops = op.flops
+                    execute = True if hooks_off else on_compute(rank, sig, flops)
+                    result = None
+                    if execute:
+                        fac = factors.get(sig)
+                        if fac is None:
+                            fac = factors[sig] = noise_factors(sig, run_seed)
+                        bias, drift, params = fac
+                        # identical float-op sequence to NoiseModel.sample
+                        # (int->float conversion in `gamma * flops` matches
+                        # compute_cost's explicit float())
+                        mean = gamma * flops * bias * drift
+                        if params is None:
+                            elapsed = mean
+                        else:
+                            elapsed = mean * exp(params[0] + params[1] * rng_normal())
+                        if op.fn is not None:
+                            result = op.fn(*op.args)
+                    else:
+                        elapsed = skip_overhead
+                        if op.fn is not None and exec_skipped:
+                            result = op.fn(*op.args)
+                    if not hooks_off:
+                        post_compute(rank, sig, execute, elapsed, flops)
+                    st.time += elapsed
+                    value = result
+                    continue
+                if cls is ComputeBatchOp:
+                    elapsed, result = self._batch_run(st, op)
+                    st.time += elapsed
+                    value = result
+                    continue
+                if cls is WaitOp:
+                    mode = op.mode
+                    reqs = op.requests
+                    if mode == "all" or len(reqs) == 1:
+                        if all(rq.done for rq in reqs):
+                            # resolved: jump the local clock to the last
+                            # completion and continue, no heap trip
+                            resume = st.time
+                            for rq in reqs:
+                                if rq.completion > resume:
+                                    resume = rq.completion
+                            st.time = resume
+                            if mode == "all":
+                                value = [rq.value for rq in reqs]
+                            elif mode == "any":
+                                value = (0, reqs[0].value)
+                            else:
+                                value = reqs[0].value
+                            continue
+                        # unresolved: park here.  Completions carry
+                        # absolute times, so parking "early" in global
+                        # order produces the identical resume event.
+                        st.waiting = (st.time, list(reqs), mode)
+                        st.park_reason = f"wait on {len(reqs)} request(s)"
+                        break
+                    # multi-request waitany resolves against completion
+                    # *discovery* order — strictly heap business
+                elif cls is P2POp and op.kind == "isend":
+                    group: CommGroup = op.comm.group
+                    me_world = group.world_ranks[op.comm.rank]
+                    peer_world = group.world_ranks[op.peer]
+                    key = (group.gid, me_world, peer_world, op.tag)
+                    queue = p2p_recvs.get(key)
+                    if (
+                        queue
+                        and queue[0].kind == "recv"
+                        # matching a *parked* blocking receiver is
+                        # rank-local enough: the peer cannot draw from
+                        # its RNG stream or take profiler hooks until
+                        # this very match resumes it, so matching early
+                        # preserves all orderings.  A pending irecv
+                        # gives no such guarantee (an earlier-time send
+                        # may match it, drawing from the receiver's
+                        # stream), nor does an empty queue (an irecv may
+                        # yet arrive before this op's global position).
+                        and states[queue[0].world_rank].pending_irecvs == 0
+                        # with profiler hooks active, queued unmatched
+                        # isends on EITHER endpoint also block inlining:
+                        # a third rank's recv can match them at an
+                        # earlier global position, and that hook's stat
+                        # updates on the shared send signature (and its
+                        # path-count increments) do not commute with the
+                        # snapshot/decision this match takes now
+                        and (hooks_off
+                             or (st.pending_isends == 0
+                                 and states[queue[0].world_rank].pending_isends == 0))
+                    ):
+                        rec = P2PRecord(
+                            kind="isend",
+                            world_rank=me_world,
+                            comm_rank=op.comm.rank,
+                            peer_world=peer_world,
+                            tag=op.tag,
+                            nbytes=op.nbytes,
+                            post_time=st.time,
+                            group=group,
+                            payload=op.payload,
+                            blocking=False,
+                        )
+                        prof.on_p2p_post(rec)
+                        req = Request(rank=rank, kind="isend", record=rec)
+                        rec.request = req
+                        st.time += icost1
+                        self._match_p2p(rec, queue.popleft())
+                        value = req
+                        continue
+                # blocking or order-sensitive: dispatch at the rank's
+                # local time — in place when no pending heap event is
+                # earlier or tied (a tied event would win by sequence
+                # number), else via redelivery
+                if st.time > t and heap and heap[0][0] <= st.time:
+                    push(st.time, rank, _Redeliver(op))
+                else:
+                    dispatch(st, op)
+                break
 
     # ------------------------------------------------------------------
     # internals
@@ -270,6 +566,8 @@ class Simulator:
             self._do_split(st, op)
         elif isinstance(op, WaitOp):
             self._do_wait(st, op)
+        elif isinstance(op, ComputeBatchOp):
+            self._do_compute_batch(st, op)
         else:
             raise TypeError(f"rank {st.rank} yielded unknown op {op!r}")
 
@@ -291,6 +589,79 @@ class Simulator:
         if self.trace is not None:
             self.trace.record("comp", (st.rank,), op.sig, st.time, elapsed, execute)
         self._push(st.time + elapsed, st.rank, result)
+
+    def _do_compute_batch(self, st: _RankState, op: ComputeBatchOp) -> None:
+        if (op.count > 1 and not self.machine.batched_compute
+                and (self.trace is not None or not self.profiler.inline_safe)):
+            # an order-sensitive observer (eager/extrapolating Critter,
+            # trace recorder) must see sub-kernels at their exact global
+            # heap positions, exactly as per-op emission behaved before
+            # batching existed: run one sub-kernel here and redeliver
+            # the remainder at its completion time
+            prof = self.profiler
+            execute = prof.on_compute(st.rank, op.sig, op.flops)
+            if execute:
+                base = self.machine.compute_cost(op.flops)
+                elapsed = self.noise.sample(op.sig, base, st.rng, self.run_seed)
+            else:
+                elapsed = self.machine.skip_overhead
+            prof.post_compute(st.rank, op.sig, execute, elapsed, op.flops)
+            if self.trace is not None:
+                self.trace.record("comp", (st.rank,), op.sig, st.time, elapsed,
+                                  execute)
+            rest = ComputeBatchOp(op.sig, op.flops, op.count - 1, op.fn, op.args)
+            self._push(st.time + elapsed, st.rank, _Redeliver(rest))
+            return
+        elapsed, result = self._batch_run(st, op)
+        self._push(st.time + elapsed, st.rank, result)
+
+    def _batch_run(self, st: _RankState, op: ComputeBatchOp) -> Tuple[float, Any]:
+        """Total elapsed time + resume value of a batch starting at ``st.time``."""
+        prof = self.profiler
+        machine = self.machine
+        sig = op.sig
+        if machine.batched_compute:
+            # one aggregate kernel: one decision, one noise draw
+            total = float(op.flops) * op.count
+            execute = prof.on_compute(st.rank, sig, total)
+            result = None
+            if execute:
+                base = machine.compute_cost(total)
+                elapsed = self.noise.sample(sig, base, st.rng, self.run_seed)
+                if op.fn is not None:
+                    result = op.fn(*op.args)
+            else:
+                elapsed = machine.skip_overhead
+                if op.fn is not None and self.execute_skipped_fns:
+                    result = op.fn(*op.args)
+            prof.post_compute(st.rank, sig, execute, elapsed, total)
+            if self.trace is not None:
+                self.trace.record("comp", (st.rank,), sig, st.time, elapsed, execute)
+            return elapsed, result
+        # expansion: `count` back-to-back sub-kernels, bit-identical to
+        # yielding them as individual ComputeOps
+        flops = op.flops
+        rank = st.rank
+        rng = st.rng
+        noise = self.noise
+        trace = self.trace
+        cursor = st.time
+        execute = True
+        for i in range(op.count):
+            execute = prof.on_compute(rank, sig, flops)
+            if execute:
+                base = machine.compute_cost(flops)
+                elapsed = noise.sample(sig, base, rng, self.run_seed)
+            else:
+                elapsed = machine.skip_overhead
+            prof.post_compute(rank, sig, execute, elapsed, flops)
+            if trace is not None:
+                trace.record("comp", (rank,), sig, cursor, elapsed, execute)
+            cursor = cursor + elapsed
+        result = None
+        if op.fn is not None and (execute or self.execute_skipped_fns):
+            result = op.fn(*op.args)
+        return cursor - st.time, result
 
     # -- point-to-point ----------------------------------------------------
     def _do_p2p(self, st: _RankState, op: P2POp) -> None:
@@ -323,16 +694,32 @@ class Simulator:
             key = (group.gid, me_world, peer_world, op.tag)
             queue = self._p2p_recvs.get(key)
             if queue:
-                self._match_p2p(rec, queue.pop(0))
+                matched = queue.popleft()
+                if matched.kind == "irecv":
+                    self._states[matched.world_rank].pending_irecvs -= 1
+                self._match_p2p(rec, matched)
             else:
-                self._p2p_sends.setdefault(key, []).append(rec)
+                pending = self._p2p_sends.get(key)
+                if pending is None:
+                    pending = self._p2p_sends[key] = deque()
+                pending.append(rec)
+                if op.kind == "isend":
+                    st.pending_isends += 1
         else:
             key = (group.gid, peer_world, me_world, op.tag)
             queue = self._p2p_sends.get(key)
             if queue:
-                self._match_p2p(queue.pop(0), rec)
+                matched = queue.popleft()
+                if matched.kind == "isend":
+                    self._states[matched.world_rank].pending_isends -= 1
+                self._match_p2p(matched, rec)
             else:
-                self._p2p_recvs.setdefault(key, []).append(rec)
+                pending = self._p2p_recvs.get(key)
+                if pending is None:
+                    pending = self._p2p_recvs[key] = deque()
+                pending.append(rec)
+                if op.kind == "irecv":
+                    st.pending_irecvs += 1
 
     def _match_p2p(self, send: P2PRecord, recv: P2PRecord) -> None:
         prof = self.profiler
@@ -383,36 +770,51 @@ class Simulator:
 
     def _check_wait(self, st: _RankState) -> None:
         posted, reqs, mode = st.waiting
+        if mode in ("one", "any") and len(reqs) > 1:
+            # waitany: resume on the earliest completion *known* at this
+            # evaluation (ties broken by request order).  Evaluations
+            # happen at wait post time and at each completion event, so
+            # a request whose match the event loop has not yet processed
+            # cannot win — see WaitOp's docstring.
+            ready = [(r.completion, i) for i, r in enumerate(reqs) if r.done]
+            if not ready:
+                return
+            completion, i = min(ready)
+            st.waiting = None
+            st.park_reason = None
+            value = (i, reqs[i].value) if mode == "any" else reqs[i].value
+            self._push(max(posted, completion), st.rank, value)
+            return
         if not all(r.done for r in reqs):
             return
         st.waiting = None
         st.park_reason = None
         resume = max([posted] + [r.completion for r in reqs])
-        if mode == "one":
-            value = reqs[0].value
-        else:
+        if mode == "all":
             value = [r.value for r in reqs]
+        elif mode == "any":
+            value = (0, reqs[0].value)
+        else:
+            value = reqs[0].value
         self._push(resume, st.rank, value)
 
     # -- collectives --------------------------------------------------------
     def _do_collective(self, st: _RankState, op: CollOp) -> None:
         group: CommGroup = op.comm.group
         me_world = group.world_ranks[op.comm.rank]
-        seq = group.coll_counts[me_world]
-        group.coll_counts[me_world] = seq + 1
-        pend = group.pending.get(seq)
+        pend = group.pending
         if pend is None:
-            pend = _CollPending(op.name)
-            group.pending[seq] = pend
+            pend = group.pending = _CollPending(op.name)
         elif pend.name != op.name:
             raise RuntimeError(
-                f"collective mismatch on comm {group.gid} seq {seq}: "
+                f"collective mismatch on comm {group.gid} seq {group.coll_seq}: "
                 f"{pend.name} vs {op.name} (rank {me_world})"
             )
         pend.entries[me_world] = (st.time, op)
-        st.park_reason = f"collective {op.name} on comm {group.gid} seq {seq}"
+        st.park_reason = f"collective {op.name} on comm {group.gid} seq {group.coll_seq}"
         if len(pend.entries) == group.size:
-            del group.pending[seq]
+            group.pending = None
+            group.coll_seq += 1
             self._finish_collective(group, pend)
 
     def _finish_collective(self, group: CommGroup, pend: _CollPending) -> None:
@@ -449,7 +851,15 @@ class Simulator:
             return None
         acc = vals[0]
         if isinstance(acc, np.ndarray):
+            # accumulate into one working copy instead of allocating a
+            # fresh array per participant
             acc = acc.copy()
+            for v in vals[1:]:
+                if isinstance(v, np.ndarray) and np.can_cast(v.dtype, acc.dtype):
+                    np.add(acc, v, out=acc)
+                else:
+                    acc = acc + v
+            return acc
         for v in vals[1:]:
             acc = acc + v
         return acc
@@ -507,21 +917,19 @@ class Simulator:
     def _do_split(self, st: _RankState, op: SplitOp) -> None:
         group: CommGroup = op.comm.group
         me_world = group.world_ranks[op.comm.rank]
-        seq = group.coll_counts[me_world]
-        group.coll_counts[me_world] = seq + 1
-        pend = group.pending.get(seq)
+        pend = group.pending
         if pend is None:
-            pend = _CollPending("__split__")
-            group.pending[seq] = pend
+            pend = group.pending = _CollPending("__split__")
         elif pend.name != "__split__":
             raise RuntimeError(
-                f"collective mismatch on comm {group.gid} seq {seq}: "
+                f"collective mismatch on comm {group.gid} seq {group.coll_seq}: "
                 f"{pend.name} vs split (rank {me_world})"
             )
         pend.entries[me_world] = (st.time, op)
         st.park_reason = f"comm_split on comm {group.gid}"
         if len(pend.entries) == group.size:
-            del group.pending[seq]
+            group.pending = None
+            group.coll_seq += 1
             self._finish_split(group, pend)
 
     def _finish_split(self, group: CommGroup, pend: _CollPending) -> None:

@@ -110,6 +110,12 @@ class Machine:
         :class:`~repro.sim.noise.NoiseModel`).  Two machines with
         different seeds rank configurations differently — this is what
         autotuning discovers.
+    batched_compute:
+        When True, a :class:`~repro.sim.ops.ComputeBatchOp` is charged
+        as one aggregate kernel (one noise draw over ``count * flops``)
+        instead of being expanded into its per-sub-kernel equivalents.
+        A deliberate model coarsening for throughput studies; off by
+        default so results stay bit-identical to per-op emission.
     """
 
     nprocs: int
@@ -119,6 +125,7 @@ class Machine:
     intercept_alpha: float = 2.0e-8
     skip_overhead: float = 1.0e-8
     seed: int = 0
+    batched_compute: bool = False
 
     def collectives(self) -> CollectiveCosts:
         return CollectiveCosts(self.alpha, self.beta)

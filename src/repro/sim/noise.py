@@ -142,6 +142,23 @@ class NoiseModel:
         mu, s = params
         return mean * math.exp(mu + s * rng.standard_normal())
 
+    def factors(self, sig: KernelSignature, run_seed: int) -> tuple:
+        """``(bias, drift, lognormal_params)`` for the engine's hot loop.
+
+        The engine caches this triple per (signature, run) and inlines
+        :meth:`sample` as ``base * bias * drift * exp(mu + s * N(0,1))``
+        — the identical sequence of float operations, so the cached
+        path is bit-for-bit equal to calling :meth:`sample`, minus the
+        memoization lookups.  ``lognormal_params`` is ``None`` when
+        per-invocation noise is disabled (no RNG draw happens at all —
+        preserving draw-order identity for zero-CV noise models).
+        """
+        return (
+            self.signature_bias(sig),
+            self.run_drift(sig, run_seed),
+            self._comm_params if sig.kind == "comm" else self._comp_params,
+        )
+
     def quiet(self) -> "NoiseModel":
         """A copy with all randomness disabled (for deterministic tests)."""
         return NoiseModel(

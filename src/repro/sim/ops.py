@@ -15,6 +15,7 @@ from repro.kernels.signature import KernelSignature
 
 __all__ = [
     "ComputeOp",
+    "ComputeBatchOp",
     "P2POp",
     "CollOp",
     "SplitOp",
@@ -48,6 +49,38 @@ class ComputeOp:
 
     sig: KernelSignature
     flops: float
+    fn: Optional[Callable[..., Any]] = None
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(slots=True)
+class ComputeBatchOp:
+    """``count`` identical-signature computational kernels in one event.
+
+    Algorithm kernels that emit a panel's worth of same-signature work
+    (a tpqrt reduction tree, inner-blocked geqr2 sub-kernels, ...) can
+    yield one batch instead of ``count`` separate :class:`ComputeOp`\\ s.
+
+    Semantics depend on the machine model's ``batched_compute`` flag:
+
+    * **off** (default): the engine expands the batch inline into
+      ``count`` back-to-back sub-kernels — per-sub-kernel profiler
+      decisions and noise draws, bit-identical to yielding the ops
+      individually;
+    * **on**: the batch is a single engine event charging
+      ``count * flops`` with *one* aggregate noise draw and one profiler
+      decision (a deliberate, flagged model coarsening that trades noise
+      resolution for engine throughput).
+
+    ``fn`` (the batch's numeric callback) is invoked at most once, after
+    the final sub-kernel, under the same execute/skip rules as
+    :class:`ComputeOp`.
+    """
+
+    sig: KernelSignature
+    #: flops per sub-kernel (not the batch total)
+    flops: float
+    count: int
     fn: Optional[Callable[..., Any]] = None
     args: Tuple[Any, ...] = ()
 
@@ -91,10 +124,27 @@ class SplitOp:
 
 @dataclass(slots=True)
 class WaitOp:
-    """Wait for one or more outstanding nonblocking requests."""
+    """Wait for one or more outstanding nonblocking requests.
+
+    Modes:
+
+    * ``"all"`` — resume once every request completed; returns the list
+      of per-request results.
+    * ``"one"`` — wait for a single request (``Comm.wait``); returns its
+      result.  With several requests it degrades to waitany semantics
+      (earliest known completion wins) but returns only the value;
+      prefer ``"any"`` for that.
+    * ``"any"`` — MPI_Waitany: resume as soon as any request completes;
+      returns ``(index, value)`` of the winner.  The engine resolves the
+      winner lazily: among the requests already completed when the wait
+      is (re-)evaluated, the one with the earliest completion time (ties
+      broken by list position) wins — a request whose match has not yet
+      been *discovered* by the event loop cannot win even if its eventual
+      completion time would be earlier, mirroring the implementation
+      nondeterminism real MPI waitany exhibits.
+    """
 
     requests: Sequence["Request"]
-    #: "all" returns a list of results; "one" expects a single request
     mode: str = "all"
 
 

@@ -44,6 +44,19 @@ class Profiler:
     #: whether interception overhead (internal messages) is charged
     active: bool = False
 
+    #: Declares the profiler safe for the engine's run-to-completion
+    #: fast path, which drives a rank's consecutive local events inline
+    #: instead of round-tripping each through the global event heap.
+    #: Per-rank hook order, arrival times, and RNG draw order are always
+    #: preserved, but hooks of *different* ranks may interleave
+    #: differently between synchronization points.  A profiler may set
+    #: this True iff its pre-execution decisions depend only on state
+    #: that cannot change between a rank's consecutive local events —
+    #: i.e. per-rank state plus state mutated only at events involving
+    #: that rank.  Conservative default: False (unknown subclasses keep
+    #: exact global hook ordering).
+    inline_safe: bool = False
+
     # -- run lifecycle -------------------------------------------------
     def start_run(self, sim: "Simulator", run_seed: int) -> None:
         """Called before rank programs start; reset per-run state here."""
@@ -135,3 +148,5 @@ class Profiler:
 
 class NullProfiler(Profiler):
     """Execute everything; measure nothing.  The no-tool baseline."""
+
+    inline_safe = True

@@ -1,0 +1,217 @@
+"""Golden engine workloads: the bit-identity contract of the simulator.
+
+This module enumerates a matrix of small-but-representative simulation
+cases — every machine preset crossed with the selective-execution
+policies, over all four algorithm spaces plus a synthetic program that
+exercises the whole p2p/wait/collective surface.  For each case it runs
+the simulator and reports ``SimResult.makespan`` / ``rank_times`` (and
+Critter's executed/skipped kernel counts) in exact ``float.hex`` form.
+
+``tests/golden/engine_golden.json`` holds the values captured from the
+engine *before* the run-to-completion fast path was introduced; the
+golden tests replay every case with the fast path on and off and demand
+bit-identical results.  Any engine change that alters a single RNG draw,
+a cost formula, or an event ordering that feeds back into timing will
+trip these tests.
+
+Regenerate the fixture (only on an engine known to be correct!) with::
+
+    PYTHONPATH=src python tests/golden_workloads.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.autotune.configspace import (
+    candmc_qr_space,
+    capital_cholesky_space,
+    slate_cholesky_space,
+    slate_qr_space,
+)
+from repro.critter import Critter
+from repro.kernels import blas, lapack
+from repro.sim import Simulator
+from repro.sim.presets import PRESETS, make_machine
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "engine_golden.json")
+
+MACHINE_SEED = 13
+PRESET_NAMES = tuple(sorted(PRESETS))
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def mixed_program(comm, nrounds: int = 3):
+    """Synthetic program covering p2p/wait/collective/split semantics.
+
+    Exercises: per-rank-distinct computes (divergent clocks), the
+    irecv+isend+overlap+waitall pattern, blocking pairwise send/recv,
+    isend completed by a blocking recv then reaped by a single wait,
+    allreduce/barrier rendezvous, and comm_split with sub-communicator
+    collectives.  Requires an even number of ranks.
+    """
+    me, p = comm.rank, comm.size
+    nxt, prv = (me + 1) % p, (me - 1) % p
+    for r in range(nrounds):
+        rreq = yield comm.irecv(source=prv, tag=10 + r, nbytes=64)
+        sreq = yield comm.isend(dest=nxt, tag=10 + r, nbytes=64)
+        yield comm.compute(blas.gemm_spec(8 + me, 8, 8))
+        yield comm.waitall([rreq, sreq])
+        yield comm.compute(blas.gemm_spec(8, 8, 8))
+        if me % 2 == 0:
+            yield comm.send(dest=me + 1, tag=99, nbytes=32)
+        else:
+            yield comm.recv(source=me - 1, tag=99, nbytes=32)
+        yield comm.allreduce(nbytes=128)
+        req = yield comm.isend(dest=nxt, tag=200 + r, nbytes=16)
+        yield comm.recv(source=prv, tag=200 + r, nbytes=16)
+        yield comm.wait(req)
+        yield comm.barrier()
+    sub = yield comm.split(color=me % 2, key=me)
+    yield sub.bcast(root=0, nbytes=256)
+    yield sub.allgather(nbytes=32)
+    yield comm.compute(lapack.potrf_spec(16 + me))
+    yield comm.barrier()
+    return float(me)
+
+
+class _MixedSpace:
+    """Duck-typed stand-in for a ConfigSpace over ``mixed_program``."""
+
+    name = "mixed_p2p"
+    program = staticmethod(mixed_program)
+    nprocs = 4
+    exclude = frozenset()
+
+    @staticmethod
+    def args_for(_config: Any) -> tuple:
+        return ()
+
+
+def _small_spaces() -> Dict[str, Any]:
+    """Reduced-size instances of the four algorithm spaces."""
+    return {
+        "capital_cholesky": capital_cholesky_space(n=128, c=2, b0=8, nconf=10),
+        "slate_cholesky": slate_cholesky_space(n=128, t0=32, dt=16, nconf=4),
+        "candmc_qr": candmc_qr_space(m=128, n=32, p=8, pr0=2, b0=2, nconf=3),
+        "slate_qr": slate_qr_space(m=64, n=32, p=4, pr0=2, nb0=8, dnb=4,
+                                   w0=2, nconf=6),
+    }
+
+
+#: (space, config index) per algorithm — chosen to cover base-case
+#: strategy 1 and 2 (capital), lookahead pipelining (slate), the tpqrt
+#: reduction tree (candmc) and inner-blocked geqr2 panels (slate_qr)
+_CONFIG_PICKS = {
+    "capital_cholesky": (0, 6),
+    "slate_cholesky": (1,),
+    "candmc_qr": (0,),
+    "slate_qr": (2,),
+}
+
+#: policy matrix: never-skip pins pure profiling overhead, conditional /
+#: online pin the skip decision sequences, eager pins the aggregate
+#: channel path (which runs on the naive scheduler by design)
+_POLICY_MATRIX = [
+    ("slate_cholesky", 1, ("never-skip", "conditional", "online"), PRESET_NAMES),
+    ("capital_cholesky", 0, ("conditional", "online", "eager"), PRESET_NAMES),
+    ("candmc_qr", 0, ("online",), ("knl-fabric", "quiet")),
+    ("slate_qr", 2, ("online",), ("knl-fabric", "quiet")),
+]
+
+
+def golden_cases() -> List[Dict[str, Any]]:
+    """The full case matrix as plain dicts (JSON-able identities)."""
+    cases: List[Dict[str, Any]] = []
+    spaces = _small_spaces()
+    for preset in PRESET_NAMES:
+        for name, picks in _CONFIG_PICKS.items():
+            for idx in picks:
+                cases.append({
+                    "id": f"{name}[{idx}]/{preset}/null",
+                    "space": name, "config": idx, "preset": preset,
+                    "policy": None, "run_seeds": [7],
+                })
+        cases.append({
+            "id": f"mixed_p2p/{preset}/null",
+            "space": "mixed_p2p", "config": None, "preset": preset,
+            "policy": None, "run_seeds": [7],
+        })
+    for name, idx, policies, presets in _POLICY_MATRIX:
+        for preset in presets:
+            for pol in policies:
+                cases.append({
+                    "id": f"{name}[{idx}]/{preset}/{pol}",
+                    "space": name, "config": idx, "preset": preset,
+                    "policy": pol, "run_seeds": [0, 1, 2],
+                })
+    cases.append({
+        "id": "mixed_p2p/knl-fabric/online",
+        "space": "mixed_p2p", "config": None, "preset": "knl-fabric",
+        "policy": "online", "run_seeds": [0, 1, 2],
+    })
+    return cases
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_case(case: Dict[str, Any], **sim_kwargs: Any) -> Dict[str, Any]:
+    """Execute one golden case; extra kwargs are passed to Simulator."""
+    if case["space"] == "mixed_p2p":
+        space: Any = _MixedSpace()
+        args: tuple = ()
+    else:
+        space = _small_spaces()[case["space"]]
+        args = space.args_for(space.configs[case["config"]])
+    machine, noise = make_machine(case["preset"], space.nprocs,
+                                  seed=MACHINE_SEED)
+    profiler: Optional[Critter] = None
+    if case["policy"] is not None:
+        profiler = Critter(policy=case["policy"], eps=0.25, min_samples=2,
+                           exclude=space.exclude)
+    runs = []
+    for seed in case["run_seeds"]:
+        sim = Simulator(machine, noise=noise, profiler=profiler, **sim_kwargs)
+        res = sim.run(space.program, args=args, run_seed=seed)
+        rec = {
+            "seed": seed,
+            "makespan": res.makespan.hex(),
+            "rank_times": [t.hex() for t in res.rank_times],
+        }
+        if profiler is not None:
+            rec["executed"] = profiler.last_report.executed_kernels
+            rec["skipped"] = profiler.last_report.skipped_kernels
+        runs.append(rec)
+    return {"id": case["id"], "runs": runs}
+
+
+def capture(path: str = GOLDEN_PATH) -> None:
+    entries = [run_case(c) for c in golden_cases()]
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump({"version": 1, "machine_seed": MACHINE_SEED,
+                   "entries": entries}, fh, indent=1)
+    print(f"wrote {len(entries)} golden entries to {path}")
+
+
+def load_golden(path: str = GOLDEN_PATH) -> Dict[str, Any]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported golden version {data.get('version')!r}")
+    return {e["id"]: e for e in data["entries"]}
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        raise SystemExit("refusing to run without --write "
+                         "(this overwrites the golden fixture)")
+    capture()

@@ -1,0 +1,524 @@
+"""Run-to-completion fast path: gating, equivalence, batching, waitany.
+
+The golden tests pin bit-identity against pre-refactor fixtures; this
+module covers the fast path's *mechanics*: when it engages, that it
+agrees with the naive scheduler on adversarial op patterns (irecv
+hazards, same-key message floods), the new batched-compute op, the
+fixed waitany semantics, and the in-place payload reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec
+from repro.kernels.lapack import potrf_spec
+from repro.sim import Machine, NoiseModel, Simulator, TraceRecorder
+from repro.sim.engine import Simulator as Engine
+from repro.sim.presets import make_machine
+
+from conftest import make_quiet_sim
+
+
+def run_both(program, nprocs=4, preset="knl-fabric", profiler_factory=None,
+             run_seed=3, **run_kwargs):
+    """Run under both schedulers, assert identical SimResults, return one."""
+    machine, noise = make_machine(preset, nprocs, seed=11)
+    results = []
+    fast_states = []
+    for fast in (True, False):
+        prof = profiler_factory() if profiler_factory else None
+        sim = Simulator(machine, noise=noise, profiler=prof, fast_path=fast)
+        results.append(sim.run(program, run_seed=run_seed, **run_kwargs))
+        fast_states.append(sim.used_fast_path)
+    fast_res, naive_res = results
+    assert fast_states == [True, False]
+    assert fast_res.makespan == naive_res.makespan
+    assert fast_res.rank_times == naive_res.rank_times
+    assert fast_res.returns == naive_res.returns
+    return fast_res
+
+
+# ----------------------------------------------------------------------
+# gating
+# ----------------------------------------------------------------------
+class TestGating:
+    def prog(self, comm):
+        yield comm.compute(gemm_spec(8, 8, 8))
+        yield comm.barrier()
+
+    def test_default_engages(self):
+        sim = make_quiet_sim(2)
+        sim.run(self.prog)
+        assert sim.used_fast_path
+
+    def test_fast_path_false_disables(self):
+        m = Machine(nprocs=2)
+        sim = Simulator(m, fast_path=False)
+        sim.run(self.prog)
+        assert not sim.used_fast_path
+
+    def test_trace_disables(self):
+        m = Machine(nprocs=2)
+        sim = Simulator(m, trace=TraceRecorder())
+        sim.run(self.prog)
+        assert not sim.used_fast_path
+
+    def test_noneager_critter_engages(self):
+        m = Machine(nprocs=2)
+        sim = Simulator(m, profiler=Critter(policy="online", eps=0.25))
+        sim.run(self.prog)
+        assert sim.used_fast_path
+
+    def test_eager_critter_disables(self):
+        m = Machine(nprocs=2)
+        sim = Simulator(m, profiler=Critter(policy="eager", eps=0.25))
+        sim.run(self.prog)
+        assert not sim.used_fast_path
+
+    def test_extrapolating_critter_disables(self):
+        m = Machine(nprocs=2)
+        sim = Simulator(m, profiler=Critter(policy="online", eps=0.25,
+                                            extrapolate=True))
+        sim.run(self.prog)
+        assert not sim.used_fast_path
+
+    def test_unknown_profiler_subclass_disables(self):
+        from repro.sim import Profiler
+
+        class Recording(Profiler):
+            pass
+
+        m = Machine(nprocs=2)
+        sim = Simulator(m, profiler=Recording())
+        sim.run(self.prog)
+        assert not sim.used_fast_path
+
+
+# ----------------------------------------------------------------------
+# scheduler equivalence on adversarial patterns
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def test_irecv_hazard_pattern(self):
+        # receiver posts irecv then keeps computing (drawing from its
+        # RNG) while the sender's isend arrives — the exact pattern that
+        # forces the fast path to re-queue the isend
+        def prog(comm):
+            if comm.rank == 0:
+                for _ in range(5):
+                    yield comm.compute(gemm_spec(16, 16, 16))
+                req = yield comm.isend(None, dest=1, nbytes=256)
+                yield comm.wait(req)
+                return None
+            req = yield comm.irecv(source=0, nbytes=256)
+            for _ in range(12):
+                yield comm.compute(gemm_spec(12, 12, 12))
+            yield comm.wait(req)
+            return None
+
+        run_both(prog, nprocs=2)
+
+    def test_inline_match_blocked_by_receivers_pending_irecv(self):
+        # regression (code review): rank 0 parks in a blocking recv
+        # while holding an unmatched irecv from rank 2.  Rank 1's isend
+        # must NOT match the parked recv inline: rank 2's earlier-time
+        # send matches the irecv first in global order, drawing from
+        # rank 0's RNG stream before rank 1's match does
+        def prog(comm):
+            if comm.rank == 0:
+                r_i = yield comm.irecv(source=2, tag=7, nbytes=64)
+                go = yield comm.isend("go", dest=1, tag=3, nbytes=8)
+                got = yield comm.recv(source=1, tag=1, nbytes=64)
+                yield comm.wait(r_i)
+                yield comm.wait(go)
+                return got
+            if comm.rank == 1:
+                yield comm.recv(source=0, tag=3, nbytes=8)
+                for _ in range(6):
+                    yield comm.compute(gemm_spec(20, 20, 20))
+                req = yield comm.isend("from1", dest=0, tag=1, nbytes=64)
+                yield comm.wait(req)
+                return None
+            yield comm.compute(gemm_spec(35, 35, 35))
+            yield comm.send("from2", dest=0, tag=7, nbytes=64)
+            return None
+
+        res = run_both(prog, nprocs=3)
+        assert res.returns[0] == "from1"
+
+    def test_inline_match_blocked_by_senders_pending_isend(self):
+        # regression (code review): rank 2 holds an unmatched isend to
+        # rank 0 (matched by rank 0's recv at ~5.5us — an earlier
+        # global time than rank 2's run-ahead position) that shares a
+        # signature (64 bytes, rank-stride 2) with the isend to rank
+        # 4's parked recv.  Inline-matching the latter first would make
+        # the skip decision on stale statistics and apply the two
+        # order-sensitive stat updates in swapped order.  gemm is
+        # excluded from skipping so the run-ahead stays long even once
+        # the send signature is predictable; without the sender-side
+        # pending_isends guard this diverges for eps in [0.125, 0.175]
+        def prog(comm):
+            me = comm.rank
+            if me == 2:
+                r0 = yield comm.isend("zero", dest=4, tag=0, nbytes=64)
+                yield comm.compute(gemm_spec(33, 33, 33))
+                req1 = yield comm.isend("one", dest=0, tag=9, nbytes=64)
+                for _ in range(8):
+                    yield comm.compute(gemm_spec(20, 20, 20))
+                req2 = yield comm.isend("two", dest=4, tag=1, nbytes=64)
+                yield comm.waitall([r0, req1, req2])
+                return None
+            if me == 4:
+                a = yield comm.recv(source=2, tag=0, nbytes=64)
+                b = yield comm.recv(source=2, tag=1, nbytes=64)
+                return (a, b)
+            if me == 0:
+                yield comm.compute(gemm_spec(38, 38, 38))
+                return (yield comm.recv(source=2, tag=9, nbytes=64))
+            yield comm.compute(gemm_spec(8, 8, 8))
+            return None
+
+        machine, noise = make_machine("knl-fabric", 5, seed=11)
+        for eps in (0.125, 0.15, 0.175):
+            outcomes = []
+            for fast in (True, False):
+                cr = Critter(policy="online", eps=eps, min_samples=2,
+                             exclude=frozenset({"gemm"}))
+                spans = []
+                for seed in range(6):
+                    sim = Simulator(machine, noise=noise, profiler=cr,
+                                    fast_path=fast)
+                    spans.append(sim.run(prog, run_seed=seed).makespan)
+                outcomes.append((spans, cr.last_report.executed_kernels,
+                                 cr.last_report.skipped_kernels))
+            assert outcomes[0] == outcomes[1], f"eps={eps}"
+
+    def test_same_key_message_flood(self):
+        # many same-(peer, tag) messages: FIFO deque pairing must agree
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = []
+                for i in range(20):
+                    reqs.append((yield comm.isend(i, dest=1, tag=5, nbytes=8)))
+                    yield comm.compute(gemm_spec(8, 8, 8))
+                yield comm.waitall(reqs)
+                return None
+            got = []
+            for _ in range(20):
+                got.append((yield comm.recv(source=0, tag=5, nbytes=8)))
+            return got
+
+        res = run_both(prog, nprocs=2)
+        assert res.returns[1] == list(range(20))
+
+    def test_compute_runs_between_collectives(self):
+        def prog(comm):
+            total = 0.0
+            for r in range(6):
+                for _ in range(comm.rank + 1):
+                    yield comm.compute(gemm_spec(10 + comm.rank, 10, 10))
+                v = yield comm.allreduce(payload=float(comm.rank), nbytes=8)
+                total += v
+            sub = yield comm.split(color=comm.rank % 2, key=comm.rank)
+            yield sub.barrier()
+            return total
+
+        res = run_both(prog, nprocs=4)
+        assert res.returns[0] == pytest.approx(6 * sum(range(4)))
+
+    def test_critter_skip_decisions_agree(self):
+        # repeated runs sharing one Critter: skip decisions feed back
+        # into timing and RNG consumption, so any divergence compounds
+        def prog(comm):
+            for _ in range(8):
+                yield comm.compute(gemm_spec(32, 32, 32))
+                yield comm.compute(potrf_spec(24))
+            yield comm.allreduce(nbytes=64)
+
+        machine, noise = make_machine("knl-fabric", 4, seed=11)
+        outcomes = []
+        for fast in (True, False):
+            cr = Critter(policy="online", eps=0.5, min_samples=2)
+            span = []
+            for seed in range(4):
+                sim = Simulator(machine, noise=noise, profiler=cr,
+                                fast_path=fast)
+                span.append(sim.run(prog, run_seed=seed).makespan)
+            rep = cr.last_report
+            outcomes.append((span, rep.executed_kernels, rep.skipped_kernels))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][2] > 0  # skips actually happened
+
+
+def _random_program(case_seed: int, p: int, rounds: int = 5):
+    """A seeded random op soup: permuted p2p rings with mixed blocking/
+    nonblocking completion, interleaved computes/batches, occasional
+    collectives and splits — deterministic per seed and deadlock-free
+    (every rank sends to and receives from exactly one peer per round).
+    """
+    rng = np.random.default_rng(case_seed)
+    perms = [rng.permutation(p) for _ in range(rounds)]
+    scripts = [[int(x) for x in rng.integers(0, 6, size=8)] for _ in range(rounds)]
+    sizes = [int(x) for x in rng.integers(4, 40, size=rounds)]
+
+    def prog(comm):
+        me = comm.rank
+        for r in range(rounds):
+            perm = perms[r]
+            dest = int(perm[me])
+            src = int(np.where(perm == me)[0][0])
+            nb = 8 * sizes[r]
+            sreq = yield comm.isend(me, dest=dest, tag=r, nbytes=nb)
+            use_irecv = scripts[r][0] % 2 == 0
+            if use_irecv:
+                rreq = yield comm.irecv(source=src, tag=r, nbytes=nb)
+            for code in scripts[r][1:]:
+                if code < 4:
+                    yield comm.compute(gemm_spec(sizes[r] + code, 8, 8))
+                elif code == 4 and sizes[r] % 3 == 0:
+                    yield comm.compute_batch(gemm_spec(sizes[r], 8, 8), 3)
+            if use_irecv:
+                yield comm.waitall([rreq, sreq])
+            else:
+                yield comm.recv(source=src, tag=r, nbytes=nb)
+                yield comm.wait(sreq)
+            if scripts[r][2] % 3 == 0:
+                yield comm.allreduce(nbytes=64)
+            if scripts[r][3] % 4 == 0:
+                sub = yield comm.split(color=me % 2, key=me)
+                yield sub.barrier()
+        return me
+
+    return prog
+
+
+@pytest.mark.parametrize("case", range(6))
+@pytest.mark.parametrize("with_critter", [False, True],
+                         ids=["null", "critter"])
+def test_differential_random_programs(case, with_critter):
+    """Property check: both schedulers agree on seeded random programs."""
+    p = [2, 3, 4, 5][case % 4]
+    preset = ["knl-fabric", "cloud-vm", "quiet"][case % 3]
+    factory = (lambda: Critter(policy="online", eps=0.3)) if with_critter else None
+    res = run_both(_random_program(1000 + case, p), nprocs=p, preset=preset,
+                   profiler_factory=factory, run_seed=case)
+    assert sorted(res.returns) == list(range(p))
+
+
+# ----------------------------------------------------------------------
+# batched compute
+# ----------------------------------------------------------------------
+class TestComputeBatch:
+    def test_flag_off_equals_per_op_emission(self):
+        def batched(comm):
+            yield comm.compute_batch(gemm_spec(16, 16, 16), 7)
+            yield comm.barrier()
+
+        def per_op(comm):
+            for _ in range(7):
+                yield comm.compute(gemm_spec(16, 16, 16))
+            yield comm.barrier()
+
+        machine, noise = make_machine("knl-fabric", 2, seed=5)
+        for fast in (True, False):
+            a = Simulator(machine, noise=noise, fast_path=fast).run(batched)
+            b = Simulator(machine, noise=noise, fast_path=fast).run(per_op)
+            assert a.makespan == b.makespan
+            assert a.rank_times == b.rank_times
+
+    def test_flag_off_profiler_sees_subkernels(self):
+        def prog(comm):
+            yield comm.compute_batch(gemm_spec(16, 16, 16), 5)
+
+        cr = Critter(policy="never-skip")
+        make_quiet_sim(1, profiler=cr).run(prog)
+        assert cr.last_report.executed_kernels == 5
+
+    def test_flag_on_single_aggregate_event(self):
+        def prog(comm):
+            yield comm.compute_batch(gemm_spec(16, 16, 16), 5)
+
+        m = Machine(nprocs=1, batched_compute=True)
+        cr = Critter(policy="never-skip")
+        Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0, comm_cv=0,
+                                      run_cv=0),
+                  profiler=cr).run(prog)
+        assert cr.last_report.executed_kernels == 1
+        # aggregate flops: one kernel charging 5x the sub-kernel work
+        sig, flops = gemm_spec(16, 16, 16)
+        assert cr.last_report.predicted.flops == pytest.approx(5 * flops)
+
+    def test_flag_on_noise_free_time_matches_expansion(self):
+        # without per-invocation noise the aggregate charge equals the
+        # sum of sub-kernel charges exactly (linear cost model)
+        def prog(comm):
+            yield comm.compute_batch(gemm_spec(16, 16, 16), 9)
+
+        base = make_quiet_sim(1).run(prog).makespan
+        m = Machine(nprocs=1, batched_compute=True)
+        agg = Simulator(m, noise=NoiseModel(bias_sigma=0, comp_cv=0,
+                                            comm_cv=0, run_cv=0)).run(prog)
+        assert agg.makespan == pytest.approx(base)
+
+    def test_fn_runs_once_after_batch(self):
+        calls = []
+
+        def prog(comm):
+            got = yield comm.compute_batch(gemm_spec(8, 8, 8), 4,
+                                           fn=lambda: calls.append(1) or 42)
+            return got
+
+        res = make_quiet_sim(1).run(prog)
+        assert calls == [1]
+        assert res.returns[0] == 42
+
+    def test_batch_equals_per_op_under_eager_critter(self):
+        # regression (code review): under an order-sensitive profiler
+        # (eager runs on the naive scheduler) batch sub-kernels must
+        # ride the heap individually so another sub-communicator's
+        # aggregation can interleave exactly as with per-op emission
+        def make_prog(batched):
+            def prog(comm):
+                me = comm.rank
+                sub = yield comm.split(color=0 if me < 2 else 1, key=me)
+                for _ in range(2):
+                    yield comm.compute(gemm_spec(24, 24, 24))
+                yield sub.allreduce(nbytes=64)
+                if me >= 2:
+                    if batched:
+                        yield comm.compute_batch(gemm_spec(24, 24, 24), 10)
+                    else:
+                        for _ in range(10):
+                            yield comm.compute(gemm_spec(24, 24, 24))
+                else:
+                    for _ in range(3):
+                        yield sub.allreduce(nbytes=64)
+                yield comm.barrier()
+            return prog
+
+        machine, noise = make_machine("knl-fabric", 4, seed=11)
+        outcomes = {}
+        for batched in (True, False):
+            cr = Critter(policy="eager", eps=0.6, min_samples=2)
+            spans = []
+            for seed in range(4):
+                sim = Simulator(machine, noise=noise, profiler=cr)
+                assert_used = sim.run(make_prog(batched), run_seed=seed)
+                assert not sim.used_fast_path  # eager -> naive scheduler
+                spans.append(assert_used.makespan)
+            outcomes[batched] = (spans, cr.last_report.executed_kernels,
+                                 cr.last_report.skipped_kernels)
+        assert outcomes[True] == outcomes[False]
+
+    def test_count_validation(self):
+        def prog(comm):
+            yield comm.compute_batch(gemm_spec(8, 8, 8), 0)
+
+        with pytest.raises(ValueError, match="count >= 1"):
+            make_quiet_sim(1).run(prog)
+
+
+# ----------------------------------------------------------------------
+# wait semantics (satellite: the mode="one" audit)
+# ----------------------------------------------------------------------
+class TestWaitSemantics:
+    def _two_source_prog(self, mode):
+        """Rank 2 waits on irecvs from ranks 0 (slow) and 1 (fast)."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                for _ in range(20):
+                    yield comm.compute(gemm_spec(32, 32, 32))
+                yield comm.send("slow", dest=2, tag=0, nbytes=8)
+                return None
+            if comm.rank == 1:
+                yield comm.send("fast", dest=2, tag=1, nbytes=8)
+                return None
+            slow = yield comm.irecv(source=0, tag=0, nbytes=8)
+            fast = yield comm.irecv(source=1, tag=1, nbytes=8)
+            if mode == "any":
+                got = yield comm.waitany([slow, fast])
+            elif mode == "one":
+                from repro.sim.ops import WaitOp
+
+                got = yield WaitOp([slow, fast], mode="one")
+            else:
+                got = yield comm.waitall([slow, fast])
+            t_after = yield comm.compute(gemm_spec(1, 1, 1))
+            return got
+
+        return prog
+
+    def test_single_request_wait_unchanged(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = yield comm.isend("x", dest=1, nbytes=8)
+                yield comm.wait(req)
+                return None
+            req = yield comm.irecv(source=0, nbytes=8)
+            return (yield comm.wait(req))
+
+        res = run_both(prog, nprocs=2)
+        assert res.returns[1] == "x"
+
+    def test_waitany_resumes_on_first_completion(self):
+        res_any = run_both(self._two_source_prog("any"), nprocs=3)
+        res_all = run_both(self._two_source_prog("all"), nprocs=3)
+        # the fast sender's message wins, with its index
+        assert res_any.returns[2] == (1, "fast")
+        assert res_all.returns[2] == ["slow", "fast"]
+        # regression for the audited bug: waitany must NOT block until
+        # the slow sender arrives the way waitall does
+        assert res_any.rank_times[2] < res_all.rank_times[2]
+
+    def test_mode_one_multi_request_is_waitany(self):
+        # mode="one" with several requests no longer blocks on all of
+        # them (the audited behavior) and returns the winner's value
+        res = run_both(self._two_source_prog("one"), nprocs=3)
+        assert res.returns[2] == "fast"
+
+    def test_waitany_already_completed_picks_earliest(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send("a", dest=1, tag=0, nbytes=8)
+                yield comm.send("b", dest=1, tag=1, nbytes=8)
+                return None
+            r0 = yield comm.irecv(source=0, tag=0, nbytes=8)
+            r1 = yield comm.irecv(source=0, tag=1, nbytes=8)
+            for _ in range(10):
+                yield comm.compute(gemm_spec(16, 16, 16))
+            # both long done: the earliest completion (tag 0) wins
+            return (yield comm.waitany([r1, r0]))
+
+        res = run_both(prog, nprocs=2)
+        assert res.returns[1] == (1, "a")
+
+
+# ----------------------------------------------------------------------
+# in-place payload reduction
+# ----------------------------------------------------------------------
+class TestReducePayloads:
+    def test_ndarray_sum_and_input_preserved(self):
+        arrays = [np.full((4, 4), float(r)) for r in range(4)]
+
+        def prog(comm):
+            out = yield comm.allreduce(payload=arrays[comm.rank])
+            return out
+
+        res = make_quiet_sim(4).run(prog)
+        for r in res.returns:
+            np.testing.assert_array_equal(r, np.full((4, 4), 6.0))
+        # inputs must not be mutated by the in-place accumulation
+        for i, a in enumerate(arrays):
+            np.testing.assert_array_equal(a, np.full((4, 4), float(i)))
+
+    def test_mixed_dtype_upcasts(self):
+        assert Engine._reduce_payloads(
+            [np.array([1, 2]), np.array([0.5, 0.5])]
+        ) == pytest.approx([1.5, 2.5])
+
+    def test_scalars_and_none(self):
+        assert Engine._reduce_payloads([None, 2.0, 3.0, None]) == 5.0
+        assert Engine._reduce_payloads([None, None]) is None

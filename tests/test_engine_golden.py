@@ -1,0 +1,44 @@
+"""Golden-makespan regression: the engine's bit-identity contract.
+
+``tests/golden/engine_golden.json`` pins ``SimResult.makespan`` and
+``rank_times`` (exact ``float.hex``) plus Critter's executed/skipped
+kernel counts for every machine preset x selective-execution policy
+across the four algorithm spaces and a synthetic p2p/wait/split
+workload — captured on the engine *before* the run-to-completion fast
+path existed.
+
+Both schedulers must reproduce the fixtures bit-for-bit: the fast path
+may not change a single RNG draw or timing, and the naive path must
+remain exactly the pre-refactor scheduler.  Any future engine change
+that shifts one float here is a behavioral change and needs a
+deliberate fixture regeneration (``python tests/golden_workloads.py
+--write``) with justification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from golden_workloads import GOLDEN_PATH, golden_cases, load_golden, run_case
+
+GOLDEN = load_golden()
+CASES = golden_cases()
+CASE_IDS = [c["id"] for c in CASES]
+
+
+def test_fixture_covers_all_cases():
+    assert sorted(GOLDEN) == sorted(CASE_IDS)
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_golden_fast_path(case):
+    assert run_case(case)["runs"] == GOLDEN[case["id"]]["runs"], (
+        f"fast-path results diverged from {GOLDEN_PATH}"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_golden_naive_scheduler(case):
+    assert run_case(case, fast_path=False)["runs"] == GOLDEN[case["id"]]["runs"], (
+        f"naive-scheduler results diverged from {GOLDEN_PATH}"
+    )
