@@ -22,7 +22,13 @@ from __future__ import annotations
 import os
 
 from bench_profiles import PROFILE
-from repro.sim.bench import ACCEPTANCE, format_bench, run_bench, write_bench
+from repro.sim.bench import (
+    ACCEPTANCE,
+    COLLECTIVE_ACCEPTANCE,
+    format_bench,
+    run_bench,
+    write_bench,
+)
 
 BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
 
@@ -34,11 +40,17 @@ def test_engine_fastpath_throughput(benchmark):
     print(format_bench(data))
     write_bench(data, BENCH_JSON)
 
-    # the fast path must never lose to the naive scheduler on the
-    # acceptance workload (compute-heavy Cholesky, the tuner's op mix)
+    # the fast path must never lose to the naive scheduler on either
+    # acceptance workload: compute-heavy Cholesky (the tuner's op mix)
+    # and collective-dense (the inline-arrival panel chain)
     acc = data["acceptance"]
     assert acc["speedup"] >= 1.0, (
         f"fast path slower than naive on {ACCEPTANCE}: {acc['speedup']:.2f}x"
+    )
+    coll = data["collective_acceptance"]
+    assert coll["speedup"] >= 1.0, (
+        f"fast path slower than naive on {COLLECTIVE_ACCEPTANCE}: "
+        f"{coll['speedup']:.2f}x"
     )
     # aggregate batching must beat expanded emission
     assert data["batching_speedup"] > 1.0

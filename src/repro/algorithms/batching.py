@@ -1,0 +1,94 @@
+"""Run-length batching of identical-signature kernel emissions.
+
+Algorithm rank programs often emit a *run* of computational kernels
+with the same signature — trailing-update gemms down a panel, a tpqrt
+reduction tree, inner-blocked geqr2 chunks.  Yielding each kernel as
+its own :class:`~repro.sim.ops.ComputeOp` costs one engine event per
+kernel; yielding the run as one :class:`~repro.sim.ops.ComputeBatchOp`
+costs one event and, under ``Machine.batched_compute``, a single
+aggregate noise draw.
+
+:class:`ComputeRunBatcher` discovers the runs at emission time, so
+algorithms whose grouping depends on runtime state (tile ownership,
+cache hits) don't have to precompute them.  ``add`` buffers a kernel;
+a signature/flops change emits the buffered run.  The caller **must**
+``yield from flush()`` before any non-compute yield (recv, isend,
+collective, wait) and at the end of the emission region — that keeps
+the engine's op stream in the original order, which is what makes the
+transformation bit-identical: a batch's default expansion
+(``batched_compute=False``) replays the exact per-sub-kernel profiler
+decisions and noise draws of per-op emission.
+
+Numeric callbacks are chained and run once after the run's final
+sub-kernel (the same contract as :class:`ComputeBatchOp`): because no
+other op separates the run's kernels, deferring each callback to the
+end of the run is observationally identical for callbacks that touch
+only rank-local state.  Under a skipping profiler with
+``execute_skipped_fns=False`` the chained callback inherits the *final*
+sub-kernel's execute decision — data-carrying runs should keep
+``execute_skipped_fns=True``, as everywhere else.
+
+Usage::
+
+    batch = ComputeRunBatcher(comm)
+    for tile in tiles:
+        if needs_recv(tile):
+            yield from batch.flush()
+            data = yield comm.recv(...)
+        yield from batch.add(spec_for(tile), fn=update_fn)
+    yield from batch.flush()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["ComputeRunBatcher"]
+
+
+class ComputeRunBatcher:
+    """Coalesces consecutive identical-signature computes into batches."""
+
+    __slots__ = ("comm", "_spec", "_count", "_fns")
+
+    def __init__(self, comm: Any) -> None:
+        self.comm = comm
+        self._spec: Optional[Tuple[Any, float]] = None
+        self._count = 0
+        self._fns: List[Callable[[], Any]] = []
+
+    def add(self, spec: Tuple[Any, float], fn: Optional[Callable[[], Any]] = None):
+        """Buffer one kernel (generator: ``yield from``).
+
+        Extends the pending run when ``spec`` matches its signature and
+        per-kernel flops; otherwise flushes the pending run first.
+        """
+        prev = self._spec
+        if prev is not None and prev[0] == spec[0] and prev[1] == spec[1]:
+            self._count += 1
+            if fn is not None:
+                self._fns.append(fn)
+        else:
+            yield from self.flush()
+            self._spec = spec
+            self._count = 1
+            self._fns = [fn] if fn is not None else []
+
+    def flush(self):
+        """Emit the pending run, if any (generator: ``yield from``)."""
+        spec, count, fns = self._spec, self._count, self._fns
+        if spec is None:
+            return
+        self._spec, self._count, self._fns = None, 0, []
+        if count == 1:
+            yield self.comm.compute(spec, fn=fns[0] if fns else None)
+            return
+        fn: Optional[Callable[[], Any]] = None
+        if fns:
+            if len(fns) == 1:
+                fn = fns[0]
+            else:
+                def fn(_fns=tuple(fns)):
+                    for f in _fns:
+                        f()
+        yield self.comm.compute_batch(spec, count, fn=fn)

@@ -31,6 +31,15 @@ TSQR); every column rank redundantly computes the panel's compact-WY
 factorization, and the update path exercises the real distributed
 W-allreduce data flow.  Per-panel (Y, T, R) are recorded for
 verification.
+
+Batching note: the tpqrt reduction tree is the schedule's only
+same-signature kernel run and is already emitted as one
+:class:`~repro.sim.ops.ComputeBatchOp`; the remaining per-panel kernels
+(geqrf, getrf/ormqr/larft reconstruction, the W-update gemm/trmm pair)
+all have distinct signatures separated by column/row collectives, so
+run-length batching cannot coalesce them bit-identically (verified by
+tracing per-rank op streams).  Panel-loop throughput comes from the
+engine's inline collective-arrival dispatch instead.
 """
 
 from __future__ import annotations

@@ -32,6 +32,15 @@ copy, so the recursion's mathematics is verified against numpy while
 communication is charged for the true distributed layout.  Block-to-
 cyclic distribution kernels are intercepted as custom ``blk2cyc``
 kernels, as the paper does with Critter's code-region API.
+
+Batching note: unlike the SLATE schedules, this algorithm emits **no**
+same-signature kernel runs — every compute (3D-product block, base-case
+potrf/trtri, blk2cyc) is separated by grid collectives, so
+:class:`~repro.algorithms.batching.ComputeRunBatcher` adoption cannot
+apply bit-identically (verified by tracing per-rank op streams).  Its
+engine-throughput lever is instead the collective-arrival fast path:
+the schedule is dominated by row/column/fiber/layer bcast-reduce
+chains, exactly the event mix the engine dispatches inline.
 """
 
 from __future__ import annotations

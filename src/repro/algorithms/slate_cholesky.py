@@ -19,6 +19,13 @@ right-looking algorithm).
 Numeric mode carries real tiles through the exact message flow, so the
 test suite can reassemble ``L`` from the per-rank results and check
 ``L L^T = A``.
+
+Runs of same-shape tile kernels — trsm down a panel with no remote
+consumers in between, gemm/syrk sweeps over the trailing tiles a rank
+owns — are emitted through a :class:`ComputeRunBatcher`, so each run is
+one engine event (and one aggregate noise draw under
+``Machine.batched_compute``) while expanding bit-identically to per-op
+emission by default.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.algorithms.batching import ComputeRunBatcher
 from repro.algorithms.distribution import TileMap, tile_dim
 from repro.kernels import blas, lapack
 from repro.sim.comm import Comm
@@ -74,13 +82,19 @@ def slate_cholesky(comm: Comm, config: SlateCholeskyConfig,
             tiles[(i, j)] = a[r0:r1, c0:c1].astype(float).copy()
 
     cache: Dict[Tuple[int, int], Optional[np.ndarray]] = {}
+    batch = ComputeRunBatcher(comm)
 
     def get_panel_tile(i: int, k: int):
-        """Obtain L(i,k): local tile, cached recv, or blocking recv."""
+        """Obtain L(i,k): local tile, cached recv, or blocking recv.
+
+        Flushes the pending kernel run before a blocking recv so the
+        engine sees ops in the original order.
+        """
         if tm.owner(i, k) == me:
             return tiles.get((i, k))
         key = (i, k)
         if key not in cache:
+            yield from batch.flush()
             val = yield comm.recv(
                 source=tm.owner(i, k), tag=_tag(1, k, i, nt),
                 nbytes=tm.tile_nbytes(i, k),
@@ -114,15 +128,19 @@ def slate_cholesky(comm: Comm, config: SlateCholeskyConfig,
                 def f_trsm(t=tiles, i_=i, k_=k, l=lkk):
                     t[(i_, k_)] = blas.trsm(l, t[(i_, k_)], side="R",
                                             lower=True, trans=True)
-                yield comm.compute(blas.trsm_spec(dk, di), fn=f_trsm if numeric else None)
+                yield from batch.add(blas.trsm_spec(dk, di),
+                                     fn=f_trsm if numeric else None)
                 # consumers: row-i updates (i,j), k<j<=i, and column-i updates (l,i), l>=i
                 consumers = {tm.owner(i, j) for j in range(k + 1, i + 1)}
                 consumers |= {tm.owner(l, i) for l in range(i, nt)}
                 consumers.discard(me)
+                if consumers:
+                    yield from batch.flush()
                 for d in sorted(consumers):
                     yield comm.isend(payload=tiles.get((i, k)), dest=d,
                                      tag=_tag(1, k, i, nt),
                                      nbytes=tm.tile_nbytes(i, k))
+            yield from batch.flush()
 
     def updates(k: int, cols):
         """Apply panel-k updates to owned trailing tiles in ``cols``."""
@@ -137,15 +155,16 @@ def slate_cholesky(comm: Comm, config: SlateCholeskyConfig,
                 if i == j:
                     def f_syrk(t=tiles, i_=i, j_=j, l=li):
                         t[(i_, j_)] = t[(i_, j_)] - l @ l.T
-                    yield comm.compute(blas.syrk_spec(di, dk),
-                                       fn=f_syrk if numeric else None)
+                    yield from batch.add(blas.syrk_spec(di, dk),
+                                         fn=f_syrk if numeric else None)
                 else:
                     lj = yield from get_panel_tile(j, k)
 
                     def f_gemm(t=tiles, i_=i, j_=j, l1=li, l2=lj):
                         t[(i_, j_)] = t[(i_, j_)] - l1 @ l2.T
-                    yield comm.compute(blas.gemm_spec(di, dj, dk),
-                                       fn=f_gemm if numeric else None)
+                    yield from batch.add(blas.gemm_spec(di, dj, dk),
+                                         fn=f_gemm if numeric else None)
+        yield from batch.flush()
 
     d = config.lookahead
     yield from panel(0)

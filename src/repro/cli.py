@@ -131,7 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON output path ('' disables writing)")
     b.add_argument("--check", action="store_true",
                    help="exit nonzero if the fast path is slower than the "
-                        "naive scheduler on the acceptance workload")
+                        "naive scheduler on an acceptance workload "
+                        "(compute-heavy Cholesky or collective-dense)")
+    b.add_argument("--workload", action="append", metavar="NAME",
+                   help="only run workloads whose name contains NAME "
+                        "(repeatable; default: all)")
     return p
 
 
@@ -223,7 +227,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
     from repro.sim.bench import main as bench_main
 
-    return bench_main(quick=args.quick, out=args.out, check=args.check)
+    return bench_main(quick=args.quick, out=args.out, check=args.check,
+                      workloads=args.workload)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

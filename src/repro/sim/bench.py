@@ -9,10 +9,15 @@ Workloads are synthetic rank programs with *prebuilt* op descriptors,
 so the measurement isolates the engine hot loop from algorithm-side
 Python:
 
-* ``cholesky-compute`` — the acceptance workload: a compute-heavy
-  tiled-Cholesky-shaped sweep (potrf + trsm/gemm runs down each panel,
-  one allreduce per panel).  Dominated by :class:`ComputeOp` events,
-  exactly what tuner inner loops spend their time on.
+* ``cholesky-compute`` — the compute acceptance workload: a
+  compute-heavy tiled-Cholesky-shaped sweep (potrf + trsm/gemm runs
+  down each panel, one allreduce per panel).  Dominated by
+  :class:`ComputeOp` events, exactly what tuner inner loops spend their
+  time on.
+* ``collective-dense`` — the collective acceptance workload: a panel
+  factorization's bcast/allreduce chain (one small compute between the
+  two collectives of each panel), >2/3 of whose events are collective
+  arrivals.  This is the op mix the inline-arrival dispatch targets.
 * ``p2p-pipeline``     — ring pipelining via isend/compute/recv/wait.
 * ``collectives``      — bcast/allreduce/barrier rendezvous rounds.
 * ``cholesky-batch``   — the sweep's kernel runs emitted as
@@ -35,7 +40,7 @@ import json
 import platform
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,10 +53,16 @@ __all__ = ["Workload", "make_workloads", "run_bench", "format_bench", "main"]
 #: presets the bench sweeps (noisy paper-like + draw-free control)
 BENCH_PRESETS = ("knl-fabric", "quiet")
 
-#: the acceptance measurement: compute-heavy Cholesky, no profiler,
-#: noisy preset — the row the CI check and the 2x target bind to
+#: the compute acceptance measurement: compute-heavy Cholesky, no
+#: profiler, noisy preset — the row the CI check and the 2x target bind to
 ACCEPTANCE = {"workload": "cholesky-compute", "preset": "knl-fabric",
               "profiler": "null"}
+
+#: the collective acceptance measurement: the fast path must also beat
+#: the naive scheduler on collective-dominated op mixes (inline
+#: non-final collective arrivals, PR 3)
+COLLECTIVE_ACCEPTANCE = {"workload": "collective-dense",
+                         "preset": "knl-fabric", "profiler": "null"}
 
 
 @dataclass(frozen=True)
@@ -112,6 +123,23 @@ def _p2p_pipeline(rounds: int, tile: int):
     return program
 
 
+def _collective_chain(panels: int, tile: int):
+    """Panel factorization's collective chain: bcast + tiny compute + allreduce."""
+    potrf = lapack.potrf_spec(tile)
+
+    def program(comm):
+        op = comm.compute(potrf)
+        bc = comm.bcast(root=0, nbytes=8 * tile)
+        ar = comm.allreduce(nbytes=8 * tile)
+        for _ in range(panels):
+            yield bc
+            yield op
+            yield ar
+        return None
+
+    return program
+
+
 def _collective_rounds(rounds: int):
     gemm = blas.gemm_spec(16, 16, 16)
 
@@ -135,6 +163,9 @@ def make_workloads(quick: bool = False) -> List[Workload]:
         Workload("cholesky-compute",
                  f"compute-heavy tiled Cholesky sweep (nt={nt})",
                  8, _cholesky_sweep(nt, 64, batched=False)),
+        Workload("collective-dense",
+                 f"bcast/compute/allreduce panel chain ({rounds} panels)",
+                 8, _collective_chain(rounds, 64)),
         Workload("p2p-pipeline",
                  f"isend/compute/recv/wait ring ({rounds} rounds)",
                  8, _p2p_pipeline(rounds, 32)),
@@ -258,13 +289,42 @@ def _end_to_end_cases(quick: bool):
     return [(slate, 0), (capital, 0)]
 
 
+def _matches(name: str, patterns: Optional[Sequence[str]]) -> bool:
+    """Workload-name filter: substring match against any pattern."""
+    return not patterns or any(p in name for p in patterns)
+
+
+def _acceptance_row(results: List[Dict[str, Any]],
+                    spec: Dict[str, str]) -> Optional[Dict[str, Any]]:
+    row = next(
+        (r for r in results if all(r[k] == v for k, v in spec.items())),
+        None,
+    )
+    if row is None:
+        return None
+    return {
+        **spec,
+        "speedup": row["speedup"],
+        "fast_ops_per_s": row["fast"]["ops_per_s"],
+        "naive_ops_per_s": row["naive"]["ops_per_s"],
+    }
+
+
 def run_bench(quick: bool = False, presets=BENCH_PRESETS,
-              profilers=("null", "critter-online")) -> Dict[str, Any]:
-    """Run the full matrix; returns the JSON-able result document."""
+              profilers=("null", "critter-online"),
+              workloads: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+    """Run the matrix; returns the JSON-able result document.
+
+    ``workloads`` optionally restricts the run to workloads whose name
+    contains any of the given substrings (``repro bench-engine
+    --workload ...``); acceptance entries are emitted only for the
+    acceptance rows actually measured.
+    """
     reps = 2 if quick else 4
     results = [
         _measure(w, preset, prof, reps)
         for w in make_workloads(quick)
+        if _matches(w.name, workloads)
         for preset in presets
         for prof in profilers
     ]
@@ -272,6 +332,7 @@ def run_bench(quick: bool = False, presets=BENCH_PRESETS,
     batching = [
         _measure(w, "knl-fabric", "null", reps)
         for w in make_batch_workloads(quick)
+        if _matches(w.name, workloads)
     ]
     # real algorithm configurations, end to end
     end_to_end = []
@@ -279,32 +340,31 @@ def run_bench(quick: bool = False, presets=BENCH_PRESETS,
         cfg = space.configs[idx]
         w = Workload(f"{space.name}[{idx}]", cfg.label(), space.nprocs,
                      space.program)
+        if not _matches(w.name, workloads):
+            continue
         end_to_end.append(_measure(w, "knl-fabric", "null", reps,
                                    args=space.args_for(cfg),
                                    exclude=space.exclude))
-    acceptance = next(
-        r for r in results
-        if all(r[k] == v for k, v in ACCEPTANCE.items())
-    )
-    # wall-time win of one aggregate event per batch vs expansion
-    batching_speedup = (batching[0]["fast"]["wall_s"]
-                        / batching[1]["fast"]["wall_s"])
-    return {
-        "version": 1,
+    doc: Dict[str, Any] = {
+        "version": 2,
         "profile": "quick" if quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "results": results,
         "batching": batching,
-        "batching_speedup": batching_speedup,
         "end_to_end": end_to_end,
-        "acceptance": {
-            **ACCEPTANCE,
-            "speedup": acceptance["speedup"],
-            "fast_ops_per_s": acceptance["fast"]["ops_per_s"],
-            "naive_ops_per_s": acceptance["naive"]["ops_per_s"],
-        },
     }
+    # wall-time win of one aggregate event per batch vs expansion
+    if len(batching) == 2:
+        doc["batching_speedup"] = (batching[0]["fast"]["wall_s"]
+                                   / batching[1]["fast"]["wall_s"])
+    acceptance = _acceptance_row(results, ACCEPTANCE)
+    if acceptance is not None:
+        doc["acceptance"] = acceptance
+    coll_acceptance = _acceptance_row(results, COLLECTIVE_ACCEPTANCE)
+    if coll_acceptance is not None:
+        doc["collective_acceptance"] = coll_acceptance
+    return doc
 
 
 # ----------------------------------------------------------------------
@@ -327,22 +387,29 @@ def format_bench(data: Dict[str, Any]) -> str:
     units = f"{'':<28} {'':<13} {'':<15} {'':>8} {'Mops/s':>8} {'Mops/s':>8}"
     lines = [f"engine throughput ({data['profile']} profile)", header, units]
     lines += _fmt_rows(data["results"])
-    lines.append("")
-    lines.append("batched-compute (fast path, knl-fabric):")
-    lines += _fmt_rows(data["batching"])
-    lines.append(f"  aggregate batching wall-time win vs expansion: "
-                 f"{data['batching_speedup']:.2f}x")
-    lines.append("")
-    lines.append("end-to-end algorithm runs (knl-fabric, no profiler):")
-    lines += _fmt_rows(data["end_to_end"])
-    acc = data["acceptance"]
-    lines.append("")
-    lines.append(
-        f"acceptance ({acc['workload']}/{acc['preset']}/{acc['profiler']}): "
-        f"{acc['speedup']:.2f}x fast-path speedup "
-        f"({acc['naive_ops_per_s'] / 1e6:.2f} -> "
-        f"{acc['fast_ops_per_s'] / 1e6:.2f} Mops/s)"
-    )
+    if data["batching"]:
+        lines.append("")
+        lines.append("batched-compute (fast path, knl-fabric):")
+        lines += _fmt_rows(data["batching"])
+        if "batching_speedup" in data:
+            lines.append(f"  aggregate batching wall-time win vs expansion: "
+                         f"{data['batching_speedup']:.2f}x")
+    if data["end_to_end"]:
+        lines.append("")
+        lines.append("end-to-end algorithm runs (knl-fabric, no profiler):")
+        lines += _fmt_rows(data["end_to_end"])
+    for key, label in (("acceptance", "acceptance"),
+                       ("collective_acceptance", "collective acceptance")):
+        acc = data.get(key)
+        if acc is None:
+            continue
+        lines.append("")
+        lines.append(
+            f"{label} ({acc['workload']}/{acc['preset']}/{acc['profiler']}): "
+            f"{acc['speedup']:.2f}x fast-path speedup "
+            f"({acc['naive_ops_per_s'] / 1e6:.2f} -> "
+            f"{acc['fast_ops_per_s'] / 1e6:.2f} Mops/s)"
+        )
     return "\n".join(lines)
 
 
@@ -353,15 +420,29 @@ def write_bench(data: Dict[str, Any], path: str) -> None:
 
 
 def main(quick: bool = False, out: str = "BENCH_engine.json",
-         check: bool = False) -> int:
+         check: bool = False,
+         workloads: Optional[Sequence[str]] = None) -> int:
     """CLI driver shared by ``repro bench-engine`` and the bench suite."""
-    data = run_bench(quick=quick)
+    data = run_bench(quick=quick, workloads=workloads)
     print(format_bench(data))
     if out:
         write_bench(data, out)
         print(f"\nwrote {out}")
-    if check and data["acceptance"]["speedup"] < 1.0:
-        print("FAIL: fast path slower than the naive scheduler "
-              f"({data['acceptance']['speedup']:.2f}x)")
-        return 1
+    if check:
+        checked = [data[key] for key in ("acceptance", "collective_acceptance")
+                   if key in data]
+        if not checked:
+            # a --workload filter excluded every acceptance row: exiting
+            # green here would silently disable the regression gate
+            print("FAIL: --check requested but no acceptance workload was "
+                  "measured (workload filter excluded them)")
+            return 1
+        failed = False
+        for acc in checked:
+            if acc["speedup"] < 1.0:
+                print(f"FAIL: fast path slower than the naive scheduler on "
+                      f"{acc['workload']} ({acc['speedup']:.2f}x)")
+                failed = True
+        if failed:
+            return 1
     return 0

@@ -43,6 +43,8 @@ def payload_nbytes(payload: Any, nbytes: Optional[int]) -> int:
         return 0
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
     if isinstance(payload, (list, tuple)):
         return sum(payload_nbytes(p, None) for p in payload)
     if isinstance(payload, (int, float, np.integer, np.floating)):
@@ -158,14 +160,26 @@ class Comm:
         return P2POp("send", self, dest, tag, payload, payload_nbytes(payload, nbytes))
 
     def recv(self, source: int = 0, tag: int = 0, nbytes: Optional[int] = None) -> P2POp:
-        return P2POp("recv", self, source, tag, None, int(nbytes or 0))
+        """Blocking receive.
+
+        ``nbytes`` is the size the receiver *expects*; ``None`` (the
+        default) means unknown.  The transfer is always costed at the
+        sender's size; a declared size that disagrees with the matched
+        sender's is flagged with a :class:`RuntimeWarning` (an explicit
+        ``nbytes=0`` therefore means "I expect an empty message", not
+        "unknown").
+        """
+        return P2POp("recv", self, source, tag, None,
+                     None if nbytes is None else int(nbytes))
 
     def isend(self, payload: Any = None, dest: int = 0, tag: int = 0,
               nbytes: Optional[int] = None) -> P2POp:
         return P2POp("isend", self, dest, tag, payload, payload_nbytes(payload, nbytes))
 
     def irecv(self, source: int = 0, tag: int = 0, nbytes: Optional[int] = None) -> P2POp:
-        return P2POp("irecv", self, source, tag, None, int(nbytes or 0))
+        """Nonblocking receive; ``nbytes`` semantics as for :meth:`recv`."""
+        return P2POp("irecv", self, source, tag, None,
+                     None if nbytes is None else int(nbytes))
 
     def wait(self, request: Request) -> WaitOp:
         return WaitOp([request], mode="one")
@@ -204,6 +218,9 @@ class Comm:
         return CollOp("scatter", self, root, payload, int(nbytes or 0))
 
     def alltoall(self, payload: Any = None, nbytes: Optional[int] = None) -> CollOp:
+        """``payload`` is a list of ``size`` per-peer chunks; ``nbytes`` is per-peer."""
+        if payload is not None and nbytes is None:
+            nbytes = payload_nbytes(payload, None) // max(self.size, 1)
         return CollOp("alltoall", self, 0, payload, int(nbytes or 0))
 
     def barrier(self) -> CollOp:

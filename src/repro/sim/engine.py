@@ -33,23 +33,40 @@ tests in ``tests/test_engine_golden.py``):
 * the **fast path** keeps driving a resumed rank's generator inline —
   advancing its local clock and sampling noise from its own RNG stream
   in the same order — for consecutive :class:`ComputeOp`/
-  :class:`ComputeBatchOp` events, immediately-resolvable waits, and
+  :class:`ComputeBatchOp` events, immediately-resolvable waits,
   buffered ``isend`` posts whose match is already parked in a blocking
-  ``recv``.  The heap is touched only when the rank reaches a genuinely
-  blocking (or cross-rank-order-sensitive) op, which is then re-queued
-  at the rank's local time so it dispatches at its exact global
-  position.
+  ``recv``, and **non-final collective arrivals**.  The heap is touched
+  only when the rank reaches a genuinely blocking (or cross-rank-order-
+  sensitive) op, which is then re-queued at the rank's local time so it
+  dispatches at its exact global position.
 
 Identity holds because every inlined event is *rank-local*: it reads
 and writes only this rank's clock, RNG stream, and (for ``inline_safe``
 profilers) per-rank profiler state.  Anything that could interleave
 with another rank's RNG stream or order-sensitive profiler state — a
-collective, blocking p2p, a match against a pending ``irecv`` (whose
-poster may still be drawing from its RNG), multi-request waitany — goes
-through the heap exactly as before.  The fast path is disabled when a
-trace recorder is attached (trace files pin global event order) or when
-the profiler does not declare
+collective *completion*, blocking p2p, a match against a pending
+``irecv`` (whose poster may still be drawing from its RNG),
+multi-request waitany — goes through the heap exactly as before.  The
+fast path is disabled when a trace recorder is attached (trace files
+pin global event order) or when the profiler does not declare
 :attr:`~repro.sim.profiler.Profiler.inline_safe`.
+
+Collective arrivals deserve a note, because they are the dominant event
+kind of collective-dense workloads (panel factorizations are bcast/
+allreduce chains).  A rank entering a collective that cannot complete
+yet (fewer than ``group.size`` entries pending) has exactly one side
+effect: recording its own ``(arrival time, op)`` in the communicator's
+pending slot.  That is rank-local — the arrival time is this rank's
+clock regardless of when other ranks are dispatched — so the fast path
+parks such ranks in place, with no heap round-trip.  What is *not*
+rank-local is the completion (profiler hooks over all members, a noise
+draw from the lowest member's RNG stream, resume pushes), so only the
+final arrival pays event-queue cost: it is dispatched at its exact
+global position, and if an inlined entry carries a *later* arrival time
+than the final heap-dispatched arrival, the completion itself rides the
+heap to ``max(arrivals)`` (see :class:`_FinishColl`) — the position the
+naive scheduler would have used, keeping every window event ordered
+identically.
 
 Known limit — exact event-time ties: the heap breaks ties at equal
 float times by push sequence, and the fast path pushes fewer
@@ -74,6 +91,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
@@ -113,7 +131,7 @@ class CommGroup:
     """
 
     __slots__ = ("gid", "world_ranks", "sorted_ranks", "stride", "parent",
-                 "coll_seq", "pending")
+                 "coll_seq", "pending", "size", "sig_stride", "_sig_cache")
 
     def __init__(self, gid: int, world_ranks: Tuple[int, ...],
                  parent: Optional["CommGroup"] = None) -> None:
@@ -121,11 +139,16 @@ class CommGroup:
         self.world_ranks = world_ranks
         self.sorted_ranks = tuple(sorted(world_ranks))
         self.parent = parent
+        #: communicator size (plain attribute: hot-loop read)
+        self.size = len(world_ranks)
         #: number of collectives (incl. splits) completed on this comm
         self.coll_seq = 0
         #: the at-most-one collective currently gathering participants
         self.pending: Optional["_CollPending"] = None
         self.stride = self._compute_stride()
+        self.sig_stride = max(self.stride, 1)
+        #: (name, nbytes) -> interned collective KernelSignature
+        self._sig_cache: Dict[Tuple[str, int], KernelSignature] = {}
 
     def _compute_stride(self) -> int:
         rs = self.sorted_ranks
@@ -133,9 +156,14 @@ class CommGroup:
             return 0
         return min(b - a for a, b in zip(rs, rs[1:]))
 
-    @property
-    def size(self) -> int:
-        return len(self.world_ranks)
+    def coll_signature(self, name: str, nbytes: int) -> KernelSignature:
+        """Per-group memo of this comm's collective signatures."""
+        key = (name, nbytes)
+        sig = self._sig_cache.get(key)
+        if sig is None:
+            sig = self._sig_cache[key] = comm_signature(
+                name, nbytes, self.size, self.sig_stride)
+        return sig
 
     def __repr__(self) -> str:
         return f"CommGroup(gid={self.gid}, size={self.size}, stride={self.stride})"
@@ -144,11 +172,32 @@ class CommGroup:
 class _CollPending:
     """A collective (or split) waiting for all participants."""
 
-    __slots__ = ("name", "entries")
+    __slots__ = ("name", "entries", "tmax")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.entries: Dict[int, Tuple[float, Any]] = {}  # world rank -> (time, op)
+        #: latest arrival time so far (incremental max; arrivals are >= 0)
+        self.tmax = 0.0
+
+
+class _FinishColl:
+    """Deferred collective completion, riding the heap to max(arrivals).
+
+    When fast-path ranks parked inline with later arrival times than the
+    final heap-dispatched arrival, finishing the collective at the
+    trigger's position would run its completion (profiler hooks, the
+    noise draw from the lowest member's RNG) ahead of window events the
+    naive scheduler orders first.  The completion is instead wrapped in
+    this marker and redelivered at the latest arrival time — the exact
+    global position the naive scheduler uses.
+    """
+
+    __slots__ = ("group", "pend")
+
+    def __init__(self, group: "CommGroup", pend: "_CollPending") -> None:
+        self.group = group
+        self.pend = pend
 
 
 class _Redeliver:
@@ -176,7 +225,9 @@ class P2PRecord:
     comm_rank: int
     peer_world: int
     tag: int
-    nbytes: int
+    #: payload size; ``None`` on receive records whose poster declared
+    #: no size (unknown).  Charged costs always use the sender's size.
+    nbytes: Optional[int]
     post_time: float
     group: CommGroup
     payload: Any = None
@@ -186,19 +237,27 @@ class P2PRecord:
 
 
 class _RankState:
-    __slots__ = ("rank", "gen", "time", "rng", "finished", "retval", "waiting",
-                 "park_reason", "pending_irecvs", "pending_isends")
+    __slots__ = ("rank", "gen", "gen_send", "time", "rng", "rng_normal",
+                 "finished", "retval", "waiting", "park_reason",
+                 "pending_irecvs", "pending_isends")
 
     def __init__(self, rank: int, gen: Any, rng: np.random.Generator) -> None:
         self.rank = rank
         self.gen = gen
+        #: bound methods cached once — the fast path re-enters the
+        #: generator and draws noise millions of times per run
+        self.gen_send = gen.send
         self.time = 0.0
         self.rng = rng
+        self.rng_normal = rng.standard_normal
         self.finished = False
         self.retval: Any = None
         # (wait_posted_time, [requests], mode) when parked in a wait
         self.waiting: Optional[Tuple[float, List[Request], str]] = None
-        self.park_reason: Optional[str] = None
+        #: why the rank is parked: a string, or the blocking op itself
+        #: (formatted lazily by _describe_park — park happens millions
+        #: of times, deadlock reporting once)
+        self.park_reason: Any = None
         #: queued-but-unmatched irecv posts.  While nonzero, the fast
         #: path takes NO inline ops for this rank: a peer's send may
         #: match the irecv at any earlier global position, drawing from
@@ -210,6 +269,30 @@ class _RankState:
         #: rank's recv may take this rank's profiler hooks at an earlier
         #: global position)
         self.pending_isends = 0
+
+
+def _describe_park(reason: Any) -> str:
+    """Render a rank's park reason for deadlock reports.
+
+    Park sites store the blocking op itself instead of formatting a
+    message eagerly (parking is a hot-loop event; deadlock reporting is
+    a once-per-crash event).
+    """
+    if reason is None:
+        return "blocked"
+    if isinstance(reason, str):
+        return reason
+    if isinstance(reason, CollOp):
+        g = reason.comm.group
+        return f"collective {reason.name} on comm {g.gid} seq {g.coll_seq}"
+    if isinstance(reason, P2POp):
+        peer = reason.comm.group.world_ranks[reason.peer]
+        return f"blocking {reason.kind} peer={peer} tag={reason.tag}"
+    if isinstance(reason, SplitOp):
+        return f"comm_split on comm {reason.comm.group.gid}"
+    if isinstance(reason, WaitOp):
+        return f"wait on {len(reason.requests)} request(s)"
+    return repr(reason)
 
 
 @dataclass(slots=True)
@@ -282,6 +365,17 @@ class Simulator:
         self._p2p_recvs: Dict[Tuple[int, int, int, int], Deque[P2PRecord]] = {}
         #: per-run cache of (bias, drift, lognormal params) by signature
         self._noise_factors: Dict[KernelSignature, tuple] = {}
+        #: per-(signature, machine) memo of Machine.comm_cost — the
+        #: machine is fixed for the simulator's lifetime, so the memo
+        #: survives across runs (unlike the per-run noise factors)
+        self._comm_cost = machine.comm_cost_memo()
+        #: recomputed per run (tracks profiler swaps); False is only a
+        #: conservative placeholder until then
+        self._hooks_off = False
+        #: fast-path resume FIFO (None under the naive scheduler): when
+        #: a collective completes with an empty heap and empty FIFO,
+        #: member resumes bypass the heap entirely — see _run_fast
+        self._fast_resumes: Optional[Deque[Tuple[float, int, Any]]] = None
         self.world: Optional[CommGroup] = None
 
     # ------------------------------------------------------------------
@@ -315,6 +409,11 @@ class Simulator:
         use_fast = (self.fast_path and self.trace is None
                     and bool(self.profiler.inline_safe))
         self.used_fast_path = use_fast
+        self._fast_resumes = deque() if use_fast else None
+        # NullProfiler hooks are no-ops with zero intercept cost; skip
+        # them wholesale in the rendezvous paths (observationally
+        # identical, measurably cheaper)
+        self._hooks_off = type(self.profiler) is NullProfiler
 
         for r in range(p):
             rng = np.random.Generator(np.random.PCG64(((self.run_seed & 0xFFFFFF) << 24) ^ (r + 1)))
@@ -350,7 +449,7 @@ class Simulator:
         unfinished = [s.rank for s in self._states if not s.finished]
         if unfinished:
             details = "; ".join(
-                f"rank {s.rank}: {s.park_reason or 'blocked'}"
+                f"rank {s.rank}: {_describe_park(s.park_reason)}"
                 for s in self._states
                 if not s.finished
             )
@@ -397,16 +496,29 @@ class Simulator:
         post_compute = prof.post_compute
         push = self._push
         dispatch = self._dispatch
+        coll_enter = self._coll_enter
+        fast_resumes = self._fast_resumes
+        popleft = fast_resumes.popleft
 
-        while heap:
-            t, _, rank, value = pop(heap)
-            st = states[rank]
-            st.time = t
-            if type(value) is _Redeliver:
-                dispatch(st, value.op)
-                continue
-            gen_send = st.gen.send
-            rng_normal = st.rng.standard_normal
+        while True:
+            # collective completions with nothing else in flight hand
+            # their member resumes straight to this loop (push order ==
+            # the naive scheduler's pop order), bypassing the heap
+            if fast_resumes:
+                t, rank, value = popleft()
+                st = states[rank]
+                st.time = t
+            elif heap:
+                t, _, rank, value = pop(heap)
+                st = states[rank]
+                st.time = t
+                if type(value) is _Redeliver:
+                    dispatch(st, value.op)
+                    continue
+            else:
+                break
+            gen_send = st.gen_send
+            rng_normal = st.rng_normal
             while True:
                 try:
                     op = gen_send(value)
@@ -478,10 +590,34 @@ class Simulator:
                         # absolute times, so parking "early" in global
                         # order produces the identical resume event.
                         st.waiting = (st.time, list(reqs), mode)
-                        st.park_reason = f"wait on {len(reqs)} request(s)"
+                        st.park_reason = op
                         break
                     # multi-request waitany resolves against completion
                     # *discovery* order — strictly heap business
+                elif cls is CollOp:
+                    group = op.comm.group
+                    pend = group.pending
+                    if (0 if pend is None else len(pend.entries)) + 1 < group.size:
+                        # non-final arrival: the only side effect is
+                        # recording this rank's own (time, op) entry —
+                        # rank-local, so park in place with no heap
+                        # round-trip.  The completing arrival (and the
+                        # completion's cross-rank effects) stays heap-
+                        # ordered below.  Common case inlined; first
+                        # arrival / name mismatch takes the slow helper.
+                        if pend is not None and pend.name == op.name:
+                            pend.entries[group.world_ranks[op.comm.rank]] = \
+                                (st.time, op)
+                            if st.time > pend.tmax:
+                                pend.tmax = st.time
+                            st.park_reason = op
+                        else:
+                            coll_enter(group, st, op)
+                        break
+                    # final arrival: falls through to the exact-position
+                    # dispatch below, where _do_collective defers the
+                    # completion to max(arrivals) if an inlined entry
+                    # carries a later time
                 elif cls is P2POp and op.kind == "isend":
                     group: CommGroup = op.comm.group
                     me_world = group.world_ranks[op.comm.rank]
@@ -532,10 +668,13 @@ class Simulator:
                         value = req
                         continue
                 # blocking or order-sensitive: dispatch at the rank's
-                # local time — in place when no pending heap event is
-                # earlier or tied (a tied event would win by sequence
-                # number), else via redelivery
-                if st.time > t and heap and heap[0][0] <= st.time:
+                # local time — in place when no pending event is earlier
+                # or tied (a tied heap event would win by sequence
+                # number; queued FIFO resumes are always at this chain's
+                # resume time, i.e. earlier once the clock advanced),
+                # else via redelivery
+                if st.time > t and (fast_resumes
+                                    or (heap and heap[0][0] <= st.time)):
                     push(st.time, rank, _Redeliver(op))
                 else:
                     dispatch(st, op)
@@ -568,6 +707,8 @@ class Simulator:
             self._do_wait(st, op)
         elif isinstance(op, ComputeBatchOp):
             self._do_compute_batch(st, op)
+        elif isinstance(op, _FinishColl):
+            self._finish_collective(op.group, op.pend)
         else:
             raise TypeError(f"rank {st.rank} yielded unknown op {op!r}")
 
@@ -688,7 +829,7 @@ class Simulator:
             # buffered post: local interception bookkeeping only
             self._push(st.time + prof.intercept_cost(1), st.rank, req)
         else:
-            st.park_reason = f"blocking {op.kind} peer={peer_world} tag={op.tag}"
+            st.park_reason = op
 
         if op.kind in ("send", "isend"):
             key = (group.gid, me_world, peer_world, op.tag)
@@ -721,20 +862,47 @@ class Simulator:
                 if op.kind == "irecv":
                     st.pending_irecvs += 1
 
+    def _comm_sample(self, sig: KernelSignature, rng_rank: int) -> float:
+        """Sampled cost of one communication kernel, drawing (if the
+        noise model draws at all) from ``rng_rank``'s stream.
+
+        Inlined ``NoiseModel.sample`` over the cached per-(signature,
+        run) factors and the per-(signature, machine) base-cost memo —
+        the identical float-op sequence (see :meth:`NoiseModel.factors`),
+        minus the memo lookups.  Both rendezvous paths (p2p matches and
+        collective completions) share this helper so the bit-identity
+        contract lives in one place.
+        """
+        fac = self._noise_factors.get(sig)
+        if fac is None:
+            fac = self._noise_factors[sig] = self.noise.factors(
+                sig, self.run_seed)
+        bias, drift, params = fac
+        mean = self._comm_cost(sig) * bias * drift
+        if params is None:
+            return mean
+        rng = self._states[rng_rank].rng
+        return mean * math.exp(params[0] + params[1] * rng.standard_normal())
+
     def _match_p2p(self, send: P2PRecord, recv: P2PRecord) -> None:
         prof = self.profiler
+        if recv.nbytes is not None and recv.nbytes != send.nbytes:
+            warnings.warn(
+                f"p2p size mismatch (tag {send.tag}): rank {send.world_rank} "
+                f"sent {send.nbytes} B but rank {recv.world_rank} posted a "
+                f"{recv.nbytes} B receive; costing the sender's size",
+                RuntimeWarning, stacklevel=2)
         stride = abs(send.world_rank - recv.world_rank) or 1
         sig = comm_signature("p2p", send.nbytes, 2, stride)
-        execute = prof.on_p2p(sig, send, recv)
-        if execute:
-            base = self.machine.comm_cost(sig)
-            rng = self._states[recv.world_rank].rng
-            cost = self.noise.sample(sig, base, rng, self.run_seed)
-        else:
-            cost = 0.0
+        hooks_off = self._hooks_off
+        execute = True if hooks_off else prof.on_p2p(sig, send, recv)
+        cost = self._comm_sample(sig, recv.world_rank) if execute else 0.0
         start = max(send.post_time, recv.post_time)
-        completion = start + prof.intercept_cost(2) + cost
-        prof.post_p2p(sig, send, recv, execute, cost, completion)
+        if hooks_off:
+            completion = start + cost
+        else:
+            completion = start + prof.intercept_cost(2) + cost
+            prof.post_p2p(sig, send, recv, execute, cost, completion)
         if self.trace is not None:
             self.trace.record(
                 "p2p", (send.world_rank, recv.world_rank), sig, start, cost, execute
@@ -765,7 +933,7 @@ class Simulator:
 
     def _do_wait(self, st: _RankState, op: WaitOp) -> None:
         st.waiting = (st.time, list(op.requests), op.mode)
-        st.park_reason = f"wait on {len(op.requests)} request(s)"
+        st.park_reason = op
         self._check_wait(st)
 
     def _check_wait(self, st: _RankState) -> None:
@@ -799,8 +967,8 @@ class Simulator:
         self._push(resume, st.rank, value)
 
     # -- collectives --------------------------------------------------------
-    def _do_collective(self, st: _RankState, op: CollOp) -> None:
-        group: CommGroup = op.comm.group
+    def _coll_enter(self, group: CommGroup, st: _RankState, op: CollOp) -> _CollPending:
+        """Record one rank's arrival at a collective; returns the slot."""
         me_world = group.world_ranks[op.comm.rank]
         pend = group.pending
         if pend is None:
@@ -811,38 +979,105 @@ class Simulator:
                 f"{pend.name} vs {op.name} (rank {me_world})"
             )
         pend.entries[me_world] = (st.time, op)
-        st.park_reason = f"collective {op.name} on comm {group.gid} seq {group.coll_seq}"
+        if st.time > pend.tmax:
+            pend.tmax = st.time
+        st.park_reason = op
+        return pend
+
+    def _do_collective(self, st: _RankState, op: CollOp) -> None:
+        group: CommGroup = op.comm.group
+        pend = self._coll_enter(group, st, op)
         if len(pend.entries) == group.size:
             group.pending = None
             group.coll_seq += 1
-            self._finish_collective(group, pend)
+            if pend.tmax > st.time:
+                # a fast-path rank parked inline with a later arrival
+                # time than this heap-dispatched final arrival: finish
+                # at the latest arrival's exact global position, where
+                # the naive scheduler would have run the completion
+                self._push(pend.tmax, st.rank, _Redeliver(_FinishColl(group, pend)))
+            else:
+                self._finish_collective(group, pend)
 
     def _finish_collective(self, group: CommGroup, pend: _CollPending) -> None:
         prof = self.profiler
         entries = pend.entries
         name = pend.name
-        nbytes = max(e[1].nbytes for e in entries.values())
-        root = next(iter(entries.values()))[1].root
-        sig = comm_signature(name, nbytes, group.size, max(group.stride, 1))
-        arrivals = {wr: e[0] for wr, e in entries.items()}
-        execute = prof.on_collective(group, sig, root, arrivals)
-        if execute:
-            base = self.machine.comm_cost(sig)
-            rng = self._states[min(group.world_ranks)].rng
-            cost = self.noise.sample(sig, base, rng, self.run_seed)
+        # one validation pass: root agreement, nbytes lo/hi, payloads
+        vals = iter(entries.values())
+        op0 = next(vals)[1]
+        root = op0.root
+        nb_hi = op0.nbytes
+        nz_lo = op0.nbytes or 0  # lowest *declared* (nonzero) size
+        has_payload = op0.payload is not None
+        for _, opx in vals:
+            if opx.root != root:
+                raise RuntimeError(
+                    f"collective root mismatch on comm {group.gid} ({name}): "
+                    f"participants passed roots "
+                    f"{sorted({e[1].root for e in entries.values()})}"
+                )
+            nb = opx.nbytes
+            if nb:
+                if nb > nb_hi:
+                    nb_hi = nb
+                if nb < nz_lo or not nz_lo:
+                    nz_lo = nb
+            if opx.payload is not None:
+                has_payload = True
+        if nz_lo != nb_hi and nz_lo:
+            # zero means "no local payload / unspecified" (e.g. non-root
+            # ranks of a numeric-mode bcast), which is not a conflict;
+            # two *declared* sizes disagreeing is
+            warnings.warn(
+                f"collective {name} on comm {group.gid}: participants disagree "
+                f"on nbytes (min declared {nz_lo}, max {nb_hi}); costing the max",
+                RuntimeWarning, stacklevel=2)
+        sig = group.coll_signature(name, nb_hi)
+        start = pend.tmax
+        hooks_off = self._hooks_off
+        arrivals: Optional[Dict[int, float]] = None
+        if hooks_off:
+            execute = True
         else:
-            cost = 0.0
-        start = max(arrivals.values())
-        completion = start + prof.intercept_cost(group.size) + cost
-        prof.post_collective(group, sig, arrivals, execute, cost, completion)
+            arrivals = {wr: e[0] for wr, e in entries.items()}
+            execute = prof.on_collective(group, sig, root, arrivals)
+        cost = self._comm_sample(sig, group.sorted_ranks[0]) if execute else 0.0
+        if hooks_off:
+            completion = start + cost
+        else:
+            completion = start + prof.intercept_cost(group.size) + cost
+            prof.post_collective(group, sig, arrivals, execute, cost, completion)
         if self.trace is not None:
+            if arrivals is None:
+                arrivals = {wr: e[0] for wr, e in entries.items()}
             self.trace.record(
                 "coll", tuple(sorted(arrivals)), sig, start, cost, execute
             )
-        results = self._collective_results(group, name, entries, root)
+        states = self._states
+        results = self._collective_results(group, name, entries, root,
+                                           has_payload)
+        fr = self._fast_resumes
+        if fr is not None and not fr and not self._heap:
+            # fast path with nothing else in flight (always the case
+            # for world-communicator collectives — every rank is parked
+            # here): hand the resumes straight to the scheduler loop.
+            # Identical to pushing then immediately popping them (the
+            # naive pop order of p same-time pushes is push order),
+            # minus the heap traffic.
+            for wr in group.world_ranks:
+                states[wr].park_reason = None
+                fr.append((completion, wr, None if results is None else results[wr]))
+            return
+        seq = self._seq
+        heap = self._heap
         for wr in group.world_ranks:
-            self._states[wr].park_reason = None
-            self._push(completion, wr, results[wr])
+            states[wr].park_reason = None
+            seq += 1
+            heapq.heappush(
+                heap,
+                (completion, seq, wr, None if results is None else results[wr]))
+        self._seq = seq
 
     @staticmethod
     def _reduce_payloads(payloads: List[Any]) -> Any:
@@ -870,14 +1105,23 @@ class Simulator:
         name: str,
         entries: Dict[int, Tuple[float, CollOp]],
         root: int,
-    ) -> Dict[int, Any]:
+        has_payload: bool,
+    ) -> Optional[Dict[int, Any]]:
+        """Per-world-rank resume values, or ``None`` when no data rides
+        the collective (symbolic mode: every rank resumes with None).
+
+        ``has_payload`` is False when the caller's validation pass saw
+        every entry's payload as None — the single encoding of the
+        symbolic shortcut.
+        """
         wr_by_comm_rank = group.world_ranks
+        # symbolic fast path: no data rides the collective (allgather
+        # still materializes its list-of-Nones result)
+        if not has_payload and name != "allgather":
+            return None
         root_world = wr_by_comm_rank[root]
         ordered = [entries[wr][1].payload for wr in wr_by_comm_rank]
         out: Dict[int, Any] = {}
-        # symbolic fast path: no data rides the collective
-        if name != "allgather" and all(p is None for p in ordered):
-            return dict.fromkeys(wr_by_comm_rank)
         if name == "bcast":
             val = entries[root_world][1].payload
             for wr in wr_by_comm_rank:
@@ -926,7 +1170,7 @@ class Simulator:
                 f"{pend.name} vs split (rank {me_world})"
             )
         pend.entries[me_world] = (st.time, op)
-        st.park_reason = f"comm_split on comm {group.gid}"
+        st.park_reason = op
         if len(pend.entries) == group.size:
             group.pending = None
             group.coll_seq += 1

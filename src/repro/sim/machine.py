@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable, Dict
 
 from repro.kernels.signature import KernelSignature
 
@@ -148,6 +149,30 @@ class Machine:
         if sig.name in ("p2p", "send", "recv", "sendrecv", "isend", "irecv"):
             return cc.p2p(nbytes)
         return cc.cost(sig.name, nbytes, p)
+
+    def comm_cost_memo(self) -> Callable[[KernelSignature], float]:
+        """A memoized :meth:`comm_cost` bound to this machine.
+
+        ``comm_cost`` is a pure function of (machine, signature), but
+        computing it rebuilds the :class:`CollectiveCosts` object and
+        re-evaluates the log terms on every call — measurable in the
+        engine hot loop, where collective-dense workloads reuse a
+        handful of signatures millions of times.  The returned callable
+        holds a per-(signature, machine) cache (signatures are interned,
+        so probes hit the identity fast path), mirroring the engine's
+        per-(signature, run) compute-noise-factor cache.  The machine is
+        frozen, so the memo never needs invalidation.
+        """
+        cache: Dict[KernelSignature, float] = {}
+        comm_cost = self.comm_cost
+
+        def cost(sig: KernelSignature) -> float:
+            c = cache.get(sig)
+            if c is None:
+                c = cache[sig] = comm_cost(sig)
+            return c
+
+        return cost
 
     def base_cost(self, sig: KernelSignature, flops: float = 0.0) -> float:
         if sig.is_comm:

@@ -87,14 +87,21 @@ class ComputeBatchOp:
 
 @dataclass(slots=True)
 class P2POp:
-    """A point-to-point operation. ``kind`` in {send, recv, isend, irecv}."""
+    """A point-to-point operation. ``kind`` in {send, recv, isend, irecv}.
+
+    ``nbytes`` is always an ``int`` on send-side ops (inferred from the
+    payload when not given).  On receives it is the size the receiver
+    declared, or ``None`` when unknown — the engine costs transfers at
+    the sender's size and flags declared sizes that disagree with the
+    matched sender's.
+    """
 
     kind: str
     comm: Any  # Comm (avoid circular import)
     peer: int  # peer rank, local to ``comm``
     tag: int = 0
     payload: Any = None
-    nbytes: int = 0
+    nbytes: Optional[int] = 0
 
 
 @dataclass(slots=True)

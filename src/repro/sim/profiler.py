@@ -46,15 +46,19 @@ class Profiler:
 
     #: Declares the profiler safe for the engine's run-to-completion
     #: fast path, which drives a rank's consecutive local events inline
-    #: instead of round-tripping each through the global event heap.
-    #: Per-rank hook order, arrival times, and RNG draw order are always
-    #: preserved, but hooks of *different* ranks may interleave
-    #: differently between synchronization points.  A profiler may set
-    #: this True iff its pre-execution decisions depend only on state
-    #: that cannot change between a rank's consecutive local events —
-    #: i.e. per-rank state plus state mutated only at events involving
-    #: that rank.  Conservative default: False (unknown subclasses keep
-    #: exact global hook ordering).
+    #: instead of round-tripping each through the global event heap —
+    #: including parking non-final collective arrivals in place (the
+    #: park has no hooks; ``on_collective``/``post_collective`` still
+    #: fire at the completion's exact global heap position with the
+    #: exact per-rank arrival times).  Per-rank hook order, arrival
+    #: times, and RNG draw order are always preserved, but hooks of
+    #: *different* ranks may interleave differently between
+    #: synchronization points.  A profiler may set this True iff its
+    #: pre-execution decisions depend only on state that cannot change
+    #: between a rank's consecutive local events — i.e. per-rank state
+    #: plus state mutated only at events involving that rank.
+    #: Conservative default: False (unknown subclasses keep exact
+    #: global hook ordering).
     inline_safe: bool = False
 
     # -- run lifecycle -------------------------------------------------

@@ -80,6 +80,44 @@ def mixed_program(comm, nrounds: int = 3):
     return float(me)
 
 
+def coll_chain_program(comm, nrounds: int = 4):
+    """Collective-dense program pinning the inline-arrival fast path.
+
+    Per round: per-rank-skewed computes (divergent arrival times, so the
+    final *heap-dispatched* arrival of a collective frequently carries
+    an earlier time than an inline-parked one — driving the deferred-
+    completion path), world bcast/allreduce/reduce chains with varying
+    roots, sub-communicator bcast/allreduce on split comms (non-member
+    ranks active in the completion window), and back-to-back collectives
+    (exercising the heap-bypassing resume FIFO).  The tail adds a
+    collective entered while an irecv is outstanding (pending-irecv
+    ranks stay heap-ordered) and payload-carrying gather/scatter/
+    alltoall, the last with per-peer nbytes inferred from the payload.
+    """
+    me, p = comm.rank, comm.size
+    sub = yield comm.split(color=me % 2, key=me)
+    for r in range(nrounds):
+        yield comm.compute(blas.gemm_spec(6 + ((me + r) % p), 8, 8))
+        yield comm.bcast(root=r % p, nbytes=256)
+        yield comm.allreduce(nbytes=64)
+        yield sub.bcast(root=0, nbytes=128)
+        yield comm.compute(blas.gemm_spec(8, 8, 6 + (me % 3)))
+        yield sub.allreduce(nbytes=32)
+        yield comm.reduce(root=(r + 1) % p, nbytes=96)
+        yield comm.barrier()
+    nxt, prv = (me + 1) % p, (me - 1) % p
+    rreq = yield comm.irecv(source=prv, tag=5, nbytes=16)
+    yield comm.barrier()
+    sreq = yield comm.isend(dest=nxt, tag=5, nbytes=16)
+    yield comm.waitall([rreq, sreq])
+    yield comm.gather(payload=float(me), root=0, nbytes=48)
+    out = yield comm.scatter(
+        [float(i) for i in range(p)] if me == 0 else None, root=0)
+    yield comm.alltoall([float(me * p + j) for j in range(p)])
+    yield comm.barrier()
+    return out
+
+
 class _MixedSpace:
     """Duck-typed stand-in for a ConfigSpace over ``mixed_program``."""
 
@@ -91,6 +129,22 @@ class _MixedSpace:
     @staticmethod
     def args_for(_config: Any) -> tuple:
         return ()
+
+
+class _CollChainSpace:
+    """Duck-typed stand-in for a ConfigSpace over ``coll_chain_program``."""
+
+    name = "coll_chain"
+    program = staticmethod(coll_chain_program)
+    nprocs = 4
+    exclude = frozenset()
+
+    @staticmethod
+    def args_for(_config: Any) -> tuple:
+        return ()
+
+
+_SYNTHETIC_SPACES = {"mixed_p2p": _MixedSpace, "coll_chain": _CollChainSpace}
 
 
 def _small_spaces() -> Dict[str, Any]:
@@ -142,6 +196,11 @@ def golden_cases() -> List[Dict[str, Any]]:
             "space": "mixed_p2p", "config": None, "preset": preset,
             "policy": None, "run_seeds": [7],
         })
+        cases.append({
+            "id": f"coll_chain/{preset}/null",
+            "space": "coll_chain", "config": None, "preset": preset,
+            "policy": None, "run_seeds": [7],
+        })
     for name, idx, policies, presets in _POLICY_MATRIX:
         for preset in presets:
             for pol in policies:
@@ -155,6 +214,14 @@ def golden_cases() -> List[Dict[str, Any]]:
         "space": "mixed_p2p", "config": None, "preset": "knl-fabric",
         "policy": "online", "run_seeds": [0, 1, 2],
     })
+    # collective-dense under a skipping profiler (noisy + draw-free: the
+    # zero-noise preset is where exact-tie scheduling bugs would surface)
+    for preset in ("knl-fabric", "quiet"):
+        cases.append({
+            "id": f"coll_chain/{preset}/online",
+            "space": "coll_chain", "config": None, "preset": preset,
+            "policy": "online", "run_seeds": [0, 1, 2],
+        })
     return cases
 
 
@@ -163,8 +230,8 @@ def golden_cases() -> List[Dict[str, Any]]:
 # ----------------------------------------------------------------------
 def run_case(case: Dict[str, Any], **sim_kwargs: Any) -> Dict[str, Any]:
     """Execute one golden case; extra kwargs are passed to Simulator."""
-    if case["space"] == "mixed_p2p":
-        space: Any = _MixedSpace()
+    if case["space"] in _SYNTHETIC_SPACES:
+        space: Any = _SYNTHETIC_SPACES[case["space"]]()
         args: tuple = ()
     else:
         space = _small_spaces()[case["space"]]

@@ -24,6 +24,46 @@ class TestParser:
             build_parser().parse_args(["tune", "capital_cholesky",
                                        "--policy", "magic"])
 
+    def test_bench_engine_workload_filter_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["bench-engine", "--workload", "collective-dense",
+             "--workload", "p2p"])
+        assert args.workload == ["collective-dense", "p2p"]
+        assert build_parser().parse_args(["bench-engine"]).workload is None
+
+
+class TestBenchWorkloadFilter:
+    """The --workload plumbing, without paying for a bench run."""
+
+    def test_matches_is_substring_any(self):
+        from repro.sim.bench import _matches
+
+        assert _matches("collective-dense", None)
+        assert _matches("collective-dense", ["collective"])
+        assert _matches("cholesky-batch/expanded", ["p2p", "batch"])
+        assert not _matches("cholesky-compute", ["collective-dense"])
+
+    def test_acceptance_row_absent_when_filtered_out(self):
+        from repro.sim.bench import ACCEPTANCE, COLLECTIVE_ACCEPTANCE, _acceptance_row
+
+        rows = [{"workload": "cholesky-compute", "preset": "knl-fabric",
+                 "profiler": "null", "speedup": 2.0,
+                 "fast": {"ops_per_s": 2.0}, "naive": {"ops_per_s": 1.0}}]
+        acc = _acceptance_row(rows, ACCEPTANCE)
+        assert acc is not None and acc["speedup"] == 2.0
+        assert _acceptance_row(rows, COLLECTIVE_ACCEPTANCE) is None
+
+    def test_all_acceptance_workloads_exist(self):
+        from repro.sim.bench import (
+            ACCEPTANCE,
+            COLLECTIVE_ACCEPTANCE,
+            make_workloads,
+        )
+
+        names = {w.name for w in make_workloads(quick=True)}
+        assert ACCEPTANCE["workload"] in names
+        assert COLLECTIVE_ACCEPTANCE["workload"] in names
+
 
 class TestSpaces:
     def test_lists_all_four(self, capsys):
