@@ -25,6 +25,7 @@ from bench_profiles import PROFILE
 from repro.sim.bench import (
     ACCEPTANCE,
     COLLECTIVE_ACCEPTANCE,
+    CRITTER_ACCEPTANCE,
     format_bench,
     run_bench,
     write_bench,
@@ -40,9 +41,10 @@ def test_engine_fastpath_throughput(benchmark):
     print(format_bench(data))
     write_bench(data, BENCH_JSON)
 
-    # the fast path must never lose to the naive scheduler on either
-    # acceptance workload: compute-heavy Cholesky (the tuner's op mix)
-    # and collective-dense (the inline-arrival panel chain)
+    # the fast path must never lose to the naive scheduler on any
+    # acceptance workload: compute-heavy Cholesky (the tuner's op mix),
+    # collective-dense (the inline-arrival panel chain), and the
+    # Critter-profiled p2p + collective mix (the profiler-overhead row)
     acc = data["acceptance"]
     assert acc["speedup"] >= 1.0, (
         f"fast path slower than naive on {ACCEPTANCE}: {acc['speedup']:.2f}x"
@@ -51,6 +53,11 @@ def test_engine_fastpath_throughput(benchmark):
     assert coll["speedup"] >= 1.0, (
         f"fast path slower than naive on {COLLECTIVE_ACCEPTANCE}: "
         f"{coll['speedup']:.2f}x"
+    )
+    crit = data["critter_acceptance"]
+    assert crit["speedup"] >= 1.0, (
+        f"fast path slower than naive on {CRITTER_ACCEPTANCE}: "
+        f"{crit['speedup']:.2f}x"
     )
     # aggregate batching must beat expanded emission
     assert data["batching_speedup"] > 1.0

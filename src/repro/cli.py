@@ -136,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--workload", action="append", metavar="NAME",
                    help="only run workloads whose name contains NAME "
                         "(repeatable; default: all)")
+    b.add_argument("--markdown", default=None, metavar="PATH",
+                   help="also write a naive-vs-fast-vs-profiled comparison "
+                        "table as GitHub markdown (CI job summaries)")
     return p
 
 
@@ -228,7 +231,7 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     from repro.sim.bench import main as bench_main
 
     return bench_main(quick=args.quick, out=args.out, check=args.check,
-                      workloads=args.workload)
+                      workloads=args.workload, markdown=args.markdown)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

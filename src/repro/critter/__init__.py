@@ -32,6 +32,7 @@ from repro.critter.serialize import (
     save_critter_state,
 )
 from repro.critter.pathset import (
+    PathCountTable,
     PathMetrics,
     PathProfile,
     critical_path,
@@ -63,6 +64,7 @@ __all__ = [
     "infer_channel",
     "combine_channels",
     "AggregateRegistry",
+    "PathCountTable",
     "PathMetrics",
     "PathProfile",
     "critical_path",

@@ -22,16 +22,50 @@ against the simulator's PMPI-equivalent interception seam:
   the statistics of predictable kernels across the sub-communicator and
   track coverage through the aggregate-channel algebra; once coverage
   is maximal the kernel is switched off globally.
+
+Copy-on-write path propagation
+------------------------------
+
+The profiler rides along every simulated kernel, so its sync-point cost
+is the throughput floor of any profiled run.  ``K~`` adoption is the
+expensive part of the longest-path exchange, and it is implemented with
+shared immutable snapshots (:class:`~repro.critter.pathset.PathCountTable`)
+instead of per-loser deep copies.  The invariants:
+
+* a table's **base** dict is immutable from the moment it is returned
+  by ``snapshot()`` — winners, ``isend`` internal-message buffers,
+  ``last_path_counts`` and apriori seeds all hand out the same frozen
+  object, and every local mutation goes into the owning rank's private
+  delta, so no rank can ever observe another rank's writes;
+* **adoption is by reference**: a losing rank re-points its base at the
+  winner's snapshot in O(1) and bumps its table ``version``.  The
+  version gates the cached skip verdicts (a path count only grows
+  between adoptions, and predictability is monotone in the count, so a
+  confirmed skip stays valid until the version or the statistics
+  change);
+* structural mutations (delta collapse in ``snapshot()``, adoption)
+  happen only inside hooks of sync points *involving that rank*, which
+  keeps the engine's ``inline_safe`` contract intact: between a rank's
+  consecutive local events, no other rank's event can change any state
+  this rank's decisions read.
+
+``PathMetrics`` propagation needs no copies at all: ``merge_max`` is a
+pairwise max (idempotent, commutative), so merging a live, possibly
+just-merged path object produces bit-identical results to merging a
+defensive pre-merge copy.  The single remaining path copy is the
+``isend`` snapshot, whose sender keeps accumulating onto its live path
+while the buffered message is in flight.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.critter.channels import AggregateRegistry, Channel
 from repro.critter.extrapolation import ExtrapolatingModel
 from repro.critter.pathset import (
+    PathCountTable,
     PathMetrics,
     PathProfile,
     critical_path,
@@ -71,6 +105,10 @@ class RunReport:
     def skip_fraction(self) -> float:
         total = self.executed_kernels + self.skipped_kernels
         return self.skipped_kernels / total if total else 0.0
+
+
+#: path-criterion name -> dispatch index used by ``Critter._path_value``
+_CRITERIA = ("exec", "comm", "comp", "slack")
 
 
 class Critter(Profiler):
@@ -127,11 +165,60 @@ class Critter(Profiler):
         #: various protocols" (Section II.B): "exec" is the longest-path
         #: algorithm [3], "comm"/"comp" follow those cost metrics'
         #: critical paths, "slack" filters out idle time [4]
-        if path_criterion not in ("exec", "comm", "comp", "slack"):
+        if path_criterion not in _CRITERIA:
             raise ValueError(
                 f"path_criterion must be exec|comm|comp|slack, got {path_criterion!r}"
             )
         self.path_criterion = path_criterion
+
+        # hot-path specializations, all fixed at construction: the
+        # decision fast path reads these instead of chasing the policy
+        # object per kernel event
+        pol = self.policy
+        self._never_skip = pol.never_skip
+        self._eager = pol.eager
+        self._force_first = pol.force_first_execution
+        self._count_source = pol.count_source
+        self._min_count = max(self.min_samples, 2)
+        self._has_exclude = bool(self.exclude)
+        #: whether the policy uses the stock alpha() — a subclass
+        #: override must be consulted on every decision, so it disables
+        #: the inlined count-source dispatch and the group-level skip
+        #: caches (whose invalidation reasoning assumes the stock alpha
+        #: semantics)
+        self._std_alpha = type(pol).alpha is Policy.alpha
+        #: policies whose decisions need the full (ordered) check chain:
+        #: never-skip, eager global switch-off, no forced first
+        #: execution, extrapolation lookups, or a custom alpha()
+        self._slow_decision = (
+            pol.never_skip
+            or pol.eager
+            or not pol.force_first_execution
+            or self.extrapolation is not None
+            or not self._std_alpha
+        )
+        self._crit = _CRITERIA.index(path_criterion)
+        #: (signature, sending) -> interned p2p endpoint signature
+        self._ep_keys: Dict[Tuple[KernelSignature, bool], KernelSignature] = {}
+        #: nranks -> machine.internal_cost(nranks), reset on machine swap
+        self._icost: Dict[int, float] = {}
+        #: per-run communicator context: gid -> (members, member count
+        #: tables, member profiles) — the collective hooks walk these
+        #: tuples instead of indexing per-rank lists per member
+        self._gk: Dict[int, tuple] = {}
+        #: per-communicator state: gid -> (members, {sig: member stat
+        #: row}).  Stat objects are stable until reset_statistics /
+        #: eager merging, so the rows survive across runs; the members
+        #: tuple guards against a gid mapping to a different
+        #: communicator in a later program.
+        self._gstats: Dict[int, tuple] = {}
+        #: generation counter bumped whenever any kernel statistic (or
+        #: offline count table) changes — cheap change detection for
+        #: caches and diagnostics
+        self._stat_gen = 0
+        #: on_collective -> post_collective context handoff (the engine
+        #: always calls them back to back for one completion)
+        self._coll_pair: Optional[tuple] = None
 
         self.nprocs: Optional[int] = None
         self.machine = None
@@ -145,13 +232,18 @@ class Critter(Profiler):
 
         # per-run state
         self.profiles: List[PathProfile] = []
-        self._Kt: List[Dict[KernelSignature, int]] = []
-        self._exec_first: List[Set[KernelSignature]] = []
+        self._Kt: List[PathCountTable] = []
         self._run_seed = 0
+        #: run serial stamped onto executed kernels' statistics — the
+        #: per-run forced-execution bookkeeping (a kernel whose stat
+        #: carries an older serial has not executed this run yet)
+        self._run_serial = 0
 
         self.reports: List[RunReport] = []
         self.last_report: Optional[RunReport] = None
-        #: per-rank path counts of the last run (used to seed apriori)
+        #: per-rank path counts of the last run (used to seed apriori).
+        #: These are the ranks' frozen COW snapshots: treat them as
+        #: read-only (ranks that adopted a common path share one dict).
         self.last_path_counts: List[Dict[KernelSignature, int]] = []
 
     # ------------------------------------------------------------------
@@ -162,13 +254,17 @@ class Critter(Profiler):
         """Whether the engine may drive ranks run-to-completion.
 
         Non-eager Critter decisions read only per-rank state (``K``,
-        ``K~``, forced-execution sets) that other ranks' events never
+        ``K~``, forced-execution stamps) that other ranks' events never
         mutate outside synchronization points involving this rank, so
-        inline execution cannot change any decision or draw.  Eager
-        propagation breaks this (``_global_off`` flips at *other* ranks'
-        sub-communicator collectives), as does extrapolation (a shared
-        model observed by every rank); both force the exact-order naive
-        scheduler.
+        inline execution cannot change any decision or draw.  The COW
+        count tables preserve this: a shared snapshot base is immutable,
+        every write lands in the owning rank's private delta, and
+        structural changes (adoption, delta collapse) happen only inside
+        sync-point hooks whose participants include the affected rank.
+        Eager propagation breaks the contract (``_global_off`` flips at
+        *other* ranks' sub-communicator collectives), as does
+        extrapolation (a shared model observed by every rank); both
+        force the exact-order naive scheduler.
         """
         return not self.policy.eager and self.extrapolation is None
 
@@ -183,12 +279,15 @@ class Critter(Profiler):
                 f"Critter instance bound to {self.nprocs} ranks, got {p}; "
                 "use a fresh instance (or reset) when the world size changes"
             )
+        if sim.machine is not self.machine:
+            self._icost.clear()
         self.machine = sim.machine
         self.registry.by_group.clear()
         self.profiles = [PathProfile() for _ in range(p)]
-        self._Kt = [dict() for _ in range(p)]
-        self._exec_first = [set() for _ in range(p)]
+        self._Kt = [PathCountTable() for _ in range(p)]
+        self._gk.clear()
         self._run_seed = run_seed
+        self._run_serial += 1
 
     def end_run(self, sim: Simulator, makespan: float) -> None:
         rep = RunReport(
@@ -203,13 +302,14 @@ class Critter(Profiler):
         )
         self.reports.append(rep)
         self.last_report = rep
-        self.last_path_counts = [dict(kt) for kt in self._Kt]
+        self.last_path_counts = [kt.snapshot() for kt in self._Kt]
 
     def reset_statistics(self) -> None:
         """Forget all kernel statistics (paper: before each new config)."""
         if self._K is not None:
             for k in self._K:
                 k.clear()
+        self._gstats.clear()
         self._global_off.clear()
         self._coverage.clear()
         self._apriori = None
@@ -217,27 +317,66 @@ class Critter(Profiler):
             self.extrapolation.reset()
 
     def seed_path_counts(self, tables: List[Dict[KernelSignature, int]]) -> None:
-        """Provide offline critical-path execution counts (apriori policy)."""
-        self._apriori = [dict(t) for t in tables]
+        """Provide offline critical-path execution counts (apriori policy).
+
+        Accepts plain dicts or :class:`PathCountTable` instances
+        (e.g. another Critter's ``last_path_counts`` entries or live
+        tables); COW tables contribute their frozen snapshot without a
+        copy.
+        """
+        self._apriori = [
+            t.snapshot() if isinstance(t, PathCountTable) else dict(t)
+            for t in tables
+        ]
+        self._stat_gen += 1  # offline counts feed decisions
 
     # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
     def _alpha(self, rank: int, key: KernelSignature) -> int:
+        """Execution count entering the sqrt(alpha) interval shrinkage."""
+        if not self._std_alpha:
+            # overridden Policy.alpha: always consult it, exactly like
+            # the pre-specialization code did
+            st = self._K[rank].get(key)
+            return self.policy.alpha(
+                st.count if st is not None else 0,
+                self._Kt[rank].get(key, 0),
+                self._apriori[rank].get(key) if self._apriori else None,
+            )
+        cs = self._count_source
+        if cs == "one":
+            return 1
+        if cs == "path":
+            c = self._Kt[rank].get(key, 0)
+            return c if c > 1 else 1
+        if cs == "local":
+            st = self._K[rank].get(key)
+            c = st.count if st is not None else 0
+            return c if c > 1 else 1
+        if cs == "offline":
+            off = self._apriori[rank].get(key) if self._apriori is not None else None
+            return off if off is not None and off > 1 else 1
         st = self._K[rank].get(key)
-        local = st.count if st is not None else 0
-        path = self._Kt[rank].get(key, 0)
-        offline = self._apriori[rank].get(key) if self._apriori else None
-        return self.policy.alpha(local, path, offline)
+        return self.policy.alpha(
+            st.count if st is not None else 0,
+            self._Kt[rank].get(key, 0),
+            self._apriori[rank].get(key) if self._apriori else None,
+        )
 
     def _local_decision(self, rank: int, key: KernelSignature,
                         flops: float = 0.0) -> bool:
-        """True = execute; the per-rank part of Fig. 2's ``initialize_msg``."""
-        if self.policy.never_skip:
+        """True = execute; the per-rank part of Fig. 2's ``initialize_msg``.
+
+        The exact, fully-ordered check chain.  :meth:`_decide` is the
+        hot-path specialization that answers the common cases without
+        reaching this method; both must agree on every input.
+        """
+        if self._never_skip:
             return True
         if key.name in self.exclude:
             return True
-        if self.policy.eager and key in self._global_off:
+        if self._eager and key in self._global_off:
             return False
         st = self._K[rank].get(key)
         if self.extrapolation is not None and (st is None or st.count < self.min_samples):
@@ -245,7 +384,7 @@ class Critter(Profiler):
             # fits tightly may be skipped without its forced execution
             if self.extrapolation.predict(key, flops) is not None:
                 return False
-        if self.policy.force_first_execution and key not in self._exec_first[rank]:
+        if self._force_first and (st is None or st.last_exec_run != self._run_serial):
             return True
         if st is None:
             return True
@@ -253,36 +392,93 @@ class Critter(Profiler):
             st, self.eps, self.z, self._alpha(rank, key), self.min_samples
         )
 
-    def _path_value(self, rank: int) -> float:
-        """The metric by which sync-point path winners are chosen."""
-        prof = self.profiles[rank]
-        if self.path_criterion == "exec":
-            return prof.path.exec_time
-        if self.path_criterion == "comm":
-            return prof.path.comm_time
-        if self.path_criterion == "comp":
-            return prof.path.comp_time
-        # slack method: discount time spent waiting (idle) — ranks whose
-        # progress is mostly wait states lose the path election
-        return prof.path.exec_time - prof.vol_idle
+    def _decide(self, rank: int, sig: KernelSignature,
+                flops: float = 0.0) -> bool:
+        """The pre-execution decision, flattened for the hot path.
 
-    def _stat(self, rank: int, key: KernelSignature) -> RunningStat:
-        st = self._K[rank].get(key)
+        Equivalent to :meth:`_local_decision` for the non-eager,
+        non-extrapolating, forced-first-execution policies; anything
+        else falls through to the exact chain.  The steady skip state —
+        a kernel already confirmed predictable whose path count has only
+        grown since — answers from the stat's cached verdict and the
+        count table's version stamp without touching the CI formula.
+        """
+        if self._slow_decision:
+            return self._local_decision(rank, sig, flops)
+        st = self._K[rank].get(sig)
         if st is None:
-            st = RunningStat()
-            self._K[rank][key] = st
-        return st
+            return True
+        if self._has_exclude and sig.name in self.exclude:
+            return True
+        if st.last_exec_run != self._run_serial:
+            return True  # forced first execution of this run
+        if st.count < self._min_count:
+            return True
+        kt = self._Kt[rank]
+        # A version match proves "confirmed skippable, counts only grown
+        # since".  Stamps cannot leak across runs: reaching this check
+        # requires last_exec_run == serial, i.e. an update() this run,
+        # which reset the stamp — so it was taken against this run's
+        # table.
+        if st._skip_version == kt.version:
+            return False
+        cs = self._count_source
+        if cs == "path":
+            # inlined PathCountTable.get
+            a = kt._delta.get(sig)
+            if a is None:
+                a = kt._base.get(sig, 0)
+            if a < 1:
+                a = 1
+        elif cs == "one":
+            a = 1
+        elif cs == "local":
+            a = st.count
+        elif cs == "offline":
+            off = self._apriori[rank].get(sig) if self._apriori is not None else None
+            a = off if off is not None and off > 1 else 1
+        else:
+            # custom Policy subclass: defer to its alpha() exactly like
+            # the slow chain does
+            a = self._alpha(rank, sig)
+        eps = self.eps
+        z = self.z
+        if st._pt_eps == eps and st._pt_z == z:
+            if a >= st._pt_true:
+                st._skip_version = kt.version
+                return False
+            if a <= st._pt_false:
+                return True
+        if is_predictable(st, eps, z, a, self.min_samples):
+            st._skip_version = kt.version
+            return False
+        return True
 
-    def _mean_or_zero(self, rank: int, key: KernelSignature,
-                      flops: float = 0.0) -> float:
-        st = self._K[rank].get(key)
-        if st is not None and st.count:
-            return st.mean
-        if self.extrapolation is not None:
-            pred = self.extrapolation.predict(key, flops)
-            if pred is not None:
-                return pred
-        return 0.0
+    def _path_value(self, rank: int) -> float:
+        """The metric by which sync-point path winners are chosen.
+
+        Cached on the profile (recomputed only after a mutation), so a
+        sync point pays one evaluation per member instead of one per
+        comparison.
+        """
+        prof = self.profiles[rank]
+        if not prof.pv_dirty:
+            return prof.pv_cache
+        path = prof.path
+        c = self._crit
+        if c == 0:
+            v = path.exec_time
+        elif c == 1:
+            v = path.comm_time
+        elif c == 2:
+            v = path.comp_time
+        else:
+            # slack method: discount time spent waiting (idle) — ranks
+            # whose progress is mostly wait states lose the election
+            v = path.exec_time - prof.vol_idle
+        prof.pv_cache = v
+        prof.pv_dirty = False
+        return v
 
     # ------------------------------------------------------------------
     # communicator management
@@ -295,32 +491,116 @@ class Critter(Profiler):
             self.registry.register_split(g.gid, g.world_ranks)
 
     def intercept_cost(self, nranks: int) -> float:
-        return self.machine.internal_cost(nranks) if self.machine else 0.0
+        c = self._icost.get(nranks)
+        if c is None:
+            if self.machine is None:
+                return 0.0
+            c = self._icost[nranks] = self.machine.internal_cost(nranks)
+        return c
 
     # ------------------------------------------------------------------
     # computational kernels
     # ------------------------------------------------------------------
-    def on_compute(self, rank: int, sig: KernelSignature, flops: float) -> bool:
-        return self._local_decision(rank, sig, flops)
+    on_compute = _decide
 
     def post_compute(
         self, rank: int, sig: KernelSignature, executed: bool, elapsed: float,
         flops: float,
     ) -> None:
+        prof = self.profiles[rank]
         if executed:
-            self._stat(rank, sig).update(elapsed)
-            self._exec_first[rank].add(sig)
+            self._stat_gen += 1
+            kr = self._K[rank]
+            st = kr.get(sig)
+            if st is None:
+                st = kr[sig] = RunningStat()
+            st.update(elapsed)
+            st.last_exec_run = self._run_serial
             if self.extrapolation is not None:
                 self.extrapolation.observe(sig, flops, elapsed)
             predicted = elapsed
+            prof.vol_exec_comp += elapsed
+            prof.executed_kernels += 1
         else:
-            predicted = self._mean_or_zero(rank, sig, flops)
-        self._Kt[rank][sig] = self._Kt[rank].get(sig, 0) + 1
-        self.profiles[rank].add_compute(predicted, elapsed, flops, executed)
+            st = self._K[rank].get(sig)
+            if st is not None and st.count:
+                predicted = st.mean
+            elif self.extrapolation is not None:
+                pred = self.extrapolation.predict(sig, flops)
+                predicted = pred if pred is not None else 0.0
+            else:
+                predicted = 0.0
+            prof.skipped_kernels += 1
+        # inlined PathCountTable.increment (delta-only write)
+        kt = self._Kt[rank]
+        delta = kt._delta
+        c = delta.get(sig)
+        if c is None:
+            c = kt._base.get(sig, 0)
+        delta[sig] = c + 1
+        # inlined PathProfile.add_compute (identical accumulation order)
+        path = prof.path
+        path.exec_time += predicted
+        path.comp_time += predicted
+        path.flops += flops
+        prof.vol_comp_time += elapsed
+        prof.vol_flops += flops
+        # under the default exec criterion the path value IS exec_time:
+        # maintain the cache in place so sync-point elections read it
+        # without recomputing (other criteria take the dirty-flag path)
+        if self._crit == 0:
+            prof.pv_cache = path.exec_time
+            prof.pv_dirty = False
+        else:
+            prof.pv_dirty = True
 
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
+    def _group_ctx(self, group: CommGroup) -> tuple:
+        """Per-run member context of one communicator (built lazily)."""
+        ctx = self._gk.get(group.gid)
+        if ctx is None:
+            members = group.world_ranks
+            Kt = self._Kt
+            profiles = self.profiles
+            ctx = self._gk[group.gid] = (
+                members,
+                tuple(Kt[r] for r in members),
+                tuple(profiles[r] for r in members),
+            )
+        return ctx
+
+    def _group_state(self, group: CommGroup) -> tuple:
+        """``(members, stat rows, skip thresholds)`` of one communicator.
+
+        Keyed by gid across runs; the members tuple guards against a gid
+        mapping to a different communicator in a later program.  The
+        third slot caches, per signature, ``(max over members of the
+        stat's proven-skippable alpha threshold, stat generation, run
+        serial)`` — valid while no statistic changed and the run is the
+        same (see ``on_collective``).
+        """
+        gst = self._gstats.get(group.gid)
+        if gst is None or gst[0] != group.world_ranks:
+            gst = self._gstats[group.gid] = (group.world_ranks, {}, {})
+        return gst
+
+    def _group_row(self, group: CommGroup, gst: tuple,
+                   sig: KernelSignature) -> Optional[tuple]:
+        """Cached member stat row for ``sig``, or None until all exist."""
+        row = gst[1].get(sig)
+        if row is None:
+            K = self._K
+            sts = []
+            for r in group.world_ranks:
+                st = K[r].get(sig)
+                if st is None:
+                    return None  # not every member measured it yet
+                sts.append(st)
+            row = gst[1][sig] = tuple(sts)
+        return row
+
     def on_collective(
         self,
         group: CommGroup,
@@ -330,7 +610,92 @@ class Critter(Profiler):
     ) -> bool:
         # the internal allreduce of execute flags: the user communication
         # is skipped only when ALL participants deem it predictable
-        return any(self._local_decision(r, sig) for r in group.world_ranks)
+        if not self._slow_decision and not self._has_exclude:
+            ctx = self._gk.get(group.gid)
+            if ctx is None:
+                ctx = self._group_ctx(group)
+            gst = self._group_state(group)
+            kts = ctx[1]
+            # group-level short-circuit: with the stat generation and
+            # run serial unchanged since the cached all-skip verdict,
+            # the only decision input that can have moved is the path
+            # count — which only grows.  For path-count alphas, the
+            # shared-base property (after an adopting collective every
+            # member's table aliases one frozen base, and any delta
+            # entry is >= the base entry) lets one count read against
+            # the cached max skip threshold answer for the whole group;
+            # for the other alpha sources no input moved at all.
+            mp = gst[2].get(sig)
+            if (mp is not None and mp[1] == self._stat_gen
+                    and mp[2] == self._run_serial):
+                if self._count_source != "path":
+                    self._coll_pair = (group, sig, ctx, gst[1].get(sig))
+                    return False
+                b0 = kts[0]._base
+                shared = True
+                for kt in kts:
+                    if kt._base is not b0:
+                        shared = False
+                        break
+                if shared and b0.get(sig, 0) >= mp[0]:
+                    self._coll_pair = (group, sig, ctx, gst[1].get(sig))
+                    return False
+            row = self._group_row(group, gst, sig)
+            if row is not None:
+                # steady-state loop, inlined from _decide: each member
+                # answers from its skip-version stamp (O(1) when no
+                # adoption happened since the last decision) or its
+                # verdict sentinels (no sqrt, no divisions — the common
+                # case on adoption-churning collective chains); only a
+                # member neither can resolve pays the full chain.
+                serial = self._run_serial
+                minc = self._min_count
+                eps = self.eps
+                z = self.z
+                cs = self._count_source
+                for i in range(len(row)):
+                    st = row[i]
+                    kt = kts[i]
+                    if st.last_exec_run != serial or st.count < minc:
+                        return True  # forced / under-sampled: execute
+                    # stamp honored only after the force-first gate: a
+                    # stale stamp from a previous run can coincide with
+                    # a fresh table's version (both can be 0 when no
+                    # adoption ever bumped it)
+                    if st._skip_version == kt.version:
+                        continue
+                    if cs == "path":
+                        # inlined PathCountTable.get
+                        a = kt._delta.get(sig)
+                        if a is None:
+                            a = kt._base.get(sig, 0)
+                        if a < 1:
+                            a = 1
+                    else:
+                        a = 1 if cs == "one" else None
+                    if a is not None and st._pt_eps == eps and st._pt_z == z:
+                        if a >= st._pt_true:
+                            st._skip_version = kt.version
+                            continue
+                        if a <= st._pt_false:
+                            return True
+                    if self._decide(group.world_ranks[i], sig):
+                        return True
+                # every member verdicts False, so every stat holds a
+                # finite proven-True threshold for this (eps, z); any
+                # future alpha at or above the max is again all-skip
+                mx = 0
+                for st in row:
+                    if st._pt_true > mx:
+                        mx = st._pt_true
+                gst[2][sig] = (mx, self._stat_gen, serial)
+                self._coll_pair = (group, sig, ctx, row)
+                return False
+        decide = self._decide
+        for r in group.world_ranks:
+            if decide(r, sig):
+                return True
+        return False
 
     def post_collective(
         self,
@@ -341,38 +706,212 @@ class Critter(Profiler):
         comm_time: float,
         completion: float,
     ) -> None:
-        members = group.world_ranks
+        pair = self._coll_pair
+        self._coll_pair = None
+        if pair is not None and pair[0] is group and pair[1] is sig:
+            ctx = pair[2]
+            row = pair[3]
+        else:
+            ctx = self._gk.get(group.gid)
+            if ctx is None:
+                ctx = self._group_ctx(group)
+            row = self._group_row(group, self._group_state(group), sig)
+        members, kts, profs = ctx
+        n = len(members)
         # --- longest-path propagation (the internal PMPI_Allreduce) ---
-        winner = max(members, key=self._path_value)
-        wvalue = self._path_value(winner)
-        wpath = self.profiles[winner].path.copy()
-        wcounts = dict(self._Kt[winner])
-        for r in members:
-            if r != winner and self._path_value(r) < wvalue:
-                self._Kt[r] = dict(wcounts)
-            self.profiles[r].path.merge_max(wpath)
-        # --- selective execution accounting ---
+        # election pass: one cached path-value read per member (inlined
+        # _path_value), left in each profile's pv_cache for the fused
+        # loop below (valid there until the member's own accounting).
+        # The winner is the first member attaining the maximum — the
+        # same tie-break as max(key=...)
+        crit = self._crit
+        wi = 0
+        wvalue = None
+        vmin = None
+        for i, prof in enumerate(profs):
+            if prof.pv_dirty:
+                path = prof.path
+                if crit == 0:
+                    v = path.exec_time
+                elif crit == 1:
+                    v = path.comm_time
+                elif crit == 2:
+                    v = path.comp_time
+                else:
+                    v = path.exec_time - prof.vol_idle
+                prof.pv_cache = v
+                prof.pv_dirty = False
+            else:
+                v = prof.pv_cache
+            if wvalue is None:
+                wvalue = vmin = v
+            elif v > wvalue:
+                wi = i
+                wvalue = v
+            elif v < vmin:
+                vmin = v
+        wpath = profs[wi].path
+        # hoist the winner's metrics: the merge reads these locals, so
+        # fusing propagation with accounting below cannot pollute them
+        # (each member's path is touched only in its own iteration)
+        w_exec = wpath.exec_time
+        w_comp = wpath.comp_time
+        w_comm = wpath.comm_time
+        w_synchs = wpath.synchs
+        w_words = wpath.words
+        w_flops = wpath.flops
+        # the adoption snapshot must be taken before any accounting
+        # increment lands in the winner's delta (losers adopt the
+        # winner's counts as they stood at the sync point); someone
+        # adopts iff any member's value is below the winner's
+        if vmin < wvalue:
+            wsnap = kts[wi].snapshot()
+            # an adopting loser's delta is empty, so its increment below
+            # is exactly snapshot count + 1 — precompute it once
+            winc = wsnap.get(sig, 0) + 1
+        else:
+            wsnap = None
+        # --- propagation fused with selective-execution accounting ---
         start = max(arrivals.values())
         nbytes = sig.params[0]
-        if executed and self.extrapolation is not None:
-            self.extrapolation.observe(sig, 0.0, comm_time)
-        for r in members:
-            if executed:
-                self._stat(r, sig).update(comm_time)
-                self._exec_first[r].add(sig)
-                predicted = comm_time
-            else:
-                predicted = self._mean_or_zero(r, sig)
-            self._Kt[r][sig] = self._Kt[r].get(sig, 0) + 1
-            self.profiles[r].add_comm(
-                predicted,
-                comm_time if executed else 0.0,
-                nbytes,
-                executed,
-                start - arrivals[r],
-            )
+        extrap = self.extrapolation
+        if row is None:
+            K = self._K
+            row = [K[m].get(sig) for m in members]
+        serial = self._run_serial
+        if executed:
+            self._stat_gen += 1
+            if extrap is not None:
+                extrap.observe(sig, 0.0, comm_time)
+        arr = arrivals
+        crit0 = crit == 0
+        # NOTE: the two member loops below are deliberate near-copies —
+        # hoisting the `executed` branch out of the per-member body is
+        # worth ~5% on profiled collective chains.  The adoption +
+        # merge_max propagation block must stay IDENTICAL in both; any
+        # edit there must land in both loops (the golden fixtures cover
+        # executed and skipped collectives and will catch divergence).
+        if not executed:
+            # the dominant steady-state loop, specialized for skipped
+            # collectives (charged time is exactly 0.0 — x += 0.0 cannot
+            # change an accumulated nonnegative float, so the charged
+            # accumulators are untouched)
+            for i, (prof, kt, st, m) in enumerate(zip(profs, kts, row,
+                                                      members)):
+                path = prof.path
+                if i != wi:
+                    if prof.pv_cache < wvalue:
+                        # adopt the winner's counts by reference
+                        # (inlined PathCountTable.adopt) and count this
+                        # kernel in the same stroke: the fresh delta is
+                        # exactly {sig: snapshot count + 1}
+                        kt._base = wsnap
+                        kt._delta = {sig: winc}
+                        kt.version += 1
+                    else:
+                        delta = kt._delta
+                        c = delta.get(sig)
+                        if c is None:
+                            c = kt._base.get(sig, 0)
+                        delta[sig] = c + 1
+                    # inlined PathProfile.merge_path (hoisted fields)
+                    if w_exec > path.exec_time:
+                        path.exec_time = w_exec
+                    if w_comp > path.comp_time:
+                        path.comp_time = w_comp
+                    if w_comm > path.comm_time:
+                        path.comm_time = w_comm
+                    if w_synchs > path.synchs:
+                        path.synchs = w_synchs
+                    if w_words > path.words:
+                        path.words = w_words
+                    if w_flops > path.flops:
+                        path.flops = w_flops
+                else:
+                    delta = kt._delta
+                    c = delta.get(sig)
+                    if c is None:
+                        c = kt._base.get(sig, 0)
+                    delta[sig] = c + 1
+                if st is not None and st.count:
+                    predicted = st.mean
+                elif extrap is not None:
+                    pred = extrap.predict(sig, 0.0)
+                    predicted = pred if pred is not None else 0.0
+                else:
+                    predicted = 0.0
+                # inlined PathProfile.add_comm (identical accumulation)
+                path.exec_time += predicted
+                path.comm_time += predicted
+                path.words += nbytes
+                path.synchs += 1.0
+                prof.vol_words += nbytes
+                prof.vol_synchs += 1.0
+                prof.vol_idle += start - arr[m]
+                # exec-criterion path values are maintained in place
+                # (see post_compute); other criteria re-derive on demand
+                if crit0:
+                    prof.pv_cache = path.exec_time
+                    prof.pv_dirty = False
+                else:
+                    prof.pv_dirty = True
+                prof.skipped_kernels += 1
+        else:
+            for i, (prof, kt, st, m) in enumerate(zip(profs, kts, row,
+                                                      members)):
+                path = prof.path
+                if i != wi:
+                    if prof.pv_cache < wvalue:
+                        kt._base = wsnap
+                        kt._delta = {sig: winc}
+                        kt.version += 1
+                    else:
+                        delta = kt._delta
+                        c = delta.get(sig)
+                        if c is None:
+                            c = kt._base.get(sig, 0)
+                        delta[sig] = c + 1
+                    # inlined PathProfile.merge_path (hoisted fields)
+                    if w_exec > path.exec_time:
+                        path.exec_time = w_exec
+                    if w_comp > path.comp_time:
+                        path.comp_time = w_comp
+                    if w_comm > path.comm_time:
+                        path.comm_time = w_comm
+                    if w_synchs > path.synchs:
+                        path.synchs = w_synchs
+                    if w_words > path.words:
+                        path.words = w_words
+                    if w_flops > path.flops:
+                        path.flops = w_flops
+                else:
+                    delta = kt._delta
+                    c = delta.get(sig)
+                    if c is None:
+                        c = kt._base.get(sig, 0)
+                    delta[sig] = c + 1
+                if st is None:
+                    st = self._K[m][sig] = RunningStat()
+                st.update(comm_time)
+                st.last_exec_run = serial
+                # inlined PathProfile.add_comm (identical accumulation)
+                path.exec_time += comm_time
+                path.comm_time += comm_time
+                path.words += nbytes
+                path.synchs += 1.0
+                prof.vol_comm_time += comm_time
+                prof.vol_words += nbytes
+                prof.vol_synchs += 1.0
+                prof.vol_idle += start - arr[m]
+                if crit0:
+                    prof.pv_cache = path.exec_time
+                    prof.pv_dirty = False
+                else:
+                    prof.pv_dirty = True
+                prof.vol_exec_comm += comm_time
+                prof.executed_kernels += 1
         # --- eager propagation: aggregate statistics along the channel ---
-        if self.policy.eager:
+        if self._eager:
             self._aggregate_statistics(group)
 
     def _aggregate_statistics(self, group: CommGroup) -> None:
@@ -394,6 +933,7 @@ class Critter(Profiler):
                     continue
                 if is_predictable(st, self.eps, self.z, 1, self.min_samples):
                     candidates.add(key)
+        replaced = False
         for key in candidates:
             old_cov = self._coverage.get(key)
             cov = self.registry.extend_coverage(old_cov, channel)
@@ -407,30 +947,50 @@ class Critter(Profiler):
                 if st is not None:
                     merged.merge(st)
             for r in members:
-                self._K[r][key] = merged.copy()
+                old = self._K[r].get(key)
+                new = merged.copy()
+                # the forced-execution stamp is per-rank run state, not
+                # part of the aggregated moments: preserve it across the
+                # replacement (the pre-COW code kept it in a separate
+                # per-rank set that merging never touched)
+                new.last_exec_run = old.last_exec_run if old is not None else 0
+                self._K[r][key] = new
+            replaced = True
             self._coverage[key] = cov
             if self.registry.covers_world(cov):
                 self._global_off.add(key)
+        if replaced:
+            # merged copies replaced the stat objects the cached rows
+            # reference — drop every row and memo
+            self._gstats.clear()
+            self._stat_gen += 1
 
     # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
-    @staticmethod
-    def _endpoint_key(sig: KernelSignature, sending: bool) -> KernelSignature:
-        return comm_signature("send" if sending else "recv", *sig.params)
+    def _endpoint_key(self, sig: KernelSignature,
+                      sending: bool) -> KernelSignature:
+        """Interned send/recv endpoint signature (memoized per (sig, dir))."""
+        key = (sig, sending)
+        out = self._ep_keys.get(key)
+        if out is None:
+            out = self._ep_keys[key] = comm_signature(
+                "send" if sending else "recv", *sig.params)
+        return out
 
     def on_p2p_post(self, record: P2PRecord) -> None:
         if record.kind == "isend":
-            # buffered internal message: snapshot the sender's path state
+            # buffered internal message: freeze the sender's path state —
+            # the counts by COW snapshot, the path metrics by one flat
+            # copy (the sender keeps mutating its live path in place)
             r = record.world_rank
-            record.snapshot = (self.profiles[r].path.copy(), dict(self._Kt[r]))
+            record.snapshot = (self.profiles[r].path.copy(),
+                               self._Kt[r].snapshot())
 
     def on_p2p(self, sig: KernelSignature, send: P2PRecord, recv: P2PRecord) -> bool:
-        skey = self._endpoint_key(sig, True)
-        rkey = self._endpoint_key(sig, False)
-        return self._local_decision(send.world_rank, skey) or self._local_decision(
-            recv.world_rank, rkey
-        )
+        return self._decide(
+            send.world_rank, self._endpoint_key(sig, True)
+        ) or self._decide(recv.world_rank, self._endpoint_key(sig, False))
 
     def post_p2p(
         self,
@@ -442,30 +1002,42 @@ class Critter(Profiler):
         completion: float,
     ) -> None:
         s, r = send.world_rank, recv.world_rank
+        profiles = self.profiles
+        Kt = self._Kt
         # --- path propagation ---
         if send.kind == "send":
-            # blocking pair: the internal PMPI_Sendrecv exchanges paths both ways
-            sp, sc = self.profiles[s].path.copy(), dict(self._Kt[s])
-            rp, rc = self.profiles[r].path.copy(), dict(self._Kt[r])
-            sv, rv = self._path_value(s), self._path_value(r)
+            # blocking pair: the internal PMPI_Sendrecv exchanges paths
+            # both ways; count adoption is by COW reference.  merge_max
+            # idempotence makes the second merge (against the already-
+            # merged s path) bit-identical to merging its pre-merge copy.
+            sv = self._path_value(s)
+            rv = self._path_value(r)
             if rv > sv:
-                self._Kt[s] = dict(rc)
+                Kt[s].adopt(Kt[r].snapshot())
             elif sv > rv:
-                self._Kt[r] = dict(sc)
-            self.profiles[s].path.merge_max(rp)
-            self.profiles[r].path.merge_max(sp)
+                Kt[r].adopt(Kt[s].snapshot())
+            sprof = profiles[s]
+            rprof = profiles[r]
+            sprof.merge_path(rprof.path)
+            rprof.merge_path(sprof.path)
         else:
             # buffered (isend): only the receiver learns the sender's path,
             # from the snapshot taken at post time (PMPI_Bsend semantics)
             snap = send.snapshot
             if snap is not None:
                 snap_path, snap_counts = snap
-                if snap_path.exec_time > self.profiles[r].path.exec_time:
-                    self._Kt[r] = dict(snap_counts)
-                self.profiles[r].path.merge_max(snap_path)
+                rprof = profiles[r]
+                if snap_path.exec_time > rprof.path.exec_time:
+                    Kt[r].adopt(snap_counts)
+                rprof.merge_path(snap_path)
         # --- accounting per endpoint ---
         start = max(send.post_time, recv.post_time)
         nbytes = sig.params[0]
+        extrap = self.extrapolation
+        K = self._K
+        serial = self._run_serial
+        if executed:
+            self._stat_gen += 1
         for rank, key, posted, blocking, kind in (
             (s, self._endpoint_key(sig, True), send.post_time, send.blocking,
              send.kind),
@@ -473,14 +1045,25 @@ class Critter(Profiler):
              recv.kind),
         ):
             if executed:
-                self._stat(rank, key).update(comm_time)
-                self._exec_first[rank].add(key)
-                if self.extrapolation is not None:
-                    self.extrapolation.observe(key, 0.0, comm_time)
+                kr = K[rank]
+                st = kr.get(key)
+                if st is None:
+                    st = kr[key] = RunningStat()
+                st.update(comm_time)
+                st.last_exec_run = serial
+                if extrap is not None:
+                    extrap.observe(key, 0.0, comm_time)
                 predicted = comm_time
             else:
-                predicted = self._mean_or_zero(rank, key)
-            self._Kt[rank][key] = self._Kt[rank].get(key, 0) + 1
+                st = K[rank].get(key)
+                if st is not None and st.count:
+                    predicted = st.mean
+                elif extrap is not None:
+                    pred = extrap.predict(key, 0.0)
+                    predicted = pred if pred is not None else 0.0
+                else:
+                    predicted = 0.0
+            Kt[rank].increment(key)
             idle = (start - posted) if blocking else 0.0
             # a buffered isend returns immediately: the sender's path and
             # wall time do not absorb the transfer (Fig. 2: its kernel
@@ -490,7 +1073,29 @@ class Critter(Profiler):
                 charged = 0.0
             else:
                 charged = comm_time if executed else 0.0
-            self.profiles[rank].add_comm(predicted, charged, nbytes, executed, idle)
+            prof = profiles[rank]
+            # inlined PathProfile.add_comm (identical accumulation order)
+            path = prof.path
+            path.exec_time += predicted
+            path.comm_time += predicted
+            path.words += nbytes
+            path.synchs += 1.0
+            prof.vol_comm_time += charged
+            prof.vol_words += nbytes
+            prof.vol_synchs += 1.0
+            prof.vol_idle += idle
+            # exec-criterion path values are maintained in place (see
+            # post_compute); other criteria re-derive on demand
+            if self._crit == 0:
+                prof.pv_cache = path.exec_time
+                prof.pv_dirty = False
+            else:
+                prof.pv_dirty = True
+            if executed:
+                prof.vol_exec_comm += charged
+                prof.executed_kernels += 1
+            else:
+                prof.skipped_kernels += 1
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -15,6 +15,11 @@ specific execution path.  Critter maintains, per rank:
   series of Fig. 3, and per-rank maxima give the "most loaded
   processor" kernel-time metrics of Figs. 4c / 5c.
 
+* **path counts** (``K~``) — the kernel execution frequencies along the
+  rank's current sub-critical path, held in a copy-on-write
+  :class:`PathCountTable` so that losers of a path election adopt the
+  winner's whole table by reference instead of deep-copying it.
+
 ``exec_time`` / ``comp_time`` / ``comm_time`` are *predicted* times:
 executed kernels contribute their measured duration, skipped kernels
 their sample mean — this is exactly how the tool predicts a
@@ -24,9 +29,115 @@ configuration's execution time while skipping most of its work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
-__all__ = ["PathMetrics", "PathProfile", "critical_path", "volumetric_average"]
+__all__ = [
+    "PathCountTable",
+    "PathMetrics",
+    "PathProfile",
+    "critical_path",
+    "volumetric_average",
+]
+
+
+class PathCountTable:
+    """Copy-on-write kernel-frequency table (one rank's ``K~``).
+
+    Layout: a **base** dict that is immutable once shared (adopters
+    point at the very same object; nobody ever writes to a base) plus a
+    small private **delta** dict holding this rank's increments since
+    the base was taken.  The merged view is "delta wins, base fills".
+
+    * :meth:`adopt` — wholesale adoption of a winner's snapshot at a
+      synchronization point: re-points ``base`` and drops the local
+      delta.  O(1) regardless of table size, where the pre-COW code
+      paid a full ``dict(...)`` copy per losing rank.
+    * :meth:`snapshot` — freeze the current contents for sharing
+      (winner side of an election, ``isend`` internal-message buffers,
+      ``last_path_counts``): collapses the delta into a fresh base at
+      most once per sync point and returns that base.  Callers must
+      treat the returned dict as immutable.
+    * :meth:`increment` — the only mutation, always into the delta, so
+      a shared base can never change underneath another rank.
+
+    ``version`` stamps wholesale adoptions.  Increments never bump it:
+    a path count can only *grow* between adoptions, and predictability
+    is monotone in the count, so a skip verdict confirmed at version
+    ``v`` stays valid until the version changes or the kernel's
+    statistics do (see ``Critter.on_compute``).
+
+    The read surface (``get``/``[]``/``in``/iteration/``items``) is
+    dict-like so reports and tests can treat a table as the mapping it
+    replaces.
+    """
+
+    __slots__ = ("_base", "_delta", "version")
+
+    def __init__(self, base: Dict = None) -> None:
+        self._base: Dict = {} if base is None else base
+        self._delta: Dict = {}
+        self.version = 0
+
+    # -- reads -------------------------------------------------------------
+    def get(self, key, default=0):
+        v = self._delta.get(key)
+        if v is not None:
+            return v
+        return self._base.get(key, default)
+
+    def __getitem__(self, key):
+        v = self._delta.get(key)
+        if v is not None:
+            return v
+        return self._base[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._delta or key in self._base
+
+    def __iter__(self) -> Iterator:
+        return iter(self.snapshot())
+
+    def __len__(self) -> int:
+        if not self._delta:
+            return len(self._base)
+        return len(self.snapshot())
+
+    def __bool__(self) -> bool:
+        return bool(self._delta) or bool(self._base)
+
+    def keys(self):
+        return self.snapshot().keys()
+
+    def items(self):
+        return self.snapshot().items()
+
+    def __repr__(self) -> str:
+        return f"PathCountTable({self.snapshot()!r}, version={self.version})"
+
+    # -- writes ------------------------------------------------------------
+    def increment(self, key) -> None:
+        """Count one more occurrence of ``key`` along this rank's path."""
+        delta = self._delta
+        v = delta.get(key)
+        if v is None:
+            v = self._base.get(key, 0)
+        delta[key] = v + 1
+
+    def snapshot(self) -> Dict:
+        """Frozen shareable contents; collapses the delta at most once."""
+        if self._delta:
+            base = dict(self._base)
+            base.update(self._delta)
+            self._base = base
+            self._delta = {}
+        return self._base
+
+    def adopt(self, base: Dict) -> None:
+        """Wholesale adoption of another table's snapshot (by reference)."""
+        self._base = base
+        if self._delta:
+            self._delta = {}
+        self.version += 1
 
 
 @dataclass(slots=True)
@@ -41,7 +152,13 @@ class PathMetrics:
     flops: float = 0.0       # floating-point operations
 
     def merge_max(self, other: "PathMetrics") -> None:
-        """Longest-path propagation: each metric takes the pairwise max."""
+        """Longest-path propagation: each metric takes the pairwise max.
+
+        Idempotent and commutative (a pairwise max), so merging a path
+        that was itself just merged is identical to merging its
+        pre-merge snapshot — the property that lets the sync-point
+        propagation loops skip the defensive copies they used to take.
+        """
         if other.exec_time > self.exec_time:
             self.exec_time = other.exec_time
         if other.comp_time > self.comp_time:
@@ -80,6 +197,17 @@ class PathProfile:
     executed_kernels: int = 0
     skipped_kernels: int = 0
 
+    #: cached sync-point path value + dirty flag.  The path election at
+    #: every collective/p2p sync point ranks members by one criterion
+    #: metric; caching it here makes that O(1) per member per sync point
+    #: instead of recomputed per comparison.  Every mutation that can
+    #: move the value (``add_compute``/``add_comm``/``merge_path``)
+    #: raises the dirty flag; ``Critter._path_value`` owns the refill
+    #: (the cached value is only meaningful to the single Critter
+    #: instance driving this profile, whose criterion is fixed).
+    pv_cache: float = 0.0
+    pv_dirty: bool = True
+
     # -- accumulation helpers ---------------------------------------------
     def add_compute(self, predicted: float, charged: float, flops: float,
                     executed: bool) -> None:
@@ -88,6 +216,7 @@ class PathProfile:
         self.path.flops += flops
         self.vol_comp_time += charged
         self.vol_flops += flops
+        self.pv_dirty = True
         if executed:
             self.vol_exec_comp += charged
             self.executed_kernels += 1
@@ -104,11 +233,17 @@ class PathProfile:
         self.vol_words += nbytes
         self.vol_synchs += 1.0
         self.vol_idle += idle
+        self.pv_dirty = True
         if executed:
             self.vol_exec_comm += charged
             self.executed_kernels += 1
         else:
             self.skipped_kernels += 1
+
+    def merge_path(self, other: PathMetrics) -> None:
+        """Longest-path propagation into this profile (dirties the cache)."""
+        self.path.merge_max(other)
+        self.pv_dirty = True
 
     @property
     def kernel_wall_time(self) -> float:

@@ -104,6 +104,10 @@ def load_critter_state(critter: Critter, state: Dict[str, Any]) -> None:
         for entry in entries:
             table[_sig_from_obj(entry["sig"])] = _stat_from_obj(entry["stat"])
     critter._global_off = {_sig_from_obj(o) for o in state.get("global_off", [])}
+    # the restore replaced every stat object: drop the per-communicator
+    # cached stat rows / skip thresholds and mark statistics as changed
+    critter._gstats.clear()
+    critter._stat_gen += 1
 
 
 def save_critter_state(critter: Critter, path: str) -> str:

@@ -9,23 +9,47 @@ its sample mean's confidence interval drops below the tolerance
 sub-critical path shrinks the interval by a further ``sqrt(alpha)``
 (the paper assigns the combined time of the alpha occurrences a
 variance reduced by that factor).
+
+Cached predictability verdicts
+------------------------------
+
+``is_predictable`` sits on every pre-execution decision, so it must not
+pay a sqrt and two divisions per call.  ``relative_ci`` is monotone
+non-increasing in ``alpha`` — ``ci_halfwidth`` divides by
+``sqrt(count * alpha)``, and IEEE-754 sqrt/division are correctly
+rounded, hence monotone — so each verdict bounds a whole half-line of
+alphas: a True at ``alpha0`` stays True for every ``alpha >= alpha0``
+until the statistics change, and a False at ``alpha1`` stays False for
+every ``alpha <= alpha1``.  :class:`RunningStat` caches those two
+sentinel alphas (tagged with the ``(eps, z)`` they were computed for)
+and ``update``/``merge`` invalidate them; queries between the sentinels
+fall back to the exact computation, so every verdict returned is
+bit-identical to the uncached formula.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-
-from scipy.stats import norm
+from statistics import NormalDist
 
 __all__ = ["RunningStat", "z_value", "relative_ci", "is_predictable"]
 
+_INV_CDF = NormalDist().inv_cdf
+
 
 def z_value(confidence: float) -> float:
-    """Two-sided normal critical value for a confidence level in (0,1)."""
+    """Two-sided normal critical value for a confidence level in (0,1).
+
+    Computed with the stdlib's :meth:`statistics.NormalDist.inv_cdf`
+    (Wichura's AS241 algorithm) so importing the decision hot path does
+    not pull in scipy — which matters for cold starts and the runner's
+    worker-process spawns.  Values agree with ``scipy.stats.norm.ppf``
+    to within a few ulp (pinned by ``tests/test_critter_cow.py``
+    against recorded scipy values).
+    """
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0,1), got {confidence}")
-    return float(norm.ppf(0.5 + confidence / 2.0))
+    return float(_INV_CDF(0.5 + confidence / 2.0))
 
 
 class RunningStat:
@@ -34,9 +58,24 @@ class RunningStat:
     Supports :meth:`merge` (Chan's parallel update) so statistics
     gathered on different processors can be aggregated, as eager
     propagation requires.
+
+    Beyond the moments, a few hot-path fields ride along:
+
+    * ``last_exec_run`` — the profiler run serial in which this kernel
+      last executed (Critter's per-run forced-execution bookkeeping;
+      replaces a per-rank set lookup with an attribute compare).
+    * ``_pt_eps``/``_pt_z``/``_pt_true``/``_pt_false`` — the cached
+      predictability-verdict sentinels (see module docstring).
+      ``_pt_eps`` doubles as the validity flag: any negative value
+      means "no cached verdicts".
+    * ``_skip_version`` — the path-count-table version for which
+      Critter last confirmed a skip verdict (see
+      ``Critter.on_compute``); invalidated with the sentinels.
     """
 
-    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum",
+                 "last_exec_run", "_pt_eps", "_pt_z", "_pt_true",
+                 "_pt_false", "_skip_version")
 
     def __init__(self) -> None:
         self.count = 0
@@ -44,6 +83,12 @@ class RunningStat:
         self._m2 = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self.last_exec_run = 0
+        self._pt_eps = -1.0
+        self._pt_z = 0.0
+        self._pt_true = math.inf
+        self._pt_false = 0
+        self._skip_version = -1
 
     def update(self, x: float) -> None:
         self.count += 1
@@ -54,6 +99,8 @@ class RunningStat:
             self.minimum = x
         if x > self.maximum:
             self.maximum = x
+        self._pt_eps = -1.0
+        self._skip_version = -1
 
     @property
     def variance(self) -> float:
@@ -74,6 +121,8 @@ class RunningStat:
         """Fold another accumulator into this one (order-insensitive)."""
         if other.count == 0:
             return
+        self._pt_eps = -1.0
+        self._skip_version = -1
         if self.count == 0:
             self.count = other.count
             self.mean = other.mean
@@ -97,6 +146,7 @@ class RunningStat:
         c._m2 = self._m2
         c.minimum = self.minimum
         c.maximum = self.maximum
+        c.last_exec_run = self.last_exec_run
         return c
 
     def ci_halfwidth(self, z: float, alpha: int = 1) -> float:
@@ -131,7 +181,30 @@ def is_predictable(
     alpha: int = 1,
     min_samples: int = 2,
 ) -> bool:
-    """Whether a kernel's mean is predictable to tolerance ``eps``."""
+    """Whether a kernel's mean is predictable to tolerance ``eps``.
+
+    Verdicts are cached on ``stat`` via the alpha sentinels (module
+    docstring); cache hits never diverge from the exact
+    ``relative_ci(stat, z, alpha) <= eps`` evaluation.
+    """
     if stat.count < max(min_samples, 2):
         return False
-    return relative_ci(stat, z, alpha) <= eps
+    if alpha < 1:
+        alpha = 1
+    if stat._pt_eps == eps and stat._pt_z == z:
+        if alpha >= stat._pt_true:
+            return True
+        if alpha <= stat._pt_false:
+            return False
+    else:
+        stat._pt_eps = eps
+        stat._pt_z = z
+        stat._pt_true = math.inf
+        stat._pt_false = 0
+    verdict = relative_ci(stat, z, alpha) <= eps
+    if verdict:
+        if alpha < stat._pt_true:
+            stat._pt_true = alpha
+    elif alpha > stat._pt_false:
+        stat._pt_false = alpha
+    return verdict

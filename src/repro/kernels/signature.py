@@ -29,7 +29,13 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Tuple
 
-__all__ = ["KernelSignature", "comp_signature", "comm_signature", "stable_hash"]
+__all__ = [
+    "KernelSignature",
+    "comp_signature",
+    "comm_signature",
+    "p2p_signature",
+    "stable_hash",
+]
 
 
 def stable_hash(obj: object) -> int:
@@ -129,3 +135,24 @@ def comm_signature(name: str, nbytes: int, comm_size: int, comm_stride: int) -> 
     as the stride.
     """
     return _intern("comm", name, (int(nbytes), int(comm_size), int(comm_stride)))
+
+
+#: (nbytes, stride) -> interned p2p signature — the rendezvous match
+#: path constructs the same handful of signatures once per event, so a
+#: direct two-int memo skips the generic interner's params-tuple build
+_P2P_SIGS: Dict[Tuple[int, int], KernelSignature] = {}
+
+
+def p2p_signature(nbytes: int, stride: int) -> KernelSignature:
+    """Interned ``p2p`` signature for a matched send/recv pair.
+
+    Equivalent to ``comm_signature("p2p", nbytes, 2, stride)`` — the
+    paper treats point-to-point configurations as size-2
+    sub-communicators — via a memo keyed directly on the two varying
+    parameters (the engine's per-event hot path).
+    """
+    key = (nbytes, stride)
+    sig = _P2P_SIGS.get(key)
+    if sig is None:
+        sig = _P2P_SIGS[key] = comm_signature("p2p", nbytes, 2, stride)
+    return sig

@@ -18,6 +18,14 @@ Python:
   factorization's bcast/allreduce chain (one small compute between the
   two collectives of each panel), >2/3 of whose events are collective
   arrivals.  This is the op mix the inline-arrival dispatch targets.
+* ``critter-heavy``    — the profiler acceptance workload: a p2p +
+  collective mix (isend/compute/recv/wait ring followed by a
+  bcast/compute/allreduce panel per round) exercising every Critter
+  sync-point hook — p2p path exchange with buffered isend snapshots,
+  collective path elections and count adoption, and the decision hot
+  path on both compute and communication kernels.  Measured under
+  ``critter-online`` and ``critter-apriori`` (offline counts seeded
+  from a never-skip pre-run) on top of the usual matrix.
 * ``p2p-pipeline``     — ring pipelining via isend/compute/recv/wait.
 * ``collectives``      — bcast/allreduce/barrier rendezvous rounds.
 * ``cholesky-batch``   — the sweep's kernel runs emitted as
@@ -48,7 +56,8 @@ from repro.kernels import blas, lapack
 from repro.sim.engine import Simulator
 from repro.sim.presets import make_machine
 
-__all__ = ["Workload", "make_workloads", "run_bench", "format_bench", "main"]
+__all__ = ["Workload", "make_workloads", "run_bench", "format_bench",
+           "format_bench_markdown", "main"]
 
 #: presets the bench sweeps (noisy paper-like + draw-free control)
 BENCH_PRESETS = ("knl-fabric", "quiet")
@@ -63,6 +72,12 @@ ACCEPTANCE = {"workload": "cholesky-compute", "preset": "knl-fabric",
 #: non-final collective arrivals, PR 3)
 COLLECTIVE_ACCEPTANCE = {"workload": "collective-dense",
                          "preset": "knl-fabric", "profiler": "null"}
+
+#: the profiler acceptance measurement: with Critter attached, its
+#: hot-path cost (COW path propagation, cached verdicts) — not the
+#: scheduler — must stay off the throughput floor
+CRITTER_ACCEPTANCE = {"workload": "critter-heavy", "preset": "knl-fabric",
+                      "profiler": "critter-online"}
 
 
 @dataclass(frozen=True)
@@ -140,6 +155,33 @@ def _collective_chain(panels: int, tile: int):
     return program
 
 
+def _critter_heavy(rounds: int, tile: int):
+    """p2p + collective mix: every Critter sync-point hook gets hot."""
+    gemm = blas.gemm_spec(tile, tile, tile)
+    potrf = lapack.potrf_spec(tile)
+
+    def program(comm):
+        me, p = comm.rank, comm.size
+        nxt, prv = (me + 1) % p, (me - 1) % p
+        op_gemm = comm.compute(gemm)
+        op_potrf = comm.compute(potrf)
+        bc = comm.bcast(root=0, nbytes=8 * tile)
+        ar = comm.allreduce(nbytes=8 * tile)
+        for r in range(rounds):
+            req = yield comm.isend(dest=nxt, tag=r, nbytes=8 * tile)
+            yield op_gemm
+            yield op_potrf
+            yield op_gemm
+            yield comm.recv(source=prv, tag=r, nbytes=8 * tile)
+            yield comm.wait(req)
+            yield bc
+            yield op_potrf
+            yield ar
+        return None
+
+    return program
+
+
 def _collective_rounds(rounds: int):
     gemm = blas.gemm_spec(16, 16, 16)
 
@@ -166,6 +208,10 @@ def make_workloads(quick: bool = False) -> List[Workload]:
         Workload("collective-dense",
                  f"bcast/compute/allreduce panel chain ({rounds} panels)",
                  8, _collective_chain(rounds, 64)),
+        Workload("critter-heavy",
+                 f"isend/compute/recv/wait + bcast/compute/allreduce mix "
+                 f"({rounds // 2} rounds)",
+                 8, _critter_heavy(rounds // 2, 64)),
         Workload("p2p-pipeline",
                  f"isend/compute/recv/wait ring ({rounds} rounds)",
                  8, _p2p_pipeline(rounds, 32)),
@@ -211,14 +257,35 @@ def count_ops(program: Callable, args: Tuple, machine, noise) -> int:
     return total
 
 
-def _profiler_factory(kind: str, exclude=frozenset()) -> Callable[[], Any]:
+def _profiler_factory(kind: str, exclude=frozenset(),
+                      seed_counts=None) -> Callable[[], Any]:
     if kind == "null":
         return lambda: None
     if kind == "critter-online":
         from repro.critter import Critter
 
         return lambda: Critter(policy="online", eps=0.25, exclude=exclude)
+    if kind == "critter-apriori":
+        from repro.critter import Critter
+
+        def make():
+            c = Critter(policy="apriori", eps=0.25, exclude=exclude)
+            if seed_counts is not None:
+                c.seed_path_counts(seed_counts)
+            return c
+
+        return make
     raise ValueError(f"unknown profiler kind {kind!r}")
+
+
+def _offline_counts(machine, noise, program, args):
+    """Critical-path counts from one never-skip run (apriori seeding)."""
+    from repro.critter import Critter
+
+    pre = Critter(policy="never-skip")
+    Simulator(machine, noise=noise, profiler=pre).run(program, args=args,
+                                                      run_seed=1)
+    return pre.last_path_counts
 
 
 def _time_run(machine, noise, profiler_factory, program, args,
@@ -248,7 +315,11 @@ def _measure(workload: Workload, preset: str, profiler: str, reps: int,
         machine = dataclasses.replace(machine,
                                       **dict(workload.machine_overrides))
     nops = count_ops(workload.program, args, machine, noise)
-    factory = _profiler_factory(profiler, exclude)
+    seed_counts = None
+    if profiler == "critter-apriori":
+        # the paper's apriori policy needs one offline full execution
+        seed_counts = _offline_counts(machine, noise, workload.program, args)
+    factory = _profiler_factory(profiler, exclude, seed_counts)
     # warm the noise model's bias/drift memoization for both schedulers
     Simulator(machine, noise=noise, profiler=factory()).run(
         workload.program, args=args, run_seed=1)
@@ -328,6 +399,16 @@ def run_bench(quick: bool = False, presets=BENCH_PRESETS,
         for preset in presets
         for prof in profilers
     ]
+    # the profiler workload additionally runs under the apriori policy
+    # (offline-seeded counts — the paper's other count-propagation
+    # mode); it rides along only when the profiled matrix was requested
+    if "critter-online" in profilers:
+        results += [
+            _measure(w, preset, "critter-apriori", reps)
+            for w in make_workloads(quick)
+            if w.name == "critter-heavy" and _matches(w.name, workloads)
+            for preset in presets
+        ]
     # batching: expanded vs aggregate, fast path, no profiler
     batching = [
         _measure(w, "knl-fabric", "null", reps)
@@ -346,7 +427,7 @@ def run_bench(quick: bool = False, presets=BENCH_PRESETS,
                                    args=space.args_for(cfg),
                                    exclude=space.exclude))
     doc: Dict[str, Any] = {
-        "version": 2,
+        "version": 3,
         "profile": "quick" if quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -364,6 +445,9 @@ def run_bench(quick: bool = False, presets=BENCH_PRESETS,
     coll_acceptance = _acceptance_row(results, COLLECTIVE_ACCEPTANCE)
     if coll_acceptance is not None:
         doc["collective_acceptance"] = coll_acceptance
+    critter_acceptance = _acceptance_row(results, CRITTER_ACCEPTANCE)
+    if critter_acceptance is not None:
+        doc["critter_acceptance"] = critter_acceptance
     return doc
 
 
@@ -399,7 +483,8 @@ def format_bench(data: Dict[str, Any]) -> str:
         lines.append("end-to-end algorithm runs (knl-fabric, no profiler):")
         lines += _fmt_rows(data["end_to_end"])
     for key, label in (("acceptance", "acceptance"),
-                       ("collective_acceptance", "collective acceptance")):
+                       ("collective_acceptance", "collective acceptance"),
+                       ("critter_acceptance", "critter acceptance")):
         acc = data.get(key)
         if acc is None:
             continue
@@ -413,6 +498,64 @@ def format_bench(data: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def format_bench_markdown(data: Dict[str, Any]) -> str:
+    """GitHub-flavored naive-vs-fast-vs-profiled comparison table.
+
+    One row per workload x preset: the no-profiler throughput under
+    both schedulers, the fast-path speedup, the profiled (critter)
+    fast-path throughput, and the profiler's overhead factor
+    (no-profiler fast wall time vs profiled fast wall time).  Written
+    into the CI job summary by the bench-smoke workflow.
+    """
+    by_cell: Dict[tuple, Dict[str, Any]] = {}
+    order: List[tuple] = []
+    for r in data["results"]:
+        cell = (r["workload"], r["preset"])
+        if cell not in by_cell:
+            by_cell[cell] = {}
+            order.append(cell)
+        by_cell[cell][r["profiler"]] = r
+    lines = [
+        f"### Engine throughput ({data['profile']} profile, Mops/s)",
+        "",
+        "| workload | preset | naive | fast | speedup | critter-online fast "
+        "| profiler overhead | critter-apriori fast |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for cell in order:
+        rows = by_cell[cell]
+        null = rows.get("null")
+        critter = rows.get("critter-online")
+        apriori = rows.get("critter-apriori")
+        naive = f"{null['naive']['ops_per_s'] / 1e6:.2f}" if null else "—"
+        fast = f"{null['fast']['ops_per_s'] / 1e6:.2f}" if null else "—"
+        speed = f"{null['speedup']:.2f}x" if null else "—"
+        prof = f"{critter['fast']['ops_per_s'] / 1e6:.2f}" if critter else "—"
+        apri = f"{apriori['fast']['ops_per_s'] / 1e6:.2f}" if apriori else "—"
+        if null and critter:
+            over = (f"{critter['fast']['wall_s'] / null['fast']['wall_s']:.2f}"
+                    "x")
+        else:
+            over = "—"
+        lines.append(f"| {cell[0]} | {cell[1]} | {naive} | {fast} | {speed} "
+                     f"| {prof} | {over} | {apri} |")
+    for key, label in (("acceptance", "acceptance"),
+                       ("collective_acceptance", "collective acceptance"),
+                       ("critter_acceptance", "critter acceptance")):
+        acc = data.get(key)
+        if acc is None:
+            continue
+        lines.append("")
+        lines.append(
+            f"**{label}** ({acc['workload']}/{acc['preset']}/"
+            f"{acc['profiler']}): {acc['speedup']:.2f}x fast-path speedup "
+            f"({acc['naive_ops_per_s'] / 1e6:.2f} → "
+            f"{acc['fast_ops_per_s'] / 1e6:.2f} Mops/s)"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def write_bench(data: Dict[str, Any], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(data, fh, indent=1)
@@ -421,15 +564,22 @@ def write_bench(data: Dict[str, Any], path: str) -> None:
 
 def main(quick: bool = False, out: str = "BENCH_engine.json",
          check: bool = False,
-         workloads: Optional[Sequence[str]] = None) -> int:
+         workloads: Optional[Sequence[str]] = None,
+         markdown: Optional[str] = None) -> int:
     """CLI driver shared by ``repro bench-engine`` and the bench suite."""
     data = run_bench(quick=quick, workloads=workloads)
     print(format_bench(data))
     if out:
         write_bench(data, out)
         print(f"\nwrote {out}")
+    if markdown:
+        with open(markdown, "w") as fh:
+            fh.write(format_bench_markdown(data))
+            fh.write("\n")
+        print(f"wrote {markdown}")
     if check:
-        checked = [data[key] for key in ("acceptance", "collective_acceptance")
+        checked = [data[key] for key in ("acceptance", "collective_acceptance",
+                                         "critter_acceptance")
                    if key in data]
         if not checked:
             # a --workload filter excluded every acceptance row: exiting

@@ -42,7 +42,12 @@ tests in ``tests/test_engine_golden.py``):
 
 Identity holds because every inlined event is *rank-local*: it reads
 and writes only this rank's clock, RNG stream, and (for ``inline_safe``
-profilers) per-rank profiler state.  Anything that could interleave
+profilers) per-rank profiler state.  Per-rank profiler state may be
+*structurally shared* — Critter's copy-on-write path-count tables alias
+one frozen snapshot dict across ranks — as long as shared objects are
+immutable and every mutation lands in rank-private storage, with
+structural changes (snapshot collapse, adoption) confined to hooks of
+sync points involving that rank; see ``Critter.inline_safe``.  Anything that could interleave
 with another rank's RNG stream or order-sensitive profiler state — a
 collective *completion*, blocking p2p, a match against a pending
 ``irecv`` (whose poster may still be drawing from its RNG),
@@ -98,7 +103,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.kernels.signature import KernelSignature, comm_signature
+from repro.kernels.signature import KernelSignature, comm_signature, p2p_signature
 from repro.sim.comm import Comm
 from repro.sim.machine import Machine
 from repro.sim.noise import NoiseModel
@@ -893,7 +898,7 @@ class Simulator:
                 f"{recv.nbytes} B receive; costing the sender's size",
                 RuntimeWarning, stacklevel=2)
         stride = abs(send.world_rank - recv.world_rank) or 1
-        sig = comm_signature("p2p", send.nbytes, 2, stride)
+        sig = p2p_signature(send.nbytes, stride)
         hooks_off = self._hooks_off
         execute = True if hooks_off else prof.on_p2p(sig, send, recv)
         cost = self._comm_sample(sig, recv.world_rank) if execute else 0.0
@@ -1003,14 +1008,21 @@ class Simulator:
         prof = self.profiler
         entries = pend.entries
         name = pend.name
-        # one validation pass: root agreement, nbytes lo/hi, payloads
-        vals = iter(entries.values())
-        op0 = next(vals)[1]
+        hooks_off = self._hooks_off
+        # one pass: validation (root agreement, nbytes lo/hi, payloads)
+        # fused with the arrivals map the profiler hooks receive
+        arrivals: Optional[Dict[int, float]] = None if hooks_off else {}
+        vals = iter(entries.items())
+        wr0, (t0, op0) = next(vals)
+        if arrivals is not None:
+            arrivals[wr0] = t0
         root = op0.root
         nb_hi = op0.nbytes
         nz_lo = op0.nbytes or 0  # lowest *declared* (nonzero) size
         has_payload = op0.payload is not None
-        for _, opx in vals:
+        for wr, (t, opx) in vals:
+            if arrivals is not None:
+                arrivals[wr] = t
             if opx.root != root:
                 raise RuntimeError(
                     f"collective root mismatch on comm {group.gid} ({name}): "
@@ -1035,12 +1047,9 @@ class Simulator:
                 RuntimeWarning, stacklevel=2)
         sig = group.coll_signature(name, nb_hi)
         start = pend.tmax
-        hooks_off = self._hooks_off
-        arrivals: Optional[Dict[int, float]] = None
         if hooks_off:
             execute = True
         else:
-            arrivals = {wr: e[0] for wr, e in entries.items()}
             execute = prof.on_collective(group, sig, root, arrivals)
         cost = self._comm_sample(sig, group.sorted_ranks[0]) if execute else 0.0
         if hooks_off:
@@ -1054,9 +1063,16 @@ class Simulator:
             self.trace.record(
                 "coll", tuple(sorted(arrivals)), sig, start, cost, execute
             )
-        states = self._states
-        results = self._collective_results(group, name, entries, root,
-                                           has_payload)
+        # resumed ranks' stale park_reason is never read: deadlock
+        # reports only cover ranks still parked at exit, which re-set it
+        # at their park site
+        if not has_payload and name != "allgather":
+            # symbolic fast path: no data rides the collective, every
+            # rank resumes with None (allgather still materializes its
+            # list-of-Nones result below)
+            results = None
+        else:
+            results = self._collective_results(group, name, entries, root)
         fr = self._fast_resumes
         if fr is not None and not fr and not self._heap:
             # fast path with nothing else in flight (always the case
@@ -1065,14 +1081,17 @@ class Simulator:
             # Identical to pushing then immediately popping them (the
             # naive pop order of p same-time pushes is push order),
             # minus the heap traffic.
-            for wr in group.world_ranks:
-                states[wr].park_reason = None
-                fr.append((completion, wr, None if results is None else results[wr]))
+            append = fr.append
+            if results is None:
+                for wr in group.world_ranks:
+                    append((completion, wr, None))
+            else:
+                for wr in group.world_ranks:
+                    append((completion, wr, results[wr]))
             return
         seq = self._seq
         heap = self._heap
         for wr in group.world_ranks:
-            states[wr].park_reason = None
             seq += 1
             heapq.heappush(
                 heap,
@@ -1105,20 +1124,16 @@ class Simulator:
         name: str,
         entries: Dict[int, Tuple[float, CollOp]],
         root: int,
-        has_payload: bool,
-    ) -> Optional[Dict[int, Any]]:
-        """Per-world-rank resume values, or ``None`` when no data rides
-        the collective (symbolic mode: every rank resumes with None).
+    ) -> Dict[int, Any]:
+        """Per-world-rank resume values.
 
-        ``has_payload`` is False when the caller's validation pass saw
-        every entry's payload as None — the single encoding of the
-        symbolic shortcut.
+        The symbolic no-payload shortcut (every rank resumes with None)
+        lives in ``_finish_collective``, the single caller — this method
+        only runs when some payload exists or the collective is an
+        allgather (which materializes a list-of-Nones result even
+        without payloads).
         """
         wr_by_comm_rank = group.world_ranks
-        # symbolic fast path: no data rides the collective (allgather
-        # still materializes its list-of-Nones result)
-        if not has_payload and name != "allgather":
-            return None
         root_world = wr_by_comm_rank[root]
         ordered = [entries[wr][1].payload for wr in wr_by_comm_rank]
         out: Dict[int, Any] = {}

@@ -56,9 +56,13 @@ class Profiler:
     #: synchronization points.  A profiler may set this True iff its
     #: pre-execution decisions depend only on state that cannot change
     #: between a rank's consecutive local events — i.e. per-rank state
-    #: plus state mutated only at events involving that rank.
-    #: Conservative default: False (unknown subclasses keep exact
-    #: global hook ordering).
+    #: plus state mutated only at events involving that rank.  Per-rank
+    #: state may alias shared *immutable* objects (Critter's
+    #: copy-on-write count snapshots): that stays inline-safe as long
+    #: as every mutation lands in rank-private storage and structural
+    #: changes happen only inside sync-point hooks whose participants
+    #: include the affected rank.  Conservative default: False (unknown
+    #: subclasses keep exact global hook ordering).
     inline_safe: bool = False
 
     # -- run lifecycle -------------------------------------------------

@@ -1,0 +1,159 @@
+"""Golden Critter-report workloads: the profiler's bit-identity contract.
+
+The engine goldens (``golden_workloads.py``) pin makespans and rank
+times; this module pins what the *profiler* reports — the full
+:class:`~repro.critter.core.RunReport` surface (predicted path metrics,
+volumetric averages, most-loaded-rank kernel times, executed/skipped
+counts) plus every rank's end-of-run path counts (``K~``), all in exact
+``float.hex`` form.
+
+The case matrix crosses the selective-execution policies the hot path
+serves — ``online`` (path-count propagation), ``eager``
+(aggregate-channel statistics), ``apriori`` (offline-seeded counts),
+and the ``slack`` path criterion — with the noisy ``knl-fabric`` and
+draw-free ``quiet`` presets, over the two synthetic programs that
+exercise the whole p2p/collective surface and one real algorithm
+configuration.  Statistics persist across the seeds of a case (a fresh
+profiler per case, shared across its runs), so later runs actually skip
+kernels and the propagation/adoption paths are hot.
+
+``tests/golden/critter_golden.json`` holds values captured *before* the
+copy-on-write path-propagation refactor; ``test_critter_golden.py``
+replays every case under both schedulers and demands bit-identical
+reports.  Regenerate (only on a profiler known to be correct!) with::
+
+    PYTHONPATH=src python tests/critter_golden_workloads.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from golden_workloads import _small_spaces, _SYNTHETIC_SPACES
+from repro.critter import Critter
+from repro.sim import Simulator
+from repro.sim.presets import make_machine
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "critter_golden.json")
+
+MACHINE_SEED = 13
+PRESETS = ("knl-fabric", "quiet")
+
+#: case label -> Critter constructor kwargs.  ``apriori`` is seeded from
+#: an offline never-skip run (the paper's extra full execution).
+_VARIANTS: Dict[str, Dict[str, Any]] = {
+    "online": {"policy": "online"},
+    "eager": {"policy": "eager"},
+    "apriori": {"policy": "apriori"},
+    "slack": {"policy": "online", "path_criterion": "slack"},
+}
+
+#: (space name, config index or None) — the synthetic programs cover the
+#: p2p/wait/split and collective-dense surfaces; slate_cholesky[1] adds
+#: a real panel factorization (lookahead pipelining, excluded kernels)
+_PROGRAMS = [("mixed_p2p", None), ("coll_chain", None)]
+_ALGO_PROGRAMS = [("slate_cholesky", 1)]
+
+
+def golden_cases() -> List[Dict[str, Any]]:
+    cases: List[Dict[str, Any]] = []
+    for preset in PRESETS:
+        for space, idx in _PROGRAMS:
+            for variant in _VARIANTS:
+                cases.append({
+                    "id": f"{space}/{preset}/{variant}",
+                    "space": space, "config": idx, "preset": preset,
+                    "variant": variant, "run_seeds": [0, 1, 2],
+                })
+        for space, idx in _ALGO_PROGRAMS:
+            cases.append({
+                "id": f"{space}[{idx}]/{preset}/online",
+                "space": space, "config": idx, "preset": preset,
+                "variant": "online", "run_seeds": [0, 1, 2],
+            })
+    return cases
+
+
+def _sig_key(sig: Any) -> str:
+    return f"{sig.kind}/{sig.name}/" + ",".join(str(p) for p in sig.params)
+
+
+def _path_counts(critter: Critter) -> List[List[Any]]:
+    """Per-rank sorted ``[signature key, count]`` pairs of ``K~``."""
+    return [
+        sorted([[_sig_key(sig), int(c)] for sig, c in dict(table).items()])
+        for table in critter.last_path_counts
+    ]
+
+
+def run_case(case: Dict[str, Any], **sim_kwargs: Any) -> Dict[str, Any]:
+    """Execute one golden case; extra kwargs are passed to Simulator."""
+    if case["space"] in _SYNTHETIC_SPACES:
+        space: Any = _SYNTHETIC_SPACES[case["space"]]()
+        args: tuple = ()
+    else:
+        space = _small_spaces()[case["space"]]
+        args = space.args_for(space.configs[case["config"]])
+    machine, noise = make_machine(case["preset"], space.nprocs,
+                                  seed=MACHINE_SEED)
+    kwargs = dict(_VARIANTS[case["variant"]])
+    critter = Critter(eps=0.25, min_samples=2, exclude=space.exclude,
+                      **kwargs)
+    if critter.policy.needs_offline_counts:
+        pre = Critter(policy="never-skip", exclude=space.exclude)
+        Simulator(machine, noise=noise, profiler=pre, **sim_kwargs).run(
+            space.program, args=args, run_seed=101)
+        critter.seed_path_counts(pre.last_path_counts)
+    runs = []
+    for seed in case["run_seeds"]:
+        sim = Simulator(machine, noise=noise, profiler=critter, **sim_kwargs)
+        res = sim.run(space.program, args=args, run_seed=seed)
+        rep = critter.last_report
+        runs.append({
+            "seed": seed,
+            "makespan": res.makespan.hex(),
+            "predicted": {
+                "exec_time": rep.predicted.exec_time.hex(),
+                "comp_time": rep.predicted.comp_time.hex(),
+                "comm_time": rep.predicted.comm_time.hex(),
+                "synchs": rep.predicted.synchs.hex(),
+                "words": rep.predicted.words.hex(),
+                "flops": rep.predicted.flops.hex(),
+            },
+            "volumetric": {k: v.hex() for k, v in sorted(rep.volumetric.items())},
+            "max_rank_kernel_time": rep.max_rank_kernel_time.hex(),
+            "max_rank_comp_time": rep.max_rank_comp_time.hex(),
+            "executed": rep.executed_kernels,
+            "skipped": rep.skipped_kernels,
+            "path_counts": _path_counts(critter),
+        })
+    return {"id": case["id"], "runs": runs}
+
+
+def capture(path: str = GOLDEN_PATH) -> None:
+    entries = [run_case(c) for c in golden_cases()]
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump({"version": 1, "machine_seed": MACHINE_SEED,
+                   "entries": entries}, fh, indent=1)
+    print(f"wrote {len(entries)} Critter golden entries to {path}")
+
+
+def load_golden(path: str = GOLDEN_PATH) -> Dict[str, Any]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported golden version {data.get('version')!r}")
+    return {e["id"]: e for e in data["entries"]}
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        raise SystemExit("refusing to run without --write "
+                         "(this overwrites the golden fixture)")
+    capture()

@@ -57,12 +57,39 @@ class TestBenchWorkloadFilter:
         from repro.sim.bench import (
             ACCEPTANCE,
             COLLECTIVE_ACCEPTANCE,
+            CRITTER_ACCEPTANCE,
             make_workloads,
         )
 
         names = {w.name for w in make_workloads(quick=True)}
         assert ACCEPTANCE["workload"] in names
         assert COLLECTIVE_ACCEPTANCE["workload"] in names
+        assert CRITTER_ACCEPTANCE["workload"] in names
+
+    def test_markdown_table_covers_profiled_rows(self):
+        from repro.sim.bench import format_bench_markdown
+
+        data = {
+            "profile": "quick",
+            "results": [
+                {"workload": "critter-heavy", "preset": "knl-fabric",
+                 "profiler": "null", "speedup": 1.2,
+                 "naive": {"ops_per_s": 1e6, "wall_s": 1.0},
+                 "fast": {"ops_per_s": 1.2e6, "wall_s": 1 / 1.2}},
+                {"workload": "critter-heavy", "preset": "knl-fabric",
+                 "profiler": "critter-online", "speedup": 1.1,
+                 "naive": {"ops_per_s": 0.5e6, "wall_s": 2.0},
+                 "fast": {"ops_per_s": 0.55e6, "wall_s": 2 / 1.1}},
+            ],
+            "critter_acceptance": {
+                "workload": "critter-heavy", "preset": "knl-fabric",
+                "profiler": "critter-online", "speedup": 1.1,
+                "fast_ops_per_s": 0.55e6, "naive_ops_per_s": 0.5e6,
+            },
+        }
+        md = format_bench_markdown(data)
+        assert "| critter-heavy | knl-fabric | 1.00 | 1.20 | 1.20x | 0.55 |" in md
+        assert "**critter acceptance**" in md
 
 
 class TestSpaces:

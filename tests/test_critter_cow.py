@@ -1,0 +1,276 @@
+"""Copy-on-write path propagation and cached-verdict invariants.
+
+The hot-path overhaul replaced per-loser deep copies of the ``K~``
+count tables with shared immutable snapshots, and the per-decision
+CI computation with cached verdict sentinels.  These tests pin the
+safety properties those optimizations rely on:
+
+* adoption is by reference, but a loser's post-adoption local update
+  never mutates the winner's table (or the shared snapshot);
+* verdict caches answer exactly like the uncached formula and are
+  invalidated by ``update``/``merge``;
+* the stdlib inverse-normal ``z_value`` matches the scipy values the
+  decision thresholds were originally computed with.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.critter import Critter, PathCountTable
+from repro.critter.stats import RunningStat, is_predictable, relative_ci, z_value
+from repro.kernels.signature import comm_signature, comp_signature
+from repro.sim import Machine, Simulator
+from repro.sim.engine import CommGroup
+
+GEMM = comp_signature("gemm", 32, 32, 32)
+POTRF = comp_signature("potrf", 32)
+BCAST = comm_signature("bcast", 256, 2, 1)
+
+
+class TestPathCountTable:
+    def test_dict_like_reads(self):
+        t = PathCountTable()
+        assert not t
+        assert t.get(GEMM, 0) == 0
+        t.increment(GEMM)
+        t.increment(GEMM)
+        assert t
+        assert t[GEMM] == 2
+        assert t.get(GEMM) == 2
+        assert GEMM in t
+        assert dict(t) == {GEMM: 2}
+        assert list(t.items()) == [(GEMM, 2)]
+        assert len(t) == 1
+
+    def test_adopt_is_by_reference(self):
+        a = PathCountTable()
+        a.increment(GEMM)
+        snap = a.snapshot()
+        b = PathCountTable()
+        b.increment(POTRF)
+        v0 = b.version
+        b.adopt(snap)
+        assert b.version == v0 + 1
+        # wholesale adoption: old contents gone, snapshot aliased
+        assert b.get(POTRF, 0) == 0
+        assert b[GEMM] == 1
+        assert b._base is snap
+
+    def test_post_adoption_update_never_mutates_winner(self):
+        winner = PathCountTable()
+        winner.increment(GEMM)
+        winner.increment(GEMM)
+        snap = winner.snapshot()
+        loser = PathCountTable()
+        loser.adopt(snap)
+        loser.increment(GEMM)
+        loser.increment(POTRF)
+        # the loser sees its own updates ...
+        assert loser[GEMM] == 3
+        assert loser[POTRF] == 1
+        # ... while the winner and the frozen snapshot are untouched
+        assert winner[GEMM] == 2
+        assert winner.get(POTRF, 0) == 0
+        assert snap == {GEMM: 2}
+
+    def test_winner_updates_do_not_leak_into_adopters(self):
+        winner = PathCountTable()
+        winner.increment(GEMM)
+        snap = winner.snapshot()
+        a, b = PathCountTable(), PathCountTable()
+        a.adopt(snap)
+        b.adopt(snap)
+        winner.increment(GEMM)
+        a.increment(POTRF)
+        assert winner[GEMM] == 2
+        assert a[GEMM] == 1 and b[GEMM] == 1
+        assert b.get(POTRF, 0) == 0
+
+    def test_snapshot_collapses_delta_once(self):
+        t = PathCountTable()
+        t.increment(GEMM)
+        s1 = t.snapshot()
+        s2 = t.snapshot()
+        assert s1 is s2  # no delta, no new collapse
+        t.increment(GEMM)
+        s3 = t.snapshot()
+        assert s3 is not s1
+        assert s1 == {GEMM: 1}  # earlier snapshot frozen
+        assert s3 == {GEMM: 2}
+
+
+class _StubSim:
+    def __init__(self, machine):
+        self.machine = machine
+
+
+class TestCritterAdoptionAliasing:
+    """The ISSUE's regression case, through the real Critter hooks."""
+
+    def _critter(self, nprocs=2):
+        cr = Critter(policy="online", eps=0.25, min_samples=2)
+        cr.start_run(_StubSim(Machine(nprocs=nprocs, seed=0)), run_seed=1)
+        return cr
+
+    def test_loser_update_after_collective_does_not_mutate_winner(self):
+        cr = self._critter()
+        # rank 0 wins the path election (longer executed path)
+        for _ in range(4):
+            cr.post_compute(0, GEMM, True, 1e-3, 100.0)
+        cr.post_compute(1, POTRF, True, 1e-4, 10.0)
+        group = CommGroup(0, (0, 1))
+        arrivals = {0: 4e-3, 1: 1e-4}
+        cr.post_collective(group, BCAST, arrivals, True, 1e-5, 5e-3)
+        # rank 1 adopted rank 0's counts wholesale (plus the collective)
+        assert cr._Kt[1][GEMM] == 4
+        assert cr._Kt[1].get(POTRF, 0) == 0
+        assert cr._Kt[1][BCAST] == 1
+        winner_before = dict(cr._Kt[0])
+        # the loser's subsequent local activity must stay private
+        cr.post_compute(1, POTRF, True, 1e-4, 10.0)
+        cr.post_compute(1, GEMM, True, 1e-3, 100.0)
+        assert dict(cr._Kt[0]) == winner_before
+        assert cr._Kt[1][GEMM] == 5
+        assert cr._Kt[1][POTRF] == 1
+
+    def test_last_path_counts_snapshots_are_frozen(self):
+        cr = self._critter()
+        cr.post_compute(0, GEMM, True, 1e-3, 100.0)
+        cr.post_compute(1, POTRF, True, 1e-4, 10.0)
+        cr.end_run(None, 1e-3)
+        counts = cr.last_path_counts
+        assert counts[0] == {GEMM: 1}
+        # seeding another profiler from them is copy-free and safe
+        cr2 = Critter(policy="apriori")
+        cr2.seed_path_counts(counts)
+        assert cr2._apriori[0] == {GEMM: 1}
+
+    def test_simulated_run_adopts_longest_path_counts(self):
+        # end to end: COW tables must be indistinguishable from dicts
+        from repro.kernels.blas import gemm_spec
+        from repro.kernels.lapack import potrf_spec
+
+        gemm, potrf = gemm_spec(32, 32, 32), potrf_spec(32)
+
+        def prog(comm):
+            for _ in range(3 + comm.rank):
+                yield comm.compute(gemm)
+            yield comm.allreduce(nbytes=256)
+            yield comm.compute(potrf)
+            return None
+
+        m = Machine(nprocs=4, seed=3)
+        cr = Critter(policy="online", eps=0.25)
+        Simulator(m, profiler=cr).run(prog, run_seed=5)
+        # rank 3 ran the longest path: everyone adopted its gemm count
+        # at the allreduce, then counted the allreduce and final potrf
+        for table in cr.last_path_counts:
+            assert table[gemm[0]] == 6
+            assert table[potrf[0]] == 1
+
+
+class TestCustomPolicyAlpha:
+    def test_overridden_alpha_is_always_consulted(self):
+        from repro.critter.policies import Policy
+
+        calls = []
+
+        class RecordingAlpha(Policy):
+            def alpha(self, local, path, offline):
+                calls.append((local, path, offline))
+                return 1
+
+        cr = Critter(policy=RecordingAlpha("recording", "path"), eps=0.25)
+        # a custom alpha() disables every fast-path specialization
+        assert cr._slow_decision
+        cr.start_run(_StubSim(Machine(nprocs=1, seed=0)), run_seed=1)
+        for _ in range(3):
+            cr.post_compute(0, GEMM, True, 1e-3, 100.0)
+        cr.on_compute(0, GEMM)
+        assert calls and calls[-1] == (3, 3, None)
+
+
+class TestVerdictCache:
+    def _stat(self, values):
+        st = RunningStat()
+        for v in values:
+            st.update(v)
+        return st
+
+    def test_cached_verdicts_match_formula(self):
+        z = z_value(0.95)
+        st = self._stat([1.0, 1.05, 0.95, 1.02, 0.98])
+        for alpha in (1, 2, 3, 5, 8, 13, 21, 1, 3, 8):
+            expect = relative_ci(st, z, alpha) <= 0.05
+            assert is_predictable(st, 0.05, z, alpha) is expect
+
+    def test_monotone_sentinels(self):
+        z = z_value(0.95)
+        st = self._stat([1.0, 1.2, 0.8, 1.1, 0.9])
+        # establish a True at some alpha: larger alphas hit the cache
+        assert is_predictable(st, 0.2, z, 50) == (relative_ci(st, z, 50) <= 0.2)
+        for alpha in (50, 80, 200):
+            assert is_predictable(st, 0.2, z, alpha) is True
+        # smaller alphas may be False; cached False bounds further ones
+        lo = relative_ci(st, z, 1) <= 0.2
+        assert is_predictable(st, 0.2, z, 1) is lo
+
+    def test_update_invalidates(self):
+        z = z_value(0.95)
+        st = self._stat([1.0, 1.0, 1.0])
+        assert is_predictable(st, 0.05, z, 1)  # zero variance: predictable
+        st.update(50.0)  # huge outlier: CI explodes
+        assert not is_predictable(st, 0.05, z, 1)
+        assert is_predictable(st, 0.05, z, 1) is (relative_ci(st, z, 1) <= 0.05)
+
+    def test_merge_invalidates(self):
+        z = z_value(0.95)
+        a = self._stat([1.0, 1.0, 1.0, 1.0])
+        assert is_predictable(a, 0.05, z, 1)
+        b = self._stat([10.0, 30.0])
+        a.merge(b)
+        assert not is_predictable(a, 0.05, z, 1)
+
+    def test_eps_change_recomputes(self):
+        z = z_value(0.95)
+        st = self._stat([1.0, 1.1, 0.9, 1.05])
+        loose = is_predictable(st, 0.5, z, 1)
+        tight = is_predictable(st, 1e-6, z, 1)
+        assert loose is True and tight is False
+        # back to the first eps: sentinels were retagged, answer exact
+        assert is_predictable(st, 0.5, z, 1) is True
+
+
+class TestZValue:
+    #: float.hex of scipy.stats.norm.ppf(0.5 + c/2) — recorded when the
+    #: decision hot path still imported scipy; the stdlib NormalDist
+    #: replacement must stay within a few ulp of these
+    SCIPY_VALUES = {
+        0.5: "0x1.5956b87528a49p-1",
+        0.8: "0x1.4813c36e26d32p+0",
+        0.9: "0x1.a515209676abbp+0",
+        0.95: "0x1.f5c0331eeff84p+0",
+        0.99: "0x1.49b4c64d69160p+1",
+        0.995: "0x1.674ce1ece6f39p+1",
+        0.999: "0x1.a52ffadd2f906p+1",
+    }
+
+    def test_matches_recorded_scipy_values(self):
+        for conf, hexval in self.SCIPY_VALUES.items():
+            want = float.fromhex(hexval)
+            got = z_value(conf)
+            assert got == pytest.approx(want, rel=1e-12), conf
+
+    def test_within_four_ulp(self):
+        for conf, hexval in self.SCIPY_VALUES.items():
+            want = float.fromhex(hexval)
+            got = z_value(conf)
+            assert abs(got - want) <= 4 * math.ulp(want), conf
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                z_value(bad)

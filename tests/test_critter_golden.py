@@ -1,0 +1,50 @@
+"""Golden Critter-report regression: the profiler's bit-identity contract.
+
+``tests/golden/critter_golden.json`` pins the full RunReport surface
+(predicted path metrics, volumetric averages, most-loaded-rank times,
+executed/skipped counts) and every rank's end-of-run path counts, in
+exact ``float.hex`` form, for online/eager/apriori policies and the
+slack path criterion — captured on the Critter implementation *before*
+the copy-on-write path-propagation refactor.
+
+Both schedulers must reproduce the fixtures bit-for-bit: the hot-path
+optimizations (COW count tables, cached path values, cached
+predictability verdicts) may not change a single decision, metric, or
+count.  Any future profiler change that shifts one value here is a
+behavioral change and needs a deliberate fixture regeneration
+(``python tests/critter_golden_workloads.py --write``) with
+justification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from critter_golden_workloads import (
+    GOLDEN_PATH,
+    golden_cases,
+    load_golden,
+    run_case,
+)
+
+GOLDEN = load_golden()
+CASES = golden_cases()
+CASE_IDS = [c["id"] for c in CASES]
+
+
+def test_fixture_covers_all_cases():
+    assert sorted(GOLDEN) == sorted(CASE_IDS)
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_golden_fast_path(case):
+    assert run_case(case)["runs"] == GOLDEN[case["id"]]["runs"], (
+        f"fast-path Critter reports diverged from {GOLDEN_PATH}"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_golden_naive_scheduler(case):
+    assert run_case(case, fast_path=False)["runs"] == GOLDEN[case["id"]]["runs"], (
+        f"naive-scheduler Critter reports diverged from {GOLDEN_PATH}"
+    )
