@@ -26,6 +26,7 @@ from repro.sim.bench import (
     ACCEPTANCE,
     COLLECTIVE_ACCEPTANCE,
     CRITTER_ACCEPTANCE,
+    P2P_ACCEPTANCE,
     format_bench,
     run_bench,
     write_bench,
@@ -43,8 +44,10 @@ def test_engine_fastpath_throughput(benchmark):
 
     # the fast path must never lose to the naive scheduler on any
     # acceptance workload: compute-heavy Cholesky (the tuner's op mix),
-    # collective-dense (the inline-arrival panel chain), and the
-    # Critter-profiled p2p + collective mix (the profiler-overhead row)
+    # collective-dense (the inline-arrival panel chain), the
+    # Critter-profiled p2p + collective mix (the profiler-overhead
+    # row), and the pure-p2p rendezvous mix (the inline blocking-send
+    # completion row)
     acc = data["acceptance"]
     assert acc["speedup"] >= 1.0, (
         f"fast path slower than naive on {ACCEPTANCE}: {acc['speedup']:.2f}x"
@@ -58,6 +61,11 @@ def test_engine_fastpath_throughput(benchmark):
     assert crit["speedup"] >= 1.0, (
         f"fast path slower than naive on {CRITTER_ACCEPTANCE}: "
         f"{crit['speedup']:.2f}x"
+    )
+    p2p = data["p2p_acceptance"]
+    assert p2p["speedup"] >= 1.0, (
+        f"fast path slower than naive on {P2P_ACCEPTANCE}: "
+        f"{p2p['speedup']:.2f}x"
     )
     # aggregate batching must beat expanded emission
     assert data["batching_speedup"] > 1.0

@@ -26,7 +26,11 @@ Python:
   path on both compute and communication kernels.  Measured under
   ``critter-online`` and ``critter-apriori`` (offline counts seeded
   from a never-skip pre-run) on top of the usual matrix.
-* ``p2p-pipeline``     — ring pipelining via isend/compute/recv/wait.
+* ``p2p-pipeline``     — the p2p acceptance workload: pure two-sided
+  rendezvous mixes (ring pipelining via isend/compute/recv/wait, a
+  blocking halo exchange with both neighbours, and a blocking panel
+  pipeline down the rank line) — the CANDMC-style QR/Cholesky panel
+  exchange op mix served by the inline blocking-send completion.
 * ``collectives``      — bcast/allreduce/barrier rendezvous rounds.
 * ``cholesky-batch``   — the sweep's kernel runs emitted as
   :class:`ComputeBatchOp`; measured with the machine model's
@@ -79,6 +83,12 @@ COLLECTIVE_ACCEPTANCE = {"workload": "collective-dense",
 CRITTER_ACCEPTANCE = {"workload": "critter-heavy", "preset": "knl-fabric",
                       "profiler": "critter-online"}
 
+#: the p2p acceptance measurement: pure two-sided rendezvous pipelines
+#: (the pre-PR-5 naive-parity mix) must beat the naive scheduler via
+#: inline blocking-send completion and rank-local early queuing
+P2P_ACCEPTANCE = {"workload": "p2p-pipeline", "preset": "knl-fabric",
+                  "profiler": "null"}
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -122,17 +132,60 @@ def _cholesky_sweep(nt: int, tile: int, batched: bool):
 
 
 def _p2p_pipeline(rounds: int, tile: int):
+    """Pure-p2p rendezvous mixes: every event is a two-sided match.
+
+    Three phases per round, after the dominant patterns of CANDMC-style
+    QR/Cholesky panel exchanges:
+
+    * **ring pipelining** — isend/compute/recv/wait, the buffered
+      overlap pattern (blocking recvs meet already-queued isends);
+    * **halo exchange** — blocking send/recv with both neighbours in
+      even/odd order (sends meet parked recvs and vice versa);
+    * **panel pipeline** — a blocking chain down the rank line, the
+      naive-parity worst case the inline blocking-send completion
+      targets.
+
+    Descriptors are prebuilt (constant tags; FIFO per-channel matching
+    keeps pairing exact) so the measurement isolates the engine.
+    """
     gemm = blas.gemm_spec(tile, tile, tile)
+    small = blas.gemm_spec(tile // 2, tile // 2, tile // 2)
+    nb = 8 * tile * tile
 
     def program(comm):
         me, p = comm.rank, comm.size
         nxt, prv = (me + 1) % p, (me - 1) % p
         op = comm.compute(gemm)
+        op_small = comm.compute(small)
+        ring_isend = comm.isend(dest=nxt, tag=0, nbytes=nb)
+        ring_recv = comm.recv(source=prv, tag=0, nbytes=nb)
+        halo_up_send = comm.send(dest=nxt, tag=1, nbytes=nb)
+        halo_up_recv = comm.recv(source=prv, tag=1, nbytes=nb)
+        halo_dn_send = comm.send(dest=prv, tag=2, nbytes=nb)
+        halo_dn_recv = comm.recv(source=nxt, tag=2, nbytes=nb)
+        panel_send = comm.send(dest=me + 1, tag=3, nbytes=nb) if me < p - 1 else None
+        panel_recv = comm.recv(source=me - 1, tag=3, nbytes=nb) if me > 0 else None
         for r in range(rounds):
-            req = yield comm.isend(dest=nxt, tag=r, nbytes=8 * tile * tile)
+            req = yield ring_isend
             yield op
-            yield comm.recv(source=prv, tag=r, nbytes=8 * tile * tile)
+            yield ring_recv
             yield comm.wait(req)
+            if me % 2 == 0:
+                yield halo_up_send
+                yield halo_up_recv
+                yield halo_dn_recv
+                yield halo_dn_send
+            else:
+                yield halo_up_recv
+                yield halo_up_send
+                yield halo_dn_send
+                yield halo_dn_recv
+            yield op_small
+            if panel_recv is not None:
+                yield panel_recv
+            yield op_small
+            if panel_send is not None:
+                yield panel_send
         return None
 
     return program
@@ -213,7 +266,8 @@ def make_workloads(quick: bool = False) -> List[Workload]:
                  f"({rounds // 2} rounds)",
                  8, _critter_heavy(rounds // 2, 64)),
         Workload("p2p-pipeline",
-                 f"isend/compute/recv/wait ring ({rounds} rounds)",
+                 f"ring + halo-exchange + panel-pipeline p2p mixes "
+                 f"({rounds} rounds)",
                  8, _p2p_pipeline(rounds, 32)),
         Workload("collectives",
                  f"bcast/allreduce/barrier rounds ({rounds // 2})",
@@ -427,7 +481,7 @@ def run_bench(quick: bool = False, presets=BENCH_PRESETS,
                                    args=space.args_for(cfg),
                                    exclude=space.exclude))
     doc: Dict[str, Any] = {
-        "version": 3,
+        "version": 4,
         "profile": "quick" if quick else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -448,6 +502,9 @@ def run_bench(quick: bool = False, presets=BENCH_PRESETS,
     critter_acceptance = _acceptance_row(results, CRITTER_ACCEPTANCE)
     if critter_acceptance is not None:
         doc["critter_acceptance"] = critter_acceptance
+    p2p_acceptance = _acceptance_row(results, P2P_ACCEPTANCE)
+    if p2p_acceptance is not None:
+        doc["p2p_acceptance"] = p2p_acceptance
     return doc
 
 
@@ -484,7 +541,8 @@ def format_bench(data: Dict[str, Any]) -> str:
         lines += _fmt_rows(data["end_to_end"])
     for key, label in (("acceptance", "acceptance"),
                        ("collective_acceptance", "collective acceptance"),
-                       ("critter_acceptance", "critter acceptance")):
+                       ("critter_acceptance", "critter acceptance"),
+                       ("p2p_acceptance", "p2p acceptance")):
         acc = data.get(key)
         if acc is None:
             continue
@@ -541,7 +599,8 @@ def format_bench_markdown(data: Dict[str, Any]) -> str:
                      f"| {prof} | {over} | {apri} |")
     for key, label in (("acceptance", "acceptance"),
                        ("collective_acceptance", "collective acceptance"),
-                       ("critter_acceptance", "critter acceptance")):
+                       ("critter_acceptance", "critter acceptance"),
+                       ("p2p_acceptance", "p2p acceptance")):
         acc = data.get(key)
         if acc is None:
             continue
@@ -579,7 +638,8 @@ def main(quick: bool = False, out: str = "BENCH_engine.json",
         print(f"wrote {markdown}")
     if check:
         checked = [data[key] for key in ("acceptance", "collective_acceptance",
-                                         "critter_acceptance")
+                                         "critter_acceptance",
+                                         "p2p_acceptance")
                    if key in data]
         if not checked:
             # a --workload filter excluded every acceptance row: exiting

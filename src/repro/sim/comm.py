@@ -35,16 +35,33 @@ from repro.sim.ops import (
 __all__ = ["Comm", "payload_nbytes"]
 
 
+def _nonnegative_nbytes(nbytes: Any) -> int:
+    """Validate an explicit size at op-build time.
+
+    A negative ``nbytes`` would otherwise flow into the cost model and
+    produce negative communication costs (time running backwards) long
+    after the buggy call site — fail fast where the op is built.
+    """
+    nbytes = int(nbytes)
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    return nbytes
+
+
 def payload_nbytes(payload: Any, nbytes: Optional[int]) -> int:
     """Infer a payload's size in bytes, preferring an explicit value."""
     if nbytes is not None:
-        return int(nbytes)
+        return _nonnegative_nbytes(nbytes)
     if payload is None:
         return 0
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
+    if isinstance(payload, memoryview):
+        # like bytes/bytearray, but sized via .nbytes: len() counts
+        # elements of the view's format, not bytes
+        return payload.nbytes
     if isinstance(payload, (list, tuple)):
         return sum(payload_nbytes(p, None) for p in payload)
     if isinstance(payload, (int, float, np.integer, np.floating)):
@@ -170,7 +187,7 @@ class Comm:
         "unknown").
         """
         return P2POp("recv", self, source, tag, None,
-                     None if nbytes is None else int(nbytes))
+                     None if nbytes is None else _nonnegative_nbytes(nbytes))
 
     def isend(self, payload: Any = None, dest: int = 0, tag: int = 0,
               nbytes: Optional[int] = None) -> P2POp:
@@ -179,17 +196,26 @@ class Comm:
     def irecv(self, source: int = 0, tag: int = 0, nbytes: Optional[int] = None) -> P2POp:
         """Nonblocking receive; ``nbytes`` semantics as for :meth:`recv`."""
         return P2POp("irecv", self, source, tag, None,
-                     None if nbytes is None else int(nbytes))
+                     None if nbytes is None else _nonnegative_nbytes(nbytes))
 
     def wait(self, request: Request) -> WaitOp:
         return WaitOp([request], mode="one")
 
     def waitall(self, requests: Sequence[Request]) -> WaitOp:
+        """MPI_Waitall; an empty request list resumes immediately with ``[]``."""
         return WaitOp(list(requests), mode="all")
 
     def waitany(self, requests: Sequence[Request]) -> WaitOp:
-        """MPI_Waitany: resume on the first completion; yields (index, value)."""
-        return WaitOp(list(requests), mode="any")
+        """MPI_Waitany: resume on the first completion; yields (index, value).
+
+        An empty request list is rejected at build time: unlike waitall
+        (whose empty case trivially resolves to ``[]``), waitany has no
+        winner to report and would otherwise park the rank forever.
+        """
+        requests = list(requests)
+        if not requests:
+            raise ValueError("waitany requires at least one request")
+        return WaitOp(requests, mode="any")
 
     # -- collectives --------------------------------------------------------
     def bcast(self, payload: Any = None, root: int = 0,
@@ -215,13 +241,15 @@ class Comm:
         """``payload`` at root is a list of ``size`` chunks; ``nbytes`` is per-chunk."""
         if payload is not None and nbytes is None:
             nbytes = payload_nbytes(payload, None) // max(self.size, 1)
-        return CollOp("scatter", self, root, payload, int(nbytes or 0))
+        return CollOp("scatter", self, root, payload,
+                      _nonnegative_nbytes(nbytes or 0))
 
     def alltoall(self, payload: Any = None, nbytes: Optional[int] = None) -> CollOp:
         """``payload`` is a list of ``size`` per-peer chunks; ``nbytes`` is per-peer."""
         if payload is not None and nbytes is None:
             nbytes = payload_nbytes(payload, None) // max(self.size, 1)
-        return CollOp("alltoall", self, 0, payload, int(nbytes or 0))
+        return CollOp("alltoall", self, 0, payload,
+                      _nonnegative_nbytes(nbytes or 0))
 
     def barrier(self) -> CollOp:
         return CollOp("barrier", self, 0, None, 0)

@@ -34,11 +34,12 @@ tests in ``tests/test_engine_golden.py``):
   advancing its local clock and sampling noise from its own RNG stream
   in the same order — for consecutive :class:`ComputeOp`/
   :class:`ComputeBatchOp` events, immediately-resolvable waits,
-  buffered ``isend`` posts whose match is already parked in a blocking
-  ``recv``, and **non-final collective arrivals**.  The heap is touched
-  only when the rank reaches a genuinely blocking (or cross-rank-order-
-  sensitive) op, which is then re-queued at the rank's local time so it
-  dispatches at its exact global position.
+  **blocking p2p rendezvous whose matching endpoint is already
+  parked** (see below), buffered ``isend`` posts whose match is parked
+  in a blocking ``recv``, and **non-final collective arrivals**.  The
+  heap is touched only when the rank reaches a genuinely blocking (or
+  cross-rank-order-sensitive) op, which is then re-queued at the
+  rank's local time so it dispatches at its exact global position.
 
 Identity holds because every inlined event is *rank-local*: it reads
 and writes only this rank's clock, RNG stream, and (for ``inline_safe``
@@ -55,6 +56,31 @@ multi-request waitany — goes through the heap exactly as before.  The
 fast path is disabled when a trace recorder is attached (trace files
 pin global event order) or when the profiler does not declare
 :attr:`~repro.sim.profiler.Profiler.inline_safe`.
+
+Blocking p2p rendezvous (the dominant event kind of pure pipeline
+workloads — CANDMC-style QR/Cholesky panel exchanges are send/recv
+chains) completes **inline** when the matching endpoint is already
+parked: a ``send`` arriving at a parked ``recv`` (and symmetrically a
+``recv`` arriving at a parked ``send`` or an already-queued ``isend``)
+computes the completion ``max(send_post, recv_post) + cost`` rank-
+locally and keeps driving the arriving rank from that time, while the
+other endpoint rides the heap to the completion's exact naive
+position.  This is sound because a queued record is an immutable fact
+(absolute post time, single consumer per channel, FIFO = program
+order) and the cost draw comes from the receiver's RNG stream, whose
+next draw is this one at any processing position — the receiver is
+either the inline rank itself or parked until this very match.  The
+gating mirrors the isend path: the receiving side must hold no
+unmatched irecvs, and with profiler hooks active neither endpoint may
+hold pending isends (and the parked peer no pending irecvs), since a
+third rank's match could otherwise take non-commuting hooks at an
+earlier global position.  With hooks off the fast path additionally
+queues unmatched sends/recvs **early** (parking blocking ops in
+place, no heap trip): pairing and completion are processing-order
+independent, with one exception — an *irecv* poster keeps drawing
+after its post, so an irecv that observes an early-queued send with a
+later post time defers the match to that post time via
+:class:`_FinishP2P`, exactly where the naive scheduler runs it.
 
 Collective arrivals deserve a note, because they are the dominant event
 kind of collective-dense workloads (panel factorizations are bcast/
@@ -205,6 +231,39 @@ class _FinishColl:
         self.pend = pend
 
 
+class _FinishP2P:
+    """Deferred p2p match, riding the heap to the send's post time.
+
+    The fast path may queue a send/isend record ahead of its global
+    position (rank-local early queuing, hooks off).  A *blocking*
+    receive posted with no irecvs outstanding can consume such a record
+    at any processing position — the receiver is parked between its
+    post and the completion with a clean RNG stream, so the cost draw
+    lands at the same stream position regardless.  Not so when the
+    receiver's stream has pending interleaved draws: an **irecv**
+    poster keeps executing (and drawing) after the post, and a blocking
+    recv posted *under an open irecv window* still owes that irecv's
+    future match draw first.  A match whose send record carries a later
+    post time than such a receive must not draw at the receive's
+    dispatch: it is wrapped in this marker and pushed at the send's
+    post time — the exact global position where the naive scheduler
+    (send dispatched there) runs the match.
+    The poster's ``pending_irecvs`` stays elevated until the marker
+    fires, keeping every op of that rank heap-ordered through the
+    deferral window exactly as an unmatched irecv would.  Unlike
+    :class:`_Redeliver`, the marker is *not* a rank event: both event
+    loops run the match without touching any rank's clock (the irecv
+    poster may be parked at its final time — or finished — when the
+    marker pops, and ``rank_times`` reports ``st.time`` verbatim).
+    """
+
+    __slots__ = ("send", "recv")
+
+    def __init__(self, send: "P2PRecord", recv: "P2PRecord") -> None:
+        self.send = send
+        self.recv = recv
+
+
 class _Redeliver:
     """Heap payload: an op captured inline, to dispatch at its own time.
 
@@ -274,6 +333,24 @@ class _RankState:
         #: rank's recv may take this rank's profiler hooks at an earlier
         #: global position)
         self.pending_isends = 0
+
+
+def _warn_p2p_size_mismatch(tag: int, send_rank: int, send_nbytes: int,
+                            recv_rank: int, recv_nbytes: int) -> None:
+    """Flag a declared receive size disagreeing with the matched sender.
+
+    Shared by the heap rendezvous (:meth:`Simulator._rendezvous`) and
+    the fast path's scalar inline rendezvous so the two cannot drift:
+    same message, same category, and — with ``stacklevel=1`` pinning
+    the attribution to this helper itself — the same (module, lineno)
+    key in Python's once-per-location warning registry, whichever
+    rendezvous path fired it.
+    """
+    warnings.warn(
+        f"p2p size mismatch (tag {tag}): rank {send_rank} "
+        f"sent {send_nbytes} B but rank {recv_rank} posted a "
+        f"{recv_nbytes} B receive; costing the sender's size",
+        RuntimeWarning, stacklevel=1)
 
 
 def _describe_park(reason: Any) -> str:
@@ -435,9 +512,16 @@ class Simulator:
         else:
             while heap:
                 t, _, r, value = pop(heap)
+                tv = type(value)
+                if tv is _FinishP2P:
+                    # deferred p2p match: not a rank event, no clock
+                    # assignment (see _FinishP2P)
+                    states[value.recv.world_rank].pending_irecvs -= 1
+                    self._match_p2p(value.send, value.recv)
+                    continue
                 st = states[r]
                 st.time = t
-                if type(value) is _Redeliver:
+                if tv is _Redeliver:
                     # step-wise ComputeBatchOp expansion (order-
                     # sensitive profilers) rides the heap between
                     # sub-kernels
@@ -496,6 +580,9 @@ class Simulator:
         run_seed = self.run_seed
         exp = math.exp
         p2p_recvs = self._p2p_recvs
+        p2p_sends = self._p2p_sends
+        comm_cost = self._comm_cost
+        p2p_sig = p2p_signature
         icost1 = prof.intercept_cost(1)
         on_compute = prof.on_compute
         post_compute = prof.post_compute
@@ -515,9 +602,16 @@ class Simulator:
                 st.time = t
             elif heap:
                 t, _, rank, value = pop(heap)
+                tv = type(value)
+                if tv is _FinishP2P:
+                    # deferred p2p match: not a rank event, no clock
+                    # assignment (see _FinishP2P)
+                    states[value.recv.world_rank].pending_irecvs -= 1
+                    self._match_p2p(value.send, value.recv)
+                    continue
                 st = states[rank]
                 st.time = t
-                if type(value) is _Redeliver:
+                if tv is _Redeliver:
                     dispatch(st, value.op)
                     continue
             else:
@@ -623,55 +717,265 @@ class Simulator:
                     # dispatch below, where _do_collective defers the
                     # completion to max(arrivals) if an inlined entry
                     # carries a later time
-                elif cls is P2POp and op.kind == "isend":
-                    group: CommGroup = op.comm.group
+                elif cls is P2POp and op.kind != "irecv":
+                    # irecv posts stay strictly heap business: once an
+                    # unmatched irecv is out, every event of this rank
+                    # is order-sensitive (see pending_irecvs above), and
+                    # queuing the irecv early would let a peer's send
+                    # draw from this rank's RNG stream ahead of inline
+                    # compute draws the naive scheduler orders first
+                    kind = op.kind
+                    group = op.comm.group
                     me_world = group.world_ranks[op.comm.rank]
                     peer_world = group.world_ranks[op.peer]
-                    key = (group.gid, me_world, peer_world, op.tag)
-                    queue = p2p_recvs.get(key)
-                    if (
-                        queue
-                        and queue[0].kind == "recv"
-                        # matching a *parked* blocking receiver is
-                        # rank-local enough: the peer cannot draw from
-                        # its RNG stream or take profiler hooks until
-                        # this very match resumes it, so matching early
-                        # preserves all orderings.  A pending irecv
-                        # gives no such guarantee (an earlier-time send
-                        # may match it, drawing from the receiver's
-                        # stream), nor does an empty queue (an irecv may
-                        # yet arrive before this op's global position).
-                        and states[queue[0].world_rank].pending_irecvs == 0
-                        # with profiler hooks active, queued unmatched
-                        # isends on EITHER endpoint also block inlining:
-                        # a third rank's recv can match them at an
-                        # earlier global position, and that hook's stat
-                        # updates on the shared send signature (and its
-                        # path-count increments) do not commute with the
-                        # snapshot/decision this match takes now
-                        and (hooks_off
-                             or (st.pending_isends == 0
-                                 and states[queue[0].world_rank].pending_isends == 0))
-                    ):
-                        rec = P2PRecord(
-                            kind="isend",
-                            world_rank=me_world,
-                            comm_rank=op.comm.rank,
-                            peer_world=peer_world,
-                            tag=op.tag,
-                            nbytes=op.nbytes,
-                            post_time=st.time,
-                            group=group,
-                            payload=op.payload,
-                            blocking=False,
-                        )
-                        prof.on_p2p_post(rec)
-                        req = Request(rank=rank, kind="isend", record=rec)
-                        rec.request = req
-                        st.time += icost1
-                        self._match_p2p(rec, queue.popleft())
-                        value = req
-                        continue
+                    if kind == "recv":
+                        key = (group.gid, peer_world, me_world, op.tag)
+                        queue = p2p_sends.get(key)
+                        srec = queue[0] if queue else None
+                        if srec is not None:
+                            # a queued send record is an immutable fact:
+                            # it carries its absolute post time, only
+                            # this rank can consume this key, and the
+                            # sender appends in program order — so the
+                            # pairing and the completion time are the
+                            # same at any processing position.  The
+                            # cost draw comes from *this* rank's RNG
+                            # stream (rank-local; no unmatched irecv of
+                            # ours can interleave — guarded above).
+                            if hooks_off:
+                                # scalar rendezvous: no records, no
+                                # intercepts, no trace (the fast path
+                                # never runs with one) — the identical
+                                # float-op sequence of _comm_sample over
+                                # the shared memos
+                                snb = srec.nbytes
+                                rnb = op.nbytes
+                                if rnb is not None and rnb != snb:
+                                    _warn_p2p_size_mismatch(
+                                        op.tag, srec.world_rank, snb,
+                                        me_world, rnb)
+                                stride = abs(srec.world_rank - me_world) or 1
+                                sig = p2p_sig(snb, stride)
+                                fac = factors.get(sig)
+                                if fac is None:
+                                    fac = factors[sig] = noise_factors(
+                                        sig, run_seed)
+                                bias, drift, params = fac
+                                mean = comm_cost(sig) * bias * drift
+                                if params is None:
+                                    cost = mean
+                                else:
+                                    cost = mean * exp(params[0]
+                                                      + params[1] * rng_normal())
+                                completion = max(srec.post_time, st.time) + cost
+                                queue.popleft()
+                                sender = states[srec.world_rank]
+                                # the other endpoint rides the heap to
+                                # the completion's exact naive position
+                                if srec.kind == "send":
+                                    sender.park_reason = None
+                                    push(completion, srec.world_rank, None)
+                                else:
+                                    sender.pending_isends -= 1
+                                    self._complete_request(srec.request,
+                                                           completion, None)
+                                st.time = completion
+                                value = srec.payload
+                                continue
+                            # with hooks active a buffered isend match
+                            # stays heap-ordered (the sender's
+                            # pending_isends >= 1 by definition: a third
+                            # rank's recv could take its other queued
+                            # isends' hooks at an earlier global
+                            # position); a *parked* blocking sender
+                            # qualifies when neither endpoint has
+                            # pending isends and the sender holds no
+                            # unmatched irecv (its Critter state must
+                            # not be touchable by any earlier event)
+                            if (srec.kind == "send"
+                                    and st.pending_isends == 0
+                                    and states[srec.world_rank].pending_isends == 0
+                                    and states[srec.world_rank].pending_irecvs == 0):
+                                rec = P2PRecord(
+                                    kind="recv",
+                                    world_rank=me_world,
+                                    comm_rank=op.comm.rank,
+                                    peer_world=peer_world,
+                                    tag=op.tag,
+                                    nbytes=op.nbytes,
+                                    post_time=st.time,
+                                    group=group,
+                                )
+                                prof.on_p2p_post(rec)
+                                queue.popleft()
+                                sender = states[srec.world_rank]
+                                completion = self._rendezvous(srec, rec)
+                                sender.park_reason = None
+                                push(completion, srec.world_rank, None)
+                                st.time = completion
+                                value = srec.payload
+                                continue
+                        elif hooks_off:
+                            # nothing to consume: queue the receive and
+                            # park in place.  The record carries this
+                            # rank's absolute post time, so a peer's
+                            # later-processed send pairs and costs
+                            # identically to the naive ordering; with
+                            # hooks active the match site (and its stat
+                            # updates) must stay at the exact global
+                            # position, so the op rides the heap below.
+                            rec = P2PRecord(
+                                kind="recv",
+                                world_rank=me_world,
+                                comm_rank=op.comm.rank,
+                                peer_world=peer_world,
+                                tag=op.tag,
+                                nbytes=op.nbytes,
+                                post_time=st.time,
+                                group=group,
+                            )
+                            pending = p2p_recvs.get(key)
+                            if pending is None:
+                                pending = p2p_recvs[key] = deque()
+                            pending.append(rec)
+                            st.park_reason = op
+                            break
+                    else:  # send / isend
+                        key = (group.gid, me_world, peer_world, op.tag)
+                        queue = p2p_recvs.get(key)
+                        rrec = queue[0] if queue else None
+                        if (
+                            rrec is not None
+                            and rrec.kind == "recv"
+                            # matching a *parked* blocking receiver is
+                            # rank-local enough: the peer cannot draw
+                            # from its RNG stream or take profiler hooks
+                            # until this very match resumes it, so
+                            # matching early preserves all orderings.  A
+                            # pending irecv gives no such guarantee (an
+                            # earlier-time send may match it, drawing
+                            # from the receiver's stream), nor does an
+                            # empty queue under active hooks (an irecv
+                            # may yet arrive before this op's global
+                            # position).
+                            and states[rrec.world_rank].pending_irecvs == 0
+                        ):
+                            if hooks_off:
+                                # scalar rendezvous, send and isend
+                                # alike; the cost draw comes from the
+                                # receiver's stream (parked: its next
+                                # draw is this one at any position)
+                                snb = op.nbytes
+                                rnb = rrec.nbytes
+                                if rnb is not None and rnb != snb:
+                                    _warn_p2p_size_mismatch(
+                                        op.tag, me_world, snb,
+                                        rrec.world_rank, rnb)
+                                receiver = states[rrec.world_rank]
+                                stride = abs(me_world - rrec.world_rank) or 1
+                                sig = p2p_sig(snb, stride)
+                                fac = factors.get(sig)
+                                if fac is None:
+                                    fac = factors[sig] = noise_factors(
+                                        sig, run_seed)
+                                bias, drift, params = fac
+                                mean = comm_cost(sig) * bias * drift
+                                if params is None:
+                                    cost = mean
+                                else:
+                                    cost = mean * exp(
+                                        params[0]
+                                        + params[1] * receiver.rng_normal())
+                                completion = max(st.time, rrec.post_time) + cost
+                                queue.popleft()
+                                receiver.park_reason = None
+                                push(completion, rrec.world_rank, op.payload)
+                                if kind == "send":
+                                    # blocking send completes inline:
+                                    # keep driving this rank from the
+                                    # rendezvous completion
+                                    st.time = completion
+                                    value = None
+                                    continue
+                                value = Request(rank=rank, kind="isend",
+                                                done=True,
+                                                completion=completion)
+                                continue
+                            # with profiler hooks active, queued
+                            # unmatched isends on EITHER endpoint block
+                            # inlining: a third rank's recv can match
+                            # them at an earlier global position, and
+                            # that hook's stat updates on the shared
+                            # send signature (and its path-count
+                            # increments) do not commute with the
+                            # snapshot/decision this match takes now
+                            if (st.pending_isends == 0
+                                    and states[rrec.world_rank].pending_isends == 0):
+                                rec = P2PRecord(
+                                    kind=kind,
+                                    world_rank=me_world,
+                                    comm_rank=op.comm.rank,
+                                    peer_world=peer_world,
+                                    tag=op.tag,
+                                    nbytes=op.nbytes,
+                                    post_time=st.time,
+                                    group=group,
+                                    payload=op.payload,
+                                    blocking=kind == "send",
+                                )
+                                prof.on_p2p_post(rec)
+                                if kind == "isend":
+                                    req = Request(rank=rank, kind="isend",
+                                                  record=rec)
+                                    rec.request = req
+                                    st.time += icost1
+                                    self._match_p2p(rec, queue.popleft())
+                                    value = req
+                                    continue
+                                # blocking send: complete the rendezvous
+                                # rank-locally and keep driving this
+                                # rank from the completion time; the
+                                # receiver rides the heap to the same
+                                # position
+                                queue.popleft()
+                                receiver = states[rrec.world_rank]
+                                completion = self._rendezvous(rec, rrec)
+                                receiver.park_reason = None
+                                push(completion, rrec.world_rank, rec.payload)
+                                st.time = completion
+                                value = None
+                                continue
+                        elif rrec is None and hooks_off:
+                            # no posted receive to consume: queue the
+                            # send early (absolute post time; only the
+                            # peer's recv on this key can consume it, in
+                            # FIFO = program order), park blocking sends
+                            # in place, let isends continue
+                            rec = P2PRecord(
+                                kind=kind,
+                                world_rank=me_world,
+                                comm_rank=op.comm.rank,
+                                peer_world=peer_world,
+                                tag=op.tag,
+                                nbytes=op.nbytes,
+                                post_time=st.time,
+                                group=group,
+                                payload=op.payload,
+                                blocking=kind == "send",
+                            )
+                            pending = p2p_sends.get(key)
+                            if pending is None:
+                                pending = p2p_sends[key] = deque()
+                            pending.append(rec)
+                            if kind == "isend":
+                                st.pending_isends += 1
+                                req = Request(rank=rank, kind="isend",
+                                              record=rec)
+                                rec.request = req
+                                value = req
+                                continue
+                            st.park_reason = op
+                            break
                 # blocking or order-sensitive: dispatch at the rank's
                 # local time — in place when no pending event is earlier
                 # or tied (a tied heap event would win by sequence
@@ -858,7 +1162,25 @@ class Simulator:
                 matched = queue.popleft()
                 if matched.kind == "isend":
                     self._states[matched.world_rank].pending_isends -= 1
-                self._match_p2p(matched, rec)
+                if matched.post_time > st.time and (
+                        op.kind == "irecv" or st.pending_irecvs):
+                    # fast-path early-queued send observed before the
+                    # send's global position by a receiver whose RNG
+                    # stream has pending interleaved draws — an irecv
+                    # poster keeps drawing after the post, and a
+                    # blocking recv posted under an open irecv window
+                    # still has that irecv's future match draw due
+                    # first: defer the match (and its draw from this
+                    # rank's stream) to the send's post time — see
+                    # _FinishP2P.  A blocking recv with no irecvs out
+                    # parks with a clean stream (its next draw is this
+                    # match at any processing position), so it matches
+                    # in place.
+                    st.pending_irecvs += 1
+                    self._push(matched.post_time, st.rank,
+                               _FinishP2P(matched, rec))
+                else:
+                    self._match_p2p(matched, rec)
             else:
                 pending = self._p2p_recvs.get(key)
                 if pending is None:
@@ -889,14 +1211,23 @@ class Simulator:
         rng = self._states[rng_rank].rng
         return mean * math.exp(params[0] + params[1] * rng.standard_normal())
 
-    def _match_p2p(self, send: P2PRecord, recv: P2PRecord) -> None:
+    def _rendezvous(self, send: P2PRecord, recv: P2PRecord) -> float:
+        """Rendezvous core shared by the heap and inline match paths.
+
+        Validates declared sizes, takes the profiler's execution
+        decision, samples the transfer cost (drawing — if the noise
+        model draws at all — from the *receiver's* RNG stream), fires
+        the post hooks and the trace record, and returns the completion
+        time ``max(post times) [+ intercept] + cost``.  Endpoint
+        resumption is the caller's business: the heap path pushes both
+        endpoints, the inline path continues one of them in place.
+        Keeping decision/draw/warning in one helper is what makes the
+        two paths bit-identical by construction.
+        """
         prof = self.profiler
         if recv.nbytes is not None and recv.nbytes != send.nbytes:
-            warnings.warn(
-                f"p2p size mismatch (tag {send.tag}): rank {send.world_rank} "
-                f"sent {send.nbytes} B but rank {recv.world_rank} posted a "
-                f"{recv.nbytes} B receive; costing the sender's size",
-                RuntimeWarning, stacklevel=2)
+            _warn_p2p_size_mismatch(send.tag, send.world_rank, send.nbytes,
+                                    recv.world_rank, recv.nbytes)
         stride = abs(send.world_rank - recv.world_rank) or 1
         sig = p2p_signature(send.nbytes, stride)
         hooks_off = self._hooks_off
@@ -912,6 +1243,10 @@ class Simulator:
             self.trace.record(
                 "p2p", (send.world_rank, recv.world_rank), sig, start, cost, execute
             )
+        return completion
+
+    def _match_p2p(self, send: P2PRecord, recv: P2PRecord) -> None:
+        completion = self._rendezvous(send, recv)
         # sender side
         if send.kind == "send":
             self._states[send.world_rank].park_reason = None
@@ -937,6 +1272,12 @@ class Simulator:
             self._check_wait(st)
 
     def _do_wait(self, st: _RankState, op: WaitOp) -> None:
+        if not op.requests and op.mode != "all":
+            # Comm.waitany rejects this at build time; guard direct
+            # WaitOp construction too — an empty one/any wait has no
+            # winner and would park the rank forever
+            raise ValueError(
+                f"wait(mode={op.mode!r}) requires at least one request")
         st.waiting = (st.time, list(op.requests), op.mode)
         st.park_reason = op
         self._check_wait(st)

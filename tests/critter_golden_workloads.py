@@ -52,9 +52,11 @@ _VARIANTS: Dict[str, Dict[str, Any]] = {
 }
 
 #: (space name, config index or None) — the synthetic programs cover the
-#: p2p/wait/split and collective-dense surfaces; slate_cholesky[1] adds
-#: a real panel factorization (lookahead pipelining, excluded kernels)
-_PROGRAMS = [("mixed_p2p", None), ("coll_chain", None)]
+#: p2p/wait/split, collective-dense and pure-p2p rendezvous surfaces;
+#: slate_cholesky[1] adds a real panel factorization (lookahead
+#: pipelining, excluded kernels)
+_PROGRAMS = [("mixed_p2p", None), ("coll_chain", None),
+             ("p2p_pipeline", None)]
 _ALGO_PROGRAMS = [("slate_cholesky", 1)]
 
 

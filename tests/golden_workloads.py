@@ -118,6 +118,63 @@ def coll_chain_program(comm, nrounds: int = 4):
     return out
 
 
+def p2p_pipeline_program(comm, nrounds: int = 3):
+    """Pure-p2p program pinning the inline rendezvous fast path.
+
+    Three phases per the CANDMC-style panel-exchange op mix the inline
+    blocking-send completion targets:
+
+    * **ring pipelining** — isend/compute/recv/wait, so blocking recvs
+      meet already-queued isends (rank-local completion, request reaped
+      by a later wait) with per-rank-skewed computes driving run-ahead;
+    * **blocking halo exchange** — even ranks send-then-recv, odd ranks
+      recv-then-send, covering both inline directions (a send arriving
+      at a parked recv and a recv arriving at a parked send) plus the
+      early-park of the unmatched side;
+    * **panel pipeline** — a blocking send/recv chain down the rank
+      line (no wraparound), the naive-parity worst case of pure
+      two-sided rendezvous.
+
+    The tail posts an irecv before a blocking exchange so ranks with
+    unmatched irecvs demonstrably fall back to full heap ordering, then
+    reaps it via waitany.  Requires an even number of ranks.
+    """
+    me, p = comm.rank, comm.size
+    nxt, prv = (me + 1) % p, (me - 1) % p
+    for r in range(nrounds):
+        sreq = yield comm.isend(me * 10 + r, dest=nxt, tag=r, nbytes=64)
+        yield comm.compute(blas.gemm_spec(8 + ((me + r) % 3), 8, 8))
+        got = yield comm.recv(source=prv, tag=r, nbytes=64)
+        assert got == prv * 10 + r
+        yield comm.wait(sreq)
+    for r in range(nrounds):
+        if me % 2 == 0:
+            yield comm.send(float(me), dest=nxt, tag=100 + r, nbytes=32)
+            yield comm.recv(source=prv, tag=100 + r, nbytes=32)
+        else:
+            yield comm.recv(source=prv, tag=100 + r, nbytes=32)
+            yield comm.send(float(me), dest=nxt, tag=100 + r, nbytes=32)
+        yield comm.compute(blas.gemm_spec(6 + me, 8, 8))
+    for r in range(nrounds):
+        if me > 0:
+            yield comm.recv(source=me - 1, tag=200 + r, nbytes=128)
+        yield comm.compute(lapack.potrf_spec(10 + r))
+        if me < p - 1:
+            yield comm.send(dest=me + 1, tag=200 + r, nbytes=128)
+    rreq = yield comm.irecv(source=prv, tag=400, nbytes=16)
+    if me % 2 == 0:
+        yield comm.send(dest=nxt, tag=300, nbytes=48)
+        yield comm.recv(source=prv, tag=300, nbytes=48)
+    else:
+        yield comm.recv(source=prv, tag=300, nbytes=48)
+        yield comm.send(dest=nxt, tag=300, nbytes=48)
+    sreq = yield comm.isend(float(me), dest=nxt, tag=400, nbytes=16)
+    idx, val = yield comm.waitany([rreq, sreq])
+    yield comm.waitall([rreq, sreq])
+    yield comm.barrier()
+    return float(me)
+
+
 class _MixedSpace:
     """Duck-typed stand-in for a ConfigSpace over ``mixed_program``."""
 
@@ -144,7 +201,21 @@ class _CollChainSpace:
         return ()
 
 
-_SYNTHETIC_SPACES = {"mixed_p2p": _MixedSpace, "coll_chain": _CollChainSpace}
+class _P2PPipelineSpace:
+    """Duck-typed stand-in for a ConfigSpace over ``p2p_pipeline_program``."""
+
+    name = "p2p_pipeline"
+    program = staticmethod(p2p_pipeline_program)
+    nprocs = 4
+    exclude = frozenset()
+
+    @staticmethod
+    def args_for(_config: Any) -> tuple:
+        return ()
+
+
+_SYNTHETIC_SPACES = {"mixed_p2p": _MixedSpace, "coll_chain": _CollChainSpace,
+                     "p2p_pipeline": _P2PPipelineSpace}
 
 
 def _small_spaces() -> Dict[str, Any]:
@@ -201,6 +272,11 @@ def golden_cases() -> List[Dict[str, Any]]:
             "space": "coll_chain", "config": None, "preset": preset,
             "policy": None, "run_seeds": [7],
         })
+        cases.append({
+            "id": f"p2p_pipeline/{preset}/null",
+            "space": "p2p_pipeline", "config": None, "preset": preset,
+            "policy": None, "run_seeds": [7],
+        })
     for name, idx, policies, presets in _POLICY_MATRIX:
         for preset in presets:
             for pol in policies:
@@ -220,6 +296,14 @@ def golden_cases() -> List[Dict[str, Any]]:
         cases.append({
             "id": f"coll_chain/{preset}/online",
             "space": "coll_chain", "config": None, "preset": preset,
+            "policy": "online", "run_seeds": [0, 1, 2],
+        })
+    # pure-p2p rendezvous under a skipping profiler (the inline
+    # blocking-send completion path; quiet again pins exact-tie order)
+    for preset in ("knl-fabric", "quiet"):
+        cases.append({
+            "id": f"p2p_pipeline/{preset}/online",
+            "space": "p2p_pipeline", "config": None, "preset": preset,
             "policy": "online", "run_seeds": [0, 1, 2],
         })
     return cases

@@ -58,6 +58,7 @@ class TestBenchWorkloadFilter:
             ACCEPTANCE,
             COLLECTIVE_ACCEPTANCE,
             CRITTER_ACCEPTANCE,
+            P2P_ACCEPTANCE,
             make_workloads,
         )
 
@@ -65,6 +66,7 @@ class TestBenchWorkloadFilter:
         assert ACCEPTANCE["workload"] in names
         assert COLLECTIVE_ACCEPTANCE["workload"] in names
         assert CRITTER_ACCEPTANCE["workload"] in names
+        assert P2P_ACCEPTANCE["workload"] in names
 
     def test_markdown_table_covers_profiled_rows(self):
         from repro.sim.bench import format_bench_markdown
@@ -90,6 +92,27 @@ class TestBenchWorkloadFilter:
         md = format_bench_markdown(data)
         assert "| critter-heavy | knl-fabric | 1.00 | 1.20 | 1.20x | 0.55 |" in md
         assert "**critter acceptance**" in md
+
+    def test_markdown_table_covers_p2p_acceptance(self):
+        from repro.sim.bench import format_bench_markdown
+
+        data = {
+            "profile": "quick",
+            "results": [
+                {"workload": "p2p-pipeline", "preset": "knl-fabric",
+                 "profiler": "null", "speedup": 1.5,
+                 "naive": {"ops_per_s": 1e6, "wall_s": 1.0},
+                 "fast": {"ops_per_s": 1.5e6, "wall_s": 1 / 1.5}},
+            ],
+            "p2p_acceptance": {
+                "workload": "p2p-pipeline", "preset": "knl-fabric",
+                "profiler": "null", "speedup": 1.5,
+                "fast_ops_per_s": 1.5e6, "naive_ops_per_s": 1e6,
+            },
+        }
+        md = format_bench_markdown(data)
+        assert "| p2p-pipeline | knl-fabric | 1.00 | 1.50 | 1.50x |" in md
+        assert "**p2p acceptance**" in md
 
 
 class TestSpaces:

@@ -1,0 +1,429 @@
+"""P2P rendezvous fast path: edge cases and differential fuzz.
+
+The golden fixtures pin the inline blocking-send completion against
+pre-refactor recordings; this module covers the *semantics* around it:
+self-sends and tag mismatches must still deadlock with useful reports,
+empty waits resolve (or fail) identically under both schedulers, the
+declared-size mismatch warning is byte-identical between the inline and
+heap rendezvous paths, waitany tie-breaking survives an exact three-way
+timestamp tie (inline-completed p2p, heap-completed p2p, collective),
+and randomized pure-p2p programs agree between schedulers.
+
+The fuzz case count scales with ``REPRO_P2P_FUZZ_CASES`` (default 6) so
+the CI differential-fuzz leg can run a wider sweep than local runs.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.critter import Critter
+from repro.kernels.blas import gemm_spec
+from repro.sim import DeadlockError, Machine, NoiseModel, Simulator
+from repro.sim.ops import WaitOp
+from repro.sim.presets import make_machine
+
+from conftest import make_quiet_sim
+from test_engine_fastpath import run_both
+
+
+# ----------------------------------------------------------------------
+# self-send
+# ----------------------------------------------------------------------
+class TestSelfSend:
+    def test_blocking_self_send_deadlocks(self):
+        """``send(dest=self.rank)`` with no self-receive parks forever.
+
+        Both schedulers must detect the deadlock (the fast path parks
+        the rank in place without a heap trip — the report must still
+        name the blocking send).
+        """
+
+        def prog(comm):
+            yield comm.send("x", dest=comm.rank, tag=3, nbytes=8)
+
+        for fast in (True, False):
+            m = Machine(nprocs=2, seed=0)
+            sim = Simulator(m, fast_path=fast)
+            with pytest.raises(DeadlockError, match=r"blocking send peer=0 tag=3"):
+                sim.run(prog)
+
+    def test_self_isend_recv_roundtrip(self):
+        """A buffered self-send matched by a later self-receive works."""
+
+        def prog(comm):
+            req = yield comm.isend(comm.rank * 11, dest=comm.rank, tag=1,
+                                   nbytes=8)
+            yield comm.compute(gemm_spec(8, 8, 8))
+            got = yield comm.recv(source=comm.rank, tag=1, nbytes=8)
+            yield comm.wait(req)
+            return got
+
+        res = run_both(prog, nprocs=3)
+        assert res.returns == [0, 11, 22]
+
+    def test_self_blocking_send_into_posted_irecv(self):
+        """A posted self-irecv lets a blocking self-send rendezvous."""
+
+        def prog(comm):
+            req = yield comm.irecv(source=comm.rank, tag=2, nbytes=16)
+            yield comm.send("loop", dest=comm.rank, tag=2, nbytes=16)
+            got = yield comm.wait(req)
+            return got
+
+        res = run_both(prog, nprocs=2)
+        assert res.returns == ["loop", "loop"]
+
+
+# ----------------------------------------------------------------------
+# tag mismatch
+# ----------------------------------------------------------------------
+class TestTagMismatch:
+    def _prog(self, send_tag, recv_tag):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send("m", dest=1, tag=send_tag, nbytes=8)
+            else:
+                got = yield comm.recv(source=0, tag=recv_tag, nbytes=8)
+                return got
+        return prog
+
+    def test_mismatched_tags_never_match(self):
+        for fast in (True, False):
+            m = Machine(nprocs=2, seed=0)
+            sim = Simulator(m, fast_path=fast)
+            with pytest.raises(DeadlockError) as exc:
+                sim.run(self._prog(send_tag=1, recv_tag=2))
+            # both parked endpoints appear in the report with their tags
+            assert "blocking send peer=1 tag=1" in str(exc.value)
+            assert "blocking recv peer=0 tag=2" in str(exc.value)
+
+    def test_matching_tags_control(self):
+        res = run_both(self._prog(send_tag=5, recv_tag=5), nprocs=2)
+        assert res.returns[1] == "m"
+
+
+# ----------------------------------------------------------------------
+# empty waits
+# ----------------------------------------------------------------------
+class TestEmptyWaits:
+    def test_empty_waitall_resumes_immediately(self):
+        def prog(comm):
+            got = yield comm.waitall([])
+            yield comm.barrier()
+            return ("done", got)
+
+        res = run_both(prog, nprocs=2)
+        assert res.returns == [("done", []), ("done", [])]
+
+    def test_empty_waitany_rejected_at_build_time(self):
+        comm_holder = {}
+
+        def prog(comm):
+            comm_holder["comm"] = comm
+            yield comm.barrier()
+
+        make_quiet_sim(1).run(prog)
+        with pytest.raises(ValueError, match="waitany requires at least one"):
+            comm_holder["comm"].waitany([])
+
+    @pytest.mark.parametrize("mode", ["one", "any"])
+    def test_empty_wait_op_rejected_by_engine(self, mode):
+        """Directly-built empty one/any WaitOps fail fast, not forever."""
+
+        def prog(comm):
+            yield WaitOp([], mode=mode)
+
+        for fast in (True, False):
+            sim = Simulator(Machine(nprocs=1, seed=0), fast_path=fast)
+            with pytest.raises(ValueError, match="at least one request"):
+                sim.run(prog)
+
+
+# ----------------------------------------------------------------------
+# waitany tie-breaking at an exact timestamp tie
+# ----------------------------------------------------------------------
+class TestWaitanyTie:
+    """An inline-completed p2p, a heap-completed p2p, and a collective
+    all finishing at the bit-identical timestamp.
+
+    Machine constants are dyadic so the tie is float-exact:
+    ``p2p(1024 B) = alpha + beta*1024 = 2**-20 + 2**-30 * 2**10 =
+    2**-19`` equals ``barrier(2) = 2 * alpha = 2**-19``.  Rank 0 holds
+    isend requests to rank 1 (clean receiver: completed by the inline
+    rendezvous) and rank 2 (irecv-encumbered receiver: completed through
+    the heap); ranks 3 and 4 run a sub-communicator barrier completing
+    at the same instant.  The waitany is posted after every completion
+    is known, so the winner must be the list-position tie-break — on
+    both schedulers.
+    """
+
+    NB = 1024
+
+    def _machine(self):
+        m = Machine(nprocs=5, alpha=2.0 ** -20, beta=2.0 ** -30,
+                    gamma=2.0 ** -40, seed=0)
+        noise = NoiseModel(bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0,
+                           run_cv=0.0)
+        return m, noise
+
+    def _prog(self, comm):
+        me = comm.rank
+        sub = yield comm.split(color=0 if me >= 3 else None, key=me)
+        if me == 0:
+            r_inline = yield comm.isend("to1", dest=1, tag=1, nbytes=self.NB)
+            r_heap = yield comm.isend("to2", dest=2, tag=2, nbytes=self.NB)
+            # run past the completion window so every completion is
+            # discovered before the waitany is (re)dispatched
+            yield comm.compute(gemm_spec(64, 64, 64))
+            winner = yield comm.waitany([r_heap, r_inline])
+            yield comm.waitall([r_heap, r_inline])
+            return winner
+        if me == 1:
+            yield comm.recv(source=0, tag=1, nbytes=self.NB)
+            return None
+        if me == 2:
+            pending = yield comm.irecv(source=3, tag=9, nbytes=8)
+            yield comm.recv(source=0, tag=2, nbytes=self.NB)
+            got = yield comm.wait(pending)
+            return got
+        if me == 3:
+            yield sub.barrier()
+            yield comm.send("unblock", dest=2, tag=9, nbytes=8)
+            return None
+        yield sub.barrier()
+        return None
+
+    def test_tie_broken_by_request_position_on_both_schedulers(self):
+        machine, noise = self._machine()
+        results = []
+        for fast in (True, False):
+            sim = Simulator(machine, noise=noise, fast_path=fast)
+            res = sim.run(self._prog)
+            assert sim.used_fast_path is fast
+            results.append(res)
+        fast_res, naive_res = results
+        assert fast_res.makespan == naive_res.makespan
+        assert fast_res.rank_times == naive_res.rank_times
+        assert fast_res.returns == naive_res.returns
+        # the constructed three-way tie actually held: rank 1 finishes
+        # at its recv completion, rank 4 at the barrier completion
+        assert fast_res.rank_times[1] == fast_res.rank_times[4]
+        # both requests completed at the bit-identical time, so the
+        # list-position tie-break picks index 0 (the heap-completed one)
+        assert fast_res.returns[0] == (0, None)
+
+
+# ----------------------------------------------------------------------
+# size-mismatch warning parity between inline and heap rendezvous
+# ----------------------------------------------------------------------
+class TestMismatchWarningParity:
+    def _collect(self, prog, nprocs):
+        """The mismatch warning messages of one run per scheduler."""
+        out = []
+        machine, noise = make_machine("quiet", nprocs, seed=11)
+        for fast in (True, False):
+            sim = Simulator(machine, noise=noise, fast_path=fast)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                sim.run(prog, run_seed=1)
+            msgs = [str(w.message) for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+            assert msgs, "expected a size-mismatch warning"
+            out.append(msgs)
+        return out
+
+    def test_recv_meets_queued_send(self):
+        """Inline recv->queued-send rendezvous warns like the heap path."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send("x", dest=1, tag=4, nbytes=64)
+            else:
+                yield comm.compute(gemm_spec(16, 16, 16))
+                yield comm.recv(source=0, tag=4, nbytes=32)
+
+        fast_msgs, naive_msgs = self._collect(prog, 2)
+        assert fast_msgs == naive_msgs
+        assert "p2p size mismatch (tag 4)" in fast_msgs[0]
+        assert "sent 64 B" in fast_msgs[0] and "32 B receive" in fast_msgs[0]
+
+    def test_send_meets_parked_recv(self):
+        """Inline send->parked-recv rendezvous warns like the heap path."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.compute(gemm_spec(16, 16, 16))
+                yield comm.send("x", dest=1, tag=7, nbytes=128)
+            else:
+                yield comm.recv(source=0, tag=7, nbytes=8)
+
+        fast_msgs, naive_msgs = self._collect(prog, 2)
+        assert fast_msgs == naive_msgs
+        assert "p2p size mismatch (tag 7)" in fast_msgs[0]
+
+    def test_isend_meets_parked_recv(self):
+        """The scalar isend->parked-recv path warns identically too."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.compute(gemm_spec(16, 16, 16))
+                req = yield comm.isend("x", dest=1, tag=9, nbytes=256)
+                yield comm.wait(req)
+            else:
+                yield comm.recv(source=0, tag=9, nbytes=16)
+
+        fast_msgs, naive_msgs = self._collect(prog, 2)
+        assert fast_msgs == naive_msgs
+        assert "p2p size mismatch (tag 9)" in fast_msgs[0]
+
+
+# ----------------------------------------------------------------------
+# deferred matches
+# ----------------------------------------------------------------------
+class TestDeferredMatch:
+    def test_blocking_recv_under_open_irecv_window(self):
+        """Regression (code review): a blocking recv posted while an
+        irecv is still outstanding must NOT consume an early-queued
+        future-posted send in place — the receiver's RNG stream still
+        owes the irecv's match draw first, which the naive scheduler
+        orders at its earlier global position.  The match defers to the
+        send's post time via _FinishP2P, like the pure-irecv case.
+        """
+
+        def prog(comm):
+            if comm.rank == 0:
+                r_i = yield comm.irecv(source=1, tag=1, nbytes=64)
+                got = yield comm.recv(source=2, tag=2, nbytes=64)
+                yield comm.wait(r_i)
+                return got
+            if comm.rank == 1:
+                yield comm.compute(gemm_spec(24, 24, 24))
+                yield comm.send("one", dest=0, tag=1, nbytes=64)
+                return None
+            # rank 2 runs far ahead inline, so its blocking send is
+            # early-queued with a post time past both rank-0 receives
+            for _ in range(8):
+                yield comm.compute(gemm_spec(40, 40, 40))
+            yield comm.send("two", dest=0, tag=2, nbytes=64)
+            return None
+
+        res = run_both(prog, nprocs=3)
+        assert res.returns[0] == "two"
+
+    def test_blocking_recv_clean_stream_matches_in_place(self):
+        """Control: with no irecv outstanding, the parked receiver's
+        next draw is the match at any processing position — no
+        deferral, still bit-identical."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                got = yield comm.recv(source=1, tag=2, nbytes=64)
+                return got
+            for _ in range(8):
+                yield comm.compute(gemm_spec(40, 40, 40))
+            yield comm.send("late", dest=0, tag=2, nbytes=64)
+            return None
+
+        res = run_both(prog, nprocs=2)
+        assert res.returns[0] == "late"
+
+
+# ----------------------------------------------------------------------
+# differential fuzz: randomized pure-p2p programs
+# ----------------------------------------------------------------------
+def _random_p2p_program(case_seed: int, p: int, rounds: int = 6):
+    """A seeded random pure-p2p op soup, deadlock-free by construction.
+
+    Each round draws a random perfect matching of the ranks; paired
+    ranks run a blocking exchange (lower rank sends first, higher rank
+    receives first), sprinkled with rank-skewed computes.  Every third
+    round runs a blocking panel chain down the rank line, and rounds
+    divisible by 4 overlay an isend/irecv ring reaped by waitall or
+    wait+recv — covering inline completion, early queuing, the irecv
+    heap fallback, and deferred matches in one program.
+    """
+    rng = np.random.default_rng(case_seed)
+    matchings = []
+    for _ in range(rounds):
+        perm = list(rng.permutation(p))
+        pairs = {}
+        for i in range(0, p - 1, 2):
+            a, b = int(perm[i]), int(perm[i + 1])
+            pairs[a] = b
+            pairs[b] = a
+        matchings.append(pairs)
+    sizes = [8 * int(x) for x in rng.integers(1, 48, size=rounds)]
+    scripts = [[int(x) for x in rng.integers(0, 5, size=4)]
+               for _ in range(rounds)]
+
+    def prog(comm):
+        me = comm.rank
+        nxt, prv = (me + 1) % p, (me - 1) % p
+        for r in range(rounds):
+            nb = sizes[r]
+            for code in scripts[r][:2]:
+                if code < 3:
+                    yield comm.compute(gemm_spec(8 + ((me + code) % 5), 8, 8))
+            peer = matchings[r].get(me)
+            if peer is not None:
+                if me < peer:
+                    yield comm.send(me, dest=peer, tag=r, nbytes=nb)
+                    got = yield comm.recv(source=peer, tag=rounds + r,
+                                          nbytes=nb)
+                    assert got == peer
+                else:
+                    got = yield comm.recv(source=peer, tag=r, nbytes=nb)
+                    assert got == peer
+                    yield comm.send(me, dest=peer, tag=rounds + r, nbytes=nb)
+            if r % 3 == 2:
+                if me > 0:
+                    yield comm.recv(source=me - 1, tag=900 + r, nbytes=nb)
+                yield comm.compute(gemm_spec(8, 8, 8 + (me % 3)))
+                if me < p - 1:
+                    yield comm.send(dest=me + 1, tag=900 + r, nbytes=nb)
+            if r % 4 == 0:
+                sreq = yield comm.isend(me, dest=nxt, tag=500 + r, nbytes=nb)
+                if scripts[r][2] % 2 == 0:
+                    rreq = yield comm.irecv(source=prv, tag=500 + r, nbytes=nb)
+                    if peer is not None and scripts[r][3] % 2 == 0:
+                        # blocking exchange under the open irecv window
+                        # (the deferred-match hazard class)
+                        if me < peer:
+                            yield comm.send(me, dest=peer, tag=700 + r,
+                                            nbytes=nb)
+                            yield comm.recv(source=peer, tag=800 + r,
+                                            nbytes=nb)
+                        else:
+                            yield comm.recv(source=peer, tag=700 + r,
+                                            nbytes=nb)
+                            yield comm.send(me, dest=peer, tag=800 + r,
+                                            nbytes=nb)
+                    yield comm.compute(gemm_spec(10, 8, 8))
+                    yield comm.waitall([rreq, sreq])
+                else:
+                    yield comm.recv(source=prv, tag=500 + r, nbytes=nb)
+                    yield comm.wait(sreq)
+        return me
+
+    return prog
+
+
+_FUZZ_CASES = int(os.environ.get("REPRO_P2P_FUZZ_CASES", "6"))
+
+
+@pytest.mark.parametrize("case", range(_FUZZ_CASES))
+@pytest.mark.parametrize("with_critter", [False, True],
+                         ids=["null", "critter"])
+def test_differential_random_p2p_programs(case, with_critter):
+    """Property check: both schedulers agree on seeded pure-p2p soups."""
+    p = [2, 3, 4, 5, 6, 8][case % 6]
+    preset = ["knl-fabric", "cloud-vm", "quiet"][case % 3]
+    factory = (lambda: Critter(policy="online", eps=0.3)) if with_critter else None
+    res = run_both(_random_p2p_program(7000 + case, p), nprocs=p,
+                   preset=preset, profiler_factory=factory, run_seed=case)
+    assert sorted(res.returns) == list(range(p))

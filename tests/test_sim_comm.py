@@ -29,6 +29,24 @@ class TestPayloadNbytes:
         assert payload_nbytes([np.zeros(10), np.zeros(10)], None) == 160
         assert payload_nbytes([1, 2, 3], None) == 24
 
+    def test_bytes_like_inference(self):
+        assert payload_nbytes(b"abcd", None) == 4
+        assert payload_nbytes(bytearray(16), None) == 16
+
+    def test_memoryview_inference(self):
+        assert payload_nbytes(memoryview(b"abcdefgh"), None) == 8
+        # sized via .nbytes, not len(): a float64 view has 8 B/element
+        mv = memoryview(np.zeros(10, dtype=np.float64))
+        assert payload_nbytes(mv, None) == 80
+        assert payload_nbytes(memoryview(np.zeros((3, 4), dtype=np.int32)),
+                              None) == 48
+
+    def test_negative_explicit_nbytes_raises(self):
+        with pytest.raises(ValueError, match="nbytes must be >= 0"):
+            payload_nbytes(None, -1)
+        with pytest.raises(ValueError, match="nbytes must be >= 0"):
+            payload_nbytes(np.zeros(4), -8)
+
     def test_uninferable_raises(self):
         with pytest.raises(TypeError, match="nbytes"):
             payload_nbytes({"a": 1}, None)
@@ -56,6 +74,22 @@ class TestOpConstruction:
         assert comm.isend(None, dest=2, nbytes=8).kind == "isend"
         assert comm.recv(source=0, nbytes=8).kind == "recv"
         assert comm.irecv(source=0, nbytes=8).kind == "irecv"
+
+    def test_p2p_negative_nbytes_rejected_at_build_time(self):
+        """A negative size must fail where the op is built, not surface
+        later as a negative communication cost."""
+        comm = self._comm()
+        for build in (lambda: comm.send(None, dest=2, nbytes=-1),
+                      lambda: comm.isend(None, dest=2, nbytes=-4),
+                      lambda: comm.recv(source=0, nbytes=-8),
+                      lambda: comm.irecv(source=0, nbytes=-8)):
+            with pytest.raises(ValueError, match="nbytes must be >= 0"):
+                build()
+
+    def test_memoryview_payload_send(self):
+        comm = self._comm()
+        op = comm.send(memoryview(b"12345678"), dest=2)
+        assert op.nbytes == 8
 
     def test_collective_ops(self):
         comm = self._comm()
