@@ -23,10 +23,9 @@ import os
 
 from bench_profiles import PROFILE
 from repro.sim.bench import (
-    ACCEPTANCE,
-    COLLECTIVE_ACCEPTANCE,
-    CRITTER_ACCEPTANCE,
-    P2P_ACCEPTANCE,
+    ACCEPTANCE_SPECS,
+    CHECK_FLOORS,
+    COLUMNAR_SPEEDUP_FLOORS,
     format_bench,
     run_bench,
     write_bench,
@@ -42,33 +41,22 @@ def test_engine_fastpath_throughput(benchmark):
     print(format_bench(data))
     write_bench(data, BENCH_JSON)
 
-    # the fast path must never lose to the naive scheduler on any
-    # acceptance workload: compute-heavy Cholesky (the tuner's op mix),
-    # collective-dense (the inline-arrival panel chain), the
-    # Critter-profiled p2p + collective mix (the profiler-overhead
-    # row), and the pure-p2p rendezvous mix (the inline blocking-send
-    # completion row)
-    acc = data["acceptance"]
-    assert acc["speedup"] >= 1.0, (
-        f"fast path slower than naive on {ACCEPTANCE}: {acc['speedup']:.2f}x"
-    )
-    coll = data["collective_acceptance"]
-    assert coll["speedup"] >= 1.0, (
-        f"fast path slower than naive on {COLLECTIVE_ACCEPTANCE}: "
-        f"{coll['speedup']:.2f}x"
-    )
-    crit = data["critter_acceptance"]
-    assert crit["speedup"] >= 1.0, (
-        f"fast path slower than naive on {CRITTER_ACCEPTANCE}: "
-        f"{crit['speedup']:.2f}x"
-    )
-    p2p = data["p2p_acceptance"]
-    assert p2p["speedup"] >= 1.0, (
-        f"fast path slower than naive on {P2P_ACCEPTANCE}: "
-        f"{p2p['speedup']:.2f}x"
-    )
-    # aggregate batching must beat expanded emission
+    # every acceptance row must hold its floor: speedup rows against
+    # the in-run naive baseline, the profiled-p2p row as a parity gate
+    # (hook work is bit-identical under both schedulers and dominates
+    # that cell — see benchmarks/README.md)
+    floor_col = 1 if quick else 0
+    for key, spec in ACCEPTANCE_SPECS:
+        row = data[key]
+        floor = CHECK_FLOORS[key][floor_col]
+        assert row["speedup"] >= floor, (
+            f"{key} below its {floor:.2f}x floor on {spec}: "
+            f"{row['speedup']:.2f}x"
+        )
+    # aggregate batching must beat expanded emission, and columnar
+    # emission must beat per-op emission of the identical work
     assert data["batching_speedup"] > 1.0
+    assert data["columnar_speedup"] >= COLUMNAR_SPEEDUP_FLOORS[floor_col]
 
     # one representative timed point for pytest-benchmark's report
     from repro.sim.bench import make_workloads

@@ -130,12 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--out", default="BENCH_engine.json", metavar="PATH",
                    help="JSON output path ('' disables writing)")
     b.add_argument("--check", action="store_true",
-                   help="exit nonzero if the fast path is slower than the "
-                        "naive scheduler on an acceptance workload "
-                        "(compute-heavy Cholesky or collective-dense)")
+                   help="exit nonzero if any measured acceptance row falls "
+                        "below its floor (see bench.CHECK_FLOORS)")
     b.add_argument("--workload", action="append", metavar="NAME",
                    help="only run workloads whose name contains NAME "
-                        "(repeatable; default: all)")
+                        "(repeatable; default: all); unknown names fail "
+                        "fast with the valid list")
+    b.add_argument("--diag", action="store_true",
+                   help="also run each acceptance workload once with "
+                        "engine diagnostics counters on: prints the "
+                        "engagement tables and records a machine-readable "
+                        "'diag' block in the JSON output")
     b.add_argument("--markdown", default=None, metavar="PATH",
                    help="also write a naive-vs-fast-vs-profiled comparison "
                         "table as GitHub markdown (CI job summaries)")
@@ -231,7 +236,8 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     from repro.sim.bench import main as bench_main
 
     return bench_main(quick=args.quick, out=args.out, check=args.check,
-                      workloads=args.workload, markdown=args.markdown)
+                      workloads=args.workload, markdown=args.markdown,
+                      diag=args.diag)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

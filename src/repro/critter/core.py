@@ -198,8 +198,17 @@ class Critter(Profiler):
             or not self._std_alpha
         )
         self._crit = _CRITERIA.index(path_criterion)
-        #: (signature, sending) -> interned p2p endpoint signature
-        self._ep_keys: Dict[Tuple[KernelSignature, bool], KernelSignature] = {}
+        #: p2p signature -> interned (send, recv) endpoint signatures.
+        #: One probe on the interned signature per hook: the p2p hooks
+        #: always resolve both directions, so memoizing the pair halves
+        #: the probes of a per-(sig, direction) memo
+        self._ep_pair: Dict[KernelSignature,
+                            Tuple[KernelSignature, KernelSignature]] = {}
+        #: pointer memo of the last on_p2p resolution: post_p2p always
+        #: follows on_p2p for the same sig (and p2p streams repeat one
+        #: sig), so two attr loads replace the dict probe
+        self._ep_sig: Optional[KernelSignature] = None
+        self._ep_keys: Optional[Tuple[KernelSignature, KernelSignature]] = None
         #: nranks -> machine.internal_cost(nranks), reset on machine swap
         self._icost: Dict[int, float] = {}
         #: per-run communicator context: gid -> (members, member count
@@ -245,6 +254,10 @@ class Critter(Profiler):
         #: These are the ranks' frozen COW snapshots: treat them as
         #: read-only (ranks that adopted a common path share one dict).
         self.last_path_counts: List[Dict[KernelSignature, int]] = []
+
+    #: only buffered isends snapshot path state at post time (see
+    #: on_p2p_post); the engine elides the other posts on its hot paths
+    p2p_post_isend_only = True
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -968,15 +981,17 @@ class Critter(Profiler):
     # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
-    def _endpoint_key(self, sig: KernelSignature,
-                      sending: bool) -> KernelSignature:
-        """Interned send/recv endpoint signature (memoized per (sig, dir))."""
-        key = (sig, sending)
-        out = self._ep_keys.get(key)
-        if out is None:
-            out = self._ep_keys[key] = comm_signature(
-                "send" if sending else "recv", *sig.params)
-        return out
+    def _endpoint_pair(
+            self, sig: KernelSignature
+    ) -> Tuple[KernelSignature, KernelSignature]:
+        """Interned (send, recv) endpoint signatures, memoized per sig."""
+        pair = self._ep_pair.get(sig)
+        if pair is None:
+            pair = self._ep_pair[sig] = (
+                comm_signature("send", *sig.params),
+                comm_signature("recv", *sig.params),
+            )
+        return pair
 
     def on_p2p_post(self, record: P2PRecord) -> None:
         if record.kind == "isend":
@@ -988,9 +1003,40 @@ class Critter(Profiler):
                                self._Kt[r].snapshot())
 
     def on_p2p(self, sig: KernelSignature, send: P2PRecord, recv: P2PRecord) -> bool:
-        return self._decide(
-            send.world_rank, self._endpoint_key(sig, True)
-        ) or self._decide(recv.world_rank, self._endpoint_key(sig, False))
+        if sig is self._ep_sig:
+            key_s, key_r = self._ep_keys
+        else:
+            key_s, key_r = self._endpoint_pair(sig)
+            self._ep_sig = sig
+            self._ep_keys = (key_s, key_r)
+        if self._slow_decision:
+            return (self._decide(send.world_rank, key_s)
+                    or self._decide(recv.world_rank, key_r))
+        # steady-state fusion of ``_decide(s) or _decide(r)``: both
+        # endpoints of a settled p2p stream answer from the cached
+        # skip verdict, so probe the stamps here and fall back to
+        # _decide (same short-circuit: the receiver side is never
+        # touched when the sender side decides to execute) only for
+        # sides not in the steady skip state.  An excluded signature
+        # can never carry a current stamp (its stats update on every
+        # execution resets the stamp, and only _decide's skip path
+        # writes one), so the exclude check is subsumed.
+        K = self._K
+        Kt = self._Kt
+        serial = self._run_serial
+        minc = self._min_count
+        s = send.world_rank
+        st = K[s].get(key_s)
+        if (st is None or st.last_exec_run != serial or st.count < minc
+                or st._skip_version != Kt[s].version):
+            if self._decide(s, key_s):
+                return True
+        r = recv.world_rank
+        st = K[r].get(key_r)
+        if (st is None or st.last_exec_run != serial or st.count < minc
+                or st._skip_version != Kt[r].version):
+            return self._decide(r, key_r)
+        return False
 
     def post_p2p(
         self,
@@ -1031,71 +1077,131 @@ class Critter(Profiler):
                     Kt[r].adopt(snap_counts)
                 rprof.merge_path(snap_path)
         # --- accounting per endpoint ---
+        # Unrolled sender-then-receiver (the engine's hottest hook —
+        # one per rendezvous): the float accumulation order is exactly
+        # the old two-iteration loop's, the receiver pass drops the
+        # isend-only branch (a recv record is never an isend), and the
+        # path-count increments are PathCountTable.increment inlined.
         start = max(send.post_time, recv.post_time)
         nbytes = sig.params[0]
         extrap = self.extrapolation
         K = self._K
         serial = self._run_serial
+        if sig is self._ep_sig:
+            key_s, key_r = self._ep_keys
+        else:
+            key_s, key_r = self._endpoint_pair(sig)
+        crit_exec = self._crit == 0
         if executed:
             self._stat_gen += 1
-        for rank, key, posted, blocking, kind in (
-            (s, self._endpoint_key(sig, True), send.post_time, send.blocking,
-             send.kind),
-            (r, self._endpoint_key(sig, False), recv.post_time, recv.blocking,
-             recv.kind),
-        ):
-            if executed:
-                kr = K[rank]
-                st = kr.get(key)
-                if st is None:
-                    st = kr[key] = RunningStat()
-                st.update(comm_time)
-                st.last_exec_run = serial
-                if extrap is not None:
-                    extrap.observe(key, 0.0, comm_time)
-                predicted = comm_time
+        # sender endpoint
+        if executed:
+            kr = K[s]
+            st = kr.get(key_s)
+            if st is None:
+                st = kr[key_s] = RunningStat()
+            st.update(comm_time)
+            st.last_exec_run = serial
+            if extrap is not None:
+                extrap.observe(key_s, 0.0, comm_time)
+            predicted = comm_time
+        else:
+            st = K[s].get(key_s)
+            if st is not None and st.count:
+                predicted = st.mean
+            elif extrap is not None:
+                pred = extrap.predict(key_s, 0.0)
+                predicted = pred if pred is not None else 0.0
             else:
-                st = K[rank].get(key)
-                if st is not None and st.count:
-                    predicted = st.mean
-                elif extrap is not None:
-                    pred = extrap.predict(key, 0.0)
-                    predicted = pred if pred is not None else 0.0
-                else:
-                    predicted = 0.0
-            Kt[rank].increment(key)
-            idle = (start - posted) if blocking else 0.0
-            # a buffered isend returns immediately: the sender's path and
-            # wall time do not absorb the transfer (Fig. 2: its kernel
-            # time is observed at MPI_Wait, which overlaps computation)
-            if kind == "isend":
                 predicted = 0.0
-                charged = 0.0
+        kt = Kt[s]
+        delta = kt._delta
+        v = delta.get(key_s)
+        if v is None:
+            v = kt._base.get(key_s, 0)
+        delta[key_s] = v + 1
+        # a buffered isend returns immediately: the sender's path and
+        # wall time do not absorb the transfer (Fig. 2: its kernel
+        # time is observed at MPI_Wait, which overlaps computation)
+        if send.kind == "isend":
+            predicted = 0.0
+            charged = 0.0
+            idle = 0.0
+        else:
+            charged = comm_time if executed else 0.0
+            idle = start - send.post_time
+        prof = profiles[s]
+        # inlined PathProfile.add_comm (identical accumulation order)
+        path = prof.path
+        path.exec_time += predicted
+        path.comm_time += predicted
+        path.words += nbytes
+        path.synchs += 1.0
+        prof.vol_comm_time += charged
+        prof.vol_words += nbytes
+        prof.vol_synchs += 1.0
+        prof.vol_idle += idle
+        # exec-criterion path values are maintained in place (see
+        # post_compute); other criteria re-derive on demand
+        if crit_exec:
+            prof.pv_cache = path.exec_time
+            prof.pv_dirty = False
+        else:
+            prof.pv_dirty = True
+        if executed:
+            prof.vol_exec_comm += charged
+            prof.executed_kernels += 1
+        else:
+            prof.skipped_kernels += 1
+        # receiver endpoint
+        if executed:
+            kr = K[r]
+            st = kr.get(key_r)
+            if st is None:
+                st = kr[key_r] = RunningStat()
+            st.update(comm_time)
+            st.last_exec_run = serial
+            if extrap is not None:
+                extrap.observe(key_r, 0.0, comm_time)
+            predicted = comm_time
+            charged = comm_time
+        else:
+            st = K[r].get(key_r)
+            if st is not None and st.count:
+                predicted = st.mean
+            elif extrap is not None:
+                pred = extrap.predict(key_r, 0.0)
+                predicted = pred if pred is not None else 0.0
             else:
-                charged = comm_time if executed else 0.0
-            prof = profiles[rank]
-            # inlined PathProfile.add_comm (identical accumulation order)
-            path = prof.path
-            path.exec_time += predicted
-            path.comm_time += predicted
-            path.words += nbytes
-            path.synchs += 1.0
-            prof.vol_comm_time += charged
-            prof.vol_words += nbytes
-            prof.vol_synchs += 1.0
-            prof.vol_idle += idle
-            # exec-criterion path values are maintained in place (see
-            # post_compute); other criteria re-derive on demand
-            if self._crit == 0:
-                prof.pv_cache = path.exec_time
-                prof.pv_dirty = False
-            else:
-                prof.pv_dirty = True
-            if executed:
-                prof.vol_exec_comm += charged
-                prof.executed_kernels += 1
-            else:
-                prof.skipped_kernels += 1
+                predicted = 0.0
+            charged = 0.0
+        kt = Kt[r]
+        delta = kt._delta
+        v = delta.get(key_r)
+        if v is None:
+            v = kt._base.get(key_r, 0)
+        delta[key_r] = v + 1
+        idle = (start - recv.post_time) if recv.blocking else 0.0
+        prof = profiles[r]
+        path = prof.path
+        path.exec_time += predicted
+        path.comm_time += predicted
+        path.words += nbytes
+        path.synchs += 1.0
+        prof.vol_comm_time += charged
+        prof.vol_words += nbytes
+        prof.vol_synchs += 1.0
+        prof.vol_idle += idle
+        if crit_exec:
+            prof.pv_cache = path.exec_time
+            prof.pv_dirty = False
+        else:
+            prof.pv_dirty = True
+        if executed:
+            prof.vol_exec_comm += charged
+            prof.executed_kernels += 1
+        else:
+            prof.skipped_kernels += 1
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

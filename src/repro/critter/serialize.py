@@ -31,9 +31,8 @@ def _sig_to_obj(sig: KernelSignature) -> Dict[str, Any]:
 
 
 def _sig_from_obj(obj: Dict[str, Any]) -> KernelSignature:
-    from repro.kernels.signature import _intern
-
-    return _intern(obj["kind"], obj["name"], tuple(int(p) for p in obj["params"]))
+    return KernelSignature(obj["kind"], obj["name"],
+                           tuple(int(p) for p in obj["params"]))
 
 
 def _stat_to_obj(st: RunningStat) -> Dict[str, Any]:

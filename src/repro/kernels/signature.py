@@ -47,8 +47,20 @@ def stable_hash(obj: object) -> int:
     return zlib.crc32(repr(obj).encode("utf-8")) & 0xFFFFFFFF
 
 
+#: (kind, name, params) -> canonical instance; populated by
+#: ``KernelSignature.__new__``
+_INTERN: Dict[Tuple[str, str, Tuple[int, ...]], "KernelSignature"] = {}
+
+
 class KernelSignature:
     """Identity of a kernel: routine + input configuration.
+
+    Construction interns: ``KernelSignature(kind, name, params)``
+    returns *the* canonical instance for that identity, so object
+    identity coincides with value equality and the class needs no
+    ``__eq__``/``__hash__`` of its own — every dictionary operation on a
+    signature (Critter performs millions per run) uses the C-level
+    identity hash instead of a Python-level method call.
 
     Attributes
     ----------
@@ -63,29 +75,24 @@ class KernelSignature:
         paper's parameterization.
     """
 
-    __slots__ = ("kind", "name", "params", "_hash", "_stable")
+    __slots__ = ("kind", "name", "params", "_stable")
 
-    def __init__(self, kind: str, name: str, params: Tuple[int, ...]) -> None:
-        self.kind = kind
-        self.name = name
-        self.params = params
-        self._hash = hash((kind, name, params))
-        self._stable = -1
+    def __new__(cls, kind: str, name: str, params: Tuple[int, ...]) -> "KernelSignature":
+        key = (kind, name, params)
+        sig = _INTERN.get(key)
+        if sig is None:
+            sig = super().__new__(cls)
+            sig.kind = kind
+            sig.name = name
+            sig.params = params
+            sig._stable = -1
+            _INTERN[key] = sig
+        return sig
 
-    def __hash__(self) -> int:
-        return self._hash
-
-    def __eq__(self, other: object) -> bool:
-        if self is other:
-            return True
-        if not isinstance(other, KernelSignature):
-            return NotImplemented
-        return (
-            self._hash == other._hash
-            and self.kind == other.kind
-            and self.name == other.name
-            and self.params == other.params
-        )
+    def __reduce__(self):
+        # unpickle through the interner so identity semantics survive
+        # serialization
+        return (KernelSignature, (self.kind, self.name, self.params))
 
     def __repr__(self) -> str:
         return f"KernelSignature({self.kind!r}, {self.name!r}, {self.params!r})"
@@ -109,21 +116,9 @@ class KernelSignature:
         return f"{self.name}({p})"
 
 
-_INTERN: Dict[Tuple[str, str, Tuple[int, ...]], KernelSignature] = {}
-
-
-def _intern(kind: str, name: str, params: Tuple[int, ...]) -> KernelSignature:
-    key = (kind, name, params)
-    sig = _INTERN.get(key)
-    if sig is None:
-        sig = KernelSignature(kind, name, params)
-        _INTERN[key] = sig
-    return sig
-
-
 def comp_signature(name: str, *params: int) -> KernelSignature:
     """Signature of a computational kernel, e.g. ``comp_signature("gemm", m, n, k)``."""
-    return _intern("comp", name, tuple(int(p) for p in params))
+    return KernelSignature("comp", name, tuple(int(p) for p in params))
 
 
 def comm_signature(name: str, nbytes: int, comm_size: int, comm_stride: int) -> KernelSignature:
@@ -134,7 +129,7 @@ def comm_signature(name: str, nbytes: int, comm_size: int, comm_stride: int) -> 
     Point-to-point routines pass ``comm_size=2`` and the rank distance
     as the stride.
     """
-    return _intern("comm", name, (int(nbytes), int(comm_size), int(comm_stride)))
+    return KernelSignature("comm", name, (int(nbytes), int(comm_size), int(comm_stride)))
 
 
 #: (nbytes, stride) -> interned p2p signature — the rendezvous match

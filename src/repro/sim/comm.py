@@ -17,6 +17,7 @@ mpi4py tutorial); ``nbytes`` must be given explicitly in symbolic
 
 from __future__ import annotations
 
+import array as _array
 from typing import Any, Callable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.sim.ops import (
     CollOp,
     ComputeBatchOp,
     ComputeOp,
+    ComputeRunOp,
     P2POp,
     Request,
     SplitOp,
@@ -62,9 +64,16 @@ def payload_nbytes(payload: Any, nbytes: Optional[int]) -> int:
         # like bytes/bytearray, but sized via .nbytes: len() counts
         # elements of the view's format, not bytes
         return payload.nbytes
+    if isinstance(payload, _array.array):
+        return len(payload) * payload.itemsize
+    if isinstance(payload, np.generic):
+        # numpy scalars (np.float32(1.0), np.int16(3), ...) know their
+        # own width; the generic 8-byte fallback below would mis-size
+        # every non-64-bit dtype
+        return int(payload.nbytes)
     if isinstance(payload, (list, tuple)):
         return sum(payload_nbytes(p, None) for p in payload)
-    if isinstance(payload, (int, float, np.integer, np.floating)):
+    if isinstance(payload, (int, float)):
         return 8
     raise TypeError(
         f"cannot infer nbytes for payload of type {type(payload).__name__}; "
@@ -148,6 +157,41 @@ class Comm:
             raise ValueError(f"compute_batch() requires count >= 1, got {count}")
         return ComputeBatchOp(sig=sig, flops=float(flops), count=count,
                               fn=fn, args=args)
+
+    def compute_run(
+        self,
+        segments: Sequence[Tuple[Any, int]],
+        fn: Optional[Callable[..., Any]] = None,
+        args: Tuple[Any, ...] = (),
+    ) -> ComputeRunOp:
+        """A columnar run of compute segments as one engine event.
+
+        ``segments`` is a sequence of ``(spec, count)`` pairs, each
+        ``spec`` a ``(KernelSignature, flops)`` pair as accepted by
+        :meth:`compute`.  Equivalent to yielding every segment's
+        ``count`` kernels individually (or as per-segment
+        :meth:`compute_batch` ops); see :class:`~repro.sim.ops.ComputeRunOp`
+        for the batched/expanded semantics.
+        """
+        if not segments:
+            raise ValueError("compute_run() requires at least one segment")
+        sigs = []
+        flops = []
+        counts = []
+        for spec, count in segments:
+            sig, f = spec
+            if not isinstance(sig, KernelSignature):
+                raise TypeError(
+                    "compute_run() expects (KernelSignature, flops) specs")
+            count = int(count)
+            if count < 1:
+                raise ValueError(
+                    f"compute_run() requires count >= 1, got {count}")
+            sigs.append(sig)
+            flops.append(float(f))
+            counts.append(count)
+        return ComputeRunOp(sigs=tuple(sigs), flops=tuple(flops),
+                            counts=tuple(counts), fn=fn, args=args)
 
     def region(
         self,

@@ -1,0 +1,267 @@
+"""Opt-in engine diagnostics: where do the scheduler's cycles go?
+
+The benchmarks in :mod:`repro.sim.bench` report *throughput*; this
+module answers *why*.  An :class:`EngineDiagnostics` instance passed to
+``Simulator(..., diagnostics=...)`` collects
+
+* per-op-kind totals (how many ops of each kind the rank programs
+  yielded),
+* per-op-kind heap dispatches and their wall time (ops the scheduler
+  round-tripped through the global event heap),
+* fast-path engagement: inline rendezvous hits, deferred
+  (:class:`~repro.sim.engine._FinishP2P`) matches, early-queued p2p
+  records, inline collective parks, batcher fill,
+* redelivery counts (ops that reached a rank ahead of their global
+  position and took one extra heap transit).
+
+Inline handling is *derived*, not counted: an op the fast path absorbs
+never reaches a counting site, so ``inline[kind] = totals[kind] -
+heap_dispatched[kind]``.  This is what keeps the overhead structure
+honest:
+
+* **diagnostics off** (the default) the engine carries no counting code
+  on the inline hot paths at all — every site guards on
+  ``diagnostics is not None`` and all sites live on heap transits,
+  p2p branches, or batch entries, never on the inline compute chain;
+* **diagnostics on** the only hot-path cost is the generator wrapper
+  (one dict increment per op).  Counters never influence scheduling,
+  draws, or hooks, so results are bit-identical with diagnostics on or
+  off (CI asserts this).
+
+Determinism: every counter is an integer derived from the op stream and
+scheduling structure, so two runs of the same seeded workload produce
+byte-identical :meth:`EngineDiagnostics.counters_json`.  Wall-clock
+attribution lives in a separate ``timings`` block that is excluded from
+the canonical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.sim.ops import (
+    CollOp,
+    ComputeBatchOp,
+    ComputeOp,
+    ComputeRunOp,
+    P2POp,
+    SplitOp,
+    WaitOp,
+)
+
+__all__ = ["EngineDiagnostics", "format_counters_table", "op_kind"]
+
+
+def op_kind(op: Any) -> str:
+    """Stable diagnostic label for an op descriptor."""
+    cls = type(op)
+    if cls is ComputeOp:
+        return "compute"
+    if cls is ComputeBatchOp:
+        return "batch"
+    if cls is ComputeRunOp:
+        return "compute_run"
+    if cls is P2POp:
+        return op.kind
+    if cls is CollOp:
+        return op.name
+    if cls is WaitOp:
+        return "wait"
+    if cls is SplitOp:
+        return "split"
+    return cls.__name__
+
+
+class EngineDiagnostics:
+    """Counter sink for one or more :meth:`Simulator.run` calls.
+
+    Create one, pass it to the simulator, read :meth:`as_dict` (or the
+    canonical :meth:`counters_json`) afterwards.  Reuse across runs
+    accumulates; call :meth:`reset` between runs for per-run numbers.
+    """
+
+    __slots__ = (
+        "op_totals",
+        "heap_dispatched",
+        "redelivered",
+        "early_queued",
+        "match_total",
+        "match_inline",
+        "match_deferred",
+        "coll_parks_inline",
+        "fast_resume_fifo",
+        "batches",
+        "batch_kernels",
+        "run_segments",
+        "run_kernels",
+        "heap_pushes",
+        "runs",
+        "wall_s",
+        "dispatch_wall",
+        "_clock",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: ops yielded by rank programs, by kind (generator wrapper)
+        self.op_totals: Dict[str, int] = {}
+        #: ops dispatched at a global heap position, by kind
+        self.heap_dispatched: Dict[str, int] = {}
+        #: ops that took one extra heap transit to reach their exact
+        #: global position (fast path only), by kind
+        self.redelivered: Dict[str, int] = {}
+        #: p2p records queued before their consumer posted, by kind
+        self.early_queued: Dict[str, int] = {}
+        #: p2p rendezvous completed, total / inline / via _FinishP2P
+        self.match_total = 0
+        self.match_inline = 0
+        self.match_deferred = 0
+        #: non-final collective arrivals parked without a heap trip
+        self.coll_parks_inline = 0
+        #: member resumes handed straight to the fast loop's FIFO
+        self.fast_resume_fifo = 0
+        #: ComputeBatchOp executions and the sub-kernels they covered
+        self.batches = 0
+        self.batch_kernels = 0
+        #: ComputeRunOp segments and the kernels they covered
+        self.run_segments = 0
+        self.run_kernels = 0
+        #: global event-heap pushes (includes the per-rank start events)
+        self.heap_pushes = 0
+        self.runs = 0
+        # -- non-deterministic wall-clock attribution (timings block) --
+        self.wall_s = 0.0
+        self.dispatch_wall: Dict[str, float] = {}
+        self._clock = time.perf_counter
+
+    # ------------------------------------------------------------------
+    def wrap(self, gen: Iterator[Any]) -> Iterator[Any]:
+        """Wrap a rank program's generator to count yielded ops.
+
+        Forwards ``send`` values and the ``StopIteration`` return value
+        unchanged, so the engine drives the wrapper exactly as it would
+        the bare generator.
+        """
+        totals = self.op_totals
+
+        def counting() -> Iterator[Any]:
+            send = gen.send
+            value = None
+            while True:
+                try:
+                    op = send(value)
+                except StopIteration as stop:
+                    return stop.value
+                kind = op_kind(op)
+                totals[kind] = totals.get(kind, 0) + 1
+                value = yield op
+
+        return counting()
+
+    # -- counting helpers used by the engine ---------------------------
+    def count_dispatch(self, op: Any) -> None:
+        kind = op_kind(op)
+        d = self.heap_dispatched
+        d[kind] = d.get(kind, 0) + 1
+
+    def count_redeliver(self, op: Any) -> None:
+        kind = op_kind(op)
+        d = self.redelivered
+        d[kind] = d.get(kind, 0) + 1
+
+    def count_early_queue(self, kind: str) -> None:
+        d = self.early_queued
+        d[kind] = d.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    def inline_handled(self) -> Dict[str, int]:
+        """Per-kind ops absorbed without a heap dispatch (derived)."""
+        out: Dict[str, int] = {}
+        for kind, total in self.op_totals.items():
+            out[kind] = total - self.heap_dispatched.get(kind, 0)
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Counters plus derived ratios; see :meth:`counters_json`."""
+        inline = self.inline_handled()
+        total_ops = sum(self.op_totals.values())
+        heap_ops = sum(
+            n for kind, n in self.heap_dispatched.items()
+            if kind in self.op_totals
+        )
+        counters: Dict[str, Any] = {
+            "op_totals": dict(sorted(self.op_totals.items())),
+            "heap_dispatched": dict(sorted(self.heap_dispatched.items())),
+            "inline_handled": dict(sorted(inline.items())),
+            "redelivered": dict(sorted(self.redelivered.items())),
+            "early_queued": dict(sorted(self.early_queued.items())),
+            "match_total": self.match_total,
+            "match_inline": self.match_inline,
+            "match_deferred": self.match_deferred,
+            "match_heap": (self.match_total - self.match_inline
+                           - self.match_deferred),
+            "coll_parks_inline": self.coll_parks_inline,
+            "fast_resume_fifo": self.fast_resume_fifo,
+            "batches": self.batches,
+            "batch_kernels": self.batch_kernels,
+            "run_segments": self.run_segments,
+            "run_kernels": self.run_kernels,
+            "heap_pushes": self.heap_pushes,
+            "runs": self.runs,
+            "total_ops": total_ops,
+            "total_heap_ops": heap_ops,
+            "total_inline_ops": total_ops - heap_ops,
+        }
+        timings: Dict[str, Any] = {
+            "wall_s": self.wall_s,
+            "dispatch_wall_s": dict(sorted(self.dispatch_wall.items())),
+        }
+        return {"counters": counters, "timings": timings}
+
+    def counters_json(self) -> str:
+        """Canonical (byte-stable) JSON of the deterministic counters."""
+        return json.dumps(self.as_dict()["counters"], sort_keys=True,
+                          separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        """Human-readable engagement table for CLI output."""
+        return format_counters_table(self.as_dict()["counters"])
+
+
+def format_counters_table(d: Dict[str, Any]) -> str:
+    """Render a counters block (``as_dict()["counters"]``, possibly
+    round-tripped through JSON) as the CLI engagement table."""
+    lines = ["  kind             total     heap   inline  redeliv"]
+    kinds: List[Tuple[str, int]] = sorted(d["op_totals"].items())
+    for kind, total in kinds:
+        heap = d["heap_dispatched"].get(kind, 0)
+        lines.append(
+            f"  {kind:<14} {total:>7} {heap:>8} "
+            f"{total - heap:>8} {d['redelivered'].get(kind, 0):>8}"
+        )
+    t, h = d["total_ops"], d["total_heap_ops"]
+    pct = 100.0 * (t - h) / t if t else 0.0
+    lines.append(
+        f"  inline engagement {pct:.1f}%  heap pushes {d['heap_pushes']}"
+        f"  matches {d['match_total']}"
+        f" (inline {d['match_inline']}, deferred {d['match_deferred']},"
+        f" heap {d['match_heap']})"
+    )
+    if d["batches"]:
+        lines.append(
+            f"  batcher fill: {d['batch_kernels']} kernels in "
+            f"{d['batches']} batches "
+            f"({d['batch_kernels'] / d['batches']:.1f}/batch)"
+        )
+    if d["run_segments"]:
+        lines.append(
+            f"  columnar runs: {d['run_kernels']} kernels in "
+            f"{d['run_segments']} segments "
+            f"({d['run_kernels'] / d['run_segments']:.1f}/segment)"
+        )
+    return "\n".join(lines)

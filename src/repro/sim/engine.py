@@ -131,12 +131,14 @@ import numpy as np
 
 from repro.kernels.signature import KernelSignature, comm_signature, p2p_signature
 from repro.sim.comm import Comm
+from repro.sim.diagnostics import EngineDiagnostics, op_kind
 from repro.sim.machine import Machine
 from repro.sim.noise import NoiseModel
 from repro.sim.ops import (
     CollOp,
     ComputeBatchOp,
     ComputeOp,
+    ComputeRunOp,
     P2POp,
     Request,
     SplitOp,
@@ -232,36 +234,56 @@ class _FinishColl:
 
 
 class _FinishP2P:
-    """Deferred p2p match, riding the heap to the send's post time.
+    """Deferred p2p match, riding the heap to the queued record's post time.
 
-    The fast path may queue a send/isend record ahead of its global
-    position (rank-local early queuing, hooks off).  A *blocking*
-    receive posted with no irecvs outstanding can consume such a record
-    at any processing position — the receiver is parked between its
-    post and the completion with a clean RNG stream, so the cost draw
-    lands at the same stream position regardless.  Not so when the
-    receiver's stream has pending interleaved draws: an **irecv**
-    poster keeps executing (and drawing) after the post, and a blocking
-    recv posted *under an open irecv window* still owes that irecv's
-    future match draw first.  A match whose send record carries a later
-    post time than such a receive must not draw at the receive's
-    dispatch: it is wrapped in this marker and pushed at the send's
-    post time — the exact global position where the naive scheduler
-    (send dispatched there) runs the match.
-    The poster's ``pending_irecvs`` stays elevated until the marker
-    fires, keeping every op of that rank heap-ordered through the
-    deferral window exactly as an unmatched irecv would.  Unlike
-    :class:`_Redeliver`, the marker is *not* a rank event: both event
-    loops run the match without touching any rank's clock (the irecv
-    poster may be parked at its final time — or finished — when the
-    marker pops, and ``rank_times`` reports ``st.time`` verbatim).
+    The fast path may queue a p2p record ahead of its global position
+    (rank-local early queuing: sends/isends and recvs with hooks off;
+    blocking sends, blocking recvs, and clean-window isend posts with
+    an inline-safe profiler attached).
+    A *blocking* consumer posted with clean windows (no irecvs
+    outstanding; no isends either while hooks are on) can consume such
+    a record at any processing position — the consumer is parked
+    between its post and the completion with a frozen RNG stream and
+    frozen profiler state, so the cost draw and the match hooks land
+    identically regardless.  Not so when the consumer keeps executing
+    or its streams have pending interleaved events:
+
+    * an **irecv**/**isend** consumer keeps running (and drawing, and
+      taking hooks) after its post;
+    * a blocking consumer under an open **irecv** window still owes
+      that irecv's future match draw (and hooks) first;
+    * with hooks on, a blocking consumer with **pending isends** owes
+      those matches' hooks first (a third rank may take them at any
+      earlier global position).
+
+    A match whose queued record carries a later post time than such a
+    consumer must not run at the consumer's dispatch: it is wrapped in
+    this marker and pushed at the record's post time — the exact global
+    position where the naive scheduler (record poster dispatched there)
+    runs the match, so hooks fire at ``max(consumer dispatch, record
+    post time)`` exactly as naive orders them.
+    The consumer's ``pending_irecvs`` stays elevated until the marker
+    fires (``gate`` names its world rank), keeping every op of that
+    rank heap-ordered through the deferral window exactly as an
+    unmatched irecv would.  Unlike :class:`_Redeliver`, the marker is
+    *not* a rank event: both event loops run the match without touching
+    any rank's clock (either endpoint may be parked at its final time —
+    or finished — when the marker pops, and ``rank_times`` reports
+    ``st.time`` verbatim).
     """
 
-    __slots__ = ("send", "recv")
+    __slots__ = ("send", "recv", "gate", "dec_isend")
 
-    def __init__(self, send: "P2PRecord", recv: "P2PRecord") -> None:
+    def __init__(self, send: "P2PRecord", recv: "P2PRecord",
+                 gate: int, dec_isend: bool = False) -> None:
         self.send = send
         self.recv = recv
+        self.gate = gate
+        #: the send record is a *queued* isend whose poster's
+        #: ``pending_isends`` window must close when this match fires
+        #: (not at queue-pop: the window is what keeps the poster's
+        #: remaining hooks heap-ordered through the deferral)
+        self.dec_isend = dec_isend
 
 
 class _Redeliver:
@@ -298,12 +320,18 @@ class P2PRecord:
     blocking: bool = True
     request: Optional[Request] = None
     snapshot: Any = None  # filled by profilers (path state at post time)
+    #: hooks-on early-queued blocking recv whose poster's pending-isend
+    #: window was open at post: any consumer processing it before its
+    #: post time must defer the match there (the naive match site),
+    #: because the poster's state still has earlier hook sites in
+    #: flight — see the fast path's recv park and _FinishP2P
+    defer: bool = False
 
 
 class _RankState:
     __slots__ = ("rank", "gen", "gen_send", "time", "rng", "rng_normal",
-                 "finished", "retval", "waiting", "park_reason",
-                 "pending_irecvs", "pending_isends")
+                 "zbuf", "finished", "retval", "waiting",
+                 "park_reason", "pending_irecvs", "pending_isends")
 
     def __init__(self, rank: int, gen: Any, rng: np.random.Generator) -> None:
         self.rank = rank
@@ -314,6 +342,17 @@ class _RankState:
         self.time = 0.0
         self.rng = rng
         self.rng_normal = rng.standard_normal
+        #: buffered standard-normal draws.  ``Generator.standard_normal``
+        #: costs ~400 ns per scalar call but ~14 ns per value when drawn
+        #: 512 at a time, and numpy's vectorized ziggurat emits the
+        #: bit-identical value sequence as repeated scalar calls on the
+        #: same state — so every engine draw site refills through this
+        #: buffer.  The block is stored *reversed* so consumption is a
+        #: plain ``list.pop()`` (no cursor attribute to maintain).  All
+        #: draws from a rank's stream MUST go through the buffer (a
+        #: direct ``rng.standard_normal()`` would skip the prefetched
+        #: values).
+        self.zbuf: List[float] = []
         self.finished = False
         self.retval: Any = None
         # (wait_posted_time, [requests], mode) when parked in a wait
@@ -333,6 +372,13 @@ class _RankState:
         #: rank's recv may take this rank's profiler hooks at an earlier
         #: global position)
         self.pending_isends = 0
+
+    def next_normal(self) -> float:
+        """Next standard-normal draw of this rank's stream (buffered)."""
+        buf = self.zbuf
+        if not buf:
+            buf = self.zbuf = self.rng_normal(512)[::-1].tolist()
+        return buf.pop()
 
 
 def _warn_p2p_size_mismatch(tag: int, send_rank: int, send_nbytes: int,
@@ -427,6 +473,7 @@ class Simulator:
         execute_skipped_fns: bool = False,
         trace: Optional[TraceRecorder] = None,
         fast_path: bool = True,
+        diagnostics: Optional[EngineDiagnostics] = None,
     ) -> None:
         self.machine = machine
         self.noise = noise if noise is not None else NoiseModel(machine_seed=machine.seed)
@@ -434,6 +481,11 @@ class Simulator:
         self.execute_skipped_fns = execute_skipped_fns
         self.trace = trace
         self.fast_path = fast_path
+        #: opt-in counter sink (see :mod:`repro.sim.diagnostics`);
+        #: ``None`` keeps every counting site compiled out of the hot
+        #: paths.  Counters never influence scheduling, so results are
+        #: bit-identical with diagnostics on or off.
+        self.diagnostics = diagnostics
         #: whether the last run actually used the fast path
         self.used_fast_path = False
         self.run_seed = 0
@@ -454,6 +506,9 @@ class Simulator:
         #: recomputed per run (tracks profiler swaps); False is only a
         #: conservative placeholder until then
         self._hooks_off = False
+        self._post_isend_only = False
+        self._icost2 = 0.0
+        self._on_wait: Optional[Callable[..., Any]] = None
         #: fast-path resume FIFO (None under the naive scheduler): when
         #: a collective completes with an empty heap and empty FIFO,
         #: member resumes bypass the heap entirely — see _run_fast
@@ -496,11 +551,28 @@ class Simulator:
         # them wholesale in the rendezvous paths (observationally
         # identical, measurably cheaper)
         self._hooks_off = type(self.profiler) is NullProfiler
+        #: profilers that only care about isend posts let both
+        #: schedulers elide the other on_p2p_post calls (same gate on
+        #: both paths, so hook sequences stay identical)
+        self._post_isend_only = bool(
+            getattr(self.profiler, "p2p_post_isend_only", False))
+        #: intercept_cost is a pure function of (profiler, machine,
+        #: nranks) — resolve the per-match pair cost once per run
+        self._icost2 = (0.0 if self._hooks_off
+                        else self.profiler.intercept_cost(2))
+        #: skip the per-completion wait hook when the profiler keeps
+        #: the base class's no-op
+        self._on_wait = (None if type(self.profiler).on_wait is Profiler.on_wait
+                         else self.profiler.on_wait)
 
+        diag = self.diagnostics
+        t_start = diag._clock() if diag is not None else 0.0
         for r in range(p):
             rng = np.random.Generator(np.random.PCG64(((self.run_seed & 0xFFFFFF) << 24) ^ (r + 1)))
             extra = tuple(rank_args[r]) if rank_args is not None else ()
             gen = program(Comm(self.world, r), *args, *extra)
+            if diag is not None:
+                gen = diag.wrap(gen)
             self._states.append(_RankState(r, gen, rng))
             self._push(0.0, r, None)
 
@@ -510,13 +582,18 @@ class Simulator:
         if use_fast:
             self._run_fast(heap, states, pop)
         else:
+            dispatch = self._dispatch_op if diag is None else self._dispatch
             while heap:
                 t, _, r, value = pop(heap)
                 tv = type(value)
                 if tv is _FinishP2P:
                     # deferred p2p match: not a rank event, no clock
                     # assignment (see _FinishP2P)
-                    states[value.recv.world_rank].pending_irecvs -= 1
+                    states[value.gate].pending_irecvs -= 1
+                    if value.dec_isend:
+                        states[value.send.world_rank].pending_isends -= 1
+                    if diag is not None:
+                        diag.match_deferred += 1
                     self._match_p2p(value.send, value.recv)
                     continue
                 st = states[r]
@@ -525,7 +602,9 @@ class Simulator:
                     # step-wise ComputeBatchOp expansion (order-
                     # sensitive profilers) rides the heap between
                     # sub-kernels
-                    self._dispatch(st, value.op)
+                    if diag is not None:
+                        diag.count_redeliver(value.op)
+                    dispatch(st, value.op)
                     continue
                 try:
                     op = st.gen.send(value)
@@ -533,7 +612,12 @@ class Simulator:
                     st.finished = True
                     st.retval = stop.value
                     continue
-                self._dispatch(st, op)
+                dispatch(st, op)
+
+        if diag is not None:
+            diag.runs += 1
+            diag.heap_pushes += self._seq
+            diag.wall_s += diag._clock() - t_start
 
         unfinished = [s.rank for s in self._states if not s.finished]
         if unfinished:
@@ -586,11 +670,21 @@ class Simulator:
         icost1 = prof.intercept_cost(1)
         on_compute = prof.on_compute
         post_compute = prof.post_compute
+        on_p2p_post = prof.on_p2p_post
+        post_isend_only = self._post_isend_only
         push = self._push
-        dispatch = self._dispatch
+        diag = self.diagnostics
+        dispatch = self._dispatch_op if diag is None else self._dispatch
         coll_enter = self._coll_enter
         fast_resumes = self._fast_resumes
         popleft = fast_resumes.popleft
+        # last-signature factor memo: signatures are interned and op
+        # streams are long runs of one signature, so a pointer compare
+        # short-circuits the dict probe (and the factor-tuple unpack)
+        # on the dominant path
+        last_sig = None
+        last_bias = last_drift = last_mu = last_s = 0.0
+        last_noisy = False
 
         while True:
             # collective completions with nothing else in flight hand
@@ -598,6 +692,8 @@ class Simulator:
             # the naive scheduler's pop order), bypassing the heap
             if fast_resumes:
                 t, rank, value = popleft()
+                if diag is not None:
+                    diag.fast_resume_fifo += 1
                 st = states[rank]
                 st.time = t
             elif heap:
@@ -606,22 +702,35 @@ class Simulator:
                 if tv is _FinishP2P:
                     # deferred p2p match: not a rank event, no clock
                     # assignment (see _FinishP2P)
-                    states[value.recv.world_rank].pending_irecvs -= 1
+                    states[value.gate].pending_irecvs -= 1
+                    if value.dec_isend:
+                        states[value.send.world_rank].pending_isends -= 1
+                    if diag is not None:
+                        diag.match_deferred += 1
                     self._match_p2p(value.send, value.recv)
                     continue
                 st = states[rank]
                 st.time = t
                 if tv is _Redeliver:
+                    if diag is not None:
+                        diag.count_redeliver(value.op)
                     dispatch(st, value.op)
                     continue
             else:
                 break
             gen_send = st.gen_send
-            rng_normal = st.rng_normal
+            # the rank's clock lives in the local `now` while its
+            # generator is driven inline; every branch that leaves the
+            # compute hot path (or reads the clock through self/st)
+            # syncs `st.time = now` first and re-captures `now` after
+            # advancing.  ~one attribute load+store per op saved on the
+            # dominant compute chain.
+            now = st.time
             while True:
                 try:
                     op = gen_send(value)
                 except StopIteration as stop:
+                    st.time = now
                     st.finished = True
                     st.retval = stop.value
                     break
@@ -634,66 +743,96 @@ class Simulator:
                     cls = None
                 if cls is ComputeOp:
                     sig = op.sig
-                    flops = op.flops
-                    execute = True if hooks_off else on_compute(rank, sig, flops)
-                    result = None
-                    if execute:
+                    if sig is not last_sig:
                         fac = factors.get(sig)
                         if fac is None:
                             fac = factors[sig] = noise_factors(sig, run_seed)
-                        bias, drift, params = fac
+                        last_sig = sig
+                        last_bias, last_drift, params = fac
+                        last_noisy = params is not None
+                        if last_noisy:
+                            last_mu, last_s = params
+                    if hooks_off:
                         # identical float-op sequence to NoiseModel.sample
                         # (int->float conversion in `gamma * flops` matches
                         # compute_cost's explicit float())
-                        mean = gamma * flops * bias * drift
-                        if params is None:
-                            elapsed = mean
+                        mean = gamma * op.flops * last_bias * last_drift
+                        if last_noisy:
+                            buf = st.zbuf
+                            if not buf:
+                                buf = st.zbuf = \
+                                    st.rng_normal(512)[::-1].tolist()
+                            now += mean * exp(last_mu + last_s * buf.pop())
                         else:
-                            elapsed = mean * exp(params[0] + params[1] * rng_normal())
+                            now += mean
+                        fn = op.fn
+                        value = None if fn is None else fn(*op.args)
+                        continue
+                    st.time = now
+                    flops = op.flops
+                    execute = on_compute(rank, sig, flops)
+                    result = None
+                    if execute:
+                        mean = gamma * flops * last_bias * last_drift
+                        if last_noisy:
+                            elapsed = mean * exp(
+                                last_mu + last_s * st.next_normal())
+                        else:
+                            elapsed = mean
                         if op.fn is not None:
                             result = op.fn(*op.args)
                     else:
                         elapsed = skip_overhead
                         if op.fn is not None and exec_skipped:
                             result = op.fn(*op.args)
-                    if not hooks_off:
-                        post_compute(rank, sig, execute, elapsed, flops)
-                    st.time += elapsed
+                    post_compute(rank, sig, execute, elapsed, flops)
+                    now = st.time = now + elapsed
                     value = result
                     continue
-                if cls is ComputeBatchOp:
-                    elapsed, result = self._batch_run(st, op)
-                    st.time += elapsed
-                    value = result
-                    continue
-                if cls is WaitOp:
+                elif cls is WaitOp:
                     mode = op.mode
                     reqs = op.requests
-                    if mode == "all" or len(reqs) == 1:
+                    if len(reqs) == 1:
+                        # single-request waits dominate p2p-heavy op
+                        # streams; skip the genexp/``all`` machinery
+                        rq = reqs[0]
+                        if rq.done:
+                            if rq.completion > now:
+                                now = rq.completion
+                            st.time = now
+                            if mode == "all":
+                                value = [rq.value]
+                            elif mode == "any":
+                                value = (0, rq.value)
+                            else:
+                                value = rq.value
+                            continue
+                        st.time = now
+                        st.waiting = (now, [rq], mode)
+                        st.park_reason = op
+                        break
+                    if mode == "all":
                         if all(rq.done for rq in reqs):
                             # resolved: jump the local clock to the last
                             # completion and continue, no heap trip
-                            resume = st.time
+                            resume = now
                             for rq in reqs:
                                 if rq.completion > resume:
                                     resume = rq.completion
-                            st.time = resume
-                            if mode == "all":
-                                value = [rq.value for rq in reqs]
-                            elif mode == "any":
-                                value = (0, reqs[0].value)
-                            else:
-                                value = reqs[0].value
+                            now = st.time = resume
+                            value = [rq.value for rq in reqs]
                             continue
                         # unresolved: park here.  Completions carry
                         # absolute times, so parking "early" in global
                         # order produces the identical resume event.
-                        st.waiting = (st.time, list(reqs), mode)
+                        st.time = now
+                        st.waiting = (now, list(reqs), mode)
                         st.park_reason = op
                         break
                     # multi-request waitany resolves against completion
                     # *discovery* order — strictly heap business
                 elif cls is CollOp:
+                    st.time = now
                     group = op.comm.group
                     pend = group.pending
                     if (0 if pend is None else len(pend.entries)) + 1 < group.size:
@@ -704,6 +843,8 @@ class Simulator:
                         # completion's cross-rank effects) stays heap-
                         # ordered below.  Common case inlined; first
                         # arrival / name mismatch takes the slow helper.
+                        if diag is not None:
+                            diag.coll_parks_inline += 1
                         if pend is not None and pend.name == op.name:
                             pend.entries[group.world_ranks[op.comm.rank]] = \
                                 (st.time, op)
@@ -717,17 +858,26 @@ class Simulator:
                     # dispatch below, where _do_collective defers the
                     # completion to max(arrivals) if an inlined entry
                     # carries a later time
-                elif cls is P2POp and op.kind != "irecv":
+                elif (cls is P2POp and op.kind != "irecv"
+                      and (hooks_off or st.pending_isends == 0)):
                     # irecv posts stay strictly heap business: once an
                     # unmatched irecv is out, every event of this rank
                     # is order-sensitive (see pending_irecvs above), and
                     # queuing the irecv early would let a peer's send
                     # draw from this rank's RNG stream ahead of inline
-                    # compute draws the naive scheduler orders first
+                    # compute draws the naive scheduler orders first.
+                    # A hooks-on rank with an open pending-isend window
+                    # skips the probe outright: every inline variant
+                    # below requires clean windows, so the op heads
+                    # straight for its exact heap position (tail).
+                    st.time = now
                     kind = op.kind
-                    group = op.comm.group
-                    me_world = group.world_ranks[op.comm.rank]
-                    peer_world = group.world_ranks[op.peer]
+                    comm = op.comm
+                    group = comm.group
+                    world_ranks = group.world_ranks
+                    crank = comm.rank
+                    me_world = world_ranks[crank]
+                    peer_world = world_ranks[op.peer]
                     if kind == "recv":
                         key = (group.gid, peer_world, me_world, op.tag)
                         queue = p2p_sends.get(key)
@@ -765,10 +915,14 @@ class Simulator:
                                 if params is None:
                                     cost = mean
                                 else:
-                                    cost = mean * exp(params[0]
-                                                      + params[1] * rng_normal())
+                                    cost = mean * exp(
+                                        params[0]
+                                        + params[1] * st.next_normal())
                                 completion = max(srec.post_time, st.time) + cost
                                 queue.popleft()
+                                if diag is not None:
+                                    diag.match_total += 1
+                                    diag.match_inline += 1
                                 sender = states[srec.world_rank]
                                 # the other endpoint rides the heap to
                                 # the completion's exact naive position
@@ -779,65 +933,69 @@ class Simulator:
                                     sender.pending_isends -= 1
                                     self._complete_request(srec.request,
                                                            completion, None)
-                                st.time = completion
+                                now = st.time = completion
                                 value = srec.payload
                                 continue
                             # with hooks active a buffered isend match
-                            # stays heap-ordered (the sender's
-                            # pending_isends >= 1 by definition: a third
-                            # rank's recv could take its other queued
-                            # isends' hooks at an earlier global
-                            # position); a *parked* blocking sender
-                            # qualifies when neither endpoint has
-                            # pending isends and the sender holds no
-                            # unmatched irecv (its Critter state must
-                            # not be touchable by any earlier event)
+                            # stays heap-ordered (its poster keeps
+                            # running past the post, so the match hooks
+                            # belong at the record's post time — the
+                            # heap/deferral path below); a *parked*
+                            # blocking sender qualifies when it has no
+                            # pending isends (a third rank's recv could
+                            # take their hooks at an earlier global
+                            # position) and holds no unmatched irecv
+                            # (its Critter state must not be touchable
+                            # by any earlier event).  This rank's own
+                            # windows are clean by the branch precheck.
+                            sender = states[srec.world_rank]
                             if (srec.kind == "send"
-                                    and st.pending_isends == 0
-                                    and states[srec.world_rank].pending_isends == 0
-                                    and states[srec.world_rank].pending_irecvs == 0):
+                                    and sender.pending_isends == 0
+                                    and sender.pending_irecvs == 0):
                                 rec = P2PRecord(
-                                    kind="recv",
-                                    world_rank=me_world,
-                                    comm_rank=op.comm.rank,
-                                    peer_world=peer_world,
-                                    tag=op.tag,
-                                    nbytes=op.nbytes,
-                                    post_time=st.time,
-                                    group=group,
+                                    "recv", me_world, crank,
+                                    peer_world, op.tag, op.nbytes,
+                                    st.time, group,
                                 )
-                                prof.on_p2p_post(rec)
+                                if not post_isend_only:
+                                    on_p2p_post(rec)
                                 queue.popleft()
-                                sender = states[srec.world_rank]
+                                if diag is not None:
+                                    diag.match_inline += 1
                                 completion = self._rendezvous(srec, rec)
                                 sender.park_reason = None
                                 push(completion, srec.world_rank, None)
-                                st.time = completion
+                                now = st.time = completion
                                 value = srec.payload
                                 continue
-                        elif hooks_off:
+                        else:
                             # nothing to consume: queue the receive and
                             # park in place.  The record carries this
                             # rank's absolute post time, so a peer's
                             # later-processed send pairs and costs
-                            # identically to the naive ordering; with
-                            # hooks active the match site (and its stat
-                            # updates) must stay at the exact global
-                            # position, so the op rides the heap below.
+                            # identically to the naive ordering.  With
+                            # hooks active this is sound only when the
+                            # parked rank is *frozen* — no pending
+                            # isends (a third rank's match would take
+                            # this rank's hooks first) and no pending
+                            # irecvs (both guarded by the branch
+                            # prechecks); a consumer whose own state is
+                            # not frozen defers the match to this
+                            # record's post time (_FinishP2P), the
+                            # exact naive match site.
                             rec = P2PRecord(
-                                kind="recv",
-                                world_rank=me_world,
-                                comm_rank=op.comm.rank,
-                                peer_world=peer_world,
-                                tag=op.tag,
-                                nbytes=op.nbytes,
-                                post_time=st.time,
-                                group=group,
+                                "recv", me_world, crank,
+                                peer_world, op.tag, op.nbytes,
+                                st.time, group,
                             )
+                            if not (hooks_off or post_isend_only):
+                                on_p2p_post(rec)
                             pending = p2p_recvs.get(key)
                             if pending is None:
                                 pending = p2p_recvs[key] = deque()
                             pending.append(rec)
+                            if diag is not None:
+                                diag.count_early_queue("recv")
                             st.park_reason = op
                             break
                     else:  # send / isend
@@ -885,50 +1043,57 @@ class Simulator:
                                 else:
                                     cost = mean * exp(
                                         params[0]
-                                        + params[1] * receiver.rng_normal())
-                                completion = max(st.time, rrec.post_time) + cost
+                                        + params[1] * receiver.next_normal())
+                                completion = max(now, rrec.post_time) + cost
                                 queue.popleft()
+                                if diag is not None:
+                                    diag.match_total += 1
+                                    diag.match_inline += 1
                                 receiver.park_reason = None
                                 push(completion, rrec.world_rank, op.payload)
                                 if kind == "send":
                                     # blocking send completes inline:
                                     # keep driving this rank from the
                                     # rendezvous completion
-                                    st.time = completion
+                                    now = st.time = completion
                                     value = None
                                     continue
-                                value = Request(rank=rank, kind="isend",
-                                                done=True,
-                                                completion=completion)
+                                value = Request(rank, "isend",
+                                                True, completion)
                                 continue
                             # with profiler hooks active, queued
-                            # unmatched isends on EITHER endpoint block
+                            # unmatched isends on the receiver block
                             # inlining: a third rank's recv can match
                             # them at an earlier global position, and
                             # that hook's stat updates on the shared
                             # send signature (and its path-count
                             # increments) do not commute with the
                             # snapshot/decision this match takes now
-                            if (st.pending_isends == 0
-                                    and states[rrec.world_rank].pending_isends == 0):
+                            # (this rank's window is clean by the
+                            # branch precheck).  An isend consuming an
+                            # early-queued recv record with a *later*
+                            # post time keeps running past the match
+                            # site, so its match rides the heap (and
+                            # defers) instead — only a blocking send
+                            # may match it here.
+                            if (states[rrec.world_rank].pending_isends == 0
+                                    and (kind == "send"
+                                         or rrec.post_time <= now)):
                                 rec = P2PRecord(
-                                    kind=kind,
-                                    world_rank=me_world,
-                                    comm_rank=op.comm.rank,
-                                    peer_world=peer_world,
-                                    tag=op.tag,
-                                    nbytes=op.nbytes,
-                                    post_time=st.time,
-                                    group=group,
-                                    payload=op.payload,
-                                    blocking=kind == "send",
+                                    kind, me_world, crank,
+                                    peer_world, op.tag, op.nbytes,
+                                    st.time, group, op.payload,
+                                    kind == "send",
                                 )
-                                prof.on_p2p_post(rec)
+                                if kind == "isend" or not post_isend_only:
+                                    on_p2p_post(rec)
+                                if diag is not None:
+                                    diag.match_inline += 1
                                 if kind == "isend":
-                                    req = Request(rank=rank, kind="isend",
-                                                  record=rec)
+                                    req = Request(rank, "isend",
+                                                  False, 0.0, None, rec)
                                     rec.request = req
-                                    st.time += icost1
+                                    now = st.time = now + icost1
                                     self._match_p2p(rec, queue.popleft())
                                     value = req
                                     continue
@@ -942,49 +1107,126 @@ class Simulator:
                                 completion = self._rendezvous(rec, rrec)
                                 receiver.park_reason = None
                                 push(completion, rrec.world_rank, rec.payload)
-                                st.time = completion
+                                now = st.time = completion
                                 value = None
                                 continue
-                        elif rrec is None and hooks_off:
+                        elif rrec is None:
                             # no posted receive to consume: queue the
                             # send early (absolute post time; only the
                             # peer's recv on this key can consume it, in
                             # FIFO = program order), park blocking sends
-                            # in place, let isends continue
+                            # in place, let isends continue.  With
+                            # hooks active the poster's windows are
+                            # clean (branch precheck + the irecv guard
+                            # above), so the record's post-time snapshot
+                            # is frozen-equivalent to the naive post: a
+                            # blocking send parks frozen and a
+                            # clean-window blocking consumer may match
+                            # it anywhere; an isend poster keeps
+                            # running, so every hooks-on consumer of
+                            # its record defers the match to the
+                            # record's post time — the exact naive
+                            # match site (_FinishP2P) — and its
+                            # pending-isend window keeps the poster's
+                            # later p2p ops heap-ordered till then.
                             rec = P2PRecord(
-                                kind=kind,
-                                world_rank=me_world,
-                                comm_rank=op.comm.rank,
-                                peer_world=peer_world,
-                                tag=op.tag,
-                                nbytes=op.nbytes,
-                                post_time=st.time,
-                                group=group,
-                                payload=op.payload,
-                                blocking=kind == "send",
+                                kind, me_world, crank,
+                                peer_world, op.tag, op.nbytes,
+                                st.time, group, op.payload,
+                                kind == "send",
                             )
+                            if not hooks_off and (kind == "isend"
+                                                  or not post_isend_only):
+                                on_p2p_post(rec)
                             pending = p2p_sends.get(key)
                             if pending is None:
                                 pending = p2p_sends[key] = deque()
                             pending.append(rec)
+                            if diag is not None:
+                                diag.count_early_queue(kind)
                             if kind == "isend":
                                 st.pending_isends += 1
-                                req = Request(rank=rank, kind="isend",
-                                              record=rec)
+                                req = Request(rank, "isend",
+                                              False, 0.0, None, rec)
                                 rec.request = req
+                                if not hooks_off:
+                                    # naive resumes the poster at
+                                    # post + intercept_cost(1)
+                                    now = st.time = now + icost1
                                 value = req
                                 continue
                             st.park_reason = op
                             break
+                elif cls is ComputeBatchOp:
+                    st.time = now
+                    elapsed, result = self._batch_run(st, op)
+                    now = st.time = now + elapsed
+                    value = result
+                    continue
+                elif cls is ComputeRunOp:
+                    # columnar run: rank-local like a batch — decisions,
+                    # draws, and the clock walk all stay on this rank
+                    st.time = now
+                    elapsed, result = self._run_segments(st, op)
+                    now = st.time = now + elapsed
+                    value = result
+                    continue
+                elif cls is P2POp and op.kind == "recv" and post_isend_only:
+                    # hooks-on blocking recv under an open pending-isend
+                    # window (every other non-irecv p2p case took the
+                    # branch above).  The match hooks must fire at
+                    # max(recv dispatch time, sender post time) — the
+                    # naive site — but the dispatch hop itself is pure
+                    # heap traffic: consume the queued sender record
+                    # here and push the deferred match directly at its
+                    # site (_FinishP2P), or park early with a
+                    # defer-marked record so the consuming sender's
+                    # dispatch defers to this post time the same way.
+                    # Sound only for isend-only post profilers: there
+                    # is no recv post hook to misplace.
+                    st.time = now
+                    comm = op.comm
+                    group = comm.group
+                    world_ranks = group.world_ranks
+                    crank = comm.rank
+                    me_world = world_ranks[crank]
+                    peer_world = world_ranks[op.peer]
+                    key = (group.gid, peer_world, me_world, op.tag)
+                    queue = p2p_sends.get(key)
+                    rec = P2PRecord(
+                        "recv", me_world, crank,
+                        peer_world, op.tag, op.nbytes,
+                        now, group,
+                    )
+                    st.park_reason = op
+                    if queue:
+                        srec = queue.popleft()
+                        st.pending_irecvs += 1
+                        fire = srec.post_time
+                        if fire < now:
+                            fire = now
+                        push(fire, rank,
+                             _FinishP2P(srec, rec, rank,
+                                        srec.kind == "isend"))
+                    else:
+                        rec.defer = True
+                        pending = p2p_recvs.get(key)
+                        if pending is None:
+                            pending = p2p_recvs[key] = deque()
+                        pending.append(rec)
+                        if diag is not None:
+                            diag.count_early_queue("recv")
+                    break
                 # blocking or order-sensitive: dispatch at the rank's
                 # local time — in place when no pending event is earlier
                 # or tied (a tied heap event would win by sequence
                 # number; queued FIFO resumes are always at this chain's
                 # resume time, i.e. earlier once the clock advanced),
                 # else via redelivery
-                if st.time > t and (fast_resumes
-                                    or (heap and heap[0][0] <= st.time)):
-                    push(st.time, rank, _Redeliver(op))
+                st.time = now
+                if now > t and (fast_resumes
+                                or (heap and heap[0][0] <= now)):
+                    push(now, rank, _Redeliver(op))
                 else:
                     dispatch(st, op)
                 break
@@ -1004,6 +1246,19 @@ class Simulator:
         return g
 
     def _dispatch(self, st: _RankState, op: Any) -> None:
+        diag = self.diagnostics
+        if diag is not None:
+            t0 = diag._clock()
+            self._dispatch_op(st, op)
+            kind = op_kind(op)
+            d = diag.heap_dispatched
+            d[kind] = d.get(kind, 0) + 1
+            w = diag.dispatch_wall
+            w[kind] = w.get(kind, 0.0) + (diag._clock() - t0)
+            return
+        self._dispatch_op(st, op)
+
+    def _dispatch_op(self, st: _RankState, op: Any) -> None:
         if isinstance(op, ComputeOp):
             self._do_compute(st, op)
         elif isinstance(op, P2POp):
@@ -1016,6 +1271,8 @@ class Simulator:
             self._do_wait(st, op)
         elif isinstance(op, ComputeBatchOp):
             self._do_compute_batch(st, op)
+        elif isinstance(op, ComputeRunOp):
+            self._do_compute_run(st, op)
         elif isinstance(op, _FinishColl):
             self._finish_collective(op.group, op.pend)
         else:
@@ -1027,8 +1284,8 @@ class Simulator:
         execute = prof.on_compute(st.rank, op.sig, op.flops)
         result = None
         if execute:
-            base = self.machine.compute_cost(op.flops)
-            elapsed = self.noise.sample(op.sig, base, st.rng, self.run_seed)
+            elapsed = self._kernel_sample(
+                st, op.sig, self.machine.compute_cost(op.flops))
             if op.fn is not None:
                 result = op.fn(*op.args)
         else:
@@ -1051,8 +1308,8 @@ class Simulator:
             prof = self.profiler
             execute = prof.on_compute(st.rank, op.sig, op.flops)
             if execute:
-                base = self.machine.compute_cost(op.flops)
-                elapsed = self.noise.sample(op.sig, base, st.rng, self.run_seed)
+                elapsed = self._kernel_sample(
+                    st, op.sig, self.machine.compute_cost(op.flops))
             else:
                 elapsed = self.machine.skip_overhead
             prof.post_compute(st.rank, op.sig, execute, elapsed, op.flops)
@@ -1070,14 +1327,18 @@ class Simulator:
         prof = self.profiler
         machine = self.machine
         sig = op.sig
+        diag = self.diagnostics
+        if diag is not None:
+            diag.batches += 1
+            diag.batch_kernels += op.count
         if machine.batched_compute:
             # one aggregate kernel: one decision, one noise draw
             total = float(op.flops) * op.count
             execute = prof.on_compute(st.rank, sig, total)
             result = None
             if execute:
-                base = machine.compute_cost(total)
-                elapsed = self.noise.sample(sig, base, st.rng, self.run_seed)
+                elapsed = self._kernel_sample(
+                    st, sig, machine.compute_cost(total))
                 if op.fn is not None:
                     result = op.fn(*op.args)
             else:
@@ -1089,29 +1350,192 @@ class Simulator:
                 self.trace.record("comp", (st.rank,), sig, st.time, elapsed, execute)
             return elapsed, result
         # expansion: `count` back-to-back sub-kernels, bit-identical to
-        # yielding them as individual ComputeOps
+        # yielding them as individual ComputeOps.  The run shares one
+        # signature, so the noise factors are resolved once and the
+        # draws stream off the rank's buffer — the per-sub-kernel float
+        # sequence is unchanged.
         flops = op.flops
         rank = st.rank
-        rng = st.rng
-        noise = self.noise
         trace = self.trace
         cursor = st.time
         execute = True
-        for i in range(op.count):
-            execute = prof.on_compute(rank, sig, flops)
-            if execute:
-                base = machine.compute_cost(flops)
-                elapsed = noise.sample(sig, base, rng, self.run_seed)
+        fac = self._noise_factors.get(sig)
+        if fac is None:
+            fac = self._noise_factors[sig] = self.noise.factors(
+                sig, self.run_seed)
+        bias, drift, params = fac
+        mean = machine.compute_cost(flops) * bias * drift
+        exp = math.exp
+        if self._hooks_off and trace is None:
+            # no hooks, no trace: nothing observes the sub-kernels, so
+            # only the clock walk and the draws remain
+            if params is None:
+                for _ in range(op.count):
+                    cursor += mean
             else:
-                elapsed = machine.skip_overhead
-            prof.post_compute(rank, sig, execute, elapsed, flops)
-            if trace is not None:
-                trace.record("comp", (rank,), sig, cursor, elapsed, execute)
-            cursor = cursor + elapsed
+                mu = params[0]
+                s = params[1]
+                buf = st.zbuf
+                rng_normal = st.rng_normal
+                for _ in range(op.count):
+                    if not buf:
+                        buf = st.zbuf = rng_normal(512)[::-1].tolist()
+                    cursor += mean * exp(mu + s * buf.pop())
+        else:
+            skip_overhead = machine.skip_overhead
+            on_compute = prof.on_compute
+            post_compute = prof.post_compute
+            next_normal = st.next_normal
+            for _ in range(op.count):
+                execute = on_compute(rank, sig, flops)
+                if not execute:
+                    elapsed = skip_overhead
+                elif params is None:
+                    elapsed = mean
+                else:
+                    elapsed = mean * exp(params[0] + params[1] * next_normal())
+                post_compute(rank, sig, execute, elapsed, flops)
+                if trace is not None:
+                    trace.record("comp", (rank,), sig, cursor, elapsed, execute)
+                cursor = cursor + elapsed
         result = None
         if op.fn is not None and (execute or self.execute_skipped_fns):
             result = op.fn(*op.args)
         return cursor - st.time, result
+
+    def _do_compute_run(self, st: _RankState, op: ComputeRunOp) -> None:
+        if (not self.machine.batched_compute
+                and (self.trace is not None or not self.profiler.inline_safe)
+                and (len(op.counts) > 1 or op.counts[0] > 1)):
+            # order-sensitive observers see sub-kernels at their exact
+            # global heap positions, exactly like the step-wise
+            # ComputeBatchOp expansion above: run the first sub-kernel
+            # here and redeliver the remainder at its completion time
+            prof = self.profiler
+            sig = op.sigs[0]
+            flops = op.flops[0]
+            execute = prof.on_compute(st.rank, sig, flops)
+            if execute:
+                elapsed = self._kernel_sample(
+                    st, sig, self.machine.compute_cost(flops))
+            else:
+                elapsed = self.machine.skip_overhead
+            prof.post_compute(st.rank, sig, execute, elapsed, flops)
+            if self.trace is not None:
+                self.trace.record("comp", (st.rank,), sig, st.time, elapsed,
+                                  execute)
+            if op.counts[0] > 1:
+                rest = ComputeRunOp(op.sigs, op.flops,
+                                    (op.counts[0] - 1,) + op.counts[1:],
+                                    op.fn, op.args)
+            else:
+                rest = ComputeRunOp(op.sigs[1:], op.flops[1:], op.counts[1:],
+                                    op.fn, op.args)
+            self._push(st.time + elapsed, st.rank, _Redeliver(rest))
+            return
+        elapsed, result = self._run_segments(st, op)
+        self._push(st.time + elapsed, st.rank, result)
+
+    def _run_segments(self, st: _RankState,
+                      op: ComputeRunOp) -> Tuple[float, Any]:
+        """Total elapsed time + resume value of a run starting at ``st.time``.
+
+        Each segment follows :meth:`_batch_run` exactly — the same
+        float-op sequence, decisions, and draw order as an equivalent
+        sequence of per-segment :class:`ComputeBatchOp`\\ s — with the
+        segments advancing a local cursor the way back-to-back batches
+        advance ``st.time``.  The columnar win is structural: one
+        generator resumption amortizes over the whole run, the noise
+        factors resolve once per segment, and a draw-free segment
+        collapses its clock walk into a single vectorized cumulative
+        sum (bit-identical to the scalar adds: ``np.cumsum``
+        accumulates left-to-right in float64).
+        """
+        prof = self.profiler
+        machine = self.machine
+        factors = self._noise_factors
+        noise_factors = self.noise.factors
+        run_seed = self.run_seed
+        trace = self.trace
+        rank = st.rank
+        start = cursor = st.time
+        execute = True
+        exp = math.exp
+        diag = self.diagnostics
+        if diag is not None:
+            diag.run_segments += len(op.counts)
+            diag.run_kernels += sum(op.counts)
+        if machine.batched_compute:
+            # one aggregate kernel per segment: one decision, one draw
+            for sig, flops, count in zip(op.sigs, op.flops, op.counts):
+                total = float(flops) * count
+                execute = prof.on_compute(rank, sig, total)
+                if execute:
+                    elapsed = self._kernel_sample(
+                        st, sig, machine.compute_cost(total))
+                else:
+                    elapsed = machine.skip_overhead
+                prof.post_compute(rank, sig, execute, elapsed, total)
+                if trace is not None:
+                    trace.record("comp", (rank,), sig, cursor, elapsed,
+                                 execute)
+                cursor = cursor + elapsed
+        elif self._hooks_off and trace is None:
+            # no hooks, no trace: only the clock walk and draws remain
+            for sig, flops, count in zip(op.sigs, op.flops, op.counts):
+                fac = factors.get(sig)
+                if fac is None:
+                    fac = factors[sig] = noise_factors(sig, run_seed)
+                bias, drift, params = fac
+                mean = machine.compute_cost(flops) * bias * drift
+                if params is None:
+                    if count >= 32:
+                        # draw-free columnar segment: one cumulative sum
+                        # replaces `count` Python-level adds
+                        steps = np.empty(count)
+                        steps.fill(mean)
+                        steps[0] = cursor + mean
+                        cursor = float(np.cumsum(steps)[-1])
+                    else:
+                        for _ in range(count):
+                            cursor += mean
+                else:
+                    mu, s = params
+                    buf = st.zbuf
+                    rng_normal = st.rng_normal
+                    for _ in range(count):
+                        if not buf:
+                            buf = st.zbuf = rng_normal(512)[::-1].tolist()
+                        cursor += mean * exp(mu + s * buf.pop())
+        else:
+            skip_overhead = machine.skip_overhead
+            on_compute = prof.on_compute
+            post_compute = prof.post_compute
+            next_normal = st.next_normal
+            for sig, flops, count in zip(op.sigs, op.flops, op.counts):
+                fac = factors.get(sig)
+                if fac is None:
+                    fac = factors[sig] = noise_factors(sig, run_seed)
+                bias, drift, params = fac
+                mean = machine.compute_cost(flops) * bias * drift
+                for _ in range(count):
+                    execute = on_compute(rank, sig, flops)
+                    if not execute:
+                        elapsed = skip_overhead
+                    elif params is None:
+                        elapsed = mean
+                    else:
+                        elapsed = mean * exp(
+                            params[0] + params[1] * next_normal())
+                    post_compute(rank, sig, execute, elapsed, flops)
+                    if trace is not None:
+                        trace.record("comp", (rank,), sig, cursor, elapsed,
+                                     execute)
+                    cursor = cursor + elapsed
+        result = None
+        if op.fn is not None and (execute or self.execute_skipped_fns):
+            result = op.fn(*op.args)
+        return cursor - start, result
 
     # -- point-to-point ----------------------------------------------------
     def _do_p2p(self, st: _RankState, op: P2POp) -> None:
@@ -1119,24 +1543,19 @@ class Simulator:
         me_world = group.world_ranks[op.comm.rank]
         peer_world = group.world_ranks[op.peer]
         rec = P2PRecord(
-            kind=op.kind,
-            world_rank=me_world,
-            comm_rank=op.comm.rank,
-            peer_world=peer_world,
-            tag=op.tag,
-            nbytes=op.nbytes,
-            post_time=st.time,
-            group=group,
-            payload=op.payload,
-            blocking=op.kind in ("send", "recv"),
+            op.kind, me_world, op.comm.rank,
+            peer_world, op.tag, op.nbytes,
+            st.time, group, op.payload,
+            op.kind in ("send", "recv"),
         )
-        prof = self.profiler
-        prof.on_p2p_post(rec)
+        if op.kind == "isend" or not self._post_isend_only:
+            self.profiler.on_p2p_post(rec)
         if op.kind in ("isend", "irecv"):
-            req = Request(rank=st.rank, kind=op.kind, record=rec)
+            req = Request(st.rank, op.kind, False, 0.0, None, rec)
             rec.request = req
             # buffered post: local interception bookkeeping only
-            self._push(st.time + prof.intercept_cost(1), st.rank, req)
+            self._push(st.time + self.profiler.intercept_cost(1),
+                       st.rank, req)
         else:
             st.park_reason = op
 
@@ -1147,7 +1566,22 @@ class Simulator:
                 matched = queue.popleft()
                 if matched.kind == "irecv":
                     self._states[matched.world_rank].pending_irecvs -= 1
-                self._match_p2p(rec, matched)
+                if matched.post_time > st.time and not self._hooks_off and (
+                        op.kind == "isend" or st.pending_irecvs
+                        or st.pending_isends or matched.defer):
+                    # a hooks-on early-queued *recv* record observed
+                    # before the receive's global position by a sender
+                    # that keeps running (isend) or whose profiler state
+                    # has pending interleaved events: the match hooks
+                    # must fire at the receive's post time, the naive
+                    # match site (with hooks off an immediate match is
+                    # sound — only the parked receiver's stream is
+                    # drawn from; see _FinishP2P)
+                    st.pending_irecvs += 1
+                    self._push(matched.post_time, st.rank,
+                               _FinishP2P(rec, matched, st.rank))
+                else:
+                    self._match_p2p(rec, matched)
             else:
                 pending = self._p2p_sends.get(key)
                 if pending is None:
@@ -1160,26 +1594,36 @@ class Simulator:
             queue = self._p2p_sends.get(key)
             if queue:
                 matched = queue.popleft()
-                if matched.kind == "isend":
-                    self._states[matched.world_rank].pending_isends -= 1
                 if matched.post_time > st.time and (
-                        op.kind == "irecv" or st.pending_irecvs):
+                        op.kind == "irecv" or st.pending_irecvs
+                        or (not self._hooks_off
+                            and (st.pending_isends
+                                 or matched.kind == "isend"))):
                     # fast-path early-queued send observed before the
                     # send's global position by a receiver whose RNG
-                    # stream has pending interleaved draws — an irecv
-                    # poster keeps drawing after the post, and a
-                    # blocking recv posted under an open irecv window
-                    # still has that irecv's future match draw due
+                    # stream (or profiler state) has pending
+                    # interleaved events — an irecv poster keeps
+                    # drawing after the post, a blocking recv posted
+                    # under an open irecv window still has that
+                    # irecv's future match draw due first, and with
+                    # hooks on a pending isend's match hooks may land
                     # first: defer the match (and its draw from this
                     # rank's stream) to the send's post time — see
-                    # _FinishP2P.  A blocking recv with no irecvs out
-                    # parks with a clean stream (its next draw is this
+                    # _FinishP2P.  A blocking recv with clean windows
+                    # parks with a frozen stream (its next draw is this
                     # match at any processing position), so it matches
-                    # in place.
+                    # in place — except against a hooks-on early-queued
+                    # *isend* record, whose poster keeps running past
+                    # the post: its match hooks must fire at the isend's
+                    # post time, the naive match site, and the poster's
+                    # pending-isend window must stay open till then.
                     st.pending_irecvs += 1
                     self._push(matched.post_time, st.rank,
-                               _FinishP2P(matched, rec))
+                               _FinishP2P(matched, rec, st.rank,
+                                          matched.kind == "isend"))
                 else:
+                    if matched.kind == "isend":
+                        self._states[matched.world_rank].pending_isends -= 1
                     self._match_p2p(matched, rec)
             else:
                 pending = self._p2p_recvs.get(key)
@@ -1208,8 +1652,29 @@ class Simulator:
         mean = self._comm_cost(sig) * bias * drift
         if params is None:
             return mean
-        rng = self._states[rng_rank].rng
-        return mean * math.exp(params[0] + params[1] * rng.standard_normal())
+        z = self._states[rng_rank].next_normal()
+        return mean * math.exp(params[0] + params[1] * z)
+
+    def _kernel_sample(self, st: _RankState, sig: KernelSignature,
+                       base: float) -> float:
+        """Sampled cost of one computational kernel for ``st``.
+
+        Inlined ``NoiseModel.sample`` over the cached per-(signature,
+        run) factors — the identical float-op sequence (``(base * bias)
+        * drift`` with the same association), drawing through the
+        rank's buffered stream.  Every compute path (naive dispatch,
+        batch expansion, the fast loop's inline block) funnels noise
+        through these cached factors so the schedulers cannot drift.
+        """
+        fac = self._noise_factors.get(sig)
+        if fac is None:
+            fac = self._noise_factors[sig] = self.noise.factors(
+                sig, self.run_seed)
+        bias, drift, params = fac
+        mean = base * bias * drift
+        if params is None:
+            return mean
+        return mean * math.exp(params[0] + params[1] * st.next_normal())
 
     def _rendezvous(self, send: P2PRecord, recv: P2PRecord) -> float:
         """Rendezvous core shared by the heap and inline match paths.
@@ -1225,6 +1690,9 @@ class Simulator:
         two paths bit-identical by construction.
         """
         prof = self.profiler
+        diag = self.diagnostics
+        if diag is not None:
+            diag.match_total += 1
         if recv.nbytes is not None and recv.nbytes != send.nbytes:
             _warn_p2p_size_mismatch(send.tag, send.world_rank, send.nbytes,
                                     recv.world_rank, recv.nbytes)
@@ -1237,7 +1705,7 @@ class Simulator:
         if hooks_off:
             completion = start + cost
         else:
-            completion = start + prof.intercept_cost(2) + cost
+            completion = start + self._icost2 + cost
             prof.post_p2p(sig, send, recv, execute, cost, completion)
         if self.trace is not None:
             self.trace.record(
@@ -1267,7 +1735,9 @@ class Simulator:
         if req.kind == "irecv":
             req.value = value
         st = self._states[req.rank]
-        self.profiler.on_wait(req.rank, req, completion)
+        on_wait = self._on_wait
+        if on_wait is not None:
+            on_wait(req.rank, req, completion)
         if st.waiting is not None:
             self._check_wait(st)
 

@@ -16,6 +16,7 @@ from repro.kernels.signature import KernelSignature
 __all__ = [
     "ComputeOp",
     "ComputeBatchOp",
+    "ComputeRunOp",
     "P2POp",
     "CollOp",
     "SplitOp",
@@ -81,6 +82,47 @@ class ComputeBatchOp:
     #: flops per sub-kernel (not the batch total)
     flops: float
     count: int
+    fn: Optional[Callable[..., Any]] = None
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(slots=True)
+class ComputeRunOp:
+    """A columnar run of rank-local compute work (struct of arrays).
+
+    Where :class:`ComputeBatchOp` covers ``count`` kernels of *one*
+    signature, a run covers a whole stretch of consecutive compute
+    work as parallel arrays — one entry per *segment* of
+    same-signature kernels::
+
+        sigs   = (trsm_sig, gemm_sig)
+        flops  = (f_trsm,   f_gemm)     # per sub-kernel
+        counts = (m,        m)
+
+    is one engine event equivalent to yielding ``m`` trsm ops followed
+    by ``m`` gemm ops.  Semantics per segment follow
+    :class:`ComputeBatchOp` exactly:
+
+    * ``batched_compute`` **off**: each segment expands into
+      ``counts[i]`` back-to-back sub-kernels — per-sub-kernel profiler
+      decisions and noise draws, bit-identical to the per-op emission;
+    * ``batched_compute`` **on**: each segment charges one aggregate
+      kernel (``counts[i] * flops[i]``, one decision, one draw).
+
+    The win over per-op emission is structural: one generator
+    resumption and one heap interaction amortize over the whole run,
+    and draw-free segments advance the clock with a single cumulative
+    sum instead of a Python-level add per kernel.
+
+    ``fn(*args)`` is invoked at most once, after the final sub-kernel,
+    under the same execute/skip rules as :class:`ComputeOp` (``execute``
+    taken from the run's last decision).
+    """
+
+    sigs: Tuple[KernelSignature, ...]
+    #: flops per sub-kernel of each segment (not the segment total)
+    flops: Tuple[float, ...]
+    counts: Tuple[int, ...]
     fn: Optional[Callable[..., Any]] = None
     args: Tuple[Any, ...] = ()
 

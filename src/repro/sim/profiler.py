@@ -65,6 +65,15 @@ class Profiler:
     #: subclasses keep exact global hook ordering).
     inline_safe: bool = False
 
+    #: Declares that :meth:`on_p2p_post` ignores every record whose
+    #: ``kind`` is not ``"isend"``.  The engine may then elide the call
+    #: for send/recv/irecv posts on its hot paths — both schedulers
+    #: apply the same gate, so naive and fast hook sequences stay
+    #: identical.  Conservative default: False (every post is
+    #: delivered).  Critter sets it: only buffered isends need their
+    #: path state frozen at post time.
+    p2p_post_isend_only: bool = False
+
     # -- run lifecycle -------------------------------------------------
     def start_run(self, sim: "Simulator", run_seed: int) -> None:
         """Called before rank programs start; reset per-run state here."""

@@ -54,19 +54,52 @@ class TestBenchWorkloadFilter:
         assert _acceptance_row(rows, COLLECTIVE_ACCEPTANCE) is None
 
     def test_all_acceptance_workloads_exist(self):
-        from repro.sim.bench import (
-            ACCEPTANCE,
-            COLLECTIVE_ACCEPTANCE,
-            CRITTER_ACCEPTANCE,
-            P2P_ACCEPTANCE,
-            make_workloads,
-        )
+        from repro.sim.bench import ACCEPTANCE_SPECS, make_workloads
 
         names = {w.name for w in make_workloads(quick=True)}
-        assert ACCEPTANCE["workload"] in names
-        assert COLLECTIVE_ACCEPTANCE["workload"] in names
-        assert CRITTER_ACCEPTANCE["workload"] in names
-        assert P2P_ACCEPTANCE["workload"] in names
+        for _key, spec in ACCEPTANCE_SPECS:
+            assert spec["workload"] in names
+
+    def test_every_acceptance_key_has_check_floors(self):
+        from repro.sim.bench import ACCEPTANCE_SPECS, CHECK_FLOORS
+
+        for key, _spec in ACCEPTANCE_SPECS:
+            full, quick = CHECK_FLOORS[key]
+            assert full >= quick > 0
+
+    def test_known_workload_names_cover_all_sections(self):
+        from repro.sim.bench import known_workload_names
+
+        names = known_workload_names(quick=True)
+        assert "cholesky-compute" in names
+        assert "cholesky-columnar" in names
+        assert "cholesky-batch/aggregate" in names
+        assert any(n.startswith("slate_cholesky[") for n in names)
+
+    def test_unknown_workload_fails_fast_listing_names(self, capsys):
+        from repro.sim.bench import main as bench_main
+
+        rc = bench_main(quick=True, out="", workloads=["no-such-workload"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "unknown workload pattern" in out
+        assert "'no-such-workload'" in out
+        # the message teaches the valid vocabulary
+        assert "cholesky-compute" in out
+        assert "p2p-pipeline" in out
+
+    def test_unknown_workload_fails_even_alongside_valid_ones(self, capsys):
+        from repro.sim.bench import main as bench_main
+
+        rc = bench_main(quick=True, out="",
+                        workloads=["p2p-pipeline", "typo-name"])
+        assert rc == 2
+        assert "'typo-name'" in capsys.readouterr().out
+
+    def test_bench_engine_parses_diag_flag(self):
+        args = build_parser().parse_args(["bench-engine", "--diag"])
+        assert args.diag
+        assert not build_parser().parse_args(["bench-engine"]).diag
 
     def test_markdown_table_covers_profiled_rows(self):
         from repro.sim.bench import format_bench_markdown

@@ -1,0 +1,132 @@
+"""ComputeRunOp: columnar emission must be bit-identical to per-op streams."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernels.blas import gemm_spec, trsm_spec
+from repro.sim import TraceRecorder
+from repro.sim.engine import Simulator
+from repro.sim.presets import make_machine
+
+
+GEMM = gemm_spec(24, 24, 24)
+TRSM = trsm_spec(24, 24)
+
+
+def sweep(style):
+    """One panel loop emitted per-op, per-segment batches, or columnar."""
+
+    def program(comm):
+        op_g = comm.compute(GEMM)
+        op_t = comm.compute(TRSM)
+        for k in range(5):
+            m = 5 - k
+            if style == "per-op":
+                for _ in range(m):
+                    yield op_t
+                for _ in range(m):
+                    yield op_g
+                for _ in range(40):
+                    yield op_g
+            elif style == "batch":
+                yield comm.compute_batch(TRSM, m)
+                yield comm.compute_batch(GEMM, m)
+                yield comm.compute_batch(GEMM, 40)
+            else:
+                yield comm.compute_run([(TRSM, m), (GEMM, m), (GEMM, 40)])
+            yield comm.allreduce(nbytes=64)
+        return None
+
+    return program
+
+
+def run(style, preset="knl-fabric", fast_path=True, profiler=None,
+        batched=False, trace=None):
+    machine, noise = make_machine(preset, 4, seed=5)
+    if batched:
+        machine = dataclasses.replace(machine, batched_compute=True)
+    sim = Simulator(machine, noise=noise, profiler=profiler,
+                    fast_path=fast_path, trace=trace)
+    return sim.run(sweep(style), run_seed=9)
+
+
+def make_critter():
+    from repro.critter import Critter
+
+    return Critter(policy="online", eps=0.25)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("preset", ["knl-fabric", "quiet"])
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_columnar_matches_per_op_and_batch(self, preset, fast_path):
+        expect = run("per-op", preset=preset, fast_path=fast_path)
+        for style in ("batch", "run"):
+            res = run(style, preset=preset, fast_path=fast_path)
+            assert res.makespan == expect.makespan
+            assert res.rank_times == expect.rank_times
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_columnar_matches_under_critter(self, fast_path):
+        expect = run("per-op", fast_path=fast_path, profiler=make_critter())
+        res = run("run", fast_path=fast_path, profiler=make_critter())
+        assert res.makespan == expect.makespan
+
+    def test_columnar_matches_batch_when_machine_batches(self):
+        # batched_compute=True: one aggregate kernel per segment — the
+        # run must agree with the equivalent per-segment batch ops
+        expect = run("batch", batched=True)
+        res = run("run", batched=True)
+        assert res.makespan == expect.makespan
+
+    def test_trace_forces_exact_expansion(self):
+        # a trace pins global event order: the run falls back to the
+        # step-wise expansion, still bit-identical and fully recorded
+        base = run("run")
+        tr = TraceRecorder()
+        res = run("run", trace=tr)
+        assert res.makespan == base.makespan
+        comp = [ev for ev in tr.events if ev.kind == "comp"]
+        # every sub-kernel of every segment shows up individually:
+        # per rank and panel the run covers m + m + 40 kernels
+        per_rank = sum(2 * (5 - k) + 40 for k in range(5))
+        assert len(comp) == 4 * per_rank
+
+    def test_schedulers_agree_on_columnar_streams(self):
+        fast = run("run", fast_path=True)
+        naive = run("run", fast_path=False)
+        assert fast.makespan == naive.makespan
+
+
+class TestResultDelivery:
+    def test_fn_result_is_the_resume_value(self):
+        machine, noise = make_machine("quiet", 2, seed=1)
+
+        def program(comm):
+            got = yield comm.compute_run([(GEMM, 2)],
+                                         fn=lambda a: a * 2, args=(21,))
+            return got
+
+        res = Simulator(machine, noise=noise).run(program, run_seed=1)
+        assert res.returns == [42, 42]
+
+
+class TestValidation:
+    def comm_of(self):
+        from repro.sim.comm import Comm
+        from repro.sim.engine import CommGroup
+
+        return Comm(CommGroup(gid=0, world_ranks=(0, 1)), 0)
+
+    def test_rejects_empty_segments(self):
+        with pytest.raises(ValueError, match="at least one segment"):
+            self.comm_of().compute_run([])
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError, match="count >= 1"):
+            self.comm_of().compute_run([(GEMM, 0)])
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(TypeError, match="KernelSignature"):
+            self.comm_of().compute_run([(("gemm", 1.0), 3)])

@@ -1,0 +1,215 @@
+"""Engine diagnostics: determinism, accounting invariants, zero perturbation."""
+
+import json
+
+import pytest
+
+from repro.kernels.blas import gemm_spec, trsm_spec
+from repro.sim.diagnostics import EngineDiagnostics, format_counters_table, op_kind
+from repro.sim.engine import Simulator
+from repro.sim.presets import make_machine
+
+
+def mixed_program(comm):
+    """p2p + collectives + computes + batch + columnar run."""
+    me, p = comm.rank, comm.size
+    nxt, prv = (me + 1) % p, (me - 1) % p
+    gemm = gemm_spec(16, 16, 16)
+    trsm = trsm_spec(16, 16)
+    op = comm.compute(gemm)
+    for r in range(6):
+        req = yield comm.isend(dest=nxt, tag=r, nbytes=256)
+        yield op
+        yield comm.recv(source=prv, tag=r, nbytes=256)
+        yield comm.wait(req)
+        if me % 2 == 0:
+            yield comm.send(dest=nxt, tag=9, nbytes=64)
+            yield comm.recv(source=prv, tag=9, nbytes=64)
+        else:
+            yield comm.recv(source=prv, tag=9, nbytes=64)
+            yield comm.send(dest=nxt, tag=9, nbytes=64)
+        yield comm.compute_batch(trsm, 4)
+        yield comm.compute_run([(gemm, 3), (trsm, 2)])
+        yield comm.bcast(root=0, nbytes=128)
+        yield comm.allreduce(nbytes=128)
+    return me
+
+
+def run_once(fast_path=True, profiler=None, diag=None, preset="knl-fabric"):
+    machine, noise = make_machine(preset, 4, seed=7)
+    sim = Simulator(machine, noise=noise, profiler=profiler,
+                    fast_path=fast_path, diagnostics=diag)
+    return sim.run(mixed_program, run_seed=11)
+
+
+def make_critter():
+    from repro.critter import Critter
+
+    return Critter(policy="online", eps=0.25)
+
+
+class TestDeterminism:
+    def test_two_seeded_runs_emit_identical_counter_json(self):
+        blobs = []
+        for _ in range(2):
+            d = EngineDiagnostics()
+            run_once(diag=d)
+            blobs.append(d.counters_json())
+        assert blobs[0] == blobs[1]
+
+    def test_profiled_runs_are_also_deterministic(self):
+        blobs = []
+        for _ in range(2):
+            d = EngineDiagnostics()
+            run_once(diag=d, profiler=make_critter())
+            blobs.append(d.counters_json())
+        assert blobs[0] == blobs[1]
+
+    def test_canonical_json_excludes_wall_clock(self):
+        d = EngineDiagnostics()
+        run_once(diag=d)
+        counters = json.loads(d.counters_json())
+        assert "wall_s" not in counters
+        assert "dispatch_wall_s" not in counters
+        assert d.as_dict()["timings"]["wall_s"] > 0.0
+
+
+class TestNoPerturbation:
+    """Counters must never influence scheduling, draws, or hooks."""
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_makespan_identical_with_counters_on_or_off(self, fast_path):
+        base = run_once(fast_path=fast_path)
+        counted = run_once(fast_path=fast_path, diag=EngineDiagnostics())
+        assert counted.makespan == base.makespan
+        assert counted.rank_times == base.rank_times
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_profiled_makespan_identical_with_counters(self, fast_path):
+        base = run_once(fast_path=fast_path, profiler=make_critter())
+        counted = run_once(fast_path=fast_path, profiler=make_critter(),
+                           diag=EngineDiagnostics())
+        assert counted.makespan == base.makespan
+
+
+class TestAccountingInvariants:
+    def counters(self, **kw):
+        d = EngineDiagnostics()
+        run_once(diag=d, **kw)
+        return d, d.as_dict()["counters"]
+
+    def test_inline_plus_heap_covers_every_op(self):
+        _, c = self.counters()
+        for kind, total in c["op_totals"].items():
+            heap = c["heap_dispatched"].get(kind, 0)
+            inline = c["inline_handled"][kind]
+            assert inline + heap == total
+            assert inline >= 0
+        assert (c["total_inline_ops"] + c["total_heap_ops"]
+                == c["total_ops"])
+
+    def test_redelivery_is_a_subset_of_heap_dispatches(self):
+        _, c = self.counters(profiler=make_critter())
+        for kind, n in c["redelivered"].items():
+            assert n <= c["heap_dispatched"].get(kind, 0)
+
+    def test_match_breakdown_sums_to_total(self):
+        for kw in ({}, {"profiler": make_critter()}):
+            _, c = self.counters(**kw)
+            assert (c["match_inline"] + c["match_deferred"]
+                    + c["match_heap"] == c["match_total"])
+            # every recv in the program pairs with exactly one send
+            recvs = c["op_totals"].get("recv", 0)
+            assert c["match_total"] == recvs
+
+    def test_batch_and_run_fill_counters(self):
+        _, c = self.counters()
+        nranks, rounds = 4, 6
+        assert c["batches"] == nranks * rounds
+        assert c["batch_kernels"] == nranks * rounds * 4
+        assert c["run_segments"] == nranks * rounds * 2
+        assert c["run_kernels"] == nranks * rounds * 5
+
+    def test_naive_scheduler_reports_no_fast_path_activity(self):
+        d = EngineDiagnostics()
+        run_once(fast_path=False, diag=d)
+        c = d.as_dict()["counters"]
+        # the naive scheduler round-trips every op through the heap
+        assert c["total_inline_ops"] == 0
+        assert c["match_inline"] == 0
+        assert c["match_deferred"] == 0
+        assert c["coll_parks_inline"] == 0
+        assert c["fast_resume_fifo"] == 0
+        assert c["early_queued"] == {}
+
+    def test_accumulation_and_reset(self):
+        d = EngineDiagnostics()
+        run_once(diag=d)
+        once = json.loads(d.counters_json())
+        run_once(diag=d)
+        twice = json.loads(d.counters_json())
+        assert twice["runs"] == 2
+        assert twice["total_ops"] == 2 * once["total_ops"]
+        d.reset()
+        assert d.as_dict()["counters"]["total_ops"] == 0
+        assert d.as_dict()["counters"]["runs"] == 0
+
+
+class TestWrapper:
+    def test_wrap_forwards_sends_and_return_value(self):
+        log = []
+
+        def gen():
+            got = yield "a"
+            log.append(got)
+            got = yield "b"
+            log.append(got)
+            return "done"
+
+        d = EngineDiagnostics()
+        wrapped = d.wrap(gen())
+        assert next(wrapped) == "a"
+        assert wrapped.send(1) == "b"
+        with pytest.raises(StopIteration) as stop:
+            wrapped.send(2)
+        assert stop.value.value == "done"
+        assert log == [1, 2]
+        assert d.op_totals == {"str": 2}
+
+    def test_run_returns_preserved_under_counting(self):
+        res = run_once(diag=EngineDiagnostics())
+        assert res.returns == [0, 1, 2, 3]
+
+
+class TestReporting:
+    def test_table_renders_from_round_tripped_json(self):
+        d = EngineDiagnostics()
+        run_once(diag=d)
+        restored = json.loads(d.counters_json())
+        table = format_counters_table(restored)
+        assert table == d.format_table()
+        assert "inline engagement" in table
+        assert "batcher fill" in table
+        assert "columnar runs" in table
+
+    def test_op_kind_labels(self):
+        machine, noise = make_machine("quiet", 2, seed=0)
+
+        labels = []
+
+        def probe(comm):
+            ops = [comm.compute(gemm_spec(4, 4, 4)),
+                   comm.compute_batch(gemm_spec(4, 4, 4), 2),
+                   comm.compute_run([(gemm_spec(4, 4, 4), 2)]),
+                   comm.allreduce(nbytes=8),
+                   comm.barrier()]
+            if comm.rank == 0:
+                labels.extend(op_kind(op) for op in ops)
+            for op in ops:
+                yield op
+            return None
+
+        Simulator(machine, noise=noise).run(probe, run_seed=1)
+        assert labels[:2] == ["compute", "batch"]
+        assert labels[2] == "compute_run"
+        assert labels[3:] == ["allreduce", "barrier"]

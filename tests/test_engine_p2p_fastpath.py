@@ -415,6 +415,12 @@ def _random_p2p_program(case_seed: int, p: int, rounds: int = 6):
 
 _FUZZ_CASES = int(os.environ.get("REPRO_P2P_FUZZ_CASES", "6"))
 
+#: when "1", every fuzz case is replayed under both schedulers with
+#: EngineDiagnostics attached and the results are asserted bit-identical
+#: against the counters-off run (CI's differential-fuzz leg sets this;
+#: it doubles the per-case cost, so it is off by default locally)
+_FUZZ_DIAG = os.environ.get("REPRO_P2P_FUZZ_DIAG", "") == "1"
+
 
 @pytest.mark.parametrize("case", range(_FUZZ_CASES))
 @pytest.mark.parametrize("with_critter", [False, True],
@@ -424,6 +430,25 @@ def test_differential_random_p2p_programs(case, with_critter):
     p = [2, 3, 4, 5, 6, 8][case % 6]
     preset = ["knl-fabric", "cloud-vm", "quiet"][case % 3]
     factory = (lambda: Critter(policy="online", eps=0.3)) if with_critter else None
-    res = run_both(_random_p2p_program(7000 + case, p), nprocs=p,
+    prog = _random_p2p_program(7000 + case, p)
+    res = run_both(prog, nprocs=p,
                    preset=preset, profiler_factory=factory, run_seed=case)
     assert sorted(res.returns) == list(range(p))
+    if _FUZZ_DIAG:
+        # counters must never perturb scheduling, draws, or hooks
+        from repro.sim.diagnostics import EngineDiagnostics
+
+        machine, noise = make_machine(preset, p, seed=11)
+        for fast in (True, False):
+            diag = EngineDiagnostics()
+            sim = Simulator(machine, noise=noise,
+                            profiler=factory() if factory else None,
+                            fast_path=fast, diagnostics=diag)
+            counted = sim.run(prog, run_seed=case)
+            assert counted.makespan == res.makespan
+            assert counted.rank_times == res.rank_times
+            assert counted.returns == res.returns
+            c = diag.as_dict()["counters"]
+            assert all(n >= 0 for n in c["inline_handled"].values())
+            assert (c["match_inline"] + c["match_deferred"]
+                    + c["match_heap"] == c["match_total"])

@@ -41,6 +41,35 @@ class TestPayloadNbytes:
         assert payload_nbytes(memoryview(np.zeros((3, 4), dtype=np.int32)),
                               None) == 48
 
+    def test_array_array_inference(self):
+        import array
+
+        assert payload_nbytes(array.array("d", [0.0] * 10), None) == 80
+        assert payload_nbytes(array.array("i", range(6)), None) == 24
+        assert payload_nbytes(array.array("b"), None) == 0
+
+    def test_numpy_scalar_inference(self):
+        # sized via .nbytes: the generic 8-byte scalar fallback would
+        # mis-size every non-64-bit dtype
+        assert payload_nbytes(np.float32(1.5), None) == 4
+        assert payload_nbytes(np.int16(3), None) == 2
+        assert payload_nbytes(np.float64(2.0), None) == 8
+        assert payload_nbytes([np.int8(1), np.int8(2)], None) == 2
+
+    def test_explicit_wins_over_array_and_scalar_inference(self):
+        import array
+
+        assert payload_nbytes(array.array("d", [0.0] * 10), 8) == 8
+        assert payload_nbytes(np.float32(1.5), 64) == 64
+
+    def test_negative_explicit_nbytes_with_new_payload_kinds(self):
+        import array
+
+        with pytest.raises(ValueError, match="nbytes must be >= 0"):
+            payload_nbytes(array.array("d", [0.0]), -1)
+        with pytest.raises(ValueError, match="nbytes must be >= 0"):
+            payload_nbytes(np.float32(1.5), -4)
+
     def test_negative_explicit_nbytes_raises(self):
         with pytest.raises(ValueError, match="nbytes must be >= 0"):
             payload_nbytes(None, -1)
