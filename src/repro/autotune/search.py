@@ -30,14 +30,14 @@ supplied ground truth.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.autotune.configspace import ConfigSpace
 from repro.autotune.tuner import GroundTruth, _seed_for
 from repro.critter.core import Critter
 from repro.critter.policies import make_policy
-from repro.runner import TUNE_CONFIG, Runner, RunRequest
+from repro.runner import TUNE_CONFIG, Runner, RunnerError, RunRequest
 from repro.sim.engine import Simulator
 from repro.sim.machine import Machine
 
@@ -54,6 +54,8 @@ class SearchResult:
     evaluations: int                  # number of selective runs performed
     predictions: Dict[int, float]     # config index -> predicted time
     ground: Optional[List[GroundTruth]] = None
+    #: configs whose measurement jobs were quarantined (skipped, not fatal)
+    failures: List[str] = field(default_factory=list)
 
     @property
     def selection_quality(self) -> float:
@@ -85,6 +87,8 @@ class _StrategyBase:
         self.runner = runner if runner is not None else Runner()
         self._critter = Critter(policy=self.policy, eps=eps, exclude=space.exclude)
         self.evaluations = 0
+        #: annotations for measurements a fault-tolerant runner quarantined
+        self.failures: List[str] = []
 
     # ------------------------------------------------------------------
     def _measure_batch(
@@ -95,7 +99,10 @@ class _StrategyBase:
         Returns ``{index: (wall cost, predicted execution time)}``.  For
         statistics-resetting policies every configuration is an
         independent job; eager propagation measures inline through the
-        strategy's shared Critter.
+        strategy's shared Critter.  Configurations whose job a
+        fault-tolerant runner quarantined are absent from the returned
+        mapping and annotated in ``self.failures`` — a strategy then
+        simply searches over the survivors.
         """
         if not self.policy.resets_between_configs:
             return {idx: self._measure_inline(idx, reps, rep_offset)
@@ -111,6 +118,10 @@ class _StrategyBase:
         ]
         out: Dict[int, Tuple[float, float]] = {}
         for idx, res in zip(indices, self.runner.run(requests)):
+            if res.failed:
+                self.failures.append(
+                    res.error or f"config {idx}: measurement failed")
+                continue
             cr = res.outputs[0]
             self.evaluations += reps
             out[idx] = (cr.tuning_time, cr.predicted.exec_time)
@@ -138,6 +149,19 @@ class _StrategyBase:
         Returns (wall cost, predicted execution time)."""
         return self._measure_batch([idx], reps, rep_offset)[idx]
 
+    def _best(self, preds: Dict[int, float]) -> int:
+        if not preds:
+            raise RunnerError(
+                f"{self.name} search: every measurement failed "
+                f"({len(self.failures)} quarantined jobs); first failure: "
+                f"{self.failures[0] if self.failures else 'unknown'}")
+        return min(preds, key=preds.get)
+
+    def _finish(self, total: float, preds: Dict[int, float]) -> SearchResult:
+        return SearchResult(self.name, self._best(preds), total,
+                            self.evaluations, preds, self.ground,
+                            failures=list(self.failures))
+
 
 class ExhaustiveSearch(_StrategyBase):
     """The paper's protocol: every configuration, equal repetitions."""
@@ -148,9 +172,7 @@ class ExhaustiveSearch(_StrategyBase):
         measured = self._measure_batch(list(range(len(self.space))), reps)
         total = sum(cost for cost, _ in measured.values())
         preds = {idx: pred for idx, (_, pred) in measured.items()}
-        chosen = min(preds, key=preds.get)
-        return SearchResult(self.name, chosen, total, self.evaluations,
-                            preds, self.ground)
+        return self._finish(total, preds)
 
 
 class RandomSearch(_StrategyBase):
@@ -165,9 +187,7 @@ class RandomSearch(_StrategyBase):
         measured = self._measure_batch(picks, reps)
         total = sum(cost for cost, _ in measured.values())
         preds = {idx: pred for idx, (_, pred) in measured.items()}
-        chosen = min(preds, key=preds.get)
-        return SearchResult(self.name, chosen, total, self.evaluations,
-                            preds, self.ground)
+        return self._finish(total, preds)
 
 
 class SuccessiveHalving(_StrategyBase):
@@ -196,12 +216,13 @@ class SuccessiveHalving(_StrategyBase):
             for idx, (cost, pred) in measured.items():
                 total += cost
                 preds[idx] = pred
-            if len(alive) == 1:
+            # a quarantined measurement leaves its config without a
+            # prediction this round: drop it from the bracket
+            alive = [i for i in alive if i in preds]
+            if len(alive) <= 1:
                 break
             alive.sort(key=lambda i: preds[i])
             alive = alive[: max(1, len(alive) // eta)]
             reps *= eta
             round_no += 1
-        chosen = min(preds, key=preds.get)
-        return SearchResult(self.name, chosen, total, self.evaluations,
-                            preds, self.ground)
+        return self._finish(total, preds)

@@ -32,10 +32,18 @@ from repro.autotune.tuner import (
     TuningResult,
     assemble_tuning_result,
     default_machine,
-    measure_ground_truth,
+    ground_truth_from_results,
+    ground_truth_requests,
     tuning_requests,
 )
-from repro.runner import Runner, logging_progress, make_runner
+from repro.runner import (
+    ManifestError,
+    Runner,
+    SweepManifest,
+    logging_progress,
+    make_runner,
+    request_key,
+)
 from repro.sim.machine import Machine
 
 __all__ = ["SweepResult", "tolerance_sweep", "default_tolerances"]
@@ -50,28 +58,43 @@ def default_tolerances(lo_exp: int = -10, hi_exp: int = 0) -> List[float]:
 
 @dataclass(slots=True)
 class SweepResult:
-    """All tuning results of one space's (policy x tolerance) grid."""
+    """All tuning results of one space's (policy x tolerance) grid.
+
+    ``ground`` is aligned by configuration index; a ``None`` slot marks
+    a configuration whose full-execution job was quarantined by a
+    fault-tolerant runner — reference lines then range over the
+    surviving configurations, and :meth:`failure_summary` names what
+    was skipped at each grid point.
+    """
 
     space_name: str
     policies: List[str]
     tolerances: List[float]
     reps: int
     points: Dict[Tuple[str, float], TuningResult] = field(default_factory=dict)
-    ground: List[GroundTruth] = field(default_factory=list)
+    ground: List[Optional[GroundTruth]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
     def full_search_time(self) -> float:
         """The red full-execution reference line."""
-        return sum(g.mean_time * self.reps for g in self.ground)
+        return sum(g.mean_time * self.reps for g in self.ground
+                   if g is not None)
 
     @property
     def full_kernel_time(self) -> float:
-        return sum(g.max_rank_kernel_time * self.reps for g in self.ground)
+        return sum(g.max_rank_kernel_time * self.reps for g in self.ground
+                   if g is not None)
 
     @property
     def full_comp_kernel_time(self) -> float:
-        return sum(g.max_rank_comp_time * self.reps for g in self.ground)
+        return sum(g.max_rank_comp_time * self.reps for g in self.ground
+                   if g is not None)
+
+    def failure_summary(self) -> Dict[Tuple[str, float], List[str]]:
+        """Failed-job annotations per grid point (empty when clean)."""
+        return {point: list(res.failures)
+                for point, res in self.points.items() if res.failures}
 
     def result(self, policy: str, eps: float) -> TuningResult:
         return self.points[(policy, eps)]
@@ -114,6 +137,7 @@ def tolerance_sweep(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     runner: Optional[Runner] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run the full (policy x tolerance) grid for one space.
 
@@ -122,6 +146,15 @@ def tolerance_sweep(
     sweeps.  ``progress`` emits per-job and per-point ``key=value``
     lines through :mod:`logging` (loggers ``repro.runner`` and
     ``repro.autotune.sweep``) instead of printing.
+
+    When the runner has a result cache, the sweep maintains a
+    :class:`~repro.runner.SweepManifest` next to it — request keys plus
+    completion states, flushed after every job — so a sweep killed
+    mid-grid can restart with ``resume=True``: only incomplete jobs
+    execute (the cache replays completed ones at zero cost), and the
+    manifest's prior progress is reported before work begins.
+    ``resume`` requires a cache and an existing manifest for this exact
+    grid; anything else raises :class:`~repro.runner.ManifestError`.
     """
     machine = machine or default_machine(space, seed)
     tolerances = list(tolerances if tolerances is not None else default_tolerances())
@@ -133,17 +166,11 @@ def tolerance_sweep(
     if runner is None:
         runner = make_runner(jobs=jobs, cache_dir=cache_dir,
                              progress=logging_progress() if progress else None)
-    ground = measure_ground_truth(space, machine, full_reps, seed,
-                                  runner=runner)
-    sweep = SweepResult(
-        space_name=space.name,
-        policies=list(policies),
-        tolerances=tolerances,
-        reps=reps,
-        ground=ground,
-    )
-    # one flat batch for the whole grid: the runner interleaves every
-    # (policy, eps) point's jobs across the worker pool
+
+    # describe the whole campaign up front: ground truth plus one flat
+    # batch for the grid (the runner interleaves every (policy, eps)
+    # point's jobs across the worker pool)
+    gt_requests = ground_truth_requests(space, machine, full_reps, seed)
     grid: List[Tuple[str, float]] = [(p, e) for p in policies for e in tolerances]
     spans: List[Tuple[int, int]] = []
     requests = []
@@ -151,11 +178,49 @@ def tolerance_sweep(
         reqs = tuning_requests(space, machine, policy, eps, reps, seed=seed)
         spans.append((len(requests), len(requests) + len(reqs)))
         requests.extend(reqs)
-    results = runner.run(requests)
+
+    manifest = None
+    if runner.cache is not None:
+        all_requests = gt_requests + requests
+        keys = [request_key(r) for r in all_requests]
+        grid_id = SweepManifest.grid_id_for(keys)
+        mpath = SweepManifest.path_for(runner.cache.directory, space.name,
+                                       grid_id)
+        if resume:
+            manifest = SweepManifest.load(mpath)  # raises if nothing to resume
+            logger.info("resuming sweep: %s", manifest.summary())
+        else:
+            manifest = SweepManifest(mpath, grid_id)
+        manifest.plan(list(zip(keys, all_requests)))
+        manifest.save()
+        runner.manifest = manifest
+    elif resume:
+        raise ManifestError(
+            "resume requires a result cache (cache_dir): the manifest "
+            "lives next to it and the cache is what makes completed "
+            "jobs free to replay")
+
+    try:
+        gt_results = runner.run(gt_requests)
+        ground = ground_truth_from_results(gt_results,
+                                           nconfigs=len(space.configs))
+        sweep = SweepResult(
+            space_name=space.name,
+            policies=list(policies),
+            tolerances=tolerances,
+            reps=reps,
+            ground=ground,
+        )
+        results = runner.run(requests)
+    finally:
+        runner.manifest = None
     for (policy, eps), (lo, hi) in zip(grid, spans):
         res = assemble_tuning_result(space, policy, eps, reps,
                                      results[lo:hi], ground)
         sweep.points[(policy, eps)] = res
+        for failure in res.failures:
+            logger.warning("sweep_point space=%s policy=%s eps=%g "
+                           "degraded: %s", space.name, policy, eps, failure)
         if progress:
             logger.info("%s", _describe_point(space.name, res))
     return sweep

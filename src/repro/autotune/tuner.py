@@ -118,13 +118,20 @@ class ConfigOutcome:
 
 @dataclass(slots=True)
 class TuningResult:
-    """Outcome of exhaustively tuning a space with one (policy, eps)."""
+    """Outcome of exhaustively tuning a space with one (policy, eps).
+
+    ``failures`` annotates jobs the runner quarantined (and configs
+    whose ground truth is unavailable): the corresponding outcomes are
+    simply absent, so every aggregate below ranges over the surviving
+    configurations — a sweep degrades gracefully instead of aborting.
+    """
 
     space_name: str
     policy: str
     eps: float
     reps: int
     outcomes: List[ConfigOutcome] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
 
     # -- search cost -----------------------------------------------------
     @property
@@ -229,16 +236,28 @@ def tuning_requests(
     return [RunRequest(kind=TUNE_PASS, **common)]
 
 
-def ground_truth_from_results(results: Sequence[RunResult]) -> List[GroundTruth]:
-    """Convert ground-truth job results back into driver-level objects."""
-    outs = sorted((o for res in results for o in res.outputs),
-                  key=lambda o: o.index)
-    return [
-        GroundTruth(times=o.times, path=o.path,
-                    max_rank_comp_time=o.max_rank_comp_time,
-                    max_rank_kernel_time=o.max_rank_kernel_time)
-        for o in outs
-    ]
+def ground_truth_from_results(
+    results: Sequence[RunResult],
+    nconfigs: Optional[int] = None,
+) -> List[Optional[GroundTruth]]:
+    """Convert ground-truth job results back into driver-level objects.
+
+    The returned list is aligned by configuration index.  Failed jobs
+    (``status="failed"``) leave ``None`` at their configuration's slot,
+    so downstream consumers can skip-and-annotate those configurations;
+    pass ``nconfigs`` to fix the list length when trailing jobs failed.
+    """
+    outs = sorted((o for res in results if not res.failed
+                   for o in res.outputs), key=lambda o: o.index)
+    size = nconfigs if nconfigs is not None else (
+        max((o.index for o in outs), default=-1) + 1)
+    ground: List[Optional[GroundTruth]] = [None] * size
+    for o in outs:
+        ground[o.index] = GroundTruth(
+            times=o.times, path=o.path,
+            max_rank_comp_time=o.max_rank_comp_time,
+            max_rank_kernel_time=o.max_rank_kernel_time)
+    return ground
 
 
 def assemble_tuning_result(
@@ -247,15 +266,29 @@ def assemble_tuning_result(
     eps: float,
     reps: int,
     results: Sequence[RunResult],
-    ground: Sequence[GroundTruth],
+    ground: Sequence[Optional[GroundTruth]],
 ) -> TuningResult:
-    """Join selective-job outputs with ground truth into a TuningResult."""
+    """Join selective-job outputs with ground truth into a TuningResult.
+
+    Failed jobs and configurations lacking ground truth are recorded in
+    ``TuningResult.failures`` and skipped, not fatal: the paper's grid
+    points stay comparable over the surviving configurations.
+    """
     result = TuningResult(space_name=space.name, policy=policy,
                           eps=float(eps), reps=int(reps))
+    for res in results:
+        if res.failed:
+            result.failures.append(res.error or f"{res.kind} job failed")
     flat: List[ConfigResult] = sorted(
-        (o for res in results for o in res.outputs), key=lambda o: o.index)
+        (o for res in results if not res.failed for o in res.outputs),
+        key=lambda o: o.index)
     for cr in flat:
-        truth = ground[cr.index]
+        truth = ground[cr.index] if cr.index < len(ground) else None
+        if truth is None:
+            result.failures.append(
+                f"config {cr.index}: ground truth unavailable "
+                f"(full-execution job failed)")
+            continue
         outcome = ConfigOutcome(
             index=cr.index,
             label=space.configs[cr.index].label(),
@@ -279,12 +312,16 @@ def measure_ground_truth(
     full_reps: int = 3,
     seed: int = 0,
     runner: Optional[Runner] = None,
-) -> List[GroundTruth]:
-    """Full executions of every configuration (shared across sweeps)."""
+) -> List[Optional[GroundTruth]]:
+    """Full executions of every configuration (shared across sweeps).
+
+    Aligned by configuration index; a slot is ``None`` only when that
+    configuration's job was quarantined by a fault-tolerant runner.
+    """
     machine = machine or default_machine(space, seed)
     runner = runner if runner is not None else Runner()
     results = runner.run(ground_truth_requests(space, machine, full_reps, seed))
-    return ground_truth_from_results(results)
+    return ground_truth_from_results(results, nconfigs=len(space.configs))
 
 
 class ExhaustiveTuner:
@@ -301,7 +338,7 @@ class ExhaustiveTuner:
         confidence: float = 0.95,
         min_samples: int = 2,
         seed: int = 0,
-        ground_truth: Optional[List[GroundTruth]] = None,
+        ground_truth: Optional[List[Optional[GroundTruth]]] = None,
         runner: Optional[Runner] = None,
     ) -> None:
         self.space = space

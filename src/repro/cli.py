@@ -61,6 +61,15 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--max-configs", type=int, default=None, metavar="K",
                    help="truncate the space to its first K configurations "
                         "(smoke runs)")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="retry failed/timed-out jobs up to N times with "
+                        "exponential backoff; after the budget is spent a "
+                        "poison job is quarantined as status=failed and the "
+                        "rest of the batch completes")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="SEC",
+                   help="per-job wall-clock timeout; a hung worker is "
+                        "killed, its pool rebuilt, and the job retried "
+                        "(implies the fault-tolerant executor)")
 
 
 def _make_runner(args: argparse.Namespace):
@@ -68,7 +77,8 @@ def _make_runner(args: argparse.Namespace):
         logging.basicConfig(level=logging.INFO, stream=sys.stderr,
                             format="%(name)s %(message)s")
     return make_runner(jobs=args.jobs, cache_dir=args.cache_dir,
-                       progress=logging_progress() if args.progress else None)
+                       progress=logging_progress() if args.progress else None,
+                       retries=args.retries, timeout=args.job_timeout)
 
 
 def _load_space(args: argparse.Namespace):
@@ -113,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TuningResult metric to report")
     s.add_argument("--chart", action="store_true",
                    help="also render an ASCII chart")
+    s.add_argument("--resume", action="store_true",
+                   help="restart a killed sweep from its manifest (requires "
+                        "--cache-dir): only incomplete jobs execute, the "
+                        "cache replays completed ones at zero cost")
     _add_runner_options(s)
 
     f = sub.add_parser("profile", help="full critical-path profile of one config")
@@ -185,14 +199,34 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import ManifestError
+
     space = _load_space(args)
     machine = default_machine(space, seed=args.seed)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     tolerances = [2.0**int(e) for e in args.exponents.split(",")]
-    sweep = tolerance_sweep(space, machine, policies=policies,
-                            tolerances=tolerances, reps=args.reps,
-                            full_reps=args.full_reps, seed=args.seed,
-                            progress=args.progress, runner=_make_runner(args))
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir (the sweep manifest "
+              "lives next to the result cache)", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    try:
+        sweep = tolerance_sweep(space, machine, policies=policies,
+                                tolerances=tolerances, reps=args.reps,
+                                full_reps=args.full_reps, seed=args.seed,
+                                progress=args.progress, runner=runner,
+                                resume=args.resume)
+    except ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.resume:
+        print(f"resume: {runner.executed()} executed, "
+              f"{runner.cache_hits()} replayed from cache, "
+              f"{runner.failed()} failed")
+    for point, failures in sorted(sweep.failure_summary().items()):
+        for failure in failures:
+            print(f"warning: degraded point {point}: {failure}",
+                  file=sys.stderr)
     headers = ["policy"] + [f"2^{int(math.log2(e))}" for e in tolerances]
     rows = [[p] + sweep.series(p, args.metric) for p in policies]
     ref = sweep.full_search_time if args.metric == "search_time" else None

@@ -4,36 +4,46 @@ The experiment drivers (:mod:`repro.autotune.tuner`,
 :mod:`repro.autotune.sweep`, :mod:`repro.autotune.search`) describe
 their measurements as :class:`RunRequest` batches and submit them to a
 :class:`Runner`, which layers a content-addressed disk cache and a
-serial or process-pool executor underneath.  Results are bit-identical
-across executors; see :mod:`repro.runner.jobs` for why.
+serial, process-pool, or fault-tolerant executor underneath.  Results
+are bit-identical across executors; see :mod:`repro.runner.jobs` for
+why.  The fault-tolerance layer (:mod:`repro.runner.resilience`,
+:mod:`repro.runner.faults`, :mod:`repro.runner.manifest`) adds
+retry/timeout/quarantine semantics, deterministic fault injection for
+testing them, and resumable sweep manifests.
 """
 
 from repro.runner.cache import ResultCache
 from repro.runner.executors import (
     ParallelExecutor,
     Runner,
+    RunnerError,
     SerialExecutor,
     make_runner,
 )
+from repro.runner.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.runner.jobs import (
     GROUND_TRUTH,
     TUNE_CONFIG,
     TUNE_PASS,
     ConfigResult,
     GroundTruthResult,
+    JobExecutionError,
     RunRequest,
     RunResult,
     execute_request,
+    failed_result,
     request_fingerprint,
     request_key,
     seed_for,
 )
+from repro.runner.manifest import ManifestError, SweepManifest
 from repro.runner.progress import (
     LOGGER_NAME,
     ProgressCallback,
     RunEvent,
     logging_progress,
 )
+from repro.runner.resilience import ResilientExecutor, RetryPolicy
 
 __all__ = [
     "GROUND_TRUTH",
@@ -43,15 +53,25 @@ __all__ = [
     "RunResult",
     "GroundTruthResult",
     "ConfigResult",
+    "JobExecutionError",
     "seed_for",
     "execute_request",
+    "failed_result",
     "request_fingerprint",
     "request_key",
     "ResultCache",
     "SerialExecutor",
     "ParallelExecutor",
+    "ResilientExecutor",
+    "RetryPolicy",
     "Runner",
+    "RunnerError",
     "make_runner",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "SweepManifest",
+    "ManifestError",
     "RunEvent",
     "ProgressCallback",
     "logging_progress",

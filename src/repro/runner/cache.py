@@ -36,10 +36,27 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
+
+    def _quarantine(self, path: str) -> None:
+        """Move an undecodable entry aside so it is never re-tried.
+
+        Left in place, a corrupt file would re-pay the decode-and-fail
+        on every future lookup while silently re-missing forever;
+        renamed to ``<key>.corrupt`` it becomes a fresh miss that the
+        next execution overwrites, and the evidence survives for
+        debugging.
+        """
+        try:
+            os.replace(path, path[: -len(".json")] + ".corrupt")
+            self.corrupt += 1
+        except OSError:
+            # concurrent quarantine/overwrite: someone else handled it
+            pass
 
     def get(self, key: str) -> Optional[RunResult]:
         """Return the cached result for ``key``, or None on a miss."""
@@ -47,13 +64,19 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as f:
                 payload = json.load(f)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(path)
             self.misses += 1
             return None
         try:
             result = result_from_dict(payload["result"])
         except (KeyError, ValueError, TypeError):
-            # unreadable or stale-format entry: treat as a miss
+            # decodes as JSON but not as a result: stale format or
+            # truncated write — quarantine it like any corrupt entry
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -95,6 +118,11 @@ class ResultCache:
                     pass
         return removed
 
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt}
+
     def __repr__(self) -> str:
         return (f"ResultCache({self.directory!r}, hits={self.hits}, "
-                f"misses={self.misses}, stores={self.stores})")
+                f"misses={self.misses}, stores={self.stores}, "
+                f"corrupt={self.corrupt})")

@@ -26,9 +26,16 @@ from repro.runner.jobs import (
     request_fingerprint,
     request_key,
 )
+from repro.runner.manifest import SweepManifest
 from repro.runner.progress import ProgressCallback, RunEvent
+from repro.runner.resilience import ResilientExecutor, RetryPolicy
 
-__all__ = ["SerialExecutor", "ParallelExecutor", "Runner", "make_runner"]
+__all__ = ["SerialExecutor", "ParallelExecutor", "Runner", "RunnerError",
+           "make_runner"]
+
+
+class RunnerError(RuntimeError):
+    """The executor's result stream disagrees with the request batch."""
 
 
 class SerialExecutor:
@@ -75,14 +82,19 @@ class Runner:
 
     def __init__(
         self,
-        executor: Optional[Union[SerialExecutor, ParallelExecutor]] = None,
+        executor: Optional[Union[SerialExecutor, ParallelExecutor,
+                                 ResilientExecutor]] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        manifest: Optional[SweepManifest] = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.progress = progress
-        #: cumulative per-kind counters: ``executed:<kind>`` / ``cached:<kind>``
+        #: optional sweep-completion ledger, updated as results stream
+        self.manifest = manifest
+        #: cumulative per-kind counters:
+        #: ``executed:<kind>`` / ``cached:<kind>`` / ``failed:<kind>``
         self.stats: Dict[str, int] = {}
         self._done = 0  # completion counter within the current batch
 
@@ -95,14 +107,21 @@ class Runner:
         key = f"{bucket}:{kind}"
         self.stats[key] = self.stats.get(key, 0) + 1
 
-    def _emit(self, total: int, req: RunRequest, cached: bool) -> None:
+    def _emit(self, total: int, req: RunRequest, cached: bool,
+              status: str = "ok") -> None:
         # events carry a completion counter, not the request's batch
         # position: on a partially warm cache the hits stream first, and
         # a tailing reader still sees job=1/N .. job=N/N in order
         if self.progress is not None:
             self.progress(RunEvent(index=self._done, total=total,
-                                   request=req, cached=cached))
+                                   request=req, cached=cached,
+                                   status=status))
         self._done += 1
+
+    def _mark(self, key: str, res: RunResult) -> None:
+        if self.manifest is not None and key:
+            state = "done" if not res.failed else "failed"
+            self.manifest.mark(key, state, error=res.error)
 
     def executed(self, kind: Optional[str] = None) -> int:
         """Number of jobs actually simulated (optionally one kind)."""
@@ -113,32 +132,63 @@ class Runner:
         prefix = "cached:" + (kind if kind else "")
         return sum(v for k, v in self.stats.items() if k.startswith(prefix))
 
+    def failed(self, kind: Optional[str] = None) -> int:
+        """Number of jobs quarantined as failed (optionally one kind)."""
+        prefix = "failed:" + (kind if kind else "")
+        return sum(v for k, v in self.stats.items() if k.startswith(prefix))
+
     # ------------------------------------------------------------------
     def run(self, requests: Iterable[RunRequest]) -> List[RunResult]:
-        """Execute a batch; results align index-for-index with requests."""
+        """Execute a batch; results align index-for-index with requests.
+
+        Failed results (``status="failed"``, from a resilient executor's
+        quarantine) are returned in place but never cached — a rerun or
+        resume re-executes them, since the failure may be transient.
+        """
         requests = list(requests)
         total = len(requests)
         self._done = 0
+        need_key = self.cache is not None or self.manifest is not None
         results: List[Optional[RunResult]] = [None] * total
         pending: List[tuple[int, str]] = []
         for i, req in enumerate(requests):
-            key = request_key(req) if self.cache is not None else ""
+            key = request_key(req) if need_key else ""
             hit = self.cache.get(key) if self.cache is not None else None
             if hit is not None:
                 hit.cached = True
                 results[i] = hit
                 self._count("cached", req.kind)
-                self._emit(total, req, cached=True)
+                self._mark(key, hit)
+                self._emit(total, req, cached=True, status=hit.status)
             else:
                 pending.append((i, key))
         to_run = [requests[i] for i, _ in pending]
-        for (i, key), res in zip(pending, self.executor.map(to_run)):
-            if self.cache is not None:
-                self.cache.put(key, res,
-                               fingerprint=request_fingerprint(requests[i]))
+        result_iter = iter(self.executor.map(to_run))
+        for n_done, (i, key) in enumerate(pending):
+            res = next(result_iter, None)
+            if res is None:
+                # a plain zip would silently drop the rest of the batch;
+                # name what went missing instead
+                missing = [k or request_key(requests[j])
+                           for j, k in pending[n_done:]]
+                raise RunnerError(
+                    f"executor returned {n_done} results for "
+                    f"{len(pending)} requests; missing request keys: "
+                    f"{', '.join(missing)}")
+            if not res.failed:
+                if self.cache is not None:
+                    self.cache.put(key, res,
+                                   fingerprint=request_fingerprint(requests[i]))
+                self._count("executed", requests[i].kind)
+            else:
+                self._count("failed", requests[i].kind)
+            self._mark(key, res)
             results[i] = res
-            self._count("executed", requests[i].kind)
-            self._emit(total, requests[i], cached=False)
+            self._emit(total, requests[i], cached=False, status=res.status)
+        if next(result_iter, None) is not None:
+            raise RunnerError(
+                f"executor returned more results than the {len(pending)} "
+                f"submitted requests")
         return results  # type: ignore[return-value]
 
 
@@ -146,10 +196,29 @@ def make_runner(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    retries: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> Runner:
-    """Build a runner from the CLI-level knobs (``--jobs``/``--cache-dir``)."""
-    executor: Union[SerialExecutor, ParallelExecutor]
-    if jobs is not None and jobs != 1:
+    """Build a runner from the CLI-level knobs.
+
+    ``--jobs``/``--cache-dir`` pick the executor and cache as before;
+    ``retries`` (extra attempts per failed job) and/or ``timeout``
+    (per-job wall-clock seconds) select the fault-tolerant
+    :class:`~repro.runner.resilience.ResilientExecutor`, which survives
+    worker crashes and hangs and quarantines poison jobs as
+    ``status="failed"`` results instead of aborting the batch.
+    """
+    executor: Union[SerialExecutor, ParallelExecutor, ResilientExecutor]
+    if retries is not None or timeout is not None:
+        policy = RetryPolicy(
+            max_attempts=(retries + 1 if retries is not None else 3),
+            timeout=timeout,
+        )
+        # None means "one worker process" (serial-like, but isolated);
+        # 0 keeps the ParallelExecutor convention of "all cores"
+        executor = ResilientExecutor(jobs=jobs if jobs is not None else 1,
+                                     policy=policy)
+    elif jobs is not None and jobs != 1:
         executor = ParallelExecutor(jobs=jobs)
     else:
         executor = SerialExecutor()

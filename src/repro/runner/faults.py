@@ -1,0 +1,214 @@
+"""Deterministic fault injection for runner jobs.
+
+The fault-tolerance machinery in :mod:`repro.runner.resilience` needs a
+test substrate that can make worker processes *actually* raise, hang, or
+die — on chosen jobs, on chosen attempts, reproducibly.  A
+:class:`FaultPlan` provides exactly that: :func:`~repro.runner.jobs
+.execute_request` consults the active plan at job entry and injects the
+planned fault *before* any simulation state exists, so a retried attempt
+re-runs the deterministic job from scratch and surviving results stay
+bit-identical to a fault-free run (the invariant the CI fuzz leg pins).
+
+Plans reach worker processes through the environment —
+``REPRO_FAULT_PLAN`` (a JSON plan) and ``REPRO_FAULT_RATE`` (shorthand
+for a rate-only plan) are inherited by pool workers — or in-process via
+:func:`install` (serial executors, tests).
+
+Fault selection is content-addressed and seeded: a plan decides from
+``(plan seed, request key, attempt)`` alone, never from wall clock or
+process state, so the same plan replayed over the same requests faults
+the same (job, attempt) pairs on every machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runner.jobs import RunRequest, request_key
+
+__all__ = [
+    "ACTIONS",
+    "ENV_PLAN",
+    "ENV_RATE",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "install",
+    "active_plan",
+]
+
+#: what an injected fault does to the worker: raise an exception, sleep
+#: (a hung job, for timeout testing), or kill the process outright (a
+#: segfault stand-in that breaks the pool)
+ACTIONS = ("raise", "hang", "exit")
+
+ENV_PLAN = "REPRO_FAULT_PLAN"
+ENV_RATE = "REPRO_FAULT_RATE"
+
+#: exit status used by ``exit`` faults — distinctive in worker-death logs
+EXIT_STATUS = 87
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws inside the worker."""
+
+
+def _hash01(*parts: Any) -> float:
+    """Uniform [0, 1) value derived deterministically from ``parts``."""
+    blob = ":".join(str(p) for p in parts).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(slots=True)
+class FaultSpec:
+    """One targeted fault: which jobs, which attempts, what happens."""
+
+    action: str
+    #: restrict to one job kind (``ground-truth``/``tune-config``/...)
+    kind: Optional[str] = None
+    #: restrict to one configuration index
+    config_index: Optional[int] = None
+    #: fault only attempts < this value; ``None`` faults every attempt
+    #: (a poison job), ``1`` faults the first attempt only (transient)
+    attempts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; "
+                             f"expected one of {ACTIONS}")
+
+    def matches(self, req: RunRequest, attempt: int) -> bool:
+        if self.kind is not None and req.kind != self.kind:
+            return False
+        if (self.config_index is not None
+                and req.config_index != self.config_index):
+            return False
+        if self.attempts is not None and attempt >= self.attempts:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"action": self.action, "kind": self.kind,
+                "config_index": self.config_index, "attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultSpec":
+        return cls(action=d["action"], kind=d.get("kind"),
+                   config_index=d.get("config_index"),
+                   attempts=d.get("attempts"))
+
+
+class FaultPlan:
+    """A seeded, deterministic description of which jobs fault and how.
+
+    Two layers compose:
+
+    * ``specs`` — explicit targeted faults, first match wins;
+    * ``rate``  — background random faults: each (job, attempt) pair
+      faults with probability ``rate``, decided by hashing
+      ``(seed, request key, attempt)``; the action mix is 60% raise,
+      30% exit, 10% hang.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), rate: float = 0.0,
+                 seed: int = 0, hang_seconds: float = 30.0) -> None:
+        self.specs = list(specs)
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.hang_seconds = float(hang_seconds)
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+
+    # ------------------------------------------------------------------
+    def action_for(self, req: RunRequest, attempt: int) -> Optional[str]:
+        """The fault this (job, attempt) pair draws, or None."""
+        for spec in self.specs:
+            if spec.matches(req, attempt):
+                return spec.action
+        if self.rate > 0.0:
+            key = request_key(req)
+            if _hash01("fault", self.seed, key, attempt) < self.rate:
+                v = _hash01("action", self.seed, key, attempt)
+                if v < 0.6:
+                    return "raise"
+                if v < 0.9:
+                    return "exit"
+                return "hang"
+        return None
+
+    def apply(self, req: RunRequest, attempt: int) -> None:
+        """Inject the planned fault, if any (worker-side entry point)."""
+        action = self.action_for(req, attempt)
+        if action is None:
+            return
+        if action == "hang":
+            # a hung job: sleeps through the runner's timeout window,
+            # then proceeds normally (a plain slow job if timeouts are off)
+            time.sleep(self.hang_seconds)
+            return
+        if action == "exit":
+            os._exit(EXIT_STATUS)
+        raise InjectedFault(
+            f"injected fault (kind={req.kind} config={req.config_index} "
+            f"attempt={attempt})")
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "specs": [s.to_dict() for s in self.specs],
+            "rate": self.rate,
+            "seed": self.seed,
+            "hang_seconds": self.hang_seconds,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        d = json.loads(blob)
+        return cls(
+            specs=[FaultSpec.from_dict(s) for s in d.get("specs", ())],
+            rate=d.get("rate", 0.0),
+            seed=d.get("seed", 0),
+            hang_seconds=d.get("hang_seconds", 30.0),
+        )
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(specs={len(self.specs)}, rate={self.rate:g}, "
+                f"seed={self.seed})")
+
+
+# ----------------------------------------------------------------------
+# plan activation: in-process install, or the environment (pool workers
+# inherit the parent's environment, so an env plan reaches every worker)
+# ----------------------------------------------------------------------
+_installed: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Activate ``plan`` in this process (None deactivates)."""
+    global _installed
+    _installed = plan
+
+
+@lru_cache(maxsize=8)
+def _plan_from_env(plan_json: Optional[str],
+                   rate_str: Optional[str]) -> Optional[FaultPlan]:
+    if plan_json is None and rate_str is None:
+        return None
+    plan = FaultPlan.from_json(plan_json) if plan_json else FaultPlan()
+    if rate_str:
+        plan.rate = float(rate_str)
+    return plan
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan this process injects from, or None (the normal case)."""
+    if _installed is not None:
+        return _installed
+    return _plan_from_env(os.environ.get(ENV_PLAN), os.environ.get(ENV_RATE))

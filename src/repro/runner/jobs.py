@@ -50,8 +50,10 @@ __all__ = [
     "RunResult",
     "GroundTruthResult",
     "ConfigResult",
+    "JobExecutionError",
     "seed_for",
     "execute_request",
+    "failed_result",
     "request_fingerprint",
     "request_key",
     "result_to_dict",
@@ -143,12 +145,44 @@ class ConfigResult:
 
 @dataclass(slots=True)
 class RunResult:
-    """Outcome of one job: a list of per-configuration measurements."""
+    """Outcome of one job: a list of per-configuration measurements.
+
+    ``status`` is ``"ok"`` for a completed job and ``"failed"`` for a
+    job the resilient executor quarantined after exhausting its retry
+    budget; failed results carry an empty ``outputs`` list and a
+    human-readable ``error`` naming the job and its failure history.
+    Downstream layers (tuner/sweep/search/report) skip-and-annotate
+    failed results instead of crashing, so one poison job degrades a
+    sweep gracefully rather than aborting it.
+    """
 
     kind: str
     outputs: List[Any] = field(default_factory=list)
     #: set by the runner when the result came from the disk cache
     cached: bool = False
+    #: ``"ok"`` or ``"failed"``
+    status: str = "ok"
+    #: failure description (request key, kind, attempts, last error)
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
+
+
+class JobExecutionError(RuntimeError):
+    """A worker-side failure, annotated with the job's identity.
+
+    ``execute_request`` wraps any exception escaping a job body so the
+    parent process — with or without retries — sees *which* job failed
+    (request key, kind, config, seed, attempt) instead of a bare
+    traceback from an anonymous pool worker.
+    """
+
+
+def failed_result(req: RunRequest, error: str) -> RunResult:
+    """A structured failure outcome for a quarantined job."""
+    return RunResult(kind=req.kind, outputs=[], status="failed", error=error)
 
 
 # ----------------------------------------------------------------------
@@ -227,11 +261,33 @@ def _run_tuning(req: RunRequest) -> RunResult:
     return RunResult(kind=req.kind, outputs=outputs)
 
 
-def execute_request(req: RunRequest) -> RunResult:
-    """Run one job to completion (the worker-side entry point)."""
-    if req.kind == GROUND_TRUTH:
-        return _run_ground_truth(req)
-    return _run_tuning(req)
+def execute_request(req: RunRequest, attempt: int = 0) -> RunResult:
+    """Run one job to completion (the worker-side entry point).
+
+    ``attempt`` counts prior submissions of the same job (the resilient
+    executor passes it on retries); it feeds fault injection and failure
+    messages only — job results never depend on it.  Any exception from
+    the job body is re-raised as :class:`JobExecutionError` carrying the
+    request key, kind, config, and seed, so failures stay attributable
+    even through a bare process pool with retries disabled.
+    """
+    from repro.runner.faults import active_plan
+
+    try:
+        plan = active_plan()
+        if plan is not None:
+            plan.apply(req, attempt)
+        if req.kind == GROUND_TRUTH:
+            return _run_ground_truth(req)
+        return _run_tuning(req)
+    except JobExecutionError:
+        raise
+    except Exception as exc:
+        raise JobExecutionError(
+            f"{type(exc).__name__}: {exc} [key={request_key(req)} "
+            f"kind={req.kind} config={req.config_index} seed={req.seed} "
+            f"attempt={attempt}]"
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -306,6 +362,9 @@ def _path_from_list(v: Sequence[float]) -> PathMetrics:
 
 
 def result_to_dict(res: RunResult) -> Dict[str, Any]:
+    if res.failed:
+        return {"version": 1, "kind": res.kind, "outputs": [],
+                "status": res.status, "error": res.error}
     if res.kind == GROUND_TRUTH:
         outputs = [
             {"index": o.index, "times": o.times, "path": _path_to_list(o.path),
@@ -329,6 +388,9 @@ def result_from_dict(d: Dict[str, Any]) -> RunResult:
     if d.get("version") != 1:
         raise ValueError(f"unsupported result version {d.get('version')!r}")
     kind = d["kind"]
+    if d.get("status", "ok") != "ok":
+        return RunResult(kind=kind, outputs=[], status=d["status"],
+                         error=d.get("error"))
     if kind == GROUND_TRUTH:
         outputs: List[Any] = [
             GroundTruthResult(

@@ -1,0 +1,137 @@
+"""Resumable sweep manifests: request keys + completion states on disk.
+
+A sweep is a long many-job campaign; killing it mid-grid must not cost
+the completed work.  The content-addressed result cache already makes
+completed measurements free to replay — the manifest adds the *plan*:
+which request keys the sweep consists of and what state each is in
+(``pending`` / ``done`` / ``failed``), flushed atomically after every
+completion so the file is crash-consistent at all times.
+
+``repro sweep --resume`` loads the manifest written next to the cache,
+reports how much of the grid survived, and re-runs the sweep — the
+cache guarantees zero recomputation for ``done`` entries, while
+``pending`` and ``failed`` (transiently quarantined) jobs execute.
+The manifest file is named after the *grid id*, a hash of the sorted
+request keys, so differently-shaped sweeps over one cache directory
+never collide and a resume against a changed grid is detected as
+"nothing to resume" instead of silently mixing campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runner.jobs import RunRequest
+
+__all__ = ["SweepManifest", "ManifestError"]
+
+_STATES = ("pending", "done", "failed")
+
+
+class ManifestError(RuntimeError):
+    """A manifest file is missing, unreadable, or from another grid."""
+
+
+class SweepManifest:
+    """Per-sweep completion ledger, one atomic JSON file."""
+
+    VERSION = 1
+
+    def __init__(self, path: str, grid_id: str,
+                 entries: Optional[Dict[str, Dict]] = None) -> None:
+        self.path = str(path)
+        self.grid_id = str(grid_id)
+        #: request key -> {"state", "kind", "config", "error"}
+        self.entries: Dict[str, Dict] = entries if entries is not None else {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def grid_id_for(keys: Iterable[str]) -> str:
+        """Identity of a sweep grid: hash of its sorted request keys."""
+        blob = "\n".join(sorted(keys)).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @staticmethod
+    def path_for(directory: str, name: str, grid_id: str) -> str:
+        # deliberately NOT ``.json``: the result cache counts/clears
+        # ``*.json`` entries and must never touch the manifest
+        return os.path.join(directory, f"sweep-{name}-{grid_id}.manifest")
+
+    @classmethod
+    def load(cls, path: str) -> "SweepManifest":
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except FileNotFoundError:
+            raise ManifestError(f"no sweep manifest at {path}: "
+                                f"nothing to resume") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(f"unreadable sweep manifest {path}: {exc}")
+        if doc.get("version") != cls.VERSION:
+            raise ManifestError(
+                f"unsupported manifest version {doc.get('version')!r} in {path}")
+        return cls(path, doc["grid_id"], entries=doc.get("entries", {}))
+
+    # ------------------------------------------------------------------
+    def plan(self, keyed_requests: Sequence[Tuple[str, RunRequest]]) -> None:
+        """Register the grid's jobs, preserving already-recorded states."""
+        for key, req in keyed_requests:
+            self.entries.setdefault(key, {
+                "state": "pending",
+                "kind": req.kind,
+                "config": req.config_index,
+                "error": None,
+            })
+
+    def mark(self, key: str, state: str, error: Optional[str] = None) -> None:
+        """Record a completion state and flush atomically."""
+        if state not in _STATES:
+            raise ValueError(f"unknown manifest state {state!r}")
+        entry = self.entries.setdefault(
+            key, {"state": "pending", "kind": None, "config": None,
+                  "error": None})
+        entry["state"] = state
+        entry["error"] = error
+        self.save()
+
+    def save(self) -> None:
+        doc = {"version": self.VERSION, "grid_id": self.grid_id,
+               "entries": self.entries}
+        directory = os.path.dirname(self.path) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".manifest.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {s: 0 for s in _STATES}
+        for entry in self.entries.values():
+            out[entry.get("state", "pending")] = \
+                out.get(entry.get("state", "pending"), 0) + 1
+        return out
+
+    def incomplete(self) -> List[str]:
+        """Keys still owed work (pending or previously failed)."""
+        return [k for k, e in self.entries.items() if e.get("state") != "done"]
+
+    def summary(self) -> str:
+        c = self.counts()
+        total = len(self.entries)
+        return (f"manifest {os.path.basename(self.path)}: "
+                f"done={c['done']} failed={c['failed']} "
+                f"pending={c['pending']} of {total}")
+
+    def __repr__(self) -> str:
+        return f"SweepManifest({self.path!r}, grid={self.grid_id}, {self.counts()})"

@@ -23,16 +23,22 @@ LOGGER_NAME = "repro.runner"
 
 @dataclass(slots=True)
 class RunEvent:
-    """One completed (or cache-served) job."""
+    """One completed (or cache-served, or quarantined-failed) job."""
 
     index: int          # 0-based position in the submitted batch
     total: int          # batch size
     request: RunRequest
     cached: bool
+    #: ``"ok"`` or ``"failed"`` (a quarantined job under a resilient
+    #: executor — the batch keeps going, the event says so)
+    status: str = "ok"
 
     def describe(self) -> str:
-        return (f"job={self.index + 1}/{self.total} {self.request.describe()} "
+        line = (f"job={self.index + 1}/{self.total} {self.request.describe()} "
                 f"cached={'yes' if self.cached else 'no'}")
+        if self.status != "ok":
+            line += f" status={self.status}"
+        return line
 
 
 ProgressCallback = Callable[[RunEvent], None]

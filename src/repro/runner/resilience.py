@@ -1,0 +1,359 @@
+"""Fault-tolerant job execution: retries, timeouts, pool rebuilds.
+
+``ParallelExecutor`` is fail-fast: one worker segfault, hung simulation,
+or poison job aborts ``pool.map`` and discards every in-flight result —
+unacceptable for the long many-job sweeps autotuning campaigns run.
+:class:`ResilientExecutor` replaces the bare map with a
+submit/as-completed loop that
+
+* applies a per-job wall-clock **timeout** (a hung worker is killed and
+  its pool rebuilt; siblings are resubmitted unharmed),
+* **retries** failed and timed-out jobs with exponential backoff and
+  deterministic jitter (seeded on the request key, so reruns replay the
+  same schedule),
+* survives **BrokenProcessPool** by rebuilding the pool instead of
+  dying: jobs in flight at the crash are re-routed through a
+  single-worker *solo* pool, where a repeat crash is unambiguously
+  attributable to the one job running — the poison-job detector,
+* after ``max_attempts`` strikes **quarantines** a poison job as a
+  structured ``RunResult(status="failed", error=...)`` so the rest of
+  the batch completes (graceful degradation; downstream layers
+  skip-and-annotate).
+
+Because jobs are pure functions of their request (deterministic
+seeding, no shared state) a retry re-runs the job from scratch and
+produces the identical result — surviving results under any fault
+pattern are bit-identical to a fault-free serial run, the invariant
+the fault-injection fuzz leg asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runner.jobs import (
+    RunRequest,
+    RunResult,
+    execute_request,
+    failed_result,
+    request_key,
+)
+
+__all__ = ["RetryPolicy", "ResilientExecutor", "backoff_delay"]
+
+#: scheduler poll granularity (seconds): deadline checks and delayed
+#: retries are observed at this resolution
+_TICK = 0.05
+
+_MAIN = "main"
+_SOLO = "solo"
+
+
+@dataclass(slots=True)
+class RetryPolicy:
+    """Knobs for the resilient executor's failure handling."""
+
+    #: total attempts per job before quarantine (1 = no retries)
+    max_attempts: int = 3
+    #: per-job wall-clock timeout in seconds, measured from the moment
+    #: the job is observed running; ``None`` disables timeouts
+    timeout: Optional[float] = None
+    #: exponential backoff: delay before retry k is roughly
+    #: ``base * factor**(k-1)``, capped at ``max_delay``
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: seeds the deterministic jitter (reruns replay the same schedule)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+
+def backoff_delay(policy: RetryPolicy, key: str, failures: int) -> float:
+    """Backoff before retrying after the ``failures``-th failure.
+
+    Jitter is drawn deterministically from (policy seed, request key,
+    failure count) — uniform in [0.5, 1.0) of the exponential delay —
+    so identical reruns produce identical retry schedules while distinct
+    jobs still decorrelate their retries.
+    """
+    raw = policy.backoff_base * policy.backoff_factor ** max(0, failures - 1)
+    blob = f"{policy.seed}:{key}:{failures}".encode("utf-8")
+    u = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2.0**64
+    return min(policy.backoff_max, raw) * (0.5 + 0.5 * u)
+
+
+@dataclass(slots=True)
+class _Job:
+    """Parent-side bookkeeping for one submitted request."""
+
+    index: int
+    request: RunRequest
+    key: str
+    submits: int = 0          # attempts started (passed to the worker)
+    failures: int = 0         # attributable failures (raise/timeout/solo crash)
+    suspect: bool = False     # route through the solo pool (crash isolation)
+    done: bool = False
+    result: Optional[RunResult] = None
+    errors: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (f"key={self.key} kind={self.request.kind} "
+                f"config={self.request.config_index} seed={self.request.seed}")
+
+
+class ResilientExecutor:
+    """Process-pool executor that retries, times out, and quarantines.
+
+    Drop-in for :class:`~repro.runner.executors.ParallelExecutor`:
+    ``map`` yields results in submission order, but never raises on a
+    job failure — a job that exhausts its retry budget yields a
+    ``RunResult(status="failed")`` instead, and worker crashes/hangs
+    rebuild the pool rather than aborting the batch.
+
+    ``stats`` counts ``retries``, ``timeouts``, ``rebuilds`` (pool
+    replacements), ``crashes`` (BrokenProcessPool events), and
+    ``quarantined`` jobs across the executor's lifetime.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats: Dict[str, int] = {
+            "retries": 0, "timeouts": 0, "rebuilds": 0, "crashes": 0,
+            "quarantined": 0,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ResilientExecutor(jobs={self.jobs}, "
+                f"max_attempts={self.policy.max_attempts}, "
+                f"timeout={self.policy.timeout})")
+
+    # ------------------------------------------------------------------
+    def map(self, requests: Sequence[RunRequest]) -> Iterator[RunResult]:
+        requests = list(requests)
+        if not requests:
+            return
+        jobs = [_Job(i, req, request_key(req))
+                for i, req in enumerate(requests)]
+        yield from self._drive(jobs)
+
+    # ------------------------------------------------------------------
+    def _drive(self, jobs: List[_Job]) -> Iterator[RunResult]:
+        n = len(jobs)
+        policy = self.policy
+        pools: Dict[str, Optional[ProcessPoolExecutor]] = {_MAIN: None, _SOLO: None}
+        gens: Dict[str, int] = {_MAIN: 0, _SOLO: 0}
+        # future -> (job index, pool name, pool generation)
+        futures: Dict[Future, Tuple[int, str, int]] = {}
+        running_since: Dict[Future, float] = {}
+        main_ready: deque = deque(range(n))
+        solo_ready: deque = deque()
+        delayed: List[Tuple[float, int]] = []  # (ready_at, index) heap
+        solo_busy = False
+        done_count = 0
+        next_yield = 0
+
+        def ensure_pool(name: str) -> ProcessPoolExecutor:
+            if pools[name] is None:
+                workers = 1 if name == _SOLO else min(self.jobs, n)
+                pools[name] = ProcessPoolExecutor(max_workers=workers)
+            return pools[name]
+
+        def kill_pool(name: str) -> None:
+            """Forcibly terminate a pool's workers (hung or poisoned)."""
+            pool = pools[name]
+            if pool is None:
+                return
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except OSError:  # already gone
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pools[name] = None
+
+        def retire_pool(name: str) -> List[int]:
+            """Invalidate a pool generation; return its unfinished jobs."""
+            nonlocal solo_busy
+            gens[name] += 1
+            self.stats["rebuilds"] += 1
+            if name == _SOLO:
+                solo_busy = False
+            orphans = sorted(idx for fut, (idx, pname, _g) in futures.items()
+                             if pname == name)
+            for fut in [f for f, (_i, pname, _g) in futures.items()
+                        if pname == name]:
+                futures.pop(fut, None)
+                running_since.pop(fut, None)
+            return orphans
+
+        def finish(job: _Job, result: RunResult) -> None:
+            nonlocal done_count
+            job.result = result
+            job.done = True
+            done_count += 1
+
+        def record_failure(job: _Job, message: str) -> None:
+            """An attributable failure: retry with backoff or quarantine."""
+            job.failures += 1
+            job.errors.append(message)
+            if job.failures >= policy.max_attempts:
+                self.stats["quarantined"] += 1
+                history = "; ".join(job.errors)
+                finish(job, failed_result(
+                    job.request,
+                    f"quarantined after {job.failures} failed attempts "
+                    f"[{job.describe()}]: {history}"))
+                return
+            self.stats["retries"] += 1
+            delay = backoff_delay(policy, job.key, job.failures)
+            heapq.heappush(delayed, (time.monotonic() + delay, job.index))
+
+        def requeue(idx: int) -> None:
+            (solo_ready if jobs[idx].suspect else main_ready).append(idx)
+
+        def handle_crash(name: str, triggering: Optional[int]) -> None:
+            """A pool died underneath us (worker exit / oom / segfault)."""
+            self.stats["crashes"] += 1
+            kill_pool(name)  # discard the broken pool object
+            orphans = retire_pool(name)
+            if triggering is not None and triggering not in orphans:
+                orphans.append(triggering)
+            if name == _SOLO:
+                # solo pools run one job at a time: the crash is that
+                # job's own doing — an attributable strike
+                for idx in orphans:
+                    record_failure(jobs[idx],
+                                   f"worker process died (attempt "
+                                   f"{jobs[idx].submits - 1})")
+            else:
+                # any in-flight job may be the culprit: re-route them all
+                # through the solo pool, where the next crash attributes
+                # unambiguously; no strike is charged here
+                for idx in orphans:
+                    jobs[idx].suspect = True
+                    requeue(idx)
+
+        try:
+            while done_count < n:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, idx = heapq.heappop(delayed)
+                    requeue(idx)
+                def submit(idx: int, name: str) -> bool:
+                    pool = ensure_pool(name)
+                    try:
+                        fut = pool.submit(execute_request, jobs[idx].request,
+                                          jobs[idx].submits)
+                    except BrokenProcessPool:
+                        # pool died between checks: rebuild and requeue
+                        kill_pool(name)
+                        for orphan in retire_pool(name):
+                            requeue(orphan)
+                        requeue(idx)
+                        return False
+                    jobs[idx].submits += 1
+                    futures[fut] = (idx, name, gens[name])
+                    return True
+
+                while main_ready:
+                    idx = main_ready.popleft()
+                    if jobs[idx].done:
+                        continue
+                    submit(idx, _MAIN)
+                if solo_ready and not solo_busy:
+                    idx = solo_ready.popleft()
+                    if not jobs[idx].done and submit(idx, _SOLO):
+                        solo_busy = True
+
+                while next_yield < n and jobs[next_yield].done:
+                    yield jobs[next_yield].result
+                    next_yield += 1
+                if done_count >= n:
+                    break
+                if not futures and not delayed and not main_ready and not solo_ready:
+                    raise RuntimeError("resilient executor stalled with "
+                                       "unfinished jobs and nothing in flight")
+
+                timeout = _TICK
+                if delayed:
+                    timeout = max(0.0, min(timeout, delayed[0][0] - now))
+                if not futures:
+                    # nothing in flight: sleep until the next delayed
+                    # retry matures (wait([]) would return immediately)
+                    if timeout > 0:
+                        time.sleep(timeout)
+                    continue
+                finished, _ = wait(list(futures), timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+
+                for fut in finished:
+                    entry = futures.pop(fut, None)
+                    running_since.pop(fut, None)
+                    if entry is None:
+                        continue
+                    idx, pname, gen = entry
+                    if gen != gens[pname]:
+                        continue  # stale: pool already retired
+                    if pname == _SOLO:
+                        solo_busy = False
+                    if fut.cancelled():
+                        requeue(idx)
+                        continue
+                    exc = fut.exception()
+                    if exc is None:
+                        finish(jobs[idx], fut.result())
+                    elif isinstance(exc, BrokenProcessPool):
+                        handle_crash(pname, idx)
+                    else:
+                        record_failure(jobs[idx], f"{exc}")
+
+                if policy.timeout is not None and futures:
+                    now = time.monotonic()
+                    timed_out: Optional[Tuple[int, str]] = None
+                    for fut, (idx, pname, gen) in futures.items():
+                        if gen != gens[pname] or not fut.running():
+                            continue
+                        started = running_since.setdefault(fut, now)
+                        if now - started > policy.timeout:
+                            timed_out = (idx, pname)
+                            break
+                    if timed_out is not None:
+                        idx, pname = timed_out
+                        self.stats["timeouts"] += 1
+                        kill_pool(pname)
+                        orphans = retire_pool(pname)
+                        for other in orphans:
+                            if other == idx:
+                                continue
+                            requeue(other)  # innocent bystanders: no strike
+                        jobs[idx].suspect = True
+                        record_failure(
+                            jobs[idx],
+                            f"timed out after {policy.timeout:g}s (attempt "
+                            f"{jobs[idx].submits - 1})")
+
+            while next_yield < n and jobs[next_yield].done:
+                yield jobs[next_yield].result
+                next_yield += 1
+        finally:
+            for name in (_MAIN, _SOLO):
+                pool = pools[name]
+                if pool is not None:
+                    kill_pool(name)

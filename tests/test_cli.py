@@ -24,6 +24,18 @@ class TestParser:
             build_parser().parse_args(["tune", "capital_cholesky",
                                        "--policy", "magic"])
 
+    def test_fault_tolerance_knobs(self):
+        args = build_parser().parse_args(
+            ["sweep", "capital_cholesky", "--retries", "2",
+             "--job-timeout", "1.5", "--resume"])
+        assert args.retries == 2
+        assert args.job_timeout == 1.5
+        assert args.resume
+        defaults = build_parser().parse_args(["sweep", "capital_cholesky"])
+        assert defaults.retries is None
+        assert defaults.job_timeout is None
+        assert not defaults.resume
+
     def test_bench_engine_workload_filter_is_repeatable(self):
         args = build_parser().parse_args(
             ["bench-engine", "--workload", "collective-dense",
@@ -200,3 +212,36 @@ class TestSweep:
         assert "search_time vs tolerance" in out
         assert "full-exec" in out
         assert "o=online" in out  # the chart legend
+
+
+class TestSweepResume:
+    ARGS = ["sweep", "capital_cholesky", "--policies", "online",
+            "--exponents", "0,-4", "--reps", "1", "--full-reps", "1"]
+
+    @pytest.fixture(autouse=True)
+    def small_space(self, monkeypatch):
+        from repro.autotune import capital_cholesky_space
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli.SPACES, "capital_cholesky",
+            lambda: capital_cholesky_space(n=64, c=2, b0=4, nconf=3),
+        )
+
+    def test_resume_requires_cache_dir(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_resume_without_manifest_fails(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--resume",
+                                 "--cache-dir", str(tmp_path)]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_resume_after_completed_sweep_replays(self, capsys, tmp_path):
+        cached = self.ARGS + ["--cache-dir", str(tmp_path)]
+        assert main(cached) == 0
+        capsys.readouterr()
+        assert main(cached + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume: 0 executed" in out
+        assert "search_time vs tolerance" in out

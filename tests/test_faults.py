@@ -1,0 +1,195 @@
+"""Deterministic fault injection, and the survivor-identity fuzz leg.
+
+The fuzz class replays randomized fault plans (crashes, hangs, poison
+raises) against the resilient executor and asserts the one invariant
+everything else rests on: every job that *survives* is bit-identical to
+the fault-free serial run.  ``REPRO_FAULT_FUZZ_CASES`` scales the number
+of plans (CI runs 16; the default keeps local runs fast).
+"""
+
+import os
+
+import pytest
+
+from repro.autotune import capital_cholesky_space
+from repro.autotune.tuner import (
+    default_machine,
+    ground_truth_requests,
+    tuning_requests,
+)
+from repro.runner import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilientExecutor,
+    RetryPolicy,
+    Runner,
+)
+from repro.runner import faults as faults_mod
+from repro.runner.faults import ACTIONS, ENV_PLAN, ENV_RATE, active_plan
+from repro.runner.jobs import result_to_dict
+
+FUZZ_CASES = int(os.environ.get("REPRO_FAULT_FUZZ_CASES", "2"))
+
+
+@pytest.fixture(scope="module")
+def space():
+    return capital_cholesky_space(n=64, c=2, b0=4, nconf=3)
+
+
+@pytest.fixture(scope="module")
+def machine(space):
+    return default_machine(space, seed=3)
+
+
+@pytest.fixture(scope="module")
+def batch(space, machine):
+    """A mixed batch: ground truth plus one (policy, eps) tuning pass."""
+    return (ground_truth_requests(space, machine, full_reps=2, seed=0)
+            + tuning_requests(space, machine, "online", 0.25, reps=2, seed=0))
+
+
+@pytest.fixture(scope="module")
+def baseline(batch):
+    return [result_to_dict(r) for r in Runner().run(batch)]
+
+
+@pytest.fixture(autouse=True)
+def clean_plan_state(monkeypatch):
+    monkeypatch.delenv(ENV_PLAN, raising=False)
+    monkeypatch.delenv(ENV_RATE, raising=False)
+    faults_mod._plan_from_env.cache_clear()
+    yield
+    faults_mod.install(None)
+    faults_mod._plan_from_env.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# specs and plans
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            FaultSpec(action="explode")
+
+    def test_matching_filters(self, batch):
+        gt, tune = batch[0], batch[3]
+        spec = FaultSpec(action="raise", kind="ground-truth")
+        assert spec.matches(gt, 0) and not spec.matches(tune, 0)
+        spec = FaultSpec(action="raise", config_index=gt.config_index)
+        assert spec.matches(gt, 0)
+        assert not spec.matches(batch[1], 0)
+        # attempts=1 faults the first attempt only (transient);
+        # attempts=None faults every attempt (poison)
+        transient = FaultSpec(action="raise", attempts=1)
+        assert transient.matches(gt, 0) and not transient.matches(gt, 1)
+        poison = FaultSpec(action="raise")
+        assert poison.matches(gt, 0) and poison.matches(gt, 7)
+
+
+class TestFaultPlan:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rate=1.5)
+
+    def test_action_is_deterministic(self, batch):
+        a = FaultPlan(rate=0.5, seed=11)
+        b = FaultPlan(rate=0.5, seed=11)
+        decisions = [(a.action_for(r, k), b.action_for(r, k))
+                     for r in batch for k in range(3)]
+        assert all(x == y for x, y in decisions)
+
+    def test_seed_changes_decisions(self, batch):
+        a = FaultPlan(rate=0.5, seed=1)
+        b = FaultPlan(rate=0.5, seed=2)
+        assert ([a.action_for(r, 0) for r in batch]
+                != [b.action_for(r, 0) for r in batch])
+
+    def test_rate_bounds(self, batch):
+        silent = FaultPlan(rate=0.0)
+        always = FaultPlan(rate=1.0)
+        for req in batch:
+            assert silent.action_for(req, 0) is None
+            assert always.action_for(req, 0) in ACTIONS
+
+    def test_rate_one_draws_every_action(self, batch):
+        plan = FaultPlan(rate=1.0, seed=0)
+        drawn = {plan.action_for(r, k) for r in batch for k in range(8)}
+        assert drawn == set(ACTIONS)
+
+    def test_specs_win_over_rate(self, batch):
+        plan = FaultPlan(specs=[FaultSpec(action="hang")], rate=1.0)
+        assert all(plan.action_for(r, 0) == "hang" for r in batch)
+
+    def test_raise_action_raises_injected_fault(self, batch):
+        plan = FaultPlan(specs=[FaultSpec(action="raise")])
+        with pytest.raises(InjectedFault):
+            plan.apply(batch[0], 0)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            specs=[FaultSpec(action="exit", kind="tune-config", attempts=2)],
+            rate=0.25, seed=9, hang_seconds=1.5)
+        back = FaultPlan.from_json(plan.to_json())
+        assert back.to_json() == plan.to_json()
+        assert back.specs[0].action == "exit"
+        assert back.rate == 0.25 and back.hang_seconds == 1.5
+
+
+class TestActivation:
+    def test_no_plan_by_default(self):
+        assert active_plan() is None
+
+    def test_install_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_PLAN, FaultPlan(rate=0.5).to_json())
+        faults_mod._plan_from_env.cache_clear()
+        installed = FaultPlan(rate=0.125)
+        faults_mod.install(installed)
+        assert active_plan() is installed
+        faults_mod.install(None)
+        assert active_plan().rate == 0.5
+
+    def test_env_plan_and_rate_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_PLAN, FaultPlan(rate=0.5, seed=4).to_json())
+        faults_mod._plan_from_env.cache_clear()
+        assert active_plan().rate == 0.5 and active_plan().seed == 4
+        monkeypatch.setenv(ENV_RATE, "0.75")
+        faults_mod._plan_from_env.cache_clear()
+        assert active_plan().rate == 0.75  # rate env overrides the plan's
+
+    def test_rate_alone_makes_a_plan(self, monkeypatch):
+        monkeypatch.setenv(ENV_RATE, "0.25")
+        faults_mod._plan_from_env.cache_clear()
+        plan = active_plan()
+        assert plan is not None and plan.rate == 0.25 and not plan.specs
+
+
+# ----------------------------------------------------------------------
+# the fuzz leg: survivors are bit-identical under any fault pattern
+# ----------------------------------------------------------------------
+class TestSurvivorIdentityFuzz:
+    @pytest.mark.parametrize("case", range(FUZZ_CASES))
+    def test_survivors_match_fault_free_serial(
+        self, case, batch, baseline, monkeypatch
+    ):
+        plan = FaultPlan(rate=0.2, seed=1000 + case, hang_seconds=5.0)
+        monkeypatch.setenv(ENV_PLAN, plan.to_json())
+        faults_mod._plan_from_env.cache_clear()
+        runner = Runner(executor=ResilientExecutor(
+            jobs=2, policy=RetryPolicy(max_attempts=4, timeout=1.0)))
+        out = runner.run(batch)
+        assert len(out) == len(batch)
+        survivors = 0
+        for res, ref in zip(out, baseline):
+            if res.failed:
+                assert "quarantined" in res.error
+                continue
+            survivors += 1
+            assert result_to_dict(res) == ref
+        assert survivors + runner.executor.stats["quarantined"] == len(batch)
+        # injected exits/hangs must not leak: a fresh fault-free run on
+        # the same executor still matches end to end
+        monkeypatch.delenv(ENV_PLAN)
+        faults_mod._plan_from_env.cache_clear()
+        clean = runner.run(batch)
+        assert [result_to_dict(r) for r in clean] == baseline

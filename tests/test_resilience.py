@@ -1,0 +1,510 @@
+"""Fault-tolerant execution: retries, timeouts, quarantine, resume."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.autotune import capital_cholesky_space, tolerance_sweep
+from repro.autotune.tuner import (
+    assemble_tuning_result,
+    default_machine,
+    ground_truth_from_results,
+    ground_truth_requests,
+    tuning_requests,
+)
+from repro.runner import (
+    GROUND_TRUTH,
+    FaultPlan,
+    FaultSpec,
+    ManifestError,
+    ResilientExecutor,
+    ResultCache,
+    RetryPolicy,
+    Runner,
+    RunnerError,
+    SweepManifest,
+    execute_request,
+    failed_result,
+    make_runner,
+    request_key,
+)
+from repro.runner import faults as faults_mod
+from repro.runner.jobs import result_from_dict, result_to_dict
+from repro.runner.resilience import backoff_delay
+
+
+@pytest.fixture(scope="module")
+def space():
+    return capital_cholesky_space(n=64, c=2, b0=4, nconf=3)
+
+
+@pytest.fixture(scope="module")
+def machine(space):
+    return default_machine(space, seed=3)
+
+
+@pytest.fixture(scope="module")
+def gt_requests(space, machine):
+    return ground_truth_requests(space, machine, full_reps=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(gt_requests):
+    return [result_to_dict(r) for r in Runner().run(gt_requests)]
+
+
+@pytest.fixture
+def fault_env(monkeypatch):
+    """Activate a FaultPlan for this process and its pool workers."""
+
+    def activate(plan):
+        monkeypatch.setenv(faults_mod.ENV_PLAN, plan.to_json())
+        faults_mod._plan_from_env.cache_clear()
+
+    yield activate
+    faults_mod._plan_from_env.cache_clear()
+
+
+def resilient_runner(jobs=2, **policy_kw):
+    policy_kw.setdefault("max_attempts", 3)
+    return Runner(executor=ResilientExecutor(jobs=jobs,
+                                             policy=RetryPolicy(**policy_kw)))
+
+
+# ----------------------------------------------------------------------
+# policy / backoff
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=-1.0)
+        with pytest.raises(ValueError):
+            ResilientExecutor(jobs=-1)
+
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(seed=5)
+        a = backoff_delay(policy, "k" * 64, 2)
+        b = backoff_delay(policy, "k" * 64, 2)
+        assert a == b
+        assert a != backoff_delay(policy, "j" * 64, 2)
+        assert a != backoff_delay(RetryPolicy(seed=6), "k" * 64, 2)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=0.5)
+        delays = [backoff_delay(policy, "x", k) for k in range(1, 12)]
+        # jittered into [0.5, 1.0) of the exponential curve, capped
+        assert all(0.05 <= d < 0.5 for d in delays)
+        assert max(delays) > min(delays)
+
+    def test_make_runner_selects_resilient_executor(self):
+        assert isinstance(make_runner(retries=2).executor, ResilientExecutor)
+        assert isinstance(make_runner(timeout=1.0).executor, ResilientExecutor)
+        r = make_runner(jobs=3, retries=1, timeout=2.5)
+        assert r.executor.jobs == 3
+        assert r.executor.policy.max_attempts == 2
+        assert r.executor.policy.timeout == 2.5
+
+
+# ----------------------------------------------------------------------
+# the executor under injected faults
+# ----------------------------------------------------------------------
+class TestResilientExecutor:
+    def test_clean_batch_matches_serial(self, gt_requests, serial_baseline):
+        runner = resilient_runner(jobs=2)
+        out = runner.run(gt_requests)
+        assert [result_to_dict(r) for r in out] == serial_baseline
+        assert runner.executor.stats == {
+            "retries": 0, "timeouts": 0, "rebuilds": 0, "crashes": 0,
+            "quarantined": 0}
+
+    def test_empty_batch(self):
+        assert resilient_runner().run([]) == []
+
+    def test_transient_raise_retries_to_success(
+        self, gt_requests, serial_baseline, fault_env
+    ):
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="raise", config_index=1, attempts=1)]))
+        runner = resilient_runner(jobs=2)
+        out = runner.run(gt_requests)
+        assert [result_to_dict(r) for r in out] == serial_baseline
+        assert runner.executor.stats["retries"] == 1
+        assert runner.executor.stats["quarantined"] == 0
+
+    def test_poison_quarantined_siblings_complete(
+        self, gt_requests, serial_baseline, fault_env
+    ):
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="raise", config_index=1)]))  # every attempt
+        runner = resilient_runner(jobs=2)
+        out = runner.run(gt_requests)
+        assert out[1].failed
+        assert "quarantined after 3 failed attempts" in out[1].error
+        assert request_key(gt_requests[1]) in out[1].error
+        # siblings unharmed and bit-identical to the fault-free run
+        for i in (0, 2):
+            assert result_to_dict(out[i]) == serial_baseline[i]
+        assert runner.executor.stats["quarantined"] == 1
+        assert runner.failed(GROUND_TRUTH) == 1
+        assert runner.executed(GROUND_TRUTH) == 2
+
+    def test_no_retries_means_first_strike_quarantines(
+        self, gt_requests, fault_env
+    ):
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="raise", config_index=0, attempts=1)]))
+        runner = resilient_runner(jobs=2, max_attempts=1)
+        out = runner.run(gt_requests)
+        assert out[0].failed
+        assert runner.executor.stats["retries"] == 0
+        assert runner.executor.stats["quarantined"] == 1
+
+    def test_worker_exit_rebuilds_pool_and_recovers(
+        self, gt_requests, serial_baseline, fault_env
+    ):
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="exit", config_index=2, attempts=1)]))
+        runner = resilient_runner(jobs=2)
+        out = runner.run(gt_requests)
+        # the dead worker broke the whole pool; everything still completes
+        assert [result_to_dict(r) for r in out] == serial_baseline
+        assert runner.executor.stats["crashes"] >= 1
+        assert runner.executor.stats["rebuilds"] >= 1
+        assert runner.executor.stats["quarantined"] == 0
+
+    def test_hang_times_out_then_retry_succeeds(
+        self, gt_requests, serial_baseline, fault_env
+    ):
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="hang", config_index=0, attempts=1)],
+            hang_seconds=10.0))
+        runner = resilient_runner(jobs=2, timeout=1.0)
+        out = runner.run(gt_requests)
+        assert [result_to_dict(r) for r in out] == serial_baseline
+        assert runner.executor.stats["timeouts"] >= 1
+        assert runner.executor.stats["quarantined"] == 0
+
+    def test_timeout_quarantine_names_the_timeout(
+        self, gt_requests, fault_env
+    ):
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="hang", config_index=1)],  # hangs every attempt
+            hang_seconds=10.0))
+        runner = resilient_runner(jobs=2, max_attempts=2, timeout=0.5)
+        out = runner.run(gt_requests)
+        assert out[1].failed
+        assert "timed out after 0.5s" in out[1].error
+        assert runner.executor.stats["timeouts"] == 2
+        assert not out[0].failed and not out[2].failed
+
+
+# ----------------------------------------------------------------------
+# worker error attribution (with retries disabled too)
+# ----------------------------------------------------------------------
+class TestErrorAttribution:
+    def test_job_error_names_the_job(self, gt_requests):
+        plan = FaultPlan(specs=[FaultSpec(action="raise", config_index=0)])
+        faults_mod.install(plan)
+        try:
+            with pytest.raises(Exception) as info:
+                execute_request(gt_requests[0], attempt=4)
+        finally:
+            faults_mod.install(None)
+        msg = str(info.value)
+        assert f"key={request_key(gt_requests[0])}" in msg
+        assert "kind=ground-truth" in msg
+        assert "config=0" in msg
+        assert "seed=0" in msg
+        assert "attempt=4" in msg
+
+
+# ----------------------------------------------------------------------
+# runner result-stream integrity
+# ----------------------------------------------------------------------
+class _Truncating:
+    """Executor that silently loses the tail of the batch."""
+
+    jobs = 1
+
+    def __init__(self, keep):
+        self.keep = keep
+
+    def map(self, requests):
+        for req in list(requests)[: self.keep]:
+            yield execute_request(req)
+
+
+class _Duplicating:
+    jobs = 1
+
+    def map(self, requests):
+        for req in requests:
+            yield execute_request(req)
+        yield execute_request(requests[-1])
+
+
+class TestResultStreamIntegrity:
+    def test_truncated_stream_names_missing_keys(self, gt_requests):
+        runner = Runner(executor=_Truncating(keep=1))
+        with pytest.raises(RunnerError) as info:
+            runner.run(gt_requests)
+        msg = str(info.value)
+        assert "returned 1 results for 3 requests" in msg
+        for req in gt_requests[1:]:
+            assert request_key(req) in msg
+
+    def test_surplus_stream_is_an_error(self, gt_requests):
+        with pytest.raises(RunnerError, match="more results"):
+            Runner(executor=_Duplicating()).run(gt_requests)
+
+
+# ----------------------------------------------------------------------
+# failed-result plumbing: serialization, cache, report layers
+# ----------------------------------------------------------------------
+class TestFailedResults:
+    def test_serialization_round_trip(self, gt_requests):
+        failed = failed_result(gt_requests[1], "boom [key=abc]")
+        back = result_from_dict(result_to_dict(failed))
+        assert back.failed and back.status == "failed"
+        assert back.error == "boom [key=abc]"
+        assert back.outputs == []
+
+    def test_cache_round_trip(self, gt_requests, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = request_key(gt_requests[0])
+        cache.put(key, failed_result(gt_requests[0], "boom"))
+        back = cache.get(key)
+        assert back is not None and back.failed and back.error == "boom"
+
+    def test_runner_never_caches_failures(
+        self, gt_requests, tmp_path, fault_env
+    ):
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="raise", config_index=1)]))
+        runner = Runner(cache=ResultCache(str(tmp_path)),
+                        executor=ResilientExecutor(
+                            jobs=2, policy=RetryPolicy(max_attempts=1)))
+        out = runner.run(gt_requests)
+        assert out[1].failed
+        # only the two successes were stored; a rerun re-executes the failure
+        assert runner.cache.stores == 2
+        assert runner.cache.get(request_key(gt_requests[1])) is None
+
+    def test_ground_truth_leaves_none_slot(self, space, gt_requests):
+        results = Runner().run(gt_requests)
+        results[1] = failed_result(gt_requests[1], "boom")
+        ground = ground_truth_from_results(results, nconfigs=len(space))
+        assert ground[1] is None
+        assert ground[0] is not None and ground[2] is not None
+
+    def test_tuning_result_skips_and_annotates(self, space, machine):
+        ground = ground_truth_from_results(
+            Runner().run(ground_truth_requests(space, machine, 2, 0)),
+            nconfigs=len(space))
+        reqs = tuning_requests(space, machine, "online", 0.25, reps=2, seed=0)
+        results = Runner().run(reqs)
+        results[2] = failed_result(reqs[2], "quarantined [key=xyz]")
+        res = assemble_tuning_result(space, "online", 0.25, 2, results, ground)
+        assert [o.index for o in res.outcomes] == [0, 1]
+        assert res.failures == ["quarantined [key=xyz]"]
+        assert res.search_time > 0  # aggregates range over survivors
+
+    def test_missing_ground_truth_annotated(self, space, machine):
+        gt = Runner().run(ground_truth_requests(space, machine, 2, 0))
+        gt[0] = failed_result(
+            ground_truth_requests(space, machine, 2, 0)[0], "gt boom")
+        ground = ground_truth_from_results(gt, nconfigs=len(space))
+        reqs = tuning_requests(space, machine, "online", 0.25, reps=2, seed=0)
+        res = assemble_tuning_result(space, "online", 0.25, 2,
+                                     Runner().run(reqs), ground)
+        assert [o.index for o in res.outcomes] == [1, 2]
+        assert any("ground truth unavailable" in f for f in res.failures)
+
+
+# ----------------------------------------------------------------------
+# cache quarantine of undecodable entries
+# ----------------------------------------------------------------------
+class TestCacheQuarantine:
+    KEY = "ab" * 32
+
+    def test_garbage_is_quarantined_once(self, tmp_path):
+        path = tmp_path / f"{self.KEY}.json"
+        path.write_text("{ not json")
+        cache = ResultCache(str(tmp_path))
+        assert len(cache) == 1
+        assert cache.get(self.KEY) is None
+        assert cache.corrupt == 1 and cache.misses == 1
+        # moved aside: no longer counted, evidence preserved
+        assert len(cache) == 0
+        assert not path.exists()
+        assert (tmp_path / f"{self.KEY}.corrupt").exists()
+        # the second lookup is a plain miss, not a re-decode
+        assert cache.get(self.KEY) is None
+        assert cache.corrupt == 1 and cache.misses == 2
+
+    def test_wrong_schema_is_quarantined(self, tmp_path):
+        (tmp_path / f"{self.KEY}.json").write_text(
+            json.dumps({"key": self.KEY, "result": {"version": 99}}))
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(self.KEY) is None
+        assert cache.corrupt == 1
+        assert (tmp_path / f"{self.KEY}.corrupt").exists()
+
+    def test_stats_and_repr_surface_corruption(self, tmp_path):
+        (tmp_path / f"{self.KEY}.json").write_text("nope")
+        cache = ResultCache(str(tmp_path))
+        cache.get(self.KEY)
+        assert cache.stats() == {"hits": 0, "misses": 1, "stores": 0,
+                                 "corrupt": 1}
+        assert "corrupt=1" in repr(cache)
+
+
+# ----------------------------------------------------------------------
+# sweep manifests
+# ----------------------------------------------------------------------
+class TestManifest:
+    def test_grid_id_is_order_insensitive(self):
+        keys = ["c" * 64, "a" * 64, "b" * 64]
+        assert (SweepManifest.grid_id_for(keys)
+                == SweepManifest.grid_id_for(reversed(keys)))
+        assert (SweepManifest.grid_id_for(keys)
+                != SweepManifest.grid_id_for(keys[:2]))
+
+    def test_path_is_not_a_cache_entry(self, tmp_path):
+        path = SweepManifest.path_for(str(tmp_path), "demo", "deadbeef")
+        assert not path.endswith(".json")
+        SweepManifest(path, "deadbeef").save()
+        assert len(ResultCache(str(tmp_path))) == 0
+
+    def test_round_trip_preserves_states(self, tmp_path, gt_requests):
+        path = str(tmp_path / "m.manifest")
+        m = SweepManifest(path, "g1")
+        keyed = [(request_key(r), r) for r in gt_requests]
+        m.plan(keyed)
+        m.mark(keyed[0][0], "done")
+        m.mark(keyed[1][0], "failed", error="boom")
+        back = SweepManifest.load(path)
+        assert back.grid_id == "g1"
+        assert back.counts() == {"pending": 1, "done": 1, "failed": 1}
+        assert sorted(back.incomplete()) == sorted(
+            [keyed[1][0], keyed[2][0]])
+        assert back.entries[keyed[1][0]]["error"] == "boom"
+        # re-planning the same grid keeps recorded progress
+        back.plan(keyed)
+        assert back.counts()["done"] == 1
+        assert "done=1 failed=1 pending=1 of 3" in back.summary()
+
+    def test_load_missing_says_nothing_to_resume(self, tmp_path):
+        with pytest.raises(ManifestError, match="nothing to resume"):
+            SweepManifest.load(str(tmp_path / "absent.manifest"))
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "m.manifest"
+        path.write_text(json.dumps({"version": 99, "grid_id": "x",
+                                    "entries": {}}))
+        with pytest.raises(ManifestError, match="version"):
+            SweepManifest.load(str(path))
+
+    def test_mark_rejects_unknown_state(self, tmp_path):
+        m = SweepManifest(str(tmp_path / "m.manifest"), "g")
+        with pytest.raises(ValueError):
+            m.mark("k", "exploded")
+
+
+# ----------------------------------------------------------------------
+# resumable sweeps
+# ----------------------------------------------------------------------
+class _KilledMidway:
+    """Serial executor with a job budget: simulates a mid-sweep kill."""
+
+    jobs = 1
+
+    def __init__(self, budget):
+        self.budget = budget
+
+    def map(self, requests):
+        for req in requests:
+            if self.budget <= 0:
+                raise RuntimeError("simulated mid-sweep kill")
+            self.budget -= 1
+            yield execute_request(req)
+
+
+SWEEP_KW = dict(policies=("online",), tolerances=[1.0, 2**-4],
+                reps=2, full_reps=2, seed=0)
+
+
+def sweep_numbers(sweep):
+    return {point: [(o.index, o.tuning_time, o.predicted.exec_time)
+                    for o in res.outcomes]
+            for point, res in sorted(sweep.points.items())}
+
+
+class TestResume:
+    def test_resume_after_kill_executes_only_the_remainder(
+        self, space, machine, tmp_path
+    ):
+        clean = tolerance_sweep(space, machine, **SWEEP_KW)
+        total = 3 + 2 * 3  # ground truth + (policy, eps) grid jobs
+
+        killed = Runner(cache=ResultCache(str(tmp_path)),
+                        executor=_KilledMidway(budget=5))
+        with pytest.raises(RuntimeError, match="mid-sweep kill"):
+            tolerance_sweep(space, machine, runner=killed, **SWEEP_KW)
+
+        resumed = Runner(cache=ResultCache(str(tmp_path)))
+        sweep = tolerance_sweep(space, machine, runner=resumed, resume=True,
+                                **SWEEP_KW)
+        # the acceptance bar: zero already-completed jobs re-execute
+        assert resumed.cache_hits() == 5
+        assert resumed.executed() == total - 5
+        assert sweep_numbers(sweep) == sweep_numbers(clean)
+
+    def test_resume_reruns_quarantined_jobs(
+        self, space, machine, tmp_path, fault_env
+    ):
+        clean = tolerance_sweep(space, machine, **SWEEP_KW)
+        fault_env(FaultPlan(specs=[
+            FaultSpec(action="raise", kind=GROUND_TRUTH, config_index=1)]))
+        first = Runner(cache=ResultCache(str(tmp_path)),
+                       executor=ResilientExecutor(
+                           jobs=2, policy=RetryPolicy(max_attempts=2)))
+        degraded = tolerance_sweep(space, machine, runner=first, **SWEEP_KW)
+        assert degraded.ground[1] is None
+        assert degraded.failure_summary()  # the grid points name the gap
+
+        faults_mod._plan_from_env.cache_clear()
+        os.environ.pop(faults_mod.ENV_PLAN, None)
+        resumed = Runner(cache=ResultCache(str(tmp_path)))
+        sweep = tolerance_sweep(space, machine, runner=resumed, resume=True,
+                                **SWEEP_KW)
+        # only the quarantined ground-truth job re-executes
+        assert resumed.executed() == 1
+        assert resumed.executed(GROUND_TRUTH) == 1
+        assert sweep.ground[1] is not None
+        assert not sweep.failure_summary()
+        assert sweep_numbers(sweep) == sweep_numbers(clean)
+
+    def test_resume_requires_cache(self, space, machine):
+        with pytest.raises(ManifestError, match="requires a result cache"):
+            tolerance_sweep(space, machine, resume=True, **SWEEP_KW)
+
+    def test_resume_requires_manifest(self, space, machine, tmp_path):
+        with pytest.raises(ManifestError, match="nothing to resume"):
+            tolerance_sweep(space, machine, cache_dir=str(tmp_path),
+                            resume=True, **SWEEP_KW)
+
+    def test_completed_sweep_resumes_with_zero_work(
+        self, space, machine, tmp_path
+    ):
+        first = Runner(cache=ResultCache(str(tmp_path)))
+        tolerance_sweep(space, machine, runner=first, **SWEEP_KW)
+        again = Runner(cache=ResultCache(str(tmp_path)))
+        tolerance_sweep(space, machine, runner=again, resume=True, **SWEEP_KW)
+        assert again.executed() == 0
+        assert again.cache_hits() == first.executed()
