@@ -9,7 +9,6 @@ from a fresh run with one call (or ``python -m repro.analysis.summary``).
 from __future__ import annotations
 
 import csv
-import math
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple

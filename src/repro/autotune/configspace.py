@@ -27,7 +27,7 @@ Paper formulas (configuration index v):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Tuple
 
 from repro.algorithms.candmc_qr import CandmcQRConfig, candmc_qr

@@ -9,7 +9,7 @@ and the quality of the selected (predicted-optimal) configuration.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 __all__ = [
     "relative_error",

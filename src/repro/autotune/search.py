@@ -38,6 +38,7 @@ from repro.autotune.tuner import GroundTruth, _seed_for
 from repro.critter.core import Critter
 from repro.critter.policies import make_policy
 from repro.runner import TUNE_CONFIG, Runner, RunnerError, RunRequest
+from repro.runner.seeds import derive_seed
 from repro.sim.engine import Simulator
 from repro.sim.machine import Machine
 
@@ -181,7 +182,7 @@ class RandomSearch(_StrategyBase):
     name = "random"
 
     def run(self, budget: int, reps: int = 3) -> SearchResult:
-        rng = random.Random(self.seed * 7919 + 13)
+        rng = random.Random(derive_seed(self.seed, "random-search"))
         budget = min(budget, len(self.space))
         picks = rng.sample(range(len(self.space)), budget)
         measured = self._measure_batch(picks, reps)

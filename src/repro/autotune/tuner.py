@@ -33,7 +33,7 @@ per-configuration jobs meaningless).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.autotune.configspace import ConfigSpace
 from repro.autotune.metrics import (

@@ -31,7 +31,6 @@ from repro.autotune import (
     SPACES,
     ExhaustiveTuner,
     default_machine,
-    measure_ground_truth,
     tolerance_sweep,
 )
 from repro.critter import Critter, format_kernel_profile
@@ -158,6 +157,21 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--markdown", default=None, metavar="PATH",
                    help="also write a naive-vs-fast-vs-profiled comparison "
                         "table as GitHub markdown (CI job summaries)")
+
+    lp = sub.add_parser(
+        "lint",
+        help="check the determinism contracts (AST rules + scheduler "
+             "hook-parity + fingerprint-completeness analyzers)",
+    )
+    lp.add_argument("--root", default=None, metavar="DIR",
+                   help="source tree to lint (default: the directory "
+                        "containing the installed repro package)")
+    lp.add_argument("--format", default="human", choices=("human", "json"),
+                   help="output format; json is byte-stable across runs "
+                        "on the same tree")
+    lp.add_argument("--rule", action="append", metavar="RULE-ID",
+                   help="only run the named rule (repeatable); unknown "
+                        "ids are a usage error")
     return p
 
 
@@ -274,6 +288,29 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
                       diag=args.diag)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import render_human, render_json, run_lint
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        # the tree the installed package was imported from: its parent
+        # is the ``src`` directory in a checkout, or site-packages
+        import repro
+
+        root = Path(repro.__file__).resolve().parent.parent
+    try:
+        report = run_lint(root, rule_filter=args.rule)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_human
+    print(render(report))
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "spaces":
@@ -286,6 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench-engine":
         return _cmd_bench_engine(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

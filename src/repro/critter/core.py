@@ -939,13 +939,16 @@ class Critter(Profiler):
         if channel is None:
             return
         members = group.world_ranks
-        candidates: Set[KernelSignature] = set()
+        # insertion-ordered dict-as-set: KernelSignature hashing is
+        # identity-based (interning), so iterating a real set here would
+        # order by address and make coverage extension order run-varying
+        candidates: Dict[KernelSignature, None] = {}
         for r in members:
             for key, st in self._K[r].items():
-                if key in self._global_off:
+                if key in self._global_off or key in candidates:
                     continue
                 if is_predictable(st, self.eps, self.z, 1, self.min_samples):
-                    candidates.add(key)
+                    candidates[key] = None
         replaced = False
         for key in candidates:
             old_cov = self._coverage.get(key)

@@ -29,7 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.kernels.signature import KernelSignature
 
 __all__ = ["Policy", "make_policy", "POLICY_NAMES"]
 

@@ -16,7 +16,7 @@ rebuilt on the next run.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.critter.core import Critter
 from repro.critter.stats import RunningStat

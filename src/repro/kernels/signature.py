@@ -27,7 +27,7 @@ processes (Python's builtin ``hash`` is salted for strings), so a CRC32
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 __all__ = [
     "KernelSignature",
@@ -89,7 +89,7 @@ class KernelSignature:
             _INTERN[key] = sig
         return sig
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         # unpickle through the interner so identity semantics survive
         # serialization
         return (KernelSignature, (self.kind, self.name, self.params))

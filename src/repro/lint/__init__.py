@@ -1,0 +1,38 @@
+"""Determinism-contract linter: AST rules + semantic analyzers.
+
+``repro lint`` (see :mod:`repro.cli`) drives :func:`run_lint` over a
+source root; importing this package registers every rule.  See
+:mod:`repro.lint.engine` for the architecture and the suppression
+protocol, :mod:`repro.lint.rules` for the syntax rules, and
+:mod:`repro.lint.hookparity` / :mod:`repro.lint.fingerprint` for the
+two semantic analyzers.
+"""
+
+from repro.lint.engine import (
+    ANALYZERS,
+    RULES,
+    Analyzer,
+    Finding,
+    LintReport,
+    Rule,
+    all_rule_ids,
+    render_human,
+    render_json,
+    run_lint,
+)
+
+# importing the rule modules registers them
+from repro.lint import fingerprint, hookparity, rules  # noqa: E402,F401
+
+__all__ = [
+    "ANALYZERS",
+    "RULES",
+    "Analyzer",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rule_ids",
+    "render_human",
+    "render_json",
+    "run_lint",
+]

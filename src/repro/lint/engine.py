@@ -1,0 +1,427 @@
+"""The determinism-contract lint engine.
+
+Every speedup this repository ships is admissible only because results
+are bit-identical to a fault-free serial run.  The contracts that keep
+that true — seeded RNG streams only, no wall clock on simulation paths,
+order-stable iteration before float accumulation or event emission,
+both schedulers firing identical profiler hooks, every tuning knob
+reaching the content-address key — used to live in reviewers' heads and
+after-the-fact fuzz legs.  This package checks them at lint time.
+
+Architecture
+------------
+
+* :class:`Rule` — one per-file AST check with an id, a severity, and a
+  path scope.  Syntax rules live in :mod:`repro.lint.rules`.
+* :class:`Analyzer` — a whole-tree semantic check that inspects
+  specific files (the scheduler hook-parity and fingerprint-
+  completeness analyzers in :mod:`repro.lint.hookparity` and
+  :mod:`repro.lint.fingerprint`).
+* :func:`run_lint` — walks a source root, applies rules and analyzers,
+  honours ``# repro: allow[<rule-id>] -- justification`` suppressions,
+  and returns a :class:`LintReport`.
+* :func:`render_json` / :func:`render_human` — output backends.  The
+  JSON document is byte-stable across runs on the same tree (findings
+  sorted, keys sorted, no timestamps) so CI can diff it as an artifact.
+
+Suppression protocol
+--------------------
+
+A finding is suppressed by a comment on the same line — or on a
+comment-only line immediately above it (the rule id goes in the
+brackets)::
+
+    t0 = perf_counter()  # repro: allow[<rule-id>] -- bench harness
+
+The justification after ``--`` is mandatory: an allow without one is
+itself a finding (``suppression-needs-justification``), as is an allow
+naming a rule id the registry doesn't know (``unknown-suppression``).
+Suppressions are per-rule; ``allow[a,b]`` covers two rules on one line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Analyzer",
+    "LintReport",
+    "RULES",
+    "ANALYZERS",
+    "register_rule",
+    "register_analyzer",
+    "all_rule_ids",
+    "run_lint",
+    "render_json",
+    "render_human",
+    "JSON_SCHEMA_VERSION",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+#: meta-rules emitted by the engine itself (never suppressible)
+META_NEEDS_JUSTIFICATION = "suppression-needs-justification"
+META_UNKNOWN_SUPPRESSION = "unknown-suppression"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One lint finding, anchored to a file position.
+
+    ``path`` is stored POSIX-relative to the scanned root so the JSON
+    output is byte-stable no matter where the tree is checked out.
+    """
+
+    rule: str
+    severity: str             # "error" | "warning"
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+
+class Rule:
+    """A per-file AST check.
+
+    Subclasses set ``id``, ``severity``, ``description`` and implement
+    :meth:`check`, yielding ``(line, col, message)`` triples.
+    :meth:`applies` scopes the rule to a subtree of the source root
+    (e.g. the set-iteration rule watches ``repro/sim`` and
+    ``repro/critter`` only).
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def applies(self, rel_path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        raise NotImplementedError
+
+    def findings(self, tree: ast.AST, source: str,
+                 rel_path: str) -> Iterator[Finding]:
+        for line, col, message in self.check(tree, source, rel_path):
+            yield Finding(self.id, self.severity, rel_path, line, col, message)
+
+
+@dataclass(frozen=True, slots=True)
+class Analyzer:
+    """A whole-tree semantic check (hook parity, fingerprint drift)."""
+
+    id: str
+    severity: str
+    description: str
+    #: called with the scan root; yields findings
+    run: Callable[[Path], Iterable[Finding]] = field(compare=False)
+
+
+RULES: Dict[str, Rule] = {}
+ANALYZERS: Dict[str, Analyzer] = {}
+
+
+def register_rule(rule: "Rule | type[Rule]") -> "Rule | type[Rule]":
+    instance = rule() if isinstance(rule, type) else rule
+    if not instance.id:
+        raise ValueError(f"rule {instance!r} has no id")
+    if instance.id in RULES or instance.id in ANALYZERS:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    RULES[instance.id] = instance
+    return rule
+
+
+def register_analyzer(analyzer: Analyzer) -> Analyzer:
+    if analyzer.id in RULES or analyzer.id in ANALYZERS:
+        raise ValueError(f"duplicate rule id {analyzer.id!r}")
+    ANALYZERS[analyzer.id] = analyzer
+    return analyzer
+
+
+def all_rule_ids() -> List[str]:
+    """Every registered id, syntax rules and semantic analyzers alike."""
+    return sorted([*RULES, *ANALYZERS])
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+#: ids are lowercase-kebab only, so prose like ``allow[<rule-id>]`` in
+#: documentation never parses as a live suppression
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[a-z0-9_, -]*)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass(slots=True)
+class _Suppression:
+    line: int
+    ids: Tuple[str, ...]
+    justification: Optional[str]
+    #: True when the allow comment is the whole line (covers line+1)
+    standalone: bool
+    used: bool = False
+
+
+def _parse_suppressions(source: str) -> List[_Suppression]:
+    out: List[_Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(text)
+        if m is None:
+            continue
+        ids = tuple(s.strip() for s in m.group("ids").split(",") if s.strip())
+        out.append(_Suppression(
+            line=lineno,
+            ids=ids,
+            justification=m.group("why"),
+            standalone=text.lstrip().startswith("#"),
+        ))
+    return out
+
+
+def _apply_suppressions(
+    findings: List[Finding],
+    sups: List[_Suppression],
+    rel_path: str,
+) -> Tuple[List[Finding], int]:
+    """Drop suppressed findings; emit meta-findings for bad allows."""
+    by_line: Dict[int, List[_Suppression]] = {}
+    for s in sups:
+        by_line.setdefault(s.line, []).append(s)
+        if s.standalone:
+            # a comment-only allow line covers the statement below it
+            by_line.setdefault(s.line + 1, []).append(s)
+
+    kept: List[Finding] = []
+    suppressed = 0
+    known = set(all_rule_ids())
+    for f in findings:
+        hit = next(
+            (s for s in by_line.get(f.line, ())
+             if f.rule in s.ids and f.rule in known),
+            None,
+        )
+        if hit is not None:
+            hit.used = True
+            suppressed += 1
+        else:
+            kept.append(f)
+
+    for s in sups:
+        if s.justification is None and s.ids:
+            kept.append(Finding(
+                META_NEEDS_JUSTIFICATION, "error", rel_path, s.line, 0,
+                f"suppression allow[{','.join(s.ids)}] has no justification; "
+                f"write '# repro: allow[...] -- <why this is safe>'",
+            ))
+        for rid in s.ids:
+            if rid not in known:
+                kept.append(Finding(
+                    META_UNKNOWN_SUPPRESSION, "error", rel_path, s.line, 0,
+                    f"suppression names unknown rule id {rid!r} "
+                    f"(known: {', '.join(all_rule_ids())})",
+                ))
+    return kept, suppressed
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class LintReport:
+    root: Path
+    findings: List[Finding]
+    files_scanned: int
+    suppressed: int
+    #: ids that actually ran (after --rule filtering)
+    active_rules: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def _iter_py_files(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        if any(part.startswith(".") or part == "__pycache__"
+               for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def run_lint(
+    root: Path,
+    rule_filter: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``root`` and run the tree analyzers.
+
+    ``rule_filter`` restricts the run to the named rule ids (syntax
+    rules and analyzers alike); unknown ids raise ``ValueError`` — the
+    CLI maps that to exit code 2.
+    """
+    # rule/analyzer registration lives in submodule import side effects
+    from repro.lint import fingerprint, hookparity, rules  # noqa: F401
+
+    root = Path(root)
+    if not root.is_dir():
+        raise ValueError(f"lint root {root} is not a directory")
+    if rule_filter is not None:
+        unknown = sorted(set(rule_filter) - set(all_rule_ids()))
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(all_rule_ids())}")
+    selected = None if rule_filter is None else set(rule_filter)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    files = 0
+    for path in _iter_py_files(root):
+        rel = path.relative_to(root).as_posix()
+        files += 1
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                "syntax-error", "error", rel, exc.lineno or 1, 0,
+                f"cannot parse: {exc.msg}"))
+            continue
+        file_findings: List[Finding] = []
+        for rule in RULES.values():
+            if selected is not None and rule.id not in selected:
+                continue
+            if not rule.applies(rel):
+                continue
+            file_findings.extend(rule.findings(tree, source, rel))
+        kept, n_sup = _apply_suppressions(
+            file_findings, _parse_suppressions(source), rel)
+        findings.extend(kept)
+        suppressed += n_sup
+
+    for analyzer in ANALYZERS.values():
+        if selected is not None and analyzer.id not in selected:
+            continue
+        analyzer_findings = list(analyzer.run(root))
+        # analyzer findings honour the same suppression comments
+        by_path: Dict[str, List[Finding]] = {}
+        for f in analyzer_findings:
+            by_path.setdefault(f.path, []).append(f)
+        for rel, fs in by_path.items():
+            target = root / rel
+            if target.is_file():
+                sups = _parse_suppressions(target.read_text(encoding="utf-8"))
+                kept, n_sup = _match_only(fs, sups)
+                findings.extend(kept)
+                suppressed += n_sup
+            else:
+                findings.extend(fs)
+
+    active = [rid for rid in all_rule_ids()
+              if selected is None or rid in selected]
+    findings.sort(key=Finding.sort_key)
+    return LintReport(root=root, findings=findings, files_scanned=files,
+                      suppressed=suppressed, active_rules=active)
+
+
+def _match_only(findings: List[Finding],
+                sups: List[_Suppression]) -> Tuple[List[Finding], int]:
+    """Suppression matching without re-emitting the meta-findings.
+
+    File-level rule passes already validated every allow comment in the
+    file; analyzer findings only need the drop-if-allowed half.
+    """
+    by_line: Dict[int, List[_Suppression]] = {}
+    for s in sups:
+        by_line.setdefault(s.line, []).append(s)
+        if s.standalone:
+            by_line.setdefault(s.line + 1, []).append(s)
+    kept: List[Finding] = []
+    suppressed = 0
+    for f in findings:
+        if any(f.rule in s.ids and s.justification
+               for s in by_line.get(f.line, ())):
+            suppressed += 1
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+# ----------------------------------------------------------------------
+# output backends
+# ----------------------------------------------------------------------
+def render_json(report: LintReport) -> str:
+    """Byte-stable JSON: sorted findings, sorted keys, no timestamps.
+
+    Schema (documented in README "Static analysis & determinism
+    contracts"; bump ``version`` on any shape change)::
+
+        {
+          "version": 1,
+          "tool": "repro-lint",
+          "rules": [{"id", "severity", "description"}...],   # sorted by id
+          "findings": [{"rule", "severity", "path",
+                        "line", "col", "message"}...],       # sorted
+          "counts": {"<rule-id>": n, ...},                   # nonzero only
+          "files": <files scanned>,
+          "suppressed": <suppressed finding count>
+        }
+    """
+    def rule_row(rid: str) -> Dict[str, str]:
+        obj = RULES.get(rid) or ANALYZERS.get(rid)
+        return {"id": rid, "severity": obj.severity,
+                "description": obj.description}
+
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "rules": [rule_row(rid) for rid in report.active_rules],
+        "findings": [
+            {"rule": f.rule, "severity": f.severity, "path": f.path,
+             "line": f.line, "col": f.col, "message": f.message}
+            for f in report.findings
+        ],
+        "counts": report.counts(),
+        "files": report.files_scanned,
+        "suppressed": report.suppressed,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_human(report: LintReport) -> str:
+    lines: List[str] = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: "
+                     f"{f.severity} [{f.rule}] {f.message}")
+    if report.findings:
+        lines.append("")
+    counts = report.counts()
+    if counts:
+        width = max(len(r) for r in counts)
+        lines.append("findings by rule:")
+        for rid, n in counts.items():
+            lines.append(f"  {rid:<{width}}  {n}")
+        lines.append("")
+    lines.append(
+        f"{len(report.findings)} finding(s) in {report.files_scanned} "
+        f"file(s), {report.suppressed} suppressed"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,224 @@
+"""Fingerprint-completeness analyzer.
+
+The runner's disk cache, the sweep manifests' grid ids, and cross-
+session dedupe all key on :func:`repro.runner.jobs.request_key` — a
+sha256 over :func:`request_fingerprint`.  A configuration field that
+does not flow into the fingerprint makes two *different* experiments
+content-address to the same cache entry: a new tuning knob silently
+aliases results, which is the most expensive class of determinism bug
+the service direction can grow (stale RunResults poisoning transfer
+learning, resumed sweeps replaying the wrong grid).
+
+This analyzer parses ``repro/runner/jobs.py`` (plus ``sim/machine.py``
+and ``sim/noise.py`` for the nested dataclasses) and verifies:
+
+* every dataclass field of ``RunRequest`` is referenced as
+  ``req.<field>`` inside ``request_fingerprint`` or inside a module
+  helper it calls with the request (``_noise_fingerprint(req)``);
+* every field of ``Machine`` is read off the machine binding
+  (``m = req.machine`` ... ``m.alpha``) inside the fingerprint;
+* every public field of ``NoiseModel`` is read off the noise binding
+  inside ``_noise_fingerprint``.
+
+Adding a field to any of the three dataclasses without threading it
+into the fingerprint fails the lint with the field named — the
+"phantom knob" mutation the test suite injects.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.engine import Analyzer, Finding, register_analyzer
+
+__all__ = ["check_fingerprint_completeness"]
+
+RULE_ID = "fingerprint-completeness"
+JOBS_REL = "repro/runner/jobs.py"
+MACHINE_REL = "repro/sim/machine.py"
+NOISE_REL = "repro/sim/noise.py"
+
+FINGERPRINT_FN = "request_fingerprint"
+REQUEST_CLASS = "RunRequest"
+MACHINE_CLASS = "Machine"
+NOISE_CLASS = "NoiseModel"
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str) -> Dict[str, int]:
+    """``{field name: lineno}`` of a dataclass's public annotated fields."""
+    cls = next((n for n in tree.body if isinstance(n, ast.ClassDef)
+                and n.name == class_name), None)
+    if cls is None:
+        return {}
+    fields: Dict[str, int] = {}
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                          ast.Name):
+            name = node.target.id
+            if not name.startswith("_"):
+                fields[name] = node.lineno
+    return fields
+
+
+def _functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    return {n.name: n for n in tree.body if isinstance(n, ast.FunctionDef)}
+
+
+def _param_attr_reads(fn: ast.FunctionDef, param: str) -> Set[str]:
+    """Attributes read off ``param`` (first level: ``param.x``)."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == param:
+            out.add(node.attr)
+    return out
+
+
+def _attr_reads_of(fn: ast.FunctionDef, names: Set[str]) -> Set[str]:
+    """Attributes read off any of the given local names."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id in names:
+            out.add(node.attr)
+    return out
+
+
+def _bindings_from(fn: ast.FunctionDef, source_attr: Optional[str],
+                   param: str) -> Set[str]:
+    """Local names bound from ``param`` or ``param.<source_attr>``.
+
+    ``_bindings_from(fn, "machine", "req")`` finds ``m`` in
+    ``m = req.machine``;  ``_bindings_from(fn, "noise", "req")`` finds
+    ``n`` in ``n = req.noise if req.noise is not None else ...``.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        for sub in ast.walk(node.value):
+            if source_attr is None:
+                if isinstance(sub, ast.Name) and sub.id == param:
+                    names.add(node.targets[0].id)
+                    break
+            elif isinstance(sub, ast.Attribute) and sub.attr == source_attr \
+                    and isinstance(sub.value, ast.Name) \
+                    and sub.value.id == param:
+                names.add(node.targets[0].id)
+                break
+    return names
+
+
+def _helpers_called_with(fn: ast.FunctionDef, param: str,
+                         module_fns: Dict[str, ast.FunctionDef],
+                         ) -> List[ast.FunctionDef]:
+    """Module functions the fingerprint calls with the request itself."""
+    out: List[ast.FunctionDef] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in module_fns:
+            if any(isinstance(a, ast.Name) and a.id == param
+                   for a in node.args):
+                out.append(module_fns[node.func.id])
+    return out
+
+
+def check_fingerprint_completeness(root: Path) -> Iterator[Finding]:
+    jobs_path = root / JOBS_REL
+    if not jobs_path.is_file():
+        return
+
+    def fail(line: int, message: str,
+             path: str = JOBS_REL) -> Finding:
+        return Finding(RULE_ID, "error", path, line, 0, message)
+
+    jobs = ast.parse(jobs_path.read_text(encoding="utf-8"),
+                     filename=JOBS_REL)
+    req_fields = _dataclass_fields(jobs, REQUEST_CLASS)
+    module_fns = _functions(jobs)
+    fp = module_fns.get(FINGERPRINT_FN)
+    if not req_fields or fp is None or not fp.args.args:
+        yield fail(1, f"cannot locate {REQUEST_CLASS} fields and "
+                      f"{FINGERPRINT_FN}(): the fingerprint-completeness "
+                      f"gate needs updating for this refactor")
+        return
+    req_param = fp.args.args[0].arg
+
+    # request fields covered in the fingerprint body or in helpers
+    # called with the request (e.g. _noise_fingerprint(req))
+    covered = _param_attr_reads(fp, req_param)
+    for helper in _helpers_called_with(fp, req_param, module_fns):
+        if helper.args.args:
+            covered |= _param_attr_reads(helper, helper.args.args[0].arg)
+    for name, lineno in sorted(req_fields.items()):
+        if name not in covered:
+            yield fail(lineno,
+                       f"{REQUEST_CLASS}.{name} never flows into "
+                       f"{FINGERPRINT_FN}(): two requests differing only "
+                       f"in {name!r} would alias the same cache entry — "
+                       f"add it to the fingerprint (and bump its version)")
+
+    # nested Machine fields: every field must be read off the machine
+    # binding inside the fingerprint
+    machine_path = root / MACHINE_REL
+    if machine_path.is_file():
+        machine = ast.parse(machine_path.read_text(encoding="utf-8"),
+                            filename=MACHINE_REL)
+        m_fields = _dataclass_fields(machine, MACHINE_CLASS)
+        m_names = _bindings_from(fp, "machine", req_param)
+        m_covered = _attr_reads_of(fp, m_names)
+        # fields reached through req.machine.<attr> chains in helpers
+        for helper in _helpers_called_with(fp, req_param, module_fns):
+            if helper.args.args:
+                p = helper.args.args[0].arg
+                for node in ast.walk(helper):
+                    if isinstance(node, ast.Attribute) \
+                            and isinstance(node.value, ast.Attribute) \
+                            and node.value.attr == "machine" \
+                            and isinstance(node.value.value, ast.Name) \
+                            and node.value.value.id == p:
+                        m_covered.add(node.attr)
+        for name, lineno in sorted(m_fields.items()):
+            if name not in m_covered:
+                yield fail(lineno,
+                           f"{MACHINE_CLASS}.{name} never flows into "
+                           f"{FINGERPRINT_FN}(): machines differing only "
+                           f"in {name!r} would share cache entries",
+                           path=MACHINE_REL)
+
+    # nested NoiseModel fields: read off the noise binding inside
+    # _noise_fingerprint (or whatever helper receives the request)
+    noise_path = root / NOISE_REL
+    if noise_path.is_file():
+        noise = ast.parse(noise_path.read_text(encoding="utf-8"),
+                          filename=NOISE_REL)
+        n_fields = _dataclass_fields(noise, NOISE_CLASS)
+        n_covered: Set[str] = set()
+        for fn in (fp, *_helpers_called_with(fp, req_param, module_fns)):
+            if not fn.args.args:
+                continue
+            p = fn.args.args[0].arg
+            n_names = _bindings_from(fn, "noise", p)
+            n_covered |= _attr_reads_of(fn, n_names)
+        for name, lineno in sorted(n_fields.items()):
+            if name not in n_covered:
+                yield fail(lineno,
+                           f"{NOISE_CLASS}.{name} never flows into the "
+                           f"noise fingerprint: noise processes differing "
+                           f"only in {name!r} would share cache entries",
+                           path=NOISE_REL)
+
+
+register_analyzer(Analyzer(
+    id=RULE_ID,
+    severity="error",
+    description=("every RunRequest/Machine/NoiseModel field must flow "
+                 "into request_key so new tuning knobs can never alias "
+                 "cache entries or sweep-manifest grid ids"),
+    run=check_fingerprint_completeness,
+))

@@ -1,0 +1,356 @@
+"""Scheduler hook-parity analyzer.
+
+The engine keeps two schedulers: the naive one round-trips every op
+through the global event heap and dispatches it to a per-op handler
+(``_do_compute``, ``_do_p2p``, ...); the fast path (``_run_fast``)
+drives rank-local runs of ops inline, duplicating the handlers' hook
+calls in its hot loop.  Bit-identity requires both to fire the *same*
+profiler hooks — the invariant PR 6 debugged by hand when the
+profiled-p2p cell silently diverged.
+
+This analyzer extracts, from the AST of ``repro/sim/engine.py``:
+
+1. the naive dispatch table — ``isinstance(op, X)`` branches of
+   ``_dispatch_op`` mapped to their handler methods;
+2. the fast path's inline regions — the ``cls is X`` branches of
+   ``_run_fast``'s inner loop;
+3. per-method profiler-hook reference sets, resolved through the local
+   aliasing idioms the hot loop uses (``on_compute = prof.on_compute``;
+   ``dispatch = self._dispatch_op if ... else self._dispatch``;
+   the ``self._on_wait`` instance alias), and a method-level call graph
+   that also treats constructing a continuation marker
+   (``_FinishP2P``/``_FinishColl``) as an edge to its heap handler.
+
+Two checks fail the lint:
+
+* **per-op parity** — for every op class X that the fast path handles
+  inline *with hook-visible effects* (at least one hook reference in
+  the branch), the transitive hook set of the inline region must equal
+  the transitive hook set of the naive handler for X.  Branches that
+  only do bookkeeping and defer to the shared dispatch (waits,
+  collective parks) are exempt: they run the handler itself, so parity
+  is the identity.
+* **wholesale reachability** — the union of hooks reachable from the
+  fast entry point must equal the union reachable from the naive loop
+  entries; a hook only one scheduler can ever fire is a divergence no
+  fuzz leg is guaranteed to hit.
+
+The analyzer is deliberately loud about its own blind spots: if the
+Simulator class, the dispatch table, or the inline branches cannot be
+located (a rename or restructuring), that is itself a finding — the
+gate degrades to *failed*, never to *silently passing*.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Analyzer, Finding, register_analyzer
+
+__all__ = ["check_hook_parity", "PARITY_HOOKS"]
+
+RULE_ID = "hook-parity"
+ENGINE_REL = "repro/sim/engine.py"
+
+#: observation hooks that must fire identically under both schedulers.
+#: Lifecycle hooks (start_run/end_run/on_world) run in the shared
+#: prologue/epilogue and intercept_cost is a pure cost query — neither
+#: is scheduler-path state.
+PARITY_HOOKS = frozenset({
+    "on_compute", "post_compute",
+    "on_collective", "post_collective",
+    "on_p2p_post", "on_p2p", "post_p2p",
+    "on_wait", "on_comm_split",
+})
+
+#: instance attributes that alias a profiler hook (bound once in run())
+INSTANCE_HOOK_ALIASES = {"_on_wait": "on_wait"}
+
+#: heap continuation markers: constructing one defers the op to the
+#: named handler at a later heap position
+CONTINUATION_HANDLERS = {
+    "_FinishP2P": "_match_p2p",
+    "_FinishColl": "_finish_collective",
+}
+
+SIMULATOR_CLASS = "Simulator"
+FAST_ENTRY = "_run_fast"
+NAIVE_DISPATCH = "_dispatch_op"
+#: the naive loop body in run() calls these directly
+NAIVE_ENTRIES = ("_dispatch", "_dispatch_op", "_match_p2p")
+
+
+@dataclass(slots=True)
+class _MethodInfo:
+    hooks: Set[str] = field(default_factory=set)
+    edges: Set[str] = field(default_factory=set)
+
+
+def _hook_of_attr(node: ast.Attribute) -> Optional[str]:
+    """Hook name if this attribute reference is a profiler hook."""
+    if node.attr in PARITY_HOOKS:
+        # skip references through a class object (e.g. the
+        # ``type(self.profiler).on_wait is Profiler.on_wait`` probe)
+        recv = node.value
+        if isinstance(recv, ast.Name) and recv.id[:1].isupper():
+            return None
+        if isinstance(recv, ast.Call) and isinstance(recv.func, ast.Name) \
+                and recv.func.id == "type":
+            return None
+        return node.attr
+    if node.attr in INSTANCE_HOOK_ALIASES \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return INSTANCE_HOOK_ALIASES[node.attr]
+    return None
+
+
+class _RefCollector(ast.NodeVisitor):
+    """Collects hook references and method edges from an AST region.
+
+    ``aliases`` maps local names to the (hooks, methods) their binding
+    expression referenced; a Name load of an alias imports its
+    contents.  Attribute references resolve directly.
+    """
+
+    def __init__(self, method_names: Set[str],
+                 aliases: Dict[str, Tuple[Set[str], Set[str]]]) -> None:
+        self.method_names = method_names
+        self.aliases = aliases
+        self.hooks: Set[str] = set()
+        self.edges: Set[str] = set()
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        hook = _hook_of_attr(node)
+        if hook is not None:
+            self.hooks.add(hook)
+        elif isinstance(node.value, ast.Name) and node.value.id == "self" \
+                and node.attr in self.method_names:
+            self.edges.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if node.id in self.aliases:
+                hooks, methods = self.aliases[node.id]
+                self.hooks.update(hooks)
+                self.edges.update(methods)
+            elif node.id in CONTINUATION_HANDLERS:
+                self.edges.add(CONTINUATION_HANDLERS[node.id])
+
+
+def _collect_aliases(
+    fn: ast.FunctionDef, method_names: Set[str]
+) -> Dict[str, Tuple[Set[str], Set[str]]]:
+    """Local-name bindings that carry hook or method references."""
+    aliases: Dict[str, Tuple[Set[str], Set[str]]] = {}
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        hooks: Set[str] = set()
+        methods: Set[str] = set()
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Attribute):
+                hook = _hook_of_attr(sub)
+                if hook is not None:
+                    hooks.add(hook)
+                elif isinstance(sub.value, ast.Name) \
+                        and sub.value.id == "self" \
+                        and sub.attr in method_names:
+                    methods.add(sub.attr)
+        if hooks or methods:
+            aliases[node.targets[0].id] = (hooks, methods)
+    return aliases
+
+
+def _collect_region(nodes: List[ast.stmt], method_names: Set[str],
+                    aliases: Dict[str, Tuple[Set[str], Set[str]]],
+                    ) -> Tuple[Set[str], Set[str]]:
+    col = _RefCollector(method_names, aliases)
+    for n in nodes:
+        col.visit(n)
+    return col.hooks, col.edges
+
+
+def _closure_hooks(entry_methods: Set[str],
+                   info: Dict[str, _MethodInfo]) -> Set[str]:
+    seen: Set[str] = set()
+    stack = list(entry_methods)
+    hooks: Set[str] = set()
+    while stack:
+        m = stack.pop()
+        if m in seen or m not in info:
+            continue
+        seen.add(m)
+        hooks.update(info[m].hooks)
+        stack.extend(info[m].edges)
+    return hooks
+
+
+def _dispatch_table(fn: ast.FunctionDef) -> Dict[str, str]:
+    """``{op class name: handler method}`` from the isinstance chain."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not (isinstance(test, ast.Call)
+                and isinstance(test.func, ast.Name)
+                and test.func.id == "isinstance"
+                and len(test.args) == 2
+                and isinstance(test.args[1], ast.Name)):
+            continue
+        op_cls = test.args[1].id
+        for sub in node.body:
+            for call in ast.walk(sub):
+                if isinstance(call, ast.Call) \
+                        and isinstance(call.func, ast.Attribute) \
+                        and isinstance(call.func.value, ast.Name) \
+                        and call.func.value.id == "self":
+                    table[op_cls] = call.func.attr
+                    break
+            if op_cls in table:
+                break
+    return table
+
+
+def _fast_branches(fn: ast.FunctionDef,
+                   op_classes: Set[str]) -> Dict[str, List[ast.stmt]]:
+    """``{op class name: [branch bodies]}`` for the ``cls is X`` chain."""
+    branches: Dict[str, List[ast.stmt]] = {}
+
+    def class_of_test(test: ast.AST) -> Optional[str]:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Compare) \
+                    and len(sub.ops) == 1 and isinstance(sub.ops[0], ast.Is) \
+                    and isinstance(sub.comparators[0], ast.Name) \
+                    and sub.comparators[0].id in op_classes:
+                return sub.comparators[0].id
+        return None
+
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If):
+            continue
+        op_cls = class_of_test(node.test)
+        if op_cls is not None:
+            branches.setdefault(op_cls, []).extend(node.body)
+    return branches
+
+
+def check_hook_parity(root: Path) -> Iterator[Finding]:
+    """Run the analyzer against ``<root>/repro/sim/engine.py``."""
+    path = root / ENGINE_REL
+    if not path.is_file():
+        # nothing to check in this tree (e.g. linting a fixture dir)
+        return
+
+    def fail(line: int, message: str) -> Finding:
+        return Finding(RULE_ID, "error", ENGINE_REL, line, 0, message)
+
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=ENGINE_REL)
+    sim = next((n for n in tree.body if isinstance(n, ast.ClassDef)
+                and n.name == SIMULATOR_CLASS), None)
+    if sim is None:
+        yield fail(1, f"cannot locate class {SIMULATOR_CLASS}: the "
+                      f"hook-parity gate needs updating for this refactor")
+        return
+
+    methods: Dict[str, ast.FunctionDef] = {
+        n.name: n for n in sim.body if isinstance(n, ast.FunctionDef)
+    }
+    for required in (FAST_ENTRY, NAIVE_DISPATCH):
+        if required not in methods:
+            yield fail(sim.lineno,
+                       f"cannot locate Simulator.{required}: the hook-parity "
+                       f"gate needs updating for this refactor")
+            return
+    method_names = set(methods)
+
+    # per-method hook references and call-graph edges
+    info: Dict[str, _MethodInfo] = {}
+    alias_maps: Dict[str, Dict[str, Tuple[Set[str], Set[str]]]] = {}
+    for name, fn in methods.items():
+        aliases = _collect_aliases(fn, method_names)
+        alias_maps[name] = aliases
+        hooks, edges = _collect_region(fn.body, method_names, aliases)
+        info[name] = _MethodInfo(hooks=hooks, edges=edges)
+
+    # --- wholesale reachability parity --------------------------------
+    fast_all = _closure_hooks({FAST_ENTRY}, info)
+    naive_all = _closure_hooks(
+        {m for m in NAIVE_ENTRIES if m in methods}, info)
+    if fast_all != naive_all:
+        only_fast = sorted(fast_all - naive_all)
+        only_naive = sorted(naive_all - fast_all)
+        parts = []
+        if only_naive:
+            parts.append(f"only the naive scheduler can fire "
+                         f"{', '.join(only_naive)}")
+        if only_fast:
+            parts.append(f"only the fast path can fire "
+                         f"{', '.join(only_fast)}")
+        yield fail(methods[FAST_ENTRY].lineno,
+                   f"scheduler hook sets diverge: {'; '.join(parts)} — "
+                   f"both paths must be able to fire the identical "
+                   f"profiler hook set")
+
+    # --- per-op inline-region parity ----------------------------------
+    table = _dispatch_table(methods[NAIVE_DISPATCH])
+    if not table:
+        yield fail(methods[NAIVE_DISPATCH].lineno,
+                   f"cannot extract the op dispatch table from "
+                   f"{NAIVE_DISPATCH}: the hook-parity gate needs updating")
+        return
+    branches = _fast_branches(methods[FAST_ENTRY], set(table))
+    if not branches:
+        yield fail(methods[FAST_ENTRY].lineno,
+                   f"cannot locate the inline 'cls is <Op>' branches in "
+                   f"{FAST_ENTRY}: the hook-parity gate needs updating")
+        return
+
+    fast_aliases = alias_maps[FAST_ENTRY]
+    for op_cls in sorted(branches):
+        body = branches[op_cls]
+        hooks, edges = _collect_region(body, method_names, fast_aliases)
+        # the fallback dispatch inside a branch hands the op to its own
+        # naive handler, not to the whole table
+        edges = {table[op_cls] if e in (NAIVE_DISPATCH, "_dispatch") else e
+                 for e in edges}
+        inline_hooks = hooks | _closure_hooks(edges, info)
+        if not inline_hooks:
+            # bookkeeping-only branch: the op defers to the shared
+            # handler, which IS the naive path — parity by identity
+            continue
+        handler = table[op_cls]
+        naive_hooks = info[handler].hooks | _closure_hooks(
+            info[handler].edges, info)
+        if inline_hooks != naive_hooks:
+            missing_fast = sorted(naive_hooks - inline_hooks)
+            extra_fast = sorted(inline_hooks - naive_hooks)
+            parts = []
+            if missing_fast:
+                parts.append(
+                    f"the fast path never fires {', '.join(missing_fast)} "
+                    f"(naive handler {handler} does)")
+            if extra_fast:
+                parts.append(
+                    f"the fast path fires {', '.join(extra_fast)} that "
+                    f"{handler} never does")
+            yield fail(
+                body[0].lineno if body else methods[FAST_ENTRY].lineno,
+                f"{op_cls}: inline fast-path hooks != naive handler "
+                f"{handler} hooks — {'; '.join(parts)}")
+
+
+register_analyzer(Analyzer(
+    id=RULE_ID,
+    severity="error",
+    description=("fast and naive scheduler paths in sim/engine.py must "
+                 "fire identical profiler hook sets (per op kind and "
+                 "wholesale)"),
+    run=check_hook_parity,
+))

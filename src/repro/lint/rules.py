@@ -1,0 +1,350 @@
+"""Syntax-level determinism-contract rules.
+
+Each rule here is a pure AST check over one file.  They encode the
+contracts that keep every run bit-identical to a fault-free serial
+reference (see README "Static analysis & determinism contracts"):
+
+* ``unseeded-random``   — module-level ``random``/``np.random`` global
+  state draws; every stream must be an explicitly seeded generator.
+* ``wall-clock``        — ``time.*``/``datetime.now`` references outside
+  the runner's timeout layer; simulated time is the only clock
+  simulation code may read.
+* ``set-iteration``     — iterating a ``set`` in ``sim/``/``critter/``;
+  set order is address-dependent under interned signatures (identity
+  hashing), so it may not feed accumulation or event emission.
+* ``mutable-default``   — mutable default arguments (cross-call shared
+  state that aliases results between jobs).
+* ``broad-except``      — bare ``except`` or ``except Exception`` that
+  swallows (no re-raise): these can eat :class:`JobExecutionError` and
+  turn an attributable failure into silent divergence.
+* ``seed-derivation``   — ad-hoc arithmetic on seed values feeding an
+  RNG constructor; use :func:`repro.runner.seeds.derive_seed`, which is
+  collision-free by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.engine import Rule, register_rule
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockRule",
+    "SetIterationRule",
+    "MutableDefaultRule",
+    "BroadExceptRule",
+    "SeedDerivationRule",
+]
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class UnseededRandomRule(Rule):
+    id = "unseeded-random"
+    severity = "error"
+    description = ("global-state RNG draw (random.* / np.random.*): only "
+                   "explicitly seeded generators are reproducible")
+
+    #: module-level functions that read or mutate the global Mersenne
+    #: Twister / legacy numpy RandomState
+    STDLIB = frozenset({
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "seed", "gauss", "normalvariate", "betavariate",
+        "expovariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+        "weibullvariate", "triangular", "getrandbits", "randbytes",
+    })
+    NUMPY = frozenset({
+        "rand", "randn", "random", "random_sample", "ranf", "sample",
+        "randint", "random_integers", "seed", "choice", "shuffle",
+        "permutation", "uniform", "normal", "standard_normal", "exponential",
+        "poisson", "binomial", "beta", "gamma", "bytes", "get_state",
+        "set_state",
+    })
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            if name.startswith("random.") and name[7:] in self.STDLIB:
+                yield (node.lineno, node.col_offset,
+                       f"{name}() draws from the global random stream; "
+                       f"use random.Random(derive_seed(...)) instead")
+            for prefix in ("np.random.", "numpy.random."):
+                if name.startswith(prefix) and name[len(prefix):] in self.NUMPY:
+                    yield (node.lineno, node.col_offset,
+                           f"{name}() uses numpy's global RandomState; "
+                           f"use np.random.default_rng(derive_seed(...))")
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class WallClockRule(Rule):
+    id = "wall-clock"
+    severity = "error"
+    description = ("wall-clock read outside the runner's timeout layer: "
+                   "simulation results must not depend on real time")
+
+    TIME_FNS = frozenset({
+        "time", "monotonic", "perf_counter", "process_time",
+        "time_ns", "monotonic_ns", "perf_counter_ns", "process_time_ns",
+    })
+    DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+    #: the runner's fault-tolerance layer measures real elapsed time by
+    #: design (job timeouts, retry backoff) — the one sanctioned clock
+    ALLOWED_PATHS = frozenset({"repro/runner/resilience.py"})
+
+    def applies(self, rel_path: str) -> bool:
+        return rel_path not in self.ALLOWED_PATHS
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self.TIME_FNS:
+                        yield (node.lineno, node.col_offset,
+                               f"from time import {alias.name}: wall-clock "
+                               f"access on a simulation path")
+                continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            name = _dotted(node)
+            if name is None:
+                continue
+            if name.startswith("time.") and name[5:] in self.TIME_FNS:
+                yield (node.lineno, node.col_offset,
+                       f"{name} reads the wall clock; simulated time is the "
+                       f"only clock simulation code may observe")
+            elif (name.split(".", 1)[0] in ("datetime", "date")
+                  and name.rsplit(".", 1)[-1] in self.DATETIME_FNS):
+                yield (node.lineno, node.col_offset,
+                       f"{name} reads the wall clock; simulated time is the "
+                       f"only clock simulation code may observe")
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class SetIterationRule(Rule):
+    id = "set-iteration"
+    severity = "error"
+    description = ("iterating a set in sim//critter/: interned signatures "
+                   "hash by identity, so set order is address-dependent and "
+                   "must not feed accumulation or event emission")
+
+    SCOPES = ("repro/sim/", "repro/critter/")
+
+    def applies(self, rel_path: str) -> bool:
+        return rel_path.startswith(self.SCOPES)
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST, set_names: Set[str],
+                     set_attrs: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")):
+            return True
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return True
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self" and node.attr in set_attrs):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            # set algebra on set operands
+            return (SetIterationRule._is_set_expr(node.left, set_names,
+                                                  set_attrs)
+                    or SetIterationRule._is_set_expr(node.right, set_names,
+                                                     set_attrs))
+        return False
+
+    @staticmethod
+    def _ann_is_set(ann: ast.AST) -> bool:
+        base = ann.value if isinstance(ann, ast.Subscript) else ann
+        name = _dotted(base)
+        return name is not None and name.rsplit(".", 1)[-1] in (
+            "set", "Set", "MutableSet", "frozenset", "FrozenSet")
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        # self attributes assigned/annotated as sets anywhere in a class
+        set_attrs: Set[str] = set()
+        for node in ast.walk(tree):
+            target = value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                if self._ann_is_set(node.annotation):
+                    value = ast.Call(func=ast.Name(id="set", ctx=ast.Load()),
+                                     args=[], keywords=[])
+                else:
+                    value = node.value
+            if (target is not None and value is not None
+                    and isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and self._is_set_expr(value, set(), set())):
+                set_attrs.add(target.attr)
+
+        emitted: Set[Tuple[int, int]] = set()
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.Module)):
+                continue
+            set_names: Set[str] = set()
+            # first pass: local names bound to set expressions or
+            # annotated as sets
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    if self._is_set_expr(node.value, set_names, set_attrs):
+                        set_names.add(node.targets[0].id)
+                elif isinstance(node, ast.AnnAssign) \
+                        and isinstance(node.target, ast.Name) \
+                        and self._ann_is_set(node.annotation):
+                    set_names.add(node.target.id)
+            # second pass: iteration sites
+            for node in ast.walk(fn):
+                iters = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if self._is_set_expr(it, set_names, set_attrs) \
+                            and (it.lineno, it.col_offset) not in emitted:
+                        # the Module walk re-visits function bodies:
+                        # emit each site once
+                        emitted.add((it.lineno, it.col_offset))
+                        yield (it.lineno, it.col_offset,
+                               "iteration over a set: order is address-"
+                               "dependent; iterate an insertion-ordered "
+                               "dict or sorted() the elements")
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    severity = "error"
+    description = ("mutable default argument: state shared across calls "
+                   "aliases results between jobs")
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for default in (*node.args.defaults, *node.args.kw_defaults):
+                if default is None:
+                    continue
+                bad = None
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                    bad = type(default).__name__.lower()
+                elif (isinstance(default, ast.Call)
+                      and isinstance(default.func, ast.Name)
+                      and default.func.id in ("list", "dict", "set",
+                                              "bytearray", "deque")):
+                    bad = f"{default.func.id}()"
+                if bad is not None:
+                    yield (default.lineno, default.col_offset,
+                           f"mutable default ({bad}) in {node.name}(): "
+                           f"use None and create inside the body")
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class BroadExceptRule(Rule):
+    id = "broad-except"
+    severity = "error"
+    description = ("bare/broad except that swallows: can eat "
+                   "JobExecutionError and hide attributable failures")
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield (node.lineno, node.col_offset,
+                       "bare 'except:' swallows everything, including "
+                       "JobExecutionError; name the exceptions or re-raise")
+                continue
+            names = []
+            types = (node.type.elts if isinstance(node.type, ast.Tuple)
+                     else [node.type])
+            for t in types:
+                name = _dotted(t)
+                if name is not None:
+                    names.append(name.rsplit(".", 1)[-1])
+            if any(n in ("Exception", "BaseException") for n in names) \
+                    and not self._reraises(node):
+                yield (node.lineno, node.col_offset,
+                       f"'except {'/'.join(names)}' without re-raise "
+                       f"swallows JobExecutionError; narrow the type or "
+                       f"re-raise after handling")
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class SeedDerivationRule(Rule):
+    id = "seed-derivation"
+    severity = "error"
+    description = ("ad-hoc arithmetic seed derivation feeding an RNG: use "
+                   "repro.runner.seeds.derive_seed (sha256, collision-free "
+                   "by construction)")
+
+    RNG_CTORS = frozenset({
+        "Random", "SystemRandom", "default_rng", "PCG64", "PCG64DXSM",
+        "MT19937", "Philox", "SFC64", "SeedSequence", "RandomState",
+    })
+
+    @staticmethod
+    def _mentions_seed(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+                return True
+        return False
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = _dotted(node.func)
+            if fname is None \
+                    or fname.rsplit(".", 1)[-1] not in self.RNG_CTORS:
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.BinOp) and self._mentions_seed(arg):
+                    yield (arg.lineno, arg.col_offset,
+                           f"arithmetic seed derivation passed to "
+                           f"{fname}(): ad-hoc '*'/'+'-mixing collides; "
+                           f"use derive_seed(seed, *labels)")

@@ -44,6 +44,7 @@ from repro.runner.progress import (
     logging_progress,
 )
 from repro.runner.resilience import ResilientExecutor, RetryPolicy
+from repro.runner.seeds import derive_seed, derive_unit
 
 __all__ = [
     "GROUND_TRUTH",
@@ -55,6 +56,8 @@ __all__ = [
     "ConfigResult",
     "JobExecutionError",
     "seed_for",
+    "derive_seed",
+    "derive_unit",
     "execute_request",
     "failed_result",
     "request_fingerprint",

@@ -22,15 +22,15 @@ the same (job, attempt) pairs on every machine.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import time
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.runner.jobs import RunRequest, request_key
+from repro.runner.seeds import derive_unit
 
 __all__ = [
     "ACTIONS",
@@ -59,11 +59,10 @@ class InjectedFault(RuntimeError):
     """The exception a ``raise`` fault throws inside the worker."""
 
 
-def _hash01(*parts: Any) -> float:
-    """Uniform [0, 1) value derived deterministically from ``parts``."""
-    blob = ":".join(str(p) for p in parts).encode("utf-8")
-    digest = hashlib.sha256(blob).digest()
-    return int.from_bytes(digest[:8], "big") / 2.0**64
+#: uniform [0, 1) value derived deterministically from its parts —
+#: the shared sha256 derivation (blob format unchanged, so plans
+#: predating the helper inject the identical faults)
+_hash01 = derive_unit
 
 
 @dataclass(slots=True)

@@ -188,7 +188,7 @@ def failed_result(req: RunRequest, error: str) -> RunResult:
 # ----------------------------------------------------------------------
 # execution (runs in worker processes)
 # ----------------------------------------------------------------------
-def _full_critter(space) -> Critter:
+def _full_critter(space: Any) -> Critter:
     return Critter(policy="never-skip", exclude=space.exclude)
 
 
@@ -293,7 +293,7 @@ def execute_request(req: RunRequest, attempt: int = 0) -> RunResult:
 # ----------------------------------------------------------------------
 # content addressing
 # ----------------------------------------------------------------------
-def _space_fingerprint(space) -> Dict[str, Any]:
+def _space_fingerprint(space: Any) -> Dict[str, Any]:
     prog = space.program
     return {
         "name": space.name,

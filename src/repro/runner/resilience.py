@@ -29,7 +29,6 @@ the fault-injection fuzz leg asserts.
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import os
 import time
@@ -46,6 +45,7 @@ from repro.runner.jobs import (
     failed_result,
     request_key,
 )
+from repro.runner.seeds import derive_unit
 
 __all__ = ["RetryPolicy", "ResilientExecutor", "backoff_delay"]
 
@@ -90,8 +90,7 @@ def backoff_delay(policy: RetryPolicy, key: str, failures: int) -> float:
     jobs still decorrelate their retries.
     """
     raw = policy.backoff_base * policy.backoff_factor ** max(0, failures - 1)
-    blob = f"{policy.seed}:{key}:{failures}".encode("utf-8")
-    u = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2.0**64
+    u = derive_unit(policy.seed, key, failures)
     return min(policy.backoff_max, raw) * (0.5 + 0.5 * u)
 
 

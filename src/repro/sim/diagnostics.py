@@ -136,7 +136,7 @@ class EngineDiagnostics:
         # -- non-deterministic wall-clock attribution (timings block) --
         self.wall_s = 0.0
         self.dispatch_wall: Dict[str, float] = {}
-        self._clock = time.perf_counter
+        self._clock = time.perf_counter  # repro: allow[wall-clock] -- observability-only timing block; excluded from fingerprints
 
     # ------------------------------------------------------------------
     def wrap(self, gen: Iterator[Any]) -> Iterator[Any]:

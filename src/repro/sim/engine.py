@@ -568,6 +568,7 @@ class Simulator:
         diag = self.diagnostics
         t_start = diag._clock() if diag is not None else 0.0
         for r in range(p):
+            # repro: allow[seed-derivation] -- bit-exact per-rank stream; engine golden traces pin it
             rng = np.random.Generator(np.random.PCG64(((self.run_seed & 0xFFFFFF) << 24) ^ (r + 1)))
             extra = tuple(rank_args[r]) if rank_args is not None else ()
             gen = program(Comm(self.world, r), *args, *extra)

@@ -22,7 +22,7 @@ scale; the reproduction targets shapes, not seconds.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict
 
 from repro.kernels.signature import KernelSignature

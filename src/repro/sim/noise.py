@@ -95,6 +95,7 @@ class NoiseModel:
         if cached is not None:
             return cached
         rng = np.random.Generator(
+            # repro: allow[seed-derivation] -- bit-exact stream predates derive_seed; golden noise fixtures pin it
             np.random.PCG64(((self.machine_seed & 0xFFFFFFFF) << 32) | key)
         )
         # exp(N(0, sigma)) normalized to unit mean so costs stay centered
@@ -112,6 +113,7 @@ class NoiseModel:
             return cached
         rng = np.random.Generator(
             np.random.PCG64(
+                # repro: allow[seed-derivation] -- bit-exact stream predates derive_seed; golden noise fixtures pin it
                 ((run_seed & 0xFFFFFFFF) << 32) | (sig.stable_hash() ^ 0x5BD1E995)
             )
         )

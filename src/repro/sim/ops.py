@@ -8,7 +8,7 @@ operation completes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Tuple
 
 from repro.kernels.signature import KernelSignature

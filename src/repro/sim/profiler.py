@@ -16,7 +16,7 @@ honest about what each rank can know.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict
 
 from repro.kernels.signature import KernelSignature
 

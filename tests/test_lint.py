@@ -1,0 +1,464 @@
+"""Determinism-contract linter: rules, analyzers, CLI, stability.
+
+Three layers of coverage:
+
+* per-rule good/bad fixture pairs — every syntax rule fires on its bad
+  snippet and stays silent on the idiomatic good one;
+* analyzer mutation checks — seeded edits to copies of the *real*
+  sources (a profiler hook dropped from one scheduler path, a phantom
+  ``RunRequest`` field) must flip the linter to failing with the right
+  rule id, and the unmutated copies must pass;
+* contract checks on the shipped tree — ``repro lint`` exits 0, the
+  JSON rendering is byte-stable, and the CLI maps clean/dirty/usage to
+  exit codes 0/1/2.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.lint import render_json, run_lint
+from repro.lint.fingerprint import check_fingerprint_completeness
+from repro.lint.hookparity import check_hook_parity
+from repro.runner.seeds import derive_seed, derive_unit
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+# ----------------------------------------------------------------------
+# fixture-tree helpers
+# ----------------------------------------------------------------------
+def make_tree(tmp_path: Path, files: dict) -> Path:
+    """Write ``{rel_path: source}`` under a fresh root and return it."""
+    root = tmp_path / "tree"
+    for rel, source in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+    return root
+
+
+def rule_hits(root: Path, rule: str):
+    report = run_lint(root, rule_filter=[rule])
+    return [f for f in report.findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# syntax rules: one bad / one good fixture per rule
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    def test_flags_global_stdlib_and_numpy_state(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import random\n"
+            "import numpy as np\n"
+            "a = random.random()\n"
+            "random.shuffle([1, 2])\n"
+            "b = np.random.rand(3)\n"
+        )})
+        hits = rule_hits(root, "unseeded-random")
+        assert sorted(f.line for f in hits) == [3, 4, 5]
+
+    def test_seeded_generators_pass(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import random\n"
+            "import numpy as np\n"
+            "rng = random.Random(7)\n"
+            "a = rng.random()\n"
+            "g = np.random.default_rng(7)\n"
+            "b = g.normal()\n"
+        )})
+        assert rule_hits(root, "unseeded-random") == []
+
+
+class TestWallClock:
+    def test_flags_time_and_datetime(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/sim/x.py": (
+            "import time\n"
+            "import datetime\n"
+            "t = time.time()\n"
+            "p = time.perf_counter()\n"
+            "d = datetime.datetime.now()\n"
+        )})
+        hits = rule_hits(root, "wall-clock")
+        assert sorted(f.line for f in hits) == [3, 4, 5]
+
+    def test_timeout_layer_is_allowlisted(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/runner/resilience.py": (
+            "import time\n"
+            "deadline = time.monotonic() + 5.0\n"
+        )})
+        assert rule_hits(root, "wall-clock") == []
+
+
+class TestSetIteration:
+    BAD = (
+        "def total(sigs):\n"
+        "    seen = set(sigs)\n"
+        "    acc = 0.0\n"
+        "    for s in seen:\n"
+        "        acc += s.cost\n"
+        "    return acc\n"
+    )
+
+    def test_flags_accumulation_over_set_in_sim(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/sim/x.py": self.BAD})
+        hits = rule_hits(root, "set-iteration")
+        assert len(hits) == 1 and hits[0].line == 4
+
+    def test_out_of_scope_paths_ignored(self, tmp_path):
+        # determinism of runner-side sets is covered by content
+        # addressing, not iteration order: the rule only watches
+        # the simulation and critter subtrees
+        root = make_tree(tmp_path, {"repro/runner/x.py": self.BAD})
+        assert rule_hits(root, "set-iteration") == []
+
+    def test_sorted_iteration_passes(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/sim/x.py": (
+            "def total(sigs):\n"
+            "    acc = 0.0\n"
+            "    for s in sorted(set(sigs)):\n"
+            "        acc += s.cost\n"
+            "    return acc\n"
+        )})
+        assert rule_hits(root, "set-iteration") == []
+
+
+class TestMutableDefault:
+    def test_flags_list_dict_set_defaults(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "def f(a=[]):\n    return a\n"
+            "def g(b={}):\n    return b\n"
+            "def h(c=set()):\n    return c\n"
+        )})
+        hits = rule_hits(root, "mutable-default")
+        assert sorted(f.line for f in hits) == [1, 3, 5]
+
+    def test_none_sentinel_passes(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "def f(a=None, b=(), c=0):\n    return a, b, c\n"
+        )})
+        assert rule_hits(root, "mutable-default") == []
+
+
+class TestBroadExcept:
+    def test_flags_bare_and_swallowed_exception(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        pass\n"
+            "def h():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )})
+        hits = rule_hits(root, "broad-except")
+        assert sorted(f.line for f in hits) == [4, 9]
+
+    def test_narrow_or_reraising_passes(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+            "    except Exception:\n"
+            "        log()\n"
+            "        raise\n"
+        )})
+        assert rule_hits(root, "broad-except") == []
+
+
+class TestSeedDerivation:
+    def test_flags_arithmetic_seed_mixing(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import random\n"
+            "def f(seed):\n"
+            "    return random.Random(seed * 7919 + 13)\n"
+        )})
+        hits = rule_hits(root, "seed-derivation")
+        assert len(hits) == 1 and hits[0].line == 3
+
+    def test_derive_seed_passes(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import random\n"
+            "from repro.runner.seeds import derive_seed\n"
+            "def f(seed):\n"
+            "    return random.Random(derive_seed(seed, 'search'))\n"
+        )})
+        assert rule_hits(root, "seed-derivation") == []
+
+
+# ----------------------------------------------------------------------
+# suppression protocol
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_justified_allow_suppresses(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import time\n"
+            "t = time.time()  # repro: allow[wall-clock] -- test harness\n"
+        )})
+        report = run_lint(root)
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_standalone_allow_covers_next_line(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import time\n"
+            "# repro: allow[wall-clock] -- test harness\n"
+            "t = time.time()\n"
+        )})
+        report = run_lint(root)
+        assert report.clean and report.suppressed == 1
+
+    def test_unjustified_allow_is_a_finding(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import time\n"
+            "t = time.time()  # repro: allow[wall-clock]\n"
+        )})
+        report = run_lint(root)
+        rules = {f.rule for f in report.findings}
+        assert "suppression-needs-justification" in rules
+        # the allow still matched, so the wall-clock hit itself is gone
+        assert "wall-clock" not in rules
+
+    def test_unknown_rule_id_is_a_finding(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "x = 1  # repro: allow[no-such-rule] -- whatever\n"
+        )})
+        report = run_lint(root)
+        assert {f.rule for f in report.findings} == {"unknown-suppression"}
+
+    def test_allow_does_not_cover_other_rules(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import random\n"
+            "a = random.random()  # repro: allow[wall-clock] -- wrong id\n"
+        )})
+        report = run_lint(root)
+        assert "unseeded-random" in {f.rule for f in report.findings}
+
+
+# ----------------------------------------------------------------------
+# hook-parity analyzer: mutations of the real engine
+# ----------------------------------------------------------------------
+FAST_POST_COMPUTE = (
+    "                    post_compute(rank, sig, execute, elapsed, flops)\n"
+)
+NAIVE_POST_COMPUTE = (
+    "        prof.post_compute(st.rank, op.sig, execute, elapsed, op.flops)\n"
+)
+
+
+def engine_tree(tmp_path: Path, mutate=None) -> Path:
+    """Copy the real engine into a scratch tree, optionally mutated."""
+    src = (SRC_ROOT / "repro/sim/engine.py").read_text()
+    if mutate is not None:
+        mutated = mutate(src)
+        assert mutated != src, "mutation needle did not match engine.py"
+        src = mutated
+    return make_tree(tmp_path, {"repro/sim/engine.py": src})
+
+
+class TestHookParity:
+    def test_shipped_engine_is_parity_clean(self, tmp_path):
+        root = engine_tree(tmp_path)
+        assert list(check_hook_parity(root)) == []
+
+    def test_fast_path_hook_removal_is_caught(self, tmp_path):
+        root = engine_tree(
+            tmp_path, lambda s: s.replace(FAST_POST_COMPUTE, "", 1))
+        findings = list(check_hook_parity(root))
+        assert findings, "dropped fast-path post_compute went unnoticed"
+        assert all(f.rule == "hook-parity" for f in findings)
+        assert any("post_compute" in f.message for f in findings)
+
+    def test_naive_path_hook_removal_is_caught(self, tmp_path):
+        root = engine_tree(
+            tmp_path, lambda s: s.replace(NAIVE_POST_COMPUTE, "", 1))
+        findings = list(check_hook_parity(root))
+        assert findings, "dropped naive-path post_compute went unnoticed"
+        assert any("post_compute" in f.message for f in findings)
+
+    def test_missing_engine_is_skipped(self, tmp_path):
+        # linting a partial tree (fixtures, vendored subsets) is fine;
+        # the analyzer only fires on a tree that has the engine
+        root = make_tree(tmp_path, {"repro/other.py": "x = 1\n"})
+        assert list(check_hook_parity(root)) == []
+
+    def test_unrecognizable_engine_is_loud(self, tmp_path):
+        # an engine.py the analyzer cannot parse structurally must be
+        # a finding, not silence — silence is what passing looks like
+        root = make_tree(
+            tmp_path, {"repro/sim/engine.py": "class NotTheSimulator:\n"
+                                              "    pass\n"})
+        findings = list(check_hook_parity(root))
+        assert findings
+        assert all(f.rule == "hook-parity" for f in findings)
+
+
+# ----------------------------------------------------------------------
+# fingerprint-completeness analyzer: phantom-field drift
+# ----------------------------------------------------------------------
+NOISE_FIELD = "    noise: Optional[NoiseModel] = None\n"
+
+
+def fingerprint_tree(tmp_path: Path, mutate_jobs=None) -> Path:
+    files = {}
+    for rel in ("repro/runner/jobs.py", "repro/sim/machine.py",
+                "repro/sim/noise.py"):
+        files[rel] = (SRC_ROOT / rel).read_text()
+    if mutate_jobs is not None:
+        mutated = mutate_jobs(files["repro/runner/jobs.py"])
+        assert mutated != files["repro/runner/jobs.py"], \
+            "mutation needle did not match jobs.py"
+        files["repro/runner/jobs.py"] = mutated
+    return make_tree(tmp_path, files)
+
+
+class TestFingerprintCompleteness:
+    def test_shipped_fingerprint_is_complete(self, tmp_path):
+        root = fingerprint_tree(tmp_path)
+        assert list(check_fingerprint_completeness(root)) == []
+
+    def test_phantom_request_field_is_caught(self, tmp_path):
+        root = fingerprint_tree(
+            tmp_path,
+            lambda s: s.replace(
+                NOISE_FIELD, NOISE_FIELD + "    phantom_knob: int = 0\n", 1))
+        findings = list(check_fingerprint_completeness(root))
+        assert findings, "unfingerprinted RunRequest field went unnoticed"
+        assert all(f.rule == "fingerprint-completeness" for f in findings)
+        assert any("phantom_knob" in f.message for f in findings)
+
+    def test_missing_jobs_module_is_skipped(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/other.py": "x = 1\n"})
+        assert list(check_fingerprint_completeness(root)) == []
+
+    def test_unrecognizable_jobs_module_is_loud(self, tmp_path):
+        root = fingerprint_tree(
+            tmp_path,
+            lambda s: s.replace("class RunRequest:", "class Renamed:", 1))
+        findings = list(check_fingerprint_completeness(root))
+        assert findings
+        assert all(f.rule == "fingerprint-completeness" for f in findings)
+
+
+# ----------------------------------------------------------------------
+# the shipped tree, the JSON contract, and the CLI
+# ----------------------------------------------------------------------
+class TestShippedTree:
+    def test_src_is_lint_clean(self):
+        report = run_lint(SRC_ROOT)
+        assert report.clean, "\n".join(
+            f"{f.path}:{f.line} [{f.rule}] {f.message}"
+            for f in report.findings)
+
+    def test_json_is_byte_stable(self):
+        a = render_json(run_lint(SRC_ROOT))
+        b = render_json(run_lint(SRC_ROOT))
+        assert a == b
+
+    def test_json_schema_shape(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": "import time\nt = time.time()\n"})
+        doc = json.loads(render_json(run_lint(root)))
+        assert doc["version"] == 1
+        assert doc["tool"] == "repro-lint"
+        assert set(doc) == {"version", "tool", "rules", "findings",
+                            "counts", "files", "suppressed"}
+        assert doc["counts"] == {"wall-clock": 1}
+        (finding,) = doc["findings"]
+        assert set(finding) == {"rule", "severity", "path", "line",
+                                "col", "message"}
+        assert finding["path"] == "repro/x.py"  # posix-relative
+
+    def test_findings_sorted(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "repro/b.py": "import time\nt = time.time()\n",
+            "repro/a.py": "import random\nr = random.random()\n",
+        })
+        report = run_lint(root)
+        keys = [f.sort_key() for f in report.findings]
+        assert keys == sorted(keys)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"repro/x.py": "x = 1\n"})
+        assert cli_main(["lint", "--root", str(root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"repro/x.py": "import time\nt = time.time()\n"})
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"repro/x.py": "x = 1\n"})
+        assert cli_main(["lint", "--root", str(root),
+                         "--rule", "no-such-rule"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_rule_filter_restricts(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"repro/x.py": (
+            "import time\nimport random\n"
+            "t = time.time()\nr = random.random()\n"
+        )})
+        assert cli_main(["lint", "--root", str(root),
+                         "--rule", "unseeded-random"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-random" in out and "wall-clock" not in out
+
+    def test_json_format(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"repro/x.py": "x = 1\n"})
+        assert cli_main(["lint", "--root", str(root), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro-lint"
+
+    def test_default_root_is_shipped_tree(self, capsys):
+        assert cli_main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# seed derivation helpers
+# ----------------------------------------------------------------------
+class TestSeeds:
+    def test_derive_seed_deterministic_and_distinct(self):
+        assert derive_seed(0, "a") == derive_seed(0, "a")
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+        assert derive_seed(0, "a") != derive_seed(1, "a")
+        assert derive_seed(0, "a", 1) != derive_seed(0, "a", 2)
+
+    def test_derive_seed_fits_rng_constructors(self):
+        import random
+        s = derive_seed(12345, "random-search")
+        assert 0 <= s < 2**63
+        random.Random(s)  # accepted as-is
+
+    def test_derive_unit_range_and_determinism(self):
+        vals = [derive_unit("fault", s, "key", 0) for s in range(50)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        assert len(set(vals)) == 50
+        assert derive_unit("fault", 3, "k", 1) == derive_unit("fault", 3, "k", 1)
+
+    def test_blob_format_matches_legacy_hashers(self):
+        # faults._hash01 and the resilience backoff jitter hashed
+        # sha256(":".join(str(part))) before seeds.py centralized them;
+        # the helper must reproduce those draws bit-for-bit so old
+        # fault plans replay identically
+        import hashlib
+
+        def legacy(*parts):
+            blob = ":".join(str(p) for p in parts).encode("utf-8")
+            h = hashlib.sha256(blob).digest()
+            return int.from_bytes(h[:8], "big") / 2.0**64
+
+        for parts in [("fault", 0, "abc", 1), ("action", 9, "k", 2),
+                      (5, "req-key", 3)]:
+            assert derive_unit(*parts) == legacy(*parts)
+
+    def test_faults_alias_points_at_helper(self):
+        from repro.runner import faults
+        assert faults._hash01 is derive_unit
