@@ -180,6 +180,7 @@ def tolerance_sweep(
         requests.extend(reqs)
 
     manifest = None
+    pinned = None
     if runner.cache is not None:
         all_requests = gt_requests + requests
         keys = [request_key(r) for r in all_requests]
@@ -194,6 +195,11 @@ def tolerance_sweep(
         manifest.plan(list(zip(keys, all_requests)))
         manifest.save()
         runner.manifest = manifest
+        if hasattr(runner.cache, "pin"):
+            # a size-bounded store must not evict this sweep's working
+            # set out from under it mid-grid
+            runner.cache.pin(keys)
+            pinned = keys
     elif resume:
         raise ManifestError(
             "resume requires a result cache (cache_dir): the manifest "
@@ -214,6 +220,8 @@ def tolerance_sweep(
         results = runner.run(requests)
     finally:
         runner.manifest = None
+        if pinned is not None:
+            runner.cache.unpin(pinned)
     for (policy, eps), (lo, hi) in zip(grid, spans):
         res = assemble_tuning_result(space, policy, eps, reps,
                                      results[lo:hi], ground)

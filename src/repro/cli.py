@@ -48,6 +48,27 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def _size_arg(value: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix (powers of 1024)."""
+    text = value.strip().lower()
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        size = int(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte size like 512, 64K, 16M, or 1G, got {value!r}")
+    if size < 1:
+        raise argparse.ArgumentTypeError(
+            f"size must be >= 1 byte, got {value!r}")
+    return size
+
+
 def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
                    help="run simulations on N worker processes, 0 = all "
@@ -55,6 +76,11 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None, metavar="PATH",
                    help="content-addressed result cache; re-runs reuse "
                         "every measurement already taken")
+    p.add_argument("--cache-max-bytes", type=_size_arg, default=None,
+                   metavar="SIZE",
+                   help="bound the cache's disk footprint (suffixes K/M/G); "
+                        "least-recently-used entries are evicted, but never "
+                        "the running sweep's own jobs")
     p.add_argument("--progress", action="store_true",
                    help="log per-job progress (key=value lines) to stderr")
     p.add_argument("--max-configs", type=int, default=None, metavar="K",
@@ -77,7 +103,8 @@ def _make_runner(args: argparse.Namespace):
                             format="%(name)s %(message)s")
     return make_runner(jobs=args.jobs, cache_dir=args.cache_dir,
                        progress=logging_progress() if args.progress else None,
-                       retries=args.retries, timeout=args.job_timeout)
+                       retries=args.retries, timeout=args.job_timeout,
+                       cache_max_bytes=args.cache_max_bytes)
 
 
 def _load_space(args: argparse.Namespace):
@@ -157,6 +184,17 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--markdown", default=None, metavar="PATH",
                    help="also write a naive-vs-fast-vs-profiled comparison "
                         "table as GitHub markdown (CI job summaries)")
+
+    c = sub.add_parser(
+        "cache",
+        help="inspect or clean a result-cache directory",
+    )
+    c.add_argument("action", choices=("stats", "vacuum"),
+                   help="stats: on-disk totals plus lifetime counters; "
+                        "vacuum: remove *.corrupt quarantines and orphaned "
+                        "*.tmp files")
+    c.add_argument("cache_dir", metavar="PATH",
+                   help="the --cache-dir used by tune/sweep runs")
 
     lp = sub.add_parser(
         "lint",
@@ -288,6 +326,27 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
                       diag=args.diag)
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.runner import ShardedResultCache
+
+    if not os.path.isdir(args.cache_dir):
+        print(f"error: no cache directory at {args.cache_dir}",
+              file=sys.stderr)
+        return 2
+    cache = ShardedResultCache(args.cache_dir)
+    if args.action == "vacuum":
+        removed = cache.vacuum()
+        print(f"vacuum: removed {removed} file(s) from {args.cache_dir}")
+        return 0
+    stats = cache.disk_stats()
+    width = max(len(k) for k in stats)
+    for key, value in stats.items():
+        print(f"{key:<{width}} : {value}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -323,6 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench-engine":
         return _cmd_bench_engine(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -20,6 +20,10 @@ reference (see README "Static analysis & determinism contracts"):
 * ``seed-derivation``   — ad-hoc arithmetic on seed values feeding an
   RNG constructor; use :func:`repro.runner.seeds.derive_seed`, which is
   collision-free by construction.
+* ``bare-os-replace``   — publish-by-rename outside the store layer;
+  without the fsync-file-then-directory discipline of
+  :func:`repro.runner.store.write_atomic`, a crash can publish an
+  empty or torn file under the final name.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ __all__ = [
     "MutableDefaultRule",
     "BroadExceptRule",
     "SeedDerivationRule",
+    "BareOsReplaceRule",
 ]
 
 
@@ -308,6 +313,38 @@ class BroadExceptRule(Rule):
                        f"'except {'/'.join(names)}' without re-raise "
                        f"swallows JobExecutionError; narrow the type or "
                        f"re-raise after handling")
+
+
+# ----------------------------------------------------------------------
+@register_rule
+class BareOsReplaceRule(Rule):
+    id = "bare-os-replace"
+    severity = "error"
+    description = ("publish-by-rename outside the store layer: os.replace "
+                   "without the fsync discipline can publish a torn file; "
+                   "use repro.runner.store.write_atomic")
+
+    RENAMES = frozenset({"os.replace", "os.rename", "os.renames"})
+    #: the one module allowed to call os.replace directly — it *is* the
+    #: atomic-publish implementation (write_atomic, quarantine_entry)
+    ALLOWED_PATHS = frozenset({"repro/runner/store.py"})
+
+    def applies(self, rel_path: str) -> bool:
+        return rel_path not in self.ALLOWED_PATHS
+
+    def check(self, tree: ast.AST, source: str,
+              rel_path: str) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name in self.RENAMES:
+                yield (node.lineno, node.col_offset,
+                       f"{name}() publishes a file without the fsync-file-"
+                       f"then-directory discipline; use "
+                       f"repro.runner.store.write_atomic (or "
+                       f"quarantine_entry) so crashes cannot publish torn "
+                       f"data")
 
 
 # ----------------------------------------------------------------------

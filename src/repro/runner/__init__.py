@@ -9,7 +9,10 @@ are bit-identical across executors; see :mod:`repro.runner.jobs` for
 why.  The fault-tolerance layer (:mod:`repro.runner.resilience`,
 :mod:`repro.runner.faults`, :mod:`repro.runner.manifest`) adds
 retry/timeout/quarantine semantics, deterministic fault injection for
-testing them, and resumable sweep manifests.
+testing them, and resumable sweep manifests.  The durable result store
+(:mod:`repro.runner.store`) is the default cache: checksummed entries,
+256-way sharding, LRU size bounding, and compute-through degradation
+when storage itself fails.
 """
 
 from repro.runner.cache import ResultCache
@@ -20,7 +23,14 @@ from repro.runner.executors import (
     SerialExecutor,
     make_runner,
 )
-from repro.runner.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.runner.faults import (
+    FaultPlan,
+    FaultSpec,
+    FSFaultPlan,
+    InjectedFault,
+    active_fs_plan,
+    install_fs,
+)
 from repro.runner.jobs import (
     GROUND_TRUTH,
     TUNE_CONFIG,
@@ -45,6 +55,14 @@ from repro.runner.progress import (
 )
 from repro.runner.resilience import ResilientExecutor, RetryPolicy
 from repro.runner.seeds import derive_seed, derive_unit
+from repro.runner.store import (
+    ComputeThroughCache,
+    DegradedCacheError,
+    ShardedResultCache,
+    fsync_directory,
+    quarantine_entry,
+    write_atomic,
+)
 
 __all__ = [
     "GROUND_TRUTH",
@@ -63,6 +81,12 @@ __all__ = [
     "request_fingerprint",
     "request_key",
     "ResultCache",
+    "ShardedResultCache",
+    "ComputeThroughCache",
+    "DegradedCacheError",
+    "write_atomic",
+    "fsync_directory",
+    "quarantine_entry",
     "SerialExecutor",
     "ParallelExecutor",
     "ResilientExecutor",
@@ -73,6 +97,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "FSFaultPlan",
+    "install_fs",
+    "active_fs_plan",
     "SweepManifest",
     "ManifestError",
     "RunEvent",

@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import Optional
 
 from repro.runner.jobs import RunResult, result_from_dict, result_to_dict
+from repro.runner.store import quarantine_entry, write_atomic
 
 __all__ = ["ResultCache"]
 
@@ -51,12 +51,10 @@ class ResultCache:
         next execution overwrites, and the evidence survives for
         debugging.
         """
-        try:
-            os.replace(path, path[: -len(".json")] + ".corrupt")
+        # concurrent quarantine/overwrite is not an event: someone else
+        # already handled it
+        if quarantine_entry(path):
             self.corrupt += 1
-        except OSError:
-            # concurrent quarantine/overwrite: someone else handled it
-            pass
 
     def get(self, key: str) -> Optional[RunResult]:
         """Return the cached result for ``key``, or None on a miss."""
@@ -84,21 +82,20 @@ class ResultCache:
 
     def put(self, key: str, result: RunResult,
             fingerprint: Optional[dict] = None) -> None:
-        """Store a result atomically; the fingerprint aids debugging."""
+        """Store a result atomically; the fingerprint aids debugging.
+
+        ``write_atomic`` also fixes the shared-directory permission bug
+        the old inline ``mkstemp`` publish had: temp files are created
+        0600, so without a chmod before the rename, entries written by
+        one user were unreadable to everyone else sharing the cache.
+        ``durable=False`` keeps this legacy cache's performance profile
+        (no fsync); the durable store is :mod:`repro.runner.store`.
+        """
         payload = {"key": key, "result": result_to_dict(result)}
         if fingerprint is not None:
             payload["fingerprint"] = fingerprint
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(payload, f)
-            os.replace(tmp, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        write_atomic(self._path(key),
+                     json.dumps(payload).encode("utf-8"), durable=False)
         self.stores += 1
 
     # ------------------------------------------------------------------
@@ -107,10 +104,28 @@ class ResultCache:
                    if name.endswith(".json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry plus quarantine/temp debris; count all."""
         removed = 0
         for name in os.listdir(self.directory):
             if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed + self.vacuum()
+
+    def vacuum(self) -> int:
+        """Remove ``*.corrupt`` quarantines and ``*.tmp`` orphans.
+
+        Neither is counted by ``__len__`` or swept by the old
+        ``clear()``, so quarantined entries and temp files orphaned by
+        killed processes used to accumulate forever.  Returns the
+        number of files removed.
+        """
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.endswith((".corrupt", ".tmp")):
                 try:
                     os.unlink(os.path.join(self.directory, name))
                     removed += 1

@@ -29,6 +29,7 @@ from repro.runner.jobs import (
 from repro.runner.manifest import SweepManifest
 from repro.runner.progress import ProgressCallback, RunEvent
 from repro.runner.resilience import ResilientExecutor, RetryPolicy
+from repro.runner.store import ComputeThroughCache, ShardedResultCache
 
 __all__ = ["SerialExecutor", "ParallelExecutor", "Runner", "RunnerError",
            "make_runner"]
@@ -84,7 +85,8 @@ class Runner:
         self,
         executor: Optional[Union[SerialExecutor, ParallelExecutor,
                                  ResilientExecutor]] = None,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[Union[ResultCache, ShardedResultCache,
+                              ComputeThroughCache]] = None,
         progress: Optional[ProgressCallback] = None,
         manifest: Optional[SweepManifest] = None,
     ) -> None:
@@ -151,44 +153,53 @@ class Runner:
         need_key = self.cache is not None or self.manifest is not None
         results: List[Optional[RunResult]] = [None] * total
         pending: List[tuple[int, str]] = []
-        for i, req in enumerate(requests):
-            key = request_key(req) if need_key else ""
-            hit = self.cache.get(key) if self.cache is not None else None
-            if hit is not None:
-                hit.cached = True
-                results[i] = hit
-                self._count("cached", req.kind)
-                self._mark(key, hit)
-                self._emit(total, req, cached=True, status=hit.status)
-            else:
-                pending.append((i, key))
-        to_run = [requests[i] for i, _ in pending]
-        result_iter = iter(self.executor.map(to_run))
-        for n_done, (i, key) in enumerate(pending):
-            res = next(result_iter, None)
-            if res is None:
-                # a plain zip would silently drop the rest of the batch;
-                # name what went missing instead
-                missing = [k or request_key(requests[j])
-                           for j, k in pending[n_done:]]
+        try:
+            for i, req in enumerate(requests):
+                key = request_key(req) if need_key else ""
+                hit = self.cache.get(key) if self.cache is not None else None
+                if hit is not None:
+                    hit.cached = True
+                    results[i] = hit
+                    self._count("cached", req.kind)
+                    self._mark(key, hit)
+                    self._emit(total, req, cached=True, status=hit.status)
+                else:
+                    pending.append((i, key))
+            to_run = [requests[i] for i, _ in pending]
+            result_iter = iter(self.executor.map(to_run))
+            for n_done, (i, key) in enumerate(pending):
+                res = next(result_iter, None)
+                if res is None:
+                    # a plain zip would silently drop the rest of the
+                    # batch; name what went missing instead
+                    missing = [k or request_key(requests[j])
+                               for j, k in pending[n_done:]]
+                    raise RunnerError(
+                        f"executor returned {n_done} results for "
+                        f"{len(pending)} requests; missing request keys: "
+                        f"{', '.join(missing)}")
+                if not res.failed:
+                    if self.cache is not None:
+                        self.cache.put(
+                            key, res,
+                            fingerprint=request_fingerprint(requests[i]))
+                    self._count("executed", requests[i].kind)
+                else:
+                    self._count("failed", requests[i].kind)
+                self._mark(key, res)
+                results[i] = res
+                self._emit(total, requests[i], cached=False,
+                           status=res.status)
+            if next(result_iter, None) is not None:
                 raise RunnerError(
-                    f"executor returned {n_done} results for "
-                    f"{len(pending)} requests; missing request keys: "
-                    f"{', '.join(missing)}")
-            if not res.failed:
-                if self.cache is not None:
-                    self.cache.put(key, res,
-                                   fingerprint=request_fingerprint(requests[i]))
-                self._count("executed", requests[i].kind)
-            else:
-                self._count("failed", requests[i].kind)
-            self._mark(key, res)
-            results[i] = res
-            self._emit(total, requests[i], cached=False, status=res.status)
-        if next(result_iter, None) is not None:
-            raise RunnerError(
-                f"executor returned more results than the {len(pending)} "
-                f"submitted requests")
+                    f"executor returned more results than the "
+                    f"{len(pending)} submitted requests")
+        finally:
+            # the executor completion boundary: batched manifest marks
+            # land here even when the executor died mid-batch, so an
+            # interrupted sweep's progress survives for --resume
+            if self.manifest is not None:
+                self.manifest.flush()
         return results  # type: ignore[return-value]
 
 
@@ -198,6 +209,7 @@ def make_runner(
     progress: Optional[ProgressCallback] = None,
     retries: Optional[int] = None,
     timeout: Optional[float] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> Runner:
     """Build a runner from the CLI-level knobs.
 
@@ -207,6 +219,14 @@ def make_runner(
     :class:`~repro.runner.resilience.ResilientExecutor`, which survives
     worker crashes and hangs and quarantines poison jobs as
     ``status="failed"`` results instead of aborting the batch.
+
+    The cache is the durable result store —
+    :class:`~repro.runner.store.ShardedResultCache` (checksummed
+    envelope entries, 256-way sharding, LRU eviction toward
+    ``cache_max_bytes``) wrapped in
+    :class:`~repro.runner.store.ComputeThroughCache`, so any storage
+    failure degrades the run to compute-through instead of killing it.
+    Entries written by the legacy flat cache remain readable.
     """
     executor: Union[SerialExecutor, ParallelExecutor, ResilientExecutor]
     if retries is not None or timeout is not None:
@@ -222,5 +242,8 @@ def make_runner(
         executor = ParallelExecutor(jobs=jobs)
     else:
         executor = SerialExecutor()
-    cache = ResultCache(cache_dir) if cache_dir else None
+    cache = None
+    if cache_dir:
+        cache = ComputeThroughCache(
+            ShardedResultCache(cache_dir, max_bytes=cache_max_bytes))
     return Runner(executor=executor, cache=cache, progress=progress)

@@ -18,6 +18,15 @@ Fault selection is content-addressed and seeded: a plan decides from
 ``(plan seed, request key, attempt)`` alone, never from wall clock or
 process state, so the same plan replayed over the same requests faults
 the same (job, attempt) pairs on every machine.
+
+A second plan family targets *storage* instead of workers:
+:class:`FSFaultPlan` (env knob ``REPRO_FS_FAULT_PLAN``) injects torn
+writes, ``ENOSPC``, ``EACCES``, and read-time bit-flips at the durable
+result store's I/O seams (:mod:`repro.runner.store`).  The selection
+contract is identical — decisions hash ``(seed, operation, entry
+key)`` — so a seeded storage-fault fuzz run replays the same disk
+failures everywhere, and the CI leg can pin that every sweep completes
+with survivor results bit-identical to a fault-free serial run.
 """
 
 from __future__ import annotations
@@ -36,11 +45,17 @@ __all__ = [
     "ACTIONS",
     "ENV_PLAN",
     "ENV_RATE",
+    "ENV_FS_PLAN",
+    "FS_READ_ACTIONS",
+    "FS_WRITE_ACTIONS",
     "InjectedFault",
     "FaultSpec",
     "FaultPlan",
+    "FSFaultPlan",
     "install",
     "active_plan",
+    "install_fs",
+    "active_fs_plan",
 ]
 
 #: what an injected fault does to the worker: raise an exception, sleep
@@ -211,3 +226,120 @@ def active_plan() -> Optional[FaultPlan]:
     if _installed is not None:
         return _installed
     return _plan_from_env(os.environ.get(ENV_PLAN), os.environ.get(ENV_RATE))
+
+
+# ----------------------------------------------------------------------
+# storage fault injection: the durable result store's I/O seams
+# ----------------------------------------------------------------------
+ENV_FS_PLAN = "REPRO_FS_FAULT_PLAN"
+
+#: what can go wrong reading an entry: a bit-flip in the returned bytes
+#: (silent media corruption — the checksum layer must catch it) or a
+#: permission failure (lost mount, dropped ACL)
+FS_READ_ACTIONS = ("bitflip", "eacces")
+
+#: what can go wrong writing an entry: a torn write (only a prefix of
+#: the payload reaches the file, then the publish "succeeds" — the
+#: power-loss-without-fsync scenario), a full disk, or a permission loss
+FS_WRITE_ACTIONS = ("torn", "enospc", "eacces")
+
+
+class FSFaultPlan:
+    """A seeded, deterministic description of storage failures.
+
+    Unlike :class:`FaultPlan` (which faults *jobs*), this plan faults
+    the result store's reads and writes.  Decisions hash
+    ``(seed, operation, entry key)`` alone: the same plan over the same
+    keys tears, fills, or flips identically on every machine, which is
+    what lets the storage-fault fuzz leg assert bit-identical survivor
+    results.  ``actions`` optionally restricts the background draw to a
+    subset (e.g. ``("enospc",)`` for a disk-full-only scenario).
+    """
+
+    def __init__(self, rate: float = 0.0, seed: int = 0,
+                 actions: Optional[Sequence[str]] = None) -> None:
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.actions = tuple(actions) if actions is not None else None
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if self.actions is not None:
+            known = set(FS_READ_ACTIONS) | set(FS_WRITE_ACTIONS)
+            unknown = sorted(set(self.actions) - known)
+            if unknown:
+                raise ValueError(f"unknown fs fault action(s) {unknown}; "
+                                 f"expected a subset of {sorted(known)}")
+
+    # ------------------------------------------------------------------
+    def action_for(self, op: str, key: str) -> Optional[str]:
+        """The fault this (operation, entry) pair draws, or None."""
+        if op not in ("read", "write"):
+            raise ValueError(f"unknown fs operation {op!r}")
+        if self.rate <= 0.0:
+            return None
+        if _hash01("fs-fault", self.seed, op, key) >= self.rate:
+            return None
+        pool = FS_READ_ACTIONS if op == "read" else FS_WRITE_ACTIONS
+        if self.actions is not None:
+            pool = tuple(a for a in pool if a in self.actions)
+        if not pool:
+            return None
+        v = _hash01("fs-action", self.seed, op, key)
+        return pool[int(v * len(pool))]
+
+    def torn_length(self, key: str, length: int) -> int:
+        """How many bytes of a torn write actually reach the file."""
+        if length <= 1:
+            return 0
+        # strictly shorter than the payload: int(v * length) < length
+        return int(_hash01("fs-torn", self.seed, key) * length)
+
+    def flip_bit(self, key: str, data: bytes) -> bytes:
+        """Return ``data`` with one deterministically-chosen bit flipped."""
+        if not data:
+            return data
+        bit = int(_hash01("fs-bit", self.seed, key) * len(data) * 8)
+        buf = bytearray(data)
+        buf[bit // 8] ^= 1 << (bit % 8)
+        return bytes(buf)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "rate": self.rate,
+            "seed": self.seed,
+            "actions": list(self.actions) if self.actions is not None else None,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FSFaultPlan":
+        d = json.loads(blob)
+        return cls(rate=d.get("rate", 0.0), seed=d.get("seed", 0),
+                   actions=d.get("actions"))
+
+    def __repr__(self) -> str:
+        only = f", actions={self.actions!r}" if self.actions else ""
+        return f"FSFaultPlan(rate={self.rate:g}, seed={self.seed}{only})"
+
+
+_fs_installed: Optional[FSFaultPlan] = None
+
+
+def install_fs(plan: Optional[FSFaultPlan]) -> None:
+    """Activate a storage fault plan in this process (None deactivates)."""
+    global _fs_installed
+    _fs_installed = plan
+
+
+@lru_cache(maxsize=8)
+def _fs_plan_from_env(plan_json: Optional[str]) -> Optional[FSFaultPlan]:
+    if plan_json is None:
+        return None
+    return FSFaultPlan.from_json(plan_json)
+
+
+def active_fs_plan() -> Optional[FSFaultPlan]:
+    """The storage fault plan in effect, or None (the normal case)."""
+    if _fs_installed is not None:
+        return _fs_installed
+    return _fs_plan_from_env(os.environ.get(ENV_FS_PLAN))

@@ -1,0 +1,717 @@
+"""Durable result store: sharded, checksummed, size-bounded, degradable.
+
+The content-addressed result cache is the system of record for every
+measurement the runner ever takes — and, for the transfer-learning
+direction, a training set — so storage corruption poisons future tuning
+sessions, not just one sweep.  :class:`ShardedResultCache` hardens the
+PR-1 flat cache into a store built to survive what long-running
+services actually see, in four layers:
+
+* **integrity** — every entry is a framed envelope: a header line
+  carrying a format version, the payload byte length, and a sha256
+  payload checksum, followed by the payload JSON.  Reads verify frame,
+  length, checksum, and key before anything is returned; any mismatch
+  quarantines the entry to ``<key>.corrupt`` (exactly like a decode
+  failure) and reports a miss — a corrupt entry is *never* a hit.
+  Writes are published with the full fsync discipline (temp file,
+  ``fsync`` on the file, atomic ``os.replace``, ``fsync`` on the
+  directory) so a crash or power loss cannot publish a torn entry.
+* **sharding + bounded size** — entries fan out over 256
+  two-hex-character subdirectories (flat directories degrade badly at
+  service entry counts), a best-effort accounting sidecar carries the
+  size estimate and lifetime counters across processes, and when
+  ``max_bytes`` is exceeded an eviction pass rescans the shards (the
+  scan both corrects accounting drift and yields the recency order)
+  and deletes least-recently-used entries — never entries pinned by a
+  live sweep manifest — until the store fits.
+* **graceful degradation** — unexpected storage errors (full disk,
+  permission loss, a backend gone) surface as
+  :class:`DegradedCacheError`; :class:`ComputeThroughCache` wraps any
+  cache and absorbs them, downgrading to compute-through (every get a
+  miss, every put skipped, warned once, counted in
+  ``stats()["degraded"]``) instead of failing jobs that can still run.
+* **fault injection** — all entry I/O flows through two seams that
+  consult :func:`repro.runner.faults.active_fs_plan`, so a seeded
+  :class:`~repro.runner.faults.FSFaultPlan` can tear writes, fill the
+  disk, drop permissions, or flip bits deterministically — the
+  substrate for the storage-fault fuzz leg.
+
+The store is API-compatible with
+:class:`~repro.runner.cache.ResultCache` (get/put/stats/clear) and is
+the default behind :func:`~repro.runner.executors.make_runner`; legacy
+flat-layout entries written by ``ResultCache`` are still readable and
+are migrated into their shard (envelope and all) on first hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.runner.faults import active_fs_plan
+from repro.runner.jobs import RunResult, result_from_dict, result_to_dict
+
+__all__ = [
+    "DegradedCacheError",
+    "ShardedResultCache",
+    "ComputeThroughCache",
+    "write_atomic",
+    "fsync_directory",
+    "quarantine_entry",
+]
+
+#: framed-envelope identity: bump ENVELOPE_VERSION on any shape change
+ENVELOPE_FORMAT = "repro-result-store"
+ENVELOPE_VERSION = 1
+
+#: accounting sidecar filename — deliberately not ``*.json`` so neither
+#: the legacy flat cache nor entry scans ever mistake it for an entry
+SIDECAR_NAME = "store-accounting.sidecar"
+
+_COUNTER_KEYS = ("hits", "misses", "stores", "corrupt", "evicted",
+                 "degraded")
+
+
+class DegradedCacheError(RuntimeError):
+    """A storage operation failed in a way that is not a miss.
+
+    Raised by :class:`ShardedResultCache` when the backing filesystem
+    misbehaves (``ENOSPC``, ``EACCES``, stale handles, ...).  The
+    :class:`ComputeThroughCache` wrapper absorbs it and downgrades to
+    compute-through; an unwrapped store propagates it so tests can pin
+    the exact failure surface.
+    """
+
+
+# ----------------------------------------------------------------------
+# sanctioned publish-by-rename helpers (the ``bare-os-replace`` lint
+# rule flags any os.replace outside this module)
+# ----------------------------------------------------------------------
+def _umask_mode() -> int:
+    """The umask-respecting file mode ``tempfile.mkstemp`` denies.
+
+    ``mkstemp`` hardcodes 0600 (private temp files), which is wrong for
+    entries published into a shared cache directory: other users could
+    never read them.  Published entries get the mode a plain ``open``
+    would have produced.
+    """
+    mask = os.umask(0)
+    os.umask(mask)
+    return 0o666 & ~mask
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's metadata (the rename itself) to disk."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_atomic(path: str, data: bytes, durable: bool = True) -> None:
+    """Publish ``data`` at ``path`` via temp file + atomic rename.
+
+    With ``durable`` (the default) the file is fsync'd before the
+    rename and the directory after it, so a crash at any point leaves
+    either the old entry or the complete new one — never a torn file
+    published under the final name.  ``durable=False`` keeps the
+    atomicity but skips the fsyncs (hint files, legacy cache parity).
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        os.fchmod(fd, _umask_mode())
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+            if durable:
+                f.flush()
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+        if durable:
+            fsync_directory(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def quarantine_entry(path: str) -> bool:
+    """Move a corrupt ``<key>.json`` aside to ``<key>.corrupt``.
+
+    Left in place, a corrupt file would re-pay the verify-and-fail on
+    every future lookup while silently re-missing forever; renamed, it
+    becomes a fresh miss that the next execution overwrites, and the
+    evidence survives for debugging.  Returns False when a concurrent
+    quarantine/overwrite already handled it.
+    """
+    try:
+        os.replace(path, path[: -len(".json")] + ".corrupt")
+        return True
+    except OSError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# the envelope
+# ----------------------------------------------------------------------
+def _encode_entry(payload: Dict) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    header = json.dumps({
+        "format": ENVELOPE_FORMAT,
+        "version": ENVELOPE_VERSION,
+        "length": len(body),
+        "sha256": hashlib.sha256(body).hexdigest(),
+    }, sort_keys=True).encode("utf-8")
+    return header + b"\n" + body
+
+
+def _decode_entry(data: bytes, key: str) -> Optional[Dict]:
+    """The verified payload, or None for any corruption whatsoever."""
+    nl = data.find(b"\n")
+    if nl < 0:
+        return None
+    try:
+        header = json.loads(data[:nl])
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(header, dict) \
+            or header.get("format") != ENVELOPE_FORMAT \
+            or header.get("version") != ENVELOPE_VERSION:
+        return None
+    body = data[nl + 1:]
+    if header.get("length") != len(body):
+        return None  # torn write: only a prefix reached the disk
+    if header.get("sha256") != hashlib.sha256(body).hexdigest():
+        return None  # bit rot: the payload is not what was written
+    try:
+        payload = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict) or payload.get("key") != key:
+        return None  # aliased entry: stored under the wrong address
+    return payload
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class ShardedResultCache:
+    """Durable, sharded, size-bounded result store.
+
+    API-compatible with :class:`~repro.runner.cache.ResultCache`
+    (``get``/``put``/``stats``/``clear``/``__len__``) plus ``vacuum``,
+    ``pin``/``unpin`` (eviction exemptions for live sweep manifests),
+    and ``disk_stats`` (offline inspection for ``repro cache stats``).
+
+    ``max_bytes`` bounds the on-disk size: exceeding it triggers an
+    LRU-by-atime eviction pass (hits refresh recency explicitly via
+    ``os.utime``, so the order survives ``noatime`` mounts).  Unexpected
+    storage errors raise :class:`DegradedCacheError` — wrap the store in
+    :class:`ComputeThroughCache` (as :func:`make_runner` does) to
+    degrade gracefully instead.
+    """
+
+    def __init__(self, directory: str, max_bytes: Optional[int] = None,
+                 durable: bool = True) -> None:
+        self.directory = str(directory)
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.durable = bool(durable)
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+        self.evicted = 0
+        self.degraded = 0
+        self._pins: set = set()
+        #: counters already merged into the sidecar (delta tracking)
+        self._flushed: Dict[str, int] = {k: 0 for k in _COUNTER_KEYS}
+        sidecar = self._read_sidecar()
+        if sidecar is not None:
+            self._total_bytes = int(sidecar.get("total_bytes", 0))
+        else:
+            # first open of this directory (or a lost sidecar): take the
+            # exact figure; later drift self-corrects at eviction passes
+            self._total_bytes = sum(size for _, size, _, _
+                                    in self._scan_entries())
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shard_of(key: str) -> str:
+        """256-way fan-out by the leading two hex characters."""
+        return key[:2] if len(key) >= 2 else (key + "00")[:2]
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, self.shard_of(key),
+                            f"{key}.json")
+
+    def _legacy_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _sidecar_path(self) -> str:
+        return os.path.join(self.directory, SIDECAR_NAME)
+
+    # ------------------------------------------------------------------
+    # the I/O seams (all entry bytes pass through here, which is where
+    # an FSFaultPlan tears, fills, denies, or flips)
+    # ------------------------------------------------------------------
+    def _read_entry_bytes(self, key: str, path: str) -> bytes:
+        plan = active_fs_plan()
+        action = plan.action_for("read", key) if plan is not None else None
+        if action == "eacces":
+            raise PermissionError(f"injected EACCES reading {path}")
+        with open(path, "rb") as f:
+            data = f.read()
+        if action == "bitflip":
+            data = plan.flip_bit(key, data)
+        return data
+
+    def _write_entry_bytes(self, key: str, path: str, data: bytes) -> None:
+        plan = active_fs_plan()
+        if plan is not None:
+            action = plan.action_for("write", key)
+            if action == "enospc":
+                raise OSError(28, f"injected ENOSPC writing {path}")
+            if action == "eacces":
+                raise PermissionError(f"injected EACCES writing {path}")
+            if action == "torn":
+                # the torn publish the fsync discipline exists to
+                # prevent: a prefix reaches the final name — the read
+                # side must quarantine it, never serve it
+                data = data[:plan.torn_length(key, len(data))]
+        write_atomic(path, data, durable=self.durable)
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[RunResult]:
+        """The verified cached result for ``key``, or None on a miss."""
+        before = (self.hits, self.misses, self.corrupt)
+        try:
+            return self._get(key)
+        finally:
+            # keep the sidecar's lifetime ledger current on read-only
+            # workloads too (a fully warm sweep never calls put)
+            if (self.hits, self.misses, self.corrupt) != before:
+                self._write_sidecar()
+
+    def _get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        try:
+            data = self._read_entry_bytes(key, path)
+        except FileNotFoundError:
+            return self._get_legacy(key)
+        except OSError as exc:
+            self.degraded += 1
+            raise DegradedCacheError(
+                f"result store read failed for {path}: {exc}") from exc
+        payload = _decode_entry(data, key)
+        if payload is None:
+            if quarantine_entry(path):
+                self.corrupt += 1
+            self.misses += 1
+            return None
+        result = self._result_of(payload, path)
+        if result is None:
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU recency, robust to noatime mounts
+        except OSError:
+            pass
+        self.hits += 1
+        return result
+
+    def _result_of(self, payload: Dict, path: str) -> Optional[RunResult]:
+        try:
+            return result_from_dict(payload["result"])
+        except (KeyError, ValueError, TypeError):
+            # decodes and checksums but is not a result: stale schema
+            if quarantine_entry(path):
+                self.corrupt += 1
+            return None
+
+    def _get_legacy(self, key: str) -> Optional[RunResult]:
+        """Flat-layout fallback: entries written by the PR-1 cache."""
+        path = self._legacy_path(key)
+        try:
+            data = self._read_entry_bytes(key, path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            self.degraded += 1
+            raise DegradedCacheError(
+                f"result store read failed for {path}: {exc}") from exc
+        try:
+            payload = json.loads(data)
+            if not isinstance(payload, dict):
+                raise ValueError("not an entry object")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            if quarantine_entry(path):
+                self.corrupt += 1
+            self.misses += 1
+            return None
+        result = self._result_of(payload, path)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._migrate_legacy(key, payload, path)
+        return result
+
+    def _migrate_legacy(self, key: str, payload: Dict, path: str) -> None:
+        """Rewrite a legacy hit into its shard, envelope and all."""
+        payload = dict(payload)
+        payload["key"] = key
+        data = _encode_entry(payload)
+        sharded = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(sharded), exist_ok=True)
+            self._write_entry_bytes(key, sharded, data)
+            os.unlink(path)
+        except OSError:
+            return  # best effort: the legacy entry keeps serving
+        self._total_bytes += len(data)
+        self._maybe_evict()
+        self._write_sidecar()
+
+    def put(self, key: str, result: RunResult,
+            fingerprint: Optional[dict] = None) -> None:
+        """Durably store a result; the fingerprint aids debugging."""
+        payload: Dict = {"key": key, "result": result_to_dict(result)}
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        data = _encode_entry(payload)
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            self._write_entry_bytes(key, path, data)
+        except OSError as exc:
+            self.degraded += 1
+            raise DegradedCacheError(
+                f"result store write failed for {path}: {exc}") from exc
+        self.stores += 1
+        self._total_bytes += len(data)
+        self._maybe_evict()
+        self._write_sidecar()
+
+    # ------------------------------------------------------------------
+    # pinning and eviction
+    # ------------------------------------------------------------------
+    def pin(self, keys: Iterable[str]) -> None:
+        """Exempt ``keys`` from eviction (a live sweep's working set)."""
+        self._pins.update(keys)
+
+    def unpin(self, keys: Optional[Iterable[str]] = None) -> None:
+        """Release pins (all of them when ``keys`` is None)."""
+        if keys is None:
+            self._pins.clear()
+        else:
+            self._pins.difference_update(keys)
+
+    def _iter_shard_dirs(self) -> Iterator[str]:
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return
+        for name in names:
+            if len(name) == 2:
+                path = os.path.join(self.directory, name)
+                if os.path.isdir(path):
+                    yield path
+
+    def _scan_entries(self) -> List[Tuple[int, int, str, str]]:
+        """Every entry as ``(atime_ns, size, path, key)`` — legacy too."""
+        out: List[Tuple[int, int, str, str]] = []
+
+        def scan(directory: str) -> None:
+            try:
+                with os.scandir(directory) as it:
+                    for de in it:
+                        if not de.name.endswith(".json") or not de.is_file():
+                            continue
+                        try:
+                            st = de.stat()
+                        except OSError:
+                            continue
+                        out.append((st.st_atime_ns, st.st_size, de.path,
+                                    de.name[: -len(".json")]))
+            except OSError:
+                pass
+
+        scan(self.directory)
+        for shard in self._iter_shard_dirs():
+            scan(shard)
+        return out
+
+    def _maybe_evict(self) -> None:
+        """Evict LRU entries until the store fits ``max_bytes``.
+
+        Runs off the size *estimate*; the pass itself rescans, which
+        yields the exact total (correcting any accounting drift from
+        concurrent writers or crashes) and the recency order in one
+        walk.  Pinned keys are never evicted, even if the store then
+        stays over budget.  Eviction failures are skipped, not raised:
+        a cache too full is still a working cache.
+        """
+        if self.max_bytes is None or self._total_bytes <= self.max_bytes:
+            return
+        entries = self._scan_entries()
+        total = sum(size for _, size, _, _ in entries)
+        if total > self.max_bytes:
+            for _, size, path, key in sorted(entries):
+                if key in self._pins:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                self.evicted += 1
+                total -= size
+                if total <= self.max_bytes:
+                    break
+        self._total_bytes = total
+
+    # ------------------------------------------------------------------
+    # accounting sidecar: a best-effort, atomically-replaced hint that
+    # carries the size estimate and lifetime counters across processes
+    # (never fsync'd, never trusted over a rescan)
+    # ------------------------------------------------------------------
+    def _read_sidecar(self) -> Optional[Dict]:
+        try:
+            with open(self._sidecar_path(), "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def _write_sidecar(self) -> None:
+        base = self._read_sidecar() or {}
+        counters = base.get("counters") or {}
+        session = self.stats()
+        merged = {}
+        for k in _COUNTER_KEYS:
+            delta = session.get(k, 0) - self._flushed.get(k, 0)
+            try:
+                prior = int(counters.get(k, 0))
+            except (TypeError, ValueError):
+                prior = 0
+            merged[k] = prior + delta
+        doc = {
+            "version": 1,
+            "total_bytes": self._total_bytes,
+            "counters": merged,
+        }
+        try:
+            write_atomic(self._sidecar_path(),
+                         json.dumps(doc, sort_keys=True).encode("utf-8"),
+                         durable=False)
+        except OSError:
+            return  # a hint we could not leave; the next scan rebuilds it
+        self._flushed = {k: session.get(k, 0) for k in _COUNTER_KEYS}
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._scan_entries())
+
+    def clear(self) -> int:
+        """Delete every entry, plus quarantine/temp debris; count all."""
+        removed = 0
+        for _, _, path, _ in self._scan_entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        removed += self.vacuum()
+        self._total_bytes = 0
+        self._write_sidecar()
+        return removed
+
+    def vacuum(self) -> int:
+        """Remove ``*.corrupt`` quarantines and ``*.tmp`` orphans.
+
+        Quarantined entries have served their debugging purpose once
+        inspected, and ``*.tmp`` files are orphans of killed processes
+        (a live writer's temp file exists only for the microseconds
+        between mkstemp and rename, so sweeping them is safe in
+        practice).  Returns the number of files removed.
+        """
+        removed = 0
+        for directory in (self.directory, *self._iter_shard_dirs()):
+            try:
+                names = sorted(os.listdir(directory))
+            except OSError:
+                continue
+            for name in names:
+                if name.endswith((".corrupt", ".tmp")):
+                    try:
+                        os.unlink(os.path.join(directory, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt,
+                "evicted": self.evicted, "degraded": self.degraded}
+
+    def disk_stats(self) -> Dict[str, int]:
+        """What is actually on disk right now (``repro cache stats``).
+
+        Unlike :meth:`stats` (this process's session counters), these
+        figures come from a scan plus the sidecar's lifetime counters,
+        so they are meaningful for a directory no live run has open.
+        """
+        entries = self._scan_entries()
+        corrupt_files = tmp_files = 0
+        for directory in (self.directory, *self._iter_shard_dirs()):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            corrupt_files += sum(1 for n in names if n.endswith(".corrupt"))
+            tmp_files += sum(1 for n in names if n.endswith(".tmp"))
+        sidecar = self._read_sidecar() or {}
+        counters = sidecar.get("counters") or {}
+        out = {"entries": len(entries),
+               "total_bytes": sum(size for _, size, _, _ in entries),
+               "corrupt_files": corrupt_files,
+               "tmp_files": tmp_files,
+               "shards": sum(1 for _ in self._iter_shard_dirs())}
+        for k in _COUNTER_KEYS:
+            try:
+                out[f"lifetime_{k}"] = int(counters.get(k, 0))
+            except (TypeError, ValueError):
+                out[f"lifetime_{k}"] = 0
+        return out
+
+    def __repr__(self) -> str:
+        bound = (f", max_bytes={self.max_bytes}"
+                 if self.max_bytes is not None else "")
+        return (f"ShardedResultCache({self.directory!r}{bound}, "
+                f"hits={self.hits}, misses={self.misses}, "
+                f"stores={self.stores}, corrupt={self.corrupt}, "
+                f"evicted={self.evicted})")
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+class ComputeThroughCache:
+    """Absorb storage failure; never let the cache fail a runnable job.
+
+    Wraps any cache with the ``get``/``put``/``stats`` protocol.  The
+    first :class:`DegradedCacheError` (or raw ``OSError`` from a legacy
+    cache) downgrades the wrapper to compute-through: every later get
+    is a miss and every later put is skipped without touching storage
+    — a dead backend costs one failed syscall, not one per job, and a
+    sweep that lost its disk still completes on compute alone.  The
+    downgrade warns exactly once and every absorbed or skipped
+    operation is counted in ``stats()["degraded"]``.
+    """
+
+    def __init__(self, cache: ShardedResultCache) -> None:
+        self.cache = cache
+        #: operations absorbed or skipped because storage is gone
+        self.degraded = 0
+        self._dead: Optional[str] = None  # the first failure, verbatim
+        self._warned = False
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        return self.cache.directory
+
+    def _absorb(self, op: str, exc: BaseException) -> None:
+        if not isinstance(exc, DegradedCacheError):
+            # a DegradedCacheError was already counted by the store that
+            # raised it; raw OSErrors (legacy caches) are counted here
+            self.degraded += 1
+        self._dead = f"{op}: {exc}"
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"result cache degraded to compute-through after a storage "
+                f"failure ({op}: {exc}); later lookups miss and results are "
+                f"not stored for the rest of this run",
+                RuntimeWarning, stacklevel=3)
+
+    def get(self, key: str) -> Optional[RunResult]:
+        if self._dead is not None:
+            self.degraded += 1
+            return None
+        try:
+            return self.cache.get(key)
+        except (DegradedCacheError, OSError) as exc:
+            self._absorb("get", exc)
+            return None
+
+    def put(self, key: str, result: RunResult,
+            fingerprint: Optional[dict] = None) -> None:
+        if self._dead is not None:
+            self.degraded += 1
+            return
+        try:
+            self.cache.put(key, result, fingerprint=fingerprint)
+        except (DegradedCacheError, OSError) as exc:
+            self._absorb("put", exc)
+
+    # ------------------------------------------------------------------
+    def pin(self, keys: Iterable[str]) -> None:
+        self.cache.pin(keys)
+
+    def unpin(self, keys: Optional[Iterable[str]] = None) -> None:
+        self.cache.unpin(keys)
+
+    def clear(self) -> int:
+        if self._dead is not None:
+            return 0
+        try:
+            return self.cache.clear()
+        except (DegradedCacheError, OSError) as exc:
+            self._absorb("clear", exc)
+            return 0
+
+    def vacuum(self) -> int:
+        if self._dead is not None:
+            return 0
+        try:
+            return self.cache.vacuum()
+        except (DegradedCacheError, OSError) as exc:
+            self._absorb("vacuum", exc)
+            return 0
+
+    def __len__(self) -> int:
+        if self._dead is not None:
+            return 0
+        return len(self.cache)
+
+    def stats(self) -> Dict[str, int]:
+        out = dict(self.cache.stats())
+        # the store counts failures it raised; add the operations this
+        # wrapper absorbed or skipped on top
+        out["degraded"] = out.get("degraded", 0) + self.degraded
+        return out
+
+    def __repr__(self) -> str:
+        state = f"degraded after {self._dead!r}" if self._dead else "healthy"
+        return f"ComputeThroughCache({self.cache!r}, {state})"

@@ -245,3 +245,58 @@ class TestSweepResume:
         out = capsys.readouterr().out
         assert "resume: 0 executed" in out
         assert "search_time vs tolerance" in out
+
+
+class TestCacheCommand:
+    SWEEP = ["sweep", "capital_cholesky", "--policies", "online",
+             "--exponents", "0", "--reps", "1", "--full-reps", "1"]
+
+    @pytest.fixture(autouse=True)
+    def small_space(self, monkeypatch):
+        from repro.autotune import capital_cholesky_space
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli.SPACES, "capital_cholesky",
+            lambda: capital_cholesky_space(n=64, c=2, b0=4, nconf=3),
+        )
+
+    def test_size_suffixes(self):
+        args = build_parser().parse_args(
+            ["tune", "capital_cholesky", "--cache-max-bytes", "64K"])
+        assert args.cache_max_bytes == 64 * 1024
+        for text, expected in (("512", 512), ("16m", 16 * 1024**2),
+                               ("1G", 1024**3)):
+            args = build_parser().parse_args(
+                ["tune", "capital_cholesky", "--cache-max-bytes", text])
+            assert args.cache_max_bytes == expected
+
+    def test_rejects_bad_sizes(self):
+        for bad in ("zero", "0", "-5", "12T"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["tune", "capital_cholesky", "--cache-max-bytes", bad])
+
+    def test_stats_on_missing_dir_is_a_usage_error(self, capsys, tmp_path):
+        assert main(["cache", "stats", str(tmp_path / "absent")]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_stats_reports_a_populated_cache(self, capsys, tmp_path):
+        assert main(self.SWEEP + ["--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "total_bytes" in out
+        for counter in ("hits", "misses", "stores", "corrupt", "evicted",
+                        "degraded"):
+            assert f"lifetime_{counter}" in out
+        assert "lifetime_stores : 0" not in out  # the sweep stored results
+
+    def test_vacuum_sweeps_debris(self, capsys, tmp_path):
+        assert main(self.SWEEP + ["--cache-dir", str(tmp_path)]) == 0
+        (tmp_path / ("ab" * 32 + ".corrupt")).write_text("evidence")
+        (tmp_path / "orphan.tmp").write_text("half a write")
+        capsys.readouterr()
+        assert main(["cache", "vacuum", str(tmp_path)]) == 0
+        assert "removed 2 file(s)" in capsys.readouterr().out
+        assert not (tmp_path / "orphan.tmp").exists()

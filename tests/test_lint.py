@@ -191,6 +191,35 @@ class TestSeedDerivation:
         assert rule_hits(root, "seed-derivation") == []
 
 
+class TestBareOsReplace:
+    def test_flags_publish_by_rename_outside_the_store(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/runner/mycache.py": (
+            "import os\n"
+            "def publish(tmp, path):\n"
+            "    os.replace(tmp, path)\n"
+            "    os.rename(tmp, path)\n"
+        )})
+        hits = rule_hits(root, "bare-os-replace")
+        assert [h.line for h in hits] == [3, 4]
+        assert "write_atomic" in hits[0].message
+
+    def test_store_module_is_the_sanctioned_home(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/runner/store.py": (
+            "import os\n"
+            "def write_atomic(tmp, path):\n"
+            "    os.replace(tmp, path)\n"
+        )})
+        assert rule_hits(root, "bare-os-replace") == []
+
+    def test_write_atomic_call_passes(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/runner/other.py": (
+            "from repro.runner.store import write_atomic\n"
+            "def publish(path, data):\n"
+            "    write_atomic(path, data)\n"
+        )})
+        assert rule_hits(root, "bare-os-replace") == []
+
+
 # ----------------------------------------------------------------------
 # suppression protocol
 # ----------------------------------------------------------------------

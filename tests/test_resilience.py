@@ -388,6 +388,7 @@ class TestManifest:
         m.plan(keyed)
         m.mark(keyed[0][0], "done")
         m.mark(keyed[1][0], "failed", error="boom")
+        m.flush()  # marks batch in memory; publish before reloading
         back = SweepManifest.load(path)
         assert back.grid_id == "g1"
         assert back.counts() == {"pending": 1, "done": 1, "failed": 1}
@@ -398,6 +399,27 @@ class TestManifest:
         back.plan(keyed)
         assert back.counts()["done"] == 1
         assert "done=1 failed=1 pending=1 of 3" in back.summary()
+
+    def test_marks_batch_until_flush_every(self, tmp_path, gt_requests):
+        path = str(tmp_path / "m.manifest")
+        m = SweepManifest(path, "g1", flush_every=3)
+        keyed = [(request_key(r), r) for r in gt_requests]
+        m.plan(keyed)
+        m.save()
+        m.mark(keyed[0][0], "done")
+        m.mark(keyed[1][0], "done")
+        # two marks, flush_every=3: disk still shows the pre-mark state
+        assert SweepManifest.load(path).counts()["done"] == 0
+        m.mark(keyed[2][0], "done")  # third mark triggers the auto-flush
+        assert SweepManifest.load(path).counts()["done"] == 3
+        # explicit flush with nothing dirty is a no-op, not a rewrite
+        mtime = os.path.getmtime(path)
+        m.flush()
+        assert os.path.getmtime(path) == mtime
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            SweepManifest(str(tmp_path / "m.manifest"), "g", flush_every=0)
 
     def test_load_missing_says_nothing_to_resume(self, tmp_path):
         with pytest.raises(ManifestError, match="nothing to resume"):

@@ -1,0 +1,655 @@
+"""The durable result store: integrity, sharding, eviction, degradation.
+
+Four layers under test (see ``repro.runner.store``): checksummed
+envelope entries that quarantine instead of serving corruption, 256-way
+sharding with LRU-by-atime eviction toward ``max_bytes`` (pinned keys
+exempt), compute-through degradation when storage itself fails, and the
+seeded storage fault plan that tears writes, fills the disk, drops
+permissions, and flips bits deterministically.  The fuzz class asserts
+the load-bearing invariant: under *any* storage fault pattern, every
+result the runner returns is bit-identical to the fault-free serial
+run — a corrupt entry is never served as a hit.
+``REPRO_FS_FAULT_FUZZ_CASES`` scales the number of plans (CI runs 16).
+"""
+
+import json
+import multiprocessing
+import os
+import stat
+import warnings
+
+import pytest
+
+from repro.autotune import capital_cholesky_space, tolerance_sweep
+from repro.autotune.tuner import (
+    default_machine,
+    ground_truth_requests,
+    tuning_requests,
+)
+from repro.runner import (
+    ComputeThroughCache,
+    DegradedCacheError,
+    FSFaultPlan,
+    ResultCache,
+    Runner,
+    ShardedResultCache,
+    execute_request,
+    make_runner,
+    request_key,
+    write_atomic,
+)
+from repro.runner import faults as faults_mod
+from repro.runner.faults import ENV_FS_PLAN, install_fs
+from repro.runner.jobs import result_to_dict
+from repro.runner.store import _decode_entry, _encode_entry
+
+FUZZ_CASES = int(os.environ.get("REPRO_FS_FAULT_FUZZ_CASES", "2"))
+
+KEY = "ab" * 32
+KEY2 = "cd" * 32
+KEY3 = "ef" * 32
+
+
+@pytest.fixture(scope="module")
+def space():
+    return capital_cholesky_space(n=64, c=2, b0=4, nconf=3)
+
+
+@pytest.fixture(scope="module")
+def machine(space):
+    return default_machine(space, seed=3)
+
+
+@pytest.fixture(scope="module")
+def batch(space, machine):
+    """A mixed batch: ground truth plus one (policy, eps) tuning pass."""
+    return (ground_truth_requests(space, machine, full_reps=2, seed=0)
+            + tuning_requests(space, machine, "online", 0.25, reps=2, seed=0))
+
+
+@pytest.fixture(scope="module")
+def baseline(batch):
+    return [result_to_dict(r) for r in Runner().run(batch)]
+
+
+@pytest.fixture(scope="module")
+def result(batch):
+    """One real RunResult to store under synthetic keys."""
+    return execute_request(batch[0])
+
+
+@pytest.fixture(autouse=True)
+def clean_fs_plan_state(monkeypatch):
+    monkeypatch.delenv(ENV_FS_PLAN, raising=False)
+    faults_mod._fs_plan_from_env.cache_clear()
+    install_fs(None)
+    yield
+    install_fs(None)
+
+
+# ----------------------------------------------------------------------
+# the envelope
+# ----------------------------------------------------------------------
+class TestEnvelope:
+    PAYLOAD = {"key": KEY, "result": {"version": 1}}
+
+    def test_round_trip(self):
+        data = _encode_entry(self.PAYLOAD)
+        header = json.loads(data.split(b"\n", 1)[0])
+        assert header["format"] == "repro-result-store"
+        assert header["version"] == 1
+        assert _decode_entry(data, KEY) == self.PAYLOAD
+
+    def test_rejects_garbage_header(self):
+        assert _decode_entry(b"not json\n{}", KEY) is None
+        assert _decode_entry(b"no newline at all", KEY) is None
+        assert _decode_entry(b"", KEY) is None
+
+    def test_rejects_torn_payload(self):
+        data = _encode_entry(self.PAYLOAD)
+        for cut in (len(data) - 1, len(data) - 7, data.find(b"\n") + 2):
+            assert _decode_entry(data[:cut], KEY) is None
+
+    def test_rejects_single_flipped_bit_anywhere_in_payload(self):
+        data = _encode_entry(self.PAYLOAD)
+        body_start = data.find(b"\n") + 1
+        for pos in range(body_start, len(data)):
+            torn = bytearray(data)
+            torn[pos] ^= 0x01
+            assert _decode_entry(bytes(torn), KEY) is None
+
+    def test_rejects_aliased_key(self):
+        data = _encode_entry(self.PAYLOAD)
+        assert _decode_entry(data, KEY2) is None
+
+    def test_rejects_foreign_version(self):
+        data = _encode_entry(self.PAYLOAD)
+        header = json.loads(data.split(b"\n", 1)[0])
+        header["version"] = 99
+        forged = json.dumps(header).encode() + b"\n" + data.split(b"\n", 1)[1]
+        assert _decode_entry(forged, KEY) is None
+
+
+# ----------------------------------------------------------------------
+# atomic publish
+# ----------------------------------------------------------------------
+class TestWriteAtomic:
+    def test_respects_umask_not_mkstemp_0600(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        old = os.umask(0o022)
+        try:
+            write_atomic(path, b"data")
+        finally:
+            os.umask(old)
+        mode = stat.S_IMODE(os.stat(path).st_mode)
+        assert mode == 0o644  # not mkstemp's private 0600
+
+    def test_no_temp_debris_after_success(self, tmp_path):
+        write_atomic(str(tmp_path / "entry.json"), b"data")
+        assert sorted(os.listdir(tmp_path)) == ["entry.json"]
+
+    def test_legacy_cache_entries_are_group_readable(self, tmp_path, result):
+        # the PR-1 bug: mkstemp published 0600 entries into shared dirs
+        cache = ResultCache(str(tmp_path))
+        old = os.umask(0o022)
+        try:
+            cache.put(KEY, result)
+        finally:
+            os.umask(old)
+        mode = stat.S_IMODE(os.stat(tmp_path / f"{KEY}.json").st_mode)
+        assert mode & 0o044 == 0o044
+
+
+# ----------------------------------------------------------------------
+# store basics
+# ----------------------------------------------------------------------
+class TestShardedBasics:
+    def test_round_trip_and_shard_layout(self, tmp_path, result):
+        cache = ShardedResultCache(str(tmp_path))
+        assert cache.get(KEY) is None  # cold miss
+        cache.put(KEY, result, fingerprint={"n": 64})
+        entry = tmp_path / KEY[:2] / f"{KEY}.json"
+        assert entry.exists()
+        back = cache.get(KEY)
+        assert back is not None
+        assert result_to_dict(back) == result_to_dict(result)
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                                 "corrupt": 0, "evicted": 0, "degraded": 0}
+        assert len(cache) == 1
+
+    def test_clear_removes_entries_and_debris(self, tmp_path, result):
+        cache = ShardedResultCache(str(tmp_path))
+        cache.put(KEY, result)
+        cache.put(KEY2, result)
+        (tmp_path / f"{KEY3}.corrupt").write_text("evidence")
+        (tmp_path / KEY[:2] / "orphan.tmp").write_text("half")
+        assert cache.clear() == 4
+        assert len(cache) == 0
+        assert cache.vacuum() == 0
+
+    def test_vacuum_leaves_entries_alone(self, tmp_path, result):
+        cache = ShardedResultCache(str(tmp_path))
+        cache.put(KEY, result)
+        (tmp_path / "junk.corrupt").write_text("x")
+        (tmp_path / KEY[:2] / "junk.tmp").write_text("y")
+        assert cache.vacuum() == 2
+        assert cache.get(KEY) is not None
+
+    def test_rejects_nonpositive_bound(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ShardedResultCache(str(tmp_path), max_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# corruption quarantine
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def _entry_path(self, tmp_path):
+        return tmp_path / KEY[:2] / f"{KEY}.json"
+
+    def test_torn_entry_is_quarantined_not_served(self, tmp_path, result):
+        cache = ShardedResultCache(str(tmp_path))
+        cache.put(KEY, result)
+        path = self._entry_path(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # the torn publish
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1 and cache.misses == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # the second lookup is a plain miss, not a re-quarantine
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1 and cache.misses == 2
+
+    def test_flipped_bit_is_quarantined(self, tmp_path, result):
+        cache = ShardedResultCache(str(tmp_path))
+        cache.put(KEY, result)
+        path = self._entry_path(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0x10
+        path.write_bytes(bytes(data))
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_garbage_header_is_quarantined(self, tmp_path):
+        shard = tmp_path / KEY[:2]
+        shard.mkdir()
+        (shard / f"{KEY}.json").write_text("{ not an envelope")
+        cache = ShardedResultCache(str(tmp_path))
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1
+
+    def test_overwrite_after_quarantine_serves_again(self, tmp_path, result):
+        cache = ShardedResultCache(str(tmp_path))
+        cache.put(KEY, result)
+        self._entry_path(tmp_path).write_bytes(b"rotten")
+        assert cache.get(KEY) is None
+        cache.put(KEY, result)
+        assert cache.get(KEY) is not None
+
+
+# ----------------------------------------------------------------------
+# legacy flat-layout compatibility
+# ----------------------------------------------------------------------
+class TestLegacyFallback:
+    def test_legacy_entry_hits_and_migrates(self, tmp_path, result):
+        legacy = ResultCache(str(tmp_path))
+        legacy.put(KEY, result, fingerprint={"n": 64})
+        cache = ShardedResultCache(str(tmp_path))
+        back = cache.get(KEY)
+        assert back is not None and cache.hits == 1
+        assert result_to_dict(back) == result_to_dict(result)
+        # migrated: now a checksummed envelope in its shard, flat gone
+        sharded = tmp_path / KEY[:2] / f"{KEY}.json"
+        assert sharded.exists()
+        assert not (tmp_path / f"{KEY}.json").exists()
+        payload = _decode_entry(sharded.read_bytes(), KEY)
+        assert payload is not None and payload["fingerprint"] == {"n": 64}
+        assert cache.get(KEY) is not None  # sharded path serves now
+
+    def test_corrupt_legacy_entry_is_quarantined(self, tmp_path):
+        (tmp_path / f"{KEY}.json").write_text("{ nope")
+        cache = ShardedResultCache(str(tmp_path))
+        assert cache.get(KEY) is None
+        assert cache.corrupt == 1
+        assert (tmp_path / f"{KEY}.corrupt").exists()
+
+    def test_absent_key_is_a_plain_miss(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path))
+        assert cache.get(KEY) is None
+        assert cache.stats()["misses"] == 1 and cache.corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# bounded size: LRU eviction and pinning
+# ----------------------------------------------------------------------
+class TestEviction:
+    def _entry_size(self, tmp_path, result):
+        probe = ShardedResultCache(str(tmp_path / "probe"))
+        probe.put(KEY, result)
+        return os.path.getsize(tmp_path / "probe" / KEY[:2] / f"{KEY}.json")
+
+    def _age(self, directory, key, ns):
+        path = os.path.join(directory, key[:2], f"{key}.json")
+        os.utime(path, ns=(ns, ns))
+
+    def test_lru_entry_is_evicted_first(self, tmp_path, result):
+        size = self._entry_size(tmp_path, result)
+        d = str(tmp_path / "c")
+        cache = ShardedResultCache(d, max_bytes=int(size * 2.5))
+        cache.put(KEY, result)
+        cache.put(KEY2, result)
+        self._age(d, KEY, 1_000)       # ancient
+        self._age(d, KEY2, 2_000_000)  # newer
+        cache.put(KEY3, result)        # exceeds the bound
+        assert cache.evicted == 1
+        assert not os.path.exists(os.path.join(d, KEY[:2], f"{KEY}.json"))
+        assert cache.get(KEY2) is not None
+        assert cache.get(KEY3) is not None
+
+    def test_hit_refreshes_recency(self, tmp_path, result):
+        size = self._entry_size(tmp_path, result)
+        d = str(tmp_path / "c")
+        cache = ShardedResultCache(d, max_bytes=int(size * 2.5))
+        cache.put(KEY, result)
+        cache.put(KEY2, result)
+        self._age(d, KEY, 1_000)
+        self._age(d, KEY2, 2_000_000)
+        assert cache.get(KEY) is not None  # bumps KEY to now
+        cache.put(KEY3, result)
+        assert cache.evicted == 1
+        assert cache.get(KEY) is not None   # survived: recently used
+        assert cache.get(KEY2) is None      # the actual LRU went
+
+    def test_pinned_keys_are_never_evicted(self, tmp_path, result):
+        size = self._entry_size(tmp_path, result)
+        d = str(tmp_path / "c")
+        cache = ShardedResultCache(d, max_bytes=int(size * 2.5))
+        cache.put(KEY, result)
+        cache.put(KEY2, result)
+        self._age(d, KEY, 1_000)       # oldest, but pinned
+        self._age(d, KEY2, 2_000_000)
+        cache.pin([KEY])
+        cache.put(KEY3, result)
+        assert cache.evicted == 1
+        assert cache.get(KEY) is not None   # pin beat LRU order
+        assert cache.get(KEY2) is None
+        cache.unpin([KEY])
+        assert KEY not in cache._pins
+
+    def test_stats_count_evictions(self, tmp_path, result):
+        size = self._entry_size(tmp_path, result)
+        cache = ShardedResultCache(str(tmp_path / "c"),
+                                   max_bytes=int(size * 1.5))
+        for key in (KEY, KEY2, KEY3):
+            cache.put(key, result)
+        assert cache.stats()["evicted"] == cache.evicted == 2
+        assert len(cache) == 1
+
+    def test_sweep_under_tight_bound_completes(self, tmp_path, space,
+                                               machine):
+        """Acceptance: a bounded cache never evicts the live sweep."""
+        kw = dict(policies=("online",), tolerances=[0.25, 0.0625],
+                  reps=1, full_reps=1)
+        runner = make_runner(cache_dir=str(tmp_path / "c"),
+                             cache_max_bytes=4096)  # a few entries' worth
+        sweep = tolerance_sweep(space, machine, seed=0, runner=runner, **kw)
+        assert len(sweep.points) == 2
+        store = runner.cache.cache
+        assert runner.cache.stats()["degraded"] == 0
+        # the sweep's entire working set was pinned: over budget, but
+        # nothing of the live grid was evicted, and pins were released
+        assert store.evicted == 0
+        assert store._total_bytes > 4096
+        assert store._pins == set()
+        n_entries = len(store)
+        assert n_entries > 0
+        # a different grid over the same directory *does* evict now:
+        # the stale unpinned entries are the LRU victims
+        runner2 = make_runner(cache_dir=str(tmp_path / "c"),
+                              cache_max_bytes=4096)
+        tolerance_sweep(space, machine, seed=1, runner=runner2, **kw)
+        assert runner2.cache.cache.evicted > 0
+        assert runner2.cache.stats()["degraded"] == 0
+
+
+# ----------------------------------------------------------------------
+# accounting sidecar
+# ----------------------------------------------------------------------
+class TestSidecar:
+    def test_lifetime_counters_survive_across_instances(self, tmp_path,
+                                                        result):
+        d = str(tmp_path)
+        first = ShardedResultCache(d)
+        first.put(KEY, result)
+        first.get(KEY)
+        second = ShardedResultCache(d)
+        second.put(KEY2, result)
+        disk = second.disk_stats()
+        assert disk["lifetime_stores"] == 2
+        assert disk["lifetime_hits"] == 1
+        assert disk["entries"] == 2
+        assert disk["total_bytes"] > 0
+        assert disk["shards"] == 2
+
+    def test_sidecar_is_not_an_entry(self, tmp_path, result):
+        cache = ShardedResultCache(str(tmp_path))
+        cache.put(KEY, result)
+        assert len(cache) == 1  # the sidecar file is not counted
+        assert (tmp_path / "store-accounting.sidecar").exists()
+
+    def test_lost_sidecar_rebuilds_from_scan(self, tmp_path, result):
+        d = str(tmp_path)
+        cache = ShardedResultCache(d)
+        cache.put(KEY, result)
+        os.unlink(os.path.join(d, "store-accounting.sidecar"))
+        reopened = ShardedResultCache(d)
+        assert reopened._total_bytes == os.path.getsize(
+            os.path.join(d, KEY[:2], f"{KEY}.json"))
+
+    def test_garbage_sidecar_is_ignored(self, tmp_path, result):
+        d = str(tmp_path)
+        ShardedResultCache(d).put(KEY, result)
+        with open(os.path.join(d, "store-accounting.sidecar"), "w") as f:
+            f.write("{ half a doc")
+        reopened = ShardedResultCache(d)
+        assert reopened._total_bytes > 0
+        assert reopened.disk_stats()["lifetime_stores"] == 0
+
+
+# ----------------------------------------------------------------------
+# compute-through degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_write_failure_downgrades_and_warns_once(self, tmp_path, result):
+        install_fs(FSFaultPlan(rate=1.0, seed=7, actions=("enospc",)))
+        cache = ComputeThroughCache(ShardedResultCache(str(tmp_path)))
+        with pytest.warns(RuntimeWarning, match="compute-through") as rec:
+            cache.put(KEY, result)
+            cache.put(KEY2, result)  # already dead: skipped silently
+        assert len(rec) == 1
+        assert cache.get(KEY) is None  # dead: miss without touching disk
+        stats = cache.stats()
+        # one absorbed failure + one skipped put + one skipped get
+        assert stats["degraded"] == 3
+        assert stats["stores"] == 0
+        install_fs(None)
+        assert len(ShardedResultCache(str(tmp_path))) == 0
+
+    def test_read_failure_downgrades(self, tmp_path, result):
+        cache = ComputeThroughCache(ShardedResultCache(str(tmp_path)))
+        cache.put(KEY, result)
+        install_fs(FSFaultPlan(rate=1.0, seed=7, actions=("eacces",)))
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(KEY) is None
+        assert cache.stats()["degraded"] >= 1
+
+    def test_unwrapped_store_raises(self, tmp_path, result):
+        install_fs(FSFaultPlan(rate=1.0, seed=7, actions=("enospc",)))
+        cache = ShardedResultCache(str(tmp_path))
+        with pytest.raises(DegradedCacheError, match="ENOSPC"):
+            cache.put(KEY, result)
+        assert cache.degraded == 1
+
+    def test_sweep_completes_on_dead_storage(self, tmp_path, space, machine):
+        """A sweep that lost its disk still finishes on compute alone."""
+        install_fs(FSFaultPlan(rate=1.0, seed=3, actions=("eacces",)))
+        runner = make_runner(cache_dir=str(tmp_path / "c"))
+        with pytest.warns(RuntimeWarning, match="compute-through"):
+            sweep = tolerance_sweep(space, machine, policies=("online",),
+                                    tolerances=[0.25], reps=1, full_reps=1,
+                                    seed=0, runner=runner)
+        assert len(sweep.points) == 1
+        assert runner.cache.stats()["degraded"] > 0
+        assert runner.executed() > 0 and runner.cache_hits() == 0
+
+
+# ----------------------------------------------------------------------
+# the storage fault plan itself
+# ----------------------------------------------------------------------
+class TestFSFaultPlan:
+    def test_decisions_are_deterministic(self):
+        a = FSFaultPlan(rate=0.5, seed=11)
+        b = FSFaultPlan(rate=0.5, seed=11)
+        keys = [f"{i:064x}" for i in range(64)]
+        for op in ("read", "write"):
+            assert [a.action_for(op, k) for k in keys] \
+                == [b.action_for(op, k) for k in keys]
+
+    def test_rate_zero_never_faults(self):
+        plan = FSFaultPlan(rate=0.0, seed=1)
+        assert all(plan.action_for("write", f"{i:064x}") is None
+                   for i in range(32))
+
+    def test_read_and_write_draw_from_their_own_pools(self):
+        plan = FSFaultPlan(rate=1.0, seed=5)
+        keys = [f"{i:064x}" for i in range(128)]
+        assert {plan.action_for("read", k) for k in keys} \
+            <= {"bitflip", "eacces"}
+        assert {plan.action_for("write", k) for k in keys} \
+            <= {"torn", "enospc", "eacces"}
+
+    def test_actions_subset_restricts_the_draw(self):
+        plan = FSFaultPlan(rate=1.0, seed=5, actions=("enospc",))
+        keys = [f"{i:064x}" for i in range(32)]
+        assert {plan.action_for("write", k) for k in keys} == {"enospc"}
+        assert all(plan.action_for("read", k) is None for k in keys)
+
+    def test_torn_length_is_a_strict_prefix(self):
+        plan = FSFaultPlan(rate=1.0, seed=5)
+        for i in range(32):
+            n = plan.torn_length(f"{i:064x}", 1000)
+            assert 0 <= n < 1000
+        assert plan.torn_length(KEY, 1) == 0
+
+    def test_flip_bit_changes_exactly_one_bit(self):
+        plan = FSFaultPlan(rate=1.0, seed=5)
+        data = bytes(range(256))
+        flipped = plan.flip_bit(KEY, data)
+        assert flipped != data and len(flipped) == len(data)
+        diff = [a ^ b for a, b in zip(data, flipped) if a != b]
+        assert len(diff) == 1 and bin(diff[0]).count("1") == 1
+        assert plan.flip_bit(KEY, b"") == b""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            FSFaultPlan(rate=1.5)
+        with pytest.raises(ValueError, match="unknown fs fault action"):
+            FSFaultPlan(rate=0.5, actions=("meteor",))
+        with pytest.raises(ValueError, match="unknown fs operation"):
+            FSFaultPlan(rate=0.5).action_for("mmap", KEY)
+
+    def test_json_round_trip(self):
+        plan = FSFaultPlan(rate=0.25, seed=9, actions=("torn", "enospc"))
+        back = FSFaultPlan.from_json(plan.to_json())
+        assert (back.rate, back.seed, back.actions) \
+            == (plan.rate, plan.seed, plan.actions)
+        assert "rate=0.25" in repr(plan)
+
+    def test_env_activation_and_install_precedence(self, monkeypatch):
+        env_plan = FSFaultPlan(rate=0.5, seed=1)
+        monkeypatch.setenv(ENV_FS_PLAN, env_plan.to_json())
+        faults_mod._fs_plan_from_env.cache_clear()
+        active = faults_mod.active_fs_plan()
+        assert active is not None and active.seed == 1
+        installed = FSFaultPlan(rate=0.5, seed=2)
+        install_fs(installed)
+        assert faults_mod.active_fs_plan() is installed
+        install_fs(None)
+        assert faults_mod.active_fs_plan().seed == 1
+
+
+# ----------------------------------------------------------------------
+# concurrent multi-process access
+# ----------------------------------------------------------------------
+def _put_loop(directory, key, rounds, max_bytes):
+    from repro.runner.jobs import result_from_dict
+
+    cache = ShardedResultCache(directory, max_bytes=max_bytes)
+    with open(os.path.join(directory, "seed-result.ref")) as f:
+        res = result_from_dict(json.load(f))
+    for i in range(rounds):
+        cache.put(key if isinstance(key, str) else key[i % len(key)], res)
+
+
+def _get_loop(directory, keys, rounds):
+    cache = ShardedResultCache(directory)
+    for i in range(rounds):
+        cache.get(keys[i % len(keys)])  # may hit or miss, must not raise
+
+
+def _spawn(target, *args):
+    proc = multiprocessing.Process(target=target, args=args)
+    proc.start()
+    return proc
+
+
+class TestConcurrency:
+    @pytest.fixture()
+    def seeded_dir(self, tmp_path, result):
+        """A cache dir carrying a serialized result workers can load."""
+        d = str(tmp_path)
+        os.makedirs(d, exist_ok=True)
+        with open(os.path.join(d, "seed-result.ref"), "w") as f:
+            json.dump(result_to_dict(result), f)
+        return d
+
+    def test_two_processes_putting_the_same_key(self, seeded_dir, result):
+        procs = [_spawn(_put_loop, seeded_dir, KEY, 50, None)
+                 for _ in range(2)]
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+        # one winner, and it verifies end to end
+        cache = ShardedResultCache(seeded_dir)
+        back = cache.get(KEY)
+        assert back is not None and cache.corrupt == 0
+        assert result_to_dict(back) == result_to_dict(result)
+
+    def test_gets_racing_quarantine(self, seeded_dir):
+        shard = os.path.join(seeded_dir, KEY[:2])
+        os.makedirs(shard, exist_ok=True)
+        with open(os.path.join(shard, f"{KEY}.json"), "w") as f:
+            f.write("{ rotten")
+        procs = [_spawn(_get_loop, seeded_dir, [KEY], 25) for _ in range(2)]
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0  # both raced, neither raised
+        assert not os.path.exists(os.path.join(shard, f"{KEY}.json"))
+        assert os.path.exists(os.path.join(shard, f"{KEY}.corrupt"))
+
+    def test_eviction_racing_reader(self, seeded_dir, result):
+        keys = [KEY, KEY2, KEY3, "12" * 32]
+        # a bound tight enough that every put cycles the working set
+        probe = ShardedResultCache(os.path.join(seeded_dir, "probe"))
+        probe.put(KEY, result)
+        size = os.path.getsize(
+            os.path.join(seeded_dir, "probe", KEY[:2], f"{KEY}.json"))
+        writer = _spawn(_put_loop, seeded_dir, keys, 80, int(size * 2.5))
+        reader = _spawn(_get_loop, seeded_dir, keys, 200)
+        for p in (writer, reader):
+            p.join(120)
+            assert p.exitcode == 0
+        # whatever survived the churn still verifies
+        cache = ShardedResultCache(seeded_dir)
+        for key in keys:
+            got = cache.get(key)
+            if got is not None:
+                assert result_to_dict(got) == result_to_dict(result)
+        assert cache.corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# the storage-fault fuzz leg: survivors are bit-identical, corrupt
+# entries are never served
+# ----------------------------------------------------------------------
+class TestStorageFaultFuzz:
+    @pytest.mark.parametrize("case", range(FUZZ_CASES))
+    def test_results_bit_identical_under_any_fault_plan(
+        self, case, batch, baseline, tmp_path, monkeypatch
+    ):
+        plan = FSFaultPlan(rate=0.3, seed=2000 + case)
+        monkeypatch.setenv(ENV_FS_PLAN, plan.to_json())
+        faults_mod._fs_plan_from_env.cache_clear()
+        cache_dir = str(tmp_path / "c")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            # cold: every entry write races the plan's torn/enospc/eacces
+            cold = make_runner(cache_dir=cache_dir)
+            out = cold.run(batch)
+            assert [result_to_dict(r) for r in out] == baseline
+            # warm: reads race bitflips and eacces; a flipped entry must
+            # quarantine into a recompute, never surface as a wrong hit
+            warm = make_runner(cache_dir=cache_dir)
+            out2 = warm.run(batch)
+            assert [result_to_dict(r) for r in out2] == baseline
+            assert warm.cache.stats()["hits"] + warm.executed() == len(batch)
+        # and with the plan lifted, the store serves what survived —
+        # all of it verified, bit-identical
+        monkeypatch.delenv(ENV_FS_PLAN)
+        faults_mod._fs_plan_from_env.cache_clear()
+        clean = make_runner(cache_dir=cache_dir)
+        out3 = clean.run(batch)
+        assert [result_to_dict(r) for r in out3] == baseline
+        assert clean.cache.stats()["degraded"] == 0
