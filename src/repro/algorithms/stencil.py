@@ -1,0 +1,117 @@
+"""2D stencil halo-exchange workload (bandwidth-bound corner).
+
+A classic iterative 2D stencil (Jacobi-style sweep over an ``nx x ny``
+local grid) under a 1D row decomposition: each iteration exchanges one
+grid row with each vertical neighbour, applies the stencil to the local
+block, and periodically allreduces a residual scalar.
+
+Two halo styles alternate per iteration, built on the same p2p
+descriptors the p2p-pipeline workloads exercise:
+
+* **nonblocking** — post both irecvs, then both isends, then waitall
+  (the overlap-friendly MPI idiom);
+* **red-black blocking** — even ranks send first, odd ranks receive
+  first, covering both rendezvous directions without deadlock.
+
+The stencil update is the roofline model's bandwidth-bound corner: a
+``points``-point stencil performs ``2 * points`` flops per cell but
+streams the whole read/write working set (~24 bytes per cell for the
+two grid arrays plus halo traffic), so its arithmetic intensity
+(~2.4 bytes/flop at 5 points) sits far above gemm's — under a load
+regime with a roofline ceiling (``mem_beta > 0``) it prices off the
+memory roof while gemm keeps pricing off the flop roof.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Tuple
+
+from repro.kernels.roofline import register_kernel_model
+from repro.kernels.signature import KernelSignature, comp_signature
+
+__all__ = ["stencil2d_spec", "stencil_halo_program"]
+
+Spec = Tuple[KernelSignature, float]
+
+#: p2p tags: direction of travel along the rank line
+_TAG_DOWN_NB, _TAG_UP_NB = 1, 2     # nonblocking phase
+_TAG_DOWN_BL, _TAG_UP_BL = 3, 4     # red-black blocking phase
+
+
+def _stencil_flops(points: int, nx: int, ny: int) -> float:
+    # one multiply-add per stencil point per cell
+    return 2.0 * points * nx * ny
+
+
+def _stencil_bytes(points: int, nx: int, ny: int) -> float:
+    # read the source grid, write the destination grid, plus ~one extra
+    # read-equivalent of halo/boundary traffic per sweep
+    return 24.0 * nx * ny
+
+
+def stencil2d_spec(points: int, nx: int, ny: int) -> Spec:
+    """A ``points``-point stencil sweep over an nx x ny local block."""
+    return comp_signature("stencil2d", points, nx, ny), _stencil_flops(
+        points, nx, ny)
+
+
+register_kernel_model("stencil2d", _stencil_flops, _stencil_bytes)
+
+
+def stencil_halo_program(
+    comm: Any,
+    nx: int = 64,
+    ny: int = 64,
+    iters: int = 4,
+    points: int = 5,
+    reduce_every: int = 2,
+) -> Generator[Any, Any, None]:
+    """One rank's program for the iterative 2D stencil.
+
+    1D row decomposition, non-periodic: rank ``r`` exchanges one
+    ``ny``-wide grid row (8 bytes/cell) with ranks ``r-1``/``r+1``
+    where they exist.  Iterations alternate nonblocking and red-black
+    blocking halos; every ``reduce_every``-th iteration ends with a
+    residual allreduce.
+    """
+    me, p = comm.rank, comm.size
+    up = me - 1 if me > 0 else None
+    dn = me + 1 if me < p - 1 else None
+    row = 8 * ny
+    interior = comm.compute(stencil2d_spec(points, nx, ny))
+    for it in range(iters):
+        if it % 2 == 0:
+            # nonblocking halo: receives posted before sends
+            reqs = []
+            if up is not None:
+                reqs.append((yield comm.irecv(
+                    source=up, tag=_TAG_DOWN_NB, nbytes=row)))
+            if dn is not None:
+                reqs.append((yield comm.irecv(
+                    source=dn, tag=_TAG_UP_NB, nbytes=row)))
+            if up is not None:
+                reqs.append((yield comm.isend(
+                    dest=up, tag=_TAG_UP_NB, nbytes=row)))
+            if dn is not None:
+                reqs.append((yield comm.isend(
+                    dest=dn, tag=_TAG_DOWN_NB, nbytes=row)))
+            yield comm.waitall(reqs)
+        else:
+            # red-black blocking halo: even ranks send first
+            if me % 2 == 0:
+                if dn is not None:
+                    yield comm.send(dest=dn, tag=_TAG_DOWN_BL, nbytes=row)
+                    yield comm.recv(source=dn, tag=_TAG_UP_BL, nbytes=row)
+                if up is not None:
+                    yield comm.send(dest=up, tag=_TAG_UP_BL, nbytes=row)
+                    yield comm.recv(source=up, tag=_TAG_DOWN_BL, nbytes=row)
+            else:
+                if up is not None:
+                    yield comm.recv(source=up, tag=_TAG_DOWN_BL, nbytes=row)
+                    yield comm.send(dest=up, tag=_TAG_UP_BL, nbytes=row)
+                if dn is not None:
+                    yield comm.recv(source=dn, tag=_TAG_UP_BL, nbytes=row)
+                    yield comm.send(dest=dn, tag=_TAG_DOWN_BL, nbytes=row)
+        yield interior
+        if (it + 1) % reduce_every == 0:
+            yield comm.allreduce(nbytes=8)

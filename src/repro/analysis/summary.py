@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["SeriesFile", "load_series", "speedup_summary", "error_summary",
-           "selection_summary", "render_summary"]
+           "selection_summary", "distribution_rows", "render_summary"]
 
 
 @dataclass(slots=True)
@@ -79,6 +79,19 @@ def selection_summary(path: str) -> float:
     return min(v for p in sf.policies for v in sf.series[p])
 
 
+def distribution_rows(path: str) -> List[Tuple[str, float, float, float]]:
+    """Parse a ``dist_*.csv`` distribution digest.
+
+    Rows are ``label,p50,p99,cov`` — the per-run-sample order statistics
+    the regime-aware benches record (timings are distributions, not
+    scalars; P50/P99/CoV is the honest summary).
+    """
+    with open(path, newline="", encoding="utf-8") as f:
+        rows = list(csv.reader(f))
+    return [(r[0], float(r[1]), float(r[2]), float(r[3]))
+            for r in rows[1:] if len(r) >= 4]
+
+
 def render_summary(results_dir: str = "results") -> str:
     """Render a markdown digest of everything found in ``results_dir``."""
     lines: List[str] = ["# Benchmark results digest", ""]
@@ -133,6 +146,22 @@ def render_summary(results_dir: str = "results") -> str:
             worst = selection_summary(os.path.join(results_dir, fname))
             space = fname.replace("selection_quality_", "").replace(".csv", "")
             p(f"| {space} | {worst:.3f} |")
+        p()
+
+    dist_figs = sorted(
+        f for f in os.listdir(results_dir)
+        if f.startswith("dist_") and f.endswith(".csv")
+    )
+    if dist_figs:
+        p("## Timing distributions (P50/P99/CoV)")
+        p()
+        p("| figure | series | P50 | P99 | CoV |")
+        p("|---|---|---|---|---|")
+        for fname in dist_figs:
+            name = os.path.splitext(fname)[0]
+            for label, d50, d99, cov in distribution_rows(
+                    os.path.join(results_dir, fname)):
+                p(f"| {name} | {label} | {d50:.4g} | {d99:.4g} | {cov:.3f} |")
         p()
     return "\n".join(lines)
 

@@ -1,15 +1,22 @@
-"""Evaluation metrics (Section VI.A).
+"""Evaluation metrics (Section VI.A) and distribution summaries.
 
 The paper evaluates Critter by: relative prediction error per
 configuration, mean relative prediction error across configurations
 (plotted as log2), autotuning speedup across the configuration space,
 and the quality of the selected (predicted-optimal) configuration.
+
+Kernel and run timings are *distributions*, not scalars (Section III.A;
+CORTEX makes the same point for system latency), so this module also
+provides the order-statistic summaries — P50/P99 and the coefficient of
+variation — that the reporting layer attaches to per-run samples.
+Percentiles use linear interpolation between order statistics (the
+numpy default), implemented in pure deterministic float arithmetic.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Sequence
 
 __all__ = [
     "relative_error",
@@ -17,6 +24,11 @@ __all__ = [
     "log2_error",
     "speedup",
     "selection_quality",
+    "percentile",
+    "p50",
+    "p99",
+    "coefficient_of_variation",
+    "distribution_summary",
     "ERROR_FLOOR",
 ]
 
@@ -45,10 +57,77 @@ def mean_log2_error(errors: Iterable[float], floor: float = ERROR_FLOOR) -> floa
 
 
 def speedup(baseline_time: float, tuned_time: float) -> float:
-    """Autotuning speedup: baseline search time / accelerated search time."""
+    """Autotuning speedup: baseline search time / accelerated search time.
+
+    Raises ``ValueError`` on a non-positive ``tuned_time`` — a zero or
+    negative denominator means the measurement is broken, and reporting
+    an infinite (or negative) speedup would silently misrepresent it.
+    """
     if tuned_time <= 0.0:
-        return math.inf
+        raise ValueError(
+            f"tuned_time must be positive, got {tuned_time!r}")
     return baseline_time / tuned_time
+
+
+# ----------------------------------------------------------------------
+# distribution summaries
+# ----------------------------------------------------------------------
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0 <= q <= 100), linear interpolation.
+
+    Matches ``numpy.percentile``'s default method on sorted data, in
+    pure float arithmetic so results are deterministic across numpy
+    versions.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    xs = sorted(float(x) for x in samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (q / 100.0) * (len(xs) - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if frac == 0.0:
+        return xs[lo]
+    return xs[lo] + frac * (xs[lo + 1] - xs[lo])
+
+
+def p50(samples: Sequence[float]) -> float:
+    """Median of the samples."""
+    return percentile(samples, 50.0)
+
+
+def p99(samples: Sequence[float]) -> float:
+    """99th percentile of the samples (tail behavior, CORTEX-style)."""
+    return percentile(samples, 99.0)
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """Sample CoV: population std-dev over mean (0.0 for a zero mean)."""
+    if not samples:
+        raise ValueError("coefficient of variation of an empty sample set")
+    xs = [float(x) for x in samples]
+    mean = sum(xs) / len(xs)
+    if mean == 0.0:
+        return 0.0
+    var = sum((x - mean) ** 2 for x in xs) / len(xs)
+    return math.sqrt(var) / abs(mean)
+
+
+def distribution_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """``{"p50", "p99", "cov", "mean", "n"}`` for a sample set."""
+    if not samples:
+        raise ValueError("distribution summary of an empty sample set")
+    xs = [float(x) for x in samples]
+    return {
+        "p50": p50(xs),
+        "p99": p99(xs),
+        "cov": coefficient_of_variation(xs),
+        "mean": sum(xs) / len(xs),
+        "n": float(len(xs)),
+    }
 
 
 def selection_quality(

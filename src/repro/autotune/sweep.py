@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.autotune.configspace import ConfigSpace
+from repro.autotune.metrics import distribution_summary
 from repro.autotune.tuner import (
     GroundTruth,
     TuningResult,
@@ -95,6 +96,16 @@ class SweepResult:
         """Failed-job annotations per grid point (empty when clean)."""
         return {point: list(res.failures)
                 for point, res in self.points.items() if res.failures}
+
+    def ground_time_distribution(self) -> Dict[str, float]:
+        """P50/P99/CoV/mean over surviving ground-truth config times.
+
+        The spread across configurations is what the tuner navigates;
+        reporting it as a distribution (not just the best/mean) keeps
+        the sweep's summary honest about how peaked the space is.
+        """
+        times = [g.mean_time for g in self.ground if g is not None]
+        return distribution_summary(times)
 
     def result(self, policy: str, eps: float) -> TuningResult:
         return self.points[(policy, eps)]

@@ -36,8 +36,13 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.autotune.configspace import ConfigSpace
+import math
+
 from repro.autotune.metrics import (
+    coefficient_of_variation,
     mean_log2_error,
+    p50,
+    p99,
     relative_error,
     selection_quality,
     speedup,
@@ -91,6 +96,21 @@ class GroundTruth:
         var = sum((t - m) ** 2 for t in self.times) / (len(self.times) - 1)
         return var**0.5 / m
 
+    # distribution view of the full-execution samples: timings are
+    # distributions, not scalars, so the reference keeps its order
+    # statistics alongside the mean
+    @property
+    def time_p50(self) -> float:
+        return p50(self.times)
+
+    @property
+    def time_p99(self) -> float:
+        return p99(self.times)
+
+    @property
+    def time_cov(self) -> float:
+        return coefficient_of_variation(self.times)
+
 
 @dataclass(slots=True)
 class ConfigOutcome:
@@ -108,6 +128,10 @@ class ConfigOutcome:
     skip_fraction: float
     exec_error: float = 0.0
     comp_error: float = 0.0
+    # distribution of the configuration's full-execution samples
+    full_time_p50: float = 0.0
+    full_time_p99: float = 0.0
+    full_time_cov: float = 0.0
 
     def finalize(self) -> None:
         self.exec_error = relative_error(self.predicted.exec_time, self.full_time)
@@ -146,6 +170,9 @@ class TuningResult:
 
     @property
     def search_speedup(self) -> float:
+        if self.search_time <= 0.0:
+            # no surviving measurements to compare (every job failed)
+            return math.inf
         return speedup(self.full_search_time, self.search_time)
 
     @property
@@ -300,6 +327,9 @@ def assemble_tuning_result(
             max_rank_kernel_time=cr.kernel_time,
             max_rank_comp_time=cr.comp_time,
             skip_fraction=cr.skip_fraction,
+            full_time_p50=truth.time_p50,
+            full_time_p99=truth.time_p99,
+            full_time_cov=truth.time_cov,
         )
         outcome.finalize()
         result.outcomes.append(outcome)

@@ -184,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--markdown", default=None, metavar="PATH",
                    help="also write a naive-vs-fast-vs-profiled comparison "
                         "table as GitHub markdown (CI job summaries)")
+    b.add_argument("--preset", default=None, metavar="NAME",
+                   help="run the matrix on one machine preset instead of "
+                        "the default sweep; unknown names fail fast with "
+                        "the valid list")
+    b.add_argument("--regime", default="default", metavar="NAME",
+                   help="load regime to run the matrix under (default, "
+                        "idle, medium, heavy); unknown names fail fast "
+                        "with the valid list")
 
     c = sub.add_parser(
         "cache",
@@ -323,7 +331,7 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
 
     return bench_main(quick=args.quick, out=args.out, check=args.check,
                       workloads=args.workload, markdown=args.markdown,
-                      diag=args.diag)
+                      diag=args.diag, preset=args.preset, regime=args.regime)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

@@ -82,7 +82,14 @@ __all__ = ["Critter", "RunReport"]
 
 @dataclass(slots=True)
 class RunReport:
-    """Summary of one simulated run under Critter."""
+    """Summary of one simulated run under Critter.
+
+    ``rank_time_p50``/``rank_time_p99``/``rank_time_cov`` summarize the
+    distribution of per-rank kernel wall times — timings are
+    distributions, not scalars, and the spread across ranks is the
+    run's load-imbalance signature (a tight P50/P99 gap means balanced
+    ranks; a large CoV flags stragglers).
+    """
 
     makespan: float
     predicted: PathMetrics
@@ -92,6 +99,9 @@ class RunReport:
     executed_kernels: int
     skipped_kernels: int
     run_seed: int = 0
+    rank_time_p50: float = 0.0
+    rank_time_p99: float = 0.0
+    rank_time_cov: float = 0.0
 
     @property
     def predicted_exec_time(self) -> float:
@@ -303,15 +313,24 @@ class Critter(Profiler):
         self._run_serial += 1
 
     def end_run(self, sim: Simulator, makespan: float) -> None:
+        # deferred import: autotune's package __init__ reaches back into
+        # critter via the runner, so a module-level import would cycle
+        from repro.autotune.metrics import (
+            coefficient_of_variation, p50, p99)
+
+        rank_times = [p.kernel_wall_time for p in self.profiles]
         rep = RunReport(
             makespan=makespan,
             predicted=critical_path(self.profiles),
             volumetric=volumetric_average(self.profiles),
-            max_rank_kernel_time=max(p.kernel_wall_time for p in self.profiles),
+            max_rank_kernel_time=max(rank_times),
             max_rank_comp_time=max(p.vol_exec_comp for p in self.profiles),
             executed_kernels=sum(p.executed_kernels for p in self.profiles),
             skipped_kernels=sum(p.skipped_kernels for p in self.profiles),
             run_seed=self._run_seed,
+            rank_time_p50=p50(rank_times),
+            rank_time_p99=p99(rank_times),
+            rank_time_cov=coefficient_of_variation(rank_times),
         )
         self.reports.append(rep)
         self.last_report = rep

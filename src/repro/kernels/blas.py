@@ -17,6 +17,7 @@ from typing import Tuple
 import numpy as np
 import scipy.linalg as sla
 
+from repro.kernels.roofline import register_kernel_model
 from repro.kernels.signature import KernelSignature, comp_signature
 
 __all__ = [
@@ -54,6 +55,35 @@ def trsm_spec(m: int, n: int) -> Spec:
 def trmm_spec(m: int, n: int) -> Spec:
     """Triangular matrix product A(m,m) B(m,n): m^2 n flops."""
     return comp_signature("trmm", m, n), float(m) * m * n
+
+
+# ----------------------------------------------------------------------
+# roofline memory-traffic models (8-byte reals; outputs read + written)
+# ----------------------------------------------------------------------
+# gemm streams A(m,k), B(k,n) and updates C(m,n); its k-deep reuse makes
+# it the canonical flop-bound kernel.  The triangular kernels touch the
+# same panel repeatedly with only m-deep reuse, so their intensity is a
+# factor ~k/m worse — under a roofline machine they price bandwidth-bound.
+register_kernel_model(
+    "gemm",
+    lambda m, n, k: 2.0 * m * n * k,
+    lambda m, n, k: 8.0 * (m * k + k * n + 2.0 * m * n),
+)
+register_kernel_model(
+    "syrk",
+    lambda n, k: float(n) * (n + 1) * k,
+    lambda n, k: 8.0 * (n * k + n * n),
+)
+register_kernel_model(
+    "trsm",
+    lambda m, n: float(m) * m * n,
+    lambda m, n: 4.0 * m * m + 16.0 * m * n,
+)
+register_kernel_model(
+    "trmm",
+    lambda m, n: float(m) * m * n,
+    lambda m, n: 4.0 * m * m + 16.0 * m * n,
+)
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,7 @@ from typing import Tuple
 import numpy as np
 import scipy.linalg as sla
 
+from repro.kernels.roofline import register_kernel_model
 from repro.kernels.signature import KernelSignature, comp_signature
 
 __all__ = [
@@ -81,6 +82,55 @@ def larfb_spec(m: int, n: int, k: int) -> Spec:
 def larft_spec(m: int, k: int) -> Spec:
     """Form the triangular T factor of k reflectors of length m: k^2 m."""
     return comp_signature("larft", m, k), float(k) * k * m
+
+
+# ----------------------------------------------------------------------
+# roofline memory-traffic models (8-byte reals; outputs read + written)
+# ----------------------------------------------------------------------
+# factorizations touch their panel once (in-place update); the
+# reflector-apply kernels stream the target matrix plus the reflector
+# block.  Flop closures mirror the *_spec formulas above.
+register_kernel_model(
+    "potrf", lambda n: n**3 / 3.0, lambda n: 8.0 * n * n)
+register_kernel_model(
+    "trtri", lambda n: n**3 / 3.0, lambda n: 8.0 * n * n)
+register_kernel_model(
+    "getrf",
+    lambda m, n: float(m) * n * n - n**3 / 3.0,
+    lambda m, n: 16.0 * m * n,
+)
+register_kernel_model(
+    "geqrf",
+    lambda m, n: 2.0 * m * n * n - 2.0 * n**3 / 3.0,
+    lambda m, n: 16.0 * m * n,
+)
+register_kernel_model(
+    "ormqr",
+    lambda m, n, k: 4.0 * m * n * k - 2.0 * n * k * k,
+    lambda m, n, k: 8.0 * (2.0 * m * n + m * k + k * k),
+)
+register_kernel_model(
+    "geqrt",
+    lambda m, n: 2.0 * m * n * n - 2.0 * n**3 / 3.0 + n**3 / 3.0,
+    lambda m, n: 8.0 * (2.0 * m * n + n * n),
+)
+register_kernel_model(
+    "tpqrt",
+    lambda m, n: 2.0 * m * n * n + n**3 / 3.0,
+    lambda m, n: 8.0 * (2.0 * m * n + n * n),
+)
+register_kernel_model(
+    "tpmqrt",
+    lambda m, n, k: 4.0 * m * n * k,
+    lambda m, n, k: 8.0 * (2.0 * m * n + 2.0 * k * n),
+)
+register_kernel_model(
+    "larfb",
+    lambda m, n, k: 4.0 * m * n * k,
+    lambda m, n, k: 8.0 * (2.0 * m * n + m * k + k * k),
+)
+register_kernel_model(
+    "larft", lambda m, k: float(k) * k * m, lambda m, k: 8.0 * (m * k + k * k))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,94 @@
+"""Roofline arithmetic-intensity models for computational kernels.
+
+The roofline model (Williams et al.; applied to autotuning cost models
+by Tørring et al.) prices a kernel as the *slower* of its compute and
+memory ceilings: ``max(flops / peak_flops, bytes / peak_bw)``.  The
+flop counts already live in the ``*_spec`` builders of
+:mod:`repro.kernels.blas` / :mod:`repro.kernels.lapack`; this module
+adds the matching *memory-traffic* models so the machine layer can
+derive each signature's arithmetic intensity and price bandwidth-bound
+kernels (trsm panels, stencil halo updates) differently from flop-bound
+ones (gemm).
+
+Byte counts are leading-order working-set traffic for real double
+precision (8-byte words): each operand matrix read once, outputs
+counted read+write.  Like the flop models, they are *models* — absolute
+accuracy matters less than the relative intensity ordering.
+
+Kernel families register ``(flops, bytes)`` closures over their
+signature params at import time; unknown kernel names report an
+arithmetic intensity of zero bytes/flop, which disables the roofline
+memory ceiling for them (pure ``gamma`` pricing, the pre-roofline
+behavior).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.kernels.signature import KernelSignature
+
+__all__ = [
+    "register_kernel_model",
+    "kernel_bytes",
+    "kernel_flops",
+    "bytes_per_flop",
+]
+
+#: kernel name -> (flops, bytes) closures over the signature params
+_MODELS: Dict[str, Tuple[Callable[..., float], Callable[..., float]]] = {}
+
+#: interned signature -> bytes/flop (signatures intern, so identity
+#: lookups; the set of distinct comp signatures per run is small)
+_BPF_CACHE: Dict[KernelSignature, float] = {}
+
+
+def register_kernel_model(
+    name: str,
+    flops: Callable[..., float],
+    nbytes: Callable[..., float],
+) -> None:
+    """Register roofline closures for a computational kernel family.
+
+    ``flops`` and ``nbytes`` are called with the signature's params
+    unpacked (the same tuple the ``*_spec`` builders produce), and must
+    be pure — the derived bytes/flop ratio is cached per signature.
+    """
+    _MODELS[name] = (flops, nbytes)
+    _BPF_CACHE.clear()
+
+
+def kernel_flops(sig: KernelSignature) -> float:
+    """Model flop count for ``sig``, or 0.0 if no model is registered."""
+    model = _MODELS.get(sig.name)
+    if model is None or not sig.is_comp:
+        return 0.0
+    return float(model[0](*sig.params))
+
+
+def kernel_bytes(sig: KernelSignature) -> float:
+    """Model memory traffic in bytes for ``sig``, or 0.0 if unmodeled."""
+    model = _MODELS.get(sig.name)
+    if model is None or not sig.is_comp:
+        return 0.0
+    return float(model[1](*sig.params))
+
+
+def bytes_per_flop(sig: KernelSignature) -> float:
+    """Arithmetic intensity (inverted) of a kernel signature.
+
+    Returns bytes moved per flop performed, or 0.0 for communication
+    kernels and kernels without a registered roofline model (so the
+    machine layer applies no memory ceiling to them).
+    """
+    cached = _BPF_CACHE.get(sig)
+    if cached is None:
+        model = _MODELS.get(sig.name)
+        if model is None or not sig.is_comp:
+            cached = 0.0
+        else:
+            flops_fn, bytes_fn = model
+            flops = float(flops_fn(*sig.params))
+            cached = float(bytes_fn(*sig.params)) / flops if flops > 0.0 else 0.0
+        _BPF_CACHE[sig] = cached
+    return cached

@@ -305,7 +305,7 @@ def _space_fingerprint(space: Any) -> Dict[str, Any]:
     }
 
 
-def _noise_fingerprint(req: RunRequest) -> Dict[str, float]:
+def _noise_fingerprint(req: RunRequest) -> Dict[str, Any]:
     n = req.noise if req.noise is not None else NoiseModel(
         machine_seed=req.machine.seed)
     return {
@@ -314,14 +314,20 @@ def _noise_fingerprint(req: RunRequest) -> Dict[str, float]:
         "comm_cv": n.comm_cv,
         "run_cv": n.run_cv,
         "machine_seed": n.machine_seed,
+        "regime": n.regime,
     }
 
 
 def request_fingerprint(req: RunRequest) -> Dict[str, Any]:
-    """Everything a job's result depends on, as a JSON-able dict."""
+    """Everything a job's result depends on, as a JSON-able dict.
+
+    Version 2 adds the load-regime and roofline fields (machine
+    ``comp_scale``/``comm_scale``/``mem_beta``/``regime``, noise
+    ``regime``) so cached results from different regimes never alias.
+    """
     m = req.machine
     return {
-        "version": 1,
+        "version": 2,
         "kind": req.kind,
         "space": _space_fingerprint(req.space),
         "machine": {
@@ -329,6 +335,8 @@ def request_fingerprint(req: RunRequest) -> Dict[str, Any]:
             "gamma": m.gamma, "intercept_alpha": m.intercept_alpha,
             "skip_overhead": m.skip_overhead, "seed": m.seed,
             "batched_compute": m.batched_compute,
+            "comp_scale": m.comp_scale, "comm_scale": m.comm_scale,
+            "mem_beta": m.mem_beta, "regime": m.regime,
         },
         "noise": _noise_fingerprint(req),
         "config_index": req.config_index,

@@ -503,6 +503,10 @@ class Simulator:
         #: machine is fixed for the simulator's lifetime, so the memo
         #: survives across runs (unlike the per-run noise factors)
         self._comm_cost = machine.comm_cost_memo()
+        #: per-(signature, machine) memo of Machine.time_per_flop —
+        #: same lifetime argument: the machine is frozen, so the
+        #: roofline price per signature never changes
+        self._time_per_flop = machine.time_per_flop_memo()
         #: recomputed per run (tracks profiler swaps); False is only a
         #: conservative placeholder until then
         self._hooks_off = False
@@ -657,7 +661,7 @@ class Simulator:
         prof = self.profiler
         hooks_off = type(prof) is NullProfiler
         machine = self.machine
-        gamma = machine.gamma
+        time_per_flop = self._time_per_flop
         skip_overhead = machine.skip_overhead
         exec_skipped = self.execute_skipped_fns
         factors = self._noise_factors
@@ -685,6 +689,7 @@ class Simulator:
         # on the dominant path
         last_sig = None
         last_bias = last_drift = last_mu = last_s = 0.0
+        last_g = 0.0
         last_noisy = False
 
         while True:
@@ -750,14 +755,17 @@ class Simulator:
                             fac = factors[sig] = noise_factors(sig, run_seed)
                         last_sig = sig
                         last_bias, last_drift, params = fac
+                        last_g = time_per_flop(sig)
                         last_noisy = params is not None
                         if last_noisy:
                             last_mu, last_s = params
                     if hooks_off:
                         # identical float-op sequence to NoiseModel.sample
-                        # (int->float conversion in `gamma * flops` matches
-                        # compute_cost's explicit float())
-                        mean = gamma * op.flops * last_bias * last_drift
+                        # (int->float conversion in `last_g * flops` matches
+                        # compute_cost's explicit float(); last_g is the
+                        # regime/roofline time-per-flop, == gamma when the
+                        # default regime's unit factors are in effect)
+                        mean = last_g * op.flops * last_bias * last_drift
                         if last_noisy:
                             buf = st.zbuf
                             if not buf:
@@ -774,7 +782,7 @@ class Simulator:
                     execute = on_compute(rank, sig, flops)
                     result = None
                     if execute:
-                        mean = gamma * flops * last_bias * last_drift
+                        mean = last_g * flops * last_bias * last_drift
                         if last_noisy:
                             elapsed = mean * exp(
                                 last_mu + last_s * st.next_normal())
@@ -1285,8 +1293,10 @@ class Simulator:
         execute = prof.on_compute(st.rank, op.sig, op.flops)
         result = None
         if execute:
+            # memoized time_per_flop * float(flops) == compute_cost,
+            # same float-op sequence
             elapsed = self._kernel_sample(
-                st, op.sig, self.machine.compute_cost(op.flops))
+                st, op.sig, self._time_per_flop(op.sig) * float(op.flops))
             if op.fn is not None:
                 result = op.fn(*op.args)
         else:
@@ -1310,7 +1320,8 @@ class Simulator:
             execute = prof.on_compute(st.rank, op.sig, op.flops)
             if execute:
                 elapsed = self._kernel_sample(
-                    st, op.sig, self.machine.compute_cost(op.flops))
+                    st, op.sig,
+                    self._time_per_flop(op.sig) * float(op.flops))
             else:
                 elapsed = self.machine.skip_overhead
             prof.post_compute(st.rank, op.sig, execute, elapsed, op.flops)
@@ -1339,7 +1350,7 @@ class Simulator:
             result = None
             if execute:
                 elapsed = self._kernel_sample(
-                    st, sig, machine.compute_cost(total))
+                    st, sig, self._time_per_flop(sig) * total)
                 if op.fn is not None:
                     result = op.fn(*op.args)
             else:
@@ -1365,7 +1376,7 @@ class Simulator:
             fac = self._noise_factors[sig] = self.noise.factors(
                 sig, self.run_seed)
         bias, drift, params = fac
-        mean = machine.compute_cost(flops) * bias * drift
+        mean = self._time_per_flop(sig) * float(flops) * bias * drift
         exp = math.exp
         if self._hooks_off and trace is None:
             # no hooks, no trace: nothing observes the sub-kernels, so
@@ -1418,7 +1429,7 @@ class Simulator:
             execute = prof.on_compute(st.rank, sig, flops)
             if execute:
                 elapsed = self._kernel_sample(
-                    st, sig, self.machine.compute_cost(flops))
+                    st, sig, self._time_per_flop(sig) * float(flops))
             else:
                 elapsed = self.machine.skip_overhead
             prof.post_compute(st.rank, sig, execute, elapsed, flops)
@@ -1454,6 +1465,7 @@ class Simulator:
         """
         prof = self.profiler
         machine = self.machine
+        tpf = self._time_per_flop
         factors = self._noise_factors
         noise_factors = self.noise.factors
         run_seed = self.run_seed
@@ -1473,7 +1485,7 @@ class Simulator:
                 execute = prof.on_compute(rank, sig, total)
                 if execute:
                     elapsed = self._kernel_sample(
-                        st, sig, machine.compute_cost(total))
+                        st, sig, tpf(sig) * total)
                 else:
                     elapsed = machine.skip_overhead
                 prof.post_compute(rank, sig, execute, elapsed, total)
@@ -1488,7 +1500,7 @@ class Simulator:
                 if fac is None:
                     fac = factors[sig] = noise_factors(sig, run_seed)
                 bias, drift, params = fac
-                mean = machine.compute_cost(flops) * bias * drift
+                mean = tpf(sig) * float(flops) * bias * drift
                 if params is None:
                     if count >= 32:
                         # draw-free columnar segment: one cumulative sum
@@ -1518,7 +1530,7 @@ class Simulator:
                 if fac is None:
                     fac = factors[sig] = noise_factors(sig, run_seed)
                 bias, drift, params = fac
-                mean = machine.compute_cost(flops) * bias * drift
+                mean = tpf(sig) * float(flops) * bias * drift
                 for _ in range(count):
                     execute = on_compute(rank, sig, flops)
                     if not execute:

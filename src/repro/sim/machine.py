@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from repro.kernels.roofline import bytes_per_flop
 from repro.kernels.signature import KernelSignature
 
-__all__ = ["CollectiveCosts", "Machine"]
+__all__ = ["CollectiveCosts", "LoadRegime", "Machine"]
 
 
 def _log2ceil(p: int) -> int:
@@ -88,6 +89,50 @@ class CollectiveCosts:
 
 
 @dataclass(frozen=True, slots=True)
+class LoadRegime:
+    """Multiplicative load-regime adjustments for a machine preset.
+
+    Real clusters do not sit at one operating point: CORTEX measures
+    latency distributions that shift with ambient load, including the
+    "Idle Paradox" where idle machines run *slower* than loaded ones
+    because DVFS parks the cores at low clocks.  A regime bundles the
+    multiplicative factors and noise overrides that move a preset
+    between such operating points.
+
+    Attributes
+    ----------
+    name:
+        Regime identity (``"default"``, ``"idle"``, ``"medium"``,
+        ``"heavy"``); flows into :attr:`Machine.regime` and
+        :attr:`~repro.sim.noise.NoiseModel.regime` so fingerprints and
+        noise streams never alias across regimes.
+    comp_factor, comm_factor:
+        Multipliers applied to ``gamma`` and to ``alpha``/``beta``
+        respectively.  The default regime uses 1.0 for both, which is
+        bit-identical to the unscaled model (``x * 1.0 == x`` in IEEE
+        arithmetic).
+    mem_beta:
+        Roofline memory ceiling in seconds per byte of kernel traffic.
+        When positive, a computational kernel's effective time per flop
+        is ``max(gamma * comp_factor, mem_beta * bytes_per_flop(sig))``
+        — bandwidth-bound kernels (low arithmetic intensity) pay the
+        memory term, flop-bound kernels keep the gamma term.  0.0
+        disables the ceiling (pre-roofline pricing).
+    comp_cv, comm_cv, run_cv:
+        Optional per-regime noise overrides; ``None`` keeps the
+        preset's ambient coefficient of variation.
+    """
+
+    name: str
+    comp_factor: float = 1.0
+    comm_factor: float = 1.0
+    mem_beta: float = 0.0
+    comp_cv: float | None = None
+    comm_cv: float | None = None
+    run_cv: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class Machine:
     """A simulated distributed-memory machine.
 
@@ -117,6 +162,19 @@ class Machine:
         instead of being expanded into its per-sub-kernel equivalents.
         A deliberate model coarsening for throughput studies; off by
         default so results stay bit-identical to per-op emission.
+    comp_scale, comm_scale:
+        Load-regime multipliers on compute (``gamma``) and
+        application-level communication (``alpha``/``beta``) costs.
+        The defaults of 1.0 are bit-identical to the unscaled model;
+        ``intercept_alpha`` (the profiler's internal messages) stays
+        unscaled — regimes model application traffic contention, not
+        the tool's own overhead.
+    mem_beta:
+        Roofline memory ceiling (seconds/byte); see
+        :class:`LoadRegime`.  0.0 (the default) disables it.
+    regime:
+        Name of the load regime this machine was instantiated under;
+        carried for fingerprinting and reporting.
     """
 
     nprocs: int
@@ -127,16 +185,40 @@ class Machine:
     skip_overhead: float = 1.0e-8
     seed: int = 0
     batched_compute: bool = False
+    comp_scale: float = 1.0
+    comm_scale: float = 1.0
+    mem_beta: float = 0.0
+    regime: str = "default"
 
     def collectives(self) -> CollectiveCosts:
-        return CollectiveCosts(self.alpha, self.beta)
+        return CollectiveCosts(self.alpha * self.comm_scale,
+                               self.beta * self.comm_scale)
 
     # ------------------------------------------------------------------
     # base (noise-free) costs
     # ------------------------------------------------------------------
-    def compute_cost(self, flops: float) -> float:
+    def time_per_flop(self, sig: KernelSignature | None = None) -> float:
+        """Effective seconds per flop for a kernel signature.
+
+        The regime-scaled gamma term, lifted to the roofline memory
+        ceiling ``mem_beta * bytes_per_flop(sig)`` when that is higher
+        — so per-invocation cost equals
+        ``max(flops / peak_flops, bytes / peak_bw)`` scaled by the
+        kernel's flop count, and aggregated batches (``flops * count``)
+        scale both terms coherently.  With ``sig=None`` or an unmodeled
+        kernel only the gamma term applies.
+        """
+        g = self.gamma * self.comp_scale
+        if self.mem_beta > 0.0 and sig is not None:
+            mem = self.mem_beta * bytes_per_flop(sig)
+            if mem > g:
+                return mem
+        return g
+
+    def compute_cost(self, flops: float,
+                     sig: KernelSignature | None = None) -> float:
         """Base cost of a computational kernel performing ``flops`` flops."""
-        return self.gamma * float(flops)
+        return self.time_per_flop(sig) * float(flops)
 
     def comm_cost(self, sig: KernelSignature) -> float:
         """Base cost of a communication kernel from its signature.
@@ -174,10 +256,33 @@ class Machine:
 
         return cost
 
+    def time_per_flop_memo(
+            self) -> Callable[[Optional[KernelSignature]], float]:
+        """A memoized :meth:`time_per_flop` bound to this machine.
+
+        Same lifetime argument as :meth:`comm_cost_memo`: the roofline
+        price is a pure function of (machine, signature) and the
+        machine is frozen, so the engine's compute hot loops can skip
+        the attribute traffic and the roofline branch after a
+        signature's first pricing.  The memoized value feeds the same
+        ``tpf(sig) * float(flops)`` product as :meth:`compute_cost`,
+        keeping the float-op sequence bit-identical.
+        """
+        cache: Dict[Optional[KernelSignature], float] = {}
+        time_per_flop = self.time_per_flop
+
+        def cost(sig: Optional[KernelSignature]) -> float:
+            c = cache.get(sig)
+            if c is None:
+                c = cache[sig] = time_per_flop(sig)
+            return c
+
+        return cost
+
     def base_cost(self, sig: KernelSignature, flops: float = 0.0) -> float:
         if sig.is_comm:
             return self.comm_cost(sig)
-        return self.compute_cost(flops)
+        return self.compute_cost(flops, sig)
 
     def internal_cost(self, p: int) -> float:
         """Cost of Critter's internal allreduce among ``p`` ranks."""

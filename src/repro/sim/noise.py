@@ -40,7 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.kernels.signature import KernelSignature
+from repro.kernels.signature import KernelSignature, stable_hash
 
 __all__ = ["NoiseModel"]
 
@@ -66,6 +66,14 @@ class NoiseModel:
         Coefficient of variation of the per-run drift factor.
     machine_seed:
         Mixed into per-signature bias draws (machine identity).
+    regime:
+        Load-regime identity (see
+        :class:`~repro.sim.machine.LoadRegime`).  Non-default regimes
+        salt the per-signature bias and per-run drift streams, so the
+        same machine under a different ambient load draws *different*
+        (but still deterministic) efficiency biases — memoized results
+        never alias across regimes.  ``"default"`` uses a zero salt,
+        leaving every stream byte-identical to the pre-regime model.
     """
 
     bias_sigma: float = 0.3
@@ -73,24 +81,32 @@ class NoiseModel:
     comm_cv: float = 0.2
     run_cv: float = 0.01
     machine_seed: int = 0
+    regime: str = "default"
 
     _bias_cache: dict = None       # type: ignore[assignment]
     _drift_cache: dict = None      # type: ignore[assignment]
     _comp_params: tuple = None     # type: ignore[assignment]
     _comm_params: tuple = None     # type: ignore[assignment]
+    _bias_salt: int = 0
 
     def __post_init__(self) -> None:
         self._bias_cache = {}
         self._drift_cache = {}
         self._comp_params = _lognormal_params(self.comp_cv) if self.comp_cv > 0 else None
         self._comm_params = _lognormal_params(self.comm_cv) if self.comm_cv > 0 else None
+        # zero salt for the default regime keeps the bias/drift streams
+        # byte-identical to the pre-regime model (golden fixtures pin it)
+        self._bias_salt = (
+            0 if self.regime == "default"
+            else stable_hash(("regime", self.regime))
+        )
 
     # ------------------------------------------------------------------
     def signature_bias(self, sig: KernelSignature) -> float:
         """Deterministic efficiency multiplier for a kernel signature."""
         if self.bias_sigma <= 0.0:
             return 1.0
-        key = sig.stable_hash()
+        key = sig.stable_hash() ^ self._bias_salt
         cached = self._bias_cache.get(key)
         if cached is not None:
             return cached
@@ -114,7 +130,8 @@ class NoiseModel:
         rng = np.random.Generator(
             np.random.PCG64(
                 # repro: allow[seed-derivation] -- bit-exact stream predates derive_seed; golden noise fixtures pin it
-                ((run_seed & 0xFFFFFFFF) << 32) | (sig.stable_hash() ^ 0x5BD1E995)
+                ((run_seed & 0xFFFFFFFF) << 32)
+                | (sig.stable_hash() ^ 0x5BD1E995 ^ self._bias_salt)
             )
         )
         mu, s = _lognormal_params(self.run_cv)
@@ -169,4 +186,5 @@ class NoiseModel:
             comm_cv=0.0,
             run_cv=0.0,
             machine_seed=self.machine_seed,
+            regime=self.regime,
         )

@@ -1,4 +1,4 @@
-"""Machine parameter presets.
+"""Machine parameter presets and their load regimes.
 
 The defaults of :class:`~repro.sim.machine.Machine` approximate one
 Stampede2 KNL core; these presets provide other plausible design points
@@ -11,16 +11,43 @@ profile; the ``seed`` still controls per-signature efficiency biases,
 so two instances of the *same* preset with different seeds rank
 configurations differently — exactly like two differently-aged
 clusters of the same model.
+
+Every preset additionally carries a table of **load regimes**
+(:class:`~repro.sim.machine.LoadRegime`): multiplicative operating
+points modeling ambient cluster load, after CORTEX's observation that
+latency distributions are regime-dependent.  Highlights:
+
+* The ``"default"`` regime of every preset uses unit factors, no
+  roofline ceiling and the preset's ambient CoVs — **bit-identical**
+  to the pre-regime model (golden fixtures pin this).
+* ``epyc-ethernet``'s ``"idle"`` regime reproduces CORTEX's "Idle
+  Paradox": an idle machine runs compute ~2.3x *slower* than a loaded
+  one because DVFS parks the cores at their lowest clocks.
+* Non-default regimes of the fat-core presets enable the roofline
+  memory ceiling (``mem_beta``), so bandwidth-bound kernels (trsm
+  panels, stencil halos) price above flop-bound gemm under load.
+* ``quiet`` keeps all CoVs at zero in every regime — its non-default
+  regimes exercise regime factors and the roofline ceiling fully
+  deterministically (an experimental control).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
-from repro.sim.machine import Machine
+from repro.sim.machine import LoadRegime, Machine
 from repro.sim.noise import NoiseModel
 
-__all__ = ["MachinePreset", "PRESETS", "make_machine"]
+__all__ = [
+    "MachinePreset",
+    "PRESETS",
+    "REGIME_NAMES",
+    "make_machine",
+]
+
+#: the regime vocabulary every preset provides, in canonical order
+REGIME_NAMES: Tuple[str, ...] = ("default", "idle", "medium", "heavy")
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,33 +63,76 @@ class MachinePreset:
     comp_cv: float
     comm_cv: float
     run_cv: float
+    regimes: Tuple[LoadRegime, ...] = (LoadRegime("default"),)
 
-    def machine(self, nprocs: int, seed: int = 0) -> Machine:
+    def regime(self, name: str) -> LoadRegime:
+        """Look up a regime by name, failing fast with the valid names."""
+        for r in self.regimes:
+            if r.name == name:
+                return r
+        valid = sorted(r.name for r in self.regimes)
+        raise ValueError(f"unknown regime {name!r}; choose from {valid}")
+
+    def machine(self, nprocs: int, seed: int = 0,
+                regime: str = "default") -> Machine:
+        r = self.regime(regime)
         return Machine(nprocs=nprocs, alpha=self.alpha, beta=self.beta,
-                       gamma=self.gamma, seed=seed)
+                       gamma=self.gamma, seed=seed,
+                       comp_scale=r.comp_factor, comm_scale=r.comm_factor,
+                       mem_beta=r.mem_beta, regime=r.name)
 
-    def noise(self, seed: int = 0) -> NoiseModel:
-        return NoiseModel(bias_sigma=self.bias_sigma, comp_cv=self.comp_cv,
-                          comm_cv=self.comm_cv, run_cv=self.run_cv,
-                          machine_seed=seed)
+    def noise(self, seed: int = 0, regime: str = "default") -> NoiseModel:
+        r = self.regime(regime)
+        return NoiseModel(
+            bias_sigma=self.bias_sigma,
+            comp_cv=self.comp_cv if r.comp_cv is None else r.comp_cv,
+            comm_cv=self.comm_cv if r.comm_cv is None else r.comm_cv,
+            run_cv=self.run_cv if r.run_cv is None else r.run_cv,
+            machine_seed=seed,
+            regime=r.name,
+        )
 
 
 PRESETS = {
     # Stampede2-flavoured: slow serial cores, fast fabric, noisy shared
-    # network (the paper's host system)
+    # network (the paper's host system).  mem_beta=1.8e-10 puts
+    # gemm(64,64,64) (0.25 B/flop -> 4.5e-11 s/flop) under the gamma
+    # roof while trsm(64,64) (0.3125 B/flop -> 5.6e-11) tips over it.
     "knl-fabric": MachinePreset(
         name="knl-fabric",
         description="KNL-class cores on a fat-tree fabric (paper-like)",
         alpha=2.0e-6, beta=5.0e-10, gamma=5.0e-11,
         bias_sigma=0.3, comp_cv=0.08, comm_cv=0.2, run_cv=0.01,
+        regimes=(
+            LoadRegime("default"),
+            LoadRegime("idle", comp_factor=1.15, comm_factor=0.9,
+                       mem_beta=1.8e-10, comp_cv=0.12, comm_cv=0.1),
+            LoadRegime("medium", comp_factor=1.0, comm_factor=1.25,
+                       mem_beta=1.8e-10, comm_cv=0.25),
+            LoadRegime("heavy", comp_factor=1.1, comm_factor=2.0,
+                       mem_beta=2.5e-10, comp_cv=0.15, comm_cv=0.45,
+                       run_cv=0.02),
+        ),
     ),
     # fat x86 cores, commodity network: computation relatively cheap,
-    # latency relatively expensive -> larger blocks win
+    # latency relatively expensive -> larger blocks win.  The idle
+    # regime is the CORTEX Idle Paradox point: DVFS on an unloaded
+    # server parks cores at base clocks, ~2.3x slower compute.
     "epyc-ethernet": MachinePreset(
         name="epyc-ethernet",
         description="server-class cores over 100GbE (latency-heavy)",
         alpha=1.0e-5, beta=1.0e-10, gamma=2.0e-11,
         bias_sigma=0.25, comp_cv=0.05, comm_cv=0.35, run_cv=0.02,
+        regimes=(
+            LoadRegime("default"),
+            LoadRegime("idle", comp_factor=2.3, comm_factor=0.85,
+                       mem_beta=9.0e-11, comp_cv=0.1, comm_cv=0.2),
+            LoadRegime("medium", comp_factor=1.0, comm_factor=1.3,
+                       mem_beta=9.0e-11, comm_cv=0.4),
+            LoadRegime("heavy", comp_factor=1.05, comm_factor=2.5,
+                       mem_beta=1.2e-10, comp_cv=0.1, comm_cv=0.6,
+                       run_cv=0.04),
+        ),
     ),
     # cloud VMs: huge run-to-run drift, noisy neighbours
     "cloud-vm": MachinePreset(
@@ -70,22 +140,43 @@ PRESETS = {
         description="virtualized nodes with noisy neighbours",
         alpha=2.0e-5, beta=8.0e-10, gamma=3.0e-11,
         bias_sigma=0.35, comp_cv=0.2, comm_cv=0.5, run_cv=0.05,
+        regimes=(
+            LoadRegime("default"),
+            LoadRegime("idle", comp_factor=1.3, comm_factor=0.95,
+                       mem_beta=1.1e-10, comp_cv=0.15, comm_cv=0.3),
+            LoadRegime("medium", comp_factor=1.1, comm_factor=1.4,
+                       mem_beta=1.1e-10),
+            LoadRegime("heavy", comp_factor=1.25, comm_factor=2.2,
+                       mem_beta=1.5e-10, comp_cv=0.3, comm_cv=0.7,
+                       run_cv=0.08),
+        ),
     ),
     # an idealized quiet machine: near-deterministic timings (useful as
-    # an experimental control)
+    # an experimental control); non-default regimes keep zero CoVs so
+    # regime factors and the roofline ceiling can be tested exactly
     "quiet": MachinePreset(
         name="quiet",
         description="noise-free control machine",
         alpha=2.0e-6, beta=5.0e-10, gamma=5.0e-11,
         bias_sigma=0.0, comp_cv=0.0, comm_cv=0.0, run_cv=0.0,
+        regimes=(
+            LoadRegime("default"),
+            LoadRegime("idle", comp_factor=2.0, comm_factor=0.9,
+                       mem_beta=2.0e-10),
+            LoadRegime("medium", comp_factor=1.0, comm_factor=1.25,
+                       mem_beta=2.0e-10),
+            LoadRegime("heavy", comp_factor=1.1, comm_factor=2.0,
+                       mem_beta=2.5e-10),
+        ),
     ),
 }
 
 
-def make_machine(preset: str, nprocs: int, seed: int = 0):
-    """Build (Machine, NoiseModel) for a named preset."""
+def make_machine(preset: str, nprocs: int, seed: int = 0,
+                 regime: str = "default"):
+    """Build (Machine, NoiseModel) for a named preset and load regime."""
     try:
         p = PRESETS[preset]
     except KeyError:
         raise ValueError(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}") from None
-    return p.machine(nprocs, seed), p.noise(seed)
+    return p.machine(nprocs, seed, regime), p.noise(seed, regime)

@@ -25,6 +25,7 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+from repro.algorithms.stencil import stencil_halo_program
 from repro.autotune.configspace import (
     candmc_qr_space,
     capital_cholesky_space,
@@ -175,6 +176,18 @@ def p2p_pipeline_program(comm, nrounds: int = 3):
     return float(me)
 
 
+def stencil_halo_case_program(comm):
+    """Small instance of the 2D stencil halo workload.
+
+    Covers the alternating nonblocking/red-black halo styles plus the
+    bandwidth-bound stencil compute — under a non-default regime
+    (``mem_beta > 0``) its cost comes off the memory roof, so the
+    regime-pinned golden cases pin the roofline pricing path too.
+    """
+    return stencil_halo_program(comm, nx=32, ny=32, iters=4, points=5,
+                                reduce_every=2)
+
+
 class _MixedSpace:
     """Duck-typed stand-in for a ConfigSpace over ``mixed_program``."""
 
@@ -214,8 +227,22 @@ class _P2PPipelineSpace:
         return ()
 
 
+class _StencilHaloSpace:
+    """Duck-typed stand-in for a ConfigSpace over the stencil workload."""
+
+    name = "stencil_halo"
+    program = staticmethod(stencil_halo_case_program)
+    nprocs = 4
+    exclude = frozenset()
+
+    @staticmethod
+    def args_for(_config: Any) -> tuple:
+        return ()
+
+
 _SYNTHETIC_SPACES = {"mixed_p2p": _MixedSpace, "coll_chain": _CollChainSpace,
-                     "p2p_pipeline": _P2PPipelineSpace}
+                     "p2p_pipeline": _P2PPipelineSpace,
+                     "stencil_halo": _StencilHaloSpace}
 
 
 def _small_spaces() -> Dict[str, Any]:
@@ -306,6 +333,29 @@ def golden_cases() -> List[Dict[str, Any]]:
             "space": "p2p_pipeline", "config": None, "preset": preset,
             "policy": "online", "run_seeds": [0, 1, 2],
         })
+    # the bandwidth-bound stencil halo workload (noisy + draw-free, bare
+    # and under a skipping profiler)
+    for preset in ("knl-fabric", "quiet"):
+        cases.append({
+            "id": f"stencil_halo/{preset}/null",
+            "space": "stencil_halo", "config": None, "preset": preset,
+            "policy": None, "run_seeds": [7],
+        })
+        cases.append({
+            "id": f"stencil_halo/{preset}/online",
+            "space": "stencil_halo", "config": None, "preset": preset,
+            "policy": "online", "run_seeds": [0, 1, 2],
+        })
+    # regime-pinned cases: non-default load regimes must stay as stable
+    # as the default streams — these pin the regime noise salt, the
+    # comp/comm scale factors, and the roofline (mem_beta) pricing of
+    # the bandwidth-bound stencil kernel
+    for preset, regime in (("knl-fabric", "heavy"), ("quiet", "idle")):
+        cases.append({
+            "id": f"stencil_halo/{preset}@{regime}/null",
+            "space": "stencil_halo", "config": None, "preset": preset,
+            "regime": regime, "policy": None, "run_seeds": [7],
+        })
     return cases
 
 
@@ -321,7 +371,8 @@ def run_case(case: Dict[str, Any], **sim_kwargs: Any) -> Dict[str, Any]:
         space = _small_spaces()[case["space"]]
         args = space.args_for(space.configs[case["config"]])
     machine, noise = make_machine(case["preset"], space.nprocs,
-                                  seed=MACHINE_SEED)
+                                  seed=MACHINE_SEED,
+                                  regime=case.get("regime", "default"))
     profiler: Optional[Critter] = None
     if case["policy"] is not None:
         profiler = Critter(policy=case["policy"], eps=0.25, min_samples=2,
@@ -343,7 +394,9 @@ def run_case(case: Dict[str, Any], **sim_kwargs: Any) -> Dict[str, Any]:
 
 
 def capture(path: str = GOLDEN_PATH) -> None:
-    entries = [run_case(c) for c in golden_cases()]
+    # captured on the naive heap scheduler: the fixture is the reference
+    # both schedulers are then replayed against
+    entries = [run_case(c, fast_path=False) for c in golden_cases()]
     os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w") as fh:
         json.dump({"version": 1, "machine_seed": MACHINE_SEED,

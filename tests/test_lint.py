@@ -331,18 +331,23 @@ class TestHookParity:
 # fingerprint-completeness analyzer: phantom-field drift
 # ----------------------------------------------------------------------
 NOISE_FIELD = "    noise: Optional[NoiseModel] = None\n"
+REGIME_FIELD = '    regime: str = "default"\n'
 
 
-def fingerprint_tree(tmp_path: Path, mutate_jobs=None) -> Path:
+def fingerprint_tree(tmp_path: Path, mutate_jobs=None, mutate_machine=None,
+                     mutate_noise=None) -> Path:
     files = {}
     for rel in ("repro/runner/jobs.py", "repro/sim/machine.py",
                 "repro/sim/noise.py"):
         files[rel] = (SRC_ROOT / rel).read_text()
-    if mutate_jobs is not None:
-        mutated = mutate_jobs(files["repro/runner/jobs.py"])
-        assert mutated != files["repro/runner/jobs.py"], \
-            "mutation needle did not match jobs.py"
-        files["repro/runner/jobs.py"] = mutated
+    for rel, mutate in (("repro/runner/jobs.py", mutate_jobs),
+                        ("repro/sim/machine.py", mutate_machine),
+                        ("repro/sim/noise.py", mutate_noise)):
+        if mutate is None:
+            continue
+        mutated = mutate(files[rel])
+        assert mutated != files[rel], f"mutation needle did not match {rel}"
+        files[rel] = mutated
     return make_tree(tmp_path, files)
 
 
@@ -360,6 +365,31 @@ class TestFingerprintCompleteness:
         assert findings, "unfingerprinted RunRequest field went unnoticed"
         assert all(f.rule == "fingerprint-completeness" for f in findings)
         assert any("phantom_knob" in f.message for f in findings)
+
+    def test_phantom_machine_regime_field_is_caught(self, tmp_path, capsys):
+        # a regime-flavoured Machine field that request_fingerprint does
+        # not read would let two differently-loaded machines share memo
+        # entries — the analyzer must flag it and `repro lint` must gate
+        root = fingerprint_tree(
+            tmp_path,
+            mutate_machine=lambda s: s.replace(
+                REGIME_FIELD, REGIME_FIELD
+                + '    turbo_regime: str = "default"\n', 1))
+        findings = list(check_fingerprint_completeness(root))
+        assert any("turbo_regime" in f.message for f in findings)
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        capsys.readouterr()
+
+    def test_phantom_noise_regime_field_is_caught(self, tmp_path, capsys):
+        root = fingerprint_tree(
+            tmp_path,
+            mutate_noise=lambda s: s.replace(
+                REGIME_FIELD, REGIME_FIELD
+                + '    load_regime: str = "default"\n', 1))
+        findings = list(check_fingerprint_completeness(root))
+        assert any("load_regime" in f.message for f in findings)
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        capsys.readouterr()
 
     def test_missing_jobs_module_is_skipped(self, tmp_path):
         root = make_tree(tmp_path, {"repro/other.py": "x = 1\n"})

@@ -6,8 +6,13 @@ import pytest
 
 from repro.autotune.metrics import (
     ERROR_FLOOR,
+    coefficient_of_variation,
+    distribution_summary,
     log2_error,
     mean_log2_error,
+    p50,
+    p99,
+    percentile,
     relative_error,
     selection_quality,
     speedup,
@@ -47,8 +52,65 @@ class TestSpeedup:
     def test_basic(self):
         assert speedup(10.0, 2.0) == 5.0
 
-    def test_zero_tuned(self):
-        assert speedup(10.0, 0.0) == math.inf
+    def test_zero_tuned_raises(self):
+        # a zero denominator means the measurement is broken; an
+        # infinite ratio would silently misrepresent it
+        with pytest.raises(ValueError, match="tuned_time"):
+            speedup(10.0, 0.0)
+
+    def test_negative_tuned_raises(self):
+        with pytest.raises(ValueError, match="tuned_time"):
+            speedup(10.0, -1.0)
+
+
+class TestDistributionSummaries:
+    def test_percentile_interpolates(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(xs, 0.0) == 1.0
+        assert percentile(xs, 100.0) == 4.0
+        assert percentile(xs, 50.0) == pytest.approx(2.5)
+
+    def test_percentile_matches_numpy(self):
+        np = pytest.importorskip("numpy")
+        xs = [0.3, 1.7, 0.9, 4.2, 2.8, 0.1, 3.3]
+        for q in (0.0, 25.0, 50.0, 90.0, 99.0, 100.0):
+            assert percentile(xs, q) == pytest.approx(
+                float(np.percentile(xs, q)), rel=1e-12)
+
+    def test_percentile_order_independent(self):
+        assert p50([3.0, 1.0, 2.0]) == p50([1.0, 2.0, 3.0]) == 2.0
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_p99_tracks_tail(self):
+        xs = [1.0] * 99 + [100.0]
+        assert p50(xs) == 1.0
+        assert p99(xs) > 1.0
+
+    def test_cov(self):
+        assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+        xs = [1.0, 3.0]  # mean 2, population std 1
+        assert coefficient_of_variation(xs) == pytest.approx(0.5)
+
+    def test_cov_zero_mean(self):
+        assert coefficient_of_variation([-1.0, 1.0]) == 0.0
+
+    def test_summary_fields(self):
+        s = distribution_summary([1.0, 2.0, 3.0])
+        assert s["p50"] == 2.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["n"] == 3.0
+        assert s["p99"] == pytest.approx(percentile([1.0, 2.0, 3.0], 99.0))
+        assert s["cov"] == pytest.approx(
+            coefficient_of_variation([1.0, 2.0, 3.0]))
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            distribution_summary([])
 
 
 class TestSelectionQuality:

@@ -1,0 +1,214 @@
+"""Load regimes: noise invariants, regime-keyed memoization, roofline.
+
+Satellite coverage for the regime-aware machine models: every regime's
+per-invocation noise must stay unit-mean (regimes rescale *costs*, not
+the noise's center), the per-signature bias memo must key on the regime
+(no cross-regime aliasing of cached draws), and the roofline ceiling
+``max(gamma * comp_factor, mem_beta * bytes_per_flop)`` must price
+bandwidth-bound kernels off the memory roof while flop-bound kernels
+stay on the flop roof.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.stencil import stencil2d_spec
+from repro.kernels import blas, lapack
+from repro.kernels.roofline import bytes_per_flop
+from repro.kernels.signature import comm_signature
+from repro.sim import Simulator
+from repro.sim.machine import LoadRegime, Machine
+from repro.sim.noise import NoiseModel
+from repro.sim.presets import PRESETS, REGIME_NAMES, make_machine
+
+GEMM_SIG = blas.gemm_spec(64, 64, 64)[0]
+TRSM_SIG = blas.trsm_spec(64, 64)[0]
+STENCIL_SIG = stencil2d_spec(5, 64, 64)[0]
+COMM_SIG = comm_signature("allreduce", 1024, 8, 1)
+
+
+# ----------------------------------------------------------------------
+# unit-mean invariants
+# ----------------------------------------------------------------------
+class TestUnitMeanInvariants:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("regime", REGIME_NAMES)
+    def test_invocation_noise_is_unit_mean(self, preset, regime):
+        # the lognormal's (mu, sigma) must satisfy E[exp(mu + s Z)] = 1
+        # for whatever CoV the regime overrides — regimes change the
+        # *cost scales*, never the noise's center
+        n = PRESETS[preset].noise(seed=3, regime=regime)
+        for params in (n._comp_params, n._comm_params):
+            if params is None:
+                continue
+            mu, s = params
+            assert math.exp(mu + 0.5 * s * s) == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize("regime", REGIME_NAMES)
+    def test_empirical_sample_mean(self, regime):
+        n = PRESETS["knl-fabric"].noise(seed=3, regime=regime)
+        rng = np.random.Generator(np.random.PCG64(123))
+        for sig in (GEMM_SIG, COMM_SIG):
+            scale = n.true_mean(sig, 1.0) * n.run_drift(sig, 0)
+            draws = [n.sample(sig, 1.0, rng, run_seed=0) / scale
+                     for _ in range(4000)]
+            cv = n.invocation_cv(sig)
+            # 4000 draws of a cv<=0.45 lognormal: mean well within 5%
+            assert np.mean(draws) == pytest.approx(1.0, abs=5 * cv / 60)
+
+    @pytest.mark.parametrize("regime", REGIME_NAMES)
+    def test_bias_is_unit_mean_across_signatures(self, regime):
+        n = PRESETS["knl-fabric"].noise(seed=3, regime=regime)
+        biases = [n.signature_bias(blas.gemm_spec(8 + i, 8, 8)[0])
+                  for i in range(3000)]
+        assert np.mean(biases) == pytest.approx(1.0, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# regime-keyed memoization
+# ----------------------------------------------------------------------
+class TestRegimeKeyedMemoization:
+    def test_default_regime_matches_plain_noise_model(self):
+        plain = NoiseModel(bias_sigma=0.3, comp_cv=0.08, comm_cv=0.2,
+                           run_cv=0.01, machine_seed=13)
+        via_regime = NoiseModel(bias_sigma=0.3, comp_cv=0.08, comm_cv=0.2,
+                                run_cv=0.01, machine_seed=13,
+                                regime="default")
+        for sig in (GEMM_SIG, TRSM_SIG, COMM_SIG):
+            assert plain.signature_bias(sig) == via_regime.signature_bias(sig)
+            assert plain.run_drift(sig, 7) == via_regime.run_drift(sig, 7)
+
+    def test_regimes_draw_distinct_biases(self):
+        by_regime = {r: PRESETS["knl-fabric"].noise(seed=3, regime=r)
+                     for r in REGIME_NAMES}
+        biases = {r: n.signature_bias(GEMM_SIG)
+                  for r, n in by_regime.items()}
+        assert len(set(biases.values())) == len(REGIME_NAMES)
+        drifts = {r: n.run_drift(GEMM_SIG, 5) for r, n in by_regime.items()}
+        assert len(set(drifts.values())) == len(REGIME_NAMES)
+
+    def test_memoized_values_are_stable_and_regime_deterministic(self):
+        a = PRESETS["knl-fabric"].noise(seed=3, regime="heavy")
+        b = PRESETS["knl-fabric"].noise(seed=3, regime="heavy")
+        first = a.signature_bias(GEMM_SIG)
+        # cache hit must replay the draw exactly; a fresh instance of
+        # the same (seed, regime) identity must reproduce it
+        assert a.signature_bias(GEMM_SIG) == first
+        assert b.signature_bias(GEMM_SIG) == first
+
+    def test_no_cross_regime_cache_aliasing(self):
+        default = PRESETS["knl-fabric"].noise(seed=3)
+        heavy = PRESETS["knl-fabric"].noise(seed=3, regime="heavy")
+        # interleave lookups: the regime salt keys the memo, so neither
+        # model may ever serve the other's cached draw
+        d1 = default.signature_bias(GEMM_SIG)
+        h1 = heavy.signature_bias(GEMM_SIG)
+        assert d1 != h1
+        assert default.signature_bias(GEMM_SIG) == d1
+        assert heavy.signature_bias(GEMM_SIG) == h1
+
+    def test_quiet_copy_preserves_regime(self):
+        n = PRESETS["knl-fabric"].noise(seed=3, regime="heavy")
+        assert n.quiet().regime == "heavy"
+
+
+# ----------------------------------------------------------------------
+# roofline pricing
+# ----------------------------------------------------------------------
+class TestRoofline:
+    def test_arithmetic_intensities(self):
+        assert bytes_per_flop(GEMM_SIG) == pytest.approx(0.25)
+        assert bytes_per_flop(TRSM_SIG) == pytest.approx(0.3125)
+        assert bytes_per_flop(STENCIL_SIG) == pytest.approx(2.4)
+        # comm kernels carry no roofline model: the ceiling never fires
+        assert bytes_per_flop(COMM_SIG) == 0.0
+
+    def test_default_regime_has_no_ceiling(self):
+        m, _ = make_machine("knl-fabric", 4, seed=0)
+        assert m.mem_beta == 0.0
+        for sig in (GEMM_SIG, TRSM_SIG, STENCIL_SIG):
+            assert m.time_per_flop(sig) == m.gamma
+
+    def test_medium_regime_tips_trsm_not_gemm(self):
+        # knl-fabric medium: gamma stays 5e-11 (comp_factor 1.0) while
+        # mem_beta 1.8e-10 puts trsm (0.3125 B/f -> 5.625e-11) over the
+        # roof and gemm (0.25 B/f -> 4.5e-11) under it
+        m, _ = make_machine("knl-fabric", 4, seed=0, regime="medium")
+        g = m.gamma * m.comp_scale
+        assert m.time_per_flop(GEMM_SIG) == g
+        assert m.time_per_flop(TRSM_SIG) == m.mem_beta * 0.3125
+        assert m.time_per_flop(TRSM_SIG) > g
+
+    def test_stencil_is_bandwidth_bound_in_every_loaded_regime(self):
+        for regime in ("idle", "medium", "heavy"):
+            m, _ = make_machine("knl-fabric", 4, seed=0, regime=regime)
+            expect = m.mem_beta * bytes_per_flop(STENCIL_SIG)
+            assert m.time_per_flop(STENCIL_SIG) == expect
+            assert expect > m.gamma * m.comp_scale
+
+    def test_compute_cost_composes_exactly(self):
+        m, _ = make_machine("quiet", 4, seed=0, regime="idle")
+        sig, flops = stencil2d_spec(5, 64, 64)
+        assert m.compute_cost(flops, sig) == m.time_per_flop(sig) * flops
+        # without a signature the cost is the pure flop roof
+        assert m.compute_cost(flops) == m.gamma * m.comp_scale * flops
+
+    def test_comm_factor_scales_collectives(self):
+        base, _ = make_machine("quiet", 4, seed=0)
+        heavy, _ = make_machine("quiet", 4, seed=0, regime="heavy")
+        assert heavy.collectives().alpha == 2.0 * base.collectives().alpha
+        assert heavy.collectives().beta == 2.0 * base.collectives().beta
+
+
+# ----------------------------------------------------------------------
+# end-to-end determinism and fail-fast
+# ----------------------------------------------------------------------
+def _stencil_makespan(preset: str, regime: str) -> float:
+    from golden_workloads import stencil_halo_case_program
+
+    machine, noise = make_machine(preset, 4, seed=11, regime=regime)
+    sim = Simulator(machine, noise=noise)
+    return sim.run(stencil_halo_case_program, run_seed=2).makespan
+
+
+class TestRegimeEndToEnd:
+    def test_quiet_regimes_are_deterministic_and_ordered(self):
+        spans = {r: _stencil_makespan("quiet", r)
+                 for r in ("default", "idle", "heavy")}
+        for r, span in spans.items():
+            assert _stencil_makespan("quiet", r) == span
+        # idle prices the bandwidth-bound stencil off the memory roof
+        # (and doubles gamma); heavy additionally doubles comm
+        assert spans["idle"] > spans["default"]
+        assert spans["heavy"] > spans["default"]
+
+    def test_unknown_regime_fails_fast_with_valid_names(self):
+        with pytest.raises(ValueError) as exc:
+            make_machine("knl-fabric", 4, regime="bogus")
+        msg = str(exc.value)
+        assert "bogus" in msg
+        for name in REGIME_NAMES:
+            assert name in msg
+
+    def test_unknown_preset_fails_fast_with_valid_names(self):
+        with pytest.raises(ValueError) as exc:
+            make_machine("bogus", 4)
+        msg = str(exc.value)
+        assert "bogus" in msg and "knl-fabric" in msg
+
+    def test_machine_carries_regime_identity(self):
+        m, n = make_machine("epyc-ethernet", 4, seed=0, regime="idle")
+        assert m.regime == "idle" and n.regime == "idle"
+        # the CORTEX Idle Paradox preset: idle compute is *slower*
+        assert m.comp_scale > 2.0
+
+    def test_noise_fingerprint_includes_regime(self):
+        from types import SimpleNamespace
+
+        from repro.runner.jobs import _noise_fingerprint
+
+        req = SimpleNamespace(noise=NoiseModel(regime="heavy"), machine=None)
+        fp = _noise_fingerprint(req)
+        assert fp["regime"] == "heavy"
